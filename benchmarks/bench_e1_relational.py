@@ -1,0 +1,83 @@
+"""E1 — Relational integrity: simplified instances vs. full re-check.
+
+Paper claim (§6): "the time saved by the reduction techniques of the
+integrity maintenance method is significant as soon as base relations
+contain a few dozen of tuples."
+
+Series: per base-relation size n, the time to check one harmless insert
+with the full constraint sweep vs. [NICO 79] simplified instances
+(Proposition 1). The gap must open by n ≈ a few dozen and widen with n.
+"""
+
+import pytest
+
+from repro.integrity.checker import IntegrityChecker
+from repro.logic.parser import parse_literal
+from repro.workloads.relational import RelationalWorkload
+
+from conftest import report
+
+SIZES = [10, 30, 100, 300, 1000]
+
+_cache = {}
+
+
+def workload(n):
+    if n not in _cache:
+        db = RelationalWorkload(n, seed=0).build()
+        checker = IntegrityChecker(db)
+        update = parse_literal("works_in(e1, d0)")
+        # Warm the old-state engine once; both methods then measure the
+        # incremental work of one update against a warm database.
+        checker.check_bdm(update)
+        _cache[n] = (db, checker, update)
+    return _cache[n]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_full_check(benchmark, n):
+    _, checker, update = workload(n)
+    result = benchmark(lambda: checker.check_full(update))
+    assert result.ok
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_simplified_instances(benchmark, n):
+    _, checker, update = workload(n)
+    result = benchmark(lambda: checker.check_nicolas(update))
+    assert result.ok
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_bdm(benchmark, n):
+    """The deductive-ready method on the rule-free database — must track
+    the relational method, not the full check."""
+    _, checker, update = workload(n)
+    result = benchmark(lambda: checker.check_bdm(update))
+    assert result.ok
+
+
+def test_e1_report(benchmark):
+    """The lookup-count series behind the wall-time claim: the full
+    check scales with n, the simplified check stays flat."""
+    rows = []
+    for n in SIZES:
+        _, checker, update = workload(n)
+        full = checker.check_full(update)
+        nicolas = checker.check_nicolas(update)
+        rows.append(
+            (n, full.stats["lookups"], nicolas.stats["lookups"])
+        )
+    report(
+        "E1: atom lookups per update check",
+        rows,
+        ("n", "full", "simplified"),
+    )
+    smallest, largest = rows[0], rows[-1]
+    # Shape: the full check's cost grows with n …
+    assert largest[1] > smallest[1] * 10
+    # … the simplified check's does not grow with n at all.
+    assert largest[2] <= smallest[2] + 5
+    # Crossover well before "a few dozen" tuples.
+    assert rows[1][2] < rows[1][1]
+    benchmark(lambda: None)  # keep --benchmark-only from skipping this

@@ -1,0 +1,74 @@
+"""E2 — Induced updates nobody asked about (Section 3.2, drawback 1).
+
+Rule ``r(X) <- q(X, Y), p(Y, Z)`` with f facts ``q(·, a)``; no
+constraint mentions r. Updating ``p(a, b)``:
+
+* the paper's two-phase method compiles zero update constraints and
+  never touches the facts;
+* the interleaved [DECK 86]/[KOWA 87] discipline computes all f induced
+  r-updates first — "the overhead is considerable if there are a lot of
+  q(X, a)-facts".
+
+Series: time and induced-update/lookup counts per fanout f.
+"""
+
+import pytest
+
+from repro.integrity.checker import IntegrityChecker
+from repro.workloads.deductive import fanout_database
+
+from conftest import report
+
+FANOUTS = [10, 100, 1000]
+
+_cache = {}
+
+
+def workload(f):
+    if f not in _cache:
+        db, update = fanout_database(f)
+        _cache[f] = (db, IntegrityChecker(db), update)
+    return _cache[f]
+
+
+@pytest.mark.parametrize("f", FANOUTS)
+def test_e2_two_phase(benchmark, f):
+    _, checker, update = workload(f)
+    result = benchmark(lambda: checker.check_bdm(update))
+    assert result.ok
+    assert result.stats["lookups"] == 0
+
+
+@pytest.mark.parametrize("f", FANOUTS)
+def test_e2_interleaved(benchmark, f):
+    _, checker, update = workload(f)
+    result = benchmark(lambda: checker.check_interleaved(update))
+    assert result.ok
+    assert result.stats["induced_updates"] == f + 1
+
+
+def test_e2_report(benchmark):
+    rows = []
+    for f in FANOUTS:
+        _, checker, update = workload(f)
+        bdm = checker.check_bdm(update)
+        inter = checker.check_interleaved(update)
+        rows.append(
+            (
+                f,
+                bdm.stats["induced_updates"],
+                bdm.stats["lookups"],
+                inter.stats["induced_updates"],
+                inter.stats["lookups"],
+            )
+        )
+    report(
+        "E2: induced updates computed / atom lookups",
+        rows,
+        ("fanout", "bdm induced", "bdm lookups", "intl induced", "intl lookups"),
+    )
+    # Shape: two-phase is O(0) in the fanout; interleaved is O(f).
+    for f, bdm_induced, bdm_lookups, intl_induced, intl_lookups in rows:
+        assert bdm_induced == 0 and bdm_lookups == 0
+        assert intl_induced > f
+    benchmark(lambda: None)

@@ -1,0 +1,73 @@
+"""E3 — delta guards vs. new guards (Section 3.3.3 on [LLOY 86]).
+
+Rule chain c0 → c1 → … → c<depth> over ``width`` pre-existing chain
+instances; one base insert changes exactly one instance per chain
+predicate. Update constraints guarded by ``delta`` evaluate one residual
+instance; guarded by ``new`` they enumerate every instance true in the
+updated state — "the resulting loss in efficiency is often
+considerable".
+
+Series: per chain depth d (width fixed), time plus guard-answer and
+instance counts for both guard disciplines.
+"""
+
+import pytest
+
+from repro.integrity.checker import IntegrityChecker
+from repro.workloads.deductive import rule_chain_database
+
+from conftest import report
+
+DEPTHS = [1, 2, 4, 8]
+WIDTH = 200
+
+_cache = {}
+
+
+def workload(depth):
+    if depth not in _cache:
+        db, update = rule_chain_database(depth=depth, width=WIDTH)
+        _cache[depth] = (db, IntegrityChecker(db), update)
+    return _cache[depth]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_e3_delta_guard(benchmark, depth):
+    _, checker, update = workload(depth)
+    result = benchmark(lambda: checker.check_bdm(update))
+    assert result.ok
+    assert result.stats["instances_evaluated"] == 1
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_e3_new_guard(benchmark, depth):
+    _, checker, update = workload(depth)
+    result = benchmark(lambda: checker.check_lloyd(update))
+    assert result.ok
+    assert result.stats["guard_answers"] >= WIDTH
+
+
+def test_e3_report(benchmark):
+    rows = []
+    for depth in DEPTHS:
+        _, checker, update = workload(depth)
+        bdm = checker.check_bdm(update)
+        lloyd = checker.check_lloyd(update)
+        rows.append(
+            (
+                depth,
+                bdm.stats["instances_evaluated"],
+                lloyd.stats["guard_answers"],
+                lloyd.stats["instances_evaluated"],
+            )
+        )
+    report(
+        f"E3: residual checks per update (width={WIDTH})",
+        rows,
+        ("depth", "delta instances", "new guard answers", "new instances"),
+    )
+    for depth, bdm_instances, guard_answers, lloyd_instances in rows:
+        # delta checks exactly the changed instance; new checks the world.
+        assert bdm_instances == 1
+        assert guard_answers >= WIDTH
+    benchmark(lambda: None)

@@ -1,0 +1,77 @@
+"""E4 — Shared vs. per-instance evaluation of update constraints
+(Section 3.2, drawback 2: redundant subqueries).
+
+The student/enrolled/attends scenario: each inserted student triggers
+two simplified instances (S1 from the explicit update, S2 from the
+induced ``enrolled`` update) sharing the subquery ``attends(s, ddb)``.
+Global (shared-engine, deduplicated) evaluation evaluates each residual
+check once; per-instance evaluation re-creates the evaluation context
+for every instance — "redundancies … appear rather frequently in case
+of transactions consisting of more than one single-fact update".
+
+Series: per transaction size t, time and lookups for shared vs.
+per-instance evaluation.
+"""
+
+import pytest
+
+from repro.integrity.checker import IntegrityChecker
+from repro.workloads.deductive import university_database, university_transaction
+
+from conftest import report
+
+SIZES = [1, 2, 4, 8, 16]
+STUDENTS = 200
+
+_cache = {}
+
+
+def workload(size):
+    if size not in _cache:
+        db = university_database(STUDENTS)
+        checker = IntegrityChecker(db)
+        transaction = university_transaction(size, attend=True)
+        _cache[size] = (db, checker, transaction)
+    return _cache[size]
+
+
+@pytest.mark.parametrize("t", SIZES)
+def test_e4_shared_evaluation(benchmark, t):
+    _, checker, transaction = workload(t)
+    result = benchmark(lambda: checker.check_bdm(transaction))
+    assert result.ok
+
+
+@pytest.mark.parametrize("t", SIZES)
+def test_e4_per_instance_evaluation(benchmark, t):
+    _, checker, transaction = workload(t)
+    result = benchmark(
+        lambda: checker.check_bdm(transaction, share_evaluation=False)
+    )
+    assert result.ok
+
+
+def test_e4_report(benchmark):
+    rows = []
+    for t in SIZES:
+        _, checker, transaction = workload(t)
+        shared = checker.check_bdm(transaction)
+        separate = checker.check_bdm(transaction, share_evaluation=False)
+        rows.append(
+            (
+                t,
+                shared.stats["instances_evaluated"],
+                shared.stats["lookups"],
+                separate.stats["lookups"],
+            )
+        )
+    report(
+        "E4: evaluation cost per transaction size",
+        rows,
+        ("t", "instances", "shared lookups", "per-instance lookups"),
+    )
+    for t, instances, shared_lookups, separate_lookups in rows:
+        assert separate_lookups >= shared_lookups
+    # The per-instance penalty grows with the transaction size.
+    assert rows[-1][3] - rows[-1][2] >= rows[0][3] - rows[0][2]
+    benchmark(lambda: None)

@@ -1,0 +1,53 @@
+"""E5 — The Section 5 worked example.
+
+The paper walks its organization example to unsatisfiability (every way
+of leading the forced department makes someone their own subordinate)
+and notes that weakening constraint (3) restores finite satisfiability.
+Both runs must be interactive-speed.
+"""
+
+import pytest
+
+from repro.satisfiability.checker import SatisfiabilityChecker
+from repro.workloads.theorem_proving import SECTION5, SECTION5_WEAKENED
+
+from conftest import report
+
+
+def test_e5_unsatisfiable(benchmark):
+    checker = SatisfiabilityChecker.from_source(SECTION5)
+    result = benchmark(lambda: checker.check(max_fresh_constants=6))
+    assert result.unsatisfiable
+
+
+def test_e5_weakened_satisfiable(benchmark):
+    checker = SatisfiabilityChecker.from_source(SECTION5_WEAKENED)
+    result = benchmark(lambda: checker.check(max_fresh_constants=6))
+    assert result.satisfiable
+
+
+def test_e5_report(benchmark):
+    rows = []
+    for name, source in (
+        ("section 5", SECTION5),
+        ("weakened (3)", SECTION5_WEAKENED),
+    ):
+        checker = SatisfiabilityChecker.from_source(source)
+        result = checker.check(max_fresh_constants=6)
+        rows.append(
+            (
+                name,
+                result.status,
+                len(result.model) if result.model else "-",
+                result.stats["assertions"],
+                result.stats["backtracks"],
+            )
+        )
+    report(
+        "E5: Section 5 example",
+        rows,
+        ("variant", "status", "model size", "assertions", "backtracks"),
+    )
+    assert rows[0][1] == "unsatisfiable"
+    assert rows[1][1] == "satisfiable"
+    benchmark(lambda: None)

@@ -1,0 +1,98 @@
+"""E6 — Theorem-proving benchmarks (Section 6's "promising efficiency
+… on well-known benchmark examples from the theorem-proving
+literature").
+
+The SATCHMO line this paper builds on used Schubert's steamroller and
+relatives. Refutation problems run in the classical-tableaux
+configuration (fresh-only existentials — refutation-complete and the
+SATCHMO setting); the satisfiable problems also exercise the reuse
+alternatives.
+"""
+
+import pytest
+
+from repro.satisfiability.checker import SatisfiabilityChecker, check_satisfiability
+from repro.workloads.theorem_proving import (
+    cycle_coloring,
+    pigeonhole,
+    steamroller,
+)
+
+from conftest import report
+
+
+def test_e6_steamroller_refutation(benchmark):
+    checker = SatisfiabilityChecker.from_source(
+        steamroller(), existential_reuse=False
+    )
+    result = benchmark(
+        lambda: checker.check(
+            max_fresh_constants=10, deepening=False, max_levels=60
+        )
+    )
+    assert result.unsatisfiable
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_e6_pigeonhole(benchmark, n):
+    result = benchmark(
+        lambda: check_satisfiability(pigeonhole(n), max_fresh_constants=0)
+    )
+    assert result.unsatisfiable
+
+
+@pytest.mark.parametrize(
+    "length, expected", [(4, "satisfiable"), (5, "unsatisfiable"), (6, "satisfiable")]
+)
+def test_e6_cycle_coloring(benchmark, length, expected):
+    result = benchmark(
+        lambda: check_satisfiability(
+            cycle_coloring(length), max_fresh_constants=0
+        )
+    )
+    assert result.status == expected
+
+
+def test_e6_report(benchmark):
+    rows = []
+    checker = SatisfiabilityChecker.from_source(
+        steamroller(), existential_reuse=False
+    )
+    result = checker.check(max_fresh_constants=10, deepening=False, max_levels=60)
+    rows.append(
+        (
+            "steamroller (refute)",
+            result.status,
+            result.stats["assertions"],
+            result.stats["lookups"],
+        )
+    )
+    for n in (2, 3, 4):
+        result = check_satisfiability(pigeonhole(n), max_fresh_constants=0)
+        rows.append(
+            (
+                f"pigeonhole({n + 1}->{n})",
+                result.status,
+                result.stats["assertions"],
+                result.stats["lookups"],
+            )
+        )
+    for length in (4, 5):
+        result = check_satisfiability(
+            cycle_coloring(length), max_fresh_constants=0
+        )
+        rows.append(
+            (
+                f"2-colour C{length}",
+                result.status,
+                result.stats["assertions"],
+                result.stats["lookups"],
+            )
+        )
+    report(
+        "E6: theorem-proving problems",
+        rows,
+        ("problem", "status", "assertions", "lookups"),
+    )
+    assert rows[0][1] == "unsatisfiable"
+    benchmark(lambda: None)

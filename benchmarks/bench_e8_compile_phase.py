@@ -1,0 +1,113 @@
+"""E8 — Compile-phase ablations (Sections 3.3 / 3.3.1).
+
+(a) The compile phase (potential updates + update constraints) touches
+    no facts, so its cost must be flat in the database size — that is
+    what lets it be precomputed per update pattern.
+
+(b) Subsumption pruning during potential-update generation: on
+    recursive rules it is what makes the closure terminate at all; on
+    non-recursive chains it keeps the set small (the paper's remark
+    that the test "is desirable for avoiding redundancies").
+"""
+
+import pytest
+
+from repro.integrity.checker import IntegrityChecker
+from repro.integrity.dependencies import DependencyIndex, potential_updates
+from repro.logic.parser import parse_literal
+from repro.workloads.deductive import (
+    ancestor_database,
+    fanout_database,
+    rule_chain_database,
+)
+
+from conftest import report
+
+DB_SIZES = [100, 1000, 10000]
+
+_cache = {}
+
+
+def fanout_checker(size):
+    if size not in _cache:
+        db, update = fanout_database(size)
+        # A constraint that does mention r, so compilation has real work.
+        db.add_constraint("forall X: r(X) -> vetted(X)")
+        _cache[size] = (IntegrityChecker(db), update)
+    return _cache[size]
+
+
+@pytest.mark.parametrize("size", DB_SIZES)
+def test_e8_compile_flat_in_database_size(benchmark, size):
+    checker, update = fanout_checker(size)
+    compiled = benchmark(lambda: checker.compile([update]))
+    assert compiled.update_constraints
+
+
+def test_e8_compile_report(benchmark):
+    rows = []
+    for size in DB_SIZES:
+        checker, update = fanout_checker(size)
+        compiled = checker.compile([update])
+        rows.append(
+            (
+                size,
+                len(compiled.potential),
+                len(compiled.update_constraints),
+            )
+        )
+    report(
+        "E8a: compile phase output is fact-independent",
+        rows,
+        ("facts", "potential updates", "update constraints"),
+    )
+    # Identical compile output regardless of database size.
+    assert len({(r[1], r[2]) for r in rows}) == 1
+    benchmark(lambda: None)
+
+
+def test_e8_subsumption_prunes_recursive_closure(benchmark):
+    db, update = ancestor_database(10)
+
+    def run():
+        return potential_updates(db.program, update)
+
+    out = benchmark(run)
+    # The whole anc-space collapses to one most-general pattern.
+    assert len(out) <= 3
+
+
+def test_e8_no_subsumption_keeps_redundant_specializations(benchmark):
+    db, update = ancestor_database(10)
+    index = DependencyIndex(db.program)
+
+    def run():
+        return potential_updates(
+            db.program,
+            update,
+            index,
+            subsumption=False,
+            iteration_limit=10000,
+        )
+
+    out = benchmark(run)
+    pruned = potential_updates(db.program, update, index)
+    report(
+        "E8b: potential-update set size on recursive ancestor",
+        [("with subsumption", len(pruned)), ("without", len(out))],
+        ("variant", "set size"),
+    )
+    # Every extra literal is a specialization subsumed by a kept one.
+    assert len(out) > len(pruned)
+
+
+@pytest.mark.parametrize("depth", [4, 8])
+def test_e8_subsumption_on_chains(benchmark, depth):
+    db, update = rule_chain_database(depth=depth, width=1)
+
+    def run():
+        return potential_updates(db.program, update)
+
+    out = benchmark(run)
+    # One potential update per chain predicate plus the base update.
+    assert len(out) == depth + 1

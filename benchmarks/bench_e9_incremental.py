@@ -1,0 +1,80 @@
+"""E9 (extension, not from the paper) — goal-directed delta vs. DRed.
+
+The conclusion calls for further work on the evaluation phase; DRed
+(delete–re-derive) is the classical materialized-view answer. This
+ablation contrasts the two change-computation disciplines on the
+recursive ancestor workload:
+
+* ``DeltaEvaluator`` — goal-directed, computes only demanded changes,
+  no materialized model to keep;
+* ``MaintainedModel`` — maintains the full canonical model; pays more
+  per update but leaves a queryable materialization behind.
+
+Both must report the *same* net change set (property-tested in
+``tests/datalog/test_incremental.py``); here we measure cost.
+"""
+
+import pytest
+
+from repro.datalog.incremental import MaintainedModel
+from repro.integrity.delta_eval import DeltaEvaluator
+from repro.workloads.deductive import ancestor_database
+
+from conftest import report
+
+CHAIN_LENGTHS = [10, 30, 100]
+
+_cache = {}
+
+
+def workload(n):
+    if n not in _cache:
+        db, update = ancestor_database(n)
+        _cache[n] = (db, update)
+    return _cache[n]
+
+
+@pytest.mark.parametrize("n", CHAIN_LENGTHS)
+def test_e9_delta(benchmark, n):
+    db, update = workload(n)
+
+    def run():
+        evaluator = DeltaEvaluator(db, update)
+        return evaluator.induced_updates()
+
+    induced = benchmark(run)
+    # Appending to a length-n chain creates n+1 new anc pairs + the base.
+    assert len(induced) == n + 2
+
+
+@pytest.mark.parametrize("n", CHAIN_LENGTHS)
+def test_e9_dred(benchmark, n):
+    db, update = workload(n)
+    base_facts = db.facts.copy()
+
+    def run():
+        maintained = MaintainedModel(base_facts, db.program)
+        inserted, deleted = maintained.apply([update])
+        return inserted, deleted
+
+    inserted, deleted = benchmark(run)
+    assert len(inserted) == n + 2
+    assert not deleted
+
+
+def test_e9_report(benchmark):
+    rows = []
+    for n in CHAIN_LENGTHS:
+        db, update = workload(n)
+        delta = DeltaEvaluator(db, update)
+        induced = delta.induced_updates()
+        maintained = MaintainedModel(db.facts.copy(), db.program)
+        inserted, deleted = maintained.apply([update])
+        assert {l.atom for l in induced if l.positive} == inserted
+        rows.append((n, len(induced), len(inserted), len(deleted)))
+    report(
+        "E9: net change sets agree (delta vs DRed)",
+        rows,
+        ("chain", "delta changes", "dred inserts", "dred deletes"),
+    )
+    benchmark(lambda: None)

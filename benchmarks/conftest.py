@@ -1,0 +1,25 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every experiment (E1–E8, see DESIGN.md §4) gets one module. Benchmarks
+measure wall time through pytest-benchmark; the *shape* claims (who does
+less work) are additionally asserted on deterministic operation counts
+(atom lookups, instances evaluated, induced updates computed) so the
+qualitative reproduction does not depend on machine speed.
+"""
+
+import pytest
+
+
+def report(title, rows, header):
+    """Print a small aligned table (visible with -s; kept in captured
+    output otherwise). Rows are tuples aligned with *header*."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        for i, h in enumerate(header)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

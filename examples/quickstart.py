@@ -1,0 +1,72 @@
+"""Quickstart: build a deductive database, check updates before applying.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.datalog.database import DeductiveDatabase
+from repro.integrity.checker import IntegrityChecker
+
+SOURCE = """
+% ------------------------------------------------------------------ facts
+employee(ann).
+employee(bob).
+department(sales).
+works_in(ann, sales).
+works_in(bob, sales).
+
+% ------------------------------------------------------------------ rules
+colleague(X, Y) :- works_in(X, D), works_in(Y, D).
+
+% ------------------------------------------------------------ constraints
+forall E, D: works_in(E, D) -> employee(E).
+forall E, D: works_in(E, D) -> department(D).
+forall D: department(D) -> exists E: employee(E) and works_in(E, D).
+"""
+
+
+def main() -> None:
+    db = DeductiveDatabase.from_source(SOURCE)
+    print(db)
+    print("colleague(ann, bob)?", db.holds("colleague(ann, bob)"))
+    print("all constraints satisfied?", db.all_constraints_satisfied())
+    print()
+
+    checker = IntegrityChecker(db)
+
+    # A harmless update: hire carol into sales.
+    for update in ["employee(carol)", "works_in(carol, sales)"]:
+        result = checker.check(update)
+        print(f"check {update!r}: {'OK' if result.ok else 'VIOLATION'}")
+
+    # A violating update: membership for an unknown person.
+    result = checker.check("works_in(dave, sales)")
+    print(f"check 'works_in(dave, sales)':",
+          "OK" if result.ok else "VIOLATION")
+    for violation in result.violations:
+        print(f"  {violation.constraint_id} fails: {violation.instance}")
+
+    # A violating deletion: sales would lose its last member... not yet —
+    # ann and bob both work there, so deleting one membership is fine.
+    result = checker.check("not works_in(ann, sales)")
+    print(f"check 'not works_in(ann, sales)':",
+          "OK" if result.ok else "VIOLATION")
+
+    # But a transaction removing both memberships empties the department.
+    from repro.integrity.transactions import Transaction
+
+    transaction = Transaction(
+        ["not works_in(ann, sales)", "not works_in(bob, sales)"]
+    )
+    result = checker.check(transaction)
+    print(f"check {transaction}:", "OK" if result.ok else "VIOLATION")
+
+    # Only updates that pass get applied.
+    db.apply_update("employee(carol)")
+    db.apply_update("works_in(carol, sales)")
+    print()
+    print("after applying the good updates:", db)
+    print("still satisfied?", db.all_constraints_satisfied())
+
+
+if __name__ == "__main__":
+    main()

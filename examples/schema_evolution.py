@@ -1,0 +1,76 @@
+"""Schema evolution: the 'uniform approach' of the paper's title.
+
+Adding a constraint to a live database raises exactly the two questions
+the paper unifies:
+
+* *satisfaction* — does the current database satisfy it? (Section 3
+  machinery);
+* *satisfiability* — if not, is the extended constraint set even
+  compatible, i.e. does any database satisfying everything exist?
+  (Section 4 machinery). If not, no amount of data repair will ever
+  help — the constraint itself must be rejected.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro.datalog.database import DeductiveDatabase
+from repro.integrity.evolution import assess_constraint_addition
+
+SOURCE = """
+% A small project-staffing database.
+employee(ann).
+employee(bob).
+project(apollo).
+assigned(ann, apollo).
+lead(ann, apollo).
+
+involved(X, P) :- assigned(X, P).
+involved(X, P) :- lead(X, P).
+
+forall X, P: assigned(X, P) -> employee(X).
+forall X, P: lead(X, P) -> employee(X).
+forall P: project(P) -> exists X: lead(X, P).
+exists P: project(P).
+"""
+
+CANDIDATES = [
+    # Already satisfied: leads are involved (derivable via the rule).
+    "forall X, P: lead(X, P) -> involved(X, P)",
+    # Violated but repairable: bob has no project yet.
+    "forall X: employee(X) -> exists P: project(P) and involved(X, P)",
+    # Incompatible: projects need leads, leads are involved — a
+    # constraint forbidding involvement contradicts the existing set.
+    "forall X, P: project(P) -> not involved(X, P)",
+]
+
+
+def main() -> None:
+    print(__doc__)
+    db = DeductiveDatabase.from_source(SOURCE)
+    print(db)
+    print("current database consistent?", db.all_constraints_satisfied())
+    print()
+    for text in CANDIDATES:
+        result = assess_constraint_addition(db, text, max_fresh_constants=5)
+        print(f"candidate: {text}")
+        print(f"  verdict: {result.status.upper()}")
+        if result.witnesses:
+            print(f"  violated for {len(result.witnesses)} witness(es)")
+        if result.status == "repairable":
+            model = result.sample_model
+            print(
+                f"  a consistent database exists, e.g. with "
+                f"{len(model)} facts:"
+            )
+            for fact in sorted(model, key=str)[:6]:
+                print(f"    {fact}")
+        if result.status == "incompatible":
+            print(
+                "  the extended constraint set has no finite model: "
+                "reject the constraint"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

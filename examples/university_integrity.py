@@ -1,0 +1,81 @@
+"""The Section 3.2 walk-through: induced updates and update constraints.
+
+Shows the paper's machinery piece by piece on the student/enrolled/
+attends scenario — relevance, simplified instances, potential updates,
+the compiled update constraints, the delta evaluation, and the cost
+difference against the eager baselines.
+
+Run:  python examples/university_integrity.py
+"""
+
+from repro.datalog.database import DeductiveDatabase
+from repro.integrity.checker import IntegrityChecker
+from repro.integrity.delta_eval import DeltaEvaluator
+from repro.logic.parser import parse_literal
+
+SOURCE = """
+attends(jack, ddb).
+
+enrolled(X, cs) :- student(X).
+
+% Ci': every CS-enrolled student attends the ddb course.
+forall X: student(X) -> (not enrolled(X, cs)) or attends(X, ddb).
+"""
+
+
+def main() -> None:
+    db = DeductiveDatabase.from_source(SOURCE)
+    checker = IntegrityChecker(db)
+
+    update = parse_literal("student(jack)")
+    print(f"update: {update}")
+    print()
+
+    # --- compile phase: no fact access -----------------------------------
+    compiled = checker.compile([update])
+    print("potential updates (Definition 5):")
+    for literal in compiled.potential:
+        print(f"  {literal}")
+    print()
+    print("update constraints (Definition 6):")
+    for uc in compiled.update_constraints:
+        print(f"  not delta(U, {uc.trigger}) or new(U, {uc.instance.formula})")
+    print()
+
+    # --- evaluation phase -------------------------------------------------
+    delta = DeltaEvaluator(db, update)
+    print("induced updates (Definition 4):")
+    for literal in delta.induced_updates():
+        print(f"  {literal}")
+    print()
+
+    result = checker.check_bdm(update)
+    print(f"verdict for student(jack): {'OK' if result.ok else 'VIOLATION'}")
+    print(f"  stats: {result.stats}")
+    print()
+
+    # jack attends ddb; joe does not.
+    result = checker.check_bdm(parse_literal("student(joe)"))
+    print(f"verdict for student(joe):  {'OK' if result.ok else 'VIOLATION'}")
+    for violation in result.violations:
+        print(f"  {violation.constraint_id} fails: {violation.instance}"
+              f" (via {violation.trigger})")
+    print()
+
+    # --- method comparison --------------------------------------------------
+    print("method comparison on student(joe):")
+    for method in ("check_full", "check_nicolas", "check_bdm",
+                   "check_interleaved", "check_lloyd"):
+        result = getattr(checker, method)(parse_literal("student(joe)"))
+        print(f"  {method:18s} ok={result.ok!s:5s} stats={result.stats}")
+    print()
+    print("note: check_nicolas (the relational method) judges the update"
+          " safe —")
+    print("the violation lives on the *induced* update enrolled(joe, cs),"
+          " which")
+    print("only the deductive methods see (Proposition 2/3 vs."
+          " Proposition 1).")
+
+
+if __name__ == "__main__":
+    main()

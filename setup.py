@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so the project
+can be installed editably in offline environments whose tooling lacks
+the ``wheel`` package (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

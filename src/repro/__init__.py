@@ -1,0 +1,69 @@
+"""repro — constraint satisfaction and satisfiability in deductive databases.
+
+A from-scratch reproduction of Bry, Decker & Manthey, *A Uniform
+Approach to Constraint Satisfaction and Constraint Satisfiability in
+Deductive Databases* (EDBT 1988).
+
+The two front doors:
+
+>>> from repro import DeductiveDatabase, IntegrityChecker
+>>> db = DeductiveDatabase.from_source('''
+...     leads(ann, sales).
+...     member(X, Y) :- leads(X, Y).
+...     forall X, Y: member(X, Y) -> employee(X).
+... ''')
+>>> db.apply_update("employee(ann)")
+True
+>>> IntegrityChecker(db).check("leads(bob, hr)").ok
+False
+
+>>> from repro import check_satisfiability
+>>> check_satisfiability("exists X: p(X). forall X: not p(X).").status
+'unsatisfiable'
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-claim-by-claim reproduction record.
+"""
+
+from repro.datalog.database import Constraint, DeductiveDatabase
+from repro.datalog.facts import FactStore
+from repro.datalog.incremental import MaintainedModel
+from repro.datalog.program import Program, Rule, StratificationError
+from repro.integrity.checker import CheckResult, IntegrityChecker, Violation
+from repro.integrity.transactions import Transaction
+from repro.logic.normalize import NormalizationError, normalize_constraint
+from repro.logic.parser import ParseError, parse_formula, parse_program
+from repro.logic.safety import SafetyError
+from repro.satisfiability.checker import (
+    SatisfiabilityChecker,
+    SatResult,
+    check_satisfiability,
+)
+from repro.satisfiability.tableaux import TableauxChecker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckResult",
+    "Constraint",
+    "DeductiveDatabase",
+    "FactStore",
+    "IntegrityChecker",
+    "MaintainedModel",
+    "NormalizationError",
+    "ParseError",
+    "Program",
+    "Rule",
+    "SafetyError",
+    "SatResult",
+    "SatisfiabilityChecker",
+    "StratificationError",
+    "TableauxChecker",
+    "Transaction",
+    "Violation",
+    "check_satisfiability",
+    "normalize_constraint",
+    "parse_formula",
+    "parse_program",
+    "__version__",
+]

@@ -1,0 +1,190 @@
+"""Command-line interface: integrity checking and satisfiability from
+the shell.
+
+::
+
+    python -m repro check db.dl --update "p(a)" --update "not q(b)"
+    python -m repro satcheck schema.dl --budget 8 --no-reuse
+    python -m repro query db.dl "forall X: p(X) -> q(X)"
+    python -m repro model db.dl
+
+``check`` exits 0 when the update preserves integrity, 1 otherwise;
+``satcheck`` exits 0 / 1 / 2 for satisfiable / unsatisfiable / unknown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.datalog.database import DeductiveDatabase
+from repro.integrity.checker import IntegrityChecker
+from repro.logic.parser import parse_formula
+from repro.logic.normalize import normalize_constraint
+from repro.satisfiability.checker import SatisfiabilityChecker
+
+_METHODS = ("bdm", "full", "nicolas", "interleaved", "lloyd")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Integrity maintenance and constraint satisfiability for "
+            "deductive databases (Bry, Decker & Manthey, EDBT 1988)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser(
+        "check", help="check whether updates preserve integrity"
+    )
+    check.add_argument("database", help="path to the database source file")
+    check.add_argument(
+        "--update",
+        "-u",
+        action="append",
+        required=True,
+        dest="updates",
+        metavar="LITERAL",
+        help="update literal, e.g. 'p(a)' or 'not q(b)'; repeatable "
+        "(repeats form one transaction)",
+    )
+    check.add_argument(
+        "--method",
+        choices=_METHODS,
+        default="bdm",
+        help="checking method (default: the paper's two-phase method)",
+    )
+    check.add_argument(
+        "--apply",
+        action="store_true",
+        help="apply the updates and print the updated database when the "
+        "check passes",
+    )
+    check.add_argument(
+        "--stats", action="store_true", help="print cost statistics"
+    )
+
+    satcheck = commands.add_parser(
+        "satcheck", help="check finite satisfiability of rules + constraints"
+    )
+    satcheck.add_argument("database", help="path to the schema source file")
+    satcheck.add_argument(
+        "--budget",
+        type=int,
+        default=12,
+        help="fresh-constant budget (iteratively deepened; default 12)",
+    )
+    satcheck.add_argument(
+        "--max-levels", type=int, default=200, help="level-saturation cap"
+    )
+    satcheck.add_argument(
+        "--no-reuse",
+        action="store_true",
+        help="classical tableaux mode: fresh-constant existentials only",
+    )
+    satcheck.add_argument(
+        "--no-deepening",
+        action="store_true",
+        help="single bounded search at the full budget",
+    )
+    satcheck.add_argument(
+        "--trace", action="store_true", help="print the enforcement trace"
+    )
+
+    query = commands.add_parser(
+        "query", help="evaluate a closed formula over the database"
+    )
+    query.add_argument("database", help="path to the database source file")
+    query.add_argument("formula", help="closed formula to evaluate")
+
+    model = commands.add_parser(
+        "model", help="print the canonical model (facts + derived)"
+    )
+    model.add_argument("database", help="path to the database source file")
+
+    return parser
+
+
+def _load_database(path: str) -> DeductiveDatabase:
+    with open(path) as handle:
+        return DeductiveDatabase.from_source(handle.read())
+
+
+def _run_check(args) -> int:
+    db = _load_database(args.database)
+    checker = IntegrityChecker(db)
+    method = getattr(checker, f"check_{args.method}")
+    result = method(list(args.updates))
+    if result.ok:
+        print("OK: all constraints satisfied in the updated database")
+    else:
+        print(f"VIOLATION: {len(result.violations)} constraint instance(s)")
+        for violation in result.violations:
+            via = f"  (via {violation.trigger})" if violation.trigger else ""
+            print(f"  {violation.constraint_id}: {violation.instance}{via}")
+    if args.stats:
+        for key, value in sorted(result.stats.items()):
+            print(f"  # {key}: {value}")
+    if args.apply and result.ok:
+        for update in args.updates:
+            db.apply_update(update)
+        print()
+        print(db.to_source(), end="")
+    return 0 if result.ok else 1
+
+
+def _run_satcheck(args) -> int:
+    with open(args.database) as handle:
+        checker = SatisfiabilityChecker.from_source(
+            handle.read(),
+            existential_reuse=not args.no_reuse,
+            trace=args.trace,
+        )
+    result = checker.check(
+        max_fresh_constants=args.budget,
+        max_levels=args.max_levels,
+        deepening=not args.no_deepening,
+    )
+    print(f"status: {result.status}")
+    if result.model is not None:
+        print(f"finite model ({len(result.model)} facts):")
+        for fact in sorted(result.model, key=str):
+            print(f"  {fact}")
+    if args.trace and result.trace:
+        print("trace:")
+        for line in result.trace:
+            print(f"  {line}")
+    return {"satisfiable": 0, "unsatisfiable": 1}.get(result.status, 2)
+
+
+def _run_query(args) -> int:
+    db = _load_database(args.database)
+    formula = normalize_constraint(parse_formula(args.formula))
+    value = db.engine().evaluate(formula)
+    print("true" if value else "false")
+    return 0 if value else 1
+
+
+def _run_model(args) -> int:
+    db = _load_database(args.database)
+    for fact in sorted(db.canonical_model(), key=str):
+        print(fact)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    runners = {
+        "check": _run_check,
+        "satcheck": _run_satcheck,
+        "query": _run_query,
+        "model": _run_model,
+    }
+    return runners[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

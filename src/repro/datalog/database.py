@@ -1,0 +1,247 @@
+"""The deductive database façade: facts, rules and constraints together.
+
+A :class:`DeductiveDatabase` is the paper's D = (F, R, I). It owns the
+extensional store, the stratified program, the normalized constraint
+set, and hands out query engines over either the current state or a
+simulated updated state (Definition 1 / the overlay construction).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.datalog.facts import FactStore
+from repro.datalog.overlay import OverlayFactStore
+from repro.datalog.program import Program, Rule
+from repro.datalog.query import QueryEngine
+from repro.logic.formulas import Atom, Formula, Literal
+from repro.logic.normalize import normalize_constraint
+from repro.logic.parser import (
+    parse_atom,
+    parse_formula,
+    parse_literal,
+    parse_program,
+    parse_rule,
+)
+from repro.logic.safety import check_constraint_safety, constraint_predicates
+
+
+class Constraint:
+    """A named, normalized integrity constraint."""
+
+    __slots__ = ("id", "formula", "source")
+
+    def __init__(self, id: str, formula: Formula, source: Optional[str] = None):
+        self.id = id
+        self.formula = formula
+        self.source = source
+
+    def predicates(self) -> frozenset:
+        return frozenset(constraint_predicates(self.formula))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constraint)
+            and self.id == other.id
+            and self.formula == other.formula
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.id, self.formula))
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.id}: {self.formula})"
+
+
+class DeductiveDatabase:
+    """Facts F, rules R and integrity constraints I (Section 2)."""
+
+    def __init__(
+        self,
+        facts: Optional[Union[FactStore, OverlayFactStore]] = None,
+        program: Optional[Program] = None,
+        constraints: Sequence[Constraint] = (),
+    ):
+        self.facts = facts if facts is not None else FactStore()
+        self.program = program if program is not None else Program()
+        self.constraints: List[Constraint] = list(constraints)
+        self._constraint_counter = itertools.count(len(self.constraints) + 1)
+        self._version = 0
+        self._engines: Dict[str, QueryEngine] = {}
+        self._engine_version = -1
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def from_source(cls, text: str) -> "DeductiveDatabase":
+        """Build a database from surface syntax (facts, rules and
+        constraints mixed; see :mod:`repro.logic.parser`)."""
+        parsed = parse_program(text)
+        db = cls(
+            facts=FactStore(parsed.facts),
+            program=Program.from_parsed(parsed.rules),
+        )
+        for formula in parsed.constraints:
+            db.add_constraint(formula)
+        return db
+
+    def copy(self) -> "DeductiveDatabase":
+        """An independent copy (facts deep-copied; program and
+        constraints are immutable and shared)."""
+        if isinstance(self.facts, OverlayFactStore):
+            facts = self.facts.copy()
+        else:
+            facts = self.facts.copy()
+        return DeductiveDatabase(facts, self.program, list(self.constraints))
+
+    # -- mutation ----------------------------------------------------------------------
+
+    def add_fact(self, fact: Union[str, Atom]) -> bool:
+        atom = parse_atom(fact) if isinstance(fact, str) else fact
+        self._bump()
+        return self.facts.add(atom)
+
+    def remove_fact(self, fact: Union[str, Atom]) -> bool:
+        atom = parse_atom(fact) if isinstance(fact, str) else fact
+        self._bump()
+        return self.facts.remove(atom)
+
+    def add_rule(self, rule: Union[str, Rule]) -> None:
+        if isinstance(rule, str):
+            rule = Rule.from_parsed(parse_rule(rule))
+        self.program = self.program.extended([rule])
+        self._bump()
+
+    def add_constraint(
+        self,
+        constraint: Union[str, Formula],
+        id: Optional[str] = None,
+    ) -> Constraint:
+        """Normalize, safety-check and register an integrity constraint.
+
+        Accepts surface syntax or a formula; returns the stored
+        :class:`Constraint` (with its assigned identifier).
+        """
+        source = constraint if isinstance(constraint, str) else None
+        formula = (
+            parse_formula(constraint) if isinstance(constraint, str) else constraint
+        )
+        normalized = normalize_constraint(formula)
+        check_constraint_safety(normalized)
+        if id is None:
+            id = f"c{next(self._constraint_counter)}"
+        stored = Constraint(id, normalized, source)
+        self.constraints.append(stored)
+        self._bump()
+        return stored
+
+    def apply_update(self, update: Union[str, Literal]) -> bool:
+        """Apply a single-fact update per Definition 1: a positive
+        literal inserts (no-op if present), a negative literal deletes
+        (no-op if absent). Returns True iff the state changed."""
+        literal = parse_literal(update) if isinstance(update, str) else update
+        if not literal.atom.is_ground():
+            raise ValueError(f"updates must be ground: {literal}")
+        if isinstance(self.facts, OverlayFactStore):
+            raise TypeError("cannot mutate a simulated (overlay) database")
+        self._bump()
+        if literal.positive:
+            return self.facts.add(literal.atom)
+        return self.facts.remove(literal.atom)
+
+    def _bump(self) -> None:
+        self._version += 1
+
+    # -- simulated updates ------------------------------------------------------------------
+
+    def updated(
+        self, updates: Union[str, Literal, Sequence[Literal]]
+    ) -> "DeductiveDatabase":
+        """The simulated updated database U(D) — shares rules and
+        constraints, reads facts through an overlay. Definition 1."""
+        if isinstance(updates, str):
+            updates = [parse_literal(updates)]
+        elif isinstance(updates, Literal):
+            updates = [updates]
+        base = (
+            self.facts.copy()
+            if isinstance(self.facts, OverlayFactStore)
+            else self.facts
+        )
+        overlay = OverlayFactStore.from_updates(base, updates)
+        return DeductiveDatabase(overlay, self.program, list(self.constraints))
+
+    # -- querying ----------------------------------------------------------------------------
+
+    def engine(self, strategy: str = "lazy") -> QueryEngine:
+        """A query engine over the current state. Engines are cached per
+        strategy and invalidated whenever the database mutates."""
+        if self._engine_version != self._version:
+            self._engines.clear()
+            self._engine_version = self._version
+        engine = self._engines.get(strategy)
+        if engine is None:
+            engine = QueryEngine(self.facts, self.program, strategy)
+            self._engines[strategy] = engine
+        return engine
+
+    def holds(self, atom: Union[str, Atom]) -> bool:
+        """Truth of a ground atom in the canonical model."""
+        if isinstance(atom, str):
+            atom = parse_atom(atom)
+        return self.engine().holds(atom)
+
+    def query(self, formula: Union[str, Formula]) -> bool:
+        """Evaluate a closed (restricted-quantification) formula."""
+        if isinstance(formula, str):
+            formula = normalize_constraint(parse_formula(formula))
+        return self.engine().evaluate(formula)
+
+    def canonical_model(self) -> FactStore:
+        """Materialize the full canonical model (EDB plus everything
+        derivable)."""
+        from repro.datalog.bottomup import compute_model
+
+        base = (
+            self.facts.copy()
+            if isinstance(self.facts, OverlayFactStore)
+            else self.facts
+        )
+        return compute_model(base, self.program)
+
+    # -- constraint sweep (the naive baseline) ----------------------------------------------------
+
+    def violated_constraints(
+        self, strategy: str = "model"
+    ) -> List[Constraint]:
+        """Evaluate *every* constraint from scratch — the full check the
+        paper's methods avoid. Kept as the ground-truth baseline."""
+        engine = self.engine(strategy)
+        return [
+            c for c in self.constraints if not engine.evaluate(c.formula)
+        ]
+
+    def all_constraints_satisfied(self, strategy: str = "model") -> bool:
+        return not self.violated_constraints(strategy)
+
+    def constraint_by_id(self, id: str) -> Constraint:
+        for constraint in self.constraints:
+            if constraint.id == id:
+                return constraint
+        raise KeyError(f"no constraint with id {id!r}")
+
+    # -- inspection ---------------------------------------------------------------------------------
+
+    def to_source(self) -> str:
+        """The database as re-parseable surface syntax — the inverse of
+        :meth:`from_source` (modulo constraint normalization)."""
+        from repro.logic.unparse import unparse_database
+
+        return unparse_database(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeductiveDatabase({len(self.facts)} facts, "
+            f"{len(self.program)} rules, {len(self.constraints)} constraints)"
+        )

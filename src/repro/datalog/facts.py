@@ -1,0 +1,151 @@
+"""Indexed storage of ground facts.
+
+The store keeps one set of facts per predicate plus a secondary index on
+every (predicate, argument position, constant) triple, so matching a
+partially instantiated atom costs a hash lookup on its most selective
+bound position rather than a scan — the same access-path idea a
+relational engine's hash index provides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.logic.formulas import Atom
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+from repro.logic.unify import match
+
+
+class FactStore:
+    """A mutable, indexed set of ground atoms."""
+
+    __slots__ = ("_by_pred", "_index")
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        self._by_pred: Dict[str, Set[Atom]] = {}
+        self._index: Dict[Tuple[str, int, Constant], Set[Atom]] = {}
+        for fact in facts:
+            self.add(fact)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add(self, fact: Atom) -> bool:
+        """Insert *fact*; returns True iff it was not already present."""
+        if not fact.is_ground():
+            raise ValueError(f"facts must be ground: {fact}")
+        bucket = self._by_pred.setdefault(fact.pred, set())
+        if fact in bucket:
+            return False
+        bucket.add(fact)
+        for position, arg in enumerate(fact.args):
+            self._index.setdefault((fact.pred, position, arg), set()).add(fact)
+        return True
+
+    def remove(self, fact: Atom) -> bool:
+        """Delete *fact*; returns True iff it was present."""
+        bucket = self._by_pred.get(fact.pred)
+        if bucket is None or fact not in bucket:
+            return False
+        bucket.remove(fact)
+        if not bucket:
+            del self._by_pred[fact.pred]
+        for position, arg in enumerate(fact.args):
+            key = (fact.pred, position, arg)
+            slot = self._index.get(key)
+            if slot is not None:
+                slot.discard(fact)
+                if not slot:
+                    del self._index[key]
+        return True
+
+    def clear(self) -> None:
+        self._by_pred.clear()
+        self._index.clear()
+
+    # -- queries ------------------------------------------------------------------
+
+    def contains(self, fact: Atom) -> bool:
+        bucket = self._by_pred.get(fact.pred)
+        return bucket is not None and fact in bucket
+
+    __contains__ = contains
+
+    def facts(self, pred: str) -> frozenset:
+        """All stored facts of predicate *pred* (frozen snapshot)."""
+        return frozenset(self._by_pred.get(pred, ()))
+
+    def match(self, pattern: Atom) -> Iterator[Atom]:
+        """All stored facts matching *pattern* (which may contain
+        variables, including repeated ones)."""
+        candidates = self._candidates(pattern)
+        if candidates is None:
+            return
+        has_vars = not pattern.is_ground()
+        for fact in candidates:
+            if not has_vars:
+                if fact == pattern:
+                    yield fact
+                continue
+            if match(pattern, fact) is not None:
+                yield fact
+
+    def match_substitutions(self, pattern: Atom) -> Iterator[Substitution]:
+        """Answer substitutions for *pattern* against the store."""
+        candidates = self._candidates(pattern)
+        if candidates is None:
+            return
+        for fact in candidates:
+            subst = match(pattern, fact)
+            if subst is not None:
+                yield subst
+
+    def _candidates(self, pattern: Atom) -> Optional[Iterable[Atom]]:
+        """Choose the cheapest index entry that covers the pattern."""
+        bucket = self._by_pred.get(pattern.pred)
+        if not bucket:
+            return None
+        best: Optional[Set[Atom]] = None
+        for position, arg in enumerate(pattern.args):
+            if isinstance(arg, Variable):
+                continue
+            slot = self._index.get((pattern.pred, position, arg))
+            if slot is None:
+                return None  # a bound position with no entry: no matches
+            if best is None or len(slot) < len(best):
+                best = slot
+        return bucket if best is None else best
+
+    # -- inspection ------------------------------------------------------------------
+
+    def predicates(self) -> frozenset:
+        return frozenset(self._by_pred)
+
+    def count(self, pred: str) -> int:
+        return len(self._by_pred.get(pred, ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_pred.values())
+
+    def __iter__(self) -> Iterator[Atom]:
+        for bucket in self._by_pred.values():
+            yield from bucket
+
+    def copy(self) -> "FactStore":
+        clone = FactStore()
+        for pred, bucket in self._by_pred.items():
+            clone._by_pred[pred] = set(bucket)
+        for key, slot in self._index.items():
+            clone._index[key] = set(slot)
+        return clone
+
+    def constants(self) -> Set[Constant]:
+        """All constants appearing in stored facts — the active domain."""
+        out: Set[Constant] = set()
+        for bucket in self._by_pred.values():
+            for fact in bucket:
+                out.update(a for a in fact.args if isinstance(a, Constant))
+        return out
+
+    def __repr__(self) -> str:
+        return f"FactStore({len(self)} facts, {len(self._by_pred)} predicates)"

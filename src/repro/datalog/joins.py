@@ -1,0 +1,73 @@
+"""Shared body-join machinery for rule evaluation.
+
+Both evaluators (bottom-up semi-naive and top-down tabled) reduce rule
+application to the same operation: enumerate the substitutions that make
+a conjunction of literals true against some fact source. Positive
+literals are solved left to right, propagating bindings; each negative
+literal is tested by closed-world lookup as soon as its variables are
+fully bound (range restriction guarantees this happens before the end).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+from repro.logic.formulas import Atom, Literal
+from repro.logic.substitution import Substitution
+
+# A matcher receives (literal index, instantiated pattern) and yields the
+# substitutions for the pattern's remaining variables.
+Matcher = Callable[[int, Atom], Iterator[Substitution]]
+# A holds-test receives a ground atom and decides its truth.
+HoldsTest = Callable[[Atom], bool]
+
+
+def join_literals(
+    literals: Sequence[Literal],
+    binding: Substitution,
+    matcher: Matcher,
+    holds: HoldsTest,
+) -> Iterator[Substitution]:
+    """Enumerate bindings extending *binding* that satisfy *literals*.
+
+    ``matcher(i, pattern)`` supplies candidate substitutions for the
+    positive literal at position ``i``; ``holds`` decides ground negative
+    subgoals (closed world: the literal succeeds when the atom does
+    *not* hold).
+    """
+    positives: List[Tuple[int, Literal]] = []
+    negatives: List[Literal] = []
+    for index, literal in enumerate(literals):
+        if literal.positive:
+            positives.append((index, literal))
+        else:
+            negatives.append(literal)
+
+    def descend(
+        pos_index: int, current: Substitution, pending: List[Literal]
+    ) -> Iterator[Substitution]:
+        remaining: List[Literal] = []
+        for negative in pending:
+            atom = negative.atom.substitute(current)
+            if atom.is_ground():
+                if holds(atom):
+                    return  # closed-world failure of the negative literal
+            else:
+                remaining.append(negative)
+        if pos_index == len(positives):
+            if remaining:
+                unbound = ", ".join(str(n) for n in remaining)
+                raise ValueError(
+                    f"negative literal(s) not ground at end of join: "
+                    f"{unbound} — rule is not range-restricted"
+                )
+            yield current
+            return
+        index, literal = positives[pos_index]
+        pattern = literal.atom.substitute(current)
+        for extension in matcher(index, pattern):
+            yield from descend(
+                pos_index + 1, current.compose(extension), remaining
+            )
+
+    yield from descend(0, binding, negatives)

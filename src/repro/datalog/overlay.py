@@ -1,0 +1,142 @@
+"""Overlay fact store: the updated state U(D), simulated.
+
+The paper's ``new`` meta-interpreter (Section 3.3.2) answers queries
+*as if* the update had been performed, without touching the stored
+facts. An :class:`OverlayFactStore` is the natural Python realization:
+it wraps a base store together with an added-set and a removed-set and
+exposes the same read interface, so every evaluator in this library
+works over the simulated state unchanged — including recursive rules,
+which is exactly the property the paper claims for its meta-interpreter
+approach.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set
+
+from repro.datalog.facts import FactStore
+from repro.logic.formulas import Atom, Literal
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant
+from repro.logic.unify import match
+
+
+class OverlayFactStore:
+    """A read-only view of ``(base − removed) ∪ added``."""
+
+    __slots__ = ("base", "added", "removed")
+
+    def __init__(
+        self,
+        base: FactStore,
+        added: Iterable[Atom] = (),
+        removed: Iterable[Atom] = (),
+    ):
+        self.base = base
+        self.added: Set[Atom] = set()
+        self.removed: Set[Atom] = set()
+        for atom in added:
+            self._require_ground(atom)
+            self.added.add(atom)
+        for atom in removed:
+            self._require_ground(atom)
+            self.removed.add(atom)
+            self.added.discard(atom)
+        self.added -= self.removed
+
+    @staticmethod
+    def _require_ground(atom: Atom) -> None:
+        if not atom.is_ground():
+            raise ValueError(f"overlay updates must be ground: {atom}")
+
+    @classmethod
+    def from_update(cls, base: FactStore, update: Literal) -> "OverlayFactStore":
+        """The single-fact update view of Definition 1."""
+        if update.positive:
+            return cls(base, added=[update.atom])
+        return cls(base, removed=[update.atom])
+
+    @classmethod
+    def from_updates(
+        cls, base: FactStore, updates: Iterable[Literal]
+    ) -> "OverlayFactStore":
+        """A transaction view: later updates win over earlier ones."""
+        added: Set[Atom] = set()
+        removed: Set[Atom] = set()
+        for update in updates:
+            if update.positive:
+                added.add(update.atom)
+                removed.discard(update.atom)
+            else:
+                removed.add(update.atom)
+                added.discard(update.atom)
+        return cls(base, added=added, removed=removed)
+
+    # -- read interface (mirrors FactStore) ---------------------------------------
+
+    def contains(self, fact: Atom) -> bool:
+        if fact in self.removed:
+            return False
+        if fact in self.added:
+            return True
+        return self.base.contains(fact)
+
+    __contains__ = contains
+
+    def facts(self, pred: str) -> frozenset:
+        out = {f for f in self.base.facts(pred) if f not in self.removed}
+        out.update(f for f in self.added if f.pred == pred)
+        return frozenset(out)
+
+    def match(self, pattern: Atom) -> Iterator[Atom]:
+        for fact in self.base.match(pattern):
+            if fact not in self.removed:
+                yield fact
+        for fact in self.added:
+            if fact.pred == pattern.pred and not self.base.contains(fact):
+                if match(pattern, fact) is not None:
+                    yield fact
+
+    def match_substitutions(self, pattern: Atom) -> Iterator[Substitution]:
+        for fact in self.match(pattern):
+            subst = match(pattern, fact)
+            if subst is not None:
+                yield subst
+
+    def predicates(self) -> frozenset:
+        preds = set(self.base.predicates())
+        preds.update(f.pred for f in self.added)
+        return frozenset(preds)
+
+    def count(self, pred: str) -> int:
+        return len(self.facts(pred))
+
+    def __len__(self) -> int:
+        total = len(self.base)
+        total += sum(1 for f in self.added if not self.base.contains(f))
+        total -= sum(1 for f in self.removed if self.base.contains(f))
+        return total
+
+    def __iter__(self) -> Iterator[Atom]:
+        for fact in self.base:
+            if fact not in self.removed:
+                yield fact
+        for fact in self.added:
+            if not self.base.contains(fact):
+                yield fact
+
+    def copy(self) -> FactStore:
+        """Materialize the overlay into a standalone store."""
+        return FactStore(self)
+
+    def constants(self) -> Set[Constant]:
+        out = self.base.constants()
+        for fact in self.added:
+            out.update(a for a in fact.args if isinstance(a, Constant))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"OverlayFactStore(+{len(self.added)}, -{len(self.removed)} "
+            f"over {self.base!r})"
+        )

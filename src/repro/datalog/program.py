@@ -1,0 +1,278 @@
+"""Rules, programs and stratification.
+
+A :class:`Program` is the paper's rule set R. Rules must be
+range-restricted (Section 2) and the program must be *stratified* in the
+sense of [APT 87] so the canonical interpretation is well defined: no
+recursion through negation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.logic.formulas import Atom, Literal
+from repro.logic.parser import ParsedRule
+from repro.logic.safety import check_rule_range_restricted
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Variable
+
+
+class StratificationError(ValueError):
+    """Raised when a program has recursion through negation."""
+
+
+class Rule:
+    """A deduction rule ``head <- body`` with a range-restricted body."""
+
+    __slots__ = ("head", "body", "_hash")
+
+    def __init__(self, head: Atom, body: Iterable[Literal]):
+        self.head = head
+        self.body = tuple(body)
+        if not self.body:
+            raise ValueError(
+                f"rules must have a non-empty body: {head}. "
+                f"State unconditional facts as facts."
+            )
+        check_rule_range_restricted(head, self.body)
+        self._hash = hash((head, self.body))
+
+    @classmethod
+    def from_parsed(cls, parsed: ParsedRule) -> "Rule":
+        return cls(parsed.head, parsed.body)
+
+    def variables(self) -> Set[Variable]:
+        out = set(self.head.variables())
+        for literal in self.body:
+            out.update(literal.atom.variables())
+        return out
+
+    def positive_body(self) -> Tuple[Literal, ...]:
+        return tuple(l for l in self.body if l.positive)
+
+    def negative_body(self) -> Tuple[Literal, ...]:
+        return tuple(l for l in self.body if not l.positive)
+
+    def body_without(self, index: int) -> Tuple[Literal, ...]:
+        """The body with the literal at *index* removed — the ``B\\L`` of
+        Definitions 4 and 5."""
+        return self.body[:index] + self.body[index + 1:]
+
+    def substitute(self, subst: Substitution) -> "Rule":
+        return Rule(
+            self.head.substitute(subst),
+            tuple(l.substitute(subst) for l in self.body),
+        )
+
+    def rename_apart(self, avoid: Iterable[Variable]) -> "Rule":
+        """A variant of the rule sharing no variables with *avoid*."""
+        avoid_set = set(avoid)
+        clashes = {v for v in self.variables() if v in avoid_set}
+        if not clashes:
+            return self
+        from repro.logic.terms import fresh_variable
+
+        subst = Substitution({v: fresh_variable(v.name) for v in clashes})
+        return self.substitute(subst)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Rule)
+            and self.head == other.head
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Rule({self!s})"
+
+    def __str__(self) -> str:
+        return f"{self.head} :- {', '.join(str(l) for l in self.body)}"
+
+
+class Program:
+    """An immutable collection of rules with stratification metadata."""
+
+    __slots__ = (
+        "rules",
+        "_rules_by_head",
+        "_strata",
+        "_stratum_of",
+        "_recursive_preds",
+    )
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self._rules_by_head: Dict[str, List[Rule]] = {}
+        for rule in self.rules:
+            self._rules_by_head.setdefault(rule.head.pred, []).append(rule)
+        self._stratum_of = self._compute_strata()
+        max_stratum = max(self._stratum_of.values(), default=0)
+        strata: List[List[str]] = [[] for _ in range(max_stratum + 1)]
+        for pred, stratum in sorted(self._stratum_of.items()):
+            strata[stratum].append(pred)
+        self._strata = tuple(tuple(s) for s in strata if s)
+        self._recursive_preds = self._compute_recursive()
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_parsed(cls, parsed_rules: Iterable[ParsedRule]) -> "Program":
+        return cls(Rule.from_parsed(p) for p in parsed_rules)
+
+    def extended(self, extra_rules: Iterable[Rule]) -> "Program":
+        """A new program with *extra_rules* appended (re-stratified)."""
+        return Program(self.rules + tuple(extra_rules))
+
+    # -- lookups ----------------------------------------------------------------------
+
+    def rules_for(self, pred: str) -> Tuple[Rule, ...]:
+        return tuple(self._rules_by_head.get(pred, ()))
+
+    @property
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Predicates defined by at least one rule."""
+        return frozenset(self._rules_by_head)
+
+    def is_idb(self, pred: str) -> bool:
+        return pred in self._rules_by_head
+
+    def body_predicates(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for rule in self.rules:
+            out.update(l.atom.pred for l in rule.body)
+        return frozenset(out)
+
+    def all_predicates(self) -> FrozenSet[str]:
+        return self.idb_predicates | self.body_predicates()
+
+    # -- stratification ------------------------------------------------------------------
+
+    def _compute_strata(self) -> Dict[str, int]:
+        """Assign a stratum to every predicate.
+
+        Standard fixpoint computation: stratum(h) ≥ stratum(b) for a
+        positive body literal b, strictly greater for a negative one.
+        Divergence beyond the predicate count signals recursion through
+        negation.
+        """
+        preds = set(self._rules_by_head)
+        for rule in self.rules:
+            preds.update(l.atom.pred for l in rule.body)
+        stratum = {p: 0 for p in preds}
+        limit = len(preds) + 1
+        for _ in range(limit * limit + 1):
+            changed = False
+            for rule in self.rules:
+                head_pred = rule.head.pred
+                for literal in rule.body:
+                    body_pred = literal.atom.pred
+                    required = stratum[body_pred] + (0 if literal.positive else 1)
+                    if stratum[head_pred] < required:
+                        stratum[head_pred] = required
+                        changed = True
+                        if stratum[head_pred] > limit:
+                            raise StratificationError(
+                                f"program is not stratified: negative "
+                                f"recursion through {head_pred!r}"
+                            )
+            if not changed:
+                return stratum
+        raise StratificationError("program is not stratified")
+
+    def stratum_of(self, pred: str) -> int:
+        return self._stratum_of.get(pred, 0)
+
+    @property
+    def strata(self) -> Tuple[Tuple[str, ...], ...]:
+        """Predicates grouped by stratum, lowest first."""
+        return self._strata
+
+    def rules_by_stratum(self) -> Iterator[Tuple[int, Tuple[Rule, ...]]]:
+        """Yield (stratum index, rules whose head is in that stratum)."""
+        by_stratum: Dict[int, List[Rule]] = {}
+        for rule in self.rules:
+            by_stratum.setdefault(self.stratum_of(rule.head.pred), []).append(
+                rule
+            )
+        for index in sorted(by_stratum):
+            yield index, tuple(by_stratum[index])
+
+    # -- recursion analysis -----------------------------------------------------------------
+
+    def _compute_recursive(self) -> FrozenSet[str]:
+        """Predicates involved in a dependency cycle (Tarjan SCC)."""
+        graph: Dict[str, Set[str]] = {}
+        for rule in self.rules:
+            edges = graph.setdefault(rule.head.pred, set())
+            edges.update(l.atom.pred for l in rule.body)
+        index_counter = itertools.count()
+        indices: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        recursive: Set[str] = set()
+
+        def strongconnect(node: str) -> None:
+            indices[node] = lowlink[node] = next(index_counter)
+            stack.append(node)
+            on_stack.add(node)
+            for succ in graph.get(node, ()):
+                if succ not in indices:
+                    strongconnect(succ)
+                    lowlink[node] = min(lowlink[node], lowlink[succ])
+                elif succ in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[succ])
+            if lowlink[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph.get(node, ()):
+                    recursive.update(component)
+
+        for node in list(graph):
+            if node not in indices:
+                strongconnect(node)
+        return frozenset(recursive)
+
+    @property
+    def recursive_predicates(self) -> FrozenSet[str]:
+        return self._recursive_preds
+
+    def is_recursive(self) -> bool:
+        return bool(self._recursive_preds)
+
+    def reachable_from(self, pred: str) -> FrozenSet[str]:
+        """All predicates *pred* depends on (transitively), including
+        itself — the support set a query of *pred* can touch."""
+        seen: Set[str] = set()
+        frontier = [pred]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for rule in self._rules_by_head.get(current, ()):
+                frontier.extend(l.atom.pred for l in rule.body)
+        return frozenset(seen)
+
+    # -- dunder -------------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Program) and self.rules == other.rules
+
+    def __repr__(self) -> str:
+        return f"Program({len(self.rules)} rules)"

@@ -1,0 +1,160 @@
+"""Top-down, goal-directed evaluation with tabling.
+
+This is the stand-in for the recursion-capable query evaluator the
+paper assumes ([VIEI 87]): queries are solved backward from the goal,
+answers to every subgoal are memoized in *tables* keyed by the subgoal's
+variant class, and recursive programs are handled by iterating the
+whole proof-tree exploration until no table grows (a restart-based
+approximation of OLDT completion — simpler than suspension/resumption
+bookkeeping and adequate for the fact-base sizes a main-memory deductive
+database handles).
+
+Negative subgoals are evaluated against strictly lower strata (the
+program is stratified), via a nested, independently-driven evaluation —
+lower strata can never reach the tables currently in progress, so the
+nested result is already complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.datalog.joins import join_literals
+from repro.datalog.program import Program
+from repro.logic.formulas import Atom
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+from repro.logic.unify import match, mgu
+
+_TableKey = Tuple[str, Tuple[object, ...]]
+
+
+def _variant_key(pattern: Atom) -> _TableKey:
+    """Canonical key identifying the variant class of a subgoal:
+    constants stay, variables are numbered by first occurrence."""
+    numbering: Dict[Variable, int] = {}
+    parts: List[object] = []
+    for arg in pattern.args:
+        if isinstance(arg, Variable):
+            if arg not in numbering:
+                numbering[arg] = len(numbering)
+            parts.append(numbering[arg])
+        else:
+            parts.append(arg)
+    return (pattern.pred, tuple(parts))
+
+
+class TabledEvaluator:
+    """Goal-directed evaluator over a fact source and a program."""
+
+    def __init__(self, facts, program: Program):
+        self.facts = facts
+        self.program = program
+        self._tables: Dict[_TableKey, Set[Atom]] = {}
+        self._complete: Set[_TableKey] = set()
+        self._in_progress: Set[_TableKey] = set()
+        self._changed = False
+
+    # -- public API ---------------------------------------------------------------
+
+    def answers(self, pattern: Atom) -> Iterator[Substitution]:
+        """All answer substitutions for *pattern*."""
+        for fact in self.solve(pattern):
+            subst = match(pattern, fact)
+            if subst is not None:
+                yield subst
+
+    def holds(self, atom: Atom) -> bool:
+        """Truth of a ground atom in the canonical model."""
+        if not atom.is_ground():
+            raise ValueError(f"holds() needs a ground atom: {atom}")
+        return any(True for _ in self.solve(atom))
+
+    def solve(self, pattern: Atom) -> List[Atom]:
+        """All facts matching *pattern* in the canonical model."""
+        if not self.program.is_idb(pattern.pred):
+            return list(self.facts.match(pattern))
+        key = _variant_key(pattern)
+        if key not in self._complete:
+            self._drive(pattern)
+        return [
+            fact
+            for fact in self._tables.get(key, ())
+            if match(pattern, fact) is not None
+        ]
+
+    def invalidate(self) -> None:
+        """Drop all tables (call after the underlying facts change)."""
+        self._tables.clear()
+        self._complete.clear()
+
+    # -- driver ----------------------------------------------------------------------
+
+    def _drive(self, pattern: Atom) -> None:
+        """Restart loop: re-explore the proof tree of *pattern* until no
+        table grows, then mark every table it touched complete."""
+        saved_state = (self._in_progress, self._changed)
+        touched: Set[_TableKey] = set()
+        while True:
+            self._in_progress = set()
+            self._changed = False
+            self._evaluate_goal(pattern, touched)
+            if not self._changed:
+                break
+        self._complete.update(touched)
+        self._in_progress, self._changed = saved_state
+
+    def _evaluate_goal(self, pattern: Atom, touched: Set[_TableKey]) -> Set[Atom]:
+        key = _variant_key(pattern)
+        table = self._tables.setdefault(key, set())
+        if key in self._complete or key in self._in_progress:
+            return table
+        touched.add(key)
+        self._in_progress.add(key)
+        # Extensional contribution (a predicate may have facts and rules).
+        for fact in self.facts.match(pattern):
+            if fact not in table:
+                table.add(fact)
+                self._changed = True
+        for rule in self.program.rules_for(pattern.pred):
+            renamed = rule.rename_apart(pattern.variables())
+            unifier = mgu(renamed.head, pattern)
+            if unifier is None:
+                continue
+
+            def matcher(index: int, subpattern: Atom):
+                yield from self._match_subgoal(subpattern, touched)
+
+            for binding in join_literals(
+                renamed.body, unifier, matcher, self._negation_holds
+            ):
+                fact = renamed.head.substitute(binding)
+                if fact.is_ground() and fact not in table:
+                    table.add(fact)
+                    self._changed = True
+        self._in_progress.discard(key)
+        return table
+
+    def _match_subgoal(
+        self, pattern: Atom, touched: Set[_TableKey]
+    ) -> Iterator[Substitution]:
+        if not self.program.is_idb(pattern.pred):
+            yield from self.facts.match_substitutions(pattern)
+            return
+        answers = self._evaluate_goal(pattern, touched)
+        for fact in list(answers):  # snapshot: table may grow while consumed
+            subst = match(pattern, fact)
+            if subst is not None:
+                yield subst
+
+    def _negation_holds(self, atom: Atom) -> bool:
+        """Closed-world test for a negative subgoal. Safe because the
+        atom's predicate lies in a strictly lower stratum, whose
+        evaluation cannot reach any in-progress table."""
+        if not self.program.is_idb(atom.pred):
+            return self.facts.contains(atom)
+        key = _variant_key(atom)
+        if key in self._complete:
+            return atom in self._tables.get(key, ())
+        self._drive(atom)
+        return atom in self._tables.get(key, ())

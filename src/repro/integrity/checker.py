@@ -1,0 +1,539 @@
+"""The integrity checking methods — the paper's and every baseline.
+
+All methods answer the same question: *given that D satisfies its
+constraints, does U(D)?* They differ in how much work they do:
+
+``check_full``
+    Re-evaluate every constraint over U(D). Ground truth and the
+    baseline every optimization is measured against.
+
+``check_nicolas``
+    [NICO 79] / Proposition 1: evaluate only the simplified instances of
+    constraints relevant to the *explicit* updates. Complete for
+    relational databases (no rules); in deductive databases it misses
+    violations reached through induced updates — kept both as the
+    relational method (E1) and as an ablation demonstrating why
+    Proposition 2 is needed.
+
+``check_bdm``  (alias ``check``)
+    The paper's two-phase method (Proposition 3): compile potential
+    updates and update constraints without fact access, then evaluate
+    ``¬delta(U, Lτ) ∨ new(U, s(C))`` with the goal-directed delta.
+
+``check_interleaved``
+    [DECK 86] / [KOWA 87] style (Proposition 2 applied naively): compute
+    *all* induced updates eagerly, and for each one evaluate the
+    simplified instances of relevant constraints. Same verdicts; pays
+    for induced updates no constraint cares about (Section 3.2).
+
+``check_lloyd``
+    [LLOY 86] style: update constraints guarded by ``new`` instead of
+    ``delta`` — for a positive trigger the guard enumerates *all* facts
+    of the trigger pattern true in U(D), not just the changed ones; for
+    a negative trigger the guard degenerates to re-evaluating the parent
+    constraint over U(D) (which is exactly what ¬new(¬L) ∨ s(C) amounts
+    to after universal closure).
+
+Every result carries a ``stats`` dict (atom lookups, instances
+evaluated, induced updates computed) so the benchmarks can report the
+cost model the paper argues about, not just wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.datalog.database import Constraint, DeductiveDatabase
+from repro.integrity.delta_eval import DeltaEvaluator
+from repro.integrity.dependencies import DependencyIndex
+from repro.integrity.instances import simplified_instances
+from repro.integrity.new_eval import NewEvaluator
+from repro.integrity.relevance import RelevanceIndex
+from repro.integrity.transactions import Transaction, net_effect
+from repro.integrity.update_constraints import (
+    CompiledCheck,
+    compile_update_constraints,
+)
+from repro.logic.formulas import Formula, Literal
+from repro.logic.parser import parse_literal
+from repro.logic.substitution import Substitution
+
+UpdateInput = Union[str, Literal, Transaction, Sequence[Union[str, Literal]]]
+
+
+class Violation:
+    """One violated constraint instance."""
+
+    __slots__ = ("constraint_id", "instance", "trigger")
+
+    def __init__(
+        self,
+        constraint_id: str,
+        instance: Formula,
+        trigger: Optional[Literal] = None,
+    ):
+        self.constraint_id = constraint_id
+        self.instance = instance
+        self.trigger = trigger
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Violation)
+            and self.constraint_id == other.constraint_id
+            and self.instance == other.instance
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.constraint_id, self.instance))
+
+    def __repr__(self) -> str:
+        via = f" via {self.trigger}" if self.trigger is not None else ""
+        return f"Violation({self.constraint_id}: {self.instance}{via})"
+
+
+class CheckResult:
+    """Outcome of an integrity check plus its cost accounting."""
+
+    __slots__ = ("ok", "violations", "stats", "method")
+
+    def __init__(
+        self,
+        violations: List[Violation],
+        stats: Dict[str, int],
+        method: str,
+    ):
+        self.ok = not violations
+        self.violations = violations
+        self.stats = stats
+        self.method = method
+
+    def violated_constraint_ids(self) -> Set[str]:
+        return {v.constraint_id for v in self.violations}
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"CheckResult({self.method}: {status}, stats={self.stats})"
+
+
+def _normalize_updates(updates: UpdateInput) -> List[Literal]:
+    if isinstance(updates, str):
+        updates = [parse_literal(updates)]
+    elif isinstance(updates, Literal):
+        updates = [updates]
+    elif isinstance(updates, Transaction):
+        updates = list(updates)
+    else:
+        updates = [
+            parse_literal(u) if isinstance(u, str) else u for u in updates
+        ]
+    for update in updates:
+        if not update.atom.is_ground():
+            raise ValueError(f"updates must be ground: {update}")
+    return net_effect(updates)
+
+
+class IntegrityChecker:
+    """Integrity maintenance front-end over a deductive database.
+
+    The checker assumes (as all the propositions do) that the database
+    currently satisfies its constraints; each ``check_*`` method decides
+    whether the *updated* database still would, without applying the
+    update.
+    """
+
+    def __init__(self, database: DeductiveDatabase, strategy: str = "lazy"):
+        self.database = database
+        self.strategy = strategy
+        # Fact-independent structures, shared across checks.
+        self.dependency_index = DependencyIndex(database.program)
+        self.relevance = RelevanceIndex(database.constraints)
+
+    # -- the paper's method ------------------------------------------------------------
+
+    def check(self, updates: UpdateInput) -> CheckResult:
+        """Alias for :meth:`check_bdm` — the paper's method."""
+        return self.check_bdm(updates)
+
+    def check_bdm(
+        self, updates: UpdateInput, share_evaluation: bool = True
+    ) -> CheckResult:
+        """Proposition 3: evaluate the compiled update constraints.
+
+        With ``share_evaluation=False`` every residual instance is
+        evaluated against a fresh engine, losing all common-subquery
+        sharing — the per-instance mode Section 3.2 criticizes (used by
+        the E4 benchmark as the degraded comparator).
+        """
+        updates = _normalize_updates(updates)
+        compiled = self.compile(updates)
+        stats: Dict[str, int] = {
+            "potential_updates": len(compiled.potential),
+            "update_constraints": len(compiled.update_constraints),
+            "induced_updates": 0,
+            "instances_evaluated": 0,
+            "lookups": 0,
+        }
+        if not compiled.update_constraints:
+            # No constraint can be affected: zero fact access.
+            return CheckResult([], stats, "bdm")
+        demanded = compiled.demanded_signatures()
+        closure = self.dependency_index.backward_closure(demanded)
+        delta = DeltaEvaluator(
+            self.database,
+            updates,
+            index=self.dependency_index,
+            restrict_to=closure,
+            strategy=self.strategy,
+        )
+        fresh_engine = (
+            None
+            if share_evaluation
+            else lambda: self.database.updated(updates).engine(self.strategy)
+        )
+        return self._evaluate_update_constraints(
+            compiled, delta, stats, "bdm", fresh_engine
+        )
+
+    def _evaluate_update_constraints(
+        self,
+        compiled: CompiledCheck,
+        delta: DeltaEvaluator,
+        stats: Dict[str, int],
+        method: str,
+        fresh_engine=None,
+    ) -> CheckResult:
+        """The evaluation phase shared by fact- and rule-update checks:
+        confront the compiled update constraints with the delta answers.
+        ``fresh_engine``, when given, builds a new engine per residual
+        instance (the no-sharing mode of the E4 benchmark)."""
+        shared_engine = delta.new_engine
+        violations: List[Violation] = []
+        checked: Set[Formula] = set()
+        for update_constraint in compiled.update_constraints:
+            for binding in delta.answers(update_constraint.trigger):
+                instance = update_constraint.instance.instantiate(binding)
+                if instance in checked:
+                    continue
+                checked.add(instance)
+                engine = shared_engine if fresh_engine is None else fresh_engine()
+                satisfied = engine.evaluate(instance)
+                if fresh_engine is not None:
+                    stats["lookups"] += engine.lookup_count
+                if not satisfied:
+                    violations.append(
+                        Violation(
+                            update_constraint.constraint_id,
+                            instance,
+                            update_constraint.trigger.substitute(binding),
+                        )
+                    )
+        stats["induced_updates"] = len(delta.induced_updates())
+        stats["instances_evaluated"] = len(checked)
+        stats["lookups"] += delta.lookup_count
+        return CheckResult(violations, stats, method)
+
+    def compile(self, updates: UpdateInput) -> CompiledCheck:
+        """The fact-independent compile phase, exposed for precompilation
+        of update patterns and for the benchmarks."""
+        if not isinstance(updates, list):
+            updates = _normalize_updates(updates)
+        return compile_update_constraints(
+            self.database.program,
+            self.database.constraints,
+            updates,
+            relevance=self.relevance,
+            index=self.dependency_index,
+        )
+
+    # -- baselines -----------------------------------------------------------------------
+
+    def check_full(self, updates: UpdateInput) -> CheckResult:
+        """Evaluate every constraint over U(D) from scratch."""
+        updates = _normalize_updates(updates)
+        view = self.database.updated(updates)
+        engine = view.engine("model")
+        violations = [
+            Violation(c.id, c.formula)
+            for c in self.database.constraints
+            if not engine.evaluate(c.formula)
+        ]
+        stats = {
+            "constraints_evaluated": len(self.database.constraints),
+            "instances_evaluated": len(self.database.constraints),
+            "lookups": engine.lookup_count,
+        }
+        return CheckResult(violations, stats, "full")
+
+    def check_nicolas(self, updates: UpdateInput) -> CheckResult:
+        """Proposition 1 — the relational method: simplified instances
+        of constraints relevant to the explicit updates only. Complete
+        iff no deduction rule connects the updates to the constraints."""
+        updates = _normalize_updates(updates)
+        new_eval = NewEvaluator(self.database, updates, self.strategy)
+        violations: List[Violation] = []
+        checked: Set[Formula] = set()
+        for update in updates:
+            for constraint in self.relevance.relevant_constraints(update):
+                for instance in simplified_instances(constraint, update):
+                    if instance.formula in checked:
+                        continue
+                    checked.add(instance.formula)
+                    if not new_eval.evaluate(instance.formula):
+                        violations.append(
+                            Violation(
+                                constraint.id,
+                                instance.formula,
+                                instance.trigger,
+                            )
+                        )
+        stats = {
+            "instances_evaluated": len(checked),
+            "lookups": new_eval.lookup_count,
+        }
+        return CheckResult(violations, stats, "nicolas")
+
+    def check_interleaved(self, updates: UpdateInput) -> CheckResult:
+        """[DECK 86]/[KOWA 87] style: eagerly compute *all* induced
+        updates, checking relevant simplified instances as each ground
+        induced update surfaces."""
+        updates = _normalize_updates(updates)
+        delta = DeltaEvaluator(
+            self.database,
+            updates,
+            index=self.dependency_index,
+            restrict_to=None,  # the whole point: no goal direction
+            strategy=self.strategy,
+        )
+        engine = delta.new_engine
+        violations: List[Violation] = []
+        checked: Set[Formula] = set()
+        induced = delta.induced_updates()
+        for literal in induced:
+            for constraint in self.relevance.relevant_constraints(literal):
+                for instance in simplified_instances(constraint, literal):
+                    if instance.formula in checked:
+                        continue
+                    checked.add(instance.formula)
+                    if not engine.evaluate(instance.formula):
+                        violations.append(
+                            Violation(
+                                constraint.id,
+                                instance.formula,
+                                instance.trigger,
+                            )
+                        )
+        stats = {
+            "induced_updates": len(induced),
+            "candidates_examined": delta.candidates_examined,
+            "instances_evaluated": len(checked),
+            "lookups": delta.lookup_count,
+        }
+        return CheckResult(violations, stats, "interleaved")
+
+    def check_lloyd(self, updates: UpdateInput) -> CheckResult:
+        """[LLOY 86] style: the same compiled update constraints, but
+        guarded by ``new`` instead of ``delta``."""
+        updates = _normalize_updates(updates)
+        compiled = self.compile(updates)
+        stats: Dict[str, int] = {
+            "potential_updates": len(compiled.potential),
+            "update_constraints": len(compiled.update_constraints),
+            "instances_evaluated": 0,
+            "guard_answers": 0,
+            "lookups": 0,
+        }
+        if not compiled.update_constraints:
+            return CheckResult([], stats, "lloyd")
+        new_eval = NewEvaluator(self.database, updates, self.strategy)
+        engine = new_eval.engine
+        violations: List[Violation] = []
+        checked: Set[Formula] = set()
+        rechecked_constraints: Set[str] = set()
+        for update_constraint in compiled.update_constraints:
+            trigger = update_constraint.trigger
+            if trigger.positive:
+                # Guard new(U, Lτ): every instance true in U(D), changed
+                # or not — the enumeration Section 3.3.3 calls out as the
+                # considerable loss.
+                for binding in engine.match_atom(trigger.atom):
+                    stats["guard_answers"] += 1
+                    instance = update_constraint.instance.instantiate(binding)
+                    if instance in checked:
+                        continue
+                    checked.add(instance)
+                    if not engine.evaluate(instance):
+                        violations.append(
+                            Violation(
+                                update_constraint.constraint_id,
+                                instance,
+                                trigger.substitute(binding),
+                            )
+                        )
+            else:
+                # ¬new(U, ¬Lτ) ∨ new(U, s(C)) closed universally is
+                # equivalent to re-evaluating the parent constraint.
+                constraint = update_constraint.instance.constraint
+                if constraint.id in rechecked_constraints:
+                    continue
+                rechecked_constraints.add(constraint.id)
+                checked.add(constraint.formula)
+                if not engine.evaluate(constraint.formula):
+                    violations.append(
+                        Violation(constraint.id, constraint.formula)
+                    )
+        stats["instances_evaluated"] = len(checked)
+        stats["lookups"] = engine.lookup_count
+        return CheckResult(violations, stats, "lloyd")
+
+    # -- rule updates (Section 3.2: "treated like conditional updates") -----------------
+
+    def check_rule_addition(self, rule) -> CheckResult:
+        """Would adding *rule* keep the constraints satisfied?
+
+        The rule's new derivations are the seed induced updates: head
+        instances derivable through the rule in the extended database
+        but false today. They propagate through the extended program's
+        dependency graph exactly like fact-update deltas.
+        """
+        rule = self._coerce_rule(rule)
+        new_program = self.database.program.extended([rule])
+        new_db = DeductiveDatabase(
+            self.database.facts, new_program, list(self.database.constraints)
+        )
+        index = DependencyIndex(new_program)
+        head_pattern = Literal(rule.head, True)
+        compiled = compile_update_constraints(
+            new_program,
+            self.database.constraints,
+            [head_pattern],
+            relevance=self.relevance,
+            index=index,
+        )
+        stats: Dict[str, int] = {
+            "potential_updates": len(compiled.potential),
+            "update_constraints": len(compiled.update_constraints),
+            "induced_updates": 0,
+            "instances_evaluated": 0,
+            "lookups": 0,
+        }
+        if not compiled.update_constraints:
+            return CheckResult([], stats, "rule-addition")
+        seeds = self._rule_seeds(
+            rule,
+            body_state=new_db.engine(self.strategy),
+            inserted=True,
+        )
+        closure = index.backward_closure(compiled.demanded_signatures())
+        delta = DeltaEvaluator(
+            self.database,
+            [],
+            index=index,
+            restrict_to=closure,
+            strategy=self.strategy,
+            new_database=new_db,
+            seeds=seeds,
+        )
+        return self._evaluate_update_constraints(
+            compiled, delta, stats, "rule-addition"
+        )
+
+    def check_rule_removal(self, rule) -> CheckResult:
+        """Would removing *rule* keep the constraints satisfied?
+
+        Seeds are the head instances that lose their (only) derivation:
+        derivable through the removed rule today, underivable in the
+        reduced database.
+        """
+        rule = self._coerce_rule(rule)
+        remaining = [r for r in self.database.program.rules if r != rule]
+        if len(remaining) == len(self.database.program.rules):
+            raise ValueError(f"rule not present: {rule}")
+        from repro.datalog.program import Program
+
+        new_program = Program(remaining)
+        new_db = DeductiveDatabase(
+            self.database.facts, new_program, list(self.database.constraints)
+        )
+        index = DependencyIndex(new_program)
+        head_pattern = Literal(rule.head, False)
+        compiled = compile_update_constraints(
+            new_program,
+            self.database.constraints,
+            [head_pattern],
+            relevance=self.relevance,
+            index=index,
+        )
+        stats: Dict[str, int] = {
+            "potential_updates": len(compiled.potential),
+            "update_constraints": len(compiled.update_constraints),
+            "induced_updates": 0,
+            "instances_evaluated": 0,
+            "lookups": 0,
+        }
+        if not compiled.update_constraints:
+            return CheckResult([], stats, "rule-removal")
+        new_engine = new_db.engine(self.strategy)
+        candidates = self._rule_seeds(
+            rule,
+            body_state=self.database.engine(self.strategy),
+            inserted=False,
+        )
+        # Only heads no longer derivable anywhere actually change.
+        seeds = [
+            literal
+            for literal in candidates
+            if not new_engine.holds(literal.atom)
+        ]
+        closure = index.backward_closure(compiled.demanded_signatures())
+        delta = DeltaEvaluator(
+            self.database,
+            [],
+            index=index,
+            restrict_to=closure,
+            strategy=self.strategy,
+            new_database=new_db,
+            seeds=seeds,
+        )
+        return self._evaluate_update_constraints(
+            compiled, delta, stats, "rule-removal"
+        )
+
+    def _coerce_rule(self, rule):
+        from repro.datalog.program import Rule
+        from repro.logic.parser import parse_rule
+
+        if isinstance(rule, str):
+            return Rule.from_parsed(parse_rule(rule))
+        return rule
+
+    def _rule_seeds(self, rule, body_state, inserted: bool) -> List[Literal]:
+        """Ground head instances the rule derives in *body_state* whose
+        truth actually changes (false today for additions; true today
+        for removals)."""
+        from repro.datalog.joins import join_literals
+        from repro.logic.substitution import Substitution
+
+        old_engine = self.database.engine(self.strategy)
+
+        def matcher(index: int, pattern):
+            return body_state.match_atom(pattern)
+
+        seeds: List[Literal] = []
+        seen = set()
+        for answer in join_literals(
+            rule.body, Substitution.empty(), matcher, body_state.holds
+        ):
+            head = rule.head.substitute(answer)
+            if head in seen:
+                continue
+            seen.add(head)
+            if inserted:
+                if not old_engine.holds(head):
+                    seeds.append(Literal(head, True))
+            else:
+                if old_engine.holds(head):
+                    seeds.append(Literal(head, False))
+        return seeds

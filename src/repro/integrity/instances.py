@@ -1,0 +1,263 @@
+"""Simplified constraint instances (Definition 3) — the [NICO 79] core.
+
+Given a constraint C relevant to an update U through a literal
+occurrence L:
+
+1. σ = mgu(L, complement(U));
+2. τ = σ restricted to the *top-universal* variables of C — those bound
+   by a universal quantifier not governed by (nested inside) an
+   existential one;
+3. the simplified instance is Cτ with quantifiers dropped for grounded
+   variables, the occurrence Lτ replaced by ``false`` when it equals the
+   complement of U, and absorption applied.
+
+Evaluating the simplified instances of all constraints relevant to U
+over U(D) suffices to decide integrity (Proposition 1 for relational
+databases; Propositions 2/3 extend this through induced updates).
+
+Updates here may be *patterns* (non-ground literals): the compile phase
+(Definition 6) calls this module with potential updates, producing
+instances whose free variables are shared with the trigger literal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.datalog.database import Constraint
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Literal,
+    Or,
+    TrueFormula,
+    walk_literals,
+)
+from repro.logic.normalize import simplify
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Variable, fresh_variable
+from repro.logic.unify import mgu
+from repro.logic.formulas import walk_literals as _walk
+
+
+class SimplifiedInstance:
+    """A simplified instance of a constraint w.r.t. an update (pattern).
+
+    ``formula``  — the instance; its free variables (if any) are bound by
+                   matching a ground induced update against ``trigger``.
+    ``trigger``  — the update literal after unification (``Lτ``'s
+                   complement-side, i.e. the update the instance guards).
+    ``tau``      — the defining substitution of Definition 3.
+    """
+
+    __slots__ = ("constraint", "formula", "trigger", "tau")
+
+    def __init__(
+        self,
+        constraint: Constraint,
+        formula: Formula,
+        trigger: Literal,
+        tau: Substitution,
+    ):
+        self.constraint = constraint
+        self.formula = formula
+        self.trigger = trigger
+        self.tau = tau
+
+    def instantiate(self, binding: Substitution) -> Formula:
+        """The ground instance selected by a delta/new answer binding."""
+        return self.formula.substitute(binding)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SimplifiedInstance)
+            and self.constraint.id == other.constraint.id
+            and self.formula == other.formula
+            and self.trigger == other.trigger
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.constraint.id, self.formula, self.trigger))
+
+    def __repr__(self) -> str:
+        return (
+            f"SimplifiedInstance({self.constraint.id}: {self.formula} "
+            f"[on {self.trigger}])"
+        )
+
+
+def top_universal_variables(formula: Formula) -> Set[Variable]:
+    """Variables bound by universal quantifiers *not governed by* an
+    existential quantifier (miniscope form makes governance coincide
+    with syntactic nesting — Section 2)."""
+    out: Set[Variable] = set()
+    _collect_top_universals(formula, out)
+    return out
+
+
+def _collect_top_universals(formula: Formula, out: Set[Variable]) -> None:
+    if isinstance(formula, Forall):
+        out.update(formula.variables_tuple)
+        _collect_top_universals(formula.matrix, out)
+    elif isinstance(formula, (And, Or)):
+        for child in formula.children:
+            _collect_top_universals(child, out)
+    # Exists: stop — universals below are governed.
+
+
+def _rename_formula_apart(
+    formula: Formula, avoid: Set[Variable]
+) -> Formula:
+    clashes = formula.variables() & avoid
+    if not clashes:
+        return formula
+    renaming = Substitution({v: fresh_variable(v.name) for v in clashes})
+    return _rename_all(formula, renaming)
+
+
+def _rename_all(formula: Formula, renaming: Substitution) -> Formula:
+    """Apply a variable renaming to *all* occurrences, bound and free."""
+    if isinstance(formula, Literal):
+        return formula.substitute(renaming)
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, (And, Or)):
+        return type(formula)(_rename_all(c, renaming) for c in formula.children)
+    if isinstance(formula, (Exists, Forall)):
+        new_vars = [
+            renaming.apply_term(v) for v in formula.variables_tuple
+        ]
+        new_restriction = (
+            None
+            if formula.restriction is None
+            else tuple(a.substitute(renaming) for a in formula.restriction)
+        )
+        return type(formula)(
+            new_vars, new_restriction, _rename_all(formula.matrix, renaming)
+        )
+    raise ValueError(f"unexpected node: {formula!r}")
+
+
+def _instantiate(formula: Formula, tau: Substitution) -> Formula:
+    """Apply the defining substitution, *dropping* quantifiers for the
+    variables it binds (Definition 3, step b, first bullet)."""
+    if isinstance(formula, Literal):
+        return formula.substitute(tau)
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, (And, Or)):
+        return type(formula).make(
+            [_instantiate(c, tau) for c in formula.children]
+        )
+    if isinstance(formula, Exists):
+        # Existential variables are never in tau's domain (they are not
+        # top-universal); only the free occurrences inside change.
+        restriction = tuple(a.substitute(tau) for a in formula.restriction)
+        return Exists(
+            formula.variables_tuple, restriction, _instantiate(formula.matrix, tau)
+        )
+    if isinstance(formula, Forall):
+        remaining = [v for v in formula.variables_tuple if v not in tau]
+        restriction = tuple(a.substitute(tau) for a in formula.restriction)
+        matrix = _instantiate(formula.matrix, tau)
+        if remaining:
+            return Forall(remaining, restriction, matrix)
+        # All variables grounded: unfold the restricted-universal reading
+        # ¬A₁ ∨ … ∨ ¬Aₘ ∨ Q.
+        negated = [Literal(a, False) for a in restriction]
+        return Or.make(negated + [matrix])
+    raise ValueError(f"unexpected node: {formula!r}")
+
+
+def _replace_false(formula: Formula, falsified: Literal) -> Formula:
+    """Replace occurrences of *falsified* (a literal known false in
+    U(D)) by ``false`` (Definition 3, step b, second bullet)."""
+    if isinstance(formula, Literal):
+        return FALSE if formula == falsified else formula
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, (And, Or)):
+        return type(formula).make(
+            [_replace_false(c, falsified) for c in formula.children]
+        )
+    if isinstance(formula, Exists):
+        # A restriction atom occurs positively: if it is the falsified
+        # literal, the whole existential instance is false.
+        if falsified.positive and falsified.atom in formula.restriction:
+            return FALSE
+        return Exists(
+            formula.variables_tuple,
+            formula.restriction,
+            _replace_false(formula.matrix, falsified),
+        )
+    if isinstance(formula, Forall):
+        # A restriction atom occurs negatively (¬A in the unfolded
+        # disjunction). Removing it is sound only if the remaining atoms
+        # still cover the quantified variables.
+        if not falsified.positive and falsified.atom in formula.restriction:
+            remaining = tuple(
+                a for a in formula.restriction if a != falsified.atom
+            )
+            covered: Set[Variable] = set()
+            for atom in remaining:
+                covered.update(atom.variables())
+            if remaining and all(
+                v in covered for v in formula.variables_tuple
+            ):
+                return Forall(
+                    formula.variables_tuple,
+                    remaining,
+                    _replace_false(formula.matrix, falsified),
+                )
+        return Forall(
+            formula.variables_tuple,
+            formula.restriction,
+            _replace_false(formula.matrix, falsified),
+        )
+    raise ValueError(f"unexpected node: {formula!r}")
+
+
+def simplified_instances(
+    constraint: Constraint, update: Literal
+) -> List[SimplifiedInstance]:
+    """All simplified instances of *constraint* w.r.t. *update*
+    (Definition 3). One instance per unifiable literal occurrence;
+    duplicates and trivially-true instances are dropped.
+
+    *update* may be a pattern (non-ground); the returned instances then
+    carry free variables shared with their ``trigger``.
+    """
+    formula = _rename_formula_apart(
+        constraint.formula, update.atom.variables()
+    )
+    complement = update.complement()
+    top_universals = top_universal_variables(formula)
+    results: List[SimplifiedInstance] = []
+    seen = set()
+    for occurrence in walk_literals(formula):
+        if occurrence.positive != complement.positive:
+            continue
+        sigma = mgu(occurrence, complement)
+        if sigma is None:
+            continue
+        tau = sigma.restrict(top_universals)
+        instance = _instantiate(formula, tau)
+        falsified = complement.substitute(sigma)
+        instance = simplify(_replace_false(instance, falsified))
+        if instance == TRUE:
+            continue  # trivially satisfied — nothing to evaluate
+        trigger = update.substitute(sigma)
+        key = (instance, trigger)
+        if key in seen:
+            continue
+        seen.add(key)
+        results.append(
+            SimplifiedInstance(constraint, instance, trigger, tau)
+        )
+    return results

@@ -1,0 +1,73 @@
+"""Constraint relevance (Definition 2).
+
+A constraint C is *relevant* to an update U iff the complement of U is
+unifiable with a literal occurrence in C. Only relevant constraints can
+change truth value under U (this is where domain independence pays off:
+constraints not mentioning the updated relation keep their value).
+
+The :class:`RelevanceIndex` is the Python counterpart of the paper's
+precomputed ``relevant(Id, L)`` facts: occurrences are indexed by
+(predicate, polarity) so the relevant pairs for an update are found
+without scanning the whole constraint set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.datalog.database import Constraint
+from repro.logic.formulas import Literal, walk_literals
+from repro.logic.unify import unifiable
+
+
+class RelevanceIndex:
+    """Index from (predicate, polarity) to constraint literal occurrences."""
+
+    __slots__ = ("_by_signature", "constraints")
+
+    def __init__(self, constraints: Sequence[Constraint]):
+        self.constraints = tuple(constraints)
+        self._by_signature: Dict[
+            Tuple[str, bool], List[Tuple[Constraint, Literal]]
+        ] = {}
+        for constraint in self.constraints:
+            seen = set()
+            for occurrence in walk_literals(constraint.formula):
+                key = (occurrence.atom.pred, occurrence.positive)
+                entry = (constraint, occurrence)
+                if (constraint.id, occurrence) in seen:
+                    continue  # identical occurrences yield identical instances
+                seen.add((constraint.id, occurrence))
+                self._by_signature.setdefault(key, []).append(entry)
+
+    def relevant(
+        self, update: Literal
+    ) -> Iterator[Tuple[Constraint, Literal]]:
+        """Yield (constraint, literal occurrence) pairs relevant to
+        *update* — occurrences unifiable with the update's complement."""
+        complement = update.complement()
+        key = (complement.atom.pred, complement.positive)
+        for constraint, occurrence in self._by_signature.get(key, ()):
+            if unifiable(occurrence, complement):
+                yield constraint, occurrence
+
+    def relevant_constraints(self, update: Literal) -> List[Constraint]:
+        """The distinct constraints relevant to *update*."""
+        seen = set()
+        out: List[Constraint] = []
+        for constraint, _ in self.relevant(update):
+            if constraint.id not in seen:
+                seen.add(constraint.id)
+                out.append(constraint)
+        return out
+
+    def signatures(self) -> frozenset:
+        """All (predicate, polarity) keys any constraint mentions."""
+        return frozenset(self._by_signature)
+
+
+def relevant_constraints(
+    constraints: Sequence[Constraint], update: Literal
+) -> List[Constraint]:
+    """One-shot convenience wrapper around :class:`RelevanceIndex`."""
+    return RelevanceIndex(constraints).relevant_constraints(update)

@@ -1,0 +1,58 @@
+"""Transactions: multi-fact updates ([BRY 87] extension, Section 3.2).
+
+A transaction is a sequence of single-fact updates applied atomically.
+Definition 1 applies literal by literal, so the observable effect is the
+*net* effect: a later update on the same fact overrides an earlier one.
+All checker methods normalize transactions through :func:`net_effect`
+before compiling or evaluating anything, which keeps the delta base
+cases consistent with the overlay the ``new`` evaluator sees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.logic.formulas import Atom, Literal
+from repro.logic.parser import parse_literal
+
+
+def net_effect(updates: Iterable[Literal]) -> List[Literal]:
+    """The net single-fact updates of a sequence: per atom, the last
+    update wins; insert-then-delete (and vice versa) collapse."""
+    last: Dict[Atom, Literal] = {}
+    order: List[Atom] = []
+    for update in updates:
+        if update.atom not in last:
+            order.append(update.atom)
+        last[update.atom] = update
+    return [last[atom] for atom in order]
+
+
+class Transaction:
+    """An ordered multi-fact update with convenience parsing."""
+
+    __slots__ = ("updates",)
+
+    def __init__(self, updates: Sequence[Union[str, Literal]]):
+        parsed: List[Literal] = []
+        for update in updates:
+            literal = (
+                parse_literal(update) if isinstance(update, str) else update
+            )
+            if not literal.atom.is_ground():
+                raise ValueError(f"transaction updates must be ground: {literal}")
+            parsed.append(literal)
+        self.updates = tuple(parsed)
+
+    def net(self) -> List[Literal]:
+        return net_effect(self.updates)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(u) for u in self.updates)
+        return f"Transaction([{inner}])"

@@ -1,0 +1,116 @@
+"""First-order logic substrate: terms, unification, formulas, parsing.
+
+This subpackage provides the function-free first-order language of the
+paper's Section 2: terms are constants and variables only, atoms are
+predicates applied to terms, and integrity constraints are closed
+formulas in *restricted quantification* form.
+
+The public surface re-exported here is what the rest of the library (and
+downstream users) should import.
+"""
+
+from repro.logic.terms import (
+    Constant,
+    Term,
+    Variable,
+    fresh_variable,
+    is_ground_term,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.unify import (
+    match,
+    mgu,
+    rename_apart,
+    subsumes,
+    unifiable,
+    variant,
+)
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Literal,
+    Not,
+    Or,
+    TrueFormula,
+    conjuncts,
+    disjuncts,
+)
+from repro.logic.parser import (
+    ParseError,
+    parse_atom,
+    parse_constraint,
+    parse_fact,
+    parse_formula,
+    parse_literal,
+    parse_program,
+    parse_query,
+    parse_rule,
+)
+from repro.logic.normalize import (
+    NormalizationError,
+    distribute_or_over_and,
+    miniscope,
+    normalize_constraint,
+    rectify,
+    to_nnf,
+)
+from repro.logic.safety import (
+    SafetyError,
+    check_constraint_safety,
+    check_rule_range_restricted,
+    is_domain_independent,
+)
+
+__all__ = [
+    "And",
+    "Atom",
+    "Constant",
+    "Exists",
+    "FalseFormula",
+    "Forall",
+    "Formula",
+    "Iff",
+    "Implies",
+    "Literal",
+    "NormalizationError",
+    "Not",
+    "Or",
+    "ParseError",
+    "SafetyError",
+    "Substitution",
+    "Term",
+    "TrueFormula",
+    "Variable",
+    "check_constraint_safety",
+    "check_rule_range_restricted",
+    "conjuncts",
+    "disjuncts",
+    "distribute_or_over_and",
+    "fresh_variable",
+    "is_domain_independent",
+    "is_ground_term",
+    "match",
+    "mgu",
+    "miniscope",
+    "normalize_constraint",
+    "parse_atom",
+    "parse_constraint",
+    "parse_fact",
+    "parse_formula",
+    "parse_literal",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "rectify",
+    "rename_apart",
+    "subsumes",
+    "to_nnf",
+    "unifiable",
+    "variant",
+]

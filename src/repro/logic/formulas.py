@@ -1,0 +1,602 @@
+"""Formula representation: atoms, literals, and first-order formulas.
+
+The AST has two layers of generality:
+
+* *Input layer* — what the parser produces: arbitrary combinations of
+  ``Not``, ``And``, ``Or``, ``Implies``, ``Iff`` and quantifiers whose
+  bodies are any formula. This is how users naturally write constraints.
+
+* *Normalized layer* — what the paper's algorithms consume (Section 2):
+  rectified, negation normal form, miniscoped, ∨ distributed over ∧,
+  and every quantifier in *restricted* form, i.e. ``Exists(vars, R, Q)``
+  / ``Forall(vars, R, Q)`` where ``R`` is a conjunction of positive
+  atoms covering all the quantified variables (the *range* or
+  *restriction*) and ``Q`` is the remaining matrix.
+
+The same node classes serve both layers: the quantifier classes carry
+an explicit ``restriction`` slot which is ``None`` on the input layer
+and a non-empty tuple of atoms after normalization.
+
+All nodes are immutable and hashable, so simplified constraint
+instances can be deduplicated with ``set`` — the moral equivalent of
+the paper's Prolog ``setof``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Set, Tuple
+
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Term, Variable
+
+
+class Formula:
+    """Abstract base of all formula nodes."""
+
+    __slots__ = ()
+
+    def variables(self) -> Set[Variable]:
+        """All variables occurring in the formula (bound or free)."""
+        out: Set[Variable] = set()
+        self._collect_variables(out)
+        return out
+
+    def free_variables(self) -> Set[Variable]:
+        out: Set[Variable] = set()
+        self._collect_free(out, frozenset())
+        return out
+
+    def is_closed(self) -> bool:
+        return not self.free_variables()
+
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+    # Subclasses implement these three.
+    def _collect_variables(self, out: Set[Variable]) -> None:
+        raise NotImplementedError
+
+    def _collect_free(self, out: Set[Variable], bound: frozenset) -> None:
+        raise NotImplementedError
+
+    def substitute(self, subst: Substitution) -> "Formula":
+        """Apply *subst* to free occurrences.
+
+        Normalized constraints are rectified, so capture cannot occur;
+        quantifier nodes still guard against binding their own variables
+        as a safety net.
+        """
+        raise NotImplementedError
+
+
+class Atom(Formula):
+    """A predicate applied to terms, e.g. ``member(X, b)``."""
+
+    __slots__ = ("pred", "args", "_hash")
+
+    def __init__(self, pred: str, args: Iterable[Term] = ()):
+        self.pred = pred
+        self.args = tuple(args)
+        self._hash = hash(("atom", pred, self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        return (self.pred, len(self.args))
+
+    def _collect_variables(self, out: Set[Variable]) -> None:
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                out.add(arg)
+
+    def _collect_free(self, out: Set[Variable], bound: frozenset) -> None:
+        for arg in self.args:
+            if isinstance(arg, Variable) and arg not in bound:
+                out.add(arg)
+
+    def substitute(self, subst: Substitution) -> "Atom":
+        if not subst:
+            return self
+        return Atom(self.pred, subst.apply_terms(self.args))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self._hash == other._hash
+            and self.pred == other.pred
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Atom({self!s})"
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.pred
+        return f"{self.pred}({', '.join(str(a) for a in self.args)})"
+
+
+class Literal(Formula):
+    """A positive or negative atom.
+
+    Literals double as *single-fact updates* (Section 3): a positive
+    literal denotes an insertion, a negative one a deletion.
+    """
+
+    __slots__ = ("atom", "positive", "_hash")
+
+    def __init__(self, atom: Atom, positive: bool = True):
+        self.atom = atom
+        self.positive = positive
+        self._hash = hash(("lit", atom, positive))
+
+    @property
+    def pred(self) -> str:
+        return self.atom.pred
+
+    @property
+    def args(self) -> Tuple[Term, ...]:
+        return self.atom.args
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        return self.atom.signature
+
+    def complement(self) -> "Literal":
+        """The complementary literal (Definition 2 uses this to decide
+        relevance of a constraint to an update)."""
+        return Literal(self.atom, not self.positive)
+
+    def _collect_variables(self, out: Set[Variable]) -> None:
+        self.atom._collect_variables(out)
+
+    def _collect_free(self, out: Set[Variable], bound: frozenset) -> None:
+        self.atom._collect_free(out, bound)
+
+    def substitute(self, subst: Substitution) -> "Literal":
+        if not subst:
+            return self
+        return Literal(self.atom.substitute(subst), self.positive)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self._hash == other._hash
+            and self.positive == other.positive
+            and self.atom == other.atom
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Literal({self!s})"
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"
+
+
+class TrueFormula(Formula):
+    """The constant ⊤."""
+
+    __slots__ = ()
+
+    def _collect_variables(self, out: Set[Variable]) -> None:
+        pass
+
+    def _collect_free(self, out: Set[Variable], bound: frozenset) -> None:
+        pass
+
+    def substitute(self, subst: Substitution) -> "TrueFormula":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TrueFormula)
+
+    def __hash__(self) -> int:
+        return hash("true")
+
+    def __repr__(self) -> str:
+        return "TrueFormula()"
+
+    def __str__(self) -> str:
+        return "true"
+
+
+class FalseFormula(Formula):
+    """The constant ⊥."""
+
+    __slots__ = ()
+
+    def _collect_variables(self, out: Set[Variable]) -> None:
+        pass
+
+    def _collect_free(self, out: Set[Variable], bound: frozenset) -> None:
+        pass
+
+    def substitute(self, subst: Substitution) -> "FalseFormula":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FalseFormula)
+
+    def __hash__(self) -> int:
+        return hash("false")
+
+    def __repr__(self) -> str:
+        return "FalseFormula()"
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+class _NaryConnective(Formula):
+    """Shared implementation of ``And`` / ``Or``."""
+
+    __slots__ = ("children", "_hash")
+
+    _symbol = "?"
+    _tag = "?"
+
+    def __init__(self, children: Iterable[Formula]):
+        self.children = tuple(children)
+        if len(self.children) < 2:
+            raise ValueError(
+                f"{type(self).__name__} needs at least two children; "
+                f"use Formula directly or the make() helper"
+            )
+        self._hash = hash((self._tag, self.children))
+
+    @classmethod
+    def make(cls, children: Sequence[Formula]) -> Formula:
+        """Smart constructor: flattens nesting and handles 0/1 children."""
+        flat: list = []
+        for child in children:
+            if isinstance(child, cls):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            return TRUE if cls is And else FALSE
+        if len(flat) == 1:
+            return flat[0]
+        return cls(flat)
+
+    def _collect_variables(self, out: Set[Variable]) -> None:
+        for child in self.children:
+            child._collect_variables(out)
+
+    def _collect_free(self, out: Set[Variable], bound: frozenset) -> None:
+        for child in self.children:
+            child._collect_free(out, bound)
+
+    def substitute(self, subst: Substitution) -> Formula:
+        if not subst:
+            return self
+        return type(self)(child.substitute(subst) for child in self.children)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and self._hash == other._hash
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({', '.join(map(repr, self.children))})"
+
+    def __str__(self) -> str:
+        sym = f" {self._symbol} "
+        return "(" + sym.join(str(c) for c in self.children) + ")"
+
+
+class And(_NaryConnective):
+    """N-ary conjunction."""
+
+    __slots__ = ()
+    _symbol = "and"
+    _tag = "and"
+
+
+class Or(_NaryConnective):
+    """N-ary disjunction."""
+
+    __slots__ = ()
+    _symbol = "or"
+    _tag = "or"
+
+
+class Not(Formula):
+    """Negation of an arbitrary formula (input layer only; after NNF the
+    only negations left are inside :class:`Literal`)."""
+
+    __slots__ = ("child", "_hash")
+
+    def __init__(self, child: Formula):
+        self.child = child
+        self._hash = hash(("not", child))
+
+    def _collect_variables(self, out: Set[Variable]) -> None:
+        self.child._collect_variables(out)
+
+    def _collect_free(self, out: Set[Variable], bound: frozenset) -> None:
+        self.child._collect_free(out, bound)
+
+    def substitute(self, subst: Substitution) -> "Not":
+        if not subst:
+            return self
+        return Not(self.child.substitute(subst))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"
+
+    def __str__(self) -> str:
+        return f"not {self.child}"
+
+
+class Implies(Formula):
+    """Implication (input layer; eliminated by normalization)."""
+
+    __slots__ = ("antecedent", "consequent", "_hash")
+
+    def __init__(self, antecedent: Formula, consequent: Formula):
+        self.antecedent = antecedent
+        self.consequent = consequent
+        self._hash = hash(("implies", antecedent, consequent))
+
+    def _collect_variables(self, out: Set[Variable]) -> None:
+        self.antecedent._collect_variables(out)
+        self.consequent._collect_variables(out)
+
+    def _collect_free(self, out: Set[Variable], bound: frozenset) -> None:
+        self.antecedent._collect_free(out, bound)
+        self.consequent._collect_free(out, bound)
+
+    def substitute(self, subst: Substitution) -> "Implies":
+        if not subst:
+            return self
+        return Implies(
+            self.antecedent.substitute(subst), self.consequent.substitute(subst)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Implies)
+            and self.antecedent == other.antecedent
+            and self.consequent == other.consequent
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Implies({self.antecedent!r}, {self.consequent!r})"
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} -> {self.consequent})"
+
+
+class Iff(Formula):
+    """Equivalence (input layer; eliminated by normalization)."""
+
+    __slots__ = ("left", "right", "_hash")
+
+    def __init__(self, left: Formula, right: Formula):
+        self.left = left
+        self.right = right
+        self._hash = hash(("iff", left, right))
+
+    def _collect_variables(self, out: Set[Variable]) -> None:
+        self.left._collect_variables(out)
+        self.right._collect_variables(out)
+
+    def _collect_free(self, out: Set[Variable], bound: frozenset) -> None:
+        self.left._collect_free(out, bound)
+        self.right._collect_free(out, bound)
+
+    def substitute(self, subst: Substitution) -> "Iff":
+        if not subst:
+            return self
+        return Iff(self.left.substitute(subst), self.right.substitute(subst))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Iff)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Iff({self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left} <-> {self.right})"
+
+
+class _Quantifier(Formula):
+    """Shared implementation of ``Exists`` / ``Forall``.
+
+    ``restriction`` is ``None`` before normalization. Afterwards it is a
+    non-empty tuple of positive :class:`Atom` such that every quantified
+    variable occurs in at least one restriction atom — the Section 2
+    well-formedness condition that buys domain independence.
+    """
+
+    __slots__ = ("variables_tuple", "restriction", "matrix", "_hash")
+
+    _tag = "?"
+    _name = "?"
+
+    def __init__(
+        self,
+        variables: Iterable[Variable],
+        restriction: Optional[Iterable[Atom]],
+        matrix: Formula,
+    ):
+        self.variables_tuple = tuple(variables)
+        if not self.variables_tuple:
+            raise ValueError("quantifier must bind at least one variable")
+        if len(set(self.variables_tuple)) != len(self.variables_tuple):
+            raise ValueError("quantifier binds a variable twice")
+        self.restriction = None if restriction is None else tuple(restriction)
+        if self.restriction is not None and not self.restriction:
+            raise ValueError("restriction, when present, must be non-empty")
+        self.matrix = matrix
+        self._hash = hash(
+            (self._tag, self.variables_tuple, self.restriction, self.matrix)
+        )
+
+    @property
+    def is_restricted(self) -> bool:
+        return self.restriction is not None
+
+    def restriction_conjunction(self) -> Formula:
+        """The restriction as a formula (``And`` of positive atoms)."""
+        if self.restriction is None:
+            raise ValueError("quantifier has no restriction")
+        return And.make([Literal(a) for a in self.restriction])
+
+    def _collect_variables(self, out: Set[Variable]) -> None:
+        out.update(self.variables_tuple)
+        if self.restriction:
+            for atom in self.restriction:
+                atom._collect_variables(out)
+        self.matrix._collect_variables(out)
+
+    def _collect_free(self, out: Set[Variable], bound: frozenset) -> None:
+        inner_bound = bound | frozenset(self.variables_tuple)
+        if self.restriction:
+            for atom in self.restriction:
+                atom._collect_free(out, inner_bound)
+        self.matrix._collect_free(out, inner_bound)
+
+    def substitute(self, subst: Substitution) -> Formula:
+        if not subst:
+            return self
+        shielded = subst.without(self.variables_tuple)
+        if not shielded:
+            return self
+        new_restriction = (
+            None
+            if self.restriction is None
+            else tuple(a.substitute(shielded) for a in self.restriction)
+        )
+        return type(self)(
+            self.variables_tuple, new_restriction, self.matrix.substitute(shielded)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and self._hash == other._hash
+            and self.variables_tuple == other.variables_tuple
+            and self.restriction == other.restriction
+            and self.matrix == other.matrix
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({list(self.variables_tuple)!r}, "
+            f"{self.restriction!r}, {self.matrix!r})"
+        )
+
+    def __str__(self) -> str:
+        var_list = ", ".join(v.name for v in self.variables_tuple)
+        if self.restriction is None:
+            return f"{self._name} [{var_list}]: {self.matrix}"
+        restr = " and ".join(str(a) for a in self.restriction)
+        return f"{self._name}([{var_list}], {restr}, {self.matrix})"
+
+
+class Exists(_Quantifier):
+    """Existential quantifier; restricted form is
+    ``∃ X̄ [A₁ ∧ … ∧ Aₘ ∧ Q]``."""
+
+    __slots__ = ()
+    _tag = "exists"
+    _name = "exists"
+
+
+class Forall(_Quantifier):
+    """Universal quantifier; restricted form is
+    ``∀ X̄ [¬A₁ ∨ … ∨ ¬Aₘ ∨ Q]``."""
+
+    __slots__ = ()
+    _tag = "forall"
+    _name = "forall"
+
+
+def conjuncts(formula: Formula) -> Tuple[Formula, ...]:
+    """The top-level conjuncts of a formula (itself, if not an And)."""
+    if isinstance(formula, And):
+        return formula.children
+    return (formula,)
+
+
+def disjuncts(formula: Formula) -> Tuple[Formula, ...]:
+    """The top-level disjuncts of a formula (itself, if not an Or)."""
+    if isinstance(formula, Or):
+        return formula.children
+    return (formula,)
+
+
+def walk_literals(formula: Formula) -> Iterator[Literal]:
+    """Yield every literal occurrence in a normalized (NNF) formula.
+
+    Restriction atoms of quantifiers are yielded as literals with the
+    polarity they carry in the unfolded reading: positive under
+    ``Exists``, negative under ``Forall`` (since the restricted-universal
+    reading is ``¬A₁ ∨ … ∨ Q``).
+    """
+    if isinstance(formula, Literal):
+        yield formula
+    elif isinstance(formula, Atom):
+        yield Literal(formula)
+    elif isinstance(formula, (And, Or)):
+        for child in formula.children:
+            yield from walk_literals(child)
+    elif isinstance(formula, Exists):
+        if formula.restriction:
+            for atom in formula.restriction:
+                yield Literal(atom, True)
+        yield from walk_literals(formula.matrix)
+    elif isinstance(formula, Forall):
+        if formula.restriction:
+            for atom in formula.restriction:
+                yield Literal(atom, False)
+        yield from walk_literals(formula.matrix)
+    elif isinstance(formula, (TrueFormula, FalseFormula)):
+        return
+    elif isinstance(formula, Not):
+        # NNF guarantees Not only wraps atoms.
+        if isinstance(formula.child, Atom):
+            yield Literal(formula.child, False)
+        else:
+            raise ValueError(f"walk_literals requires NNF, got {formula!r}")
+    else:
+        raise ValueError(f"walk_literals: unexpected node {formula!r}")

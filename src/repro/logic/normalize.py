@@ -1,0 +1,477 @@
+"""Normalization of constraints into the paper's Section 2 normal form.
+
+The pipeline, in order:
+
+1. eliminate ``Implies`` / ``Iff``;
+2. negation normal form (negations pushed onto atoms, quantifiers
+   flipped);
+3. rectification (no two quantifiers introduce the same variable);
+4. miniscoping (quantifier scopes reduced as much as possible,
+   one variable at a time) interleaved with distribution of ∨ over ∧
+   until a fixpoint — distribution can enable further miniscoping;
+5. conversion of every quantifier into *restricted* form:
+   ``∃X̄ [A₁∧…∧Aₘ ∧ Q]`` / ``∀X̄ [¬A₁∨…∨¬Aₘ ∨ Q]`` with every bound
+   variable occurring in some restriction atom ``Aᵢ``.
+
+A formula that cannot be brought into restricted form (e.g.
+``forall X: p(X)`` or ``exists X: not p(X)``) is *domain dependent*;
+``normalize_constraint`` raises :class:`NormalizationError` for it,
+which is exactly the class of constraints the paper excludes for
+efficiency reasons (Section 3, discussion of [KUHN 67]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Literal,
+    Not,
+    Or,
+    TrueFormula,
+    conjuncts,
+    disjuncts,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Variable
+
+
+class NormalizationError(ValueError):
+    """Raised when a constraint cannot be normalized — in practice, when
+    it is not expressible with restricted quantification (domain
+    dependent)."""
+
+
+# -- stage 1+2: connective elimination and NNF -------------------------------------
+
+
+def _eliminate(formula: Formula) -> Formula:
+    """Rewrite ``Implies`` and ``Iff`` in terms of ∧, ∨, ¬."""
+    if isinstance(formula, (Literal, Atom, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_eliminate(formula.child))
+    if isinstance(formula, And):
+        return And.make([_eliminate(c) for c in formula.children])
+    if isinstance(formula, Or):
+        return Or.make([_eliminate(c) for c in formula.children])
+    if isinstance(formula, Implies):
+        return Or.make(
+            [Not(_eliminate(formula.antecedent)), _eliminate(formula.consequent)]
+        )
+    if isinstance(formula, Iff):
+        left = _eliminate(formula.left)
+        right = _eliminate(formula.right)
+        return And.make(
+            [Or.make([Not(left), right]), Or.make([Not(right), left])]
+        )
+    if isinstance(formula, (Exists, Forall)):
+        if formula.restriction is not None:
+            # Already-restricted input (e.g. a previously normalized
+            # constraint): unfold to the plain reading and re-normalize —
+            # ∃X̄[R ∧ Q]  /  ∀X̄[¬R ∨ Q] — making normalization total.
+            restriction_literals = [Literal(a) for a in formula.restriction]
+            if isinstance(formula, Exists):
+                matrix = And.make(
+                    restriction_literals + [_eliminate(formula.matrix)]
+                )
+            else:
+                matrix = Or.make(
+                    [l.complement() for l in restriction_literals]
+                    + [_eliminate(formula.matrix)]
+                )
+            return type(formula)(formula.variables_tuple, None, matrix)
+        return type(formula)(
+            formula.variables_tuple, None, _eliminate(formula.matrix)
+        )
+    raise NormalizationError(f"unexpected node {formula!r}")
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form. Accepts output of :func:`_eliminate` (and
+    tolerates remaining Implies/Iff by eliminating them on the fly)."""
+    formula = _eliminate(formula)
+    return _nnf(formula, positive=True)
+
+
+def _nnf(formula: Formula, positive: bool) -> Formula:
+    if isinstance(formula, Atom):
+        formula = Literal(formula)
+    if isinstance(formula, Literal):
+        return formula if positive else formula.complement()
+    if isinstance(formula, TrueFormula):
+        return TRUE if positive else FALSE
+    if isinstance(formula, FalseFormula):
+        return FALSE if positive else TRUE
+    if isinstance(formula, Not):
+        return _nnf(formula.child, not positive)
+    if isinstance(formula, And):
+        children = [_nnf(c, positive) for c in formula.children]
+        return And.make(children) if positive else Or.make(children)
+    if isinstance(formula, Or):
+        children = [_nnf(c, positive) for c in formula.children]
+        return Or.make(children) if positive else And.make(children)
+    if isinstance(formula, Exists):
+        cls = Exists if positive else Forall
+        return cls(formula.variables_tuple, None, _nnf(formula.matrix, positive))
+    if isinstance(formula, Forall):
+        cls = Forall if positive else Exists
+        return cls(formula.variables_tuple, None, _nnf(formula.matrix, positive))
+    raise NormalizationError(f"unexpected node in NNF: {formula!r}")
+
+
+# -- stage 3: rectification ----------------------------------------------------------
+
+
+def rectify(formula: Formula) -> Formula:
+    """Rename bound variables so that no two quantifiers introduce the
+    same variable and no bound variable shadows a free one.
+
+    Renaming is deterministic: the first occurrence of a name keeps it;
+    later conflicting occurrences get ``name_2``, ``name_3``, …
+    """
+    used: Set[str] = {v.name for v in formula.free_variables()}
+    counters: Dict[str, int] = {}
+
+    def pick(name: str) -> str:
+        if name not in used:
+            used.add(name)
+            return name
+        k = counters.get(name, 1)
+        while True:
+            k += 1
+            candidate = f"{name}_{k}"
+            if candidate not in used:
+                counters[name] = k
+                used.add(candidate)
+                return candidate
+
+    def walk(node: Formula, env: Dict[Variable, Variable]) -> Formula:
+        if isinstance(node, (Literal, Atom)):
+            subst = Substitution(
+                {v: env[v] for v in node.variables() if v in env}
+            )
+            return node.substitute(subst)
+        if isinstance(node, (TrueFormula, FalseFormula)):
+            return node
+        if isinstance(node, Not):
+            return Not(walk(node.child, env))
+        if isinstance(node, (And, Or)):
+            return type(node)(walk(c, env) for c in node.children)
+        if isinstance(node, (Exists, Forall)):
+            new_env = dict(env)
+            new_vars: List[Variable] = []
+            for var in node.variables_tuple:
+                renamed = Variable(pick(var.name))
+                new_env[var] = renamed
+                new_vars.append(renamed)
+            if node.restriction is not None:
+                new_restriction = tuple(
+                    walk(a, new_env) for a in node.restriction
+                )
+            else:
+                new_restriction = None
+            return type(node)(
+                new_vars, new_restriction, walk(node.matrix, new_env)
+            )
+        raise NormalizationError(f"unexpected node in rectify: {node!r}")
+
+    return walk(formula, {})
+
+
+# -- stage 4a: miniscoping ------------------------------------------------------------
+
+
+def miniscope(formula: Formula) -> Formula:
+    """Push quantifiers inward as far as possible (NNF input).
+
+    Quantifier blocks are split one variable at a time, then each
+    single-variable quantifier is pushed through its own connective
+    (∀ through ∧, ∃ through ∨) and into the unique child mentioning the
+    variable when the connective is the other one. Vacuous quantifiers
+    are dropped.
+    """
+    if isinstance(formula, (Literal, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Atom):
+        return Literal(formula)
+    if isinstance(formula, (And, Or)):
+        return type(formula).make([miniscope(c) for c in formula.children])
+    if isinstance(formula, (Exists, Forall)):
+        body = miniscope(formula.matrix)
+        # One variable at a time, innermost variable first so that the
+        # source order of the block is preserved in the output nesting.
+        for var in reversed(formula.variables_tuple):
+            body = _push_one(type(formula), var, body)
+        return body
+    raise NormalizationError(f"unexpected node in miniscope: {formula!r}")
+
+
+def _push_one(cls, var: Variable, body: Formula) -> Formula:
+    """Push a single-variable quantifier ``cls var`` into *body*."""
+    if var not in body.free_variables():
+        return body  # vacuous
+    matching = And if cls is Forall else Or
+    other = Or if cls is Forall else And
+    if isinstance(body, matching):
+        # ∀ distributes over ∧, ∃ over ∨: push into every child.
+        return matching.make([_push_one(cls, var, c) for c in body.children])
+    if isinstance(body, other):
+        with_var = [c for c in body.children if var in c.free_variables()]
+        without = [c for c in body.children if var not in c.free_variables()]
+        if len(with_var) == 1 and without:
+            pushed = _push_one(cls, var, with_var[0])
+            return other.make(without + [pushed])
+        return cls([var], None, body)
+    return cls([var], None, body)
+
+
+# -- stage 4b: distribution of ∨ over ∧ ----------------------------------------------
+
+
+def distribute_or_over_and(formula: Formula) -> Formula:
+    """Distribute every disjunction over conjunctions below it, leaving
+    quantifier boundaries intact (the paper distributes within the
+    quantifier-free matrix of each scope)."""
+    if isinstance(formula, (Literal, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Atom):
+        return Literal(formula)
+    if isinstance(formula, (Exists, Forall)):
+        return type(formula)(
+            formula.variables_tuple,
+            formula.restriction,
+            distribute_or_over_and(formula.matrix),
+        )
+    if isinstance(formula, And):
+        return And.make([distribute_or_over_and(c) for c in formula.children])
+    if isinstance(formula, Or):
+        children = [distribute_or_over_and(c) for c in formula.children]
+        # Find a conjunctive child to distribute over.
+        for index, child in enumerate(children):
+            if isinstance(child, And):
+                rest = children[:index] + children[index + 1:]
+                distributed = And.make(
+                    [
+                        distribute_or_over_and(Or.make(rest + [part]))
+                        for part in child.children
+                    ]
+                )
+                return distributed
+        return Or.make(children)
+    raise NormalizationError(f"unexpected node in distribute: {formula!r}")
+
+
+# -- simplification -------------------------------------------------------------------
+
+
+def simplify(formula: Formula) -> Formula:
+    """Boolean simplification: absorb ``true``/``false``, drop duplicate
+    juncts, collapse degenerate connectives."""
+    if isinstance(formula, Atom):
+        return Literal(formula)
+    if isinstance(formula, (Literal, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, (And, Or)):
+        is_and = isinstance(formula, And)
+        absorbing = FALSE if is_and else TRUE
+        neutral = TRUE if is_and else FALSE
+        seen = []
+        for child in formula.children:
+            child = simplify(child)
+            if child == absorbing:
+                return absorbing
+            if child == neutral:
+                continue
+            if isinstance(child, type(formula)):
+                for grandchild in child.children:
+                    if grandchild not in seen:
+                        seen.append(grandchild)
+            elif child not in seen:
+                seen.append(child)
+        return type(formula).make(seen)
+    if isinstance(formula, (Exists, Forall)):
+        matrix = simplify(formula.matrix)
+        if formula.restriction is None:
+            if matrix == TRUE:
+                return TRUE
+            if matrix == FALSE:
+                return FALSE
+        return type(formula)(formula.variables_tuple, formula.restriction, matrix)
+    raise NormalizationError(f"unexpected node in simplify: {formula!r}")
+
+
+# -- stage 5: restricted quantification ------------------------------------------------
+
+
+def _merge_nested(formula: Formula) -> Formula:
+    """Merge directly nested unrestricted quantifiers of the same kind:
+    ``∀X ∀Y φ`` becomes ``∀[X,Y] φ`` so coverage can be established by a
+    single restriction."""
+    if isinstance(formula, (Literal, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, (And, Or)):
+        return type(formula).make([_merge_nested(c) for c in formula.children])
+    if isinstance(formula, (Exists, Forall)):
+        variables = list(formula.variables_tuple)
+        matrix = formula.matrix
+        while (
+            type(matrix) is type(formula)
+            and matrix.restriction is None
+            and formula.restriction is None
+        ):
+            variables.extend(matrix.variables_tuple)
+            matrix = matrix.matrix
+        return type(formula)(
+            variables, formula.restriction, _merge_nested(matrix)
+        )
+    raise NormalizationError(f"unexpected node in merge: {formula!r}")
+
+
+def _to_restricted(formula: Formula) -> Formula:
+    """Convert every (unrestricted) quantifier to restricted form,
+    bottom-up. Raises :class:`NormalizationError` when some bound
+    variable cannot be covered by restriction atoms."""
+    if isinstance(formula, (Literal, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, (And, Or)):
+        return type(formula).make([_to_restricted(c) for c in formula.children])
+    if isinstance(formula, Exists):
+        if formula.restriction is not None:
+            return Exists(
+                formula.variables_tuple,
+                formula.restriction,
+                _to_restricted(formula.matrix),
+            )
+        parts = conjuncts(formula.matrix)
+        restriction = [
+            p.atom for p in parts if isinstance(p, Literal) and p.positive
+        ]
+        remainder = [
+            p for p in parts if not (isinstance(p, Literal) and p.positive)
+        ]
+        if not _covers(formula.variables_tuple, restriction):
+            hoisted = _hoist(Exists, formula.variables_tuple, parts, And)
+            if hoisted is not None:
+                return _to_restricted(hoisted)
+        _check_coverage(formula, formula.variables_tuple, restriction)
+        matrix = _to_restricted(And.make(remainder)) if remainder else TRUE
+        return Exists(formula.variables_tuple, restriction, matrix)
+    if isinstance(formula, Forall):
+        if formula.restriction is not None:
+            return Forall(
+                formula.variables_tuple,
+                formula.restriction,
+                _to_restricted(formula.matrix),
+            )
+        parts = disjuncts(formula.matrix)
+        restriction = [
+            p.atom for p in parts if isinstance(p, Literal) and not p.positive
+        ]
+        remainder = [
+            p for p in parts if not (isinstance(p, Literal) and not p.positive)
+        ]
+        if not _covers(formula.variables_tuple, restriction):
+            hoisted = _hoist(Forall, formula.variables_tuple, parts, Or)
+            if hoisted is not None:
+                return _to_restricted(hoisted)
+        _check_coverage(formula, formula.variables_tuple, restriction)
+        matrix = _to_restricted(Or.make(remainder)) if remainder else FALSE
+        return Forall(formula.variables_tuple, restriction, matrix)
+    raise NormalizationError(f"unexpected node in restrict: {formula!r}")
+
+
+def _covers(variables: Sequence[Variable], restriction: Sequence[Atom]) -> bool:
+    covered: Set[Variable] = set()
+    for atom in restriction:
+        covered.update(atom.variables())
+    return all(v in covered for v in variables)
+
+
+def _hoist(cls, variables, parts, connective):
+    """Undo one layer of miniscoping: pull unrestricted same-kind
+    quantifiers out of the juncts so their literals can serve as
+    restriction atoms for the merged block.
+
+    Sound because rectification guarantees the hoisted variables do not
+    occur in the sibling juncts: ``∀X (D ∨ ∀Y φ)  ≡  ∀[X,Y] (D ∨ φ)``
+    when Y is not free in D (dually for ∃ over ∧). Returns ``None`` when
+    nothing can be hoisted.
+    """
+    new_vars = list(variables)
+    new_parts: List[Formula] = []
+    changed = False
+    for part in parts:
+        if type(part) is cls and part.restriction is None:
+            new_vars.extend(part.variables_tuple)
+            if connective is Or:
+                new_parts.extend(disjuncts(part.matrix))
+            else:
+                new_parts.extend(conjuncts(part.matrix))
+            changed = True
+        else:
+            new_parts.append(part)
+    if not changed:
+        return None
+    return cls(new_vars, None, connective.make(new_parts))
+
+
+def _check_coverage(
+    formula: Formula,
+    variables: Sequence[Variable],
+    restriction: Sequence[Atom],
+) -> None:
+    covered: Set[Variable] = set()
+    for atom in restriction:
+        covered.update(v for v in atom.variables())
+    missing = [v for v in variables if v not in covered]
+    if missing:
+        names = ", ".join(v.name for v in missing)
+        raise NormalizationError(
+            f"constraint is not domain independent: variable(s) {names} "
+            f"of {formula} are not covered by restriction atoms"
+        )
+
+
+# -- the full pipeline -------------------------------------------------------------------
+
+
+def normalize_constraint(formula: Formula) -> Formula:
+    """Run the full Section 2 pipeline and return the normalized
+    constraint with every quantifier in restricted form.
+
+    Raises :class:`NormalizationError` for open formulas and for
+    formulas that are not domain independent.
+    """
+    if formula.free_variables():
+        names = ", ".join(sorted(v.name for v in formula.free_variables()))
+        raise NormalizationError(
+            f"integrity constraints must be closed; free: {names}"
+        )
+    result = to_nnf(formula)
+    result = rectify(result)
+    result = simplify(result)
+    # Miniscope and distribute to a fixpoint: distribution can split a
+    # matrix into conjuncts that a universal quantifier then pushes into.
+    for _ in range(20):
+        next_result = simplify(distribute_or_over_and(miniscope(result)))
+        if next_result == result:
+            break
+        result = next_result
+    else:  # pragma: no cover - the pipeline converges in two rounds
+        raise NormalizationError(f"normalization did not converge: {formula}")
+    if isinstance(result, (TrueFormula, FalseFormula)):
+        return result
+    result = _merge_nested(result)
+    result = _to_restricted(result)
+    return simplify(result)

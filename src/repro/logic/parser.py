@@ -1,0 +1,458 @@
+"""Parser for the surface syntax of facts, rules, constraints and queries.
+
+The syntax mirrors the paper's Prolog notation while staying pleasant to
+type::
+
+    % facts — ground atoms
+    employee(ann).
+    leads(ann, sales).
+
+    % rules — Datalog with negation in the body
+    member(X, Y) :- leads(X, Y).
+    idle(X) :- employee(X), not member(X, _D).
+
+    % integrity constraints — closed first-order formulas
+    forall X: employee(X) -> exists Y: department(Y) and member(X, Y).
+    forall X: not subordinate(X, X).
+    exists X: employee(X).
+
+Operators, loosest binding first: quantifiers (``forall``/``exists``,
+scope extends maximally to the right), ``<->``, ``->`` (right
+associative), ``or`` / ``|``, ``and`` / ``&`` / ``,``, ``not`` / ``~``.
+Variables start with an uppercase letter or ``_``; everything else
+lowercase is a constant or predicate symbol. Quoted strings and integers
+are constants. ``%`` and ``#`` start comments.
+
+``parse_program`` classifies each ``.``-terminated statement: a
+statement with ``:-`` is a rule, a ground atom is a fact, anything else
+must be a closed formula and is read as an integrity constraint.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Literal,
+    Not,
+    Or,
+)
+from repro.logic.terms import Constant, Term, Variable, fresh_variable
+
+
+class ParseError(ValueError):
+    """Raised on any syntax error, with position information."""
+
+    def __init__(self, message: str, position: int, text: str):
+        line = text.count("\n", 0, position) + 1
+        col = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} (line {line}, column {col})")
+        self.position = position
+        self.line = line
+        self.column = col
+
+
+class ParsedRule(NamedTuple):
+    """A parsed rule ``head :- body`` (body is a tuple of literals)."""
+
+    head: Atom
+    body: Tuple[Literal, ...]
+
+
+class ParsedProgram(NamedTuple):
+    """The three components of a deductive database source text."""
+
+    facts: Tuple[Atom, ...]
+    rules: Tuple[ParsedRule, ...]
+    constraints: Tuple[Formula, ...]
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>[%\#][^\n]*)
+  | (?P<arrow2><->)
+  | (?P<arrow>->)
+  | (?P<neck>:-)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbrack>\[)
+  | (?P<rbrack>\])
+  | (?P<comma>,)
+  | (?P<colon>:)
+  | (?P<dot>\.)
+  | (?P<amp>&)
+  | (?P<pipe>\|)
+  | (?P<tilde>~)
+  | (?P<int>-?\d+)
+  | (?P<squote>'(?:[^'\\]|\\.)*')
+  | (?P<dquote>"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS_NOT = {"not"}
+_KEYWORDS_AND = {"and"}
+_KEYWORDS_OR = {"or"}
+_KEYWORDS_QUANT = {"forall", "exists"}
+_KEYWORDS_BOOL = {"true", "false"}
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    pos: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos, text)
+        kind = m.lastgroup
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, m.group(), pos))
+        pos = m.end()
+    tokens.append(_Token("eof", "", length))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, what: str) -> _Token:
+        token = self.current
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {what}, found {token.value or 'end of input'!r}",
+                token.pos,
+                self.text,
+            )
+        return self.advance()
+
+    def at_name(self, *names: str) -> bool:
+        token = self.current
+        return token.kind == "name" and token.value in names
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.current.pos, self.text)
+
+    # -- terms ------------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return Constant(int(token.value))
+        if token.kind in ("squote", "dquote"):
+            self.advance()
+            raw = token.value[1:-1]
+            unescaped = raw.replace("\\'", "'").replace('\\"', '"').replace(
+                "\\\\", "\\"
+            )
+            return Constant(unescaped)
+        if token.kind == "name":
+            self.advance()
+            name = token.value
+            if name == "_":
+                return fresh_variable("_A")
+            if name[0].isupper() or name[0] == "_":
+                return Variable(name)
+            return Constant(name)
+        raise self.error(f"expected a term, found {token.value!r}")
+
+    # -- atoms and literals -------------------------------------------------------
+
+    def parse_atom(self) -> Atom:
+        token = self.expect("name", "a predicate name")
+        name = token.value
+        if name[0].isupper() or name[0] == "_":
+            raise ParseError(
+                f"predicate names must start lowercase, got {name!r}",
+                token.pos,
+                self.text,
+            )
+        args: List[Term] = []
+        if self.current.kind == "lparen":
+            self.advance()
+            args.append(self.parse_term())
+            while self.current.kind == "comma":
+                self.advance()
+                args.append(self.parse_term())
+            self.expect("rparen", "')'")
+        return Atom(name, args)
+
+    def parse_literal(self) -> Literal:
+        if self.current.kind == "tilde" or self.at_name("not"):
+            self.advance()
+            return Literal(self.parse_atom(), False)
+        return Literal(self.parse_atom(), True)
+
+    # -- formulas -------------------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        return self._quantified()
+
+    def _quantified(self) -> Formula:
+        if self.current.kind == "name" and self.current.value in _KEYWORDS_QUANT:
+            keyword = self.advance().value
+            variables = self._varlist()
+            self.expect("colon", "':' after quantified variables")
+            body = self._quantified()
+            cls = Forall if keyword == "forall" else Exists
+            return cls(variables, None, body)
+        return self._iff()
+
+    def _varlist(self) -> List[Variable]:
+        bracketed = self.current.kind == "lbrack"
+        if bracketed:
+            self.advance()
+        variables = [self._one_variable()]
+        while self.current.kind == "comma":
+            self.advance()
+            variables.append(self._one_variable())
+        if bracketed:
+            self.expect("rbrack", "']'")
+        return variables
+
+    def _one_variable(self) -> Variable:
+        token = self.expect("name", "a variable")
+        name = token.value
+        if not (name[0].isupper() or name[0] == "_") or name == "_":
+            raise ParseError(
+                f"quantified variables must be named variables, got {name!r}",
+                token.pos,
+                self.text,
+            )
+        return Variable(name)
+
+    def _iff(self) -> Formula:
+        left = self._implies()
+        while self.current.kind == "arrow2":
+            self.advance()
+            right = self._implies()
+            left = Iff(left, right)
+        return left
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        if self.current.kind == "arrow":
+            self.advance()
+            right = self._implies()  # right associative
+            return Implies(left, right)
+        return left
+
+    def _or(self) -> Formula:
+        parts = [self._and()]
+        while self.current.kind == "pipe" or self.at_name("or"):
+            self.advance()
+            parts.append(self._and())
+        return Or.make(parts) if len(parts) > 1 else parts[0]
+
+    def _and(self, comma_conjunction: bool = True) -> Formula:
+        parts = [self._unary()]
+        while True:
+            if self.current.kind == "amp" or self.at_name("and"):
+                self.advance()
+            elif comma_conjunction and self.current.kind == "comma":
+                self.advance()
+            else:
+                break
+            parts.append(self._unary())
+        return And.make(parts) if len(parts) > 1 else parts[0]
+
+    def _unary(self) -> Formula:
+        token = self.current
+        if token.kind == "tilde" or self.at_name("not"):
+            self.advance()
+            child = self._unary()
+            if isinstance(child, Literal):
+                return child.complement()
+            return Not(child)
+        if self.at_name("true"):
+            self.advance()
+            return TRUE
+        if self.at_name("false"):
+            self.advance()
+            return FALSE
+        if token.kind == "name" and token.value in _KEYWORDS_QUANT:
+            return self._quantified()
+        if token.kind == "lparen":
+            self.advance()
+            inner = self.parse_formula()
+            self.expect("rparen", "')'")
+            return inner
+        atom = self.parse_atom()
+        return Literal(atom, True)
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_rule_tail(self, head: Atom) -> ParsedRule:
+        """Parse the body after the ``:-`` of a rule with *head*."""
+        body: List[Literal] = [self._body_literal()]
+        while self.current.kind == "comma" or self.at_name("and") or (
+            self.current.kind == "amp"
+        ):
+            self.advance()
+            body.append(self._body_literal())
+        return ParsedRule(head, tuple(body))
+
+    def _body_literal(self) -> Literal:
+        formula = self._unary()
+        if not isinstance(formula, Literal):
+            raise self.error("rule bodies may contain only literals")
+        return formula
+
+    def parse_statement(self) -> Tuple[str, object]:
+        """Parse one statement; returns (kind, payload) with kind one of
+        ``fact``, ``rule``, ``constraint``."""
+        start = self.index
+        # Try: atom followed by :- (rule) or . (fact). A bare atom that
+        # is *not* ground is a constraint with free variables and will be
+        # rejected downstream by the closedness check.
+        if self.current.kind == "name" and not (
+            self.current.value in _KEYWORDS_QUANT
+            or self.current.value in _KEYWORDS_NOT
+            or self.current.value in _KEYWORDS_BOOL
+        ):
+            try:
+                atom = self.parse_atom()
+            except ParseError:
+                self.index = start
+                atom = None
+            if atom is not None:
+                if self.current.kind == "neck":
+                    self.advance()
+                    rule = self.parse_rule_tail(atom)
+                    return ("rule", rule)
+                if self.current.kind in ("dot", "eof") and atom.is_ground():
+                    return ("fact", atom)
+                # Not a simple fact/rule: reparse as a formula.
+                self.index = start
+        formula = self.parse_formula()
+        return ("constraint", formula)
+
+    def parse_program(self) -> ParsedProgram:
+        facts: List[Atom] = []
+        rules: List[ParsedRule] = []
+        constraints: List[Formula] = []
+        while self.current.kind != "eof":
+            kind, payload = self.parse_statement()
+            if self.current.kind == "dot":
+                self.advance()
+            elif self.current.kind != "eof":
+                raise self.error("expected '.' after statement")
+            if kind == "fact":
+                facts.append(payload)  # type: ignore[arg-type]
+            elif kind == "rule":
+                rules.append(payload)  # type: ignore[arg-type]
+            else:
+                constraints.append(payload)  # type: ignore[arg-type]
+        return ParsedProgram(tuple(facts), tuple(rules), tuple(constraints))
+
+    def finish(self, allow_dot: bool = True) -> None:
+        if allow_dot and self.current.kind == "dot":
+            self.advance()
+        if self.current.kind != "eof":
+            raise self.error(
+                f"unexpected trailing input {self.current.value!r}"
+            )
+
+
+# -- public helpers ------------------------------------------------------------
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"member(X, b)"``."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    parser.finish()
+    return atom
+
+
+def parse_fact(text: str) -> Atom:
+    """Parse a single ground atom; raise if it contains variables."""
+    atom = parse_atom(text)
+    if not atom.is_ground():
+        raise ParseError("facts must be ground", 0, text)
+    return atom
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse a literal — the representation of a single-fact update."""
+    parser = _Parser(text)
+    literal = parser.parse_literal()
+    parser.finish()
+    return literal
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse an arbitrary formula (may contain free variables)."""
+    parser = _Parser(text)
+    formula = parser.parse_formula()
+    parser.finish()
+    return formula
+
+
+def parse_constraint(text: str) -> Formula:
+    """Parse a closed formula to be used as an integrity constraint."""
+    formula = parse_formula(text)
+    free = formula.free_variables()
+    if free:
+        names = ", ".join(sorted(v.name for v in free))
+        raise ParseError(
+            f"integrity constraints must be closed; free: {names}", 0, text
+        )
+    return formula
+
+
+def parse_query(text: str) -> Formula:
+    """Parse a query formula (free variables allowed — they are the
+    answer variables)."""
+    return parse_formula(text)
+
+
+def parse_rule(text: str) -> ParsedRule:
+    """Parse a single rule ``head :- body``."""
+    parser = _Parser(text)
+    head = parser.parse_atom()
+    parser.expect("neck", "':-'")
+    rule = parser.parse_rule_tail(head)
+    parser.finish()
+    return rule
+
+
+def parse_program(text: str) -> ParsedProgram:
+    """Parse a whole source text into (facts, rules, constraints)."""
+    return _Parser(text).parse_program()

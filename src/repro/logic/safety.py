@@ -1,0 +1,143 @@
+"""Safety conditions: range restriction and domain independence.
+
+Section 2 of the paper imposes two syntactic disciplines that the whole
+method depends on:
+
+* every **rule** is *range-restricted*: each variable occurring in the
+  head or in a negative body literal also occurs in a positive body
+  literal — this is what makes bottom-up evaluation and the ``delta``
+  propagation produce ground facts;
+
+* every **constraint** uses *restricted quantification*, which implies
+  *domain independence* ([KUHN 67]): its truth value never depends on
+  domain elements outside the mentioned relations, so only constraints
+  mentioning updated relations can change value (the basis of
+  Definition 2's relevance test).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Literal,
+    Or,
+    TrueFormula,
+)
+from repro.logic.terms import Variable
+
+
+class SafetyError(ValueError):
+    """Raised when a rule or constraint violates a safety condition."""
+
+
+def check_rule_range_restricted(head: Atom, body: Sequence[Literal]) -> None:
+    """Raise :class:`SafetyError` unless the rule is range-restricted.
+
+    Every variable of the head, and of every negative body literal, must
+    occur in at least one positive body literal.
+    """
+    positive_vars: Set[Variable] = set()
+    for literal in body:
+        if literal.positive:
+            positive_vars.update(literal.atom.variables())
+    offenders: Set[Variable] = set()
+    offenders.update(v for v in head.variables() if v not in positive_vars)
+    for literal in body:
+        if not literal.positive:
+            offenders.update(
+                v for v in literal.atom.variables() if v not in positive_vars
+            )
+    if offenders:
+        names = ", ".join(sorted(v.name for v in offenders))
+        raise SafetyError(
+            f"rule {head} :- ... is not range-restricted: variable(s) "
+            f"{names} do not occur in a positive body literal"
+        )
+
+
+def check_constraint_safety(formula: Formula) -> None:
+    """Raise :class:`SafetyError` unless *formula* is a closed, fully
+    restricted-quantification constraint (the output format of
+    :func:`repro.logic.normalize.normalize_constraint`)."""
+    free = formula.free_variables()
+    if free:
+        names = ", ".join(sorted(v.name for v in free))
+        raise SafetyError(f"constraint is not closed; free: {names}")
+    _check_restricted(formula)
+
+
+def _check_restricted(formula: Formula) -> None:
+    if isinstance(formula, (Literal, TrueFormula, FalseFormula)):
+        return
+    if isinstance(formula, (And, Or)):
+        for child in formula.children:
+            _check_restricted(child)
+        return
+    if isinstance(formula, (Exists, Forall)):
+        if formula.restriction is None:
+            raise SafetyError(
+                f"quantifier without restriction: {formula} — run "
+                f"normalize_constraint first"
+            )
+        covered: Set[Variable] = set()
+        for atom in formula.restriction:
+            covered.update(atom.variables())
+        missing = [
+            v for v in formula.variables_tuple if v not in covered
+        ]
+        if missing:
+            names = ", ".join(v.name for v in missing)
+            raise SafetyError(
+                f"restriction of {formula} does not cover variable(s) {names}"
+            )
+        _check_restricted(formula.matrix)
+        return
+    raise SafetyError(f"unexpected node in constraint: {formula!r}")
+
+
+def is_domain_independent(formula: Formula) -> bool:
+    """True iff the (normalized) formula is in restricted-quantification
+    form, which is a sufficient condition for domain independence.
+
+    This is the check the paper appeals to in Section 3: "Formulas with
+    restricted quantifications are domain independent."
+    """
+    try:
+        _check_restricted(formula)
+    except SafetyError:
+        return False
+    return True
+
+
+def constraint_predicates(formula: Formula) -> Set[str]:
+    """All predicate names mentioned by a constraint — the relations
+    whose updates can possibly affect its truth value."""
+    out: Set[str] = set()
+    _collect_predicates(formula, out)
+    return out
+
+
+def _collect_predicates(formula: Formula, out: Set[str]) -> None:
+    if isinstance(formula, Literal):
+        out.add(formula.atom.pred)
+    elif isinstance(formula, Atom):
+        out.add(formula.pred)
+    elif isinstance(formula, (And, Or)):
+        for child in formula.children:
+            _collect_predicates(child, out)
+    elif isinstance(formula, (Exists, Forall)):
+        if formula.restriction:
+            for atom in formula.restriction:
+                out.add(atom.pred)
+        _collect_predicates(formula.matrix, out)
+    elif isinstance(formula, (TrueFormula, FalseFormula)):
+        pass
+    else:
+        raise SafetyError(f"unexpected node: {formula!r}")

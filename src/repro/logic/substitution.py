@@ -1,0 +1,146 @@
+"""Substitutions: finite mappings from variables to terms.
+
+A substitution is the workhorse of the whole library: unifiers
+(Definition 3's *defining substitution*), query answers, and the
+instantiation step of the satisfiability checker's ``enforce`` are all
+substitutions. The class is immutable; ``compose`` and ``bind`` return
+new substitutions, which keeps backtracking search code honest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.logic.terms import Constant, Term, Variable
+
+
+class Substitution:
+    """An immutable mapping from :class:`Variable` to :class:`Term`.
+
+    Identity bindings (``X -> X``) are never stored. The mapping is
+    applied *non-recursively* to terms: because the language is
+    function-free, a bound value is either a constant or another
+    variable, and composition (not repeated application) is the way to
+    chain substitutions.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Optional[Mapping[Variable, Term]] = None):
+        clean: Dict[Variable, Term] = {}
+        if mapping:
+            for var, term in mapping.items():
+                if not isinstance(var, Variable):
+                    raise TypeError(f"substitution key must be Variable, got {var!r}")
+                if term != var:
+                    clean[var] = term
+        self._map = clean
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Substitution":
+        return _EMPTY
+
+    def bind(self, var: Variable, term: Term) -> "Substitution":
+        """Return a copy with ``var -> term`` added (overriding any
+        previous binding of *var*)."""
+        new_map = dict(self._map)
+        if term == var:
+            new_map.pop(var, None)
+        else:
+            new_map[var] = term
+        return Substitution(new_map)
+
+    # -- application ----------------------------------------------------------
+
+    def apply_term(self, term: Term) -> Term:
+        """Apply to a single term, following variable-to-variable
+        bindings transitively (with cycle protection)."""
+        seen = None
+        while isinstance(term, Variable) and term in self._map:
+            if seen is None:
+                seen = {term}
+            replacement = self._map[term]
+            if isinstance(replacement, Variable):
+                if replacement in seen:
+                    break
+                seen.add(replacement)
+            term = replacement
+        return term
+
+    def apply_terms(self, terms: Iterable[Term]) -> Tuple[Term, ...]:
+        return tuple(self.apply_term(t) for t in terms)
+
+    # -- algebra ---------------------------------------------------------------
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return ``self ; other``: applying the result is equivalent to
+        applying *self* first, then *other*."""
+        if not other._map:
+            return self
+        if not self._map:
+            return other
+        new_map: Dict[Variable, Term] = {}
+        for var, term in self._map.items():
+            new_map[var] = other.apply_term(term)
+        for var, term in other._map.items():
+            if var not in self._map:
+                new_map[var] = term
+        return Substitution(new_map)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Return the restriction of the substitution to *variables*.
+
+        This implements the τ of Definition 3: the defining substitution
+        is the mgu restricted to the universally quantified variables not
+        governed by an existential quantifier.
+        """
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._map.items() if v in keep})
+
+    def without(self, variables: Iterable[Variable]) -> "Substitution":
+        """Return a copy with bindings for *variables* removed."""
+        drop = set(variables)
+        return Substitution({v: t for v, t in self._map.items() if v not in drop})
+
+    # -- inspection -------------------------------------------------------------
+
+    def __contains__(self, var: Variable) -> bool:
+        return var in self._map
+
+    def __getitem__(self, var: Variable) -> Term:
+        return self._map[var]
+
+    def get(self, var: Variable, default: Optional[Term] = None) -> Optional[Term]:
+        return self._map.get(var, default)
+
+    def domain(self) -> frozenset:
+        return frozenset(self._map)
+
+    def items(self) -> Iterator[Tuple[Variable, Term]]:
+        return iter(self._map.items())
+
+    def is_ground_on(self, variables: Iterable[Variable]) -> bool:
+        """True iff every variable in *variables* is mapped to a constant."""
+        return all(isinstance(self.apply_term(v), Constant) for v in variables)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __bool__(self) -> bool:
+        return bool(self._map)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Substitution) and self._map == other._map
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}: {t}" for v, t in sorted(
+            self._map.items(), key=lambda item: item[0].name))
+        return "{" + inner + "}"
+
+
+_EMPTY = Substitution()

@@ -1,0 +1,102 @@
+"""Terms of the function-free first-order language.
+
+The paper (Section 2) restricts the term language of rules and
+constraints to *constants and variables* — no function symbols. That
+restriction is what keeps the Herbrand universe finite and makes the
+satisfiability procedure of Section 4 meaningful, so this module
+enforces it structurally: there simply is no compound-term class.
+
+Both term classes are immutable and hashable, so they can be used
+freely as dictionary keys (substitutions, fact indexes) and inside
+frozen fact tuples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Union
+
+
+class Variable:
+    """A logical variable, identified by its name.
+
+    Two variables are equal iff their names are equal. By convention —
+    mirrored in the parser — variable names start with an uppercase
+    letter or an underscore.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+        self._hash = hash(("var", name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Constant:
+    """A constant, wrapping an arbitrary hashable Python value.
+
+    Constants compare and hash by their wrapped value, so
+    ``Constant("a") == Constant("a")`` and distinct occurrences can be
+    deduplicated in sets and indexes.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value):
+        self.value = value
+        self._hash = hash(("const", value))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+_fresh_counter = itertools.count(1)
+
+
+def fresh_variable(prefix: str = "_G") -> Variable:
+    """Return a variable guaranteed not to clash with parsed variables.
+
+    Parsed variable names never contain ``#``, so embedding the global
+    counter after a ``#`` makes collisions impossible.
+    """
+    return Variable(f"{prefix}#{next(_fresh_counter)}")
+
+
+def fresh_constant(prefix: str = "$c") -> Constant:
+    """Return a new Skolem-style constant, as used by the satisfiability
+    checker when enforcing an existential with a fresh witness.
+
+    Parsed constants never contain ``#``, so these cannot collide with
+    user constants.
+    """
+    return Constant(f"{prefix}#{next(_fresh_counter)}")
+
+
+def is_ground_term(term: Term) -> bool:
+    """True iff *term* contains no variable (i.e. is a constant)."""
+    return isinstance(term, Constant)

@@ -1,0 +1,131 @@
+"""Unification, matching and subsumption for the function-free language.
+
+Because terms are only constants and variables, unification here is the
+simple flat case — no occurs-check subtleties, no recursion into
+subterms. That makes ``mgu`` cheap enough to sit in the inner loop of
+relevance testing (Definition 2) and potential-update generation
+(Definition 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.logic.formulas import Atom, Literal
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Term, Variable, fresh_variable
+
+Unifiable = Union[Atom, Literal]
+
+
+def _atom_of(x: Unifiable) -> Atom:
+    return x.atom if isinstance(x, Literal) else x
+
+
+def mgu(left: Unifiable, right: Unifiable) -> Optional[Substitution]:
+    """Most general unifier of two atoms (or two literals of equal sign),
+    or ``None`` if they do not unify.
+
+    Literals unify only when their polarities agree; to test relevance of
+    a constraint literal to an update, unify with the update's
+    ``complement()`` as Definition 2 prescribes.
+    """
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left.positive != right.positive:
+            return None
+    la, ra = _atom_of(left), _atom_of(right)
+    if la.pred != ra.pred or la.arity != ra.arity:
+        return None
+    subst = Substitution.empty()
+    for lt, rt in zip(la.args, ra.args):
+        lt = subst.apply_term(lt)
+        rt = subst.apply_term(rt)
+        if lt == rt:
+            continue
+        if isinstance(lt, Variable):
+            subst = subst.compose(Substitution({lt: rt}))
+        elif isinstance(rt, Variable):
+            subst = subst.compose(Substitution({rt: lt}))
+        else:
+            return None  # distinct constants
+    return subst
+
+
+def unifiable(left: Unifiable, right: Unifiable) -> bool:
+    """True iff the two atoms/literals unify."""
+    return mgu(left, right) is not None
+
+
+def match(pattern: Unifiable, target: Unifiable) -> Optional[Substitution]:
+    """One-way matching: a substitution σ with ``pattern σ == target``,
+    binding only variables of *pattern*, or ``None``.
+
+    Used when filtering stored facts against a query literal: the fact is
+    ground, so full unification would be wasted work.
+    """
+    if isinstance(pattern, Literal) and isinstance(target, Literal):
+        if pattern.positive != target.positive:
+            return None
+    pa, ta = _atom_of(pattern), _atom_of(target)
+    if pa.pred != ta.pred or pa.arity != ta.arity:
+        return None
+    bindings = {}
+    for pt, tt in zip(pa.args, ta.args):
+        if isinstance(pt, Variable):
+            bound = bindings.get(pt)
+            if bound is None:
+                bindings[pt] = tt
+            elif bound != tt:
+                return None
+        elif pt != tt:
+            return None
+    return Substitution(bindings)
+
+
+def variant(left: Unifiable, right: Unifiable) -> bool:
+    """True iff the two atoms/literals are equal up to variable renaming."""
+    forward = match(left, right)
+    if forward is None:
+        return False
+    backward = match(right, left)
+    if backward is None:
+        return False
+    # Both match maps must be injective variable renamings.
+    def _is_renaming(subst: Substitution) -> bool:
+        images = [t for _, t in subst.items()]
+        return all(isinstance(t, Variable) for t in images) and len(
+            set(images)
+        ) == len(images)
+
+    return _is_renaming(forward) and _is_renaming(backward)
+
+
+def subsumes(general: Unifiable, specific: Unifiable) -> bool:
+    """True iff *general* subsumes *specific*: some substitution maps
+    *general* onto *specific*.
+
+    Potential-update generation (Section 3.3.1) discards subsumed
+    literals while closing the ``dependent`` relation — this is the test
+    that guarantees termination in the presence of recursive rules.
+    """
+    return match(general, specific) is not None
+
+
+def rename_apart(
+    x: Unifiable, taken: Iterable[Variable], prefix: str = "_R"
+) -> Unifiable:
+    """Return a variant of *x* whose variables avoid *taken*.
+
+    Rule heads/bodies are renamed apart from the update literal before
+    unification, exactly as a Prolog engine would rename clauses.
+    """
+    taken_set = set(taken)
+    mapping = {}
+    atom = _atom_of(x)
+    for arg in atom.args:
+        if isinstance(arg, Variable) and arg in taken_set and arg not in mapping:
+            mapping[arg] = fresh_variable(prefix)
+    if not mapping:
+        return x
+    subst = Substitution(mapping)
+    return x.substitute(subst)

@@ -1,0 +1,154 @@
+"""Unparsing: formulas, rules and whole databases back to surface syntax.
+
+The emitted text round-trips: ``parse_formula(unparse(f))`` normalizes
+back to the same restricted form (a property test pins this), and
+``DeductiveDatabase.to_source()`` output can be fed straight back to
+``DeductiveDatabase.from_source`` — the library's persistence format.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Literal,
+    Not,
+    Or,
+    TrueFormula,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Term, Variable
+
+_BARE_CONSTANT = re.compile(r"[a-z][A-Za-z0-9_]*\Z")
+_SAFE_VARIABLE = re.compile(r"[A-Z][A-Za-z0-9_]*\Z")
+
+
+def unparse_term(term: Term) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    value = term.value
+    if isinstance(value, int):
+        return str(value)
+    text = str(value)
+    if _BARE_CONSTANT.match(text):
+        return text
+    escaped = text.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def unparse_atom(atom: Atom) -> str:
+    if not atom.args:
+        return atom.pred
+    return f"{atom.pred}({', '.join(unparse_term(a) for a in atom.args)})"
+
+
+def _sanitize_variables(formula: Formula) -> Formula:
+    """Rename variables whose names the parser would reject (e.g. the
+    ``#``-suffixed fresh variables) to safe ones. Sound for bound
+    variables; free unsafe variables cannot originate from the parser,
+    so renaming them is the only way to print the formula at all."""
+    unsafe = [
+        v for v in formula.variables() if not _SAFE_VARIABLE.match(v.name)
+    ]
+    if not unsafe:
+        return formula
+    taken = {v.name for v in formula.variables()}
+    renaming: Dict[Variable, Variable] = {}
+    counter = 1
+    for variable in sorted(unsafe, key=lambda v: v.name):
+        while f"V{counter}" in taken:
+            counter += 1
+        replacement = Variable(f"V{counter}")
+        taken.add(replacement.name)
+        renaming[variable] = replacement
+    from repro.integrity.instances import _rename_all
+
+    return _rename_all(formula, Substitution(renaming))
+
+
+def unparse(formula: Formula) -> str:
+    """Surface-syntax text for *formula* (parseable by
+    :func:`repro.logic.parser.parse_formula`)."""
+    return _unparse(_sanitize_variables(formula))
+
+
+def _unparse(formula: Formula) -> str:
+    if isinstance(formula, TrueFormula):
+        return "true"
+    if isinstance(formula, FalseFormula):
+        return "false"
+    if isinstance(formula, Literal):
+        text = unparse_atom(formula.atom)
+        return text if formula.positive else f"not {text}"
+    if isinstance(formula, Atom):
+        return unparse_atom(formula)
+    if isinstance(formula, Not):
+        return f"not ({_unparse(formula.child)})"
+    if isinstance(formula, And):
+        return "(" + " and ".join(_unparse(c) for c in formula.children) + ")"
+    if isinstance(formula, Or):
+        return "(" + " or ".join(_unparse(c) for c in formula.children) + ")"
+    if isinstance(formula, Implies):
+        return f"({_unparse(formula.antecedent)} -> {_unparse(formula.consequent)})"
+    if isinstance(formula, Iff):
+        return f"({_unparse(formula.left)} <-> {_unparse(formula.right)})"
+    if isinstance(formula, (Exists, Forall)):
+        variables = ", ".join(v.name for v in formula.variables_tuple)
+        keyword = "exists" if isinstance(formula, Exists) else "forall"
+        if formula.restriction is None:
+            return f"{keyword} [{variables}]: ({_unparse(formula.matrix)})"
+        restriction = " and ".join(
+            unparse_atom(a) for a in formula.restriction
+        )
+        if isinstance(formula, Exists):
+            if isinstance(formula.matrix, TrueFormula):
+                return f"{keyword} [{variables}]: ({restriction})"
+            return (
+                f"{keyword} [{variables}]: ({restriction} "
+                f"and {_unparse(formula.matrix)})"
+            )
+        # ∀X̄ [¬R ∨ Q]  ≡  ∀X̄ (R → Q)
+        return (
+            f"{keyword} [{variables}]: ({restriction} -> "
+            f"{_unparse(formula.matrix)})"
+        )
+    raise ValueError(f"cannot unparse {formula!r}")
+
+
+def unparse_rule(head: Atom, body) -> str:
+    body_text = ", ".join(
+        (unparse_atom(l.atom) if l.positive else f"not {unparse_atom(l.atom)}")
+        for l in body
+    )
+    return f"{unparse_atom(head)} :- {body_text}"
+
+
+def unparse_database(db) -> str:
+    """The full database as re-parseable source: facts, rules,
+    constraints (original source text when recorded, otherwise the
+    normalized form unparsed)."""
+    lines: List[str] = []
+    for fact in sorted(db.facts, key=str):
+        lines.append(f"{unparse_atom(fact)}.")
+    if len(lines):
+        lines.append("")
+    for rule in db.program.rules:
+        lines.append(f"{unparse_rule(rule.head, rule.body)}.")
+    if db.program.rules:
+        lines.append("")
+    for constraint in db.constraints:
+        if constraint.source:
+            text = constraint.source.strip().rstrip(".")
+        else:
+            text = unparse(constraint.formula)
+        lines.append(f"{text}.")
+    return "\n".join(lines) + ("\n" if lines else "")

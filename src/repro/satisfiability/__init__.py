@@ -1,0 +1,41 @@
+"""Constraint satisfiability checking (Sections 4–5 of the paper).
+
+A model-generation procedure that decides whether rules + constraints
+admit a finite model: it grows an in-memory *sample database* by
+enforcing violated constraint instances (detected with the integrity
+machinery of Section 3), explores alternatives by backtracking, and
+organizes work in level-saturation order. Complete for unsatisfiability
+and — thanks to the constant-reuse alternative for existentials — for
+finite satisfiability; it can diverge only when every model is infinite.
+"""
+
+from repro.satisfiability.clauses import rule_clause, rules_as_constraints
+from repro.satisfiability.sample_db import SampleDatabase
+from repro.satisfiability.enforce import EnforcementContext, enforce, enforce_all
+from repro.satisfiability.checker import (
+    SatisfiabilityChecker,
+    SatResult,
+    check_satisfiability,
+)
+from repro.satisfiability.tableaux import TableauxChecker
+from repro.satisfiability.bruteforce import (
+    enumerate_models,
+    find_finite_model,
+    is_model,
+)
+
+__all__ = [
+    "EnforcementContext",
+    "SampleDatabase",
+    "SatResult",
+    "SatisfiabilityChecker",
+    "TableauxChecker",
+    "check_satisfiability",
+    "enforce",
+    "enforce_all",
+    "enumerate_models",
+    "find_finite_model",
+    "is_model",
+    "rule_clause",
+    "rules_as_constraints",
+]

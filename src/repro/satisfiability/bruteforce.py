@@ -1,0 +1,143 @@
+"""Brute-force finite-model enumeration — the ground-truth oracle.
+
+For tiny signatures the finite-satisfiability question can be settled
+exhaustively: enumerate every fact set over a bounded constant domain
+and test all constraints (rules participating as their clausal
+completions, matching the checker's semantics). The property tests use
+this to validate the model-generation procedure's verdicts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.facts import FactStore
+from repro.datalog.program import Program
+from repro.datalog.query import QueryEngine
+from repro.datalog.database import Constraint
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Literal,
+    Or,
+    TrueFormula,
+)
+from repro.logic.terms import Constant
+from repro.satisfiability.clauses import rules_as_constraints
+
+_EMPTY = Program()
+
+
+def _signature(formulas: Sequence[Formula]) -> Dict[str, int]:
+    """Predicate name -> arity, over all formulas."""
+    out: Dict[str, int] = {}
+
+    def walk(formula: Formula) -> None:
+        if isinstance(formula, Literal):
+            out[formula.atom.pred] = formula.atom.arity
+        elif isinstance(formula, (And, Or)):
+            for child in formula.children:
+                walk(child)
+        elif isinstance(formula, (Exists, Forall)):
+            for atom in formula.restriction or ():
+                out[atom.pred] = atom.arity
+            walk(formula.matrix)
+        elif isinstance(formula, (TrueFormula, FalseFormula)):
+            pass
+        else:
+            raise ValueError(f"unexpected node {formula!r}")
+
+    for formula in formulas:
+        walk(formula)
+    return out
+
+
+def _formula_constants(formulas: Sequence[Formula]) -> Set[Constant]:
+    out: Set[Constant] = set()
+
+    def walk(formula: Formula) -> None:
+        if isinstance(formula, Literal):
+            out.update(
+                a for a in formula.atom.args if isinstance(a, Constant)
+            )
+        elif isinstance(formula, (And, Or)):
+            for child in formula.children:
+                walk(child)
+        elif isinstance(formula, (Exists, Forall)):
+            for atom in formula.restriction or ():
+                out.update(a for a in atom.args if isinstance(a, Constant))
+            walk(formula.matrix)
+
+    for formula in formulas:
+        walk(formula)
+    return out
+
+
+def is_model(facts: FactStore, constraints: Sequence[Constraint]) -> bool:
+    """Do the explicit *facts* satisfy every constraint?"""
+    engine = QueryEngine(facts, _EMPTY, "lazy")
+    return all(engine.evaluate(c.formula) for c in constraints)
+
+
+def enumerate_models(
+    constraints: Sequence[Constraint],
+    program: Optional[Program] = None,
+    max_domain_size: int = 2,
+    max_models: Optional[int] = None,
+) -> Iterator[FactStore]:
+    """Yield every fact set over domains of size 1..max_domain_size that
+    satisfies all constraints (and all rule clauses).
+
+    Exponential — use only on test-sized signatures.
+    """
+    all_constraints = list(constraints)
+    if program is not None:
+        all_constraints.extend(rules_as_constraints(program))
+    formulas = [c.formula for c in all_constraints]
+    signature = _signature(formulas)
+    mentioned = sorted(
+        _formula_constants(formulas), key=lambda c: str(c.value)
+    )
+    yielded = 0
+    smallest = max(1, len(mentioned))
+    for size in range(smallest, max(smallest, max_domain_size) + 1):
+        domain: List[Constant] = list(mentioned)
+        extra_index = 1
+        while len(domain) < size:
+            candidate = Constant(f"d{extra_index}")
+            extra_index += 1
+            if candidate not in domain:
+                domain.append(candidate)
+        possible_facts: List[Atom] = []
+        for pred, arity in sorted(signature.items()):
+            for args in itertools.product(domain, repeat=arity):
+                possible_facts.append(Atom(pred, args))
+        for bits in itertools.product((False, True), repeat=len(possible_facts)):
+            facts = FactStore(
+                atom
+                for atom, present in zip(possible_facts, bits)
+                if present
+            )
+            if is_model(facts, all_constraints):
+                yield facts
+                yielded += 1
+                if max_models is not None and yielded >= max_models:
+                    return
+
+
+def find_finite_model(
+    constraints: Sequence[Constraint],
+    program: Optional[Program] = None,
+    max_domain_size: int = 2,
+) -> Optional[FactStore]:
+    """The first model found, or None if none exists within the bound."""
+    for model in enumerate_models(
+        constraints, program, max_domain_size, max_models=1
+    ):
+        return model
+    return None

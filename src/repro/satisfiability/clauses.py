@@ -1,0 +1,66 @@
+"""Rules as clauses: the paper's completion constraints, generalized.
+
+Section 4 requires, "for completeness reasons", that every rule
+``H <- A₁ ∧ … ∧ Aₙ ∧ ¬B₁ ∧ … ∧ ¬Bₘ`` contributes the constraint
+
+    ∀ X₁…X_k [ ¬A₁ ∨ … ∨ ¬Aₙ ∨ B₁ ∨ … ∨ Bₘ ∨ H ]
+
+— its classical clausal reading. The paper adds these only for rules
+*with* negative body literals and lets Prolog derive heads of positive
+rules during evaluation. We convert **all** rules and evaluate the
+sample database over explicit facts only (the SATCHMO discipline of
+[MANT 87a/b], which this procedure is based on). For positive rules the
+two treatments coincide — enforcing ¬A ∨ H asserts exactly what
+derivation would derive. For rules with negation, derivation-based
+evaluation silently satisfies the completion constraint through the
+derived head and thereby *never* explores the "make Bⱼ true instead"
+alternative, losing finite-satisfiability completeness; see
+``tests/satisfiability/test_checker.py::TestNegationRuleAlternatives``
+for the counterexample that motivates this deviation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.datalog.database import Constraint
+from repro.datalog.program import Program, Rule
+from repro.logic.formulas import FALSE, Forall, Formula, Literal, Or
+from repro.logic.safety import check_constraint_safety
+
+
+def rule_clause(rule: Rule) -> Formula:
+    """The clausal (completion) constraint of a rule.
+
+    Range restriction guarantees the positive body atoms cover every
+    variable, so the result is a well-formed restricted universal.
+    """
+    restriction = [l.atom for l in rule.positive_body()]
+    disjuncts: List[Formula] = [
+        Literal(l.atom, True) for l in rule.negative_body()
+    ]
+    disjuncts.append(Literal(rule.head, True))
+    variables = sorted(
+        rule.variables(), key=lambda v: v.name
+    )
+    if not variables:
+        # Ground rule: the clause is simply body -> head, no quantifier.
+        negated = [Literal(a, False) for a in restriction]
+        return Or.make(negated + disjuncts)
+    formula = Forall(variables, restriction, Or.make(disjuncts))
+    check_constraint_safety(formula)
+    return formula
+
+
+def rules_as_constraints(
+    program: Program, id_prefix: str = "rule"
+) -> List[Constraint]:
+    """Every rule of *program* as a named clausal constraint."""
+    out: List[Constraint] = []
+    for number, rule in enumerate(program.rules, start=1):
+        out.append(
+            Constraint(
+                f"{id_prefix}{number}", rule_clause(rule), source=str(rule)
+            )
+        )
+    return out

@@ -1,0 +1,38 @@
+"""Classical-tableaux baseline ([SMUL 68], [KUNG 84]).
+
+Identical machinery, but existential quantifiers are enforced with a
+fresh constant *only* — no reuse of constants already in the sample
+database. Section 4, point 2: "the tableaux method considers a single
+instance only, namely the one obtained through replacing every variable
+by a newly introduced constant. Consequently, the tableaux method is
+not complete for finite satisfiability."
+
+The E7 benchmark demonstrates exactly that: axiom sets whose finite
+models require constant reuse (a one-element loop for
+``∀X p(X) → ∃Y p(Y) ∧ r(X,Y)``) drive this baseline through its entire
+fresh-constant budget while the full checker stops immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.datalog.program import Program
+from repro.satisfiability.checker import SatisfiabilityChecker
+
+
+class TableauxChecker(SatisfiabilityChecker):
+    """The fresh-constants-only variant of the checker."""
+
+    def __init__(
+        self,
+        constraints: Sequence,
+        program: Optional[Program] = None,
+        trace: bool = False,
+    ):
+        super().__init__(
+            constraints,
+            program,
+            existential_reuse=False,
+            trace=trace,
+        )

@@ -1,0 +1,55 @@
+"""Workload generators for the benchmark harness.
+
+The paper reports relative timings on unpublished workloads ("base
+relations with a few dozen of tuples", "well-known benchmark examples
+from the theorem-proving literature"). These modules reconstruct
+deterministic, seeded equivalents at parameterized scale:
+
+* :mod:`relational`        — employee/department schema, FD + inclusion
+  + domain constraints, valid/violating update streams (E1);
+* :mod:`deductive`         — rule-bearing scenarios from Section 3
+  (irrelevant-induced-update fanout, rule chains, the university
+  transaction scenario, recursive ancestor) (E2–E4, E8);
+* :mod:`theorem_proving`   — Section 5's example and the classical
+  model-generation problems the SATCHMO line of work used (steamroller,
+  pigeonhole, graph colouring, serial orders) (E5–E7).
+"""
+
+from repro.workloads.relational import (
+    RelationalWorkload,
+    make_relational_database,
+)
+from repro.workloads.orders import OrdersWorkload, make_orders_database
+from repro.workloads.deductive import (
+    fanout_database,
+    rule_chain_database,
+    ancestor_database,
+    university_database,
+    university_transaction,
+)
+from repro.workloads.theorem_proving import (
+    SECTION5,
+    SECTION5_WEAKENED,
+    cycle_coloring,
+    pigeonhole,
+    serial_order,
+    steamroller,
+)
+
+__all__ = [
+    "OrdersWorkload",
+    "RelationalWorkload",
+    "SECTION5",
+    "SECTION5_WEAKENED",
+    "ancestor_database",
+    "cycle_coloring",
+    "fanout_database",
+    "make_orders_database",
+    "make_relational_database",
+    "pigeonhole",
+    "rule_chain_database",
+    "serial_order",
+    "steamroller",
+    "university_database",
+    "university_transaction",
+]

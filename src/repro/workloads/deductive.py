@@ -1,0 +1,116 @@
+"""Deductive workloads: the Section 3 scenarios at parameterized scale.
+
+Each builder returns a satisfied-by-construction database together with
+the update(s) the corresponding experiment applies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.datalog.database import DeductiveDatabase
+from repro.integrity.transactions import Transaction
+from repro.logic.formulas import Atom, Literal
+from repro.logic.terms import Constant
+
+
+def fanout_database(fanout: int) -> Tuple[DeductiveDatabase, Literal]:
+    """Section 3.2's first drawback, scaled (E2).
+
+    Rule ``r(X) <- q(X, Y), p(Y, Z)`` with *fanout* many ``q(·, a)``
+    facts; the only constraint is on unrelated relations, so the update
+    ``p(a, b)`` induces r-updates nobody cares about. The interleaved
+    method computes them all; the two-phase method touches nothing.
+    """
+    db = DeductiveDatabase()
+    for i in range(fanout):
+        db.add_fact(Atom("q", (Constant(f"k{i}"), Constant("a"))))
+    db.add_rule("r(X) :- q(X, Y), p(Y, Z)")
+    db.add_constraint("forall X: s(X) -> t(X)")
+    update = Literal(Atom("p", (Constant("a"), Constant("b"))))
+    return db, update
+
+
+def rule_chain_database(
+    depth: int, width: int
+) -> Tuple[DeductiveDatabase, Literal]:
+    """A chain of join rules c1 → c2 → … → c<depth> over a wide base
+    (E3).
+
+    Each step ``c_{i+1}(X) <- c_i(Y), link_i(Y, X)`` joins through a
+    link relation, so the potential update for every chain predicate
+    stays *open* (the head variable is not bound by the trigger). With
+    ``width`` pre-existing chain instances, the delta guard enumerates
+    the single changed instance while the [LLOY 86] new-guard
+    enumerates all ``width + 1`` instances true in the updated state.
+    """
+    db = DeductiveDatabase()
+    members = [f"m{i}" for i in range(width)] + ["fresh"]
+    for member in members:
+        db.add_fact(Atom("ok", (Constant(member),)))
+        for level in range(depth):
+            db.add_fact(
+                Atom(
+                    f"link{level}",
+                    (Constant(member), Constant(member)),
+                )
+            )
+    for i in range(width):
+        db.add_fact(Atom("c0", (Constant(f"m{i}"),)))
+    for level in range(depth):
+        db.add_rule(
+            f"c{level + 1}(X) :- c{level}(Y), link{level}(Y, X)"
+        )
+    db.add_constraint(f"forall X: c{depth}(X) -> ok(X)")
+    update = Literal(Atom("c0", (Constant("fresh"),)))
+    return db, update
+
+
+def ancestor_database(
+    chain_length: int,
+) -> Tuple[DeductiveDatabase, Literal]:
+    """Recursive ancestor chain with a constraint over the closure
+    (used by E8 and the recursion tests)."""
+    db = DeductiveDatabase()
+    for i in range(chain_length):
+        db.add_fact(Atom("par", (Constant(f"g{i}"), Constant(f"g{i+1}"))))
+        db.add_fact(Atom("person", (Constant(f"g{i}"),)))
+    db.add_fact(Atom("person", (Constant(f"g{chain_length}"),)))
+    db.add_rule("anc(X, Y) :- par(X, Y)")
+    db.add_rule("anc(X, Y) :- par(X, Z), anc(Z, Y)")
+    db.add_constraint("forall X, Y: anc(X, Y) -> person(Y)")
+    update = Literal(
+        Atom(
+            "par",
+            (Constant(f"g{chain_length}"), Constant(f"g{chain_length + 1}")),
+        )
+    )
+    return db, update
+
+
+def university_database(n_students: int) -> DeductiveDatabase:
+    """The Section 3.2 university scenario (E4): students are enrolled
+    in CS by rule; enrolled CS students must attend the ddb course."""
+    db = DeductiveDatabase()
+    for i in range(n_students):
+        db.add_fact(Atom("student", (Constant(f"s{i}"),)))
+        db.add_fact(Atom("attends", (Constant(f"s{i}"), Constant("ddb"))))
+    db.add_rule("enrolled(X, cs) :- student(X)")
+    db.add_constraint(
+        "forall X: student(X) -> (not enrolled(X, cs)) or attends(X, ddb)"
+    )
+    return db
+
+
+def university_transaction(
+    size: int, attend: bool = True, start: int = 1000
+) -> Transaction:
+    """A transaction enrolling *size* new students (E4); with
+    ``attend`` they also get their ddb attendance, keeping the
+    constraint satisfied."""
+    updates: List[str] = []
+    for i in range(start, start + size):
+        updates.append(f"student(s{i})")
+        if attend:
+            updates.append(f"attends(s{i}, ddb)")
+    return Transaction(updates)

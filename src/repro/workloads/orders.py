@@ -1,0 +1,117 @@
+"""Referential-integrity workload: customers, orders, line items.
+
+A deletion-heavy scenario complementing the payroll workload: the
+schema chains inclusion dependencies (line items reference orders,
+orders reference customers) and derives order status through rules, so
+deletions cascade through both the constraint graph and the rule graph
+— the hardest update class for integrity maintenance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.datalog.database import DeductiveDatabase
+from repro.logic.formulas import Atom, Literal
+from repro.logic.terms import Constant
+
+CONSTRAINTS = (
+    # Referential chain.
+    "forall O, C: order_by(O, C) -> customer(C)",
+    "forall L, O: item_of(L, O) -> exists C: order_by(O, C)",
+    # Orders must have content.
+    "forall O, C: order_by(O, C) -> exists L: item_of(L, O)",
+    # Derived status discipline: shipped orders are not open.
+    "forall O: shipped(O) -> not open_order(O)",
+)
+
+RULES = (
+    "open_order(O) :- order_by(O, C), not dispatched(O)",
+    "shipped(O) :- dispatched(O)",
+)
+
+
+class OrdersWorkload:
+    """Seeded generator of a consistent orders database."""
+
+    def __init__(self, n_customers: int, orders_per_customer: int = 2,
+                 items_per_order: int = 2, seed: int = 0):
+        self.n_customers = n_customers
+        self.orders_per_customer = orders_per_customer
+        self.items_per_order = items_per_order
+        self.seed = seed
+
+    def build(self) -> DeductiveDatabase:
+        rng = random.Random(self.seed)
+        db = DeductiveDatabase()
+        for rule in RULES:
+            db.add_rule(rule)
+        item_counter = 0
+        for c in range(self.n_customers):
+            customer = Constant(f"cust{c}")
+            db.add_fact(Atom("customer", (customer,)))
+            for o in range(self.orders_per_customer):
+                order = Constant(f"ord{c}_{o}")
+                db.add_fact(Atom("order_by", (order, customer)))
+                for _ in range(self.items_per_order):
+                    item = Constant(f"item{item_counter}")
+                    item_counter += 1
+                    db.add_fact(Atom("item_of", (item, order)))
+                if rng.random() < 0.5:
+                    db.add_fact(Atom("dispatched", (order,)))
+        for text in CONSTRAINTS:
+            db.add_constraint(text)
+        return db
+
+    def deletion_stream(self, count: int, seed: int = 1) -> List[Literal]:
+        """Single-fact deletions: some safe (spare line items), some
+        violating (last item of an order, a referenced customer)."""
+        rng = random.Random(seed)
+        out: List[Literal] = []
+        for i in range(count):
+            kind = rng.randrange(3)
+            c = rng.randrange(self.n_customers)
+            o = rng.randrange(self.orders_per_customer)
+            if kind == 0:
+                # Safe when the order has >= 2 items: delete one item.
+                item_index = (
+                    (c * self.orders_per_customer + o)
+                    * self.items_per_order
+                )
+                out.append(
+                    Literal(
+                        Atom(
+                            "item_of",
+                            (
+                                Constant(f"item{item_index}"),
+                                Constant(f"ord{c}_{o}"),
+                            ),
+                        ),
+                        False,
+                    )
+                )
+            elif kind == 1:
+                # Violating: delete a referenced customer.
+                out.append(
+                    Literal(Atom("customer", (Constant(f"cust{c}"),)), False)
+                )
+            else:
+                # Violating: delete the order_by link while items remain.
+                out.append(
+                    Literal(
+                        Atom(
+                            "order_by",
+                            (
+                                Constant(f"ord{c}_{o}"),
+                                Constant(f"cust{c}"),
+                            ),
+                        ),
+                        False,
+                    )
+                )
+        return out
+
+
+def make_orders_database(n_customers: int, seed: int = 0) -> DeductiveDatabase:
+    return OrdersWorkload(n_customers, seed=seed).build()

@@ -1,0 +1,159 @@
+"""Relational (rule-free) workload: the E1 benchmark substrate.
+
+An employee/department schema with the constraint mix classical
+integrity papers discuss:
+
+* inclusion dependencies — ``works_in ⊆ employee × department``;
+* a domain constraint    — salary bands come from a fixed set;
+* a guarded existential  — every department has at least one member;
+* a key-style FD         — one salary band per employee (``same``-encoded).
+
+Databases are generated satisfied-by-construction, deterministically
+from a seed; update streams mix harmless and violating updates with a
+configurable violation rate so both code paths get exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.datalog.database import DeductiveDatabase
+from repro.logic.formulas import Atom, Literal
+from repro.logic.terms import Constant
+
+SALARY_BANDS = ("junior", "senior", "principal")
+
+CONSTRAINTS = (
+    # Inclusion dependencies.
+    "forall E, D: works_in(E, D) -> employee(E)",
+    "forall E, D: works_in(E, D) -> department(D)",
+    # Salary band domain + totality over employees.
+    "forall E, B: salary(E, B) -> band(B)",
+    "forall E: employee(E) -> exists B: band(B) and salary(E, B)",
+    # Every department is staffed.
+    "forall D: department(D) -> exists E: employee(E) and works_in(E, D)",
+    # FD: at most one band per employee, with an explicit same/2 guard.
+    "forall [E, B1, B2]: salary(E, B1) and salary(E, B2) -> same(B1, B2)",
+)
+
+
+class RelationalWorkload:
+    """Deterministic generator of satisfied databases and update streams."""
+
+    def __init__(
+        self,
+        n_employees: int,
+        n_departments: int = 0,
+        seed: int = 0,
+    ):
+        self.n_employees = n_employees
+        self.n_departments = n_departments or max(2, n_employees // 10)
+        self.seed = seed
+
+    def build(self) -> DeductiveDatabase:
+        rng = random.Random(self.seed)
+        db = DeductiveDatabase()
+        for band in SALARY_BANDS:
+            db.add_fact(Atom("band", (Constant(band),)))
+            db.add_fact(Atom("same", (Constant(band), Constant(band))))
+        departments = [f"d{i}" for i in range(self.n_departments)]
+        for dept in departments:
+            db.add_fact(Atom("department", (Constant(dept),)))
+        for i in range(self.n_employees):
+            emp = f"e{i}"
+            db.add_fact(Atom("employee", (Constant(emp),)))
+            db.add_fact(
+                Atom(
+                    "salary",
+                    (Constant(emp), Constant(rng.choice(SALARY_BANDS))),
+                )
+            )
+            # Staff departments round-robin first so each gets someone.
+            dept = departments[i % self.n_departments] if i < len(
+                departments
+            ) else rng.choice(departments)
+            db.add_fact(Atom("works_in", (Constant(emp), Constant(dept))))
+        for text in CONSTRAINTS:
+            db.add_constraint(text)
+        if self.n_employees < self.n_departments:
+            raise ValueError(
+                "need at least one employee per department to build a "
+                "satisfied database"
+            )
+        return db
+
+    def update_stream(
+        self, count: int, violation_rate: float = 0.3, seed: int = 1
+    ) -> List[Literal]:
+        """A mix of harmless and violating single-fact updates.
+
+        Violating updates: inserting ``works_in`` for an unknown
+        employee (inclusion), an employee without salary (totality),
+        deleting a department's last member's membership is *not*
+        generated (needs knowledge of staffing); unknown-band salaries
+        cover the domain constraint.
+        """
+        rng = random.Random(seed)
+        updates: List[Literal] = []
+        for i in range(count):
+            if rng.random() < violation_rate:
+                kind = rng.randrange(3)
+                if kind == 0:
+                    # Inclusion violation: ghost employee.
+                    updates.append(
+                        Literal(
+                            Atom(
+                                "works_in",
+                                (Constant(f"ghost{i}"), Constant("d0")),
+                            )
+                        )
+                    )
+                elif kind == 1:
+                    # Totality violation: employee without salary.
+                    updates.append(
+                        Literal(Atom("employee", (Constant(f"new{i}"),)))
+                    )
+                else:
+                    # Domain violation: unknown band.
+                    emp = f"e{rng.randrange(self.n_employees)}"
+                    updates.append(
+                        Literal(
+                            Atom(
+                                "salary",
+                                (Constant(emp), Constant("imaginary")),
+                            )
+                        )
+                    )
+            else:
+                kind = rng.randrange(2)
+                if kind == 0:
+                    # Harmless: move an existing employee to a department.
+                    emp = f"e{rng.randrange(self.n_employees)}"
+                    dept = f"d{rng.randrange(self.n_departments)}"
+                    updates.append(
+                        Literal(
+                            Atom("works_in", (Constant(emp), Constant(dept)))
+                        )
+                    )
+                else:
+                    # Harmless: delete a salary fact of nobody (no-op) or
+                    # delete a non-last works_in — keep it simple with a
+                    # guaranteed no-op delete.
+                    updates.append(
+                        Literal(
+                            Atom(
+                                "works_in",
+                                (Constant(f"e{i}x"), Constant("d0")),
+                            ),
+                            False,
+                        )
+                    )
+        return updates
+
+
+def make_relational_database(
+    n_employees: int, n_departments: int = 0, seed: int = 0
+) -> DeductiveDatabase:
+    """Convenience wrapper used by benches and examples."""
+    return RelationalWorkload(n_employees, n_departments, seed).build()

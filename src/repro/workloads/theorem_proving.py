@@ -1,0 +1,140 @@
+"""Theorem-proving problems for the satisfiability checker (E5–E7).
+
+The paper reports "promising efficiency … on well-known benchmark
+examples from the theorem-proving literature" — the SATCHMO papers it
+cites ([MANT 87a/b]) used Schubert's steamroller and its relatives. The
+builders below produce surface-syntax sources for:
+
+* the Section 5 organization example (and its satisfiable weakening);
+* Schubert's steamroller (with the negated conclusion: unsatisfiable);
+* pigeonhole instances (ground, unsatisfiable);
+* graph 2-colouring of cycles (even: satisfiable, odd: not);
+* serial-order axiom families whose finite models need constant reuse.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+SECTION5 = """
+member(X, Y) :- leads(X, Y).
+
+forall X: employee(X) -> exists Y: department(Y) and member(X, Y).
+forall X: department(X) -> exists Y: employee(Y) and leads(Y, X).
+forall X, Y: member(X, Y) -> (forall Z: leads(Z, Y) -> subordinate(X, Z)).
+forall X: not subordinate(X, X).
+exists X: employee(X).
+"""
+
+SECTION5_WEAKENED = """
+member(X, Y) :- leads(X, Y).
+
+forall X: employee(X) -> exists Y: department(Y) and member(X, Y).
+forall X: department(X) -> exists Y: employee(Y) and leads(Y, X).
+forall X, Y: member(X, Y) -> leads(X, Y) or
+    (forall Z: leads(Z, Y) -> subordinate(X, Z)).
+forall X: not subordinate(X, X).
+exists X: employee(X).
+"""
+
+
+def steamroller() -> str:
+    """Schubert's steamroller, clausal FO form, conclusion negated —
+    the whole set is unsatisfiable (the conclusion is a theorem)."""
+    return """
+    % the menagerie exists
+    exists X: wolf(X).
+    exists X: fox(X).
+    exists X: bird(X).
+    exists X: caterpillar(X).
+    exists X: snail(X).
+    exists X: grain(X).
+
+    % taxonomy
+    forall X: wolf(X) -> animal(X).
+    forall X: fox(X) -> animal(X).
+    forall X: bird(X) -> animal(X).
+    forall X: caterpillar(X) -> animal(X).
+    forall X: snail(X) -> animal(X).
+    forall X: grain(X) -> plant(X).
+
+    % size ordering
+    forall X, Y: caterpillar(X) and bird(Y) -> smaller(X, Y).
+    forall X, Y: snail(X) and bird(Y) -> smaller(X, Y).
+    forall X, Y: bird(X) and fox(Y) -> smaller(X, Y).
+    forall X, Y: fox(X) and wolf(Y) -> smaller(X, Y).
+
+    % dietary facts
+    forall X, Y: wolf(X) and fox(Y) -> not eats(X, Y).
+    forall X, Y: wolf(X) and grain(Y) -> not eats(X, Y).
+    forall X, Y: bird(X) and caterpillar(Y) -> eats(X, Y).
+    forall X, Y: bird(X) and snail(Y) -> not eats(X, Y).
+    forall X: caterpillar(X) -> exists Y: plant(Y) and eats(X, Y).
+    forall X: snail(X) -> exists Y: plant(Y) and eats(X, Y).
+
+    % every animal eats all plants, or eats all smaller plant-eating animals
+    forall A: animal(A) ->
+        (forall P: plant(P) -> eats(A, P)) or
+        (forall [B, Q]: animal(B) and smaller(B, A) and plant(Q)
+                        and eats(B, Q) -> eats(A, B)).
+
+    % negated conclusion: no animal eats a grain-eating animal
+    forall [A, B]: animal(A) and animal(B) and eats(A, B) ->
+        (forall G: grain(G) -> not eats(B, G)).
+    """
+
+
+def pigeonhole(holes: int, pigeons: int = 0) -> str:
+    """Ground pigeonhole principle: *pigeons* birds into *holes* holes,
+    no sharing. With pigeons = holes + 1 (default) it is unsatisfiable.
+    """
+    if pigeons <= 0:
+        pigeons = holes + 1
+    lines: List[str] = []
+    for p in range(pigeons):
+        alternatives = " or ".join(
+            f"sits(p{p}, h{h})" for h in range(holes)
+        )
+        lines.append(f"{alternatives}.")
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                lines.append(
+                    f"sits(p{p1}, h{h}) -> not sits(p{p2}, h{h})."
+                )
+    return "\n".join(lines)
+
+
+def cycle_coloring(length: int, colors: int = 2) -> str:
+    """Ground 2-colouring (or k-colouring) of an undirected cycle.
+    Even cycles are 2-colourable (satisfiable), odd ones are not."""
+    palette = [f"col{c}" for c in range(colors)]
+    lines: List[str] = []
+    for v in range(length):
+        alternatives = " or ".join(
+            f"color(v{v}, {color})" for color in palette
+        )
+        lines.append(f"{alternatives}.")
+    for v in range(length):
+        w = (v + 1) % length
+        for color in palette:
+            lines.append(
+                f"color(v{v}, {color}) -> not color(v{w}, {color})."
+            )
+    return "\n".join(lines)
+
+
+def serial_order(irreflexive: bool = False, antisymmetric: bool = False) -> str:
+    """Serial successor axioms: every p-element relates onward to a
+    p-element. With no further axioms a one-element loop is a model;
+    irreflexivity forces two elements; adding antisymmetry and
+    transitivity (see the checker tests) kills all finite models."""
+    lines = [
+        "exists X: p(X).",
+        "forall X: p(X) -> exists Y: p(Y) and r(X, Y).",
+    ]
+    if irreflexive:
+        lines.append("forall X: not r(X, X).")
+    if antisymmetric:
+        lines.append("forall X, Y: r(X, Y) -> not r(Y, X).")
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Unit tests for bottom-up evaluation (naive and semi-naive)."""
+
+import pytest
+
+from repro.datalog.bottomup import compute_model, compute_model_naive
+from repro.datalog.facts import FactStore
+from repro.datalog.program import Program, Rule
+from repro.logic.formulas import Atom
+from repro.logic.parser import parse_fact, parse_rule
+from repro.logic.terms import Constant
+
+
+def program(*texts):
+    return Program([Rule.from_parsed(parse_rule(t)) for t in texts])
+
+
+def store(*facts):
+    return FactStore(parse_fact(f) for f in facts)
+
+
+def chain_store(n):
+    """A linear par-chain c0 -> c1 -> ... -> cn."""
+    s = FactStore()
+    for i in range(n):
+        s.add(Atom("par", (Constant(f"c{i}"), Constant(f"c{i+1}"))))
+    return s
+
+
+ANCESTOR = program(
+    "anc(X, Y) :- par(X, Y)",
+    "anc(X, Y) :- par(X, Z), anc(Z, Y)",
+)
+
+
+class TestNonRecursive:
+    def test_single_rule(self):
+        model = compute_model(
+            store("leads(ann, sales)"),
+            program("member(X, Y) :- leads(X, Y)"),
+        )
+        assert model.contains(parse_fact("member(ann, sales)"))
+        assert model.contains(parse_fact("leads(ann, sales)"))
+
+    def test_join_two_literals(self):
+        model = compute_model(
+            store("q(a, b)", "p(b, c)"),
+            program("r(X) :- q(X, Y), p(Y, Z)"),
+        )
+        assert model.contains(parse_fact("r(a)"))
+
+    def test_no_spurious_derivation(self):
+        model = compute_model(
+            store("q(a, b)", "p(c, d)"),
+            program("r(X) :- q(X, Y), p(Y, Z)"),
+        )
+        assert not model.contains(parse_fact("r(a)"))
+
+    def test_empty_program(self):
+        edb = store("p(a)")
+        model = compute_model(edb, Program())
+        assert set(model) == set(edb)
+
+    def test_input_store_not_mutated(self):
+        edb = store("leads(ann, sales)")
+        compute_model(edb, program("member(X, Y) :- leads(X, Y)"))
+        assert len(edb) == 1
+
+
+class TestRecursive:
+    def test_transitive_closure(self):
+        model = compute_model(chain_store(5), ANCESTOR)
+        # anc must contain all 15 pairs i < j in 0..5.
+        pairs = [f for f in model if f.pred == "anc"]
+        assert len(pairs) == 15
+        assert model.contains(parse_fact("anc(c0, c5)"))
+
+    def test_cycle_terminates(self):
+        edb = store("par(a, b)", "par(b, a)")
+        model = compute_model(edb, ANCESTOR)
+        assert model.contains(parse_fact("anc(a, a)"))
+        assert model.contains(parse_fact("anc(b, b)"))
+
+    def test_same_generation(self):
+        sg = program(
+            "sg(X, Y) :- flat(X, Y)",
+            "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y)",
+        )
+        edb = store(
+            "up(a, b)",
+            "up(c, d)",
+            "flat(b, d)",
+            "flat(d, b)",
+            "down(d, e)",
+            "down(b, f)",
+        )
+        model = compute_model(edb, sg)
+        assert model.contains(parse_fact("sg(a, e)"))
+        assert model.contains(parse_fact("sg(c, f)"))
+
+    def test_mutual_recursion(self):
+        parity = program(
+            "even(X) :- zero(X)",
+            "even(X) :- succ(Y, X), odd(Y)",
+            "odd(X) :- succ(Y, X), even(Y)",
+        )
+        edb = store("zero(0)", "succ(0, 1)", "succ(1, 2)", "succ(2, 3)")
+        model = compute_model(edb, parity)
+        assert model.contains(parse_fact("even(0)"))
+        assert model.contains(parse_fact("odd(1)"))
+        assert model.contains(parse_fact("even(2)"))
+        assert model.contains(parse_fact("odd(3)"))
+        assert not model.contains(parse_fact("odd(0)"))
+
+
+class TestStratifiedNegation:
+    def test_negation_lower_stratum(self):
+        prog = program(
+            "attends(X, ddb) :- student(X), keen(X)",
+            "missing(X) :- student(X), not attends(X, ddb)",
+        )
+        edb = store("student(jack)", "student(jill)", "keen(jill)")
+        model = compute_model(edb, prog)
+        assert model.contains(parse_fact("missing(jack)"))
+        assert not model.contains(parse_fact("missing(jill)"))
+
+    def test_negation_over_recursion(self):
+        prog = program(
+            "anc(X, Y) :- par(X, Y)",
+            "anc(X, Y) :- par(X, Z), anc(Z, Y)",
+            "stranger(X, Y) :- person(X), person(Y), not anc(X, Y)",
+        )
+        edb = store("par(a, b)", "person(a)", "person(b)")
+        model = compute_model(edb, prog)
+        assert not model.contains(parse_fact("stranger(a, b)"))
+        assert model.contains(parse_fact("stranger(b, a)"))
+        assert model.contains(parse_fact("stranger(a, a)"))
+
+    def test_negative_before_positive_in_body(self):
+        # Range restriction is satisfied; the join must defer the
+        # negative literal until X is bound.
+        prog = program("p(X) :- not q(X), base(X)")
+        model = compute_model(store("base(a)", "base(b)", "q(a)"), prog)
+        assert not model.contains(parse_fact("p(a)"))
+        assert model.contains(parse_fact("p(b)"))
+
+
+class TestSemiNaiveAgainstNaive:
+    @pytest.mark.parametrize("n", [1, 3, 7])
+    def test_chain_agreement(self, n):
+        semi = compute_model(chain_store(n), ANCESTOR)
+        naive = compute_model_naive(chain_store(n), ANCESTOR)
+        assert set(semi) == set(naive)
+
+    def test_negation_agreement(self):
+        prog = program(
+            "anc(X, Y) :- par(X, Y)",
+            "anc(X, Y) :- par(X, Z), anc(Z, Y)",
+            "root(X) :- par(X, Y), not child(X)",
+            "child(X) :- par(Y, X)",
+        )
+        edb = store("par(a, b)", "par(b, c)", "par(c, d)")
+        semi = compute_model(edb, prog)
+        naive = compute_model_naive(edb, prog)
+        assert set(semi) == set(naive)
+
+    def test_fact_and_rule_same_predicate(self):
+        # A predicate may be both stored and derived.
+        prog = program("member(X, Y) :- leads(X, Y)")
+        edb = store("member(bob, hr)", "leads(ann, sales)")
+        model = compute_model(edb, prog)
+        assert model.contains(parse_fact("member(bob, hr)"))
+        assert model.contains(parse_fact("member(ann, sales)"))

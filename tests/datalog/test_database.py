@@ -1,0 +1,187 @@
+"""Unit tests for the DeductiveDatabase façade."""
+
+import pytest
+
+from repro.datalog.database import Constraint, DeductiveDatabase
+from repro.datalog.overlay import OverlayFactStore
+from repro.logic.normalize import NormalizationError
+from repro.logic.parser import parse_fact, parse_literal
+
+SECTION5 = """
+member(X, Y) :- leads(X, Y).
+
+forall X: employee(X) -> exists Y: department(Y) and member(X, Y).
+forall X: department(X) -> exists Y: employee(Y) and leads(Y, X).
+forall X, Y: member(X, Y) -> (forall Z: leads(Z, Y) -> subordinate(X, Z)).
+forall X: not subordinate(X, X).
+exists X: employee(X).
+"""
+
+
+class TestConstruction:
+    def test_from_source(self):
+        db = DeductiveDatabase.from_source(SECTION5)
+        assert len(db.program) == 1
+        assert len(db.constraints) == 5
+        assert len(db.facts) == 0
+
+    def test_constraint_ids_assigned(self):
+        db = DeductiveDatabase.from_source(SECTION5)
+        ids = [c.id for c in db.constraints]
+        assert len(set(ids)) == 5
+
+    def test_add_constraint_normalizes(self):
+        db = DeductiveDatabase()
+        stored = db.add_constraint("forall X: p(X) -> q(X)")
+        from repro.logic.formulas import Forall
+
+        assert isinstance(stored.formula, Forall)
+        assert stored.formula.restriction is not None
+
+    def test_add_constraint_rejects_domain_dependent(self):
+        db = DeductiveDatabase()
+        with pytest.raises(NormalizationError):
+            db.add_constraint("forall X: p(X)")
+
+    def test_custom_constraint_id(self):
+        db = DeductiveDatabase()
+        stored = db.add_constraint("exists X: p(X)", id="nonempty")
+        assert db.constraint_by_id("nonempty") is stored
+
+    def test_unknown_constraint_id(self):
+        db = DeductiveDatabase()
+        with pytest.raises(KeyError):
+            db.constraint_by_id("ghost")
+
+
+class TestUpdates:
+    def test_apply_insert(self):
+        db = DeductiveDatabase()
+        assert db.apply_update("p(a)")
+        assert db.holds("p(a)")
+
+    def test_apply_insert_existing_is_noop(self):
+        db = DeductiveDatabase()
+        db.apply_update("p(a)")
+        assert not db.apply_update("p(a)")
+
+    def test_apply_delete(self):
+        db = DeductiveDatabase()
+        db.apply_update("p(a)")
+        assert db.apply_update("not p(a)")
+        assert not db.holds("p(a)")
+
+    def test_apply_delete_absent_is_noop(self):
+        db = DeductiveDatabase()
+        assert not db.apply_update("not p(a)")
+
+    def test_updated_view_simulates_insert(self):
+        db = DeductiveDatabase.from_source("leads(ann, sales).")
+        view = db.updated("leads(bob, hr)")
+        assert view.holds("leads(bob, hr)")
+        assert not db.holds("leads(bob, hr)")
+
+    def test_updated_view_sees_induced_derivation(self):
+        db = DeductiveDatabase.from_source(
+            "member(X, Y) :- leads(X, Y)."
+        )
+        view = db.updated("leads(ann, sales)")
+        assert view.holds("member(ann, sales)")
+
+    def test_updated_view_simulates_delete(self):
+        db = DeductiveDatabase.from_source(
+            "leads(ann, sales). member(X, Y) :- leads(X, Y)."
+        )
+        view = db.updated("not leads(ann, sales)")
+        assert not view.holds("member(ann, sales)")
+        assert db.holds("member(ann, sales)")
+
+    def test_overlay_database_cannot_be_mutated(self):
+        db = DeductiveDatabase.from_source("p(a).")
+        view = db.updated("p(b)")
+        with pytest.raises(TypeError):
+            view.apply_update("p(c)")
+
+    def test_updated_of_updated_stacks(self):
+        db = DeductiveDatabase.from_source("p(a).")
+        once = db.updated("p(b)")
+        twice = once.updated("p(c)")
+        assert twice.holds("p(a)")
+        assert twice.holds("p(b)")
+        assert twice.holds("p(c)")
+
+
+class TestQuerying:
+    def test_query_formula_text(self):
+        db = DeductiveDatabase.from_source(
+            "student(jack). enrolled(X, cs) :- student(X)."
+        )
+        assert db.query("forall X: student(X) -> enrolled(X, cs)")
+        assert not db.query("exists X: enrolled(X, maths)")
+
+    def test_canonical_model(self):
+        db = DeductiveDatabase.from_source(
+            "leads(ann, sales). member(X, Y) :- leads(X, Y)."
+        )
+        model = db.canonical_model()
+        assert model.contains(parse_fact("member(ann, sales)"))
+
+    def test_engine_cache_invalidated_on_update(self):
+        db = DeductiveDatabase.from_source(
+            "student(jack). enrolled(X, cs) :- student(X)."
+        )
+        assert db.holds("enrolled(jack, cs)")
+        db.apply_update("student(jill)")
+        assert db.holds("enrolled(jill, cs)")
+
+    def test_engine_cached_between_reads(self):
+        db = DeductiveDatabase.from_source("p(a).")
+        assert db.engine() is db.engine()
+
+
+class TestFullConstraintSweep:
+    def test_empty_database_satisfies_universals_only(self):
+        db = DeductiveDatabase.from_source(SECTION5)
+        violated = db.violated_constraints()
+        # Only the existential constraint (5) fails on the empty database
+        # (Section 4: every universal holds when there are no facts).
+        assert len(violated) == 1
+        from repro.logic.formulas import Exists
+
+        assert isinstance(violated[0].formula, Exists)
+
+    def test_satisfied_after_inserts(self):
+        db = DeductiveDatabase.from_source(
+            """
+            p(a). q(a).
+            forall X: p(X) -> q(X).
+            exists X: p(X).
+            """
+        )
+        assert db.all_constraints_satisfied()
+
+    def test_violation_detected(self):
+        db = DeductiveDatabase.from_source(
+            """
+            p(a).
+            forall X: p(X) -> q(X).
+            """
+        )
+        violated = db.violated_constraints()
+        assert len(violated) == 1
+
+
+class TestCopy:
+    def test_copy_independent_facts(self):
+        db = DeductiveDatabase.from_source("p(a).")
+        clone = db.copy()
+        clone.apply_update("p(b)")
+        assert not db.holds("p(b)")
+
+    def test_copy_of_overlay_materializes(self):
+        db = DeductiveDatabase.from_source("p(a).")
+        view = db.updated("p(b)")
+        clone = view.copy()
+        assert clone.holds("p(b)")
+        clone.apply_update("p(c)")  # copies of overlays are mutable
+        assert clone.holds("p(c)")

@@ -1,0 +1,120 @@
+"""Unit tests for the indexed fact store."""
+
+import pytest
+
+from repro.datalog.facts import FactStore
+from repro.logic.formulas import Atom
+from repro.logic.terms import Constant, Variable
+
+X, Y = Variable("X"), Variable("Y")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+def atom(pred, *args):
+    return Atom(pred, args)
+
+
+@pytest.fixture
+def store():
+    s = FactStore()
+    s.add(atom("p", a, b))
+    s.add(atom("p", a, c))
+    s.add(atom("p", b, c))
+    s.add(atom("q", a))
+    return s
+
+
+class TestMutation:
+    def test_add_new(self, store):
+        assert store.add(atom("q", b))
+        assert store.contains(atom("q", b))
+
+    def test_add_duplicate(self, store):
+        assert not store.add(atom("q", a))
+        assert store.count("q") == 1
+
+    def test_add_nonground_rejected(self):
+        with pytest.raises(ValueError):
+            FactStore().add(atom("p", X))
+
+    def test_remove_present(self, store):
+        assert store.remove(atom("p", a, b))
+        assert not store.contains(atom("p", a, b))
+
+    def test_remove_absent(self, store):
+        assert not store.remove(atom("p", c, c))
+
+    def test_remove_updates_index(self, store):
+        store.remove(atom("p", a, b))
+        assert list(store.match(atom("p", a, Y))) == [atom("p", a, c)]
+
+    def test_clear(self, store):
+        store.clear()
+        assert len(store) == 0
+        assert list(store.match(atom("p", X, Y))) == []
+
+
+class TestMatching:
+    def test_match_all_of_predicate(self, store):
+        assert set(store.match(atom("p", X, Y))) == {
+            atom("p", a, b),
+            atom("p", a, c),
+            atom("p", b, c),
+        }
+
+    def test_match_first_position_bound(self, store):
+        assert set(store.match(atom("p", a, Y))) == {
+            atom("p", a, b),
+            atom("p", a, c),
+        }
+
+    def test_match_second_position_bound(self, store):
+        assert set(store.match(atom("p", X, c))) == {
+            atom("p", a, c),
+            atom("p", b, c),
+        }
+
+    def test_match_ground(self, store):
+        assert list(store.match(atom("p", a, b))) == [atom("p", a, b)]
+        assert list(store.match(atom("p", c, a))) == []
+
+    def test_match_repeated_variable(self, store):
+        store.add(atom("p", c, c))
+        assert set(store.match(atom("p", X, X))) == {atom("p", c, c)}
+
+    def test_match_unknown_predicate(self, store):
+        assert list(store.match(atom("r", X))) == []
+
+    def test_match_unknown_constant_short_circuits(self, store):
+        assert list(store.match(atom("p", Constant("zz"), Y))) == []
+
+    def test_match_substitutions(self, store):
+        answers = set()
+        for subst in store.match_substitutions(atom("p", a, Y)):
+            answers.add(subst.apply_term(Y))
+        assert answers == {b, c}
+
+
+class TestInspection:
+    def test_len(self, store):
+        assert len(store) == 4
+
+    def test_predicates(self, store):
+        assert store.predicates() == {"p", "q"}
+
+    def test_count(self, store):
+        assert store.count("p") == 3
+        assert store.count("missing") == 0
+
+    def test_iteration(self, store):
+        assert len(list(store)) == 4
+
+    def test_copy_is_independent(self, store):
+        clone = store.copy()
+        clone.add(atom("q", c))
+        assert not store.contains(atom("q", c))
+        store.remove(atom("q", a))
+        assert clone.contains(atom("q", a))
+
+    def test_constants(self, store):
+        assert store.constants() == {a, b, c}

@@ -1,0 +1,156 @@
+"""Tests for DRed incremental maintenance, including the property that
+the maintained model always equals a from-scratch recomputation."""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.datalog.bottomup import compute_model
+from repro.datalog.facts import FactStore
+from repro.datalog.incremental import MaintainedModel
+from repro.datalog.program import Program, Rule
+from repro.logic.formulas import Atom, Literal
+from repro.logic.parser import parse_fact, parse_literal, parse_rule
+from repro.logic.terms import Constant
+
+
+def program(*texts):
+    return Program([Rule.from_parsed(parse_rule(t)) for t in texts])
+
+
+def store(*facts):
+    return FactStore(parse_fact(f) for f in facts)
+
+
+ANCESTOR = program(
+    "anc(X, Y) :- par(X, Y)",
+    "anc(X, Y) :- par(X, Z), anc(Z, Y)",
+)
+
+
+class TestBasicMaintenance:
+    def test_insert_propagates(self):
+        maintained = MaintainedModel(store("par(a, b)"), ANCESTOR)
+        inserted, deleted = maintained.apply([parse_literal("par(b, c)")])
+        assert parse_fact("anc(a, c)") in inserted
+        assert maintained.holds(parse_fact("anc(a, c)"))
+        assert not deleted
+
+    def test_delete_cascades(self):
+        maintained = MaintainedModel(
+            store("par(a, b)", "par(b, c)"), ANCESTOR
+        )
+        inserted, deleted = maintained.apply(
+            [parse_literal("not par(b, c)")]
+        )
+        assert parse_fact("anc(a, c)") in deleted
+        assert parse_fact("anc(b, c)") in deleted
+        assert not maintained.holds(parse_fact("anc(a, c)"))
+        assert maintained.holds(parse_fact("anc(a, b)"))
+
+    def test_rederivation_keeps_supported_facts(self):
+        # anc(a, c) has two derivations: via b and via d.
+        maintained = MaintainedModel(
+            store("par(a, b)", "par(b, c)", "par(a, d)", "par(d, c)"),
+            ANCESTOR,
+        )
+        _, deleted = maintained.apply([parse_literal("not par(b, c)")])
+        assert maintained.holds(parse_fact("anc(a, c)"))
+        assert parse_fact("anc(a, c)") not in deleted
+        assert parse_fact("anc(b, c)") in deleted
+
+    def test_deleted_edb_fact_still_derivable_stays(self):
+        prog = program("p(X) :- base(X)")
+        maintained = MaintainedModel(store("p(a)", "base(a)"), prog)
+        _, deleted = maintained.apply([parse_literal("not p(a)")])
+        assert maintained.holds(parse_fact("p(a)"))
+        assert parse_fact("p(a)") not in deleted
+
+    def test_negation_stratum_flip(self):
+        prog = program(
+            "busy(X) :- emp(X), assigned(X)",
+            "idle(X) :- emp(X), not busy(X)",
+        )
+        maintained = MaintainedModel(store("emp(a)"), prog)
+        assert maintained.holds(parse_fact("idle(a)"))
+        inserted, deleted = maintained.apply([parse_literal("assigned(a)")])
+        assert parse_fact("busy(a)") in inserted
+        assert parse_fact("idle(a)") in deleted
+        assert not maintained.holds(parse_fact("idle(a)"))
+
+    def test_transaction_net_change(self):
+        maintained = MaintainedModel(store("par(a, b)"), ANCESTOR)
+        inserted, deleted = maintained.apply(
+            [parse_literal("par(b, c)"), parse_literal("not par(a, b)")]
+        )
+        assert maintained.holds(parse_fact("anc(b, c)"))
+        assert not maintained.holds(parse_fact("anc(a, b)"))
+
+    def test_nonground_update_rejected(self):
+        maintained = MaintainedModel(store(), ANCESTOR)
+        from repro.logic.parser import parse_atom
+        from repro.logic.formulas import Literal as Lit
+
+        with pytest.raises(ValueError):
+            maintained.apply([Lit(parse_atom("par(X, b)"))])
+
+
+RULE_POOL = [
+    "tc(X, Y) :- r(X, Y)",
+    "tc(X, Y) :- r(X, Z), tc(Z, Y)",
+    "node(X) :- r(X, Y)",
+    "node(Y) :- r(X, Y)",
+    "busy(X) :- p(X), q(X)",
+    "idle(X) :- node(X), not busy(X)",
+]
+
+CONSTS = [Constant(c) for c in "abc"]
+
+
+@st.composite
+def maintenance_case(draw):
+    texts = draw(
+        st.lists(st.sampled_from(RULE_POOL), min_size=1, max_size=5, unique=True)
+    )
+    prog = program(*texts)
+    facts = FactStore()
+    for _ in range(draw(st.integers(0, 7))):
+        pred = draw(st.sampled_from(["p", "q", "r"]))
+        arity = 2 if pred == "r" else 1
+        facts.add(
+            Atom(pred, tuple(draw(st.sampled_from(CONSTS)) for _ in range(arity)))
+        )
+    n_updates = draw(st.integers(1, 4))
+    updates = []
+    for _ in range(n_updates):
+        pred = draw(st.sampled_from(["p", "q", "r"]))
+        arity = 2 if pred == "r" else 1
+        atom = Atom(
+            pred, tuple(draw(st.sampled_from(CONSTS)) for _ in range(arity))
+        )
+        updates.append(Literal(atom, draw(st.booleans())))
+    return prog, facts, updates
+
+
+class TestDRedEqualsRecomputation:
+    @given(maintenance_case())
+    @settings(max_examples=80, deadline=None)
+    def test_maintained_model_equals_recomputed(self, case):
+        prog, facts, updates = case
+        maintained = MaintainedModel(facts, prog)
+        maintained.apply(updates)
+        expected = compute_model(maintained.edb.copy(), prog)
+        assert set(maintained.snapshot()) == set(expected)
+
+    @given(maintenance_case())
+    @settings(max_examples=40, deadline=None)
+    def test_reported_changes_are_the_model_diff(self, case):
+        prog, facts, updates = case
+        before = compute_model(facts.copy(), prog)
+        maintained = MaintainedModel(facts, prog)
+        inserted, deleted = maintained.apply(updates)
+        after = compute_model(maintained.edb.copy(), prog)
+        expected_inserted = {a for a in after if not before.contains(a)}
+        expected_deleted = {a for a in before if not after.contains(a)}
+        assert inserted == expected_inserted
+        assert deleted == expected_deleted

@@ -1,0 +1,120 @@
+"""Unit tests for the overlay fact store (simulated U(D))."""
+
+import pytest
+
+from repro.datalog.facts import FactStore
+from repro.datalog.overlay import OverlayFactStore
+from repro.logic.formulas import Atom, Literal
+from repro.logic.parser import parse_atom, parse_fact, parse_literal
+from repro.logic.terms import Variable
+
+X = Variable("X")
+
+
+@pytest.fixture
+def base():
+    s = FactStore()
+    s.add(parse_fact("p(a)"))
+    s.add(parse_fact("p(b)"))
+    s.add(parse_fact("q(a)"))
+    return s
+
+
+class TestInsertion:
+    def test_added_fact_visible(self, base):
+        view = OverlayFactStore.from_update(base, parse_literal("p(c)"))
+        assert view.contains(parse_fact("p(c)"))
+        assert set(view.match(parse_atom("p(X)"))) == {
+            parse_fact("p(a)"),
+            parse_fact("p(b)"),
+            parse_fact("p(c)"),
+        }
+
+    def test_base_not_mutated(self, base):
+        OverlayFactStore.from_update(base, parse_literal("p(c)"))
+        assert not base.contains(parse_fact("p(c)"))
+
+    def test_inserting_existing_fact_is_noop(self, base):
+        view = OverlayFactStore.from_update(base, parse_literal("p(a)"))
+        assert len(view) == len(base)
+        assert list(view.match(parse_atom("p(a)"))) == [parse_fact("p(a)")]
+
+
+class TestDeletion:
+    def test_removed_fact_invisible(self, base):
+        view = OverlayFactStore.from_update(base, parse_literal("not p(a)"))
+        assert not view.contains(parse_fact("p(a)"))
+        assert set(view.match(parse_atom("p(X)"))) == {parse_fact("p(b)")}
+
+    def test_deleting_absent_fact_is_noop(self, base):
+        view = OverlayFactStore.from_update(base, parse_literal("not p(z)"))
+        assert len(view) == len(base)
+
+
+class TestTransactions:
+    def test_insert_then_delete_cancels(self, base):
+        view = OverlayFactStore.from_updates(
+            base, [parse_literal("p(c)"), parse_literal("not p(c)")]
+        )
+        assert not view.contains(parse_fact("p(c)"))
+
+    def test_delete_then_insert_restores(self, base):
+        view = OverlayFactStore.from_updates(
+            base, [parse_literal("not p(a)"), parse_literal("p(a)")]
+        )
+        assert view.contains(parse_fact("p(a)"))
+
+    def test_mixed_transaction(self, base):
+        view = OverlayFactStore.from_updates(
+            base,
+            [
+                parse_literal("p(c)"),
+                parse_literal("not q(a)"),
+                parse_literal("r(d)"),
+            ],
+        )
+        assert view.contains(parse_fact("p(c)"))
+        assert view.contains(parse_fact("r(d)"))
+        assert not view.contains(parse_fact("q(a)"))
+        assert view.predicates() == {"p", "q", "r"}
+
+
+class TestReadInterface:
+    def test_len(self, base):
+        view = OverlayFactStore(
+            base,
+            added=[parse_fact("p(c)")],
+            removed=[parse_fact("q(a)")],
+        )
+        assert len(view) == 3
+
+    def test_facts_by_predicate(self, base):
+        view = OverlayFactStore(base, added=[parse_fact("p(c)")])
+        assert view.facts("p") == {
+            parse_fact("p(a)"),
+            parse_fact("p(b)"),
+            parse_fact("p(c)"),
+        }
+
+    def test_iteration_no_duplicates(self, base):
+        view = OverlayFactStore(base, added=[parse_fact("p(a)")])
+        facts = list(view)
+        assert len(facts) == len(set(facts)) == 3
+
+    def test_copy_materializes(self, base):
+        view = OverlayFactStore(
+            base, added=[parse_fact("r(z)")], removed=[parse_fact("p(a)")]
+        )
+        solid = view.copy()
+        assert solid.contains(parse_fact("r(z)"))
+        assert not solid.contains(parse_fact("p(a)"))
+
+    def test_nonground_update_rejected(self, base):
+        with pytest.raises(ValueError):
+            OverlayFactStore(base, added=[parse_atom("p(X)")])
+
+    def test_constants_include_added(self, base):
+        view = OverlayFactStore(base, added=[parse_fact("r(z)")])
+        from repro.logic.terms import Constant
+
+        assert Constant("z") in view.constants()

@@ -1,0 +1,148 @@
+"""Unit tests for rules, programs and stratification."""
+
+import pytest
+
+from repro.datalog.program import Program, Rule, StratificationError
+from repro.logic.parser import parse_rule
+from repro.logic.safety import SafetyError
+from repro.logic.terms import Variable
+
+
+def rule(text):
+    return Rule.from_parsed(parse_rule(text))
+
+
+class TestRule:
+    def test_construction(self):
+        r = rule("member(X, Y) :- leads(X, Y)")
+        assert r.head.pred == "member"
+        assert len(r.body) == 1
+
+    def test_range_restriction_enforced(self):
+        with pytest.raises(SafetyError):
+            rule("p(X, Y) :- q(X)")
+
+    def test_empty_body_rejected(self):
+        from repro.logic.formulas import Atom
+        from repro.logic.terms import Constant
+
+        with pytest.raises(ValueError):
+            Rule(Atom("p", (Constant("a"),)), ())
+
+    def test_positive_negative_split(self):
+        r = rule("p(X) :- q(X, Y), not r(Y), s(Y)")
+        assert len(r.positive_body()) == 2
+        assert len(r.negative_body()) == 1
+
+    def test_body_without(self):
+        r = rule("p(X) :- q(X), r(X)")
+        assert len(r.body_without(0)) == 1
+        assert r.body_without(0)[0].atom.pred == "r"
+
+    def test_rename_apart(self):
+        r = rule("p(X) :- q(X, Y)")
+        renamed = r.rename_apart([Variable("X")])
+        assert renamed.head.args[0] != Variable("X")
+        # The renaming is consistent between head and body.
+        assert renamed.head.args[0] == renamed.body[0].atom.args[0]
+
+    def test_str_roundtrip_shape(self):
+        r = rule("p(X) :- q(X), not r(X)")
+        assert str(r) == "p(X) :- q(X), not r(X)"
+
+
+class TestStratification:
+    def test_nonrecursive_single_stratum(self):
+        program = Program([rule("member(X, Y) :- leads(X, Y)")])
+        assert program.stratum_of("member") == 0
+        assert not program.is_recursive()
+
+    def test_negation_introduces_stratum(self):
+        program = Program(
+            [
+                rule("q(X) :- base(X)"),
+                rule("p(X) :- base(X), not q(X)"),
+            ]
+        )
+        assert program.stratum_of("p") == program.stratum_of("q") + 1
+
+    def test_positive_recursion_allowed(self):
+        program = Program(
+            [
+                rule("anc(X, Y) :- par(X, Y)"),
+                rule("anc(X, Y) :- par(X, Z), anc(Z, Y)"),
+            ]
+        )
+        assert program.recursive_predicates == {"anc"}
+
+    def test_mutual_recursion_detected(self):
+        program = Program(
+            [
+                rule("even(X) :- zero(X)"),
+                rule("even(X) :- succ(Y, X), odd(Y)"),
+                rule("odd(X) :- succ(Y, X), even(Y)"),
+            ]
+        )
+        assert {"even", "odd"} <= program.recursive_predicates
+
+    def test_negative_recursion_rejected(self):
+        with pytest.raises(StratificationError):
+            Program(
+                [
+                    rule("win(X) :- move(X, Y), not win(Y)"),
+                    rule("move(X, Y) :- win(X), edge(X, Y)"),
+                ]
+            )
+
+    def test_direct_negative_self_loop_rejected(self):
+        with pytest.raises(StratificationError):
+            Program([rule("p(X) :- q(X), not p(X)")])
+
+    def test_stratified_negation_on_recursion_ok(self):
+        program = Program(
+            [
+                rule("anc(X, Y) :- par(X, Y)"),
+                rule("anc(X, Y) :- par(X, Z), anc(Z, Y)"),
+                rule("unrelated(X, Y) :- person(X), person(Y), not anc(X, Y)"),
+            ]
+        )
+        assert program.stratum_of("unrelated") > program.stratum_of("anc")
+
+
+class TestProgramQueries:
+    def setup_method(self):
+        self.program = Program(
+            [
+                rule("anc(X, Y) :- par(X, Y)"),
+                rule("anc(X, Y) :- par(X, Z), anc(Z, Y)"),
+                rule("rich(X) :- owns(X, Y), gold(Y)"),
+            ]
+        )
+
+    def test_rules_for(self):
+        assert len(self.program.rules_for("anc")) == 2
+        assert len(self.program.rules_for("missing")) == 0
+
+    def test_idb_predicates(self):
+        assert self.program.idb_predicates == {"anc", "rich"}
+
+    def test_is_idb(self):
+        assert self.program.is_idb("anc")
+        assert not self.program.is_idb("par")
+
+    def test_reachable_from(self):
+        assert self.program.reachable_from("anc") == {"anc", "par"}
+        assert self.program.reachable_from("rich") == {"rich", "owns", "gold"}
+        assert self.program.reachable_from("par") == {"par"}
+
+    def test_extended_restratifies(self):
+        bigger = self.program.extended(
+            [rule("poor(X) :- person(X), not rich(X)")]
+        )
+        assert bigger.stratum_of("poor") == bigger.stratum_of("rich") + 1
+        # The original program is unchanged.
+        assert len(self.program) == 3
+
+    def test_all_predicates(self):
+        assert "gold" in self.program.all_predicates()
+        assert "anc" in self.program.all_predicates()

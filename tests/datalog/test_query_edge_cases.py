@@ -1,0 +1,118 @@
+"""Edge-case tests for formula evaluation and witnesses."""
+
+import pytest
+
+from repro.datalog.facts import FactStore
+from repro.datalog.overlay import OverlayFactStore
+from repro.datalog.program import Program, Rule
+from repro.datalog.query import QueryEngine
+from repro.logic.normalize import normalize_constraint
+from repro.logic.parser import (
+    parse_fact,
+    parse_formula,
+    parse_literal,
+    parse_rule,
+)
+
+
+def engine(facts=(), rules=(), strategy="lazy"):
+    store = FactStore(parse_fact(f) for f in facts)
+    program = Program([Rule.from_parsed(parse_rule(r)) for r in rules])
+    return QueryEngine(store, program, strategy)
+
+
+def norm(text):
+    return normalize_constraint(parse_formula(text))
+
+
+class TestEmptyDatabase:
+    def test_universals_hold(self):
+        e = engine()
+        assert e.evaluate(norm("forall X: p(X) -> q(X)"))
+        assert e.evaluate(norm("forall X, Y: r(X, Y) -> not r(Y, X)"))
+
+    def test_existentials_fail(self):
+        e = engine()
+        assert not e.evaluate(norm("exists X: p(X)"))
+
+    def test_ground_negative_holds(self):
+        e = engine()
+        assert e.evaluate(norm("not p(a)"))
+
+
+class TestQuantifierCornerCases:
+    def test_exists_with_guard_constant(self):
+        e = engine(["p(a)", "q(a)"])
+        assert e.evaluate(norm("exists X: p(X) and q(X)"))
+        e2 = engine(["p(a)", "q(b)"])
+        assert not e2.evaluate(norm("exists X: p(X) and q(X)"))
+
+    def test_forall_multiple_restriction_atoms(self):
+        e = engine(["p(a)", "q(a)", "ok(a)", "p(b)"])
+        # b only matches p, not q: the joint restriction excludes it.
+        assert e.evaluate(norm("forall X: p(X) and q(X) -> ok(X)"))
+
+    def test_nested_alternating_quantifiers(self):
+        e = engine(
+            ["emp(a)", "emp(b)", "dept(d)", "in(a, d)", "in(b, d)"]
+        )
+        assert e.evaluate(
+            norm("forall X: emp(X) -> exists Y: dept(Y) and in(X, Y)")
+        )
+        e.facts.add(parse_fact("emp(c)"))
+        assert not e.evaluate(
+            norm("forall X: emp(X) -> exists Y: dept(Y) and in(X, Y)")
+        )
+
+    def test_repeated_variable_in_restriction(self):
+        e = engine(["r(a, a)", "r(a, b)"])
+        assert e.evaluate(norm("exists X: r(X, X)"))
+        assert not e.evaluate(norm("forall X, Y: r(X, Y) -> not r(Y, X)"))
+
+
+class TestViolationWitnesses:
+    def test_multiple_witnesses(self):
+        e = engine(["p(a)", "p(b)", "p(c)", "q(b)"])
+        witnesses = list(e.violations(norm("forall X: p(X) -> q(X)")))
+        assert len(witnesses) == 2
+
+    def test_witnesses_over_derived_facts(self):
+        e = engine(
+            ["leads(ann, sales)"],
+            ["member(X, Y) :- leads(X, Y)"],
+        )
+        witnesses = list(
+            e.violations(norm("forall X, Y: member(X, Y) -> badge(X)"))
+        )
+        assert len(witnesses) == 1
+
+
+class TestOverlayThroughEngine:
+    def test_engine_over_overlay(self):
+        base = FactStore([parse_fact("p(a)")])
+        view = OverlayFactStore.from_update(base, parse_literal("p(b)"))
+        e = QueryEngine(view, Program(), "lazy")
+        assert e.evaluate(norm("exists X: p(X)"))
+        assert e.holds(parse_fact("p(b)"))
+        assert not e.holds(parse_fact("p(c)"))
+
+    def test_derivation_over_overlay_deletion(self):
+        base = FactStore([parse_fact("leads(ann, sales)")])
+        view = OverlayFactStore.from_update(
+            base, parse_literal("not leads(ann, sales)")
+        )
+        program = Program(
+            [Rule.from_parsed(parse_rule("member(X, Y) :- leads(X, Y)"))]
+        )
+        e = QueryEngine(view, program, "lazy")
+        assert not e.holds(parse_fact("member(ann, sales)"))
+
+
+class TestLookupAccounting:
+    def test_lookup_count_monotone(self):
+        e = engine(["p(a)"])
+        before = e.lookup_count
+        e.holds(parse_fact("p(a)"))
+        mid = e.lookup_count
+        e.evaluate(norm("exists X: p(X)"))
+        assert before < mid < e.lookup_count

@@ -1,0 +1,147 @@
+"""Unit tests for direct dependencies and potential updates (Def. 5)."""
+
+from repro.datalog.program import Program, Rule
+from repro.integrity.dependencies import (
+    DependencyIndex,
+    potential_updates,
+)
+from repro.logic.parser import parse_literal, parse_rule
+from repro.logic.unify import subsumes
+
+
+def program(*texts):
+    return Program([Rule.from_parsed(parse_rule(t)) for t in texts])
+
+
+class TestDependencyIndex:
+    def test_positive_and_negative_edges_per_body_literal(self):
+        index = DependencyIndex(program("r(X) :- q(X, Y), p(Y, Z)"))
+        # 2 body literals × 2 polarities = 4 edges.
+        assert len(index.dependencies) == 4
+
+    def test_triggered_by_insertion(self):
+        index = DependencyIndex(program("member(X, Y) :- leads(X, Y)"))
+        deps = list(index.triggered_by(parse_literal("leads(ann, sales)")))
+        assert len(deps) == 1
+        assert deps[0].result.pred == "member"
+        assert deps[0].result.positive
+
+    def test_triggered_by_deletion(self):
+        index = DependencyIndex(program("member(X, Y) :- leads(X, Y)"))
+        deps = list(index.triggered_by(parse_literal("not leads(ann, sales)")))
+        assert len(deps) == 1
+        assert not deps[0].result.positive
+
+    def test_negative_body_literal_flips(self):
+        # idle(X) :- employee(X), not member(X, Y): inserting member can
+        # retract idle; deleting member can assert idle.
+        index = DependencyIndex(
+            program("idle(X) :- employee(X, Y), not member(X, Y)")
+        )
+        inserted = list(index.triggered_by(parse_literal("member(a, b)")))
+        assert any(
+            not d.result.positive and d.result.pred == "idle" for d in inserted
+        )
+        deleted = list(index.triggered_by(parse_literal("not member(a, b)")))
+        assert any(
+            d.result.positive and d.result.pred == "idle" for d in deleted
+        )
+
+    def test_renaming_avoids_capture(self):
+        index = DependencyIndex(program("p(X) :- q(X, Y)"))
+        update = parse_literal("q(X, b)")  # deliberately reuses name X
+        deps = list(index.triggered_by(update))
+        assert len(deps) == 1
+        trigger_vars = deps[0].trigger.atom.variables()
+        # The dependency's own variables were renamed away from the
+        # update's X.
+        from repro.logic.terms import Variable
+
+        assert Variable("X") not in trigger_vars
+
+    def test_backward_closure(self):
+        index = DependencyIndex(
+            program(
+                "b(X) :- a(X)",
+                "c(X) :- b(X)",
+                "z(X) :- y(X)",
+            )
+        )
+        closure = index.backward_closure({("c", True)})
+        assert ("b", True) in closure
+        assert ("a", True) in closure
+        assert ("y", True) not in closure
+        assert ("z", True) not in closure
+
+
+class TestPotentialUpdates:
+    def test_includes_update_itself(self):
+        prog = program("member(X, Y) :- leads(X, Y)")
+        out = potential_updates(prog, parse_literal("leads(ann, sales)"))
+        assert parse_literal("leads(ann, sales)") in out
+
+    def test_single_step(self):
+        prog = program("member(X, Y) :- leads(X, Y)")
+        out = potential_updates(prog, parse_literal("leads(ann, sales)"))
+        assert parse_literal("member(ann, sales)") in out
+
+    def test_chain(self):
+        prog = program(
+            "b(X) :- a(X)",
+            "c(X) :- b(X)",
+        )
+        out = potential_updates(prog, parse_literal("a(k)"))
+        preds = {l.atom.pred for l in out}
+        assert preds == {"a", "b", "c"}
+
+    def test_join_variable_stays_open(self):
+        # r(X) :- q(X, Y), p(Y, Z): updating p(a, b) makes r(X) a
+        # potential update for any X (Section 3.2's example).
+        prog = program("r(X) :- q(X, Y), p(Y, Z)")
+        out = potential_updates(prog, parse_literal("p(a, b)"))
+        r_updates = [l for l in out if l.atom.pred == "r"]
+        assert len(r_updates) == 1
+        assert not r_updates[0].atom.is_ground()
+
+    def test_deletion_propagates_negatively(self):
+        prog = program("member(X, Y) :- leads(X, Y)")
+        out = potential_updates(prog, parse_literal("not leads(ann, sales)"))
+        assert parse_literal("not member(ann, sales)") in out
+
+    def test_recursive_rules_terminate_via_subsumption(self):
+        prog = program(
+            "anc(X, Y) :- par(X, Y)",
+            "anc(X, Y) :- par(X, Z), anc(Z, Y)",
+        )
+        out = potential_updates(prog, parse_literal("par(a, b)"))
+        # Finite: par(a,b) itself plus a most-general anc pattern that
+        # subsumes all the specializations the closure would generate.
+        anc_updates = [l for l in out if l.atom.pred == "anc"]
+        assert len(anc_updates) <= 3
+        # Every specialized anc potential update is subsumed by one kept.
+        assert any(
+            subsumes(kept, parse_literal("anc(a, b)")) for kept in anc_updates
+        )
+
+    def test_mutually_recursive_rules_terminate(self):
+        prog = program(
+            "even(X) :- zero(X)",
+            "even(X) :- succ(Y, X), odd(Y)",
+            "odd(X) :- succ(Y, X), even(Y)",
+        )
+        out = potential_updates(prog, parse_literal("succ(3, 4)"))
+        preds = {l.atom.pred for l in out}
+        assert {"succ", "even", "odd"} <= preds
+
+    def test_transaction_seed(self):
+        prog = program("member(X, Y) :- leads(X, Y)")
+        out = potential_updates(
+            prog,
+            [parse_literal("leads(a, b)"), parse_literal("not leads(c, d)")],
+        )
+        assert parse_literal("member(a, b)") in out
+        assert parse_literal("not member(c, d)") in out
+
+    def test_no_rules_no_propagation(self):
+        out = potential_updates(Program(), parse_literal("p(a)"))
+        assert out == [parse_literal("p(a)")]

@@ -1,0 +1,138 @@
+"""Tests for constraint-addition triage (the uniform approach)."""
+
+import pytest
+
+from repro.datalog.database import DeductiveDatabase
+from repro.integrity.evolution import (
+    ACCEPTED,
+    INCOMPATIBLE,
+    REPAIRABLE,
+    UNDECIDED,
+    assess_constraint_addition,
+)
+
+
+class TestAccepted:
+    def test_already_satisfied(self):
+        db = DeductiveDatabase.from_source("p(a). q(a).")
+        result = assess_constraint_addition(db, "forall X: p(X) -> q(X)")
+        assert result.status == ACCEPTED
+        assert result.witnesses == []
+
+    def test_vacuously_satisfied(self):
+        db = DeductiveDatabase.from_source("q(a).")
+        result = assess_constraint_addition(db, "forall X: p(X) -> r(X)")
+        assert result.status == ACCEPTED
+
+    def test_satisfied_through_rules(self):
+        db = DeductiveDatabase.from_source(
+            "leads(ann, sales). member(X, Y) :- leads(X, Y)."
+        )
+        result = assess_constraint_addition(
+            db, "forall X, Y: leads(X, Y) -> member(X, Y)"
+        )
+        assert result.status == ACCEPTED
+
+
+class TestRepairable:
+    def test_missing_fact_is_repairable(self):
+        db = DeductiveDatabase.from_source("p(a).")
+        result = assess_constraint_addition(db, "forall X: p(X) -> q(X)")
+        assert result.status == REPAIRABLE
+        assert len(result.witnesses) == 1
+        assert result.sample_model is not None
+
+    def test_repairable_with_existing_constraints(self):
+        db = DeductiveDatabase.from_source(
+            """
+            employee(ann).
+            forall X: employee(X) -> exists Y: badge(X, Y).
+            """
+        )
+        db.apply_update("badge(ann, b1)")
+        result = assess_constraint_addition(
+            db, "forall X, Y: badge(X, Y) -> active(Y)"
+        )
+        assert result.status == REPAIRABLE
+
+    def test_database_not_modified(self):
+        db = DeductiveDatabase.from_source("p(a).")
+        n_constraints = len(db.constraints)
+        assess_constraint_addition(db, "forall X: p(X) -> q(X)")
+        assert len(db.constraints) == n_constraints
+
+
+class TestIncompatible:
+    def test_contradicts_existing_constraint(self):
+        db = DeductiveDatabase.from_source(
+            """
+            p(a).
+            exists X: p(X).
+            forall X: p(X) -> q(X).
+            """
+        )
+        db.apply_update("q(a)")
+        # New constraint: nothing may be q — together with "some p" and
+        # "p implies q" this is unsatisfiable.
+        result = assess_constraint_addition(db, "forall X: not q(X)")
+        assert result.status == INCOMPATIBLE
+        assert result.satisfiability.unsatisfiable
+
+    def test_contradicts_rules(self):
+        db = DeductiveDatabase.from_source(
+            """
+            leads(ann, sales).
+            member(X, Y) :- leads(X, Y).
+            exists X, Y: leads(X, Y).
+            """
+        )
+        result = assess_constraint_addition(
+            db, "forall X, Y: not member(X, Y)"
+        )
+        assert result.status == INCOMPATIBLE
+
+    def test_section5_constraint_set_detected(self):
+        # Building up the §5 set: the database satisfies constraints
+        # (1), (2), (3), (5) — at the price of subordinate(a, a). The
+        # candidate constraint (4) is violated now, and the
+        # satisfiability check shows no factual repair can ever work:
+        # the full §5 set has no finite model.
+        db = DeductiveDatabase.from_source(
+            """
+            employee(a). department(b). leads(a, b). subordinate(a, a).
+            member(X, Y) :- leads(X, Y).
+            forall X: employee(X) ->
+                exists Y: department(Y) and member(X, Y).
+            forall X: department(X) ->
+                exists Y: employee(Y) and leads(Y, X).
+            forall X, Y: member(X, Y) ->
+                (forall Z: leads(Z, Y) -> subordinate(X, Z)).
+            exists X: employee(X).
+            """
+        )
+        assert db.all_constraints_satisfied()
+        result = assess_constraint_addition(
+            db, "forall X: not subordinate(X, X)", max_fresh_constants=6
+        )
+        assert result.status == INCOMPATIBLE
+        assert len(result.witnesses) == 1
+
+
+class TestUndecided:
+    def test_axiom_of_infinity_undecided(self):
+        # The existing *constraints* (not just facts) force an infinite
+        # r-chain; the candidate constraint is violated now, and the
+        # bounded satisfiability search cannot settle compatibility.
+        db = DeductiveDatabase.from_source(
+            """
+            exists X: p(X).
+            forall X: p(X) -> exists Y: p(Y) and r(X, Y).
+            forall X: not r(X, X).
+            forall X, Y: r(X, Y) -> not r(Y, X).
+            forall [X, Y, Z]: r(X, Y) and r(Y, Z) -> r(X, Z).
+            """
+        )
+        result = assess_constraint_addition(
+            db, "exists X: q(X)", max_fresh_constants=3, max_levels=40
+        )
+        assert result.status == UNDECIDED

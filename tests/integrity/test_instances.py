@@ -1,0 +1,199 @@
+"""Unit tests for simplified instances (Definition 3), pinned to the
+paper's own examples."""
+
+from repro.datalog.database import DeductiveDatabase
+from repro.integrity.instances import (
+    simplified_instances,
+    top_universal_variables,
+)
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    Atom,
+    Exists,
+    Forall,
+    Literal,
+    Or,
+)
+from repro.logic.parser import parse_formula, parse_literal
+from repro.logic.normalize import normalize_constraint
+from repro.logic.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a = Constant("a")
+
+
+def constraint(text, id="c"):
+    db = DeductiveDatabase()
+    return db.add_constraint(text, id=id)
+
+
+class TestTopUniversalVariables:
+    def test_plain_universal(self):
+        formula = normalize_constraint(parse_formula("forall X: p(X) -> q(X)"))
+        assert top_universal_variables(formula) == {X}
+
+    def test_universal_under_existential_is_governed(self):
+        formula = normalize_constraint(
+            parse_formula(
+                "exists X: p(X) and (forall Y: q(X, Y) -> r(Y))"
+            )
+        )
+        assert top_universal_variables(formula) == set()
+
+    def test_paper_c2_shape(self):
+        formula = normalize_constraint(
+            parse_formula(
+                "forall X, Y: p(X, Y) -> exists Z: q(X, Z) and not s(Y, Z, a)"
+            )
+        )
+        assert top_universal_variables(formula) == {X, Y}
+
+    def test_universal_nested_in_universal(self):
+        formula = normalize_constraint(
+            parse_formula(
+                "forall X, Y: member(X, Y) -> "
+                "(forall Z: leads(Z, Y) -> subordinate(X, Z))"
+            )
+        )
+        # All three are top-universal (no existential in between).
+        names = {v.name for v in top_universal_variables(formula)}
+        assert names == {"X", "Y", "Z"}
+
+
+class TestPaperExampleC1:
+    """C1: forall X: ¬p(X) ∨ q(X); update p(a) gives instance q(a)."""
+
+    def test_simplified_instance(self):
+        c1 = constraint("forall X: p(X) -> q(X)", id="C1")
+        instances = simplified_instances(c1, parse_literal("p(a)"))
+        assert len(instances) == 1
+        assert instances[0].formula == Literal(Atom("q", (a,)))
+
+    def test_defining_substitution(self):
+        c1 = constraint("forall X: p(X) -> q(X)", id="C1")
+        (instance,) = simplified_instances(c1, parse_literal("p(a)"))
+        # tau binds the constraint's X (possibly renamed) to a.
+        assert list(instance.tau.items())[0][1] == a
+
+    def test_irrelevant_update_no_instances(self):
+        c1 = constraint("forall X: p(X) -> q(X)", id="C1")
+        assert simplified_instances(c1, parse_literal("q(a)")) == []
+        assert simplified_instances(c1, parse_literal("r(a)")) == []
+
+    def test_deletion_of_consequent(self):
+        # not q(a): instance is ¬p(a) (q(a) replaced by false).
+        c1 = constraint("forall X: p(X) -> q(X)", id="C1")
+        instances = simplified_instances(c1, parse_literal("not q(a)"))
+        assert len(instances) == 1
+        assert instances[0].formula == Literal(Atom("p", (a,)), False)
+
+
+class TestPaperExampleC2:
+    """C2: ∀XY ¬p(X,Y) ∨ ∃Z (q(X,Z) ∧ ¬s(Y,Z,a)).
+
+    The update ¬q(c1, c2) must yield
+        ∀Y ¬p(c1, Y) ∨ ∃Z (q(c1, Z) ∧ ¬s(Y, Z, a))
+    with Z unbound (Section 3, the worked Definition 3 example).
+    """
+
+    C2_TEXT = "forall X, Y: p(X, Y) -> exists Z: q(X, Z) and not s(Y, Z, a)"
+
+    def test_deletion_of_q(self):
+        c2 = constraint(self.C2_TEXT, id="C2")
+        instances = simplified_instances(c2, parse_literal("not q(c1, c2)"))
+        assert len(instances) == 1
+        formula = instances[0].formula
+        assert isinstance(formula, Forall)
+        assert len(formula.variables_tuple) == 1  # only Y remains
+        assert formula.restriction[0].pred == "p"
+        assert formula.restriction[0].args[0] == Constant("c1")
+        inner = formula.matrix
+        assert isinstance(inner, Exists)
+        # Z must remain quantified, not bound to c2.
+        assert inner.restriction[0].args[1] in inner.variables_tuple
+
+    def test_insertion_of_p(self):
+        c2 = constraint(self.C2_TEXT, id="C2")
+        instances = simplified_instances(c2, parse_literal("p(c1, c2)"))
+        assert len(instances) == 1
+        formula = instances[0].formula
+        # Both X and Y grounded; quantifier dropped; the ¬p(c1,c2)
+        # disjunct replaced by false, leaving the bare existential.
+        assert isinstance(formula, Exists)
+
+    def test_insertion_of_s(self):
+        c2 = constraint(self.C2_TEXT, id="C2")
+        instances = simplified_instances(c2, parse_literal("s(b, c, a)"))
+        assert len(instances) == 1
+        formula = instances[0].formula
+        # tau binds only Y (X stays universal): ∀X ¬p(X,b) ∨ ∃Z (...)
+        assert isinstance(formula, Forall)
+        assert len(formula.variables_tuple) == 1
+
+    def test_constant_mismatch_in_s(self):
+        c2 = constraint(self.C2_TEXT, id="C2")
+        # s's third argument in C2 is the constant a; updating s(_,_,b)
+        # cannot unify.
+        assert simplified_instances(c2, parse_literal("s(b, c, b)")) == []
+
+
+class TestPatternUpdates:
+    """Compile-time instances for non-ground (potential) updates."""
+
+    def test_pattern_insert(self):
+        c1 = constraint("forall X: p(X) -> q(X)", id="C1")
+        W = Variable("W")
+        instances = simplified_instances(
+            c1, Literal(Atom("p", (W,)), True)
+        )
+        assert len(instances) == 1
+        instance = instances[0]
+        # The residual instance is q(W), guarded by trigger p(W).
+        assert instance.formula == Literal(Atom("q", (W,)))
+        assert instance.trigger == Literal(Atom("p", (W,)), True)
+
+    def test_pattern_instance_instantiation(self):
+        c1 = constraint("forall X: p(X) -> q(X)", id="C1")
+        W = Variable("W")
+        (instance,) = simplified_instances(c1, Literal(Atom("p", (W,))))
+        from repro.logic.substitution import Substitution
+
+        ground = instance.instantiate(Substitution({W: a}))
+        assert ground == Literal(Atom("q", (a,)))
+
+
+class TestMultipleOccurrences:
+    def test_two_occurrences_two_instances(self):
+        # C: forall X, Y: p(X, Y) and p(Y, X) -> sym(X, Y); inserting
+        # p(a, b) unifies with both occurrences.
+        c = constraint(
+            "forall X, Y: p(X, Y) and p(Y, X) -> sym(X, Y)", id="C"
+        )
+        instances = simplified_instances(c, parse_literal("p(a, b)"))
+        assert len(instances) == 2
+        formulas = {i.formula for i in instances}
+        assert len(formulas) == 2
+
+    def test_identical_instances_deduplicated(self):
+        # Symmetric constant positions produce one distinct instance.
+        c = constraint("forall X: p(X, X) -> q(X)", id="C")
+        instances = simplified_instances(c, parse_literal("p(a, a)"))
+        assert len(instances) == 1
+
+
+class TestGroundConstraint:
+    def test_ground_constraint_instance(self):
+        c = constraint("p(a) -> q(a)", id="C")
+        instances = simplified_instances(c, parse_literal("p(a)"))
+        assert len(instances) == 1
+        assert instances[0].formula == Literal(Atom("q", (a,)))
+
+    def test_existential_guard_deletion(self):
+        # exists X: p(X): deleting p(a) leaves the existential to
+        # re-check (the instance is the constraint minus the false
+        # witness — here the whole constraint).
+        c = constraint("exists X: p(X)", id="C")
+        instances = simplified_instances(c, parse_literal("not p(a)"))
+        assert len(instances) == 1
+        assert isinstance(instances[0].formula, Exists)

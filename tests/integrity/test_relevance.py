@@ -1,0 +1,96 @@
+"""Unit tests for constraint relevance (Definition 2)."""
+
+from repro.datalog.database import DeductiveDatabase
+from repro.integrity.relevance import RelevanceIndex, relevant_constraints
+from repro.logic.parser import parse_literal
+
+
+def build_constraints(*texts):
+    db = DeductiveDatabase()
+    for text in texts:
+        db.add_constraint(text)
+    return db.constraints
+
+
+class TestRelevance:
+    def test_insertion_relevant_to_negative_occurrence(self):
+        # C: forall X: p(X) -> q(X) has occurrence ¬p(X); inserting p(a)
+        # (complement ¬p(a)) unifies with it.
+        constraints = build_constraints("forall X: p(X) -> q(X)")
+        index = RelevanceIndex(constraints)
+        assert index.relevant_constraints(parse_literal("p(a)")) == [
+            constraints[0]
+        ]
+
+    def test_insertion_not_relevant_to_positive_only_occurrence(self):
+        # Inserting q(a): complement ¬q(a); C has q(X) only positively,
+        # so C cannot be falsified by the insertion.
+        constraints = build_constraints("forall X: p(X) -> q(X)")
+        index = RelevanceIndex(constraints)
+        assert index.relevant_constraints(parse_literal("q(a)")) == []
+
+    def test_deletion_relevant_to_positive_occurrence(self):
+        constraints = build_constraints("forall X: p(X) -> q(X)")
+        index = RelevanceIndex(constraints)
+        assert index.relevant_constraints(parse_literal("not q(a)")) == [
+            constraints[0]
+        ]
+
+    def test_deletion_not_relevant_to_negative_occurrence(self):
+        constraints = build_constraints("forall X: p(X) -> q(X)")
+        index = RelevanceIndex(constraints)
+        assert index.relevant_constraints(parse_literal("not p(a)")) == []
+
+    def test_unrelated_predicate_not_relevant(self):
+        constraints = build_constraints("forall X: p(X) -> q(X)")
+        index = RelevanceIndex(constraints)
+        assert index.relevant_constraints(parse_literal("r(a)")) == []
+
+    def test_constant_clash_not_relevant(self):
+        constraints = build_constraints("p(a) -> q(a)")
+        index = RelevanceIndex(constraints)
+        assert index.relevant_constraints(parse_literal("p(b)")) == []
+        assert index.relevant_constraints(parse_literal("p(a)")) != []
+
+    def test_multiple_constraints(self):
+        constraints = build_constraints(
+            "forall X: p(X) -> q(X)",
+            "forall X: p(X) -> r(X)",
+            "forall X: s(X) -> t(X)",
+        )
+        index = RelevanceIndex(constraints)
+        relevant = index.relevant_constraints(parse_literal("p(a)"))
+        assert len(relevant) == 2
+
+    def test_existential_restriction_occurrence(self):
+        # Deleting department(d) can falsify the existential.
+        constraints = build_constraints(
+            "forall X: employee(X) -> exists Y: department(Y) and member(X, Y)"
+        )
+        index = RelevanceIndex(constraints)
+        assert index.relevant_constraints(
+            parse_literal("not department(d)")
+        ) == [constraints[0]]
+        # Inserting department(d) cannot falsify it.
+        assert (
+            index.relevant_constraints(parse_literal("department(d)")) == []
+        )
+
+    def test_pattern_update_relevance(self):
+        # Compile-time use: the update may be a pattern with variables.
+        constraints = build_constraints("forall X: p(X) -> q(X)")
+        index = RelevanceIndex(constraints)
+        assert index.relevant_constraints(parse_literal("p(W)")) == [
+            constraints[0]
+        ]
+
+    def test_signatures(self):
+        constraints = build_constraints("forall X: p(X) -> q(X)")
+        index = RelevanceIndex(constraints)
+        assert index.signatures() == {("p", False), ("q", True)}
+
+    def test_convenience_wrapper(self):
+        constraints = build_constraints("forall X: p(X) -> q(X)")
+        assert relevant_constraints(constraints, parse_literal("p(a)")) == [
+            constraints[0]
+        ]

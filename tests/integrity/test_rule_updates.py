@@ -1,0 +1,151 @@
+"""Tests for rule updates (Section 3.2: "Rule updates can be treated
+like conditional updates"). Ground truth is always the full check on
+the database with the changed program."""
+
+import pytest
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.program import Program, Rule
+from repro.integrity.checker import IntegrityChecker
+from repro.logic.parser import parse_rule
+
+
+def full_check_with_program(db, rules):
+    changed = DeductiveDatabase(
+        db.facts, Program(rules), list(db.constraints)
+    )
+    return changed.all_constraints_satisfied()
+
+
+class TestRuleAddition:
+    def test_harmless_rule(self):
+        db = DeductiveDatabase.from_source(
+            """
+            student(jack). attends(jack, ddb).
+            forall X: enrolled(X, cs) -> attends(X, ddb).
+            """
+        )
+        checker = IntegrityChecker(db)
+        result = checker.check_rule_addition("enrolled(X, cs) :- student(X)")
+        assert result.ok
+
+    def test_violating_rule(self):
+        db = DeductiveDatabase.from_source(
+            """
+            student(jack). student(jill). attends(jack, ddb).
+            forall X: enrolled(X, cs) -> attends(X, ddb).
+            """
+        )
+        checker = IntegrityChecker(db)
+        result = checker.check_rule_addition("enrolled(X, cs) :- student(X)")
+        assert not result.ok
+        # jill is the culprit.
+        assert any(
+            "jill" in str(v.instance) for v in result.violations
+        )
+
+    def test_rule_with_no_relevant_constraint_is_free(self):
+        db = DeductiveDatabase.from_source(
+            """
+            q(a, b).
+            forall X: s(X) -> t(X).
+            """
+        )
+        checker = IntegrityChecker(db)
+        result = checker.check_rule_addition("r(X) :- q(X, Y)")
+        assert result.ok
+        assert result.stats["update_constraints"] == 0
+        assert result.stats["lookups"] == 0
+
+    def test_cascades_through_existing_rules(self):
+        db = DeductiveDatabase.from_source(
+            """
+            base(a).
+            top(X) :- mid(X).
+            forall X: top(X) -> allowed(X).
+            """
+        )
+        checker = IntegrityChecker(db)
+        # Adding mid <- base induces top(a) through the existing rule.
+        result = checker.check_rule_addition("mid(X) :- base(X)")
+        assert not result.ok
+
+    def test_negation_cascade_on_addition(self):
+        db = DeductiveDatabase.from_source(
+            """
+            emp(a). project(p1). assigned(a, p1).
+            idle(X) :- emp(X), not busy(X).
+            forall X: emp(X) -> idle(X) or excused(X).
+            """
+        )
+        checker = IntegrityChecker(db)
+        # busy <- assigned kills idle(a): constraint violated.
+        result = checker.check_rule_addition(
+            "busy(X) :- assigned(X, Y)"
+        )
+        assert not result.ok
+
+    def test_agreement_with_full_recheck(self):
+        db = DeductiveDatabase.from_source(
+            """
+            student(jack). student(jill). attends(jack, ddb).
+            forall X: enrolled(X, cs) -> attends(X, ddb).
+            """
+        )
+        checker = IntegrityChecker(db)
+        new_rule = Rule.from_parsed(parse_rule("enrolled(X, cs) :- student(X)"))
+        expected = full_check_with_program(
+            db, list(db.program.rules) + [new_rule]
+        )
+        assert checker.check_rule_addition(new_rule).ok is expected
+
+
+class TestRuleRemoval:
+    SOURCE = """
+    leads(ann, sales). employee(ann). department(sales).
+    member(X, Y) :- leads(X, Y).
+    forall X: employee(X) -> exists Y: member(X, Y).
+    """
+
+    def test_removal_violates_existential(self):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        checker = IntegrityChecker(db)
+        result = checker.check_rule_removal("member(X, Y) :- leads(X, Y)")
+        assert not result.ok
+
+    def test_removal_harmless_with_backup_fact(self):
+        db = DeductiveDatabase.from_source(
+            self.SOURCE + "member(ann, sales)."
+        )
+        checker = IntegrityChecker(db)
+        result = checker.check_rule_removal("member(X, Y) :- leads(X, Y)")
+        assert result.ok
+
+    def test_removing_missing_rule_rejected(self):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        checker = IntegrityChecker(db)
+        with pytest.raises(ValueError):
+            checker.check_rule_removal("member(X, Y) :- hired(X, Y)")
+
+    def test_agreement_with_full_recheck(self):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        checker = IntegrityChecker(db)
+        rule = db.program.rules[0]
+        expected = full_check_with_program(
+            db, [r for r in db.program.rules if r != rule]
+        )
+        assert checker.check_rule_removal(rule).ok is expected
+
+    def test_negation_cascade_on_removal(self):
+        db = DeductiveDatabase.from_source(
+            """
+            emp(a). assigned(a, p1).
+            busy(X) :- assigned(X, Y).
+            idle(X) :- emp(X), not busy(X).
+            forall X: not idle(X).
+            """
+        )
+        checker = IntegrityChecker(db)
+        # Removing the busy-rule resurrects idle(a): violation.
+        result = checker.check_rule_removal("busy(X) :- assigned(X, Y)")
+        assert not result.ok

@@ -1,0 +1,60 @@
+"""Unit tests for transactions and net-effect normalization."""
+
+import pytest
+
+from repro.integrity.transactions import Transaction, net_effect
+from repro.logic.parser import parse_literal
+
+
+def lits(*texts):
+    return [parse_literal(t) for t in texts]
+
+
+class TestNetEffect:
+    def test_empty(self):
+        assert net_effect([]) == []
+
+    def test_single(self):
+        assert net_effect(lits("p(a)")) == lits("p(a)")
+
+    def test_last_wins(self):
+        assert net_effect(lits("p(a)", "not p(a)")) == lits("not p(a)")
+        assert net_effect(lits("not p(a)", "p(a)")) == lits("p(a)")
+
+    def test_duplicates_collapse(self):
+        assert net_effect(lits("p(a)", "p(a)")) == lits("p(a)")
+
+    def test_order_preserved_per_first_occurrence(self):
+        out = net_effect(lits("p(a)", "q(b)", "not p(a)"))
+        assert out == lits("not p(a)", "q(b)")
+
+    def test_distinct_atoms_independent(self):
+        out = net_effect(lits("p(a)", "p(b)", "not p(a)"))
+        assert parse_literal("not p(a)") in out
+        assert parse_literal("p(b)") in out
+
+
+class TestTransaction:
+    def test_parses_strings(self):
+        transaction = Transaction(["p(a)", "not q(b)"])
+        assert len(transaction) == 2
+        assert transaction.updates[1] == parse_literal("not q(b)")
+
+    def test_accepts_literals(self):
+        transaction = Transaction(lits("p(a)"))
+        assert transaction.updates == tuple(lits("p(a)"))
+
+    def test_rejects_nonground(self):
+        with pytest.raises(ValueError):
+            Transaction(["p(X)"])
+
+    def test_net(self):
+        transaction = Transaction(["p(a)", "not p(a)", "q(b)"])
+        assert transaction.net() == lits("not p(a)", "q(b)")
+
+    def test_iteration(self):
+        transaction = Transaction(["p(a)", "q(b)"])
+        assert list(transaction) == lits("p(a)", "q(b)")
+
+    def test_repr(self):
+        assert "p(a)" in repr(Transaction(["p(a)"]))

@@ -1,0 +1,108 @@
+"""Unit tests for the compile phase (Definition 6 / CompiledCheck)."""
+
+import pytest
+
+from repro.datalog.database import DeductiveDatabase
+from repro.integrity.update_constraints import compile_update_constraints
+from repro.logic.parser import parse_literal
+
+
+def compile_for(source, *updates):
+    db = DeductiveDatabase.from_source(source)
+    return compile_update_constraints(
+        db.program,
+        db.constraints,
+        [parse_literal(u) for u in updates],
+    )
+
+
+class TestCompilation:
+    UNIVERSITY = """
+    enrolled(X, cs) :- student(X).
+    forall X: student(X) -> (not enrolled(X, cs)) or attends(X, ddb).
+    """
+
+    def test_paper_s1_s2_compiled(self):
+        compiled = compile_for(self.UNIVERSITY, "student(jack)")
+        # S1 guards the explicit update, S2 the induced enrolled-update.
+        triggers = {uc.trigger.atom.pred for uc in compiled.update_constraints}
+        assert triggers == {"student", "enrolled"}
+
+    def test_potential_updates_include_seed(self):
+        compiled = compile_for(self.UNIVERSITY, "student(jack)")
+        assert parse_literal("student(jack)") in compiled.potential
+
+    def test_demanded_signatures(self):
+        compiled = compile_for(self.UNIVERSITY, "student(jack)")
+        assert compiled.demanded_signatures() == {
+            ("student", True),
+            ("enrolled", True),
+        }
+
+    def test_irrelevant_update_compiles_empty(self):
+        compiled = compile_for(self.UNIVERSITY, "attends(jack, logic)")
+        # attends occurs only positively: insertions cannot violate.
+        assert compiled.update_constraints == []
+
+    def test_deletion_triggers(self):
+        compiled = compile_for(self.UNIVERSITY, "not attends(jack, ddb)")
+        triggers = {
+            (uc.trigger.atom.pred, uc.trigger.positive)
+            for uc in compiled.update_constraints
+        }
+        assert ("attends", False) in triggers
+
+    def test_transaction_compilation_merges(self):
+        compiled = compile_for(
+            self.UNIVERSITY, "student(jack)", "not attends(jill, ddb)"
+        )
+        kinds = {
+            (uc.trigger.atom.pred, uc.trigger.positive)
+            for uc in compiled.update_constraints
+        }
+        assert ("student", True) in kinds
+        assert ("attends", False) in kinds
+
+    def test_duplicate_update_constraints_deduplicated(self):
+        compiled = compile_for(
+            self.UNIVERSITY, "student(jack)", "student(jack)"
+        )
+        assert len(compiled.update_constraints) == 2  # S1 and S2 once
+
+    def test_repr(self):
+        compiled = compile_for(self.UNIVERSITY, "student(jack)")
+        text = repr(compiled)
+        assert "potential" in text
+        assert "update constraints" in text
+
+
+class TestPatternCompilation:
+    def test_open_pattern_compiles(self):
+        db = DeductiveDatabase.from_source(
+            "forall X: p(X) -> q(X)."
+        )
+        from repro.logic.formulas import Atom, Literal
+        from repro.logic.terms import Variable
+
+        pattern = Literal(Atom("p", (Variable("W"),)))
+        compiled = compile_update_constraints(
+            db.program, db.constraints, [pattern]
+        )
+        assert len(compiled.update_constraints) == 1
+        (uc,) = compiled.update_constraints
+        # The trigger and the residual instance share the variable.
+        assert uc.trigger.atom.variables() == uc.instance.formula.variables()
+
+    def test_recursive_program_compiles_finitely(self):
+        db = DeductiveDatabase.from_source(
+            """
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- par(X, Z), anc(Z, Y).
+            forall X, Y: anc(X, Y) -> person(Y).
+            """
+        )
+        compiled = compile_update_constraints(
+            db.program, db.constraints, [parse_literal("par(a, b)")]
+        )
+        assert 1 <= len(compiled.update_constraints) <= 3
+        assert len(compiled.potential) <= 3

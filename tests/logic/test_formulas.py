@@ -1,0 +1,175 @@
+"""Unit tests for the formula AST: construction, variables, substitution."""
+
+import pytest
+
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Literal,
+    Not,
+    Or,
+    conjuncts,
+    disjuncts,
+    walk_literals,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+p_X = Literal(Atom("p", (X,)))
+q_XY = Literal(Atom("q", (X, Y)))
+r_Y = Literal(Atom("r", (Y,)))
+
+
+class TestAtomsAndLiterals:
+    def test_atom_equality(self):
+        assert Atom("p", (X,)) == Atom("p", (X,))
+        assert Atom("p", (X,)) != Atom("p", (Y,))
+        assert Atom("p", (X,)) != Atom("q", (X,))
+
+    def test_atom_groundness(self):
+        assert Atom("p", (a, b)).is_ground()
+        assert not Atom("p", (a, X)).is_ground()
+
+    def test_literal_complement(self):
+        lit = Literal(Atom("p", (a,)))
+        assert lit.complement().positive is False
+        assert lit.complement().complement() == lit
+
+    def test_substitute_atom(self):
+        atom = Atom("q", (X, Y))
+        out = atom.substitute(Substitution({X: a}))
+        assert out == Atom("q", (a, Y))
+
+    def test_zero_arity_atom(self):
+        atom = Atom("halted")
+        assert atom.is_ground()
+        assert str(atom) == "halted"
+
+
+class TestConnectives:
+    def test_and_requires_two_children(self):
+        with pytest.raises(ValueError):
+            And([p_X])
+
+    def test_make_flattens(self):
+        nested = And.make([p_X, And.make([q_XY, r_Y])])
+        assert len(nested.children) == 3
+
+    def test_make_degenerate(self):
+        assert And.make([]) == TRUE
+        assert Or.make([]) == FALSE
+        assert And.make([p_X]) == p_X
+
+    def test_conjuncts_disjuncts(self):
+        conj = And.make([p_X, q_XY])
+        assert conjuncts(conj) == (p_X, q_XY)
+        assert conjuncts(p_X) == (p_X,)
+        disj = Or.make([p_X, q_XY])
+        assert disjuncts(disj) == (p_X, q_XY)
+
+    def test_substitution_distributes(self):
+        formula = And.make([p_X, q_XY])
+        out = formula.substitute(Substitution({X: a}))
+        assert out == And.make(
+            [Literal(Atom("p", (a,))), Literal(Atom("q", (a, Y)))]
+        )
+
+
+class TestQuantifiers:
+    def test_quantifier_requires_variables(self):
+        with pytest.raises(ValueError):
+            Forall([], None, p_X)
+
+    def test_duplicate_bound_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Exists([X, X], None, p_X)
+
+    def test_free_variables_exclude_bound(self):
+        formula = Exists([Y], None, q_XY)
+        assert formula.free_variables() == {X}
+        assert formula.variables() == {X, Y}
+
+    def test_restricted_quantifier_free_variables(self):
+        formula = Forall([X], (Atom("p", (X,)),), q_XY)
+        assert formula.free_variables() == {Y}
+
+    def test_substitute_shields_bound_variables(self):
+        formula = Exists([Y], None, q_XY)
+        out = formula.substitute(Substitution({X: a, Y: b}))
+        assert out == Exists([Y], None, Literal(Atom("q", (a, Y))))
+
+    def test_substitute_restriction(self):
+        formula = Forall([Y], (Atom("q", (X, Y)),), r_Y)
+        out = formula.substitute(Substitution({X: a}))
+        assert out.restriction == (Atom("q", (a, Y)),)
+
+    def test_restriction_conjunction(self):
+        formula = Exists(
+            [X, Y], (Atom("p", (X,)), Atom("q", (X, Y))), TRUE
+        )
+        conj = formula.restriction_conjunction()
+        assert conj == And.make(
+            [Literal(Atom("p", (X,))), Literal(Atom("q", (X, Y)))]
+        )
+
+    def test_closedness(self):
+        closed = Forall([X], (Atom("p", (X,)),), FALSE)
+        assert closed.is_closed()
+        open_formula = Forall([X], (Atom("q", (X, Y)),), FALSE)
+        assert not open_formula.is_closed()
+
+
+class TestInputLayerNodes:
+    def test_implies_str(self):
+        formula = Implies(p_X, r_Y)
+        assert "->" in str(formula)
+
+    def test_iff_equality(self):
+        assert Iff(p_X, r_Y) == Iff(p_X, r_Y)
+        assert Iff(p_X, r_Y) != Iff(r_Y, p_X)
+
+    def test_not_free_variables(self):
+        assert Not(q_XY).free_variables() == {X, Y}
+
+
+class TestWalkLiterals:
+    def test_walks_connectives(self):
+        formula = And.make([p_X, Or.make([q_XY, r_Y.complement()])])
+        literals = list(walk_literals(formula))
+        assert p_X in literals
+        assert q_XY in literals
+        assert r_Y.complement() in literals
+
+    def test_walks_restrictions_with_polarity(self):
+        # forall restriction atoms appear negatively; exists positively.
+        univ = Forall([X], (Atom("p", (X,)),), FALSE)
+        assert Literal(Atom("p", (X,)), False) in list(walk_literals(univ))
+        exis = Exists([X], (Atom("p", (X,)),), TRUE)
+        assert Literal(Atom("p", (X,)), True) in list(walk_literals(exis))
+
+    def test_paper_constraint_c2_literals(self):
+        # C2: forall X,Y: not p(X,Y) or exists Z (q(X,Z) and not s(Y,Z,a))
+        c2 = Forall(
+            [X, Y],
+            (Atom("p", (X, Y)),),
+            Exists(
+                [Z],
+                (Atom("q", (X, Z)),),
+                Literal(Atom("s", (Y, Z, a)), False),
+            ),
+        )
+        literals = set(walk_literals(c2))
+        assert literals == {
+            Literal(Atom("p", (X, Y)), False),
+            Literal(Atom("q", (X, Z)), True),
+            Literal(Atom("s", (Y, Z, a)), False),
+        }

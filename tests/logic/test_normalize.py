@@ -1,0 +1,271 @@
+"""Unit tests for the Section 2 normalization pipeline."""
+
+import pytest
+
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Literal,
+    Not,
+    Or,
+)
+from repro.logic.normalize import (
+    NormalizationError,
+    distribute_or_over_and,
+    miniscope,
+    normalize_constraint,
+    rectify,
+    simplify,
+    to_nnf,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.safety import check_constraint_safety
+from repro.logic.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a = Constant("a")
+
+
+def lit(pred, *args):
+    return Literal(Atom(pred, args))
+
+
+class TestNnf:
+    def test_double_negation(self):
+        assert to_nnf(Not(Not(lit("p", a)))) == lit("p", a)
+
+    def test_de_morgan_and(self):
+        formula = to_nnf(Not(And.make([lit("p", a), lit("q", a)])))
+        assert formula == Or.make(
+            [lit("p", a).complement(), lit("q", a).complement()]
+        )
+
+    def test_de_morgan_or(self):
+        formula = to_nnf(Not(Or.make([lit("p", a), lit("q", a)])))
+        assert isinstance(formula, And)
+
+    def test_negated_quantifiers_flip(self):
+        formula = to_nnf(Not(Forall([X], None, lit("p", X))))
+        assert isinstance(formula, Exists)
+        assert formula.matrix == lit("p", X).complement()
+
+    def test_implication_eliminated(self):
+        formula = to_nnf(parse_formula("p(a) -> q(a)"))
+        assert formula == Or.make([lit("p", a).complement(), lit("q", a)])
+
+    def test_iff_eliminated(self):
+        formula = to_nnf(parse_formula("p(a) <-> q(a)"))
+        assert isinstance(formula, And)
+
+    def test_negated_true(self):
+        assert to_nnf(Not(TRUE)) == FALSE
+
+
+class TestRectify:
+    def test_no_clash_unchanged(self):
+        formula = parse_formula("forall X: p(X) and (exists Y: q(Y))")
+        assert rectify(to_nnf(formula)) == to_nnf(formula)
+
+    def test_clashing_quantifiers_renamed(self):
+        formula = to_nnf(
+            parse_formula("(exists X: p(X)) and (exists X: q(X))")
+        )
+        rectified = rectify(formula)
+        first, second = rectified.children
+        assert first.variables_tuple != second.variables_tuple
+
+    def test_all_quantifiers_unique_after_rectification(self):
+        formula = to_nnf(
+            parse_formula(
+                "(forall X: not p(X) or (exists X: q(X))) "
+                "and (exists X: r(X))"
+            )
+        )
+        rectified = rectify(formula)
+        names = []
+
+        def collect(node):
+            if isinstance(node, (Exists, Forall)):
+                names.extend(v.name for v in node.variables_tuple)
+                collect(node.matrix)
+            elif isinstance(node, (And, Or)):
+                for child in node.children:
+                    collect(child)
+
+        collect(rectified)
+        assert len(names) == len(set(names))
+
+
+class TestMiniscope:
+    def test_vacuous_quantifier_dropped(self):
+        formula = Forall([X], None, lit("p", a))
+        assert miniscope(formula) == lit("p", a)
+
+    def test_forall_distributes_over_and(self):
+        formula = Forall([X], None, And.make([lit("p", X), lit("q", X)]))
+        out = miniscope(formula)
+        assert isinstance(out, And)
+        assert all(isinstance(c, Forall) for c in out.children)
+
+    def test_exists_distributes_over_or(self):
+        formula = Exists([X], None, Or.make([lit("p", X), lit("q", X)]))
+        out = miniscope(formula)
+        assert isinstance(out, Or)
+        assert all(isinstance(c, Exists) for c in out.children)
+
+    def test_pushes_into_unique_child(self):
+        # exists X: (p(X) and r(a)) -> r(a) stays outside.
+        formula = Exists([X], None, And.make([lit("p", X), lit("r", a)]))
+        out = miniscope(formula)
+        assert isinstance(out, And)
+        kinds = {type(c) for c in out.children}
+        assert Exists in kinds
+
+    def test_blocks_split_variablewise(self):
+        # exists X, Y: p(X) or q(Y) -- each variable pushes into its disjunct.
+        formula = Exists([X, Y], None, Or.make([lit("p", X), lit("q", Y)]))
+        out = miniscope(formula)
+        assert isinstance(out, Or)
+        assert all(isinstance(c, Exists) for c in out.children)
+
+
+class TestDistribute:
+    def test_distributes(self):
+        formula = Or.make([lit("p", a), And.make([lit("q", a), lit("r", a)])])
+        out = distribute_or_over_and(formula)
+        assert isinstance(out, And)
+        assert all(isinstance(c, Or) for c in out.children)
+
+    def test_idempotent_on_cnf(self):
+        formula = And.make(
+            [Or.make([lit("p", a), lit("q", a)]), lit("r", a)]
+        )
+        assert distribute_or_over_and(formula) == formula
+
+
+class TestSimplify:
+    def test_true_absorbed_in_and(self):
+        assert simplify(And.make([lit("p", a), TRUE])) == lit("p", a)
+
+    def test_false_dominates_and(self):
+        assert simplify(And.make([lit("p", a), FALSE])) == FALSE
+
+    def test_duplicates_dropped(self):
+        assert simplify(Or.make([lit("p", a), lit("p", a)])) == lit("p", a)
+
+
+class TestNormalizeConstraint:
+    def test_paper_constraint_c1(self):
+        # C1: forall X: p(X) -> q(X)  ==> forall([X], p(X), q(X))
+        formula = normalize_constraint(parse_formula("forall X: p(X) -> q(X)"))
+        assert isinstance(formula, Forall)
+        assert formula.restriction == (Atom("p", (X,)),)
+        assert formula.matrix == lit("q", X)
+        check_constraint_safety(formula)
+
+    def test_paper_constraint_c2(self):
+        # C2: forall X,Y: not p(X,Y) or exists Z (q(X,Z) and not s(Y,Z,a))
+        formula = normalize_constraint(
+            parse_formula(
+                "forall X, Y: not p(X, Y) or "
+                "(exists Z: q(X, Z) and not s(Y, Z, a))"
+            )
+        )
+        assert isinstance(formula, Forall)
+        assert formula.restriction == (Atom("p", (X, Y)),)
+        inner = formula.matrix
+        assert isinstance(inner, Exists)
+        assert inner.restriction == (Atom("q", (X, Z)),)
+        assert inner.matrix == Literal(Atom("s", (Y, Z, a)), False)
+        check_constraint_safety(formula)
+
+    def test_section5_constraint_4(self):
+        formula = normalize_constraint(
+            parse_formula("forall X: not subordinate(X, X)")
+        )
+        assert isinstance(formula, Forall)
+        assert formula.restriction == (Atom("subordinate", (X, X)),)
+        assert formula.matrix == FALSE
+
+    def test_section5_constraint_5(self):
+        formula = normalize_constraint(parse_formula("exists X: employee(X)"))
+        assert isinstance(formula, Exists)
+        assert formula.restriction == (Atom("employee", (X,)),)
+        assert formula.matrix == TRUE
+
+    def test_nested_universals_merge_for_coverage(self):
+        # forall X: (forall Y: r(X, Y) -> s(X)) needs the merged block
+        # [X, Y] restricted by r(X, Y).
+        formula = normalize_constraint(
+            parse_formula("forall X: forall Y: r(X, Y) -> s(X)")
+        )
+        assert isinstance(formula, Forall)
+        assert set(formula.variables_tuple) == {X, Y}
+        assert formula.restriction == (Atom("r", (X, Y)),)
+
+    def test_implication_of_disjunction_splits(self):
+        # forall X: (p(X) or q(X)) -> r(X) normalizes to a conjunction of
+        # two restricted universals.
+        formula = normalize_constraint(
+            parse_formula("forall X: (p(X) or q(X)) -> r(X)")
+        )
+        assert isinstance(formula, And)
+        assert all(isinstance(c, Forall) for c in formula.children)
+        for child in formula.children:
+            check_constraint_safety(child)
+
+    def test_existential_disjunction_splits(self):
+        formula = normalize_constraint(
+            parse_formula("exists X: p(X) or q(X)")
+        )
+        assert isinstance(formula, Or)
+        assert all(isinstance(c, Exists) for c in formula.children)
+
+    def test_guard_atoms_move_into_restriction(self):
+        formula = normalize_constraint(
+            parse_formula("exists X: p(X) and q(X) and not r(X)")
+        )
+        assert isinstance(formula, Exists)
+        assert set(formula.restriction) == {Atom("p", (X,)), Atom("q", (X,))}
+        assert formula.matrix == Literal(Atom("r", (X,)), False)
+
+    def test_domain_dependent_universal_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize_constraint(parse_formula("forall X: p(X)"))
+
+    def test_domain_dependent_existential_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize_constraint(parse_formula("exists X: not p(X)"))
+
+    def test_open_formula_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize_constraint(parse_formula("p(X)"))
+
+    def test_ground_constraint_passes_through(self):
+        formula = normalize_constraint(parse_formula("p(a) -> q(a)"))
+        assert formula == Or.make([lit("p", a).complement(), lit("q", a)])
+
+    def test_functional_dependency(self):
+        # FD: manages(E, D1) and manages(E, D2) -> eq is not expressible
+        # without equality; the standard encoding uses a same() predicate.
+        formula = normalize_constraint(
+            parse_formula(
+                "forall E, D1, D2: manages(E, D1) and manages(E, D2) "
+                "-> same(D1, D2)"
+            )
+        )
+        assert isinstance(formula, Forall)
+        assert len(formula.restriction) == 2
+
+    def test_normalization_idempotent_on_output(self):
+        source = (
+            "forall X: employee(X) -> exists Y: department(Y) and member(X, Y)"
+        )
+        once = normalize_constraint(parse_formula(source))
+        # The output is already restricted; checking safety suffices (the
+        # pipeline refuses re-normalizing restricted quantifiers by design).
+        check_constraint_safety(once)

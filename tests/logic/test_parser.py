@@ -1,0 +1,232 @@
+"""Unit tests for the surface-syntax parser."""
+
+import pytest
+
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Literal,
+    Not,
+    Or,
+)
+from repro.logic.parser import (
+    ParseError,
+    parse_atom,
+    parse_constraint,
+    parse_fact,
+    parse_formula,
+    parse_literal,
+    parse_program,
+    parse_rule,
+)
+from repro.logic.terms import Constant, Variable
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestAtoms:
+    def test_simple(self):
+        assert parse_atom("employee(ann)") == Atom("employee", (Constant("ann"),))
+
+    def test_variables_uppercase(self):
+        assert parse_atom("leads(X, sales)") == Atom(
+            "leads", (X, Constant("sales"))
+        )
+
+    def test_integers(self):
+        assert parse_atom("age(ann, 42)") == Atom(
+            "age", (Constant("ann"), Constant(42))
+        )
+
+    def test_negative_integers(self):
+        assert parse_atom("delta(-3)") == Atom("delta", (Constant(-3),))
+
+    def test_quoted_constants(self):
+        assert parse_atom("dept('R & D')") == Atom("dept", (Constant("R & D"),))
+        assert parse_atom('dept("R & D")') == Atom("dept", (Constant("R & D"),))
+
+    def test_zero_arity(self):
+        assert parse_atom("shutdown") == Atom("shutdown", ())
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("Employee(ann)")
+
+    def test_underscore_is_fresh_each_time(self):
+        atom = parse_atom("p(_, _)")
+        first, second = atom.args
+        assert first != second
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(a) q(b)")
+
+
+class TestLiterals:
+    def test_positive(self):
+        assert parse_literal("p(a)").positive
+
+    def test_negative_not(self):
+        literal = parse_literal("not p(a)")
+        assert not literal.positive
+        assert literal.atom == Atom("p", (Constant("a"),))
+
+    def test_negative_tilde(self):
+        assert not parse_literal("~p(a)").positive
+
+
+class TestFacts:
+    def test_ground_fact(self):
+        assert parse_fact("employee(ann)") == Atom(
+            "employee", (Constant("ann"),)
+        )
+
+    def test_nonground_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fact("employee(X)")
+
+
+class TestRules:
+    def test_paper_rule(self):
+        rule = parse_rule("member(X, Y) :- leads(X, Y)")
+        assert rule.head == Atom("member", (X, Y))
+        assert rule.body == (Literal(Atom("leads", (X, Y))),)
+
+    def test_negation_in_body(self):
+        rule = parse_rule("idle(X) :- employee(X), not member(X, Y)")
+        assert rule.body[1] == Literal(Atom("member", (X, Y)), False)
+
+    def test_and_keyword_in_body(self):
+        rule = parse_rule("p(X) :- q(X) and r(X)")
+        assert len(rule.body) == 2
+
+    def test_trailing_dot(self):
+        rule = parse_rule("p(X) :- q(X).")
+        assert rule.head == Atom("p", (X,))
+
+
+class TestFormulas:
+    def test_conjunction_variants(self):
+        for text in ["p(a) and q(b)", "p(a) & q(b)", "p(a), q(b)"]:
+            formula = parse_formula(text)
+            assert isinstance(formula, And)
+            assert len(formula.children) == 2
+
+    def test_disjunction_variants(self):
+        for text in ["p(a) or q(b)", "p(a) | q(b)"]:
+            assert isinstance(parse_formula(text), Or)
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        formula = parse_formula("p(a) or q(b) and r(c)")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.children[1], And)
+
+    def test_implication_right_associative(self):
+        formula = parse_formula("p(a) -> q(b) -> r(c)")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.consequent, Implies)
+
+    def test_iff(self):
+        assert isinstance(parse_formula("p(a) <-> q(b)"), Iff)
+
+    def test_negation_of_literal_is_literal(self):
+        formula = parse_formula("not p(a)")
+        assert isinstance(formula, Literal)
+        assert not formula.positive
+
+    def test_negation_of_compound_is_not_node(self):
+        formula = parse_formula("not (p(a) and q(b))")
+        assert isinstance(formula, Not)
+
+    def test_true_false(self):
+        assert parse_formula("true") == TRUE
+        assert parse_formula("false") == FALSE
+
+    def test_quantifier_scope_extends_right(self):
+        formula = parse_formula("forall X: p(X) -> q(X)")
+        assert isinstance(formula, Forall)
+        assert isinstance(formula.matrix, Implies)
+
+    def test_quantifier_multiple_variables(self):
+        formula = parse_formula("forall X, Y: p(X, Y)")
+        assert formula.variables_tuple == (X, Y)
+
+    def test_quantifier_bracketed_variables(self):
+        formula = parse_formula("exists [X, Y]: p(X, Y)")
+        assert isinstance(formula, Exists)
+        assert formula.variables_tuple == (X, Y)
+
+    def test_nested_quantifiers(self):
+        formula = parse_formula("forall X: p(X) -> exists Y: q(X, Y)")
+        assert isinstance(formula.matrix.consequent, Exists)
+
+    def test_parenthesized_quantifier_inside_conjunction(self):
+        formula = parse_formula("(exists X: p(X)) and q(a)")
+        assert isinstance(formula, And)
+        assert isinstance(formula.children[0], Exists)
+
+    def test_parse_error_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_formula("p(a) ->")
+        assert "line 1" in str(excinfo.value)
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            parse_formula("p(a) ? q(b)")
+
+
+class TestConstraints:
+    def test_closed_accepted(self):
+        parse_constraint("forall X: employee(X) -> exists Y: member(X, Y)")
+
+    def test_open_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("employee(X)")
+
+    def test_paper_constraint_1(self):
+        # (1) of Section 5.
+        formula = parse_constraint(
+            "forall X: employee(X) -> "
+            "exists Y: department(Y) and member(X, Y)"
+        )
+        assert isinstance(formula, Forall)
+
+
+class TestPrograms:
+    SOURCE = """
+    % the Section 5 database
+    employee(ann).
+    leads(ann, sales).          # a second comment style
+    member(X, Y) :- leads(X, Y).
+    forall X: not subordinate(X, X).
+    exists X: employee(X).
+    """
+
+    def test_classification(self):
+        program = parse_program(self.SOURCE)
+        assert len(program.facts) == 2
+        assert len(program.rules) == 1
+        assert len(program.constraints) == 2
+
+    def test_fact_contents(self):
+        program = parse_program(self.SOURCE)
+        assert Atom("employee", (Constant("ann"),)) in program.facts
+
+    def test_rule_contents(self):
+        program = parse_program(self.SOURCE)
+        rule = program.rules[0]
+        assert rule.head.pred == "member"
+
+    def test_empty_program(self):
+        program = parse_program("   % nothing here\n")
+        assert program == ((), (), ())
+
+    def test_missing_dot_between_statements(self):
+        with pytest.raises(ParseError):
+            parse_program("p(a) q(b).")

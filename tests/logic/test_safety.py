@@ -1,0 +1,96 @@
+"""Unit tests for range restriction and domain-independence checks."""
+
+import pytest
+
+from repro.logic.formulas import FALSE, TRUE, Atom, Exists, Forall, Literal
+from repro.logic.parser import parse_formula, parse_rule
+from repro.logic.normalize import normalize_constraint
+from repro.logic.safety import (
+    SafetyError,
+    check_constraint_safety,
+    check_rule_range_restricted,
+    constraint_predicates,
+    is_domain_independent,
+)
+from repro.logic.terms import Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestRuleRangeRestriction:
+    def check(self, text):
+        rule = parse_rule(text)
+        check_rule_range_restricted(rule.head, rule.body)
+
+    def test_paper_rule_ok(self):
+        self.check("member(X, Y) :- leads(X, Y)")
+
+    def test_head_variable_not_in_body_rejected(self):
+        with pytest.raises(SafetyError):
+            self.check("p(X, Y) :- q(X)")
+
+    def test_negative_literal_variable_rejected(self):
+        with pytest.raises(SafetyError):
+            self.check("p(X) :- q(X), not r(Y)")
+
+    def test_negative_literal_covered_ok(self):
+        self.check("p(X) :- q(X, Y), not r(Y)")
+
+    def test_ground_rule_ok(self):
+        self.check("p(a) :- q(b)")
+
+    def test_constant_head_with_empty_support(self):
+        # Head variables all ground; body positive literal gives range.
+        self.check("flag :- q(X)")
+
+
+class TestConstraintSafety:
+    def test_normalized_output_is_safe(self):
+        formula = normalize_constraint(
+            parse_formula(
+                "forall X: employee(X) -> exists Y: "
+                "department(Y) and member(X, Y)"
+            )
+        )
+        check_constraint_safety(formula)
+
+    def test_unrestricted_quantifier_rejected(self):
+        with pytest.raises(SafetyError):
+            check_constraint_safety(Forall([X], None, Literal(Atom("p", (X,)))))
+
+    def test_open_formula_rejected(self):
+        with pytest.raises(SafetyError):
+            check_constraint_safety(Literal(Atom("p", (X,))))
+
+    def test_uncovered_variable_rejected(self):
+        bad = Forall([X, Y], (Atom("p", (X,)),), FALSE)
+        with pytest.raises(SafetyError):
+            check_constraint_safety(bad)
+
+    def test_is_domain_independent(self):
+        good = Forall([X], (Atom("p", (X,)),), Literal(Atom("q", (X,))))
+        assert is_domain_independent(good)
+        bad = Forall([X], None, Literal(Atom("p", (X,))))
+        assert not is_domain_independent(bad)
+
+
+class TestConstraintPredicates:
+    def test_collects_all_relations(self):
+        formula = normalize_constraint(
+            parse_formula(
+                "forall X: employee(X) -> exists Y: "
+                "department(Y) and member(X, Y)"
+            )
+        )
+        assert constraint_predicates(formula) == {
+            "employee",
+            "department",
+            "member",
+        }
+
+    def test_ground_constraint(self):
+        formula = normalize_constraint(parse_formula("p(a) -> q(a)"))
+        assert constraint_predicates(formula) == {"p", "q"}
+
+    def test_constants_have_no_predicates(self):
+        assert constraint_predicates(TRUE) == set()

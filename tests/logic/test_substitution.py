@@ -1,0 +1,107 @@
+"""Unit tests for substitutions: application, composition, restriction."""
+
+import pytest
+
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert not Substitution.empty()
+        assert len(Substitution.empty()) == 0
+
+    def test_identity_bindings_dropped(self):
+        subst = Substitution({X: X})
+        assert not subst
+        assert X not in subst
+
+    def test_non_variable_key_rejected(self):
+        with pytest.raises(TypeError):
+            Substitution({a: b})
+
+    def test_bind_returns_new(self):
+        s0 = Substitution.empty()
+        s1 = s0.bind(X, a)
+        assert X not in s0
+        assert s1[X] == a
+
+    def test_bind_identity_removes(self):
+        s = Substitution({X: a}).bind(X, X)
+        assert X not in s
+
+
+class TestApplication:
+    def test_apply_constant_unchanged(self):
+        assert Substitution({X: a}).apply_term(b) == b
+
+    def test_apply_bound_variable(self):
+        assert Substitution({X: a}).apply_term(X) == a
+
+    def test_apply_unbound_variable(self):
+        assert Substitution({X: a}).apply_term(Y) == Y
+
+    def test_apply_follows_variable_chains(self):
+        subst = Substitution({X: Y, Y: a})
+        assert subst.apply_term(X) == a
+
+    def test_apply_cyclic_chain_terminates(self):
+        subst = Substitution({X: Y, Y: X})
+        result = subst.apply_term(X)
+        assert result in (X, Y)
+
+    def test_apply_terms(self):
+        subst = Substitution({X: a})
+        assert subst.apply_terms((X, Y, b)) == (a, Y, b)
+
+
+class TestComposition:
+    def test_compose_applies_left_then_right(self):
+        s1 = Substitution({X: Y})
+        s2 = Substitution({Y: a})
+        composed = s1.compose(s2)
+        assert composed.apply_term(X) == a
+        assert composed.apply_term(Y) == a
+
+    def test_compose_with_empty_is_identity(self):
+        s = Substitution({X: a})
+        assert s.compose(Substitution.empty()) == s
+        assert Substitution.empty().compose(s) == s
+
+    def test_left_binding_takes_precedence(self):
+        s1 = Substitution({X: a})
+        s2 = Substitution({X: b})
+        assert s1.compose(s2)[X] == a
+
+
+class TestRestriction:
+    def test_restrict(self):
+        s = Substitution({X: a, Y: b})
+        restricted = s.restrict([X])
+        assert X in restricted
+        assert Y not in restricted
+
+    def test_without(self):
+        s = Substitution({X: a, Y: b})
+        remainder = s.without([X])
+        assert X not in remainder
+        assert remainder[Y] == b
+
+    def test_is_ground_on(self):
+        s = Substitution({X: a, Y: Z})
+        assert s.is_ground_on([X])
+        assert not s.is_ground_on([X, Y])
+        assert not s.is_ground_on([Z])
+
+
+class TestEquality:
+    def test_equal_maps_equal(self):
+        assert Substitution({X: a}) == Substitution({X: a})
+        assert hash(Substitution({X: a})) == hash(Substitution({X: a}))
+
+    def test_usable_in_sets(self):
+        group = {Substitution({X: a}), Substitution({X: a}), Substitution({Y: b})}
+        assert len(group) == 2

@@ -1,0 +1,73 @@
+"""Unit tests for terms: identity, hashing, freshness."""
+
+import pytest
+
+from repro.logic.terms import (
+    Constant,
+    Variable,
+    fresh_constant,
+    fresh_variable,
+    is_ground_term,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Variable("X")) == hash(Variable("X"))
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_not_equal_to_constant_of_same_name(self):
+        assert Variable("X") != Constant("X")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_str(self):
+        assert str(Variable("Who")) == "Who"
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) == Constant(1)
+
+    def test_distinct_types_distinct_constants(self):
+        assert Constant("1") != Constant(1)
+
+    def test_hash_consistent(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+    def test_str(self):
+        assert str(Constant("dept")) == "dept"
+        assert str(Constant(42)) == "42"
+
+
+class TestFreshness:
+    def test_fresh_variables_distinct(self):
+        seen = {fresh_variable() for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_fresh_variable_cannot_collide_with_parsed_names(self):
+        # Parsed names never contain '#'.
+        assert "#" in fresh_variable().name
+
+    def test_fresh_constants_distinct(self):
+        seen = {fresh_constant() for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_fresh_constant_marker(self):
+        assert "#" in fresh_constant().value
+
+
+class TestGroundness:
+    def test_constant_is_ground(self):
+        assert is_ground_term(Constant("a"))
+
+    def test_variable_is_not_ground(self):
+        assert not is_ground_term(Variable("X"))

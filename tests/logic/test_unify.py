@@ -1,0 +1,120 @@
+"""Unit tests for unification, matching, variants and subsumption."""
+
+from repro.logic.formulas import Atom, Literal
+from repro.logic.terms import Constant, Variable
+from repro.logic.unify import match, mgu, rename_apart, subsumes, unifiable, variant
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+def atom(pred, *args):
+    return Atom(pred, args)
+
+
+class TestMgu:
+    def test_identical_atoms(self):
+        assert mgu(atom("p", a), atom("p", a)) is not None
+        assert len(mgu(atom("p", a), atom("p", a))) == 0
+
+    def test_different_predicates_fail(self):
+        assert mgu(atom("p", a), atom("q", a)) is None
+
+    def test_different_arities_fail(self):
+        assert mgu(atom("p", a), atom("p", a, b)) is None
+
+    def test_variable_binds_constant(self):
+        subst = mgu(atom("p", X), atom("p", a))
+        assert subst[X] == a
+
+    def test_constant_clash_fails(self):
+        assert mgu(atom("p", a), atom("p", b)) is None
+
+    def test_variable_variable(self):
+        subst = mgu(atom("p", X), atom("p", Y))
+        assert subst is not None
+        assert subst.apply_term(X) == subst.apply_term(Y)
+
+    def test_shared_variable_propagates(self):
+        # p(X, X) vs p(a, Y) forces Y = a.
+        subst = mgu(atom("p", X, X), atom("p", a, Y))
+        assert subst.apply_term(Y) == a
+
+    def test_inconsistent_shared_variable_fails(self):
+        assert mgu(atom("p", X, X), atom("p", a, b)) is None
+
+    def test_mgu_is_unifier(self):
+        left = atom("p", X, b, Z)
+        right = atom("p", a, Y, Y)
+        subst = mgu(left, right)
+        assert left.substitute(subst) == right.substitute(subst)
+
+    def test_literals_require_same_polarity(self):
+        pos = Literal(atom("p", X))
+        neg = Literal(atom("p", a), False)
+        assert mgu(pos, neg) is None
+        assert mgu(pos, neg.complement()) is not None
+
+    def test_unifiable_helper(self):
+        assert unifiable(atom("p", X), atom("p", a))
+        assert not unifiable(atom("p", a), atom("p", b))
+
+
+class TestMatch:
+    def test_match_binds_pattern_variables_only(self):
+        subst = match(atom("p", X, b), atom("p", a, b))
+        assert subst[X] == a
+
+    def test_match_fails_on_target_variable_requirement(self):
+        # match() is one-way: constants in the pattern must equal the target.
+        assert match(atom("p", a), atom("p", X)) is None
+
+    def test_match_respects_repeated_variables(self):
+        assert match(atom("p", X, X), atom("p", a, a)) is not None
+        assert match(atom("p", X, X), atom("p", a, b)) is None
+
+    def test_match_polarity(self):
+        pos = Literal(atom("p", X))
+        neg = Literal(atom("p", a), False)
+        assert match(pos, neg) is None
+
+
+class TestVariantAndSubsumption:
+    def test_variant_renaming(self):
+        assert variant(atom("p", X, Y), atom("p", Y, X))
+        assert variant(atom("p", X, Y), atom("p", Z, X))
+
+    def test_not_variant_when_collapsing(self):
+        assert not variant(atom("p", X, Y), atom("p", Z, Z))
+        assert not variant(atom("p", X, X), atom("p", Y, Z))
+
+    def test_not_variant_with_constants(self):
+        assert not variant(atom("p", X), atom("p", a))
+
+    def test_subsumes_instance(self):
+        assert subsumes(atom("p", X, Y), atom("p", a, b))
+        assert subsumes(atom("p", X, Y), atom("p", Z, Z))
+        assert subsumes(atom("p", X, X), atom("p", a, a))
+
+    def test_does_not_subsume_more_general(self):
+        assert not subsumes(atom("p", a), atom("p", X))
+        assert not subsumes(atom("p", X, X), atom("p", a, b))
+
+
+class TestRenameApart:
+    def test_no_collision_no_change(self):
+        renamed = rename_apart(atom("p", X), [Y])
+        assert renamed == atom("p", X)
+
+    def test_collision_renamed(self):
+        renamed = rename_apart(atom("p", X, Y), [X])
+        assert renamed.pred == "p"
+        new_first, second = renamed.args
+        assert new_first != X
+        assert second == Y
+
+    def test_repeated_variable_renamed_consistently(self):
+        renamed = rename_apart(atom("p", X, X), [X])
+        first, second = renamed.args
+        assert first == second
+        assert first != X

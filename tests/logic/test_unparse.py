@@ -1,0 +1,118 @@
+"""Unit and round-trip tests for the unparser."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.datalog.database import DeductiveDatabase
+from repro.logic.formulas import Atom, Exists, Forall, Literal
+from repro.logic.normalize import normalize_constraint
+from repro.logic.parser import parse_formula, parse_program
+from repro.logic.terms import Constant, Variable
+from repro.logic.unparse import (
+    unparse,
+    unparse_atom,
+    unparse_database,
+    unparse_term,
+)
+
+from tests.property.strategies import guarded_constraints
+
+
+class TestTerms:
+    def test_bare_constant(self):
+        assert unparse_term(Constant("ann")) == "ann"
+
+    def test_integer_constant(self):
+        assert unparse_term(Constant(42)) == "42"
+
+    def test_quoted_constant(self):
+        assert unparse_term(Constant("R & D")) == "'R & D'"
+
+    def test_quoting_escapes(self):
+        assert unparse_term(Constant("it's")) == "'it\\'s'"
+
+    def test_uppercase_valued_constant_quoted(self):
+        # A constant whose value looks like a variable must be quoted.
+        assert unparse_term(Constant("Ann")) == "'Ann'"
+
+    def test_variable(self):
+        assert unparse_term(Variable("X")) == "X"
+
+
+class TestAtomsAndFormulas:
+    def test_atom(self):
+        atom = Atom("works_in", (Constant("ann"), Constant("sales")))
+        assert unparse_atom(atom) == "works_in(ann, sales)"
+
+    def test_zero_arity(self):
+        assert unparse_atom(Atom("halt", ())) == "halt"
+
+    def test_literal_roundtrip(self):
+        for text in ["p(a)", "not p(a)", "true", "false"]:
+            formula = parse_formula(text)
+            assert parse_formula(unparse(formula)) == formula
+
+    def test_restricted_universal_prints_as_implication(self):
+        formula = normalize_constraint(parse_formula("forall X: p(X) -> q(X)"))
+        text = unparse(formula)
+        assert "->" in text
+        assert normalize_constraint(parse_formula(text)) == formula
+
+    def test_restricted_existential_prints_as_conjunction(self):
+        formula = normalize_constraint(
+            parse_formula("exists X: p(X) and not q(X)")
+        )
+        text = unparse(formula)
+        assert normalize_constraint(parse_formula(text)) == formula
+
+    def test_unsafe_variables_sanitized(self):
+        from repro.logic.terms import fresh_variable
+
+        v = fresh_variable("U")
+        formula = Exists([v], (Atom("p", (v,)),), parse_formula("true"))
+        text = unparse(formula)
+        assert "#" not in text
+        parse_formula(text)  # must be parseable
+
+
+class TestRoundTripProperty:
+    @given(guarded_constraints())
+    @settings(max_examples=150)
+    def test_normalized_roundtrip(self, formula):
+        normalized = normalize_constraint(formula)
+        text = unparse(normalized)
+        reparsed = normalize_constraint(parse_formula(text))
+        assert reparsed == normalized
+
+
+class TestDatabaseRoundTrip:
+    SOURCE = """
+    employee(ann).
+    leads(ann, sales).
+    member(X, Y) :- leads(X, Y).
+    forall X, Y: member(X, Y) -> employee(X).
+    exists X: employee(X).
+    """
+
+    def test_to_source_roundtrip(self):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        text = db.to_source()
+        again = DeductiveDatabase.from_source(text)
+        assert set(again.facts) == set(db.facts)
+        assert again.program == db.program
+        assert [c.formula for c in again.constraints] == [
+            c.formula for c in db.constraints
+        ]
+
+    def test_roundtrip_without_recorded_source(self):
+        db = DeductiveDatabase.from_source("p(a).")
+        db.add_constraint(
+            normalize_constraint(parse_formula("forall X: p(X) -> q(X)"))
+        )
+        again = DeductiveDatabase.from_source(db.to_source())
+        assert [c.formula for c in again.constraints] == [
+            c.formula for c in db.constraints
+        ]
+
+    def test_empty_database(self):
+        assert DeductiveDatabase().to_source() == ""

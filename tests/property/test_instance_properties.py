@@ -1,0 +1,74 @@
+"""The Definition 3 correctness property, as a hypothesis property.
+
+For a constraint C satisfied in D and any update U (Proposition 1's
+setting — no rules): C is satisfied in U(D) **iff** every simplified
+instance of C w.r.t. U is satisfied in U(D). Checking the instances is
+both sound and complete — the relational core everything else builds on.
+"""
+
+from hypothesis import assume, given, settings
+import hypothesis.strategies as st
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.program import Program
+from repro.datalog.query import QueryEngine
+from repro.integrity.instances import simplified_instances
+from repro.logic.formulas import Atom, Literal
+
+from tests.property.strategies import (
+    CONSTANTS,
+    fact_sets,
+    guarded_constraints,
+)
+
+
+@st.composite
+def update_literals(draw):
+    pred = draw(st.sampled_from(["p", "q", "r"]))
+    arity = 2 if pred == "r" else 1
+    args = tuple(draw(st.sampled_from(CONSTANTS)) for _ in range(arity))
+    return Literal(Atom(pred, args), draw(st.booleans()))
+
+
+@st.composite
+def satisfied_scenario(draw):
+    db = DeductiveDatabase()
+    for fact in draw(fact_sets()):
+        db.facts.add(fact)
+    try:
+        constraint = db.add_constraint(draw(guarded_constraints()))
+    except Exception:
+        assume(False)
+    assume(db.all_constraints_satisfied())
+    return db, constraint, draw(update_literals())
+
+
+class TestDefinition3:
+    @given(satisfied_scenario())
+    @settings(max_examples=150, deadline=None)
+    def test_instances_decide_constraint_in_updated_state(self, case):
+        db, constraint, update = case
+        updated = db.updated(update)
+        engine = updated.engine()
+        constraint_holds = engine.evaluate(constraint.formula)
+        instances = simplified_instances(constraint, update)
+        instances_hold = all(
+            engine.evaluate(i.formula) for i in instances
+        )
+        assert instances_hold == constraint_holds
+
+    @given(satisfied_scenario())
+    @settings(max_examples=100, deadline=None)
+    def test_irrelevant_updates_never_violate(self, case):
+        db, constraint, update = case
+        if simplified_instances(constraint, update):
+            assume(False)  # only the no-relevant-instance cases here
+        updated = db.updated(update)
+        assert updated.engine().evaluate(constraint.formula)
+
+    @given(satisfied_scenario())
+    @settings(max_examples=100, deadline=None)
+    def test_instances_are_closed_for_ground_updates(self, case):
+        _, constraint, update = case
+        for instance in simplified_instances(constraint, update):
+            assert instance.formula.is_closed()

@@ -1,0 +1,123 @@
+"""The central reproduction property (Propositions 1–3): on databases
+that satisfy their constraints, every checking method agrees with the
+full re-check — for random databases, constraint sets and updates.
+
+``check_nicolas`` joins the agreement only when the program is empty
+(the relational case it was designed for).
+"""
+
+from hypothesis import assume, given, settings
+import hypothesis.strategies as st
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.program import Program, Rule
+from repro.integrity.checker import IntegrityChecker
+from repro.logic.formulas import Atom, Literal
+from repro.logic.normalize import normalize_constraint
+from repro.logic.parser import parse_rule
+from repro.logic.terms import Constant
+
+from tests.property.strategies import CONSTANTS, guarded_constraints
+
+RULE_POOL = [
+    "tc(X, Y) :- r(X, Y)",
+    "tc(X, Y) :- r(X, Z), tc(Z, Y)",
+    "q(X) :- p(X), marked(X)",
+    "node(X) :- r(X, Y)",
+    "node(Y) :- r(X, Y)",
+]
+
+
+@st.composite
+def scenario(draw, with_rules: bool):
+    if with_rules:
+        texts = draw(
+            st.lists(
+                st.sampled_from(RULE_POOL),
+                min_size=0,
+                max_size=4,
+                unique=True,
+            )
+        )
+        program = Program([Rule.from_parsed(parse_rule(t)) for t in texts])
+    else:
+        program = Program()
+    db = DeductiveDatabase(program=program)
+    n = draw(st.integers(min_value=0, max_value=7))
+    for _ in range(n):
+        pred = draw(st.sampled_from(["p", "q", "r", "marked"]))
+        if pred == "r":
+            args = (
+                draw(st.sampled_from(CONSTANTS)),
+                draw(st.sampled_from(CONSTANTS)),
+            )
+        else:
+            args = (draw(st.sampled_from(CONSTANTS)),)
+        db.facts.add(Atom(pred, args))
+    n_constraints = draw(st.integers(min_value=1, max_value=3))
+    for _ in range(n_constraints):
+        formula = draw(guarded_constraints())
+        try:
+            db.add_constraint(formula)
+        except Exception:
+            assume(False)
+    # The propositions' precondition: D satisfies its constraints.
+    assume(db.all_constraints_satisfied())
+    pred = draw(st.sampled_from(["p", "q", "r", "marked"]))
+    if pred == "r":
+        args = (
+            draw(st.sampled_from(CONSTANTS)),
+            draw(st.sampled_from(CONSTANTS)),
+        )
+    else:
+        args = (draw(st.sampled_from(CONSTANTS)),)
+    update = Literal(Atom(pred, args), draw(st.booleans()))
+    return db, update
+
+
+class TestRelationalAgreement:
+    @given(scenario(with_rules=False))
+    @settings(max_examples=80, deadline=None)
+    def test_all_methods_agree_without_rules(self, case):
+        db, update = case
+        checker = IntegrityChecker(db)
+        expected = checker.check_full(update).ok
+        assert checker.check_nicolas(update).ok is expected
+        assert checker.check_bdm(update).ok is expected
+        assert checker.check_interleaved(update).ok is expected
+        assert checker.check_lloyd(update).ok is expected
+
+
+class TestDeductiveAgreement:
+    @given(scenario(with_rules=True))
+    @settings(max_examples=80, deadline=None)
+    def test_deductive_methods_agree_with_full(self, case):
+        db, update = case
+        checker = IntegrityChecker(db)
+        expected = checker.check_full(update).ok
+        assert checker.check_bdm(update).ok is expected
+        assert checker.check_interleaved(update).ok is expected
+        assert checker.check_lloyd(update).ok is expected
+
+    @given(scenario(with_rules=True))
+    @settings(max_examples=40, deadline=None)
+    def test_bdm_violations_subset_of_constraint_ids(self, case):
+        db, update = case
+        checker = IntegrityChecker(db)
+        result = checker.check_bdm(update)
+        ids = {c.id for c in db.constraints}
+        assert result.violated_constraint_ids() <= ids
+
+    @given(scenario(with_rules=True), st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_transaction_agreement(self, case, extra):
+        db, update = case
+        updates = [update]
+        # Duplicate / complement churn exercises the net-effect logic.
+        if extra >= 1:
+            updates.append(update.complement())
+        if extra >= 2:
+            updates.append(update)
+        checker = IntegrityChecker(db)
+        expected = checker.check_full(updates).ok
+        assert checker.check_bdm(updates).ok is expected

@@ -1,0 +1,114 @@
+"""Properties of the meta-interpreters.
+
+* ``new(U, F)`` must agree with evaluating F over the materialized
+  updated database.
+* ``delta(U, ·)`` must enumerate exactly the symmetric difference of
+  the canonical models of D and U(D).
+"""
+
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.datalog.bottomup import compute_model
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.facts import FactStore
+from repro.datalog.program import Program, Rule
+from repro.integrity.delta_eval import DeltaEvaluator
+from repro.integrity.new_eval import NewEvaluator
+from repro.logic.formulas import Atom, Literal
+from repro.logic.parser import parse_rule
+from repro.logic.terms import Constant
+
+from tests.property.strategies import CONSTANTS
+
+RULE_POOL = [
+    "tc(X, Y) :- r(X, Y)",
+    "tc(X, Y) :- r(X, Z), tc(Z, Y)",
+    "node(X) :- r(X, Y)",
+    "node(Y) :- r(X, Y)",
+    "busy(X) :- p(X), q(X)",
+    "idle(X) :- node(X), not busy(X)",
+]
+
+
+@st.composite
+def databases(draw):
+    texts = draw(
+        st.lists(
+            st.sampled_from(RULE_POOL), min_size=0, max_size=5, unique=True
+        )
+    )
+    db = DeductiveDatabase(program=Program(
+        [Rule.from_parsed(parse_rule(t)) for t in texts]
+    ))
+    n = draw(st.integers(min_value=0, max_value=7))
+    for _ in range(n):
+        pred = draw(st.sampled_from(["p", "q", "r"]))
+        if pred == "r":
+            args = (
+                draw(st.sampled_from(CONSTANTS)),
+                draw(st.sampled_from(CONSTANTS)),
+            )
+        else:
+            args = (draw(st.sampled_from(CONSTANTS)),)
+        db.facts.add(Atom(pred, args))
+    return db
+
+
+@st.composite
+def updates(draw):
+    pred = draw(st.sampled_from(["p", "q", "r"]))
+    if pred == "r":
+        args = (
+            draw(st.sampled_from(CONSTANTS)),
+            draw(st.sampled_from(CONSTANTS)),
+        )
+    else:
+        args = (draw(st.sampled_from(CONSTANTS)),)
+    return Literal(Atom(pred, args), draw(st.booleans()))
+
+
+def materialized_diff(db, update):
+    """Ground truth: canonical(U(D)) vs canonical(D), as literals."""
+    before = compute_model(db.facts.copy(), db.program)
+    after_store = db.updated(update).facts.copy()
+    after = compute_model(after_store, db.program)
+    inserts = {Literal(a, True) for a in after if not before.contains(a)}
+    deletes = {Literal(a, False) for a in before if not after.contains(a)}
+    return inserts | deletes
+
+
+class TestNewEvaluator:
+    @given(databases(), updates())
+    @settings(max_examples=80, deadline=None)
+    def test_new_agrees_with_materialized_update(self, db, update):
+        new = NewEvaluator(db, update)
+        after = compute_model(db.updated(update).facts.copy(), db.program)
+        # Check every atom of the combined space.
+        atoms = set(after) | set(compute_model(db.facts.copy(), db.program))
+        atoms.add(update.atom)
+        for atom in atoms:
+            assert new.holds(atom) == after.contains(atom), atom
+
+
+class TestDeltaEvaluator:
+    @given(databases(), updates())
+    @settings(max_examples=80, deadline=None)
+    def test_delta_is_exact_model_difference(self, db, update):
+        delta = DeltaEvaluator(db, update)
+        assert set(delta.induced_updates()) == materialized_diff(db, update)
+
+    @given(databases(), updates())
+    @settings(max_examples=40, deadline=None)
+    def test_delta_of_noop_update_is_empty(self, db, update):
+        # Make the update a definite no-op, then delta must be empty.
+        if update.positive:
+            db.facts.add(update.atom)
+        else:
+            db.facts.remove(update.atom)
+        db._bump()
+        # Deleting a fact still derivable, or inserting one already
+        # derivable, is also a no-op at the model level — covered by the
+        # exactness test; here we pin the explicit Definition 1 no-ops.
+        delta = DeltaEvaluator(db, update)
+        assert set(delta.induced_updates()) == materialized_diff(db, update)

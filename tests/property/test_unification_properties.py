@@ -1,0 +1,79 @@
+"""Property-based tests of the unification substrate."""
+
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.logic.substitution import Substitution
+from repro.logic.unify import match, mgu, subsumes, unifiable, variant
+
+from tests.property.strategies import atoms, ground_atoms
+
+
+class TestMgu:
+    @given(atoms(), atoms())
+    def test_mgu_unifies(self, left, right):
+        unifier = mgu(left, right)
+        if unifier is not None:
+            assert left.substitute(unifier) == right.substitute(unifier)
+
+    @given(atoms(), atoms())
+    def test_unifiability_symmetric(self, left, right):
+        assert unifiable(left, right) == unifiable(right, left)
+
+    @given(atoms())
+    def test_self_unification_is_identity_modulo_vars(self, atom):
+        unifier = mgu(atom, atom)
+        assert unifier is not None
+        assert atom.substitute(unifier) == atom
+
+    @given(atoms(), ground_atoms())
+    def test_mgu_with_ground_matches(self, pattern, ground):
+        unifier = mgu(pattern, ground)
+        binding = match(pattern, ground)
+        assert (unifier is None) == (binding is None)
+        if binding is not None:
+            assert pattern.substitute(binding) == ground
+
+
+class TestMatch:
+    @given(atoms(), ground_atoms())
+    def test_match_is_one_way(self, pattern, target):
+        binding = match(pattern, target)
+        if binding is not None:
+            assert pattern.substitute(binding) == target
+            # Only the pattern's variables are bound.
+            assert binding.domain() <= pattern.variables()
+
+
+class TestSubsumption:
+    @given(atoms(), ground_atoms())
+    def test_subsumption_reflexive(self, pattern, ground):
+        assert subsumes(pattern, pattern)
+        assert subsumes(ground, ground)
+
+    @given(atoms(), atoms(), ground_atoms())
+    def test_subsumption_transitive(self, a, b, c):
+        if subsumes(a, b) and subsumes(b, c):
+            assert subsumes(a, c)
+
+    @given(atoms(), atoms())
+    def test_mutual_subsumption_is_variance(self, left, right):
+        if subsumes(left, right) and subsumes(right, left):
+            assert variant(left, right)
+
+    @given(atoms(), atoms())
+    def test_variant_symmetric(self, left, right):
+        assert variant(left, right) == variant(right, left)
+
+
+class TestSubstitutionAlgebra:
+    @given(atoms(), st.data())
+    def test_compose_associative_on_application(self, atom, data):
+        from repro.logic.terms import Constant, Variable
+
+        s1 = Substitution({Variable("X"): Constant("a")})
+        s2 = Substitution({Variable("Y"): Variable("X")})
+        s3 = Substitution({Variable("Z"): Constant("b")})
+        left = s1.compose(s2).compose(s3)
+        right = s1.compose(s2.compose(s3))
+        assert atom.substitute(left) == atom.substitute(right)

@@ -1,0 +1,115 @@
+"""Unit tests for the brute-force model enumerator, plus agreement
+checks between the enumerator and the model-generation checker."""
+
+import pytest
+
+from repro.datalog.database import Constraint, DeductiveDatabase
+from repro.datalog.program import Program, Rule
+from repro.logic.parser import parse_rule
+from repro.satisfiability.bruteforce import (
+    enumerate_models,
+    find_finite_model,
+    is_model,
+)
+from repro.satisfiability.checker import SatisfiabilityChecker
+
+
+def constraints_from(*texts):
+    db = DeductiveDatabase()
+    for text in texts:
+        db.add_constraint(text)
+    return db.constraints
+
+
+class TestEnumeration:
+    def test_existential_minimum_model(self):
+        model = find_finite_model(constraints_from("exists X: p(X)"))
+        assert model is not None
+        assert len(model) == 1
+
+    def test_contradiction_has_no_model(self):
+        model = find_finite_model(
+            constraints_from("exists X: p(X)", "forall X: not p(X)"),
+            max_domain_size=3,
+        )
+        assert model is None
+
+    def test_implication_chain(self):
+        model = find_finite_model(
+            constraints_from(
+                "exists X: a(X)",
+                "forall X: a(X) -> b(X)",
+            )
+        )
+        assert model is not None
+        assert len(model.facts("b")) >= 1
+
+    def test_rules_participate_as_clauses(self):
+        program = Program([Rule.from_parsed(parse_rule("q(X) :- p(X)"))])
+        model = find_finite_model(
+            constraints_from("exists X: p(X)", "forall X: not q(X)"),
+            program=program,
+            max_domain_size=2,
+        )
+        assert model is None
+
+    def test_enumerates_multiple_models(self):
+        models = list(
+            enumerate_models(
+                constraints_from("exists X: p(X)"),
+                max_domain_size=1,
+                max_models=10,
+            )
+        )
+        # Signature is {p/1}; domain {d1} gives exactly one model {p(d1)}.
+        assert len(models) == 1
+
+    def test_mentioned_constants_forced_into_domain(self):
+        model = find_finite_model(
+            constraints_from("p(a) or q(b)"), max_domain_size=1
+        )
+        assert model is not None
+
+
+class TestCheckerAgreesWithBruteForce:
+    CASES = [
+        # (constraints, satisfiable within small domains)
+        (("exists X: p(X)",), True),
+        (("exists X: p(X)", "forall X: not p(X)"), False),
+        (("forall X: p(X) -> q(X)",), True),
+        (
+            (
+                "exists X: p(X)",
+                "forall X: p(X) -> q(X)",
+                "forall X: q(X) -> not p(X)",
+            ),
+            False,
+        ),
+        (
+            (
+                "exists X: p(X)",
+                "forall X: p(X) -> exists Y: p(Y) and r(X, Y)",
+            ),
+            True,
+        ),
+        (
+            (
+                "exists X: a(X)",
+                "forall X: a(X) -> b(X) or c(X)",
+                "forall X: not b(X)",
+                "forall X: not c(X)",
+            ),
+            False,
+        ),
+    ]
+
+    @pytest.mark.parametrize("texts, expected_sat", CASES)
+    def test_agreement(self, texts, expected_sat):
+        constraints = constraints_from(*texts)
+        brute = find_finite_model(constraints, max_domain_size=2)
+        checker = SatisfiabilityChecker(list(texts))
+        result = checker.check(max_fresh_constants=4)
+        assert (brute is not None) is expected_sat
+        assert result.satisfiable is expected_sat
+        if result.satisfiable:
+            assert is_model(result.model, checker.constraints)

@@ -1,0 +1,96 @@
+"""The Section 5 worked example, replayed end to end.
+
+Rules:
+    member(X, Y) <- leads(X, Y)
+Constraints:
+    (1) ∀X employee(X) → ∃Y department(Y) ∧ member(X, Y)
+    (2) ∀X department(X) → ∃Y employee(Y) ∧ leads(Y, X)
+    (3) ∀X,Y member(X, Y) → (∀Z leads(Z, Y) → subordinate(X, Z))
+    (4) ∀X ¬subordinate(X, X)
+    (5) ∃X employee(X)
+
+The paper shows the set unsatisfiable: every way of leading the
+department forced by constraints (1)+(2) makes its leader a member
+(via the rule), hence a subordinate of themselves, contradicting (4).
+Weakening (3) with a ``leads`` escape restores finite satisfiability.
+"""
+
+import pytest
+
+from repro.satisfiability.checker import (
+    SatisfiabilityChecker,
+    check_satisfiability,
+)
+
+SECTION5 = """
+member(X, Y) :- leads(X, Y).
+
+forall X: employee(X) -> exists Y: department(Y) and member(X, Y).
+forall X: department(X) -> exists Y: employee(Y) and leads(Y, X).
+forall X, Y: member(X, Y) -> (forall Z: leads(Z, Y) -> subordinate(X, Z)).
+forall X: not subordinate(X, X).
+exists X: employee(X).
+"""
+
+SECTION5_WEAKENED = """
+member(X, Y) :- leads(X, Y).
+
+forall X: employee(X) -> exists Y: department(Y) and member(X, Y).
+forall X: department(X) -> exists Y: employee(Y) and leads(Y, X).
+forall X, Y: member(X, Y) -> leads(X, Y) or
+    (forall Z: leads(Z, Y) -> subordinate(X, Z)).
+forall X: not subordinate(X, X).
+exists X: employee(X).
+"""
+
+
+class TestSection5Unsatisfiable:
+    def test_verdict(self):
+        result = check_satisfiability(SECTION5, max_fresh_constants=6)
+        assert result.unsatisfiable
+
+    def test_backtracking_happened(self):
+        # The paper's run explores two alternatives at level 2, both
+        # ending in the subordinate(X, X) contradiction.
+        checker = SatisfiabilityChecker.from_source(SECTION5, trace=True)
+        result = checker.check(max_fresh_constants=6)
+        assert result.unsatisfiable
+        assert result.stats["backtracks"] > 0
+
+    def test_trace_reaches_subordinate_contradiction(self):
+        checker = SatisfiabilityChecker.from_source(SECTION5, trace=True)
+        result = checker.check(max_fresh_constants=6)
+        # Along some branch a subordinate fact was asserted (the
+        # enforcement of (3)) before (4) refuted it.
+        assert any("subordinate" in line for line in result.trace)
+
+    def test_first_enforcement_is_employee(self):
+        # Level 0: only constraint (5) is violated on the empty sample.
+        checker = SatisfiabilityChecker.from_source(SECTION5, trace=True)
+        result = checker.check(max_fresh_constants=6)
+        asserts = [l for l in result.trace if l.startswith("assert")]
+        assert asserts[0].startswith("assert employee(")
+
+
+class TestSection5Weakened:
+    def test_verdict(self):
+        result = check_satisfiability(SECTION5_WEAKENED, max_fresh_constants=6)
+        assert result.satisfiable
+
+    def test_model_shape(self):
+        result = check_satisfiability(SECTION5_WEAKENED, max_fresh_constants=6)
+        model = result.model
+        # Someone is employed, some department exists, someone leads it.
+        assert len(model.facts("employee")) >= 1
+        assert len(model.facts("department")) >= 1
+        assert len(model.facts("leads")) >= 1
+        # Nobody is their own subordinate.
+        for fact in model.facts("subordinate"):
+            assert fact.args[0] != fact.args[1]
+
+    def test_model_satisfies_all_constraints(self):
+        from repro.satisfiability.bruteforce import is_model
+
+        checker = SatisfiabilityChecker.from_source(SECTION5_WEAKENED)
+        result = checker.check(max_fresh_constants=6)
+        assert is_model(result.model, checker.constraints)

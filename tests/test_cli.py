@@ -1,0 +1,163 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+DB_SOURCE = """
+employee(ann).
+leads(ann, sales).
+member(X, Y) :- leads(X, Y).
+forall X, Y: member(X, Y) -> employee(X).
+exists X: employee(X).
+"""
+
+SAT_SOURCE = """
+exists X: p(X).
+forall X: p(X) -> q(X).
+"""
+
+UNSAT_SOURCE = """
+exists X: p(X).
+forall X: not p(X).
+"""
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.dl"
+    path.write_text(DB_SOURCE)
+    return str(path)
+
+
+class TestCheck:
+    def test_ok_update_exit_zero(self, db_file, capsys):
+        code = main(["check", db_file, "--update", "employee(bob)"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_violation_exit_one(self, db_file, capsys):
+        code = main(["check", db_file, "--update", "leads(bob, hr)"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+        assert "c1" in out
+
+    def test_transaction_updates(self, db_file):
+        code = main(
+            [
+                "check",
+                db_file,
+                "--update",
+                "employee(bob)",
+                "--update",
+                "leads(bob, hr)",
+            ]
+        )
+        assert code == 0
+
+    def test_method_selection(self, db_file):
+        for method in ("full", "nicolas", "interleaved", "lloyd"):
+            code = main(
+                ["check", db_file, "--method", method, "--update",
+                 "employee(bob)"]
+            )
+            assert code == 0, method
+
+    def test_stats_flag(self, db_file, capsys):
+        main(["check", db_file, "--update", "employee(bob)", "--stats"])
+        assert "# " in capsys.readouterr().out
+
+    def test_apply_prints_updated_source(self, db_file, capsys):
+        code = main(
+            ["check", db_file, "--update", "employee(bob)", "--apply"]
+        )
+        assert code == 0
+        assert "employee(bob)." in capsys.readouterr().out
+
+    def test_apply_skipped_on_violation(self, db_file, capsys):
+        code = main(
+            ["check", db_file, "--update", "leads(bob, hr)", "--apply"]
+        )
+        assert code == 1
+        assert "leads(bob, hr)." not in capsys.readouterr().out
+
+
+class TestSatcheck:
+    def test_satisfiable_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "sat.dl"
+        path.write_text(SAT_SOURCE)
+        code = main(["satcheck", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "satisfiable" in out
+        assert "finite model" in out
+
+    def test_unsatisfiable_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "unsat.dl"
+        path.write_text(UNSAT_SOURCE)
+        code = main(["satcheck", str(path)])
+        assert code == 1
+        assert "unsatisfiable" in capsys.readouterr().out
+
+    def test_unknown_exit_two(self, tmp_path):
+        path = tmp_path / "inf.dl"
+        path.write_text(
+            """
+            exists X: p(X).
+            forall X: p(X) -> exists Y: p(Y) and r(X, Y).
+            forall X: not r(X, X).
+            forall X, Y: r(X, Y) -> not r(Y, X).
+            forall [X, Y, Z]: r(X, Y) and r(Y, Z) -> r(X, Z).
+            """
+        )
+        code = main(["satcheck", str(path), "--budget", "3"])
+        assert code == 2
+
+    def test_no_reuse_mode(self, tmp_path):
+        path = tmp_path / "serial.dl"
+        path.write_text(
+            """
+            exists X: p(X).
+            forall X: p(X) -> exists Y: p(Y) and r(X, Y).
+            """
+        )
+        assert main(["satcheck", str(path)]) == 0
+        assert (
+            main(
+                ["satcheck", str(path), "--no-reuse", "--budget", "4",
+                 "--no-deepening"]
+            )
+            == 2
+        )
+
+    def test_trace_flag(self, tmp_path, capsys):
+        path = tmp_path / "sat.dl"
+        path.write_text(SAT_SOURCE)
+        main(["satcheck", str(path), "--trace"])
+        assert "trace:" in capsys.readouterr().out
+
+
+class TestQueryAndModel:
+    def test_query_true(self, db_file, capsys):
+        code = main(["query", db_file, "member(ann, sales)"])
+        assert code == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_query_false(self, db_file, capsys):
+        code = main(["query", db_file, "member(bob, sales)"])
+        assert code == 1
+        assert "false" in capsys.readouterr().out
+
+    def test_query_quantified(self, db_file):
+        assert (
+            main(["query", db_file, "forall X, Y: leads(X, Y) -> member(X, Y)"])
+            == 0
+        )
+
+    def test_model_lists_derived_facts(self, db_file, capsys):
+        code = main(["model", db_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "member(ann, sales)" in out
+        assert "leads(ann, sales)" in out

@@ -1,0 +1,81 @@
+"""Tests for the deletion-heavy orders workload."""
+
+import pytest
+
+from repro.integrity.checker import IntegrityChecker
+from repro.integrity.transactions import Transaction
+from repro.workloads.orders import OrdersWorkload, make_orders_database
+
+
+class TestGeneration:
+    def test_generated_database_is_consistent(self):
+        db = make_orders_database(6, seed=3)
+        assert db.all_constraints_satisfied()
+
+    def test_deterministic(self):
+        first = make_orders_database(5, seed=1)
+        second = make_orders_database(5, seed=1)
+        assert set(first.facts) == set(second.facts)
+
+    def test_derived_status(self):
+        db = make_orders_database(4, seed=0)
+        model = db.canonical_model()
+        open_orders = model.facts("open_order")
+        shipped = model.facts("shipped")
+        # Every order is either open or shipped, never both.
+        assert open_orders
+        assert shipped
+        assert not {o.args[0] for o in open_orders} & {
+            s.args[0] for s in shipped
+        }
+
+
+class TestDeletionChecking:
+    def test_stream_mixes_verdicts(self):
+        workload = OrdersWorkload(6, seed=2)
+        db = workload.build()
+        checker = IntegrityChecker(db)
+        verdicts = {
+            checker.check_bdm(update).ok
+            for update in workload.deletion_stream(20, seed=9)
+        }
+        assert verdicts == {True, False}
+
+    def test_bdm_agrees_with_full_on_deletions(self):
+        workload = OrdersWorkload(5, seed=4)
+        db = workload.build()
+        checker = IntegrityChecker(db)
+        for update in workload.deletion_stream(12, seed=5):
+            assert (
+                checker.check_bdm(update).ok
+                is checker.check_full(update).ok
+            ), update
+
+    def test_deleting_referenced_customer_violates(self):
+        db = make_orders_database(3, seed=0)
+        checker = IntegrityChecker(db)
+        assert not checker.check_bdm("not customer(cust0)").ok
+
+    def test_cascading_delete_transaction_passes(self):
+        # Removing a whole order with all its items and references in
+        # one transaction preserves integrity.
+        db = make_orders_database(3, seed=0)
+        checker = IntegrityChecker(db)
+        items = [
+            f.args[0].value
+            for f in db.facts.facts("item_of")
+            if f.args[1].value == "ord0_0"
+        ]
+        updates = [f"not item_of({i}, ord0_0)" for i in items]
+        updates.append("not order_by(ord0_0, cust0)")
+        updates.append("not dispatched(ord0_0)")
+        result = checker.check_bdm(Transaction(updates))
+        assert result.ok
+
+    def test_partial_cascade_fails(self):
+        # Dropping the order link but keeping items violates the
+        # item_of -> order_by inclusion.
+        db = make_orders_database(3, seed=0)
+        checker = IntegrityChecker(db)
+        result = checker.check_bdm("not order_by(ord0_0, cust0)")
+        assert not result.ok

@@ -1,0 +1,149 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.integrity.checker import IntegrityChecker
+from repro.satisfiability.checker import check_satisfiability
+from repro.workloads.deductive import (
+    ancestor_database,
+    fanout_database,
+    rule_chain_database,
+    university_database,
+    university_transaction,
+)
+from repro.workloads.relational import RelationalWorkload
+from repro.workloads.theorem_proving import (
+    cycle_coloring,
+    pigeonhole,
+    serial_order,
+)
+
+
+class TestRelationalWorkload:
+    def test_generated_database_is_satisfied(self):
+        db = RelationalWorkload(30, seed=7).build()
+        assert db.all_constraints_satisfied()
+
+    def test_deterministic_for_seed(self):
+        first = RelationalWorkload(20, seed=3).build()
+        second = RelationalWorkload(20, seed=3).build()
+        assert set(first.facts) == set(second.facts)
+
+    def test_different_seeds_differ(self):
+        first = RelationalWorkload(20, seed=3).build()
+        second = RelationalWorkload(20, seed=4).build()
+        assert set(first.facts) != set(second.facts)
+
+    def test_sizes_scale(self):
+        small = RelationalWorkload(10).build()
+        large = RelationalWorkload(100).build()
+        assert len(large.facts) > len(small.facts)
+
+    def test_update_stream_mixes_outcomes(self):
+        workload = RelationalWorkload(30, seed=7)
+        db = workload.build()
+        checker = IntegrityChecker(db)
+        verdicts = {
+            checker.check_bdm(update).ok
+            for update in workload.update_stream(20, seed=11)
+        }
+        assert verdicts == {True, False}
+
+    def test_update_stream_deterministic(self):
+        workload = RelationalWorkload(30, seed=7)
+        first = workload.update_stream(10, seed=5)
+        second = workload.update_stream(10, seed=5)
+        assert first == second
+
+    def test_bdm_agrees_with_full_on_stream(self):
+        workload = RelationalWorkload(25, seed=1)
+        db = workload.build()
+        checker = IntegrityChecker(db)
+        for update in workload.update_stream(15, seed=2):
+            assert (
+                checker.check_bdm(update).ok
+                is checker.check_full(update).ok
+            ), update
+
+
+class TestDeductiveWorkloads:
+    def test_fanout_database_satisfied(self):
+        db, update = fanout_database(10)
+        assert db.all_constraints_satisfied()
+        checker = IntegrityChecker(db)
+        assert checker.check_bdm(update).ok
+
+    def test_rule_chain_database(self):
+        db, update = rule_chain_database(depth=3, width=5)
+        assert db.all_constraints_satisfied()
+        checker = IntegrityChecker(db)
+        assert checker.check_bdm(update).ok
+        assert checker.check_lloyd(update).ok
+
+    def test_rule_chain_violation_detected(self):
+        db, _ = rule_chain_database(depth=2, width=3)
+        checker = IntegrityChecker(db)
+        from repro.integrity.transactions import Transaction
+
+        # rogue reaches the end of the chain but is not ok.
+        rogue = Transaction(
+            ["c0(rogue)", "link0(rogue, rogue)", "link1(rogue, rogue)"]
+        )
+        result = checker.check_bdm(rogue)
+        assert not result.ok
+        assert checker.check_full(rogue).ok is result.ok
+
+    def test_ancestor_database(self):
+        db, update = ancestor_database(5)
+        assert db.all_constraints_satisfied()
+        checker = IntegrityChecker(db)
+        # g6 is not a person: the recursive closure must catch it.
+        assert not checker.check_bdm(update).ok
+
+    def test_university_transaction(self):
+        db = university_database(10)
+        checker = IntegrityChecker(db)
+        good = university_transaction(3, attend=True)
+        bad = university_transaction(3, attend=False)
+        assert checker.check_bdm(good).ok
+        assert not checker.check_bdm(bad).ok
+
+
+class TestTheoremProvingWorkloads:
+    def test_pigeonhole_unsat(self):
+        result = check_satisfiability(pigeonhole(2), max_fresh_constants=0)
+        assert result.unsatisfiable
+
+    def test_pigeonhole_equal_counts_sat(self):
+        result = check_satisfiability(
+            pigeonhole(3, pigeons=3), max_fresh_constants=0
+        )
+        assert result.satisfiable
+
+    def test_even_cycle_two_colorable(self):
+        result = check_satisfiability(
+            cycle_coloring(4), max_fresh_constants=0
+        )
+        assert result.satisfiable
+
+    def test_odd_cycle_not_two_colorable(self):
+        result = check_satisfiability(
+            cycle_coloring(5), max_fresh_constants=0
+        )
+        assert result.unsatisfiable
+
+    def test_odd_cycle_three_colorable(self):
+        result = check_satisfiability(
+            cycle_coloring(5, colors=3), max_fresh_constants=0
+        )
+        assert result.satisfiable
+
+    def test_serial_order_one_element_model(self):
+        result = check_satisfiability(serial_order())
+        assert result.satisfiable
+        assert len(result.model.facts("p")) == 1
+
+    def test_serial_irreflexive_two_elements(self):
+        result = check_satisfiability(serial_order(irreflexive=True))
+        assert result.satisfiable
+        assert len(result.model.facts("p")) == 2
