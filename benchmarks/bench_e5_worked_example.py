@@ -6,7 +6,6 @@ and notes that weakening constraint (3) restores finite satisfiability.
 Both runs must be interactive-speed.
 """
 
-import pytest
 
 from repro.satisfiability.checker import SatisfiabilityChecker
 from repro.workloads.theorem_proving import SECTION5, SECTION5_WEAKENED

@@ -14,7 +14,6 @@ import pytest
 
 from repro.integrity.checker import IntegrityChecker
 from repro.integrity.dependencies import DependencyIndex, potential_updates
-from repro.logic.parser import parse_literal
 from repro.workloads.deductive import (
     ancestor_database,
     fanout_database,

@@ -7,9 +7,6 @@ less work) are additionally asserted on deterministic operation counts
 qualitative reproduction does not depend on machine speed.
 """
 
-import pytest
-
-
 def report(title, rows, header):
     """Print a small aligned table (visible with -s; kept in captured
     output otherwise). Rows are tuples aligned with *header*."""

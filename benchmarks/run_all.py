@@ -1,0 +1,111 @@
+"""Benchmark smoke runner: execute every ``bench_e*.py`` quickly and
+record wall-clock per experiment.
+
+CI runs this on every PR (quick mode, measurement disabled — the point
+is a perf *trajectory* and a liveness check, not publishable numbers)
+and uploads the resulting ``BENCH_pr.json`` artifact, so regressions
+show up as a step in the per-experiment wall-clock series across PRs.
+
+Usage::
+
+    python benchmarks/run_all.py [--out BENCH_pr.json] [--full]
+
+Exit status is non-zero if any benchmark fails, so the smoke job also
+guards the benchmarks' own assertions (e.g. E10's planner speedup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def run_benchmark(path: Path, env: dict) -> dict:
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            path.name,
+            "-q",
+            "--benchmark-disable",
+            "-p",
+            "no:cacheprovider",
+            "-o",
+            "addopts=",
+        ],
+        cwd=BENCH_DIR,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_seconds": round(elapsed, 3),
+        "returncode": proc.returncode,
+        "tail": proc.stdout.strip().splitlines()[-1:] if proc.stdout else [],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default="BENCH_pr.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run full-size workloads instead of quick mode",
+    )
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    if not args.full:
+        env["REPRO_BENCH_QUICK"] = "1"
+    src = str(BENCH_DIR.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    results = {}
+    failed = []
+    for path in sorted(BENCH_DIR.glob("bench_e*.py")):
+        print(f"running {path.name} ...", flush=True)
+        outcome = run_benchmark(path, env)
+        results[path.stem] = outcome
+        status = "ok" if outcome["returncode"] == 0 else "FAILED"
+        print(f"  {status} in {outcome['wall_seconds']}s", flush=True)
+        if outcome["returncode"] != 0:
+            failed.append(path.name)
+
+    payload = {
+        "mode": "full" if args.full else "quick",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": results,
+        "total_wall_seconds": round(
+            sum(r["wall_seconds"] for r in results.values()), 3
+        ),
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path} ({payload['total_wall_seconds']}s total)")
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

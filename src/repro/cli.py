@@ -16,15 +16,27 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.datalog.database import DeductiveDatabase
+from repro.datalog.planner import DEFAULT_PLAN, PLANS
 from repro.integrity.checker import IntegrityChecker
 from repro.logic.parser import parse_formula
 from repro.logic.normalize import normalize_constraint
 from repro.satisfiability.checker import SatisfiabilityChecker
 
 _METHODS = ("bdm", "full", "nicolas", "interleaved", "lloyd")
+
+
+def _add_plan_option(command) -> None:
+    command.add_argument(
+        "--plan",
+        choices=PLANS,
+        default=DEFAULT_PLAN,
+        help="join order for rule bodies: 'greedy' reorders literals by "
+        "estimated selectivity, 'source' keeps rule-source order "
+        "(default: %(default)s)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--stats", action="store_true", help="print cost statistics"
     )
+    _add_plan_option(check)
 
     satcheck = commands.add_parser(
         "satcheck", help="check finite satisfiability of rules + constraints"
@@ -99,11 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("database", help="path to the database source file")
     query.add_argument("formula", help="closed formula to evaluate")
+    _add_plan_option(query)
 
     model = commands.add_parser(
         "model", help="print the canonical model (facts + derived)"
     )
     model.add_argument("database", help="path to the database source file")
+    _add_plan_option(model)
 
     return parser
 
@@ -115,7 +130,7 @@ def _load_database(path: str) -> DeductiveDatabase:
 
 def _run_check(args) -> int:
     db = _load_database(args.database)
-    checker = IntegrityChecker(db)
+    checker = IntegrityChecker(db, plan=args.plan)
     method = getattr(checker, f"check_{args.method}")
     result = method(list(args.updates))
     if result.ok:
@@ -163,14 +178,14 @@ def _run_satcheck(args) -> int:
 def _run_query(args) -> int:
     db = _load_database(args.database)
     formula = normalize_constraint(parse_formula(args.formula))
-    value = db.engine().evaluate(formula)
+    value = db.engine(plan=args.plan).evaluate(formula)
     print("true" if value else "false")
     return 0 if value else 1
 
 
 def _run_model(args) -> int:
     db = _load_database(args.database)
-    for fact in sorted(db.canonical_model(), key=str):
+    for fact in sorted(db.canonical_model(plan=args.plan), key=str):
         print(fact)
     return 0
 

@@ -9,6 +9,14 @@ integrity and satisfiability layers drive.
 
 from repro.datalog.facts import FactStore
 from repro.datalog.overlay import OverlayFactStore
+from repro.datalog.planner import (
+    DEFAULT_PLAN,
+    PLANS,
+    GreedyPlanner,
+    Planner,
+    SourcePlanner,
+    make_planner,
+)
 from repro.datalog.program import (
     Program,
     Rule,
@@ -22,15 +30,21 @@ from repro.datalog.database import Constraint, DeductiveDatabase
 
 __all__ = [
     "Constraint",
+    "DEFAULT_PLAN",
     "DeductiveDatabase",
     "FactStore",
+    "GreedyPlanner",
     "MaintainedModel",
     "OverlayFactStore",
+    "PLANS",
+    "Planner",
     "Program",
     "QueryEngine",
     "Rule",
+    "SourcePlanner",
     "StratificationError",
     "TabledEvaluator",
     "compute_model",
     "compute_model_naive",
+    "make_planner",
 ]

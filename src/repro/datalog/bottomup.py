@@ -13,10 +13,16 @@ subprogram into a side store without copying the extensional database.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Protocol, Sequence, Set
+from typing import Iterable, Iterator, List, Optional, Protocol, Sequence, Set
 
 from repro.datalog.facts import FactStore
 from repro.datalog.joins import join_literals
+from repro.datalog.planner import (
+    DEFAULT_PLAN,
+    Planner,
+    make_planner,
+    source_cardinality,
+)
 from repro.datalog.program import Program, Rule
 from repro.logic.formulas import Atom
 from repro.logic.substitution import Substitution
@@ -46,11 +52,13 @@ def _derive_round(
     rules: Sequence[Rule],
     stratum_preds: Set[str],
     delta: FactStore,
+    planner: Optional[Planner] = None,
 ) -> List[Atom]:
     """One semi-naive round: join each rule with at least one body
     occurrence restricted to *delta*. Returns derived facts (possibly
     already known)."""
     derived: List[Atom] = []
+    view_estimate = source_cardinality(view)
     for rule in rules:
         delta_positions = [
             i
@@ -70,15 +78,36 @@ def _derive_round(
                 else:
                     yield from _match_substitutions(view, pattern)
 
+            round_planner = planner
+            if planner is not None:
+                # The delta-restricted occurrence matches against the
+                # round's new facts, not the predicate's full extent —
+                # tell the planner so it schedules the small side first.
+                def estimator(
+                    index: int, atom: Atom, _dpos=delta_position
+                ) -> int:
+                    if index == _dpos:
+                        return delta.estimate(atom)
+                    return view_estimate(index, atom)
+
+                round_planner = planner.with_cardinality(estimator)
+
             for binding in join_literals(
-                rule.body, Substitution.empty(), matcher, view.contains
+                rule.body,
+                Substitution.empty(),
+                matcher,
+                view.contains,
+                round_planner,
             ):
                 derived.append(rule.head.substitute(binding))
     return derived
 
 
 def evaluate_stratum(
-    view: EvaluationView, rules: Sequence[Rule], stratum_preds: Set[str]
+    view: EvaluationView,
+    rules: Sequence[Rule],
+    stratum_preds: Set[str],
+    planner: Optional[Planner] = None,
 ) -> None:
     """Saturate one stratum's rules against *view* (semi-naive)."""
     # Round zero: full join of every rule.
@@ -90,7 +119,7 @@ def evaluate_stratum(
             yield from _match_substitutions(view, pattern)
 
         for binding in join_literals(
-            rule.body, Substitution.empty(), matcher, view.contains
+            rule.body, Substitution.empty(), matcher, view.contains, planner
         ):
             initial.append(rule.head.substitute(binding))
     for fact in initial:
@@ -98,30 +127,38 @@ def evaluate_stratum(
             delta.add(fact)
     # Differential rounds.
     while len(delta):
-        derived = _derive_round(view, rules, stratum_preds, delta)
+        derived = _derive_round(view, rules, stratum_preds, delta, planner)
         delta = FactStore()
         for fact in derived:
             if view.add(fact):
                 delta.add(fact)
 
 
-def compute_model(edb: Iterable[Atom], program: Program) -> FactStore:
+def compute_model(
+    edb: Iterable[Atom], program: Program, plan: str = DEFAULT_PLAN
+) -> FactStore:
     """Materialize the canonical model of ``edb ∪ program``.
 
     Returns a fresh :class:`FactStore` containing the extensional facts
-    plus everything derivable, under the stratified semantics.
+    plus everything derivable, under the stratified semantics. *plan*
+    selects the join order (see :mod:`repro.datalog.planner`).
     """
     model = edb.copy() if isinstance(edb, FactStore) else FactStore(edb)
+    planner = make_planner(plan, model)
     for _, rules in program.rules_by_stratum():
         stratum_preds = {rule.head.pred for rule in rules}
-        evaluate_stratum(model, rules, stratum_preds)
+        evaluate_stratum(model, rules, stratum_preds, planner)
     return model
 
 
-def compute_model_naive(edb: Iterable[Atom], program: Program) -> FactStore:
+def compute_model_naive(
+    edb: Iterable[Atom], program: Program, plan: str = "source"
+) -> FactStore:
     """Naive (non-differential) evaluation — the reference oracle the
-    tests compare semi-naive against."""
+    tests compare semi-naive against. Defaults to the unplanned join
+    order so it stays a faithful oracle end to end."""
     model = edb.copy() if isinstance(edb, FactStore) else FactStore(edb)
+    planner = make_planner(plan, model)
     for _, rules in program.rules_by_stratum():
         changed = True
         while changed:
@@ -133,7 +170,11 @@ def compute_model_naive(edb: Iterable[Atom], program: Program) -> FactStore:
                     yield from _match_substitutions(model, pattern)
 
                 for binding in join_literals(
-                    rule.body, Substitution.empty(), matcher, model.contains
+                    rule.body,
+                    Substitution.empty(),
+                    matcher,
+                    model.contains,
+                    planner,
                 ):
                     derived.append(rule.head.substitute(binding))
             for fact in derived:

@@ -9,10 +9,11 @@ simulated updated state (Definition 1 / the overlay construction).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.datalog.facts import FactStore
 from repro.datalog.overlay import OverlayFactStore
+from repro.datalog.planner import DEFAULT_PLAN
 from repro.datalog.program import Program, Rule
 from repro.datalog.query import QueryEngine
 from repro.logic.formulas import Atom, Formula, Literal
@@ -68,7 +69,7 @@ class DeductiveDatabase:
         self.constraints: List[Constraint] = list(constraints)
         self._constraint_counter = itertools.count(len(self.constraints) + 1)
         self._version = 0
-        self._engines: Dict[str, QueryEngine] = {}
+        self._engines: Dict[Tuple[str, str], QueryEngine] = {}
         self._engine_version = -1
 
     # -- construction -----------------------------------------------------------------
@@ -174,16 +175,22 @@ class DeductiveDatabase:
 
     # -- querying ----------------------------------------------------------------------------
 
-    def engine(self, strategy: str = "lazy") -> QueryEngine:
+    def engine(
+        self, strategy: str = "lazy", plan: str = DEFAULT_PLAN
+    ) -> QueryEngine:
         """A query engine over the current state. Engines are cached per
-        strategy and invalidated whenever the database mutates."""
+        (strategy, plan) and invalidated whenever the database mutates.
+        *plan* picks the join order for rule bodies and restrictions —
+        ``"greedy"`` (selectivity-driven, the default) or ``"source"``
+        (rule-source order, the unplanned oracle)."""
         if self._engine_version != self._version:
             self._engines.clear()
             self._engine_version = self._version
-        engine = self._engines.get(strategy)
+        key = (strategy, plan)
+        engine = self._engines.get(key)
         if engine is None:
-            engine = QueryEngine(self.facts, self.program, strategy)
-            self._engines[strategy] = engine
+            engine = QueryEngine(self.facts, self.program, strategy, plan)
+            self._engines[key] = engine
         return engine
 
     def holds(self, atom: Union[str, Atom]) -> bool:
@@ -198,7 +205,7 @@ class DeductiveDatabase:
             formula = normalize_constraint(parse_formula(formula))
         return self.engine().evaluate(formula)
 
-    def canonical_model(self) -> FactStore:
+    def canonical_model(self, plan: str = DEFAULT_PLAN) -> FactStore:
         """Materialize the full canonical model (EDB plus everything
         derivable)."""
         from repro.datalog.bottomup import compute_model
@@ -208,22 +215,24 @@ class DeductiveDatabase:
             if isinstance(self.facts, OverlayFactStore)
             else self.facts
         )
-        return compute_model(base, self.program)
+        return compute_model(base, self.program, plan)
 
     # -- constraint sweep (the naive baseline) ----------------------------------------------------
 
     def violated_constraints(
-        self, strategy: str = "model"
+        self, strategy: str = "model", plan: str = DEFAULT_PLAN
     ) -> List[Constraint]:
         """Evaluate *every* constraint from scratch — the full check the
         paper's methods avoid. Kept as the ground-truth baseline."""
-        engine = self.engine(strategy)
+        engine = self.engine(strategy, plan)
         return [
             c for c in self.constraints if not engine.evaluate(c.formula)
         ]
 
-    def all_constraints_satisfied(self, strategy: str = "model") -> bool:
-        return not self.violated_constraints(strategy)
+    def all_constraints_satisfied(
+        self, strategy: str = "model", plan: str = DEFAULT_PLAN
+    ) -> bool:
+        return not self.violated_constraints(strategy, plan)
 
     def constraint_by_id(self, id: str) -> Constraint:
         for constraint in self.constraints:

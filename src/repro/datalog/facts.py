@@ -124,6 +124,13 @@ class FactStore:
     def count(self, pred: str) -> int:
         return len(self._by_pred.get(pred, ()))
 
+    def estimate(self, pattern: Atom) -> int:
+        """O(arity) upper bound on the facts matching *pattern*: the
+        size of the index slot :meth:`match` would actually scan. This
+        is the access-path cost the join planner ranks literals by."""
+        candidates = self._candidates(pattern)
+        return 0 if candidates is None else len(candidates)
+
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._by_pred.values())
 

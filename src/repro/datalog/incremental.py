@@ -25,10 +25,11 @@ stratum, the computed changes seed the maintenance of higher strata
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from repro.datalog.facts import FactStore
 from repro.datalog.joins import join_literals
+from repro.datalog.planner import DEFAULT_PLAN, make_planner
 from repro.datalog.program import Program, Rule
 from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
@@ -38,12 +39,17 @@ from repro.logic.unify import match
 class MaintainedModel:
     """A materialized canonical model kept current under updates."""
 
-    def __init__(self, edb: FactStore, program: Program):
+    def __init__(
+        self, edb: FactStore, program: Program, plan: str = DEFAULT_PLAN
+    ):
         from repro.datalog.bottomup import compute_model
 
         self.program = program
         self.edb = edb.copy()
-        self.model = compute_model(self.edb, program)
+        self.model = compute_model(self.edb, program, plan)
+        # Maintenance joins run over the evolving model; its cardinality
+        # accounting keeps re-planning O(body²) per join.
+        self.planner = make_planner(plan, self.model)
 
     # -- public API -----------------------------------------------------------------
 
@@ -90,16 +96,37 @@ class MaintainedModel:
         # Changes seeding the current stratum, as signed literals.
         pending_inserts: Set[Atom] = set(base_inserts)
         pending_deletes: Set[Atom] = set(base_deletes)
+        # Facts the transaction genuinely adds (recorded before the
+        # model is touched: an insert of an already-derivable fact is
+        # no state change).
+        inserted_so_far: Set[Atom] = {
+            atom for atom in base_inserts if not self.model.contains(atom)
+        }
         # Base changes apply directly to the model.
         for atom in base_deletes:
             # Keep the fact if a rule still derives it (it may be IDB too).
             self.model.remove(atom)
         for atom in base_inserts:
             self.model.add(atom)
+        # Everything removed from the pre-update model so far. Together
+        # with ``inserted_so_far`` this lets over-deletion joins
+        # reconstruct the *pre-update* state exactly: a derivation
+        # whose support changed in several places at once (both body
+        # facts of ``busy(X) :- p(X), q(X)`` deleted, or both atoms
+        # under the negations of ``h(X) :- r(X), not p(X), not q(X)``
+        # inserted in one transaction) is invisible through the current
+        # model alone, leaving phantom derived facts behind.
+        removed_so_far: Set[Atom] = {
+            atom for atom in base_deletes if not self.model.contains(atom)
+        }
         for _, rules in self.program.rules_by_stratum():
             stratum_preds = {rule.head.pred for rule in rules}
             deleted_here = self._over_delete(
-                rules, stratum_preds, pending_deletes | pending_inserts
+                rules,
+                stratum_preds,
+                pending_deletes | pending_inserts,
+                removed_so_far,
+                inserted_so_far,
             )
             # Base-deleted facts of this stratum's predicates may still
             # have rule support (a predicate can be EDB and IDB at once).
@@ -111,11 +138,13 @@ class MaintainedModel:
             }
             rederived = self._rederive(rules, rederive_candidates)
             deleted_here -= rederived
+            removed_so_far |= deleted_here
             inserted_here = self._insert_propagate(
                 rules,
                 stratum_preds,
                 pending_inserts | pending_deletes,
             )
+            inserted_so_far |= inserted_here
             all_deleted |= deleted_here
             all_inserted |= inserted_here
             pending_inserts = pending_inserts | inserted_here
@@ -135,11 +164,19 @@ class MaintainedModel:
         rules: Sequence[Rule],
         stratum_preds: Set[str],
         changed: Set[Atom],
+        removed_before: Set[Atom],
+        inserted: Set[Atom],
     ) -> Set[Atom]:
         """Remove every derived fact whose support may have used a
         changed fact (deleted positive / inserted negative dependency).
-        Over-approximation; re-derivation repairs it."""
+        Over-approximation; re-derivation repairs it. *removed_before*
+        holds facts already gone from the pre-update model (base
+        deletions, lower-stratum over-deletions) and *inserted* the
+        facts the update genuinely added — together they reconstruct
+        the old state the derivations being hunted lived in."""
         deleted: Set[Atom] = set()
+        # The pre-deletion overlay: grows with our own over-deletions.
+        removed: Set[Atom] = set(removed_before)
         frontier: Set[Atom] = set(changed)
         while frontier:
             current = frontier
@@ -158,13 +195,14 @@ class MaintainedModel:
                         ]
                         head = rule.head.substitute(binding)
                         for answer in self._join_over_model_or_deleted(
-                            rest, deleted
+                            rest, removed, inserted
                         ):
                             candidate = head.substitute(answer)
                             if self.model.contains(candidate):
                                 self.model.remove(candidate)
                                 if not self.edb.contains(candidate):
                                     deleted.add(candidate)
+                                    removed.add(candidate)
                                     frontier.add(candidate)
                                 else:
                                     # Extensional fact stays.
@@ -175,32 +213,44 @@ class MaintainedModel:
         return match(literal.atom, atom)
 
     def _join_over_model_or_deleted(
-        self, rest: Sequence[Literal], deleted: Set[Atom]
+        self, rest: Sequence[Literal], removed: Set[Atom], inserted: Set[Atom]
     ):
-        """During over-deletion, joins must see the *pre-deletion* state:
-        the current model plus the already-deleted facts."""
+        """During over-deletion, joins must see the *pre-update* state:
+        the current model, plus everything removed from it so far (base
+        deletions and over-deleted facts alike), minus everything the
+        update genuinely added."""
 
         def matcher(index: int, pattern: Atom):
             # Snapshot: the caller removes facts from the model while
             # consuming this generator. Results are unaffected — the
-            # `deleted` overlay keeps removed facts visible, so joins
-            # see the pre-deletion state either way.
+            # `removed` overlay keeps removed facts visible, so joins
+            # see the pre-update state either way.
             seen = set()
             for fact in list(self.model.match(pattern)):
                 seen.add(fact)
+                if fact in inserted and fact not in removed:
+                    continue  # not part of the old state
                 binding = match(pattern, fact)
                 if binding is not None:
                     yield binding
-            for fact in deleted:
+            for fact in list(removed):
                 if fact.pred == pattern.pred and fact not in seen:
                     binding = match(pattern, fact)
                     if binding is not None:
                         yield binding
 
         def holds(atom: Atom) -> bool:
-            return self.model.contains(atom) or atom in deleted
+            # `removed` wins over `inserted`: a fact recorded as removed
+            # was in the old state even if propagation later re-added it.
+            if atom in removed:
+                return True
+            if atom in inserted:
+                return False
+            return self.model.contains(atom)
 
-        yield from join_literals(rest, Substitution.empty(), matcher, holds)
+        yield from join_literals(
+            rest, Substitution.empty(), matcher, holds, self.planner
+        )
 
     def _rederive(
         self, rules: Sequence[Rule], deleted: Set[Atom]
@@ -233,6 +283,7 @@ class MaintainedModel:
                             Substitution.empty(),
                             matcher,
                             self.model.contains,
+                            self.planner,
                         )
                     ):
                         self.model.add(atom)
@@ -289,6 +340,7 @@ class MaintainedModel:
                             Substitution.empty(),
                             matcher,
                             self.model.contains,
+                            self.planner,
                         ):
                             derived.append(head.substitute(answer))
             for fact in derived:

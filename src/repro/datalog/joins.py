@@ -1,17 +1,25 @@
 """Shared body-join machinery for rule evaluation.
 
-Both evaluators (bottom-up semi-naive and top-down tabled) reduce rule
-application to the same operation: enumerate the substitutions that make
-a conjunction of literals true against some fact source. Positive
-literals are solved left to right, propagating bindings; each negative
-literal is tested by closed-world lookup as soon as its variables are
-fully bound (range restriction guarantees this happens before the end).
+Every evaluator (bottom-up, top-down tabled, maintenance, delta)
+reduces rule application to the same operation: enumerate the
+substitutions that make a conjunction of literals true against some
+fact source. Positive literals are solved one at a time, propagating
+bindings; each negative literal is tested by closed-world lookup as
+soon as its variables are fully bound (range restriction guarantees
+this happens before the end).
+
+The *order* in which positive literals are solved is delegated to a
+:class:`repro.datalog.planner.Planner` when one is supplied; without
+one they are solved left to right in source order (the seed
+behaviour). Either way the answer set is identical — conjunction is
+commutative — only the cost differs.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.datalog.planner import Planner
 from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
 
@@ -27,13 +35,15 @@ def join_literals(
     binding: Substitution,
     matcher: Matcher,
     holds: HoldsTest,
+    planner: Optional[Planner] = None,
 ) -> Iterator[Substitution]:
     """Enumerate bindings extending *binding* that satisfy *literals*.
 
     ``matcher(i, pattern)`` supplies candidate substitutions for the
-    positive literal at position ``i``; ``holds`` decides ground negative
-    subgoals (closed world: the literal succeeds when the atom does
-    *not* hold).
+    positive literal at position ``i`` — ``i`` is always the literal's
+    position in *literals*, independent of the order *planner* chooses;
+    ``holds`` decides ground negative subgoals (closed world: the
+    literal succeeds when the atom does *not* hold).
     """
     positives: List[Tuple[int, Literal]] = []
     negatives: List[Literal] = []
@@ -42,6 +52,17 @@ def join_literals(
             positives.append((index, literal))
         else:
             negatives.append(literal)
+    if planner is not None and len(positives) > 1:
+        if binding:
+            # Apply the initial binding before planning: variables it
+            # grounds become constants, visible to the index-aware
+            # cardinality estimate. (Harmless for evaluation — descend
+            # re-applies `current`, which subsumes `binding`.)
+            positives = [
+                (index, literal.substitute(binding))
+                for index, literal in positives
+            ]
+        positives = planner.order(positives, set(binding.domain()))
 
     def descend(
         pos_index: int, current: Substitution, pending: List[Literal]

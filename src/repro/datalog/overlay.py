@@ -24,7 +24,7 @@ from repro.logic.unify import match
 class OverlayFactStore:
     """A read-only view of ``(base − removed) ∪ added``."""
 
-    __slots__ = ("base", "added", "removed")
+    __slots__ = ("base", "added", "removed", "_delta_counts")
 
     def __init__(
         self,
@@ -43,6 +43,22 @@ class OverlayFactStore:
             self.removed.add(atom)
             self.added.discard(atom)
         self.added -= self.removed
+        # Per-predicate cardinality deltas relative to the base store,
+        # precomputed once so estimate() stays O(1) for the join
+        # planner. (The diff sets are fixed after construction; the
+        # figures drift only if the base mutates underneath the overlay,
+        # which is harmless for estimates.)
+        self._delta_counts: dict = {}
+        for fact in self.added:
+            if not self.base.contains(fact):
+                self._delta_counts[fact.pred] = (
+                    self._delta_counts.get(fact.pred, 0) + 1
+                )
+        for fact in self.removed:
+            if self.base.contains(fact):
+                self._delta_counts[fact.pred] = (
+                    self._delta_counts.get(fact.pred, 0) - 1
+                )
 
     @staticmethod
     def _require_ground(atom: Atom) -> None:
@@ -109,7 +125,19 @@ class OverlayFactStore:
         return frozenset(preds)
 
     def count(self, pred: str) -> int:
+        # Exact, even if the base store mutates under the overlay;
+        # the O(1) _delta_counts snapshot serves estimate() only.
         return len(self.facts(pred))
+
+    def estimate(self, pattern: Atom) -> int:
+        """O(arity) match estimate: the base store's index-aware figure
+        plus the overlay's *net* cardinality delta as counted at
+        construction, clamped at zero — when removals dominate, the
+        removed facts still sit inside the base figure, so the estimate
+        overshoots rather than undershoots. Base drift is tolerated;
+        estimates never affect correctness."""
+        extra = self._delta_counts.get(pattern.pred, 0)
+        return self.base.estimate(pattern) + max(extra, 0)
 
     def __len__(self) -> int:
         total = len(self.base)

@@ -9,7 +9,7 @@ recursion through negation.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
 
 from repro.logic.formulas import Atom, Literal
 from repro.logic.parser import ParsedRule

@@ -30,8 +30,15 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
-from repro.datalog.bottomup import compute_model, evaluate_stratum
+from repro.datalog.bottomup import evaluate_stratum
 from repro.datalog.facts import FactStore
+from repro.datalog.joins import join_literals
+from repro.datalog.planner import (
+    DEFAULT_PLAN,
+    UNKNOWN_CARDINALITY,
+    make_planner,
+    validate_plan,
+)
 from repro.datalog.program import Program
 from repro.datalog.topdown import TabledEvaluator
 from repro.logic.formulas import (
@@ -79,11 +86,25 @@ class _CombinedView:
             return False
         return self.derived.add(fact)
 
+    def count(self, pred: str) -> int:
+        return self.extensional.count(pred) + self.derived.count(pred)
+
+    def estimate(self, pattern: Atom) -> int:
+        return self.extensional.estimate(pattern) + self.derived.estimate(
+            pattern
+        )
+
 
 class QueryEngine:
     """Evaluator for atoms and restricted-quantification formulas."""
 
-    def __init__(self, facts, program: Program, strategy: str = "lazy"):
+    def __init__(
+        self,
+        facts,
+        program: Program,
+        strategy: str = "lazy",
+        plan: str = DEFAULT_PLAN,
+    ):
         if strategy not in _STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; pick one of {_STRATEGIES}"
@@ -91,10 +112,20 @@ class QueryEngine:
         self.facts = facts
         self.program = program
         self.strategy = strategy
+        self.plan = validate_plan(plan)
         self._derived = FactStore()
+        self._view = _CombinedView(facts, self._derived)
+        # The planner consults the engine's own estimate(), which knows
+        # about tabled answers (topdown) and unmaterialized intensional
+        # predicates — the raw view would report those as empty.
+        self._planner = make_planner(plan, self._view).with_cardinality(
+            lambda index, atom: self.estimate(atom)
+        )
         self._materialized: Set[str] = set()
         self._tabled: Optional[TabledEvaluator] = (
-            TabledEvaluator(facts, program) if strategy == "topdown" else None
+            TabledEvaluator(facts, program, plan)
+            if strategy == "topdown"
+            else None
         )
         if strategy == "model":
             self._materialize_all()
@@ -117,7 +148,6 @@ class QueryEngine:
             for p in closure
             if self.program.is_idb(p) and p not in self._materialized
         ]
-        view = _CombinedView(self.facts, self._derived)
         by_stratum: Dict[int, List] = {}
         for rule in self.program.rules:
             if rule.head.pred in pending:
@@ -127,7 +157,10 @@ class QueryEngine:
         for stratum in sorted(by_stratum):
             rules = by_stratum[stratum]
             stratum_preds = {r.head.pred for r in rules}
-            evaluate_stratum(view, rules, stratum_preds)
+            evaluate_stratum(self._view, rules, stratum_preds, self._planner)
+            # A stratum is final once saturated (stratified semantics),
+            # so its extents become usable statistics immediately.
+            self._materialized.update(stratum_preds)
         self._materialized.update(pending)
 
     # -- atom-level access -------------------------------------------------------------
@@ -167,6 +200,30 @@ class QueryEngine:
             return
         yield from self.facts.match_substitutions(pattern)
 
+    @property
+    def planner(self):
+        """The engine's join planner — wired to :meth:`estimate`, so
+        consumers joining over this engine (delta evaluation, rule-seed
+        enumeration) reuse it instead of rebuilding their own."""
+        return self._planner
+
+    def estimate(self, pattern: Atom) -> int:
+        """O(1)-ish cardinality estimate for *pattern* over this
+        engine's visible state (EDB plus whatever intensional answers
+        are materialized/tabled so far) — the statistic join planners
+        built over an engine consume. An intensional predicate not yet
+        materialized has an unknown extent and is costed
+        pessimistically so it is not scheduled ahead of known-small
+        relations."""
+        if self._tabled is not None:
+            return self._tabled.estimate(pattern)
+        if (
+            self.program.is_idb(pattern.pred)
+            and pattern.pred not in self._materialized
+        ):
+            return UNKNOWN_CARDINALITY
+        return self._view.estimate(pattern)
+
     # -- conjunction answers --------------------------------------------------------------
 
     def answers_conjunction(
@@ -175,17 +232,21 @@ class QueryEngine:
         binding: Substitution = Substitution.empty(),
     ) -> Iterator[Substitution]:
         """Answer substitutions for a conjunction of positive atoms —
-        evaluation of a quantifier's *restriction*."""
+        evaluation of a quantifier's *restriction*. Delegates to the
+        shared join kernel, so the conjunction is join-planned like a
+        rule body (conjunction is commutative: the answer set is
+        order-independent)."""
 
-        def descend(index: int, current: Substitution) -> Iterator[Substitution]:
-            if index == len(atoms):
-                yield current
-                return
-            pattern = atoms[index].substitute(current)
-            for extension in self.match_atom(pattern):
-                yield from descend(index + 1, current.compose(extension))
+        def matcher(index: int, pattern: Atom) -> Iterator[Substitution]:
+            return self.match_atom(pattern)
 
-        yield from descend(0, binding)
+        yield from join_literals(
+            [Literal(atom, True) for atom in atoms],
+            binding,
+            matcher,
+            self.holds,
+            self._planner,
+        )
 
     # -- formula evaluation ------------------------------------------------------------------
 

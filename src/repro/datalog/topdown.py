@@ -17,13 +17,18 @@ nested result is already complete.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.datalog.joins import join_literals
+from repro.datalog.planner import (
+    DEFAULT_PLAN,
+    UNKNOWN_CARDINALITY,
+    make_planner,
+)
 from repro.datalog.program import Program
 from repro.logic.formulas import Atom
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Constant, Variable
+from repro.logic.terms import Variable
 from repro.logic.unify import match, mgu
 
 _TableKey = Tuple[str, Tuple[object, ...]]
@@ -47,13 +52,30 @@ def _variant_key(pattern: Atom) -> _TableKey:
 class TabledEvaluator:
     """Goal-directed evaluator over a fact source and a program."""
 
-    def __init__(self, facts, program: Program):
+    def __init__(self, facts, program: Program, plan: str = DEFAULT_PLAN):
         self.facts = facts
         self.program = program
         self._tables: Dict[_TableKey, Set[Atom]] = {}
         self._complete: Set[_TableKey] = set()
         self._in_progress: Set[_TableKey] = set()
+        self._in_progress_preds: Dict[str, int] = {}
         self._changed = False
+        # Rule-derived answers per variant table, and per predicate the
+        # largest variant's count — the intensional half of the
+        # planner's cardinality estimate. Taking the maximum (not the
+        # sum) keeps the estimate stable when the same fact lands in
+        # several differently-bound variant tables over repeated
+        # queries.
+        self._key_derived: Dict[_TableKey, int] = {}
+        self._pred_answers: Dict[str, int] = {}
+        # Predicates with at least one completed variant — only their
+        # table counts are trustworthy statistics; an unsolved
+        # intensional predicate's extent is unknown regardless of how
+        # many extensional facts share its name.
+        self._solved_preds: Set[str] = set()
+        self.planner = make_planner(plan, facts).with_cardinality(
+            lambda index, atom: self.estimate(atom)
+        )
 
     # -- public API ---------------------------------------------------------------
 
@@ -87,22 +109,63 @@ class TabledEvaluator:
         """Drop all tables (call after the underlying facts change)."""
         self._tables.clear()
         self._complete.clear()
+        self._key_derived.clear()
+        self._pred_answers.clear()
+        self._solved_preds.clear()
+
+    def _bump_answers(self, key: _TableKey) -> None:
+        derived = self._key_derived.get(key, 0) + 1
+        self._key_derived[key] = derived
+        pred = key[0]
+        if derived > self._pred_answers.get(pred, 0):
+            self._pred_answers[pred] = derived
+
+    def estimate(self, pattern: Atom) -> int:
+        """Cardinality estimate: extensional facts plus rule-derived
+        answers tabled so far. An intensional predicate with no
+        completed variant is costed pessimistically — solving it means
+        running a possibly unbounded recursive evaluation, so it must
+        not be scheduled ahead of known-small relations, even when a
+        few extensional facts share its name.
+
+        A predicate whose evaluation is currently *in progress* is the
+        exception: a recursive occurrence consumes the partially built
+        table (cheap), and scheduling it early keeps the subgoal's
+        variant general so it hits the in-progress table instead of
+        spawning one nested bound variant per binding — the restart
+        loop completes the table with a shallow stack either way."""
+        pred = pattern.pred
+        if (
+            self.program.is_idb(pred)
+            and pred not in self._solved_preds
+            and not self._in_progress_preds.get(pred)
+        ):
+            return UNKNOWN_CARDINALITY
+        base = getattr(self.facts, "estimate", None)
+        known = base(pattern) if base is not None else 0
+        return known + self._pred_answers.get(pred, 0)
 
     # -- driver ----------------------------------------------------------------------
 
     def _drive(self, pattern: Atom) -> None:
         """Restart loop: re-explore the proof tree of *pattern* until no
         table grows, then mark every table it touched complete."""
-        saved_state = (self._in_progress, self._changed)
+        saved_state = (
+            self._in_progress,
+            self._in_progress_preds,
+            self._changed,
+        )
         touched: Set[_TableKey] = set()
         while True:
             self._in_progress = set()
+            self._in_progress_preds = {}
             self._changed = False
             self._evaluate_goal(pattern, touched)
             if not self._changed:
                 break
         self._complete.update(touched)
-        self._in_progress, self._changed = saved_state
+        self._solved_preds.update(key[0] for key in touched)
+        self._in_progress, self._in_progress_preds, self._changed = saved_state
 
     def _evaluate_goal(self, pattern: Atom, touched: Set[_TableKey]) -> Set[Atom]:
         key = _variant_key(pattern)
@@ -111,7 +174,11 @@ class TabledEvaluator:
             return table
         touched.add(key)
         self._in_progress.add(key)
+        pred_count = self._in_progress_preds
+        pred_count[pattern.pred] = pred_count.get(pattern.pred, 0) + 1
         # Extensional contribution (a predicate may have facts and rules).
+        # Not counted in _pred_answers: the facts store's own estimate
+        # already covers these, only rule-derived answers are news.
         for fact in self.facts.match(pattern):
             if fact not in table:
                 table.add(fact)
@@ -126,13 +193,19 @@ class TabledEvaluator:
                 yield from self._match_subgoal(subpattern, touched)
 
             for binding in join_literals(
-                renamed.body, unifier, matcher, self._negation_holds
+                renamed.body, unifier, matcher, self._negation_holds, self.planner
             ):
                 fact = renamed.head.substitute(binding)
                 if fact.is_ground() and fact not in table:
                     table.add(fact)
+                    self._bump_answers(key)
                     self._changed = True
         self._in_progress.discard(key)
+        left = self._in_progress_preds.get(pattern.pred, 0) - 1
+        if left > 0:
+            self._in_progress_preds[pattern.pred] = left
+        else:
+            self._in_progress_preds.pop(pattern.pred, None)
         return table
 
     def _match_subgoal(

@@ -41,9 +41,10 @@ cost model the paper argues about, not just wall time.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
-from repro.datalog.database import Constraint, DeductiveDatabase
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.delta_eval import DeltaEvaluator
 from repro.integrity.dependencies import DependencyIndex
 from repro.integrity.instances import simplified_instances
@@ -144,9 +145,15 @@ class IntegrityChecker:
     update.
     """
 
-    def __init__(self, database: DeductiveDatabase, strategy: str = "lazy"):
+    def __init__(
+        self,
+        database: DeductiveDatabase,
+        strategy: str = "lazy",
+        plan: str = DEFAULT_PLAN,
+    ):
         self.database = database
         self.strategy = strategy
+        self.plan = plan
         # Fact-independent structures, shared across checks.
         self.dependency_index = DependencyIndex(database.program)
         self.relevance = RelevanceIndex(database.constraints)
@@ -187,11 +194,14 @@ class IntegrityChecker:
             index=self.dependency_index,
             restrict_to=closure,
             strategy=self.strategy,
+            plan=self.plan,
         )
         fresh_engine = (
             None
             if share_evaluation
-            else lambda: self.database.updated(updates).engine(self.strategy)
+            else lambda: self.database.updated(updates).engine(
+                self.strategy, self.plan
+            )
         )
         return self._evaluate_update_constraints(
             compiled, delta, stats, "bdm", fresh_engine
@@ -254,7 +264,7 @@ class IntegrityChecker:
         """Evaluate every constraint over U(D) from scratch."""
         updates = _normalize_updates(updates)
         view = self.database.updated(updates)
-        engine = view.engine("model")
+        engine = view.engine("model", self.plan)
         violations = [
             Violation(c.id, c.formula)
             for c in self.database.constraints
@@ -272,7 +282,9 @@ class IntegrityChecker:
         of constraints relevant to the explicit updates only. Complete
         iff no deduction rule connects the updates to the constraints."""
         updates = _normalize_updates(updates)
-        new_eval = NewEvaluator(self.database, updates, self.strategy)
+        new_eval = NewEvaluator(
+            self.database, updates, self.strategy, self.plan
+        )
         violations: List[Violation] = []
         checked: Set[Formula] = set()
         for update in updates:
@@ -306,6 +318,7 @@ class IntegrityChecker:
             index=self.dependency_index,
             restrict_to=None,  # the whole point: no goal direction
             strategy=self.strategy,
+            plan=self.plan,
         )
         engine = delta.new_engine
         violations: List[Violation] = []
@@ -347,7 +360,9 @@ class IntegrityChecker:
         }
         if not compiled.update_constraints:
             return CheckResult([], stats, "lloyd")
-        new_eval = NewEvaluator(self.database, updates, self.strategy)
+        new_eval = NewEvaluator(
+            self.database, updates, self.strategy, self.plan
+        )
         engine = new_eval.engine
         violations: List[Violation] = []
         checked: Set[Formula] = set()
@@ -423,7 +438,7 @@ class IntegrityChecker:
             return CheckResult([], stats, "rule-addition")
         seeds = self._rule_seeds(
             rule,
-            body_state=new_db.engine(self.strategy),
+            body_state=new_db.engine(self.strategy, self.plan),
             inserted=True,
         )
         closure = index.backward_closure(compiled.demanded_signatures())
@@ -433,6 +448,7 @@ class IntegrityChecker:
             index=index,
             restrict_to=closure,
             strategy=self.strategy,
+            plan=self.plan,
             new_database=new_db,
             seeds=seeds,
         )
@@ -475,10 +491,10 @@ class IntegrityChecker:
         }
         if not compiled.update_constraints:
             return CheckResult([], stats, "rule-removal")
-        new_engine = new_db.engine(self.strategy)
+        new_engine = new_db.engine(self.strategy, self.plan)
         candidates = self._rule_seeds(
             rule,
-            body_state=self.database.engine(self.strategy),
+            body_state=self.database.engine(self.strategy, self.plan),
             inserted=False,
         )
         # Only heads no longer derivable anywhere actually change.
@@ -494,6 +510,7 @@ class IntegrityChecker:
             index=index,
             restrict_to=closure,
             strategy=self.strategy,
+            plan=self.plan,
             new_database=new_db,
             seeds=seeds,
         )
@@ -516,7 +533,7 @@ class IntegrityChecker:
         from repro.datalog.joins import join_literals
         from repro.logic.substitution import Substitution
 
-        old_engine = self.database.engine(self.strategy)
+        old_engine = self.database.engine(self.strategy, self.plan)
 
         def matcher(index: int, pattern):
             return body_state.match_atom(pattern)
@@ -524,7 +541,11 @@ class IntegrityChecker:
         seeds: List[Literal] = []
         seen = set()
         for answer in join_literals(
-            rule.body, Substitution.empty(), matcher, body_state.holds
+            rule.body,
+            Substitution.empty(),
+            matcher,
+            body_state.holds,
+            body_state.planner,
         ):
             head = rule.head.substitute(answer)
             if head in seen:

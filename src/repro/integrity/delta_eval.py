@@ -31,10 +31,11 @@ Two deliberate choices, documented against the paper:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Set, Union
 
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.joins import join_literals
+from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.dependencies import DependencyIndex, Signature
 from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
@@ -51,6 +52,7 @@ class DeltaEvaluator:
         index: Optional[DependencyIndex] = None,
         restrict_to: Optional[Set[Signature]] = None,
         strategy: str = "lazy",
+        plan: str = DEFAULT_PLAN,
         new_database: Optional[DeductiveDatabase] = None,
         seeds: Optional[Sequence[Literal]] = None,
     ):
@@ -68,12 +70,17 @@ class DeltaEvaluator:
         self.index = index if index is not None else DependencyIndex(
             database.program
         )
-        self.old_engine = database.engine(strategy)
+        self.old_engine = database.engine(strategy, plan)
         if new_database is not None:
             self.new_view = new_database
         else:
             self.new_view = database.updated(list(updates))
-        self.new_engine = self.new_view.engine(strategy)
+        self.new_engine = self.new_view.engine(strategy, plan)
+        # Rest-of-body joins are planned against whichever state they
+        # run over (old for deletions, new for insertions), reusing
+        # each engine's own planner and statistics.
+        self._old_planner = self.old_engine.planner
+        self._new_planner = self.new_engine.planner
         self._seeds = None if seeds is None else list(seeds)
         self._restrict = restrict_to
         self._induced: Optional[List[Literal]] = None
@@ -149,15 +156,16 @@ class DeltaEvaluator:
             head = dependency.result.substitute(unifier)
             # Insertions: new derivations exist in U(D). Deletions: the
             # derivations that existed in D (see module docstring).
-            engine = (
-                self.new_engine if head.positive else self.old_engine
-            )
+            if head.positive:
+                engine, planner = self.new_engine, self._new_planner
+            else:
+                engine, planner = self.old_engine, self._old_planner
 
             def matcher(index: int, pattern: Atom):
                 return engine.match_atom(pattern)
 
             for answer in join_literals(
-                rest, Substitution.empty(), matcher, engine.holds
+                rest, Substitution.empty(), matcher, engine.holds, planner
             ):
                 candidate = head.substitute(answer)
                 if not candidate.atom.is_ground():  # pragma: no cover

@@ -18,7 +18,7 @@ preparatory phase of the paper's method.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.datalog.program import Program, Rule
 from repro.logic.formulas import Literal

@@ -22,14 +22,13 @@ instances whose free variables are shared with the trigger literal.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import List, Set
 
 from repro.datalog.database import Constraint
 from repro.logic.formulas import (
     FALSE,
     TRUE,
     And,
-    Atom,
     Exists,
     FalseFormula,
     Forall,
@@ -43,7 +42,6 @@ from repro.logic.normalize import simplify
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Variable, fresh_variable
 from repro.logic.unify import mgu
-from repro.logic.formulas import walk_literals as _walk
 
 
 class SimplifiedInstance:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterator, Sequence, Union
 
 from repro.datalog.database import DeductiveDatabase
+from repro.datalog.planner import DEFAULT_PLAN
 from repro.logic.formulas import Atom, Formula, Literal
 from repro.logic.substitution import Substitution
 
@@ -29,13 +30,14 @@ class NewEvaluator:
         database: DeductiveDatabase,
         updates: Union[Literal, Sequence[Literal]],
         strategy: str = "lazy",
+        plan: str = DEFAULT_PLAN,
     ):
         if isinstance(updates, Literal):
             updates = [updates]
         self.database = database
         self.updates = tuple(updates)
         self.view = database.updated(list(updates))
-        self.engine = self.view.engine(strategy)
+        self.engine = self.view.engine(strategy, plan)
 
     def evaluate(
         self, formula: Formula, binding: Substitution = Substitution.empty()

@@ -10,7 +10,7 @@ cases consistent with the overlay the ``new`` evaluator sees.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Sequence, Union
 
 from repro.logic.formulas import Atom, Literal
 from repro.logic.parser import parse_literal

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional, Sequence, Set, Tuple
 
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Constant, Term, Variable
+from repro.logic.terms import Term, Variable
 
 
 class Formula:

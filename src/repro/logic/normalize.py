@@ -22,7 +22,7 @@ efficiency reasons (Section 3, discussion of [KUHN 67]).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from repro.logic.formulas import (
     FALSE,

@@ -31,7 +31,7 @@ must be a closed formula and is read as an integrity constraint.
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Tuple
 
 from repro.logic.formulas import (
     FALSE,

@@ -17,7 +17,7 @@ method depends on:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Set
+from typing import Sequence, Set
 
 from repro.logic.formulas import (
     And,

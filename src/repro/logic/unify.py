@@ -13,7 +13,7 @@ from typing import Iterable, Optional, Union
 
 from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Constant, Term, Variable, fresh_variable
+from repro.logic.terms import Variable, fresh_variable
 
 Unifiable = Union[Atom, Literal]
 

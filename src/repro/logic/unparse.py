@@ -26,7 +26,7 @@ from repro.logic.formulas import (
     TrueFormula,
 )
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Constant, Term, Variable
+from repro.logic.terms import Term, Variable
 
 _BARE_CONSTANT = re.compile(r"[a-z][A-Za-z0-9_]*\Z")
 _SAFE_VARIABLE = re.compile(r"[A-Z][A-Za-z0-9_]*\Z")

@@ -10,7 +10,7 @@ this to validate the model-generation procedure's verdicts.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.datalog.facts import FactStore
 from repro.datalog.program import Program

@@ -26,7 +26,7 @@ from __future__ import annotations
 import sys
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
-from repro.datalog.database import Constraint, DeductiveDatabase
+from repro.datalog.database import Constraint
 from repro.datalog.facts import FactStore
 from repro.datalog.program import Program
 from repro.integrity.instances import simplified_instances

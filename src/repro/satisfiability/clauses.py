@@ -21,11 +21,11 @@ for the counterexample that motivates this deviation.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import List
 
 from repro.datalog.database import Constraint
 from repro.datalog.program import Program, Rule
-from repro.logic.formulas import FALSE, Forall, Formula, Literal, Or
+from repro.logic.formulas import Forall, Formula, Literal, Or
 from repro.logic.safety import check_constraint_safety
 
 

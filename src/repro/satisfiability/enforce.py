@@ -26,7 +26,6 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.logic.formulas import (
     And,
-    Atom,
     Exists,
     FalseFormula,
     Forall,

@@ -15,7 +15,7 @@ fresh-constant budget while the full checker stops immediately.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 from repro.datalog.program import Program
 from repro.satisfiability.checker import SatisfiabilityChecker

@@ -10,7 +10,7 @@ deletions cascade through both the constraint graph and the rule graph
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List
 
 from repro.datalog.database import DeductiveDatabase
 from repro.logic.formulas import Atom, Literal

@@ -16,7 +16,7 @@ configurable violation rate so both code paths get exercised.
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Tuple
+from typing import List
 
 from repro.datalog.database import DeductiveDatabase
 from repro.logic.formulas import Atom, Literal

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.datalog.database import Constraint, DeductiveDatabase
-from repro.datalog.overlay import OverlayFactStore
+from repro.datalog.database import DeductiveDatabase
 from repro.logic.normalize import NormalizationError
-from repro.logic.parser import parse_fact, parse_literal
+from repro.logic.parser import parse_fact
 
 SECTION5 = """
 member(X, Y) :- leads(X, Y).

@@ -132,6 +132,66 @@ def maintenance_case(draw):
     return prog, facts, updates
 
 
+class TestSimultaneousSupportLoss:
+    """Regression: when *every* body fact of a derivation's only
+    support is removed in one transaction, the over-deletion join can
+    reconstruct the old derivation only if the already-removed facts
+    stay visible — the exact dual of the paper-delta gap documented in
+    ``delta_eval``'s module docstring."""
+
+    def test_both_body_facts_deleted_at_once(self):
+        prog = program("busy(X) :- p(X), q(X)")
+        facts = store("p(a)", "q(a)")
+        maintained = MaintainedModel(facts, prog)
+        assert maintained.holds(parse_fact("busy(a)"))
+        inserted, deleted = maintained.apply(
+            [parse_literal("not p(a)"), parse_literal("not q(a)")]
+        )
+        assert not inserted
+        assert deleted == {
+            parse_fact("p(a)"),
+            parse_fact("q(a)"),
+            parse_fact("busy(a)"),
+        }
+        assert not maintained.holds(parse_fact("busy(a)"))
+
+    def test_both_negated_atoms_inserted_at_once(self):
+        # The insert-side dual: h(a) is supported by two negative
+        # literals whose atoms are both inserted in one transaction.
+        # The old derivation is only visible if the join treats the
+        # freshly inserted facts as absent (pre-update state).
+        prog = program("h(X) :- r(X), not p(X), not q(X)")
+        facts = store("r(a)")
+        maintained = MaintainedModel(facts, prog)
+        assert maintained.holds(parse_fact("h(a)"))
+        inserted, deleted = maintained.apply(
+            [parse_literal("p(a)"), parse_literal("q(a)")]
+        )
+        assert parse_fact("h(a)") in deleted
+        assert not maintained.holds(parse_fact("h(a)"))
+        expected = compute_model(maintained.edb.copy(), prog)
+        assert set(maintained.snapshot()) == set(expected)
+
+    def test_cascade_through_negation(self):
+        # Deleting busy(a) (via simultaneous support loss) must insert
+        # idle(a) in the higher stratum.
+        prog = program(
+            "node(X) :- r(X, Y)",
+            "busy(X) :- p(X), q(X)",
+            "idle(X) :- node(X), not busy(X)",
+        )
+        facts = store("p(a)", "q(a)", "r(a, a)")
+        maintained = MaintainedModel(facts, prog)
+        assert not maintained.holds(parse_fact("idle(a)"))
+        inserted, deleted = maintained.apply(
+            [parse_literal("not p(a)"), parse_literal("not q(a)")]
+        )
+        assert parse_fact("idle(a)") in inserted
+        assert parse_fact("busy(a)") in deleted
+        expected = compute_model(maintained.edb.copy(), prog)
+        assert set(maintained.snapshot()) == set(expected)
+
+
 class TestDRedEqualsRecomputation:
     @given(maintenance_case())
     @settings(max_examples=80, deadline=None)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.datalog.facts import FactStore
 from repro.datalog.overlay import OverlayFactStore
-from repro.logic.formulas import Atom, Literal
 from repro.logic.parser import parse_atom, parse_fact, parse_literal
 from repro.logic.terms import Variable
 

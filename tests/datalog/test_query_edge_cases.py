@@ -1,6 +1,5 @@
 """Edge-case tests for formula evaluation and witnesses."""
 
-import pytest
 
 from repro.datalog.facts import FactStore
 from repro.datalog.overlay import OverlayFactStore

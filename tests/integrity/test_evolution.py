@@ -1,6 +1,5 @@
 """Tests for constraint-addition triage (the uniform approach)."""
 
-import pytest
 
 from repro.datalog.database import DeductiveDatabase
 from repro.integrity.evolution import (

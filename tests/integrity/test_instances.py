@@ -6,15 +6,7 @@ from repro.integrity.instances import (
     simplified_instances,
     top_universal_variables,
 )
-from repro.logic.formulas import (
-    FALSE,
-    TRUE,
-    Atom,
-    Exists,
-    Forall,
-    Literal,
-    Or,
-)
+from repro.logic.formulas import Atom, Exists, Forall, Literal
 from repro.logic.parser import parse_formula, parse_literal
 from repro.logic.normalize import normalize_constraint
 from repro.logic.terms import Constant, Variable

@@ -1,6 +1,5 @@
 """Unit tests for the ``new`` and ``delta`` meta-interpreters."""
 
-import pytest
 
 from repro.datalog.database import DeductiveDatabase
 from repro.integrity.delta_eval import DeltaEvaluator
@@ -178,8 +177,6 @@ class TestDeltaPropagation:
         delta = DeltaEvaluator(db, parse_literal("leads(ann, sales)"))
         from repro.logic.parser import parse_atom
         from repro.logic.formulas import Literal
-        from repro.logic.terms import Variable
-
         pattern = Literal(parse_atom("member(W1, W2)"), True)
         answers = list(delta.answers(pattern))
         assert len(answers) == 1

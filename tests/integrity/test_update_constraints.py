@@ -1,6 +1,5 @@
 """Unit tests for the compile phase (Definition 6 / CompiledCheck)."""
 
-import pytest
 
 from repro.datalog.database import DeductiveDatabase
 from repro.integrity.update_constraints import compile_update_constraints

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.logic.formulas import FALSE, TRUE, Atom, Exists, Forall, Literal
+from repro.logic.formulas import FALSE, TRUE, Atom, Forall, Literal
 from repro.logic.parser import parse_formula, parse_rule
 from repro.logic.normalize import normalize_constraint
 from repro.logic.safety import (

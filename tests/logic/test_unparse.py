@@ -1,19 +1,13 @@
 """Unit and round-trip tests for the unparser."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.datalog.database import DeductiveDatabase
-from repro.logic.formulas import Atom, Exists, Forall, Literal
+from repro.logic.formulas import Atom, Exists
 from repro.logic.normalize import normalize_constraint
-from repro.logic.parser import parse_formula, parse_program
+from repro.logic.parser import parse_formula
 from repro.logic.terms import Constant, Variable
-from repro.logic.unparse import (
-    unparse,
-    unparse_atom,
-    unparse_database,
-    unparse_term,
-)
+from repro.logic.unparse import unparse, unparse_atom, unparse_term
 
 from tests.property.strategies import guarded_constraints
 

@@ -14,7 +14,7 @@ from repro.datalog.program import Program, Rule
 from repro.datalog.topdown import TabledEvaluator
 from repro.logic.formulas import Atom
 from repro.logic.parser import parse_rule
-from repro.logic.terms import Constant, Variable
+from repro.logic.terms import Variable
 
 from tests.property.strategies import CONSTANTS
 

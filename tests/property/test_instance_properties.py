@@ -10,8 +10,6 @@ from hypothesis import assume, given, settings
 import hypothesis.strategies as st
 
 from repro.datalog.database import DeductiveDatabase
-from repro.datalog.program import Program
-from repro.datalog.query import QueryEngine
 from repro.integrity.instances import simplified_instances
 from repro.logic.formulas import Atom, Literal
 

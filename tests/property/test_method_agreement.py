@@ -13,9 +13,7 @@ from repro.datalog.database import DeductiveDatabase
 from repro.datalog.program import Program, Rule
 from repro.integrity.checker import IntegrityChecker
 from repro.logic.formulas import Atom, Literal
-from repro.logic.normalize import normalize_constraint
 from repro.logic.parser import parse_rule
-from repro.logic.terms import Constant
 
 from tests.property.strategies import CONSTANTS, guarded_constraints
 

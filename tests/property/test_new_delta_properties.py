@@ -11,13 +11,11 @@ import hypothesis.strategies as st
 
 from repro.datalog.bottomup import compute_model
 from repro.datalog.database import DeductiveDatabase
-from repro.datalog.facts import FactStore
 from repro.datalog.program import Program, Rule
 from repro.integrity.delta_eval import DeltaEvaluator
 from repro.integrity.new_eval import NewEvaluator
 from repro.logic.formulas import Atom, Literal
 from repro.logic.parser import parse_rule
-from repro.logic.terms import Constant
 
 from tests.property.strategies import CONSTANTS
 

@@ -25,7 +25,6 @@ from repro.logic.formulas import (
     TrueFormula,
 )
 from repro.logic.normalize import normalize_constraint, to_nnf
-from repro.logic.terms import Constant
 
 from tests.property.strategies import (
     CONSTANTS,

@@ -4,7 +4,7 @@ finite-model oracle, on random guarded constraint sets."""
 from hypothesis import assume, given, settings
 import hypothesis.strategies as st
 
-from repro.datalog.database import Constraint, DeductiveDatabase
+from repro.datalog.database import DeductiveDatabase
 from repro.satisfiability.bruteforce import find_finite_model, is_model
 from repro.satisfiability.checker import SatisfiabilityChecker
 

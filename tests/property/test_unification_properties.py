@@ -1,6 +1,6 @@
 """Property-based tests of the unification substrate."""
 
-from hypothesis import given, settings
+from hypothesis import given
 import hypothesis.strategies as st
 
 from repro.logic.substitution import Substitution

@@ -3,7 +3,7 @@ checks between the enumerator and the model-generation checker."""
 
 import pytest
 
-from repro.datalog.database import Constraint, DeductiveDatabase
+from repro.datalog.database import DeductiveDatabase
 from repro.datalog.program import Program, Rule
 from repro.logic.parser import parse_rule
 from repro.satisfiability.bruteforce import (

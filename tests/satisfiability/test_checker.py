@@ -6,7 +6,6 @@ from repro.satisfiability.checker import (
     SatisfiabilityChecker,
     check_satisfiability,
 )
-from repro.satisfiability.tableaux import TableauxChecker
 
 
 class TestTrivialCases:

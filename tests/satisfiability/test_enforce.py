@@ -1,7 +1,5 @@
 """Unit tests for constructive enforcement."""
 
-import pytest
-
 from repro.logic.normalize import normalize_constraint
 from repro.logic.parser import parse_fact, parse_formula
 from repro.satisfiability.enforce import EnforcementContext, enforce

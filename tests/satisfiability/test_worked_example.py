@@ -15,7 +15,6 @@ department forced by constraints (1)+(2) makes its leader a member
 Weakening (3) with a ``leads`` escape restores finite satisfiability.
 """
 
-import pytest
 
 from repro.satisfiability.checker import (
     SatisfiabilityChecker,

@@ -1,7 +1,5 @@
 """Tests for the deletion-heavy orders workload."""
 
-import pytest
-
 from repro.integrity.checker import IntegrityChecker
 from repro.integrity.transactions import Transaction
 from repro.workloads.orders import OrdersWorkload, make_orders_database

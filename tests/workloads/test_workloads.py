@@ -1,7 +1,5 @@
 """Unit tests for the workload generators."""
 
-import pytest
-
 from repro.integrity.checker import IntegrityChecker
 from repro.satisfiability.checker import check_satisfiability
 from repro.workloads.deductive import (
