@@ -1,0 +1,140 @@
+"""Benchmark-regression gate: diff two ``BENCH_pr.json`` artifacts.
+
+CI runs every PR's benchmarks (``run_all.py``) and uploads the result;
+this script compares the fresh artifact against the previous one (the
+latest successful run on the default branch) and flags per-experiment
+wall-clock regressions above a threshold.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_prev.json BENCH_pr.json \
+        [--threshold 1.5] [--min-seconds 0.5]
+
+Exit status 1 when any experiment regressed more than *threshold*× —
+or when the *current* artifact is missing or malformed (this run fully
+controls it; an unreadable artifact must not silently disable the
+gate). A missing/unreadable *baseline* skips the comparison with exit
+0: a fresh repository has no history to regress against. Experiments
+faster than *min-seconds* in the baseline are reported but never fail
+the gate: at sub-second scale, runner noise swamps real regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path):
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"note: cannot read {path}: {error}")
+        return None
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        print(f"note: {path} has no 'benchmarks' mapping")
+        return None
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path, help="previous BENCH_pr.json")
+    parser.add_argument("current", type=Path, help="this PR's BENCH_pr.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="fail when current/baseline exceeds this ratio "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.5,
+        help="ignore experiments whose baseline is below this many "
+        "seconds (runner noise; default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    if current is None:
+        print(
+            f"FAILED: current artifact {args.current} is missing or "
+            f"malformed",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = load(args.baseline)
+    if baseline is None:
+        print("benchmark comparison skipped (no baseline to compare against)")
+        return 0
+    if baseline.get("mode") != current.get("mode"):
+        print(
+            f"note: comparing mode {baseline.get('mode')!r} baseline "
+            f"against {current.get('mode')!r} current"
+        )
+
+    regressions = []
+    malformed = []
+    rows = []
+    for name, entry in sorted(current["benchmarks"].items()):
+        now = entry.get("wall_seconds")
+        if now is None:
+            # The current artifact is this run's responsibility: a
+            # schema drift must fail the gate, not disable it.
+            malformed.append(name)
+            rows.append((name, "-", "-", "MALFORMED (no wall_seconds)"))
+            continue
+        before_entry = baseline["benchmarks"].get(name)
+        if before_entry is None:
+            rows.append((name, "-", f"{now:.2f}", "new"))
+            continue
+        before = before_entry.get("wall_seconds")
+        if not before:
+            rows.append((name, f"{before}", f"{now}", "no baseline"))
+            continue
+        ratio = now / before
+        flag = ""
+        if ratio > args.threshold:
+            if before >= args.min_seconds:
+                flag = "REGRESSION"
+                regressions.append((name, before, now, ratio))
+            else:
+                flag = "noisy (ignored)"
+        rows.append((name, f"{before:.2f}", f"{now:.2f}", f"{ratio:.2f}x {flag}".strip()))
+    dropped = sorted(set(baseline["benchmarks"]) - set(current["benchmarks"]))
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'experiment'.ljust(width)}  baseline  current  ratio")
+    for name, before, now, verdict in rows:
+        print(f"{name.ljust(width)}  {before:>8}  {now:>7}  {verdict}")
+    for name in dropped:
+        print(f"{name.ljust(width)}  (dropped from current run)")
+    if malformed:
+        print(
+            f"\nFAILED: {len(malformed)} current entr(ies) lack "
+            f"wall_seconds: {', '.join(malformed)}",
+            file=sys.stderr,
+        )
+        return 1
+    if regressions:
+        print(
+            f"\nFAILED: {len(regressions)} experiment(s) regressed more "
+            f"than {args.threshold}x:",
+            file=sys.stderr,
+        )
+        for name, before, now, ratio in regressions:
+            print(
+                f"  {name}: {before:.2f}s -> {now:.2f}s ({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print("\nno wall-clock regressions above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.planner import DEFAULT_PLAN, PLANS
+from repro.datalog.query import STRATEGIES
 from repro.integrity.checker import IntegrityChecker
 from repro.logic.parser import parse_formula
 from repro.logic.normalize import normalize_constraint
@@ -29,12 +30,28 @@ _METHODS = ("bdm", "full", "nicolas", "interleaved", "lloyd")
 
 
 def _add_plan_option(command) -> None:
+    # choices= makes argparse reject bad values up front with a
+    # one-line error listing the accepted ones (exit 2), instead of a
+    # traceback from deep inside evaluation.
     command.add_argument(
         "--plan",
         choices=PLANS,
         default=DEFAULT_PLAN,
         help="join order for rule bodies: 'greedy' reorders literals by "
         "estimated selectivity, 'source' keeps rule-source order "
+        "(default: %(default)s)",
+    )
+
+
+def _add_strategy_option(command) -> None:
+    command.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="lazy",
+        help="where intensional facts come from: 'lazy' materializes "
+        "per dependency closure, 'topdown' is tabled resolution, "
+        "'model' materializes everything, 'magic' evaluates "
+        "demand-driven via the magic-sets rewrite "
         "(default: %(default)s)",
     )
 
@@ -79,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print cost statistics"
     )
     _add_plan_option(check)
+    _add_strategy_option(check)
 
     satcheck = commands.add_parser(
         "satcheck", help="check finite satisfiability of rules + constraints"
@@ -113,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("database", help="path to the database source file")
     query.add_argument("formula", help="closed formula to evaluate")
     _add_plan_option(query)
+    _add_strategy_option(query)
 
     model = commands.add_parser(
         "model", help="print the canonical model (facts + derived)"
@@ -130,7 +149,7 @@ def _load_database(path: str) -> DeductiveDatabase:
 
 def _run_check(args) -> int:
     db = _load_database(args.database)
-    checker = IntegrityChecker(db, plan=args.plan)
+    checker = IntegrityChecker(db, strategy=args.strategy, plan=args.plan)
     method = getattr(checker, f"check_{args.method}")
     result = method(list(args.updates))
     if result.ok:
@@ -178,7 +197,7 @@ def _run_satcheck(args) -> int:
 def _run_query(args) -> int:
     db = _load_database(args.database)
     formula = normalize_constraint(parse_formula(args.formula))
-    value = db.engine(plan=args.plan).evaluate(formula)
+    value = db.engine(args.strategy, plan=args.plan).evaluate(formula)
     print("true" if value else "false")
     return 0 if value else 1
 
@@ -198,7 +217,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "query": _run_query,
         "model": _run_model,
     }
-    return runners[args.command](args)
+    try:
+        return runners[args.command](args)
+    except ValueError as error:
+        # User-input errors past argparse — malformed database or
+        # formula syntax (ParseError), non-ground update literals,
+        # unsafe constraints — fail with one line, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

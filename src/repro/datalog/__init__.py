@@ -8,6 +8,14 @@ integrity and satisfiability layers drive.
 """
 
 from repro.datalog.facts import FactStore
+from repro.datalog.magic import (
+    MagicEvaluator,
+    MagicFallbackWarning,
+    MagicProgram,
+    MagicRewriteError,
+    MagicStratificationError,
+    magic_rewrite,
+)
 from repro.datalog.overlay import OverlayFactStore
 from repro.datalog.planner import (
     DEFAULT_PLAN,
@@ -25,7 +33,7 @@ from repro.datalog.program import (
 from repro.datalog.bottomup import compute_model, compute_model_naive
 from repro.datalog.incremental import MaintainedModel
 from repro.datalog.topdown import TabledEvaluator
-from repro.datalog.query import QueryEngine
+from repro.datalog.query import STRATEGIES, QueryEngine, validate_strategy
 from repro.datalog.database import Constraint, DeductiveDatabase
 
 __all__ = [
@@ -34,6 +42,11 @@ __all__ = [
     "DeductiveDatabase",
     "FactStore",
     "GreedyPlanner",
+    "MagicEvaluator",
+    "MagicFallbackWarning",
+    "MagicProgram",
+    "MagicRewriteError",
+    "MagicStratificationError",
     "MaintainedModel",
     "OverlayFactStore",
     "PLANS",
@@ -41,10 +54,13 @@ __all__ = [
     "Program",
     "QueryEngine",
     "Rule",
+    "STRATEGIES",
     "SourcePlanner",
     "StratificationError",
     "TabledEvaluator",
     "compute_model",
     "compute_model_naive",
+    "magic_rewrite",
     "make_planner",
+    "validate_strategy",
 ]

@@ -180,7 +180,12 @@ class DeductiveDatabase:
     ) -> QueryEngine:
         """A query engine over the current state. Engines are cached per
         (strategy, plan) and invalidated whenever the database mutates.
-        *plan* picks the join order for rule bodies and restrictions —
+        *strategy* picks where intensional facts come from —
+        ``"lazy"`` (per-closure materialization, the default),
+        ``"topdown"`` (tabled resolution), ``"model"`` (full canonical
+        model up front) or ``"magic"`` (demand-driven bottom-up via the
+        magic-sets rewrite; see :mod:`repro.datalog.magic`). *plan*
+        picks the join order for rule bodies and restrictions —
         ``"greedy"`` (selectivity-driven, the default) or ``"source"``
         (rule-source order, the unplanned oracle)."""
         if self._engine_version != self._version:

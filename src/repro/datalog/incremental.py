@@ -35,6 +35,58 @@ from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
 from repro.logic.unify import match
 
+_EMPTY_BUCKET: frozenset = frozenset()
+
+
+class PredicateIndexedSet:
+    """A set of ground atoms bucketed by predicate, like
+    :class:`FactStore`'s per-predicate buckets.
+
+    The DRed over-deletion joins probe the `removed` overlay once per
+    join pattern; bucketing makes each probe via :meth:`matching`
+    O(matching facts of that predicate) instead of a linear scan of
+    the whole overlay, which dominates deletion-heavy cascades. The
+    `inserted` overlay shares the representation for symmetry but is
+    only ever consulted by membership, which a plain set also served
+    in O(1)."""
+
+    __slots__ = ("_by_pred", "_size")
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        self._by_pred: dict = {}
+        self._size = 0
+        self.update(atoms)
+
+    def add(self, atom: Atom) -> None:
+        bucket = self._by_pred.setdefault(atom.pred, set())
+        if atom not in bucket:
+            bucket.add(atom)
+            self._size += 1
+
+    def update(self, atoms: Iterable[Atom]) -> None:
+        for atom in atoms:
+            self.add(atom)
+
+    def matching(self, pred: str):
+        """All stored atoms of predicate *pred* (the probe set)."""
+        return self._by_pred.get(pred, _EMPTY_BUCKET)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._by_pred.get(atom.pred, _EMPTY_BUCKET)
+
+    def __iter__(self):
+        for bucket in self._by_pred.values():
+            yield from bucket
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return (
+            f"PredicateIndexedSet({self._size} atoms, "
+            f"{len(self._by_pred)} predicates)"
+        )
+
 
 class MaintainedModel:
     """A materialized canonical model kept current under updates."""
@@ -99,9 +151,9 @@ class MaintainedModel:
         # Facts the transaction genuinely adds (recorded before the
         # model is touched: an insert of an already-derivable fact is
         # no state change).
-        inserted_so_far: Set[Atom] = {
+        inserted_so_far = PredicateIndexedSet(
             atom for atom in base_inserts if not self.model.contains(atom)
-        }
+        )
         # Base changes apply directly to the model.
         for atom in base_deletes:
             # Keep the fact if a rule still derives it (it may be IDB too).
@@ -116,9 +168,9 @@ class MaintainedModel:
         # under the negations of ``h(X) :- r(X), not p(X), not q(X)``
         # inserted in one transaction) is invisible through the current
         # model alone, leaving phantom derived facts behind.
-        removed_so_far: Set[Atom] = {
+        removed_so_far = PredicateIndexedSet(
             atom for atom in base_deletes if not self.model.contains(atom)
-        }
+        )
         for _, rules in self.program.rules_by_stratum():
             stratum_preds = {rule.head.pred for rule in rules}
             deleted_here = self._over_delete(
@@ -138,13 +190,13 @@ class MaintainedModel:
             }
             rederived = self._rederive(rules, rederive_candidates)
             deleted_here -= rederived
-            removed_so_far |= deleted_here
+            removed_so_far.update(deleted_here)
             inserted_here = self._insert_propagate(
                 rules,
                 stratum_preds,
                 pending_inserts | pending_deletes,
             )
-            inserted_so_far |= inserted_here
+            inserted_so_far.update(inserted_here)
             all_deleted |= deleted_here
             all_inserted |= inserted_here
             pending_inserts = pending_inserts | inserted_here
@@ -164,8 +216,8 @@ class MaintainedModel:
         rules: Sequence[Rule],
         stratum_preds: Set[str],
         changed: Set[Atom],
-        removed_before: Set[Atom],
-        inserted: Set[Atom],
+        removed_before: PredicateIndexedSet,
+        inserted: PredicateIndexedSet,
     ) -> Set[Atom]:
         """Remove every derived fact whose support may have used a
         changed fact (deleted positive / inserted negative dependency).
@@ -173,10 +225,12 @@ class MaintainedModel:
         holds facts already gone from the pre-update model (base
         deletions, lower-stratum over-deletions) and *inserted* the
         facts the update genuinely added — together they reconstruct
-        the old state the derivations being hunted lived in."""
+        the old state the derivations being hunted lived in. Both
+        overlays are predicate-indexed so each join probe touches only
+        same-predicate facts."""
         deleted: Set[Atom] = set()
         # The pre-deletion overlay: grows with our own over-deletions.
-        removed: Set[Atom] = set(removed_before)
+        removed = PredicateIndexedSet(removed_before)
         frontier: Set[Atom] = set(changed)
         while frontier:
             current = frontier
@@ -213,7 +267,10 @@ class MaintainedModel:
         return match(literal.atom, atom)
 
     def _join_over_model_or_deleted(
-        self, rest: Sequence[Literal], removed: Set[Atom], inserted: Set[Atom]
+        self,
+        rest: Sequence[Literal],
+        removed: PredicateIndexedSet,
+        inserted: PredicateIndexedSet,
     ):
         """During over-deletion, joins must see the *pre-update* state:
         the current model, plus everything removed from it so far (base
@@ -233,8 +290,8 @@ class MaintainedModel:
                 binding = match(pattern, fact)
                 if binding is not None:
                     yield binding
-            for fact in list(removed):
-                if fact.pred == pattern.pred and fact not in seen:
+            for fact in list(removed.matching(pattern.pred)):
+                if fact not in seen:
                     binding = match(pattern, fact)
                     if binding is not None:
                         yield binding

@@ -24,6 +24,14 @@ Three strategies are available:
 ``model``
     Materialize the full canonical model up front; cheapest when every
     constraint will be swept anyway (the *full check* baseline).
+
+``magic``
+    Goal-directed *bottom-up* evaluation: each query pattern is
+    answered by the magic-sets rewrite of its dependency slice
+    (:mod:`repro.datalog.magic`), so only demanded tuples are ever
+    materialized. Patterns the rewrite declines (unbound queries, or
+    demand propagation breaking stratification) fall back to the lazy
+    per-closure path with a recorded diagnostic.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set
 from repro.datalog.bottomup import evaluate_stratum
 from repro.datalog.facts import FactStore
 from repro.datalog.joins import join_literals
+from repro.datalog.magic import MagicEvaluator
 from repro.datalog.planner import (
     DEFAULT_PLAN,
     UNKNOWN_CARDINALITY,
@@ -55,7 +64,17 @@ from repro.logic.formulas import (
 from repro.logic.substitution import Substitution
 from repro.logic.unify import match
 
-_STRATEGIES = ("lazy", "topdown", "model")
+STRATEGIES = ("lazy", "topdown", "model", "magic")
+
+
+def validate_strategy(strategy: str) -> str:
+    """Fail fast on an unknown strategy name, listing the accepted
+    values — mirrors :func:`repro.datalog.planner.validate_plan`."""
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; pick one of {STRATEGIES}"
+        )
+    return strategy
 
 
 class _CombinedView:
@@ -105,10 +124,7 @@ class QueryEngine:
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
     ):
-        if strategy not in _STRATEGIES:
-            raise ValueError(
-                f"unknown strategy {strategy!r}; pick one of {_STRATEGIES}"
-            )
+        validate_strategy(strategy)
         self.facts = facts
         self.program = program
         self.strategy = strategy
@@ -125,6 +141,13 @@ class QueryEngine:
         self._tabled: Optional[TabledEvaluator] = (
             TabledEvaluator(facts, program, plan)
             if strategy == "topdown"
+            else None
+        )
+        # Demand-driven bottom-up evaluation; patterns whose rewrite
+        # declines fall back to the lazy materialization path below.
+        self.magic: Optional[MagicEvaluator] = (
+            MagicEvaluator(facts, program, plan)
+            if strategy == "magic"
             else None
         )
         if strategy == "model":
@@ -173,6 +196,9 @@ class QueryEngine:
         if self._tabled is not None:
             return self._tabled.holds(atom)
         if self.program.is_idb(atom.pred):
+            if self.magic is not None and self.magic.supports(atom):
+                # Demand stores cover extensional facts via copy rules.
+                return self.magic.holds(atom)
             self._ensure_materialized(atom.pred)
             if self._derived.contains(atom):
                 return True
@@ -185,6 +211,9 @@ class QueryEngine:
             yield from self._tabled.answers(pattern)
             return
         if self.program.is_idb(pattern.pred):
+            if self.magic is not None and self.magic.supports(pattern):
+                yield from self.magic.answers(pattern)
+                return
             self._ensure_materialized(pattern.pred)
             seen: Set[Atom] = set()
             for fact in self.facts.match(pattern):

@@ -143,6 +143,16 @@ class IntegrityChecker:
     currently satisfies its constraints; each ``check_*`` method decides
     whether the *updated* database still would, without applying the
     update.
+
+    *strategy* selects the query engines used throughout — both the
+    ``delta``/``new`` propagation state and the evaluation of residual
+    constraint instances. ``"magic"`` makes the relevant-constraint
+    phase demand-driven: each instantiated constraint query touches
+    only the tuples the magic-sets rewrite demands for it, instead of
+    materializing the full dependency closure of every predicate the
+    constraint mentions. Both knobs are validated up front so a typo
+    fails with a one-line error, not a traceback from deep inside
+    evaluation.
     """
 
     def __init__(
@@ -151,9 +161,12 @@ class IntegrityChecker:
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
     ):
+        from repro.datalog.planner import validate_plan
+        from repro.datalog.query import validate_strategy
+
         self.database = database
-        self.strategy = strategy
-        self.plan = plan
+        self.strategy = validate_strategy(strategy)
+        self.plan = validate_plan(plan)
         # Fact-independent structures, shared across checks.
         self.dependency_index = DependencyIndex(database.program)
         self.relevance = RelevanceIndex(database.constraints)

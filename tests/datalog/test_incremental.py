@@ -214,3 +214,43 @@ class TestDRedEqualsRecomputation:
         expected_deleted = {a for a in before if not after.contains(a)}
         assert inserted == expected_inserted
         assert deleted == expected_deleted
+
+
+class TestPredicateIndexedSet:
+    """The DRed overlays are bucketed by predicate so join probes touch
+    only same-predicate facts."""
+
+    def test_add_update_contains_len(self):
+        from repro.datalog.incremental import PredicateIndexedSet
+
+        overlay = PredicateIndexedSet([parse_fact("p(a)")])
+        overlay.add(parse_fact("q(a, b)"))
+        overlay.add(parse_fact("q(a, b)"))  # duplicate is a no-op
+        overlay.update([parse_fact("p(b)"), parse_fact("r(c)")])
+        assert len(overlay) == 4
+        assert parse_fact("q(a, b)") in overlay
+        assert parse_fact("q(b, a)") not in overlay
+        assert set(overlay) == {
+            parse_fact("p(a)"),
+            parse_fact("p(b)"),
+            parse_fact("q(a, b)"),
+            parse_fact("r(c)"),
+        }
+
+    def test_matching_returns_only_same_predicate(self):
+        from repro.datalog.incremental import PredicateIndexedSet
+
+        overlay = PredicateIndexedSet(
+            [parse_fact("p(a)"), parse_fact("p(b)"), parse_fact("q(a, b)")]
+        )
+        assert overlay.matching("p") == {parse_fact("p(a)"), parse_fact("p(b)")}
+        assert overlay.matching("missing") == frozenset()
+
+    def test_rebuild_from_existing_overlay(self):
+        from repro.datalog.incremental import PredicateIndexedSet
+
+        base = PredicateIndexedSet([parse_fact("p(a)"), parse_fact("q(a, b)")])
+        clone = PredicateIndexedSet(base)
+        clone.add(parse_fact("p(z)"))
+        assert parse_fact("p(z)") not in base
+        assert len(clone) == 3

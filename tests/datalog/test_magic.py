@@ -1,0 +1,269 @@
+"""Unit tests for the magic-sets demand transformation."""
+
+import pytest
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.facts import FactStore
+from repro.datalog.magic import (
+    MagicEvaluator,
+    MagicFallbackWarning,
+    MagicRewriteError,
+    adorned_name,
+    adornment_for,
+    bound_args,
+    magic_name,
+    magic_rewrite,
+)
+from repro.datalog.program import Program, Rule
+from repro.datalog.query import validate_strategy
+from repro.logic.parser import parse_atom, parse_rule
+from repro.logic.terms import Constant, Variable
+
+
+def program_of(*texts):
+    return Program([Rule.from_parsed(parse_rule(t)) for t in texts])
+
+
+ANCESTOR = program_of(
+    "anc(X, Y) :- par(X, Y)",
+    "anc(X, Y) :- par(X, Z), anc(Z, Y)",
+)
+
+
+class TestAdornments:
+    def test_constants_are_bound(self):
+        atom = parse_atom("p(a, X, b)")
+        assert adornment_for(atom.args, set()) == "bfb"
+
+    def test_bound_variables_are_bound(self):
+        atom = parse_atom("p(X, Y)")
+        assert adornment_for(atom.args, {Variable("X")}) == "bf"
+
+    def test_names_cannot_clash_with_parsed_predicates(self):
+        assert "@" in adorned_name("p", "bf")
+        assert "@" in magic_name("p", "bf")
+
+    def test_bound_args_selects_bound_positions(self):
+        atom = parse_atom("p(a, X, b)")
+        assert bound_args(atom, "bfb") == (Constant("a"), Constant("b"))
+
+
+class TestRewrite:
+    def test_declines_extensional_query(self):
+        with pytest.raises(MagicRewriteError, match="extensional"):
+            magic_rewrite(ANCESTOR, parse_atom("par(a, X)"))
+
+    def test_declines_unbound_query(self):
+        with pytest.raises(MagicRewriteError, match="binds no argument"):
+            magic_rewrite(ANCESTOR, parse_atom("anc(X, Y)"))
+
+    def test_ancestor_bound_first(self):
+        rewrite = magic_rewrite(ANCESTOR, parse_atom("anc(a, Y)"))
+        assert rewrite.answer_pred == "anc@bf"
+        assert rewrite.magic_pred == "magic@anc@bf"
+        from repro.logic.formulas import Atom
+
+        assert rewrite.seed_for(parse_atom("anc(a, Y)")) == Atom(
+            "magic@anc@bf", (Constant("a"),)
+        )
+        heads = {rule.head.pred for rule in rewrite.program}
+        assert heads == {"anc@bf", "magic@anc@bf"}
+        # Demand flows through the recursive rule: magic(Z) :- magic(X), par(X, Z).
+        magic_rules = [
+            r for r in rewrite.program if r.head.pred == "magic@anc@bf"
+        ]
+        assert len(magic_rules) == 1
+        assert {l.atom.pred for l in magic_rules[0].body} == {
+            "magic@anc@bf",
+            "par",
+        }
+
+    def test_rewritten_rules_are_guarded(self):
+        rewrite = magic_rewrite(ANCESTOR, parse_atom("anc(a, Y)"))
+        for rule in rewrite.program:
+            if rule.head.pred == rewrite.answer_pred:
+                assert rule.body[0].atom.pred == rewrite.magic_pred
+
+    def test_seed_rejects_mismatched_pattern(self):
+        rewrite = magic_rewrite(ANCESTOR, parse_atom("anc(a, Y)"))
+        with pytest.raises(ValueError):
+            rewrite.seed_for(parse_atom("par(a, Y)"))
+        with pytest.raises(ValueError):
+            rewrite.seed_for(parse_atom("anc(X, b)"))
+
+    def test_negation_on_edb_passes_through(self):
+        program = program_of("open(O) :- order(O, C), not done(O)")
+        rewrite = magic_rewrite(program, parse_atom("open(o1)"))
+        guarded = [r for r in rewrite.program if r.head.pred == "open@b"]
+        assert any(
+            not l.positive and l.atom.pred == "done"
+            for rule in guarded
+            for l in rule.body
+        )
+
+    def test_negation_on_idb_is_demanded(self):
+        program = program_of(
+            "node(X) :- r(X, Y)",
+            "target(Y) :- r(X, Y)",
+            "lonely(X) :- node(X), not target(X)",
+        )
+        rewrite = magic_rewrite(program, parse_atom("lonely(a)"))
+        assert ("target", "b") in rewrite.adornments
+
+    def test_declines_when_rewrite_breaks_stratification(self):
+        # Stratified source program whose demand propagation creates
+        # recursion through negation: b's magic set depends on a, and a
+        # depends negatively on b.
+        program = program_of(
+            "p(X) :- a(X, Y), b(Y)",
+            "a(X, Y) :- e(X, Y), not b(X)",
+            "b(X) :- f(X)",
+        )
+        with pytest.raises(MagicRewriteError, match="not stratified"):
+            magic_rewrite(program, parse_atom("p(c)"))
+
+
+class TestMagicEvaluator:
+    def build_chain(self, n):
+        facts = FactStore()
+        for i in range(n):
+            facts.add(parse_atom(f"par(g{i}, g{i + 1})"))
+        return facts
+
+    def test_answers_match_full_model(self):
+        facts = self.build_chain(10)
+        evaluator = MagicEvaluator(facts, ANCESTOR)
+        pattern = parse_atom("anc(g0, Y)")
+        assert evaluator.supports(pattern)
+        answers = {
+            str(s.apply_term(Variable("Y"))) for s in evaluator.answers(pattern)
+        }
+        assert answers == {f"g{i}" for i in range(1, 11)}
+
+    def test_only_demanded_tuples_materialize(self):
+        facts = self.build_chain(40)
+        evaluator = MagicEvaluator(facts, ANCESTOR)
+        list(evaluator.answers(parse_atom("anc(X, g3)")))
+        # Full materialization would derive 40*41/2 = 820 anc facts;
+        # the demanded slice is the 3 ancestors of g3 plus bookkeeping.
+        assert evaluator.derived_fact_count() < 20
+
+    def test_seeds_accumulate_soundly(self):
+        facts = self.build_chain(10)
+        evaluator = MagicEvaluator(facts, ANCESTOR)
+        first = set(
+            str(s.apply_term(Variable("Y")))
+            for s in evaluator.answers(parse_atom("anc(g7, Y)"))
+        )
+        second = set(
+            str(s.apply_term(Variable("Y")))
+            for s in evaluator.answers(parse_atom("anc(g2, Y)"))
+        )
+        assert first == {"g8", "g9", "g10"}
+        assert second == {f"g{i}" for i in range(3, 11)}
+
+    def test_resaturation_is_incremental(self):
+        facts = self.build_chain(30)
+        evaluator = MagicEvaluator(facts, ANCESTOR)
+        list(evaluator.answers(parse_atom("anc(g9, Y)")))
+        after_first = evaluator.derived_fact_count()
+        # Answering anc(g9, Y) propagated demand down the chain, so
+        # g12's slice is already materialized: the later query must
+        # not add a single fact.
+        answers = list(evaluator.answers(parse_atom("anc(g12, Y)")))
+        assert len(answers) == 30 - 12  # g13 .. g30
+        assert evaluator.derived_fact_count() == after_first
+        # A genuinely new slice (g5 sits above g9) pays only for
+        # itself, never re-deriving what is already demanded.
+        list(evaluator.answers(parse_atom("anc(g5, Y)")))
+        grown = evaluator.derived_fact_count() - after_first
+        assert 0 < grown < after_first
+
+    def test_holds_ground_atom(self):
+        facts = self.build_chain(6)
+        evaluator = MagicEvaluator(facts, ANCESTOR)
+        assert evaluator.holds(parse_atom("anc(g1, g5)"))
+        assert not evaluator.holds(parse_atom("anc(g5, g1)"))
+
+    def test_mixed_edb_idb_predicate_keeps_facts(self):
+        program = program_of("anc(X, Y) :- par(X, Y)")
+        facts = FactStore(
+            [parse_atom("par(a, b)"), parse_atom("anc(a, zz)")]
+        )
+        evaluator = MagicEvaluator(facts, program)
+        answers = {
+            str(s.apply_term(Variable("Y")))
+            for s in evaluator.answers(parse_atom("anc(a, Y)"))
+        }
+        assert answers == {"b", "zz"}
+
+    def test_decline_is_recorded_and_warned_once(self):
+        program = program_of(
+            "p(X) :- a(X, Y), b(Y)",
+            "a(X, Y) :- e(X, Y), not b(X)",
+            "b(X) :- f(X)",
+        )
+        evaluator = MagicEvaluator(FactStore(), program)
+        with pytest.warns(MagicFallbackWarning, match="not stratified"):
+            assert not evaluator.supports(parse_atom("p(c)"))
+        assert ("p", "b") in evaluator.declined
+        # Second probe answers from the cache without re-warning.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not evaluator.supports(parse_atom("p(c)"))
+
+
+class TestEngineIntegration:
+    SOURCE = """
+    par(a, b). par(b, c). par(c, d).
+    person(a). person(b). person(c). person(d).
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+    """
+
+    def test_strategy_validation_lists_choices(self):
+        with pytest.raises(ValueError, match="magic"):
+            validate_strategy("bogus")
+
+    def test_engine_answers_agree_with_lazy(self):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        pattern = parse_atom("anc(b, Y)")
+        lazy = {str(s) for s in db.engine("lazy").match_atom(pattern)}
+        magic = {str(s) for s in db.engine("magic").match_atom(pattern)}
+        assert magic == lazy
+
+    def test_engine_falls_back_on_unbound_pattern(self):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        pattern = parse_atom("anc(X, Y)")
+        lazy = {str(s) for s in db.engine("lazy").match_atom(pattern)}
+        magic = {str(s) for s in db.engine("magic").match_atom(pattern)}
+        assert magic == lazy
+        assert ("anc", "ff") in db.engine("magic").magic.declined
+
+    def test_engine_evaluates_constraints(self):
+        db = DeductiveDatabase.from_source(
+            self.SOURCE + "forall X, Y: anc(X, Y) -> person(Y).\n"
+        )
+        engine = db.engine("magic")
+        assert engine.evaluate(db.constraints[0].formula)
+
+    def test_checker_accepts_magic_strategy(self):
+        from repro.integrity.checker import IntegrityChecker
+
+        db = DeductiveDatabase.from_source(
+            self.SOURCE + "forall X, Y: anc(X, Y) -> person(Y).\n"
+        )
+        checker = IntegrityChecker(db, strategy="magic")
+        assert checker.check_bdm("par(d, a)").ok
+        assert not checker.check_bdm("par(d, e)").ok
+
+    def test_checker_validates_knobs_up_front(self):
+        from repro.integrity.checker import IntegrityChecker
+
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        with pytest.raises(ValueError, match="strategy"):
+            IntegrityChecker(db, strategy="bogus")
+        with pytest.raises(ValueError, match="plan"):
+            IntegrityChecker(db, plan="bogus")

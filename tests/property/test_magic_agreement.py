@@ -1,0 +1,213 @@
+"""The magic strategy must be answer- and verdict-equivalent.
+
+The demand transformation is an optimization, never a semantics change:
+for every query pattern, ``strategy="magic"`` must return exactly the
+answers the lazy closure materialization returns, under both join plans
+(``source`` and ``greedy`` choose different SIP orders, hence different
+adornments — all of them must agree); and the integrity checker must
+reach identical verdicts across the relational, deductive and orders
+workloads. Negation fall-back cases (rewrites declined because demand
+propagation would break stratification) are included: the fallback path
+must be answer-identical too.
+"""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.facts import FactStore
+from repro.datalog.magic import MagicFallbackWarning
+from repro.datalog.program import Program, Rule
+from repro.datalog.query import QueryEngine
+from repro.integrity.checker import IntegrityChecker
+from repro.logic.formulas import Atom
+from repro.logic.parser import parse_atom, parse_rule
+from repro.workloads.deductive import (
+    ancestor_database,
+    rule_chain_database,
+)
+from repro.workloads.orders import OrdersWorkload
+from repro.workloads.relational import RelationalWorkload
+
+from tests.property.strategies import CONSTANTS
+
+PLANS = ("source", "greedy")
+
+# Stratified rule shapes, including negation (both the benign kind the
+# rewrite handles and shapes that exercise the demand adornments).
+RULE_POOL = [
+    "tc(X, Y) :- r(X, Y)",
+    "tc(X, Y) :- r(X, Z), tc(Z, Y)",
+    "sym(X, Y) :- r(X, Y)",
+    "sym(X, Y) :- r(Y, X)",
+    "node(X) :- r(X, Y)",
+    "node(Y) :- r(X, Y)",
+    "both(X) :- p(X), q(X)",
+    "either(X) :- p(X)",
+    "either(X) :- q(X)",
+    "lonely(X) :- node(X), not both(X)",
+    "source(X) :- node(X), not target(X)",
+    "target(Y) :- r(X, Y)",
+]
+
+# Query patterns with at least one bound argument (rewritable) and
+# fully free ones (exercising the fallback path).
+QUERY_POOL = [
+    "tc(a, Y)",
+    "tc(X, b)",
+    "tc(a, b)",
+    "tc(X, Y)",
+    "sym(b, Y)",
+    "node(a)",
+    "both(c)",
+    "either(a)",
+    "lonely(b)",
+    "source(a)",
+    "target(X)",
+]
+
+
+@st.composite
+def programs(draw):
+    texts = draw(
+        st.lists(st.sampled_from(RULE_POOL), min_size=1, max_size=6, unique=True)
+    )
+    try:
+        return Program([Rule.from_parsed(parse_rule(t)) for t in texts])
+    except Exception:
+        from hypothesis import assume
+
+        assume(False)
+
+
+@st.composite
+def edbs(draw):
+    facts = FactStore()
+    n = draw(st.integers(min_value=0, max_value=8))
+    for _ in range(n):
+        pred = draw(st.sampled_from(["p", "q", "r"]))
+        if pred == "r":
+            args = (
+                draw(st.sampled_from(CONSTANTS)),
+                draw(st.sampled_from(CONSTANTS)),
+            )
+        else:
+            args = (draw(st.sampled_from(CONSTANTS)),)
+        facts.add(Atom(pred, args))
+    return facts
+
+
+def answer_set(engine: QueryEngine, pattern: Atom):
+    return {
+        frozenset((v.name, str(t)) for v, t in s.items())
+        for s in engine.match_atom(pattern)
+    }
+
+
+class TestRandomProgramAgreement:
+    @given(programs(), edbs(), st.sampled_from(QUERY_POOL))
+    @settings(max_examples=80, deadline=None)
+    def test_magic_matches_lazy_answers(self, program, edb, query):
+        pattern = parse_atom(query)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", MagicFallbackWarning)
+            for plan in PLANS:
+                lazy = QueryEngine(edb, program, "lazy", plan)
+                magic = QueryEngine(edb, program, "magic", plan)
+                assert answer_set(magic, pattern) == answer_set(lazy, pattern)
+
+    @given(programs(), edbs())
+    @settings(max_examples=40, deadline=None)
+    def test_magic_matches_lazy_ground_truth(self, program, edb):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", MagicFallbackWarning)
+            lazy = QueryEngine(edb, program, "lazy")
+            magic = QueryEngine(edb, program, "magic")
+            for pred, arity in [("tc", 2), ("lonely", 1), ("source", 1)]:
+                for c in CONSTANTS:
+                    atom = Atom(pred, (c,) * arity)
+                    assert magic.holds(atom) is lazy.holds(atom), str(atom)
+
+
+def check_verdicts(db, updates):
+    """Verdicts and violated-constraint ids per update, for one
+    (strategy, plan) matrix — all cells must be identical."""
+    baseline = None
+    for plan in PLANS:
+        for strategy in ("lazy", "magic"):
+            checker = IntegrityChecker(db, strategy=strategy, plan=plan)
+            verdicts = []
+            for update in updates:
+                result = checker.check_bdm(update)
+                verdicts.append(
+                    (result.ok, frozenset(result.violated_constraint_ids()))
+                )
+            if baseline is None:
+                baseline = verdicts
+            else:
+                assert verdicts == baseline, (strategy, plan)
+    return baseline
+
+
+class TestWorkloadVerdictAgreement:
+    def test_relational_workload(self):
+        workload = RelationalWorkload(n_employees=20, seed=3)
+        db = workload.build()
+        updates = workload.update_stream(12, violation_rate=0.4, seed=5)
+        verdicts = check_verdicts(db, updates)
+        # The stream mixes harmless and violating updates; make sure
+        # the agreement is not vacuous.
+        assert any(ok for ok, _ in verdicts)
+        assert any(not ok for ok, _ in verdicts)
+
+    def test_deductive_ancestor_workload(self):
+        db, update = ancestor_database(12)
+        check_verdicts(
+            db,
+            [update, "par(g12, g0)", "not par(g0, g1)", "person(new)"],
+        )
+
+    def test_deductive_rule_chain_workload(self):
+        db, update = rule_chain_database(depth=3, width=4)
+        check_verdicts(db, [update, "not ok(m1)", "c0(stranger)"])
+
+    def test_orders_workload(self):
+        workload = OrdersWorkload(n_customers=6, seed=2)
+        db = workload.build()
+        deletions = workload.deletion_stream(8, seed=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", MagicFallbackWarning)
+            verdicts = check_verdicts(db, deletions)
+        assert any(not ok for ok, _ in verdicts)
+
+
+class TestNegationFallbackAgreement:
+    SOURCE = """
+    e(a, b). e(b, c). f(b). g(a). g(b). g(c).
+    p(X) :- a(X, Y), b(Y).
+    a(X, Y) :- e(X, Y), not b(X).
+    b(X) :- f(X).
+    """
+
+    @pytest.mark.parametrize("plan", PLANS)
+    def test_declined_rewrite_falls_back_identically(self, plan):
+        db = DeductiveDatabase.from_source(self.SOURCE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", MagicFallbackWarning)
+            lazy = db.engine("lazy", plan)
+            magic = db.engine("magic", plan)
+            for text in ("p(a)", "p(b)", "p(c)", "a(a, b)", "b(b)"):
+                atom = parse_atom(text)
+                assert magic.holds(atom) is lazy.holds(atom), text
+            assert ("p", "b") in magic.magic.declined
+
+    def test_verdicts_agree_despite_fallback(self):
+        db = DeductiveDatabase.from_source(
+            self.SOURCE + "forall X: p(X) -> g(X).\n"
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", MagicFallbackWarning)
+            check_verdicts(db, ["e(c, d)", "f(a)", "not f(b)"])

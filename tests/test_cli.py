@@ -138,6 +138,52 @@ class TestSatcheck:
         assert "trace:" in capsys.readouterr().out
 
 
+class TestKnobValidation:
+    """Bad --plan/--strategy values must die with a one-line error
+    listing the accepted values, not a traceback from deep inside
+    evaluation."""
+
+    def test_bad_plan_rejected_up_front(self, db_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", db_file, "--update", "employee(bob)",
+                  "--plan", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "greedy" in err and "source" in err
+
+    def test_bad_strategy_rejected_up_front(self, db_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", db_file, "member(ann, sales)",
+                  "--strategy", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "magic" in err and "lazy" in err
+
+    def test_strategy_knob_on_check(self, db_file):
+        for strategy in ("lazy", "topdown", "model", "magic"):
+            code = main(
+                ["check", db_file, "--update", "employee(bob)",
+                 "--strategy", strategy]
+            )
+            assert code == 0, strategy
+
+    def test_strategy_knob_on_query(self, db_file, capsys):
+        code = main(
+            ["query", db_file, "member(ann, sales)", "--strategy", "magic"]
+        )
+        assert code == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_magic_detects_violation(self, db_file):
+        code = main(
+            ["check", db_file, "--update", "leads(bob, hr)",
+             "--strategy", "magic"]
+        )
+        assert code == 1
+
+
 class TestQueryAndModel:
     def test_query_true(self, db_file, capsys):
         code = main(["query", db_file, "member(ann, sales)"])
