@@ -1,0 +1,230 @@
+"""E12 (extension, not from the paper) — the transactional service:
+concurrent commit throughput and crash-recovery time.
+
+The commit pipeline runs the paper's integrity check as an admission
+gate. Its dominant fixed cost per commit is evaluation state: with
+rules in the database, a gate check materializes the dependency
+closure of every derived predicate the constraints mention (the
+``member``/``colleague`` layer here), and each commit additionally
+pays a WAL fsync and a DRed maintenance pass. Group commit merges the
+mutually non-conflicting transactions of concurrent writers into ONE
+gate check over the merged transaction (sound because disjoint write
+keys commute; exactly the shared-evaluation argument of Section 3.2
+and the E4 benchmark), ONE atomic batch record with one fsync, and ONE
+maintenance pass.
+
+Headline assertions:
+
+* ≥ 2× commit throughput for non-conflicting concurrent writers
+  (thread pool, group commit) vs the same transactions committed
+  serially (group commit disabled) — the acceptance criterion;
+  measured margin is typically 3–6×;
+* identical final state both ways (same facts, same LSN, every
+  transaction admitted);
+* recovery replays the WAL into the exact committed state (model
+  pinned against a from-scratch recomputation), and a checkpoint
+  reduces replay to zero records; both recovery paths' wall times are
+  reported (which is cheaper depends on model size vs log length —
+  the checkpoint bounds *replay*, not parsing).
+"""
+
+import os
+import shutil
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.datalog.bottomup import compute_model
+from repro.service.database import ManagedDatabase
+from repro.workloads.relational import RelationalWorkload
+
+from conftest import report
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+N_EMPLOYEES = 150 if QUICK else 300
+N_WORKERS = 8 if QUICK else 8
+TXNS_PER_WORKER = 4 if QUICK else 6
+REQUIRED_SPEEDUP = 2.0
+
+
+def service_source():
+    """The relational workload plus a derived layer the constraints
+    mention — the shape that makes gate checks pay for evaluation
+    state."""
+    db = RelationalWorkload(N_EMPLOYEES, seed=3).build()
+    db.add_rule("member(X, D) :- works_in(X, D)")
+    db.add_rule("colleague(X, Y) :- member(X, D), member(Y, D)")
+    db.add_constraint("forall X, D: member(X, D) -> employee(X)")
+    db.add_constraint("forall X, Y: colleague(X, Y) -> employee(X)")
+    return db.to_source()
+
+
+def transaction(worker, step):
+    name = f"zz{worker}_{step}"
+    return [
+        f"employee({name})",
+        f"salary({name}, junior)",
+        f"works_in({name}, d{worker % 2})",
+    ]
+
+
+def stage_all(db):
+    """Open one session per (worker, step): the concurrent writers'
+    in-flight transactions, all mutually non-conflicting."""
+    sessions = []
+    for worker in range(N_WORKERS):
+        for step in range(TXNS_PER_WORKER):
+            session = db.begin()
+            session.stage(transaction(worker, step))
+            sessions.append(session)
+    return sessions
+
+
+def run_serialized(directory, source):
+    db = ManagedDatabase(directory, source, sync=True, group_commit=False)
+    sessions = stage_all(db)
+    start = time.perf_counter()
+    for session in sessions:
+        result = session.commit()
+        assert result.ok, result
+    elapsed = time.perf_counter() - start
+    stats = db.stats()
+    db.close()
+    return elapsed, stats
+
+
+def run_concurrent(directory, source):
+    db = ManagedDatabase(directory, source, sync=True, group_commit=True)
+    sessions = stage_all(db)
+    per_worker = [sessions[i::N_WORKERS] for i in range(N_WORKERS)]
+
+    def worker(batch):
+        for session in batch:
+            result = session.commit()
+            assert result.ok, result
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(N_WORKERS) as pool:
+        list(pool.map(worker, per_worker))
+    elapsed = time.perf_counter() - start
+    stats = db.stats()
+    db.close()
+    return elapsed, stats
+
+
+def test_e12_concurrent_commit_throughput(benchmark, tmp_path):
+    """The acceptance criterion: ≥ 2× throughput from group commit for
+    non-conflicting concurrent writers."""
+    source = service_source()
+    total = N_WORKERS * TXNS_PER_WORKER
+    t_serial, stats_serial = run_serialized(tmp_path / "serial", source)
+    t_concurrent, stats_concurrent = run_concurrent(
+        tmp_path / "concurrent", source
+    )
+    assert stats_serial["commits"] == total
+    assert stats_concurrent["commits"] == total
+    assert stats_concurrent["conflicts"] == 0
+    assert stats_serial["lsn"] == stats_concurrent["lsn"] == total
+    # Group commit actually batched (not just won by accident).
+    assert stats_concurrent["merged_gate_checks"] >= 1
+    speedup = t_serial / t_concurrent
+    report(
+        f"E12: {N_WORKERS} writers x {TXNS_PER_WORKER} txns, "
+        f"{N_EMPLOYEES}-employee db",
+        [
+            (
+                "serialized",
+                f"{t_serial:.3f}",
+                f"{total / t_serial:.1f}",
+                stats_serial["batches"],
+            ),
+            (
+                "group commit",
+                f"{t_concurrent:.3f}",
+                f"{total / t_concurrent:.1f}",
+                stats_concurrent["batches"],
+            ),
+            ("speedup", f"{speedup:.2f}x", "", ""),
+        ],
+        ("mode", "seconds", "txn/s", "gate batches"),
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"group commit gave only {speedup:.2f}x over serialized commits "
+        f"(required {REQUIRED_SPEEDUP}x)"
+    )
+
+    def quick_burst():
+        scratch = tempfile.mkdtemp(dir=tmp_path)
+        try:
+            db = ManagedDatabase(scratch, source, sync=False)
+            sessions = []
+            for step in range(4):
+                session = db.begin()
+                session.stage(transaction(99, step))
+                sessions.append(session)
+            with ThreadPoolExecutor(4) as pool:
+                list(pool.map(lambda s: s.commit(), sessions))
+            db.close()
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    benchmark(quick_burst)
+
+
+def test_e12_identical_state_both_modes(tmp_path):
+    """Group commit is an optimization, not a semantics change: both
+    modes end in the same canonical model."""
+    source = service_source()
+    run_serialized(tmp_path / "serial", source)
+    run_concurrent(tmp_path / "concurrent", source)
+    serial = ManagedDatabase(tmp_path / "serial", sync=False)
+    concurrent = ManagedDatabase(tmp_path / "concurrent", sync=False)
+    assert sorted(map(str, serial.database.facts)) == sorted(
+        map(str, concurrent.database.facts)
+    )
+    assert sorted(map(str, serial.model.model)) == sorted(
+        map(str, concurrent.model.model)
+    )
+    serial.close()
+    concurrent.close()
+
+
+def test_e12_recovery_time(benchmark, tmp_path):
+    """Recovery = snapshot load + WAL replay; a checkpoint bounds it.
+    Reports wall times and pins correctness of the recovered model."""
+    source = service_source()
+    directory = tmp_path / "db"
+    db = ManagedDatabase(directory, source, sync=False)
+    for step in range(N_WORKERS * TXNS_PER_WORKER):
+        result = db.submit(transaction(step % N_WORKERS, 100 + step))
+        assert result.ok
+    final_lsn = db.lsn
+    db.close()
+
+    start = time.perf_counter()
+    replayed = ManagedDatabase(directory, sync=False)
+    t_replay = time.perf_counter() - start
+    assert replayed.lsn == final_lsn
+    assert replayed.recovered.replayed_transactions == final_lsn
+    fresh = compute_model(replayed.database.facts, replayed.database.program)
+    assert sorted(map(str, fresh)) == sorted(map(str, replayed.model.model))
+    replayed.checkpoint()
+    replayed.close()
+
+    start = time.perf_counter()
+    snapshotted = ManagedDatabase(directory, sync=False)
+    t_snapshot = time.perf_counter() - start
+    assert snapshotted.lsn == final_lsn
+    assert snapshotted.recovered.replayed_transactions == 0
+    snapshotted.close()
+
+    report(
+        f"E12: recovery of {final_lsn} committed txns",
+        [
+            ("full WAL replay", f"{t_replay * 1e3:.1f}"),
+            ("after checkpoint", f"{t_snapshot * 1e3:.1f}"),
+        ],
+        ("path", "ms"),
+    )
+
+    benchmark(lambda: ManagedDatabase(directory, sync=False).close())

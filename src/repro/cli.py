@@ -1,5 +1,5 @@
-"""Command-line interface: integrity checking and satisfiability from
-the shell.
+"""Command-line interface: integrity checking, satisfiability, schema
+evolution and the database service from the shell.
 
 ::
 
@@ -7,26 +7,46 @@ the shell.
     python -m repro satcheck schema.dl --budget 8 --no-reuse
     python -m repro query db.dl "forall X: p(X) -> q(X)"
     python -m repro model db.dl
+    python -m repro evolve db.dl --constraint "forall X: p(X) -> q(X)"
+    python -m repro serve ./data --port 7407
+    python -m repro shell --port 7407
 
 ``check`` exits 0 when the update preserves integrity, 1 otherwise;
-``satcheck`` exits 0 / 1 / 2 for satisfiable / unsatisfiable / unknown.
+``satcheck`` exits 0 / 1 / 2 for satisfiable / unsatisfiable / unknown;
+``evolve`` exits 0 / 1 / 2 / 3 for accepted / incompatible / undecided
+/ repairable. ``check``, ``query`` and ``evolve`` take ``--format
+json`` for machine-readable verdicts in exactly the schema the service
+protocol speaks (:mod:`repro.serialize`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
+from repro import serialize
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.planner import DEFAULT_PLAN, PLANS
 from repro.datalog.query import STRATEGIES
-from repro.integrity.checker import IntegrityChecker
+from repro.integrity.checker import METHODS, IntegrityChecker
 from repro.logic.parser import parse_formula
 from repro.logic.normalize import normalize_constraint
 from repro.satisfiability.checker import SatisfiabilityChecker
 
-_METHODS = ("bdm", "full", "nicolas", "interleaved", "lloyd")
+_METHODS = METHODS
+FORMATS = ("text", "json")
+
+
+def _add_format_option(command) -> None:
+    command.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format: human-readable text or one JSON object "
+        "(the service protocol's schema; default: %(default)s)",
+    )
 
 
 def _add_plan_option(command) -> None:
@@ -97,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_plan_option(check)
     _add_strategy_option(check)
+    _add_format_option(check)
 
     satcheck = commands.add_parser(
         "satcheck", help="check finite satisfiability of rules + constraints"
@@ -132,12 +153,85 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("formula", help="closed formula to evaluate")
     _add_plan_option(query)
     _add_strategy_option(query)
+    _add_format_option(query)
 
     model = commands.add_parser(
         "model", help="print the canonical model (facts + derived)"
     )
     model.add_argument("database", help="path to the database source file")
     _add_plan_option(model)
+
+    evolve = commands.add_parser(
+        "evolve",
+        help="triage a candidate constraint: accepted / repairable / "
+        "incompatible / undecided (Section 4 workflow)",
+    )
+    evolve.add_argument("database", help="path to the database source file")
+    evolve.add_argument(
+        "--constraint",
+        "-c",
+        required=True,
+        help="candidate constraint formula",
+    )
+    evolve.add_argument(
+        "--id", default=None, help="identifier for the candidate constraint"
+    )
+    evolve.add_argument(
+        "--budget",
+        type=int,
+        default=8,
+        help="fresh-constant budget for the compatibility search "
+        "(default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--max-levels", type=int, default=120, help="level-saturation cap"
+    )
+    _add_format_option(evolve)
+
+    serve = commands.add_parser(
+        "serve",
+        help="host named databases over a newline-delimited-JSON socket",
+    )
+    serve.add_argument(
+        "root", help="directory holding one subdirectory per database"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7407)
+    serve.add_argument(
+        "--no-sync",
+        action="store_true",
+        help="skip fsync on commit (faster, loses the durability "
+        "guarantee across power failure)",
+    )
+    serve.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=64,
+        help="checkpoint every N commits (0 disables; default: %(default)s)",
+    )
+    serve.add_argument(
+        "--serialize-commits",
+        action="store_true",
+        help="disable group commit (the E12 baseline)",
+    )
+    serve.add_argument(
+        "--method",
+        choices=_METHODS,
+        default="bdm",
+        help="integrity gate method (default: %(default)s)",
+    )
+    _add_plan_option(serve)
+    _add_strategy_option(serve)
+
+    shell = commands.add_parser(
+        "shell",
+        help="interactive client: commands in, NDJSON responses out",
+    )
+    shell.add_argument("--host", default="127.0.0.1")
+    shell.add_argument("--port", type=int, default=7407)
+    shell.add_argument(
+        "--db", default=None, help="database to open on connect"
+    )
 
     return parser
 
@@ -148,11 +242,22 @@ def _load_database(path: str) -> DeductiveDatabase:
 
 
 def _run_check(args) -> int:
+    from repro.integrity.transactions import Transaction
+
     db = _load_database(args.database)
     checker = IntegrityChecker(db, strategy=args.strategy, plan=args.plan)
-    method = getattr(checker, f"check_{args.method}")
-    result = method(list(args.updates))
-    if result.ok:
+    transaction = Transaction.coerce(list(args.updates))
+    result = checker.admit(transaction, args.method)
+    if args.format == "json":
+        payload = serialize.check_result_json(result)
+        payload["updates"] = transaction.to_strings()
+        if args.apply and result.ok:
+            for update in transaction:
+                db.apply_update(update)
+            payload["applied"] = db.to_source()
+        print(json.dumps(payload))
+        return 0 if result.ok else 1
+    elif result.ok:
         print("OK: all constraints satisfied in the updated database")
     else:
         print(f"VIOLATION: {len(result.violations)} constraint instance(s)")
@@ -163,7 +268,7 @@ def _run_check(args) -> int:
         for key, value in sorted(result.stats.items()):
             print(f"  # {key}: {value}")
     if args.apply and result.ok:
-        for update in args.updates:
+        for update in transaction:
             db.apply_update(update)
         print()
         print(db.to_source(), end="")
@@ -198,7 +303,10 @@ def _run_query(args) -> int:
     db = _load_database(args.database)
     formula = normalize_constraint(parse_formula(args.formula))
     value = db.engine(args.strategy, plan=args.plan).evaluate(formula)
-    print("true" if value else "false")
+    if args.format == "json":
+        print(json.dumps(serialize.query_result_json(args.formula, value)))
+    else:
+        print("true" if value else "false")
     return 0 if value else 1
 
 
@@ -209,6 +317,224 @@ def _run_model(args) -> int:
     return 0
 
 
+#: ``repro evolve`` exit codes, one per triage status.
+EVOLVE_EXIT_CODES = {
+    "accepted": 0,
+    "incompatible": 1,
+    "undecided": 2,
+    "repairable": 3,
+}
+
+
+def _run_evolve(args) -> int:
+    from repro.integrity.evolution import assess_constraint_addition
+
+    db = _load_database(args.database)
+    result = assess_constraint_addition(
+        db,
+        args.constraint,
+        id=args.id,
+        max_fresh_constants=args.budget,
+        max_levels=args.max_levels,
+    )
+    if args.format == "json":
+        print(json.dumps(serialize.evolution_result_json(result)))
+        return EVOLVE_EXIT_CODES[result.status]
+    print(f"status: {result.status}")
+    if result.witnesses:
+        print("witnesses (violating instances today):")
+        for witness in result.witnesses:
+            binding = ", ".join(
+                f"{var}={val}"
+                for var, val in sorted(
+                    serialize.substitution_json(witness).items()
+                )
+            )
+            print(f"  {binding}")
+    if result.status == "repairable" and result.sample_model is not None:
+        print(f"sample consistent database ({len(result.sample_model)} facts):")
+        for fact in sorted(result.sample_model, key=str):
+            print(f"  {fact}")
+    if result.status == "incompatible":
+        print(
+            "no sequence of fact updates can satisfy the extended "
+            "constraint set"
+        )
+    return EVOLVE_EXIT_CODES[result.status]
+
+
+def _run_serve(args) -> int:
+    from repro.service.server import DatabaseServer
+
+    server = DatabaseServer(
+        args.root,
+        host=args.host,
+        port=args.port,
+        sync=not args.no_sync,
+        method=args.method,
+        strategy=args.strategy,
+        plan=args.plan,
+        group_commit=not args.serialize_commits,
+        snapshot_interval=args.snapshot_interval,
+    )
+    host, port = server.address
+    print(f"listening on {host}:{port} (root: {args.root})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
+_SHELL_USAGE = """\
+commands:
+  open DB [SOURCE-FILE]   open or create a database
+  begin                   start a session on the open database
+  stage LITERAL           stage an update, e.g.  stage not p(a)
+  check                   dry-run the integrity gate
+  commit                  commit the session
+  abort                   abort the session
+  query FORMULA           evaluate over session (if any) else database
+  holds ATOM              ground-atom truth
+  constraint FORMULA      propose constraint DDL (triage-gated)
+  model | stats | databases | checkpoint | ping
+  raw JSON                send a raw protocol request
+  help | quit\
+"""
+
+
+def _shell_request(state, line: str):
+    """Translate one shell command into a protocol request dict (or a
+    ('message', text) directive handled locally)."""
+    command, _, rest = line.partition(" ")
+    rest = rest.strip()
+    command = command.lower()
+    if command in ("help", "?"):
+        return ("message", _SHELL_USAGE)
+    if command in ("quit", "exit"):
+        return ("quit", None)
+    if command == "raw":
+        request = json.loads(rest)
+        if not isinstance(request, dict) or "op" not in request:
+            raise ValueError(
+                "raw request must be a JSON object with an 'op' field"
+            )
+        return request
+    if command == "open":
+        name, _, source_path = rest.partition(" ")
+        if not name:
+            raise ValueError("usage: open DB [SOURCE-FILE]")
+        request = {"op": "open", "db": name}
+        if source_path.strip():
+            with open(source_path.strip()) as handle:
+                request["source"] = handle.read()
+        # Recorded as current only once the server confirms the open.
+        state["_pending_db"] = name
+        return request
+    if command in ("databases", "ping"):
+        return {"op": command}
+    if command in ("begin", "model", "stats", "checkpoint"):
+        if not state.get("db"):
+            raise ValueError("open a database first")
+        return {"op": command, "db": state["db"]}
+    if command == "stage":
+        if not state.get("session"):
+            raise ValueError("begin a session first")
+        return {"op": "stage", "session": state["session"], "updates": [rest]}
+    if command in ("commit", "abort", "check"):
+        if not state.get("session"):
+            raise ValueError("begin a session first")
+        return {"op": command, "session": state["session"]}
+    if command in ("query", "holds"):
+        target = (
+            {"session": state["session"]}
+            if state.get("session")
+            else {"db": state.get("db")}
+        )
+        if not any(target.values()):
+            raise ValueError("open a database first")
+        key = "formula" if command == "query" else "atom"
+        return {"op": command, **target, key: rest}
+    if command == "constraint":
+        if not state.get("db"):
+            raise ValueError("open a database first")
+        return {"op": "add_constraint", "db": state["db"], "constraint": rest}
+    raise ValueError(f"unknown command {command!r} (try 'help')")
+
+
+def _run_shell(args) -> int:
+    from repro.service.client import DatabaseClient, ServiceError
+
+    try:
+        client = DatabaseClient(args.host, args.port)
+    except OSError as error:
+        print(
+            f"error: cannot connect to {args.host}:{args.port} ({error})",
+            file=sys.stderr,
+        )
+        return 2
+    state = {"db": args.db, "session": None}
+    if args.db:
+        try:
+            print(json.dumps(client.call("open", db=args.db)))
+        except (ServiceError, OSError) as error:
+            print(f"error: open {args.db!r} failed: {error}", file=sys.stderr)
+            client.close()
+            return 2
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print(_SHELL_USAGE)
+    try:
+        while True:
+            if interactive:
+                sys.stdout.write("repro> ")
+                sys.stdout.flush()
+            line = sys.stdin.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                request = _shell_request(state, line)
+            except (ValueError, OSError) as error:
+                print(json.dumps({"ok": False, "error": str(error)}))
+                continue
+            if isinstance(request, tuple):
+                directive, payload = request
+                if directive == "quit":
+                    break
+                print(payload)
+                continue
+            try:
+                response = client.call(request.pop("op"), **request)
+                response["ok"] = True
+            except ServiceError as error:
+                response = {"ok": False, "error": str(error)}
+            except (OSError, json.JSONDecodeError) as error:
+                # The server went away mid-session: one line, no
+                # traceback, and there is nothing left to talk to.
+                print(
+                    json.dumps(
+                        {"ok": False, "error": f"connection lost: {error}"}
+                    )
+                )
+                return 1
+            pending = state.pop("_pending_db", None)
+            if response["ok"] and pending is not None:
+                state["db"] = pending
+            if response.get("session"):
+                state["session"] = response["session"]
+            if line.split(None, 1)[0].lower() in ("commit", "abort"):
+                state["session"] = None
+            print(json.dumps(response))
+    finally:
+        client.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     runners = {
@@ -216,6 +542,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "satcheck": _run_satcheck,
         "query": _run_query,
         "model": _run_model,
+        "evolve": _run_evolve,
+        "serve": _run_serve,
+        "shell": _run_shell,
     }
     try:
         return runners[args.command](args)

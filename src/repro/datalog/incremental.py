@@ -103,22 +103,43 @@ class MaintainedModel:
         # accounting keeps re-planning O(body²) per join.
         self.planner = make_planner(plan, self.model)
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        edb: FactStore,
+        program: Program,
+        model: FactStore,
+        plan: str = DEFAULT_PLAN,
+    ) -> "MaintainedModel":
+        """Resume a maintained model from a persisted *model* store
+        without recomputing the fixpoint — the storage engine's
+        recovery path. The caller vouches that *model* is the canonical
+        model of ``edb ∪ program`` (the crash-recovery tests verify
+        this equals a from-scratch recomputation); both stores are
+        copied, so the snapshot they came from stays pristine."""
+        maintained = cls.__new__(cls)
+        maintained.program = program
+        maintained.edb = edb.copy()
+        maintained.model = model.copy()
+        maintained.planner = make_planner(plan, maintained.model)
+        return maintained
+
     # -- public API -----------------------------------------------------------------
 
-    def apply(self, updates: Iterable[Literal]) -> Tuple[Set[Atom], Set[Atom]]:
+    def apply(self, updates) -> Tuple[Set[Atom], Set[Atom]]:
         """Apply a transaction to the EDB and maintain the model.
 
         Returns ``(inserted, deleted)`` — the net changes to the
         canonical model (both extensional and derived facts).
-        """
-        from repro.integrity.transactions import net_effect
 
-        for update in updates:
-            if not update.atom.is_ground():
-                raise ValueError(f"updates must be ground: {update}")
+        *updates* takes any :meth:`Transaction.coerce` surface form
+        (literals, source strings, a transaction), same as the checker.
+        """
+        from repro.integrity.transactions import Transaction
+
         insertions: List[Atom] = []
         deletions: List[Atom] = []
-        for update in net_effect(updates):
+        for update in Transaction.coerce(updates).net():
             if update.positive:
                 if self.edb.add(update.atom):
                     insertions.append(update.atom)

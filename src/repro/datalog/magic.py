@@ -392,6 +392,15 @@ class MagicEvaluator:
         self.declined: Dict[Tuple[str, str], str] = {}
         self._stores: Dict[Tuple[str, str], FactStore] = {}
         self._seeded: Set[Atom] = set()
+        # Work accounting for the incremental-maintenance guarantee:
+        # ``derivations`` counts every fact a semi-naive round produced
+        # (before deduplication), so a regression to round-zero
+        # re-saturation shows up even when it derives nothing new —
+        # net-new fact counts alone cannot catch it. The regression
+        # tests pin repeat queries at zero and new seeds at
+        # O(new slice).
+        self.derivations = 0
+        self.saturation_passes = 0
 
     # -- rewrite cache -----------------------------------------------------------
 
@@ -476,6 +485,7 @@ class MagicEvaluator:
 
         view = _DemandView(self.facts, store)
         planner = make_planner(self.plan, view)
+        self.saturation_passes += 1
         # All facts added during this pass; each stratum's delta starts
         # from the full list because its rules were last saturated
         # before the pass began.
@@ -486,6 +496,7 @@ class MagicEvaluator:
                 derived = _derive_round(
                     view, rules, set(delta.predicates()), delta, planner
                 )
+                self.derivations += len(derived)
                 delta = FactStore()
                 for fact in derived:
                     if view.add(fact):
@@ -506,4 +517,6 @@ class MagicEvaluator:
             "declined": len(self.declined),
             "seeds": len(self._seeded),
             "derived_facts": self.derived_fact_count(),
+            "derivations": self.derivations,
+            "saturation_passes": self.saturation_passes,
         }

@@ -50,16 +50,17 @@ from repro.integrity.dependencies import DependencyIndex
 from repro.integrity.instances import simplified_instances
 from repro.integrity.new_eval import NewEvaluator
 from repro.integrity.relevance import RelevanceIndex
-from repro.integrity.transactions import Transaction, net_effect
+from repro.integrity.transactions import Transaction
 from repro.integrity.update_constraints import (
     CompiledCheck,
     compile_update_constraints,
 )
 from repro.logic.formulas import Formula, Literal
-from repro.logic.parser import parse_literal
-from repro.logic.substitution import Substitution
-
 UpdateInput = Union[str, Literal, Transaction, Sequence[Union[str, Literal]]]
+
+#: The checking methods :meth:`IntegrityChecker.admit` dispatches over —
+#: one name per ``check_*`` implementation (the CLI exposes the same set).
+METHODS = ("bdm", "full", "nicolas", "interleaved", "lloyd")
 
 
 class Violation:
@@ -120,20 +121,10 @@ class CheckResult:
 
 
 def _normalize_updates(updates: UpdateInput) -> List[Literal]:
-    if isinstance(updates, str):
-        updates = [parse_literal(updates)]
-    elif isinstance(updates, Literal):
-        updates = [updates]
-    elif isinstance(updates, Transaction):
-        updates = list(updates)
-    else:
-        updates = [
-            parse_literal(u) if isinstance(u, str) else u for u in updates
-        ]
-    for update in updates:
-        if not update.atom.is_ground():
-            raise ValueError(f"updates must be ground: {update}")
-    return net_effect(updates)
+    """Every update surface form, through the one :class:`Transaction`
+    type, to its net effect — the normal form all check methods and the
+    service commit path share."""
+    return Transaction.coerce(updates).net()
 
 
 class IntegrityChecker:
@@ -176,6 +167,20 @@ class IntegrityChecker:
     def check(self, updates: UpdateInput) -> CheckResult:
         """Alias for :meth:`check_bdm` — the paper's method."""
         return self.check_bdm(updates)
+
+    def admit(
+        self, transaction: Transaction, method: str = "bdm"
+    ) -> CheckResult:
+        """Transaction-scoped commit gate: would applying *transaction*
+        keep the constraints satisfied? This is the entry point the
+        service's transaction manager calls before logging a commit;
+        *method* selects any of the ``check_*`` implementations (the
+        default is the paper's)."""
+        if method not in METHODS:
+            raise ValueError(
+                f"unknown check method {method!r}; pick one of {METHODS}"
+            )
+        return getattr(self, f"check_{method}")(transaction)
 
     def check_bdm(
         self, updates: UpdateInput, share_evaluation: bool = True

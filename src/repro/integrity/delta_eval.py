@@ -48,7 +48,7 @@ class DeltaEvaluator:
     def __init__(
         self,
         database: DeductiveDatabase,
-        updates: Union[Literal, Sequence[Literal]],
+        updates: Union[str, Literal, "Transaction", Sequence[Literal]],
         index: Optional[DependencyIndex] = None,
         restrict_to: Optional[Set[Signature]] = None,
         strategy: str = "lazy",
@@ -63,10 +63,10 @@ class DeltaEvaluator:
         changes the rule change causes directly; propagation and the
         truth-change tests then run between the two states as usual.
         """
-        if isinstance(updates, Literal):
-            updates = [updates]
+        from repro.integrity.transactions import Transaction
+
         self.database = database
-        self.updates = tuple(updates)
+        self.updates = tuple(Transaction.coerce(updates).net())
         self.index = index if index is not None else DependencyIndex(
             database.program
         )
@@ -74,7 +74,7 @@ class DeltaEvaluator:
         if new_database is not None:
             self.new_view = new_database
         else:
-            self.new_view = database.updated(list(updates))
+            self.new_view = database.updated(list(self.updates))
         self.new_engine = self.new_view.engine(strategy, plan)
         # Rest-of-body joins are planned against whichever state they
         # run over (old for deletions, new for insertions), reusing

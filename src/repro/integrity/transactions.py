@@ -6,6 +6,13 @@ Definition 1 applies literal by literal, so the observable effect is the
 All checker methods normalize transactions through :func:`net_effect`
 before compiling or evaluating anything, which keeps the delta base
 cases consistent with the overlay the ``new`` evaluator sees.
+
+:class:`Transaction` is the *one* update representation of the library:
+the checker methods, the delta evaluator, the DRed-maintained model,
+the CLI and the service commit path all coerce their inputs through
+:meth:`Transaction.coerce`, so "a set of updates" means the same thing
+— same grounding validation, same net-effect semantics, same surface
+serialization — at every layer.
 """
 
 from __future__ import annotations
@@ -44,14 +51,83 @@ class Transaction:
             parsed.append(literal)
         self.updates = tuple(parsed)
 
+    @classmethod
+    def coerce(
+        cls,
+        updates: Union[
+            str, Literal, "Transaction", Sequence[Union[str, Literal]]
+        ],
+    ) -> "Transaction":
+        """The transaction denoted by *updates*, whatever their surface
+        form: a literal (parsed or source text), a sequence of either,
+        or an existing transaction (returned as-is)."""
+        if isinstance(updates, Transaction):
+            return updates
+        if isinstance(updates, (str, Literal)):
+            return cls([updates])
+        return cls(list(updates))
+
+    @classmethod
+    def merge(cls, transactions: Sequence["Transaction"]) -> "Transaction":
+        """The concatenation of *transactions* as one transaction.
+
+        Order-sensitive in general (net effect is last-wins); callers
+        merging *concurrent* transactions must ensure their write keys
+        are disjoint, in which case the merge is order-independent."""
+        updates: List[Literal] = []
+        for transaction in transactions:
+            updates.extend(transaction.updates)
+        return cls(updates)
+
     def net(self) -> List[Literal]:
         return net_effect(self.updates)
+
+    # -- derived views -----------------------------------------------------------
+
+    def added(self) -> List[Atom]:
+        """Atoms the net effect inserts."""
+        return [u.atom for u in self.net() if u.positive]
+
+    def removed(self) -> List[Atom]:
+        """Atoms the net effect deletes."""
+        return [u.atom for u in self.net() if not u.positive]
+
+    def predicates(self) -> frozenset:
+        """Extensional predicates the transaction writes."""
+        return frozenset(u.atom.pred for u in self.updates)
+
+    def write_keys(self) -> frozenset:
+        """Predicate-key granularity write set: one key per written
+        ground atom. Two transactions with disjoint write keys commute
+        — the conflict test the service's optimistic commit uses."""
+        return frozenset(u.atom for u in self.updates)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_strings(self) -> List[str]:
+        """The updates as surface-syntax literals (``p(a)`` /
+        ``not q(b)``) — re-parseable by :meth:`coerce`; the WAL and the
+        wire protocol's transaction payload."""
+        from repro.logic.unparse import unparse_atom
+
+        return [
+            unparse_atom(u.atom) if u.positive else f"not {unparse_atom(u.atom)}"
+            for u in self.updates
+        ]
+
+    # -- container protocol ------------------------------------------------------
 
     def __iter__(self) -> Iterator[Literal]:
         return iter(self.updates)
 
     def __len__(self) -> int:
         return len(self.updates)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Transaction) and self.updates == other.updates
+
+    def __hash__(self) -> int:
+        return hash(self.updates)
 
     def __repr__(self) -> str:
         inner = ", ".join(str(u) for u in self.updates)

@@ -1,0 +1,118 @@
+"""One JSON vocabulary for verdicts, witnesses and diagnostics.
+
+The CLI's ``--format json`` output and the service's wire protocol
+share these serializers, so a verdict looks identical whether it came
+from ``repro check``, ``repro evolve``, a socket ``commit`` response or
+a library call — machine consumers parse one schema.
+
+Everything here is duck-typed over the library's result objects
+(:class:`~repro.integrity.checker.CheckResult`,
+:class:`~repro.integrity.evolution.ConstraintAdditionResult`, the
+service's commit results) and returns plain ``dict``/``list`` trees
+ready for :func:`json.dumps`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.logic.formulas import Atom, Literal
+from repro.logic.unparse import unparse, unparse_atom
+
+
+def atom_text(atom: Atom) -> str:
+    return unparse_atom(atom)
+
+
+def literal_text(literal: Literal) -> str:
+    text = unparse_atom(literal.atom)
+    return text if literal.positive else f"not {text}"
+
+
+def substitution_json(substitution) -> Dict[str, str]:
+    """A binding as ``{variable: term}`` with surface-syntax terms."""
+    from repro.logic.unparse import unparse_term
+
+    return {
+        variable.name: unparse_term(term)
+        for variable, term in sorted(
+            substitution.items(), key=lambda item: item[0].name
+        )
+    }
+
+
+def violation_json(violation) -> Dict:
+    """One violated constraint instance, with its witness trigger."""
+    return {
+        "constraint": violation.constraint_id,
+        "instance": unparse(violation.instance),
+        "trigger": (
+            literal_text(violation.trigger)
+            if violation.trigger is not None
+            else None
+        ),
+    }
+
+
+def check_result_json(result) -> Dict:
+    """An integrity verdict: ``repro check --format json`` and the
+    service's gate/commit diagnostics."""
+    return {
+        "ok": result.ok,
+        "method": result.method,
+        "violations": [violation_json(v) for v in result.violations],
+        "stats": dict(result.stats),
+    }
+
+
+def query_result_json(formula: str, value: bool) -> Dict:
+    return {"formula": formula, "value": bool(value)}
+
+
+def model_json(facts) -> List[str]:
+    return sorted(unparse_atom(fact) for fact in facts)
+
+
+def evolution_result_json(result) -> Dict:
+    """A constraint-addition triage verdict (Section 4 workflow):
+    status, the violation witnesses (repair targets) and — when the
+    satisfiability checker ran — its verdict and sample model."""
+    sat = result.satisfiability
+    return {
+        "status": result.status,
+        "constraint": {
+            "id": result.constraint.id,
+            "formula": unparse(result.constraint.formula),
+        },
+        "witnesses": [substitution_json(w) for w in result.witnesses],
+        "satisfiability": None if sat is None else sat.status,
+        "sample_model": (
+            model_json(result.sample_model)
+            if result.sample_model is not None
+            else None
+        ),
+    }
+
+
+def transaction_json(transaction) -> Dict:
+    return {"updates": transaction.to_strings()}
+
+
+def commit_result_json(result) -> Dict:
+    """A service commit outcome. ``check``/``triage`` carry the gate
+    diagnostics exactly as :func:`check_result_json` /
+    :func:`evolution_result_json` emit them."""
+    payload: Dict = {
+        "status": result.status,
+        "lsn": result.lsn,
+        "reason": result.reason,
+    }
+    payload["check"] = (
+        check_result_json(result.check) if result.check is not None else None
+    )
+    payload["triage"] = (
+        evolution_result_json(result.triage)
+        if result.triage is not None
+        else None
+    )
+    return payload

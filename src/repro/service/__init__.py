@@ -1,0 +1,24 @@
+"""The transactional service layer.
+
+The paper's integrity and satisfiability checks are *admission gates on
+updates* — this package is the machinery that actually puts them in
+front of a shared, durable database:
+
+* :mod:`repro.service.transactions` — optimistic sessions over
+  :class:`OverlayFactStore` views, and the transaction manager whose
+  group-commit pipeline runs the paper's check as the commit gate;
+* :mod:`repro.service.database` — a durable database handle binding
+  the storage engine, the DRed-maintained model and the manager;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  newline-delimited-JSON socket front end hosting named databases,
+  and its thin client.
+"""
+
+from repro.service.client import DatabaseClient, RemoteSession, ServiceError
+from repro.service.database import ManagedDatabase
+from repro.service.server import DatabaseServer
+from repro.service.transactions import (
+    CommitResult,
+    Session,
+    TransactionManager,
+)

@@ -1,0 +1,146 @@
+"""Thin client for the NDJSON socket protocol.
+
+One socket per client; requests and responses are matched by an
+auto-incremented ``id``. :class:`RemoteSession` mirrors the in-process
+:class:`~repro.service.transactions.Session` API, so code written
+against a local :class:`ManagedDatabase` ports to the wire by swapping
+the handle.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Dict, List, Optional, Union
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false``."""
+
+
+class DatabaseClient:
+    """A connection to a :class:`~repro.service.server.DatabaseServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7407, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- transport ----------------------------------------------------------------
+
+    def call(self, op: str, **params) -> Dict:
+        """One request/response round trip; raises :class:`ServiceError`
+        when the server reports failure."""
+        with self._lock:
+            self._next_id += 1
+            request = {"op": op, "id": self._next_id, **params}
+            self._file.write(json.dumps(request).encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+            if not line:
+                raise ServiceError("server closed the connection")
+            response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"))
+        response.pop("ok", None)
+        response.pop("id", None)
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DatabaseClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- convenience --------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def databases(self) -> List[str]:
+        return self.call("databases")["databases"]
+
+    def open(self, name: str, source: Optional[str] = None) -> Dict:
+        params = {"db": name}
+        if source is not None:
+            params["source"] = source
+        return self.call("open", **params)
+
+    def begin(self, name: str) -> "RemoteSession":
+        token = self.call("begin", db=name)["session"]
+        return RemoteSession(self, token)
+
+    def query(self, name: str, formula: str) -> bool:
+        return bool(self.call("query", db=name, formula=formula)["value"])
+
+    def holds(self, name: str, atom: str) -> bool:
+        return bool(self.call("holds", db=name, atom=atom)["value"])
+
+    def add_constraint(self, name: str, constraint: str, **options) -> Dict:
+        return self.call(
+            "add_constraint", db=name, constraint=constraint, **options
+        )
+
+    def model(self, name: str) -> List[str]:
+        return self.call("model", db=name)["facts"]
+
+    def checkpoint(self, name: str) -> int:
+        return self.call("checkpoint", db=name)["lsn"]
+
+    def stats(self, name: str) -> Dict:
+        return self.call("stats", db=name)
+
+
+class RemoteSession:
+    """A server-side session addressed by its token."""
+
+    __slots__ = ("client", "token")
+
+    def __init__(self, client: DatabaseClient, token: str):
+        self.client = client
+        self.token = token
+
+    def stage(self, updates: Union[str, List[str]]) -> int:
+        if isinstance(updates, str):
+            updates = [updates]
+        return self.client.call("stage", session=self.token, updates=updates)[
+            "staged"
+        ]
+
+    def insert(self, fact: str) -> int:
+        return self.stage(fact)
+
+    def delete(self, fact: str) -> int:
+        return self.stage(f"not {fact}")
+
+    def query(self, formula: str) -> bool:
+        return bool(
+            self.client.call("query", session=self.token, formula=formula)[
+                "value"
+            ]
+        )
+
+    def holds(self, atom: str) -> bool:
+        return bool(
+            self.client.call("holds", session=self.token, atom=atom)["value"]
+        )
+
+    def check(self, method: Optional[str] = None) -> Dict:
+        params = {"session": self.token}
+        if method is not None:
+            params["method"] = method
+        return self.client.call("check", **params)["check"]
+
+    def commit(self) -> Dict:
+        return self.client.call("commit", session=self.token)
+
+    def abort(self) -> None:
+        self.client.call("abort", session=self.token)

@@ -1,0 +1,316 @@
+"""The service front end: named databases over a line-JSON socket.
+
+Protocol: one JSON object per line in each direction (NDJSON). Every
+request carries ``op`` plus its parameters (and optionally a client
+``id``, echoed back); every response carries ``ok`` — ``true`` with the
+op's payload, or ``false`` with ``error``. Verdicts and diagnostics use
+the same serializers as the CLI's ``--format json``
+(:mod:`repro.serialize`), so a socket client and a shell pipeline parse
+identical schemas.
+
+Ops::
+
+    ping                                          liveness
+    databases                                     hosted names
+    open        db [source]                       open or create
+    begin       db                             -> session token
+    stage       session updates=[...]             stage literals
+    query       db|session formula                truth over state(+staged)
+    holds       db|session atom                   ground-atom truth
+    check       session [method]                  dry-run the gate
+    commit      session                           validate+gate+log+apply
+    abort       session
+    add_constraint  db constraint [constraint_id budget max_levels]
+    model       db                                maintained canonical model
+    checkpoint  db                                snapshot + WAL reset
+    stats       db
+
+Each connection is served by its own thread (the "thread pool" of
+concurrent writers); sessions opened on a connection are aborted when
+it closes. Commits from any number of connections funnel into the
+database's group-commit pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socketserver
+import threading
+from typing import Dict, Optional
+
+from repro import serialize
+from repro.datalog.planner import DEFAULT_PLAN
+from repro.logic.normalize import normalize_constraint
+from repro.logic.parser import parse_atom, parse_formula
+from repro.service.database import ManagedDatabase
+from repro.service.transactions import Session
+from repro.storage.engine import directory_initialized
+
+_DB_NAME = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]*\Z")
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    server: "_TcpServer"
+
+    def handle(self) -> None:
+        owned: list = []
+        try:
+            for raw in self.rfile:
+                line = raw.strip()
+                if not line:
+                    continue
+                response = self.server.front.handle_line(line, owned)
+                self.wfile.write(
+                    json.dumps(response).encode("utf-8") + b"\n"
+                )
+                self.wfile.flush()
+        except (ConnectionError, BrokenPipeError, ValueError):
+            pass
+        finally:
+            self.server.front.abort_sessions(owned)
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    front: "DatabaseServer"
+
+
+class DatabaseServer:
+    """Hosts named :class:`ManagedDatabase` directories under a root."""
+
+    def __init__(
+        self,
+        root,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        sync: bool = True,
+        method: str = "bdm",
+        strategy: str = "lazy",
+        plan: str = DEFAULT_PLAN,
+        group_commit: bool = True,
+        snapshot_interval: int = 64,
+    ):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._db_options = {
+            "sync": sync,
+            "method": method,
+            "strategy": strategy,
+            "plan": plan,
+            "group_commit": group_commit,
+            "snapshot_interval": snapshot_interval,
+        }
+        self._databases: Dict[str, ManagedDatabase] = {}
+        self._opening: Dict[str, threading.Event] = {}
+        self._sessions: Dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self._session_counter = 0
+        self._tcp = _TcpServer((host, port), _Handler)
+        self._tcp.front = self
+        self._thread: Optional[threading.Thread] = None
+        self._served = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        return self._tcp.server_address[:2]
+
+    def serve_forever(self) -> None:
+        self._served = True
+        self._tcp.serve_forever()
+
+    def start(self) -> "DatabaseServer":
+        """Serve on a background thread (tests, embedded use)."""
+        self._served = True
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._served:
+            # shutdown() blocks on the serve loop's exit handshake and
+            # would hang forever if serve_forever never started.
+            self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        with self._lock:
+            databases = list(self._databases.values())
+            self._databases.clear()
+            self._sessions.clear()
+        for database in databases:
+            database.close()
+
+    # -- registry -----------------------------------------------------------------
+
+    def database(
+        self,
+        name: str,
+        source: Optional[str] = None,
+        create: bool = False,
+    ) -> ManagedDatabase:
+        """The named database. Only ``open`` (*create* = True) may
+        create one; every other op resolves existing databases — in
+        memory, or initialized on disk from a previous run — so a
+        typo'd name errors instead of materializing a junk directory.
+
+        Recovery of a cold database (WAL replay, model resume) runs
+        *outside* the registry lock, keyed per name, so one slow open
+        never stalls requests for other databases or connections.
+        """
+        if not _DB_NAME.match(name or ""):
+            raise ValueError(
+                f"bad database name {name!r} (letters, digits, '_.-')"
+            )
+        directory = os.path.join(self.root, name)
+        while True:
+            with self._lock:
+                database = self._databases.get(name)
+                if database is not None:
+                    return database
+                opening = self._opening.get(name)
+                if opening is None:
+                    if not create and not directory_initialized(directory):
+                        raise ValueError(
+                            f"unknown database {name!r}; open it first"
+                        )
+                    opening = self._opening[name] = threading.Event()
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                opening.wait()
+                continue  # the leader registered it (or failed): re-check
+            try:
+                database = ManagedDatabase(
+                    directory, source, **self._db_options
+                )
+                with self._lock:
+                    self._databases[name] = database
+                return database
+            finally:
+                with self._lock:
+                    del self._opening[name]
+                opening.set()
+
+    def _register_session(self, session: Session) -> str:
+        with self._lock:
+            self._session_counter += 1
+            token = f"s{self._session_counter}"
+            self._sessions[token] = session
+            return token
+
+    def _session(self, token) -> Session:
+        session = self._sessions.get(token)
+        if session is None:
+            raise ValueError(f"unknown session {token!r}")
+        return session
+
+    def _forget_session(self, token, owned_sessions: list) -> None:
+        """Drop a finished session so long-lived connections do not
+        accumulate committed/aborted Session objects."""
+        with self._lock:
+            self._sessions.pop(token, None)
+        if token in owned_sessions:
+            owned_sessions.remove(token)
+
+    def abort_sessions(self, tokens) -> None:
+        for token in tokens:
+            with self._lock:
+                session = self._sessions.pop(token, None)
+            if session is not None and session.state == "open":
+                session.abort()
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def handle_line(self, line: bytes, owned_sessions: list) -> Dict:
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            payload = self._dispatch(request, owned_sessions)
+            response = {"ok": True, **payload}
+        except Exception as error:  # surface, don't kill the connection
+            response = {"ok": False, "error": str(error)}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    def _dispatch(self, request: Dict, owned_sessions: list) -> Dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"pong": True}
+        if op == "databases":
+            with self._lock:
+                return {"databases": sorted(self._databases)}
+        if op == "open":
+            database = self.database(
+                request["db"], request.get("source"), create=True
+            )
+            stats = database.stats()
+            return {"db": request["db"], **stats}
+        if op == "begin":
+            database = self.database(request["db"])
+            token = self._register_session(database.begin())
+            owned_sessions.append(token)
+            return {"session": token}
+        if op == "stage":
+            session = self._session(request.get("session"))
+            staged = session.stage(list(request["updates"]))
+            return {"staged": staged}
+        if op == "query":
+            formula = normalize_constraint(parse_formula(request["formula"]))
+            if "session" in request:
+                value = self._session(request["session"]).query(formula)
+            else:
+                value = self.database(request["db"]).query(formula)
+            return serialize.query_result_json(request["formula"], value)
+        if op == "holds":
+            atom = parse_atom(request["atom"])
+            if "session" in request:
+                value = self._session(request["session"]).holds(atom)
+            else:
+                value = self.database(request["db"]).holds(atom)
+            return {"atom": request["atom"], "value": bool(value)}
+        if op == "check":
+            session = self._session(request.get("session"))
+            verdict = session.check(request.get("method"))
+            return {"check": serialize.check_result_json(verdict)}
+        if op == "commit":
+            token = request.get("session")
+            result = self._session(token).commit()
+            self._forget_session(token, owned_sessions)
+            return serialize.commit_result_json(result)
+        if op == "abort":
+            token = request.get("session")
+            self._session(token).abort()
+            self._forget_session(token, owned_sessions)
+            return {}
+        if op == "add_constraint":
+            database = self.database(request["db"])
+            # NB: ``id`` is the protocol's request-correlation field;
+            # the constraint's identifier travels as ``constraint_id``.
+            result = database.add_constraint(
+                request["constraint"],
+                constraint_id=request.get("constraint_id"),
+                budget=int(request.get("budget", 8)),
+                max_levels=int(request.get("max_levels", 120)),
+            )
+            return serialize.commit_result_json(result)
+        if op == "model":
+            database = self.database(request["db"])
+            return {"facts": serialize.model_json(database.model_facts())}
+        if op == "checkpoint":
+            return {"lsn": self.database(request["db"]).checkpoint()}
+        if op == "stats":
+            return self.database(request["db"]).stats()
+        raise ValueError(f"unknown op {op!r}")

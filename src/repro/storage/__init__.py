@@ -1,0 +1,17 @@
+"""Durable storage: write-ahead log, snapshots, crash recovery.
+
+The service layer's durability substrate. Committed transactions are
+appended to a checksummed, newline-delimited write-ahead log *before*
+they are applied in memory; periodic snapshots bound replay time; and
+recovery replays the log's suffix into a :class:`FactStore` while
+restoring the DRed-maintained model, so a restarted server resumes at
+exactly the last committed state.
+"""
+
+from repro.storage.engine import RecoveredState, StorageEngine
+from repro.storage.snapshot import Snapshot, load_latest_snapshot, write_snapshot
+from repro.storage.wal import (
+    WalCorruptionError,
+    WalRecord,
+    WriteAheadLog,
+)

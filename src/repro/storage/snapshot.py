@@ -1,0 +1,181 @@
+"""Snapshots: the durable database state at one log position.
+
+A snapshot file is text with three sections::
+
+    {"format": 1, "lsn": 42, "model": true}     <- JSON header line
+    %%db
+    <database surface syntax — DeductiveDatabase.to_source()>
+    %%model
+    <one canonical-model fact per line>
+
+The database section round-trips through the parser (the library's
+existing persistence format); the model section persists the
+DRed-maintained canonical model so recovery *resumes* it
+(:meth:`MaintainedModel.from_snapshot`) instead of recomputing the
+fixpoint. Snapshots are written to a temporary file, fsynced and
+``os.replace``\\ d into place, so a crash mid-snapshot leaves the
+previous snapshot intact; stale snapshots are pruned only after the
+new one is durable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import List, Optional
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.facts import FactStore
+from repro.logic.parser import parse_atom
+from repro.logic.unparse import unparse_atom
+
+SNAPSHOT_FORMAT = 1
+_SNAPSHOT_NAME = re.compile(r"snapshot-(\d{12})\.chk\Z")
+_DB_MARKER = "%%db"
+_MODEL_MARKER = "%%model"
+
+
+class SnapshotError(Exception):
+    """A snapshot file that cannot be read back."""
+
+
+class Snapshot:
+    """A decoded snapshot: the database plus (optionally) its model."""
+
+    __slots__ = ("lsn", "database", "model")
+
+    def __init__(
+        self,
+        lsn: int,
+        database: DeductiveDatabase,
+        model: Optional[FactStore],
+    ):
+        self.lsn = lsn
+        self.database = database
+        self.model = model
+
+    def __repr__(self) -> str:
+        return f"Snapshot(lsn={self.lsn}, {self.database!r})"
+
+
+def snapshot_path(directory, lsn: int) -> str:
+    return os.path.join(os.fspath(directory), f"snapshot-{lsn:012d}.chk")
+
+
+def write_snapshot(
+    directory,
+    lsn: int,
+    database: DeductiveDatabase,
+    model: Optional[FactStore] = None,
+) -> str:
+    """Atomically persist *database* (and *model*) as the state at
+    *lsn*; returns the snapshot's path. Older snapshots are pruned
+    after the new one is durable."""
+    directory = os.fspath(directory)
+    lines: List[str] = [
+        json.dumps(
+            {
+                "format": SNAPSHOT_FORMAT,
+                "lsn": lsn,
+                "model": model is not None,
+                # Surface syntax has no constraint-id annotation, so the
+                # header carries the ids positionally (source order).
+                "constraint_ids": [c.id for c in database.constraints],
+            }
+        ),
+        _DB_MARKER,
+        database.to_source().rstrip("\n"),
+    ]
+    if model is not None:
+        lines.append(_MODEL_MARKER)
+        lines.extend(sorted(unparse_atom(fact) for fact in model))
+    content = "\n".join(lines) + "\n"
+    final = snapshot_path(directory, lsn)
+    temporary = final + ".tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        handle.write(content)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, final)
+    _fsync_directory(directory)
+    for stale in _snapshot_files(directory):
+        if stale != final:
+            os.unlink(stale)
+    return final
+
+
+def load_latest_snapshot(directory) -> Optional[Snapshot]:
+    """The newest readable snapshot in *directory*, or ``None``."""
+    paths = _snapshot_files(os.fspath(directory))
+    if not paths:
+        return None
+    return _read_snapshot(paths[-1])
+
+
+def _read_snapshot(path: str) -> Snapshot:
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    lines = text.splitlines()
+    if not lines:
+        raise SnapshotError(f"{path}: empty snapshot")
+    try:
+        header = json.loads(lines[0])
+        lsn = int(header["lsn"])
+        fmt = header["format"]
+    except (ValueError, KeyError, TypeError) as error:
+        raise SnapshotError(f"{path}: bad header ({error})") from None
+    if fmt != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"{path}: unsupported format {fmt!r}")
+    if len(lines) < 2 or lines[1] != _DB_MARKER:
+        raise SnapshotError(f"{path}: missing {_DB_MARKER} section")
+    try:
+        model_at = lines.index(_MODEL_MARKER)
+    except ValueError:
+        model_at = len(lines)
+    source = "\n".join(lines[2:model_at])
+    try:
+        database = DeductiveDatabase.from_source(source)
+    except ValueError as error:
+        raise SnapshotError(f"{path}: bad database section ({error})") from None
+    ids = header.get("constraint_ids")
+    if ids is not None:
+        if len(ids) != len(database.constraints):
+            raise SnapshotError(
+                f"{path}: {len(ids)} constraint ids for "
+                f"{len(database.constraints)} constraints"
+            )
+        for constraint, constraint_id in zip(database.constraints, ids):
+            constraint.id = str(constraint_id)
+    model: Optional[FactStore] = None
+    if model_at < len(lines):
+        model = FactStore()
+        for line in lines[model_at + 1:]:
+            if line.strip():
+                try:
+                    model.add(parse_atom(line))
+                except ValueError as error:
+                    raise SnapshotError(
+                        f"{path}: bad model fact {line!r} ({error})"
+                    ) from None
+    return Snapshot(lsn, database, model)
+
+
+def _snapshot_files(directory: str) -> List[str]:
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    found = sorted(n for n in names if _SNAPSHOT_NAME.match(n))
+    return [os.path.join(directory, name) for name in found]
+
+
+def _fsync_directory(directory: str) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -1,0 +1,54 @@
+"""Crash-test victim: commits transactions until killed.
+
+Usage: ``python _crash_writer.py DIRECTORY N_TRANSACTIONS [SEED]``
+
+Opens (or creates) a managed database in DIRECTORY and commits small
+transactions in a loop, printing ``COMMITTED <lsn> <name>`` after each
+acknowledged commit (flushed, so the parent can SIGKILL at a known
+point). Every few commits it attempts a violating transaction, which
+must be rejected — the parent later verifies no violating fact was
+ever logged. Exits 0 if it finishes all transactions unkilled.
+"""
+
+import random
+import sys
+
+sys.path.insert(0, sys.argv[0].rsplit("/tests/", 1)[0] + "/src")
+
+from repro.service.database import ManagedDatabase  # noqa: E402
+
+SOURCE = """
+employee(seed).
+leads(seed, sales).
+member(X, Y) :- leads(X, Y).
+forall X, Y: member(X, Y) -> employee(X).
+"""
+
+
+def main() -> int:
+    directory = sys.argv[1]
+    n_transactions = int(sys.argv[2])
+    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 0
+    rng = random.Random(seed)
+    db = ManagedDatabase(
+        directory, SOURCE, sync=True, snapshot_interval=7
+    )
+    for step in range(n_transactions):
+        name = f"w{seed}_{step}"
+        session = db.begin()
+        session.stage([f"employee({name})", f"leads({name}, sales)"])
+        result = session.commit()
+        assert result.ok, result
+        print(f"COMMITTED {result.lsn} {name}", flush=True)
+        if rng.random() < 0.3:
+            bad = db.begin()
+            bad.stage([f"leads(ghost{step}, hr)"])
+            rejected = bad.commit()
+            assert rejected.status == "rejected", rejected
+            print(f"REJECTED ghost{step}", flush=True)
+    db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

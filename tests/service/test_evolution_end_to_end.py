@@ -1,0 +1,198 @@
+"""Schema evolution end to end: all four triage verdicts
+(:func:`assess_constraint_addition`) reachable through the CLI and
+through the service layer — satellite coverage the library-level tests
+in ``tests/integrity/test_evolution.py`` do not provide.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.client import DatabaseClient
+from repro.service.server import DatabaseServer
+
+# Current database: ann works and leads; r-ordering constraints hold
+# vacuously (no r facts); p(a) present with a nonemptiness constraint.
+DB_SOURCE = """
+employee(ann).
+leads(ann, sales).
+member(X, Y) :- leads(X, Y).
+p(a).
+
+forall X, Y: member(X, Y) -> employee(X).
+exists X: p(X).
+forall X: not r(X, X).
+forall X, Y: r(X, Y) -> not r(Y, X).
+forall [X, Y, Z]: r(X, Y) and r(Y, Z) -> r(X, Z).
+"""
+
+# Candidate constraints hitting each triage status.
+ACCEPTED = "forall X, Y: leads(X, Y) -> member(X, Y)"
+REPAIRABLE = "forall X: employee(X) -> exists Y: leads(X, Y) and dept(Y)"
+INCOMPATIBLE = "forall X: not p(X)"
+# Violated today, and the extended set only has infinite models within
+# a 3-constant budget: the successor chain through irreflexive,
+# antisymmetric, transitive r.
+UNDECIDED = "forall X: p(X) -> exists Y: p(Y) and r(X, Y)"
+
+STATUS_OF = {
+    ACCEPTED: ("accepted", 0),
+    REPAIRABLE: ("repairable", 3),
+    INCOMPATIBLE: ("incompatible", 1),
+    UNDECIDED: ("undecided", 2),
+}
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.dl"
+    path.write_text(DB_SOURCE)
+    return str(path)
+
+
+class TestEvolveCli:
+    @pytest.mark.parametrize("candidate", list(STATUS_OF))
+    def test_all_statuses_reachable_with_exit_codes(
+        self, db_file, candidate, capsys
+    ):
+        status, exit_code = STATUS_OF[candidate]
+        code = main(
+            ["evolve", db_file, "--constraint", candidate, "--budget", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == exit_code
+        assert f"status: {status}" in out
+
+    @pytest.mark.parametrize("candidate", list(STATUS_OF))
+    def test_json_format(self, db_file, candidate, capsys):
+        status, exit_code = STATUS_OF[candidate]
+        code = main(
+            [
+                "evolve",
+                db_file,
+                "--constraint",
+                candidate,
+                "--budget",
+                "3",
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == exit_code
+        assert payload["status"] == status
+        if status in ("repairable", "incompatible", "undecided"):
+            assert payload["witnesses"], "violated today => witnesses"
+        if status == "repairable":
+            assert payload["sample_model"] is not None
+            assert payload["satisfiability"] == "satisfiable"
+        if status == "incompatible":
+            assert payload["satisfiability"] == "unsatisfiable"
+        if status == "undecided":
+            assert payload["satisfiability"] == "unknown"
+
+    def test_witnesses_name_the_repair_targets(self, db_file, capsys):
+        main(
+            [
+                "evolve",
+                db_file,
+                "--constraint",
+                REPAIRABLE,
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert {"X": "ann"} in payload["witnesses"]
+
+    def test_custom_id_flows_through(self, db_file, capsys):
+        main(
+            [
+                "evolve",
+                db_file,
+                "--constraint",
+                ACCEPTED,
+                "--id",
+                "closure",
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["constraint"]["id"] == "closure"
+
+    def test_malformed_constraint_exits_two_with_error(self, db_file, capsys):
+        code = main(["evolve", db_file, "--constraint", "forall X:"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvolveService:
+    @pytest.fixture
+    def client(self, tmp_path):
+        server = DatabaseServer(tmp_path / "root", port=0, sync=False).start()
+        host, port = server.address
+        with DatabaseClient(host, port) as connection:
+            connection.open("hr", DB_SOURCE)
+            yield connection
+        server.close()
+
+    @pytest.mark.parametrize("candidate", list(STATUS_OF))
+    def test_all_statuses_reachable_over_the_wire(self, client, candidate):
+        status, _ = STATUS_OF[candidate]
+        result = client.add_constraint("hr", candidate, budget=3)
+        assert result["triage"]["status"] == status
+        if status == "accepted":
+            assert result["status"] == "committed"
+            assert result["lsn"] is not None
+        else:
+            assert result["status"] == "rejected"
+            assert result["lsn"] is None
+            assert result["reason"] == f"constraint triage: {status}"
+
+    def test_only_accepted_ddl_is_durable(self, tmp_path):
+        root = tmp_path / "root"
+        server = DatabaseServer(root, port=0, sync=False).start()
+        host, port = server.address
+        with DatabaseClient(host, port) as connection:
+            connection.open("hr", DB_SOURCE)
+            accepted = connection.add_constraint(
+                "hr", ACCEPTED, constraint_id="closure"
+            )
+            assert accepted["status"] == "committed"
+            rejected = connection.add_constraint("hr", INCOMPATIBLE, budget=3)
+            assert rejected["status"] == "rejected"
+            before = connection.stats("hr")["constraints"]
+        server.close()
+
+        reopened = DatabaseServer(root, port=0, sync=False).start()
+        host, port = reopened.address
+        try:
+            with DatabaseClient(host, port) as connection:
+                info = connection.open("hr")
+                assert info["constraints"] == before
+                # The accepted constraint still gates after recovery.
+                session = connection.begin("hr")
+                session.stage(["leads(bob, hr)", "employee(bob)"])
+                assert session.commit()["status"] == "committed"
+        finally:
+            reopened.close()
+
+    def test_accepted_constraint_gates_next_commit(self, client):
+        result = client.add_constraint(
+            "hr", "forall X, D: leads(X, D) -> dept_known(D)", budget=3
+        )
+        # Violated today (sales is not dept_known) => not accepted.
+        assert result["triage"]["status"] == "repairable"
+        # Repair first, then the constraint is accepted.
+        session = client.begin("hr")
+        session.stage(["dept_known(sales)"])
+        assert session.commit()["status"] == "committed"
+        result = client.add_constraint(
+            "hr", "forall X, D: leads(X, D) -> dept_known(D)", budget=3
+        )
+        assert result["status"] == "committed"
+        session = client.begin("hr")
+        session.stage(["leads(ann, ops)"])
+        assert session.commit()["status"] == "rejected"

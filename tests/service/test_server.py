@@ -1,0 +1,260 @@
+"""The socket front end: protocol, concurrent clients, error paths."""
+
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.client import DatabaseClient, RemoteSession, ServiceError
+from repro.service.server import DatabaseServer
+
+SOURCE = """
+employee(ann).
+leads(ann, sales).
+member(X, Y) :- leads(X, Y).
+forall X, Y: member(X, Y) -> employee(X).
+"""
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = DatabaseServer(tmp_path / "root", port=0, sync=False).start()
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    with DatabaseClient(host, port) as connection:
+        connection.open("hr", SOURCE)
+        yield connection
+
+
+class TestProtocolBasics:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_open_reports_state(self, client):
+        info = client.open("hr")
+        assert info["facts"] == 2 and info["constraints"] == 1
+        assert client.databases() == ["hr"]
+
+    def test_request_id_echoed(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port)) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b'{"op": "ping", "id": 42}\n')
+            handle.flush()
+            response = json.loads(handle.readline())
+        assert response == {"ok": True, "pong": True, "id": 42}
+
+    def test_malformed_json_is_an_error_response(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port)) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b"this is not json\n")
+            handle.flush()
+            response = json.loads(handle.readline())
+            assert response["ok"] is False
+            # The connection survives the bad line.
+            handle.write(b'{"op": "ping"}\n')
+            handle.flush()
+            assert json.loads(handle.readline())["ok"] is True
+
+    def test_unknown_op_and_unknown_session(self, client):
+        with pytest.raises(ServiceError, match="unknown op"):
+            client.call("bogus")
+        with pytest.raises(ServiceError, match="unknown session"):
+            client.call("commit", session="nope")
+
+    def test_bad_database_name_rejected(self, client):
+        with pytest.raises(ServiceError, match="bad database name"):
+            client.open("../escape")
+
+
+class TestTransactionsOverTheWire:
+    def test_stage_query_commit(self, client):
+        session = client.begin("hr")
+        assert session.stage(["employee(bob)", "leads(bob, sales)"]) == 2
+        assert session.query("member(bob, sales)") is True
+        assert client.query("hr", "member(bob, sales)") is False
+        verdict = session.check()
+        assert verdict["ok"] is True
+        result = session.commit()
+        assert result["status"] == "committed" and result["lsn"] == 1
+        assert client.query("hr", "member(bob, sales)") is True
+        assert client.holds("hr", "employee(bob)") is True
+
+    def test_rejection_carries_witnesses(self, client):
+        session = client.begin("hr")
+        session.stage("leads(eve, hr)")
+        result = session.commit()
+        assert result["status"] == "rejected"
+        violation = result["check"]["violations"][0]
+        assert violation == {
+            "constraint": "c1",
+            "instance": "employee(eve)",
+            "trigger": "member(eve, hr)",
+        }
+
+    def test_abort_discards(self, client):
+        session = client.begin("hr")
+        session.insert("employee(bob)")
+        session.abort()
+        assert client.holds("hr", "employee(bob)") is False
+
+    def test_disconnect_aborts_open_sessions(self, server):
+        host, port = server.address
+        first = DatabaseClient(host, port)
+        first.open("hr", SOURCE)
+        session = first.begin("hr")
+        session.insert("employee(bob)")
+        token = session.token
+        first.close()
+        # The dying handler thread runs the abort asynchronously; wait
+        # for it so the assertion below is race-free.
+        deadline = time.monotonic() + 5.0
+        while token in server._sessions and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert token not in server._sessions
+        with DatabaseClient(host, port) as second:
+            with pytest.raises(ServiceError, match="unknown session"):
+                second.call("commit", session=token)
+            assert second.holds("hr", "employee(bob)") is False
+
+    def test_commit_and_abort_release_session_registry(self, client, server):
+        """Finished sessions are dropped eagerly, not only at
+        connection close — long-lived connections must not leak."""
+        for _ in range(3):
+            session = client.begin("hr")
+            session.stage(["employee(tmp)"])
+            session.abort()
+            session = client.begin("hr")
+            session.stage(["band(pop)"])
+            session.commit()
+        assert server._sessions == {}
+
+    def test_non_open_ops_do_not_create_databases(self, client, server):
+        """A typo'd name errors instead of materializing a junk
+        database directory; only ``open`` creates."""
+        with pytest.raises(ServiceError, match="unknown database"):
+            client.stats("hrr")  # typo for "hr"
+        with pytest.raises(ServiceError, match="unknown database"):
+            client.call("begin", db="hrr")
+        assert not os.path.isdir(os.path.join(server.root, "hrr"))
+        assert client.databases() == ["hr"]
+
+    def test_failed_open_leaves_no_database_behind(self, client, server):
+        """A bad seed (malformed source / inconsistent constraints)
+        must not materialize a durable directory the name would then
+        silently resolve to."""
+        with pytest.raises(ServiceError):
+            client.open("broken", "this is : not parseable ((")
+        with pytest.raises(ServiceError):
+            client.open(
+                "inconsistent",
+                "p(a).\nforall X: not p(X).\n",
+            )
+        for name in ("broken", "inconsistent"):
+            with pytest.raises(ServiceError, match="unknown database"):
+                client.stats(name)
+            assert not os.path.isdir(os.path.join(server.root, name))
+        assert client.databases() == ["hr"]
+
+    def test_existing_on_disk_database_resolves_without_open(self, tmp_path):
+        """After a restart, ops may address databases initialized on
+        disk in a previous run without an explicit re-open."""
+        root = tmp_path / "r"
+        first = DatabaseServer(root, port=0, sync=False).start()
+        host, port = first.address
+        with DatabaseClient(host, port) as connection:
+            connection.open("hr", SOURCE)
+        first.close()
+        second = DatabaseServer(root, port=0, sync=False).start()
+        host, port = second.address
+        try:
+            with DatabaseClient(host, port) as connection:
+                assert connection.holds("hr", "employee(ann)") is True
+        finally:
+            second.close()
+
+    def test_conflict_over_the_wire(self, client):
+        first = client.begin("hr")
+        second = client.begin("hr")
+        first.insert("employee(bob)")
+        second.insert("employee(bob)")
+        assert first.commit()["status"] == "committed"
+        assert second.commit()["status"] == "conflict"
+
+    def test_model_endpoint_includes_derived(self, client):
+        facts = client.model("hr")
+        assert "member(ann, sales)" in facts
+        assert "leads(ann, sales)" in facts
+
+
+class TestConcurrentClients:
+    def test_disjoint_writers_from_many_connections(self, server):
+        host, port = server.address
+        with DatabaseClient(host, port) as setup:
+            setup.open("hr", SOURCE)
+        outcomes = []
+        errors = []
+
+        def worker(worker_id):
+            try:
+                with DatabaseClient(host, port) as connection:
+                    for step in range(3):
+                        session = connection.begin("hr")
+                        session.stage([f"employee(u{worker_id}_{step})"])
+                        outcomes.append(session.commit()["status"])
+            except Exception as error:  # pragma: no cover - fail loud
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(5)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert outcomes.count("committed") == 15
+        with DatabaseClient(host, port) as check:
+            assert check.stats("hr")["lsn"] == 15
+
+
+class TestDurabilityOverTheWire:
+    def test_state_survives_server_restart(self, tmp_path):
+        root = tmp_path / "root"
+        server = DatabaseServer(root, port=0, sync=False).start()
+        host, port = server.address
+        with DatabaseClient(host, port) as connection:
+            connection.open("hr", SOURCE)
+            session = connection.begin("hr")
+            session.stage(["employee(bob)", "leads(bob, sales)"])
+            assert session.commit()["status"] == "committed"
+            connection.checkpoint("hr")
+        server.close()
+
+        reopened = DatabaseServer(root, port=0, sync=False).start()
+        host, port = reopened.address
+        try:
+            with DatabaseClient(host, port) as connection:
+                info = connection.open("hr")
+                assert info["lsn"] == 1
+                assert connection.query("hr", "member(bob, sales)") is True
+        finally:
+            reopened.close()
+
+
+class TestRemoteSessionParity:
+    def test_remote_session_type(self, client):
+        session = client.begin("hr")
+        assert isinstance(session, RemoteSession)
+        session.delete("leads(ann, sales)")
+        assert session.holds("member(ann, sales)") is False
+        assert session.commit()["status"] == "committed"

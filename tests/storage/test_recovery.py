@@ -1,0 +1,202 @@
+"""Snapshot + WAL recovery: the crash-recovery property, in units.
+
+The acceptance invariant: recovery yields exactly the last committed
+state, the recovered DRed-maintained model equals a from-scratch
+recomputation, and only gate-passing transactions ever reach the log.
+"""
+
+import os
+
+import pytest
+
+from repro.datalog.bottomup import compute_model
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.incremental import MaintainedModel
+from repro.integrity.transactions import Transaction
+from repro.logic.parser import parse_atom
+from repro.storage.engine import StorageEngine
+from repro.storage.snapshot import (
+    load_latest_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.storage.wal import WalRecord
+
+SOURCE = """
+p(a).
+q(X) :- p(X), not blocked(X).
+forall X: q(X) -> q(X).
+"""
+
+
+def fresh_db():
+    return DeductiveDatabase.from_source(SOURCE)
+
+
+def model_facts(model):
+    return sorted(map(str, model))
+
+
+class TestSnapshots:
+    def test_roundtrip_with_model(self, tmp_path):
+        db = fresh_db()
+        model = MaintainedModel(db.facts, db.program)
+        write_snapshot(tmp_path, 7, db, model.model)
+        snapshot = load_latest_snapshot(tmp_path)
+        assert snapshot.lsn == 7
+        assert model_facts(snapshot.database.facts) == model_facts(db.facts)
+        assert model_facts(snapshot.model) == model_facts(model.model)
+        assert [c.id for c in snapshot.database.constraints] == ["c1"]
+
+    def test_newer_snapshot_wins_and_prunes(self, tmp_path):
+        db = fresh_db()
+        write_snapshot(tmp_path, 1, db)
+        db.apply_update("p(b)")
+        write_snapshot(tmp_path, 9, db)
+        snapshot = load_latest_snapshot(tmp_path)
+        assert snapshot.lsn == 9
+        assert snapshot.database.facts.contains(parse_atom("p(b)"))
+        assert not os.path.exists(snapshot_path(tmp_path, 1))
+
+    def test_custom_constraint_ids_survive(self, tmp_path):
+        db = fresh_db()
+        db.add_constraint("exists X: p(X)", id="keep_me")
+        write_snapshot(tmp_path, 2, db)
+        snapshot = load_latest_snapshot(tmp_path)
+        assert [c.id for c in snapshot.database.constraints] == [
+            "c1",
+            "keep_me",
+        ]
+
+
+class TestRecovery:
+    def replay_setup(self, tmp_path):
+        engine = StorageEngine(tmp_path, sync=False)
+        db = fresh_db()
+        engine.initialize(db, MaintainedModel(db.facts, db.program))
+        return engine
+
+    def test_recovers_initial_state(self, tmp_path):
+        engine = self.replay_setup(tmp_path)
+        state = engine.recover()
+        assert state.last_lsn == 0
+        assert state.replayed_transactions == 0
+        assert model_facts(state.database.facts) == ["p(a)"]
+        assert model_facts(state.model.model) == ["p(a)", "q(a)"]
+
+    def test_replays_wal_suffix_through_dred(self, tmp_path):
+        engine = self.replay_setup(tmp_path)
+        engine.log(WalRecord(1, "txn", {"updates": ["p(b)"]}))
+        engine.log(
+            WalRecord(
+                3,
+                "batch",
+                {
+                    "txns": [
+                        {"lsn": 2, "updates": ["blocked(a)"]},
+                        {"lsn": 3, "updates": ["p(c)", "not p(b)"]},
+                    ]
+                },
+            )
+        )
+        state = engine.recover()
+        assert state.last_lsn == 3
+        assert state.replayed_transactions == 3
+        assert model_facts(state.database.facts) == [
+            "blocked(a)",
+            "p(a)",
+            "p(c)",
+        ]
+        # The DRed-maintained model equals a from-scratch recomputation
+        # (including the negation flip from blocked(a)).
+        fresh = compute_model(state.database.facts, state.database.program)
+        assert model_facts(state.model.model) == model_facts(fresh)
+        assert "q(a)" not in model_facts(state.model.model)
+
+    def test_torn_tail_is_truncated_and_reported(self, tmp_path):
+        engine = self.replay_setup(tmp_path)
+        engine.log(WalRecord(1, "txn", {"updates": ["p(b)"]}))
+        engine.wal._write_bytes(b'{"lsn": 2, "kind": "txn"')
+        engine.close()
+        reopened = StorageEngine(tmp_path, sync=False)
+        state = reopened.recover()
+        assert state.truncated_bytes > 0
+        assert state.last_lsn == 1
+        # After truncation the log accepts new appends cleanly.
+        reopened.log(WalRecord(2, "txn", {"updates": ["p(z)"]}))
+        assert StorageEngine(tmp_path, sync=False).recover().last_lsn == 2
+
+    def test_constraint_ddl_replay(self, tmp_path):
+        engine = self.replay_setup(tmp_path)
+        engine.log(
+            WalRecord(
+                1, "constraint", {"source": "exists X: p(X)", "id": "cx"}
+            )
+        )
+        state = engine.recover()
+        assert [c.id for c in state.database.constraints] == ["c1", "cx"]
+
+    def test_checkpoint_then_crash_between_snapshot_and_truncate(
+        self, tmp_path
+    ):
+        """Records whose LSN the snapshot covers replay as no-ops."""
+        engine = self.replay_setup(tmp_path)
+        engine.log(WalRecord(1, "txn", {"updates": ["p(b)"]}))
+        state = engine.recover()
+        # Snapshot written but WAL *not* truncated — the crash window.
+        write_snapshot(tmp_path, 1, state.database, state.model.model)
+        after = StorageEngine(tmp_path, sync=False).recover()
+        assert after.last_lsn == 1
+        assert after.replayed_transactions == 0  # LSN filter skipped it
+        assert model_facts(after.database.facts) == ["p(a)", "p(b)"]
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        engine = self.replay_setup(tmp_path)
+        for lsn, update in ((1, "p(b)"), (2, "blocked(b)"), (3, "not p(a)")):
+            engine.log(WalRecord(lsn, "txn", {"updates": [update]}))
+        first = engine.recover()
+        second = StorageEngine(tmp_path, sync=False).recover()
+        assert model_facts(first.database.facts) == model_facts(
+            second.database.facts
+        )
+        assert model_facts(first.model.model) == model_facts(
+            second.model.model
+        )
+
+
+class TestMaintainedModelResume:
+    def test_from_snapshot_equals_fresh_model(self):
+        db = fresh_db()
+        original = MaintainedModel(db.facts, db.program)
+        resumed = MaintainedModel.from_snapshot(
+            db.facts, db.program, original.model
+        )
+        assert model_facts(resumed.model) == model_facts(original.model)
+        # Resumed models keep maintaining correctly.
+        resumed.apply(Transaction(["blocked(a)"]))
+        original.apply(Transaction(["blocked(a)"]))
+        assert model_facts(resumed.model) == model_facts(original.model)
+
+    def test_from_snapshot_copies_inputs(self):
+        db = fresh_db()
+        original = MaintainedModel(db.facts, db.program)
+        resumed = MaintainedModel.from_snapshot(
+            db.facts, db.program, original.model
+        )
+        resumed.apply(Transaction(["p(zz)"]))
+        assert "p(zz)" not in model_facts(original.model)
+        assert not db.facts.contains(parse_atom("p(zz)"))
+
+
+@pytest.mark.parametrize("records", [0, 5, 17])
+def test_recovery_replays_exactly_the_logged_prefix(tmp_path, records):
+    engine = StorageEngine(tmp_path, sync=False)
+    db = fresh_db()
+    engine.initialize(db, MaintainedModel(db.facts, db.program))
+    for lsn in range(1, records + 1):
+        engine.log(WalRecord(lsn, "txn", {"updates": [f"p(n{lsn})"]}))
+    state = engine.recover()
+    assert state.last_lsn == records
+    assert state.replayed_transactions == records
+    expected = {"p(a)"} | {f"p(n{i})" for i in range(1, records + 1)}
+    assert set(model_facts(state.database.facts)) == expected

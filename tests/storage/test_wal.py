@@ -1,0 +1,119 @@
+"""Write-ahead log unit tests: records, checksums, torn tails."""
+
+import json
+
+import pytest
+
+from repro.storage.wal import WalCorruptionError, WalRecord, WriteAheadLog
+
+
+def txn_record(lsn, *updates):
+    return WalRecord(lsn, "txn", {"updates": list(updates)})
+
+
+@pytest.fixture
+def wal(tmp_path):
+    log = WriteAheadLog(tmp_path / "wal.log", sync=False)
+    yield log
+    log.close()
+
+
+class TestRecords:
+    def test_roundtrip(self):
+        record = txn_record(3, "p(a)", "not q(b)")
+        assert WalRecord.from_line(record.to_line().rstrip(b"\n")) == record
+
+    def test_checksum_detects_bitflip(self):
+        line = txn_record(1, "p(a)").to_line().rstrip(b"\n")
+        flipped = line.replace(b"p(a)", b"p(b)")
+        with pytest.raises(ValueError, match="checksum"):
+            WalRecord.from_line(flipped)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            WalRecord(1, "mystery", {})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            WalRecord.from_line(b"[1, 2, 3]")
+
+
+class TestAppendScan:
+    def test_append_then_scan(self, wal):
+        records = [txn_record(i, f"p(a{i})") for i in range(1, 6)]
+        for record in records:
+            wal.append(record)
+        scanned, valid = wal.scan()
+        assert scanned == records
+        assert valid == wal.size()
+
+    def test_batch_append_is_one_write(self, wal, monkeypatch):
+        writes = []
+        original = wal._write_bytes
+        monkeypatch.setattr(
+            wal, "_write_bytes", lambda data: (writes.append(data), original(data))
+        )
+        wal.append_batch([txn_record(1, "p(a)"), txn_record(2, "p(b)")])
+        assert len(writes) == 1
+        scanned, _ = wal.scan()
+        assert [r.lsn for r in scanned] == [1, 2]
+
+    def test_empty_batch_is_noop(self, wal):
+        wal.append_batch([])
+        assert wal.size() == 0
+
+    def test_scan_missing_file(self, wal):
+        assert wal.scan() == ([], 0)
+
+
+class TestTornTail:
+    def test_partial_json_tail_dropped(self, wal):
+        wal.append(txn_record(1, "p(a)"))
+        wal._write_bytes(b'{"lsn": 2, "kind": "txn", "da')
+        scanned, valid = wal.scan()
+        assert [r.lsn for r in scanned] == [1]
+        assert valid < wal.size()
+        wal.truncate_to(valid)
+        assert wal.size() == valid
+        # The log accepts appends again after truncation.
+        wal.append(txn_record(2, "p(b)"))
+        scanned, _ = wal.scan()
+        assert [r.lsn for r in scanned] == [1, 2]
+
+    def test_unterminated_but_parseable_tail_dropped(self, wal):
+        """A record that parses but lacks its newline may still be a
+        torn write of a longer line — it is not trusted."""
+        wal.append(txn_record(1, "p(a)"))
+        wal._write_bytes(txn_record(2, "p(b)").to_line().rstrip(b"\n"))
+        scanned, valid = wal.scan()
+        assert [r.lsn for r in scanned] == [1]
+        assert valid < wal.size()
+
+    def test_bad_crc_tail_dropped(self, wal):
+        wal.append(txn_record(1, "p(a)"))
+        decoded = json.loads(txn_record(2, "p(b)").to_line())
+        decoded["crc"] ^= 0xFF
+        wal._write_bytes(json.dumps(decoded).encode() + b"\n")
+        scanned, _ = wal.scan()
+        assert [r.lsn for r in scanned] == [1]
+
+    def test_midlog_corruption_raises(self, wal):
+        wal.append(txn_record(1, "p(a)"))
+        wal._write_bytes(b"garbage\n")
+        wal.append(txn_record(2, "p(b)"))
+        with pytest.raises(WalCorruptionError, match="mid-log"):
+            wal.scan()
+
+    def test_lsn_regression_raises(self, wal):
+        wal.append(txn_record(5, "p(a)"))
+        wal.append(txn_record(4, "p(b)"))
+        with pytest.raises(WalCorruptionError, match="LSN"):
+            wal.scan()
+
+
+class TestReset:
+    def test_reset_empties_log(self, wal):
+        wal.append(txn_record(1, "p(a)"))
+        wal.reset()
+        assert wal.size() == 0
+        assert wal.scan() == ([], 0)

@@ -207,3 +207,211 @@ class TestQueryAndModel:
         out = capsys.readouterr().out
         assert "member(ann, sales)" in out
         assert "leads(ann, sales)" in out
+
+
+class TestJsonFormat:
+    """``--format json`` emits one JSON object in the service
+    protocol's schema (one serializer, repro.serialize, for both)."""
+
+    def test_check_ok_json(self, db_file, capsys):
+        import json
+
+        code = main(
+            ["check", db_file, "--update", "employee(bob)",
+             "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["method"] == "bdm"
+        assert payload["violations"] == []
+        assert payload["updates"] == ["employee(bob)"]
+        assert "lookups" in payload["stats"]
+
+    def test_check_violation_json_carries_witnesses(self, db_file, capsys):
+        import json
+
+        code = main(
+            ["check", db_file, "--update", "leads(bob, hr)",
+             "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is False
+        assert payload["violations"] == [
+            {
+                "constraint": "c1",
+                "instance": "employee(bob)",
+                "trigger": "member(bob, hr)",
+            }
+        ]
+
+    def test_check_json_matches_service_schema(self, db_file, capsys):
+        """The CLI payload parses as the same shape the socket commit
+        response embeds under ``check``."""
+        import json
+
+        main(["check", db_file, "--update", "leads(bob, hr)",
+              "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"ok", "method", "violations", "stats",
+                                "updates"}
+
+    def test_check_apply_json_carries_updated_source(self, db_file, capsys):
+        import json
+
+        code = main(
+            ["check", db_file, "--update", "employee(bob)", "--apply",
+             "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "employee(bob)." in payload["applied"]
+
+    def test_check_apply_json_omitted_on_violation(self, db_file, capsys):
+        import json
+
+        code = main(
+            ["check", db_file, "--update", "leads(bob, hr)", "--apply",
+             "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert "applied" not in payload
+
+    def test_query_json(self, db_file, capsys):
+        import json
+
+        code = main(
+            ["query", db_file, "member(ann, sales)", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload == {"formula": "member(ann, sales)", "value": True}
+
+    def test_query_json_false(self, db_file, capsys):
+        import json
+
+        code = main(
+            ["query", db_file, "member(bob, sales)", "--format", "json"]
+        )
+        assert code == 1
+        assert json.loads(capsys.readouterr().out)["value"] is False
+
+    def test_bad_format_rejected_up_front(self, db_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", db_file, "employee(ann)", "--format", "yaml"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestServeAndShell:
+    """The service verbs: serve hosts a root over a socket; shell
+    drives it with NDJSON output."""
+
+    @pytest.fixture
+    def live_server(self, tmp_path):
+        from repro.service.server import DatabaseServer
+
+        server = DatabaseServer(
+            tmp_path / "root", port=0, sync=False
+        ).start()
+        yield server
+        server.close()
+
+    def test_shell_session_roundtrip(
+        self, live_server, db_file, capsys, monkeypatch
+    ):
+        import io
+        import json
+
+        host, port = live_server.address
+        commands = "\n".join(
+            [
+                f"open hr {db_file}",
+                "begin",
+                "stage employee(bob)",
+                "commit",
+                "query employee(bob)",
+                "begin",
+                "stage leads(ghost, hr)",
+                "commit",
+                "quit",
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(commands + "\n"))
+        code = main(["shell", "--host", host, "--port", str(port)])
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        statuses = [l["status"] for l in lines if "status" in l]
+        assert statuses == ["committed", "rejected"]
+        values = [l["value"] for l in lines if "value" in l]
+        assert values == [True]
+
+    def test_shell_reports_errors_without_dying(
+        self, live_server, capsys, monkeypatch
+    ):
+        import io
+        import json
+
+        host, port = live_server.address
+        commands = "begin\nnonsense\nping\nquit\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(commands))
+        code = main(["shell", "--host", host, "--port", str(port)])
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        assert [l["ok"] for l in lines] == [False, False, True]
+
+    def test_serve_runs_until_interrupted(self, tmp_path, monkeypatch, capsys):
+        """``repro serve`` binds, announces its address, and shuts down
+        cleanly on KeyboardInterrupt."""
+        from repro.service import server as server_module
+
+        started = {}
+        original_serve = server_module.DatabaseServer.serve_forever
+
+        def fake_serve(self):
+            started["address"] = self.address
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            server_module.DatabaseServer, "serve_forever", fake_serve
+        )
+        code = main(["serve", str(tmp_path / "root"), "--port", "0"])
+        assert code == 0
+        assert started["address"][1] > 0
+        out = capsys.readouterr().out
+        assert "listening on" in out
+        assert original_serve is not fake_serve
+
+    def test_shell_unreachable_server_is_one_line_error(self, capsys):
+        code = main(["shell", "--port", "1"])  # nothing listens on 1
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot connect")
+        assert "Traceback" not in err
+
+    def test_shell_failed_initial_open_is_one_line_error(
+        self, live_server, capsys, monkeypatch
+    ):
+        import io
+
+        host, port = live_server.address
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        # ".hidden" fails the server's database-name validation.
+        code = main(
+            ["shell", "--host", host, "--port", str(port), "--db",
+             ".hidden"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "open '.hidden' failed" in err
+        assert "Traceback" not in err
