@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 
 from repro import serialize
 from repro.datalog.database import DeductiveDatabase
+from repro.datalog.joins import DEFAULT_EXEC, EXEC_MODES
 from repro.datalog.planner import DEFAULT_PLAN, PLANS
 from repro.datalog.query import STRATEGIES
 from repro.integrity.checker import METHODS, IntegrityChecker
@@ -60,6 +61,18 @@ def _add_plan_option(command) -> None:
         help="join order for rule bodies: 'greedy' reorders literals by "
         "estimated selectivity, 'source' keeps rule-source order "
         "(default: %(default)s)",
+    )
+
+
+def _add_exec_option(command) -> None:
+    command.add_argument(
+        "--exec",
+        dest="exec_mode",
+        choices=EXEC_MODES,
+        default=DEFAULT_EXEC,
+        help="join execution model: 'batch' solves rule bodies "
+        "set-at-a-time with hash joins, 'tuple' one binding at a time "
+        "(the oracle; default: %(default)s)",
     )
 
 
@@ -117,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_plan_option(check)
     _add_strategy_option(check)
+    _add_exec_option(check)
     _add_format_option(check)
 
     satcheck = commands.add_parser(
@@ -153,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("formula", help="closed formula to evaluate")
     _add_plan_option(query)
     _add_strategy_option(query)
+    _add_exec_option(query)
     _add_format_option(query)
 
     model = commands.add_parser(
@@ -160,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     model.add_argument("database", help="path to the database source file")
     _add_plan_option(model)
+    _add_exec_option(model)
 
     evolve = commands.add_parser(
         "evolve",
@@ -222,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_plan_option(serve)
     _add_strategy_option(serve)
+    _add_exec_option(serve)
 
     shell = commands.add_parser(
         "shell",
@@ -245,7 +262,9 @@ def _run_check(args) -> int:
     from repro.integrity.transactions import Transaction
 
     db = _load_database(args.database)
-    checker = IntegrityChecker(db, strategy=args.strategy, plan=args.plan)
+    checker = IntegrityChecker(
+        db, strategy=args.strategy, plan=args.plan, exec_mode=args.exec_mode
+    )
     transaction = Transaction.coerce(list(args.updates))
     result = checker.admit(transaction, args.method)
     if args.format == "json":
@@ -302,7 +321,9 @@ def _run_satcheck(args) -> int:
 def _run_query(args) -> int:
     db = _load_database(args.database)
     formula = normalize_constraint(parse_formula(args.formula))
-    value = db.engine(args.strategy, plan=args.plan).evaluate(formula)
+    value = db.engine(
+        args.strategy, plan=args.plan, exec_mode=args.exec_mode
+    ).evaluate(formula)
     if args.format == "json":
         print(json.dumps(serialize.query_result_json(args.formula, value)))
     else:
@@ -312,7 +333,8 @@ def _run_query(args) -> int:
 
 def _run_model(args) -> int:
     db = _load_database(args.database)
-    for fact in sorted(db.canonical_model(plan=args.plan), key=str):
+    model = db.canonical_model(plan=args.plan, exec_mode=args.exec_mode)
+    for fact in sorted(model, key=str):
         print(fact)
     return 0
 
@@ -374,6 +396,7 @@ def _run_serve(args) -> int:
         method=args.method,
         strategy=args.strategy,
         plan=args.plan,
+        exec_mode=args.exec_mode,
         group_commit=not args.serialize_commits,
         snapshot_interval=args.snapshot_interval,
     )

@@ -8,6 +8,15 @@ integrity and satisfiability layers drive.
 """
 
 from repro.datalog.facts import FactStore
+from repro.datalog.joins import (
+    DEFAULT_EXEC,
+    EXEC_MODES,
+    join_body,
+    join_literals,
+    join_literals_batch,
+    join_literals_rows,
+    validate_exec,
+)
 from repro.datalog.magic import (
     MagicEvaluator,
     MagicFallbackWarning,
@@ -38,7 +47,9 @@ from repro.datalog.database import Constraint, DeductiveDatabase
 
 __all__ = [
     "Constraint",
+    "DEFAULT_EXEC",
     "DEFAULT_PLAN",
+    "EXEC_MODES",
     "DeductiveDatabase",
     "FactStore",
     "GreedyPlanner",
@@ -60,7 +71,12 @@ __all__ = [
     "TabledEvaluator",
     "compute_model",
     "compute_model_naive",
+    "join_body",
+    "join_literals",
+    "join_literals_batch",
+    "join_literals_rows",
     "magic_rewrite",
     "make_planner",
+    "validate_exec",
     "validate_strategy",
 ]

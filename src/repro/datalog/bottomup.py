@@ -16,7 +16,13 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Optional, Protocol, Sequence, Set
 
 from repro.datalog.facts import FactStore
-from repro.datalog.joins import join_literals
+from repro.datalog.joins import (
+    DEFAULT_EXEC,
+    atom_builder,
+    join_literals,
+    join_literals_rows,
+    rows_from_source,
+)
 from repro.datalog.planner import (
     DEFAULT_PLAN,
     Planner,
@@ -38,6 +44,26 @@ class EvaluationView(Protocol):
     def add(self, fact: Atom) -> bool: ...
 
 
+def _derive_rule(
+    rule: Rule,
+    probe,
+    holds,
+    planner,
+    derived: List[Atom],
+) -> None:
+    """Batch-solve one rule body and append its head instances to
+    *derived* — heads are built straight from the value rows (column
+    indexing, no per-tuple substitutions): the set-at-a-time fast path
+    of semi-naive evaluation."""
+    build = None
+    for schema, rows in join_literals_rows(
+        rule.body, Substitution.empty(), probe, holds, planner
+    ):
+        if build is None:
+            build = atom_builder(rule.head, schema)
+        derived.extend(map(build, rows))
+
+
 def _match_substitutions(view: EvaluationView, pattern: Atom):
     from repro.logic.unify import match
 
@@ -53,6 +79,7 @@ def _derive_round(
     stratum_preds: Set[str],
     delta: FactStore,
     planner: Optional[Planner] = None,
+    exec_mode: str = DEFAULT_EXEC,
 ) -> List[Atom]:
     """One semi-naive round: join each rule with at least one body
     occurrence restricted to *delta*. Returns derived facts (possibly
@@ -78,6 +105,10 @@ def _derive_round(
                 else:
                     yield from _match_substitutions(view, pattern)
 
+            def probe(index: int, pattern: Atom, _dpos=delta_position):
+                source = delta if index == _dpos else view
+                return rows_from_source(source, pattern)
+
             round_planner = planner
             if planner is not None:
                 # The delta-restricted occurrence matches against the
@@ -92,14 +123,19 @@ def _derive_round(
 
                 round_planner = planner.with_cardinality(estimator)
 
-            for binding in join_literals(
-                rule.body,
-                Substitution.empty(),
-                matcher,
-                view.contains,
-                round_planner,
-            ):
-                derived.append(rule.head.substitute(binding))
+            if exec_mode == "batch":
+                _derive_rule(
+                    rule, probe, view.contains, round_planner, derived
+                )
+            else:
+                for binding in join_literals(
+                    rule.body,
+                    Substitution.empty(),
+                    matcher,
+                    view.contains,
+                    round_planner,
+                ):
+                    derived.append(rule.head.substitute(binding))
     return derived
 
 
@@ -108,6 +144,7 @@ def evaluate_stratum(
     rules: Sequence[Rule],
     stratum_preds: Set[str],
     planner: Optional[Planner] = None,
+    exec_mode: str = DEFAULT_EXEC,
 ) -> None:
     """Saturate one stratum's rules against *view* (semi-naive)."""
     # Round zero: full join of every rule.
@@ -118,16 +155,28 @@ def evaluate_stratum(
         def matcher(index: int, pattern: Atom):
             yield from _match_substitutions(view, pattern)
 
-        for binding in join_literals(
-            rule.body, Substitution.empty(), matcher, view.contains, planner
-        ):
-            initial.append(rule.head.substitute(binding))
+        def probe(index: int, pattern: Atom):
+            return rows_from_source(view, pattern)
+
+        if exec_mode == "batch":
+            _derive_rule(rule, probe, view.contains, planner, initial)
+        else:
+            for binding in join_literals(
+                rule.body,
+                Substitution.empty(),
+                matcher,
+                view.contains,
+                planner,
+            ):
+                initial.append(rule.head.substitute(binding))
     for fact in initial:
         if view.add(fact):
             delta.add(fact)
     # Differential rounds.
     while len(delta):
-        derived = _derive_round(view, rules, stratum_preds, delta, planner)
+        derived = _derive_round(
+            view, rules, stratum_preds, delta, planner, exec_mode
+        )
         delta = FactStore()
         for fact in derived:
             if view.add(fact):
@@ -135,19 +184,23 @@ def evaluate_stratum(
 
 
 def compute_model(
-    edb: Iterable[Atom], program: Program, plan: str = DEFAULT_PLAN
+    edb: Iterable[Atom],
+    program: Program,
+    plan: str = DEFAULT_PLAN,
+    exec_mode: str = DEFAULT_EXEC,
 ) -> FactStore:
     """Materialize the canonical model of ``edb ∪ program``.
 
     Returns a fresh :class:`FactStore` containing the extensional facts
     plus everything derivable, under the stratified semantics. *plan*
-    selects the join order (see :mod:`repro.datalog.planner`).
+    selects the join order (see :mod:`repro.datalog.planner`);
+    *exec_mode* the execution model (see :mod:`repro.datalog.joins`).
     """
     model = edb.copy() if isinstance(edb, FactStore) else FactStore(edb)
     planner = make_planner(plan, model)
     for _, rules in program.rules_by_stratum():
         stratum_preds = {rule.head.pred for rule in rules}
-        evaluate_stratum(model, rules, stratum_preds, planner)
+        evaluate_stratum(model, rules, stratum_preds, planner, exec_mode)
     return model
 
 

@@ -12,6 +12,7 @@ import itertools
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.datalog.facts import FactStore
+from repro.datalog.joins import DEFAULT_EXEC
 from repro.datalog.overlay import OverlayFactStore
 from repro.datalog.planner import DEFAULT_PLAN
 from repro.datalog.program import Program, Rule
@@ -69,7 +70,7 @@ class DeductiveDatabase:
         self.constraints: List[Constraint] = list(constraints)
         self._constraint_counter = itertools.count(len(self.constraints) + 1)
         self._version = 0
-        self._engines: Dict[Tuple[str, str], QueryEngine] = {}
+        self._engines: Dict[Tuple[str, str, str], QueryEngine] = {}
         self._engine_version = -1
 
     # -- construction -----------------------------------------------------------------
@@ -176,25 +177,33 @@ class DeductiveDatabase:
     # -- querying ----------------------------------------------------------------------------
 
     def engine(
-        self, strategy: str = "lazy", plan: str = DEFAULT_PLAN
+        self,
+        strategy: str = "lazy",
+        plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
     ) -> QueryEngine:
         """A query engine over the current state. Engines are cached per
-        (strategy, plan) and invalidated whenever the database mutates.
-        *strategy* picks where intensional facts come from —
-        ``"lazy"`` (per-closure materialization, the default),
+        (strategy, plan, exec_mode) and invalidated whenever the
+        database mutates. *strategy* picks where intensional facts come
+        from — ``"lazy"`` (per-closure materialization, the default),
         ``"topdown"`` (tabled resolution), ``"model"`` (full canonical
         model up front) or ``"magic"`` (demand-driven bottom-up via the
         magic-sets rewrite; see :mod:`repro.datalog.magic`). *plan*
         picks the join order for rule bodies and restrictions —
         ``"greedy"`` (selectivity-driven, the default) or ``"source"``
-        (rule-source order, the unplanned oracle)."""
+        (rule-source order, the unplanned oracle). *exec_mode* picks the
+        join execution model — ``"batch"`` (set-at-a-time hash joins,
+        the default) or ``"tuple"`` (one binding at a time, the
+        oracle; see :mod:`repro.datalog.joins`)."""
         if self._engine_version != self._version:
             self._engines.clear()
             self._engine_version = self._version
-        key = (strategy, plan)
+        key = (strategy, plan, exec_mode)
         engine = self._engines.get(key)
         if engine is None:
-            engine = QueryEngine(self.facts, self.program, strategy, plan)
+            engine = QueryEngine(
+                self.facts, self.program, strategy, plan, exec_mode
+            )
             self._engines[key] = engine
         return engine
 
@@ -210,7 +219,9 @@ class DeductiveDatabase:
             formula = normalize_constraint(parse_formula(formula))
         return self.engine().evaluate(formula)
 
-    def canonical_model(self, plan: str = DEFAULT_PLAN) -> FactStore:
+    def canonical_model(
+        self, plan: str = DEFAULT_PLAN, exec_mode: str = DEFAULT_EXEC
+    ) -> FactStore:
         """Materialize the full canonical model (EDB plus everything
         derivable)."""
         from repro.datalog.bottomup import compute_model
@@ -220,7 +231,7 @@ class DeductiveDatabase:
             if isinstance(self.facts, OverlayFactStore)
             else self.facts
         )
-        return compute_model(base, self.program, plan)
+        return compute_model(base, self.program, plan, exec_mode)
 
     # -- constraint sweep (the naive baseline) ----------------------------------------------------
 

@@ -5,6 +5,17 @@ every (predicate, argument position, constant) triple, so matching a
 partially instantiated atom costs a hash lookup on its most selective
 bound position rather than a scan — the same access-path idea a
 relational engine's hash index provides.
+
+On top of the per-position index sits a *composite* hash index for the
+batched join path: :meth:`bucket` groups a predicate's facts by their
+argument values at an arbitrary position set, so a hash join probes one
+dictionary entry per distinct key instead of unifying against a scan.
+Composite groups are built lazily — the first probe of a
+(predicate, positions) pair pays one scan of that predicate's bucket —
+and maintained incrementally by :meth:`add`/:meth:`remove` thereafter:
+repeated probes of an unchanged predicate never rescan
+(:attr:`group_builds` counts the build scans, pinned by the index
+tests).
 """
 
 from __future__ import annotations
@@ -16,15 +27,24 @@ from repro.logic.substitution import Substitution
 from repro.logic.terms import Constant, Variable
 from repro.logic.unify import match
 
+_EMPTY: frozenset = frozenset()
+
+# A composite group index: argument positions -> key tuple -> facts.
+_GroupIndex = Dict[Tuple[int, ...], Dict[Tuple[Constant, ...], Set[Atom]]]
+
 
 class FactStore:
     """A mutable, indexed set of ground atoms."""
 
-    __slots__ = ("_by_pred", "_index")
+    __slots__ = ("_by_pred", "_index", "_groups", "group_builds")
 
     def __init__(self, facts: Iterable[Atom] = ()):
         self._by_pred: Dict[str, Set[Atom]] = {}
         self._index: Dict[Tuple[str, int, Constant], Set[Atom]] = {}
+        # Composite hash indexes for the batch join path, per predicate.
+        self._groups: Dict[str, _GroupIndex] = {}
+        # Work counter: full-bucket scans spent building group indexes.
+        self.group_builds = 0
         for fact in facts:
             self.add(fact)
 
@@ -40,6 +60,14 @@ class FactStore:
         bucket.add(fact)
         for position, arg in enumerate(fact.args):
             self._index.setdefault((fact.pred, position, arg), set()).add(fact)
+        groups = self._groups.get(fact.pred)
+        if groups:
+            args = fact.args
+            for positions, index in groups.items():
+                if len(args) <= positions[-1]:
+                    continue
+                key = tuple(args[p] for p in positions)
+                index.setdefault(key, set()).add(fact)
         return True
 
     def remove(self, fact: Atom) -> bool:
@@ -57,11 +85,24 @@ class FactStore:
                 slot.discard(fact)
                 if not slot:
                     del self._index[key]
+        groups = self._groups.get(fact.pred)
+        if groups:
+            args = fact.args
+            for positions, index in groups.items():
+                if len(args) <= positions[-1]:
+                    continue
+                group_key = tuple(args[p] for p in positions)
+                slot = index.get(group_key)
+                if slot is not None:
+                    slot.discard(fact)
+                    if not slot:
+                        del index[group_key]
         return True
 
     def clear(self) -> None:
         self._by_pred.clear()
         self._index.clear()
+        self._groups.clear()
 
     # -- queries ------------------------------------------------------------------
 
@@ -99,6 +140,40 @@ class FactStore:
             subst = match(pattern, fact)
             if subst is not None:
                 yield subst
+
+    def bucket(
+        self,
+        pred: str,
+        positions: Tuple[int, ...],
+        key: Tuple[Constant, ...],
+    ) -> Iterable[Atom]:
+        """All facts of *pred* whose arguments at *positions* equal
+        *key* — one hash probe against the composite group index. The
+        index for a (pred, positions) pair is built on first use (one
+        scan of the predicate's facts, counted in :attr:`group_builds`)
+        and maintained incrementally afterwards.
+
+        The result may be a *live* internal set (that's the zero-copy
+        point of the probe): treat it as read-only, and materialize it
+        before mutating the store mid-iteration."""
+        if not positions:
+            return self._by_pred.get(pred, _EMPTY)
+        bucket = self._by_pred.get(pred)
+        if not bucket:
+            return _EMPTY
+        groups = self._groups.setdefault(pred, {})
+        index = groups.get(positions)
+        if index is None:
+            index = groups[positions] = {}
+            self.group_builds += 1
+            deepest = positions[-1]  # positions are ascending
+            for fact in bucket:
+                args = fact.args
+                if len(args) <= deepest:
+                    continue  # arity mismatch: the pattern cannot match
+                group_key = tuple(args[p] for p in positions)
+                index.setdefault(group_key, set()).add(fact)
+        return index.get(key, _EMPTY)
 
     def _candidates(self, pattern: Atom) -> Optional[Iterable[Atom]]:
         """Choose the cheapest index entry that covers the pattern."""
@@ -144,6 +219,7 @@ class FactStore:
             clone._by_pred[pred] = set(bucket)
         for key, slot in self._index.items():
             clone._index[key] = set(slot)
+        # Composite group indexes are rebuilt lazily on the clone.
         return clone
 
     def constants(self) -> Set[Constant]:

@@ -28,7 +28,11 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence, Set, Tuple
 
 from repro.datalog.facts import FactStore
-from repro.datalog.joins import join_literals
+from repro.datalog.joins import (
+    DEFAULT_EXEC,
+    join_body,
+    probe_from_source,
+)
 from repro.datalog.planner import DEFAULT_PLAN, make_planner
 from repro.datalog.program import Program, Rule
 from repro.logic.formulas import Atom, Literal
@@ -92,13 +96,18 @@ class MaintainedModel:
     """A materialized canonical model kept current under updates."""
 
     def __init__(
-        self, edb: FactStore, program: Program, plan: str = DEFAULT_PLAN
+        self,
+        edb: FactStore,
+        program: Program,
+        plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
     ):
         from repro.datalog.bottomup import compute_model
 
         self.program = program
         self.edb = edb.copy()
-        self.model = compute_model(self.edb, program, plan)
+        self.exec_mode = exec_mode
+        self.model = compute_model(self.edb, program, plan, exec_mode)
         # Maintenance joins run over the evolving model; its cardinality
         # accounting keeps re-planning O(body²) per join.
         self.planner = make_planner(plan, self.model)
@@ -110,6 +119,7 @@ class MaintainedModel:
         program: Program,
         model: FactStore,
         plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
     ) -> "MaintainedModel":
         """Resume a maintained model from a persisted *model* store
         without recomputing the fixpoint — the storage engine's
@@ -120,6 +130,7 @@ class MaintainedModel:
         maintained = cls.__new__(cls)
         maintained.program = program
         maintained.edb = edb.copy()
+        maintained.exec_mode = exec_mode
         maintained.model = model.copy()
         maintained.planner = make_planner(plan, maintained.model)
         return maintained
@@ -326,8 +337,16 @@ class MaintainedModel:
                 return False
             return self.model.contains(atom)
 
-        yield from join_literals(
-            rest, Substitution.empty(), matcher, holds, self.planner
+        # The composite pre-update view has no store-level hash index;
+        # join_body derives the batch probe from the matcher, keeping
+        # the per-key memoization and tuple intermediates.
+        yield from join_body(
+            rest,
+            Substitution.empty(),
+            matcher,
+            holds,
+            self.planner,
+            exec_mode=self.exec_mode,
         )
 
     def _rederive(
@@ -356,12 +375,14 @@ class MaintainedModel:
 
                     if any(
                         True
-                        for _ in join_literals(
+                        for _ in join_body(
                             body,
                             Substitution.empty(),
                             matcher,
                             self.model.contains,
                             self.planner,
+                            exec_mode=self.exec_mode,
+                            probe=probe_from_source(self.model),
                         )
                     ):
                         self.model.add(atom)
@@ -413,12 +434,14 @@ class MaintainedModel:
                                 if inner is not None:
                                     yield inner
 
-                        for answer in join_literals(
+                        for answer in join_body(
                             rest,
                             Substitution.empty(),
                             matcher,
                             self.model.contains,
                             self.planner,
+                            exec_mode=self.exec_mode,
+                            probe=probe_from_source(self.model),
                         ):
                             derived.append(head.substitute(answer))
             for fact in derived:

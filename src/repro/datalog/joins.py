@@ -3,10 +3,32 @@
 Every evaluator (bottom-up, top-down tabled, maintenance, delta)
 reduces rule application to the same operation: enumerate the
 substitutions that make a conjunction of literals true against some
-fact source. Positive literals are solved one at a time, propagating
-bindings; each negative literal is tested by closed-world lookup as
-soon as its variables are fully bound (range restriction guarantees
-this happens before the end).
+fact source. Two execution models implement it:
+
+``tuple`` (:func:`join_literals`, the seed behaviour and the oracle)
+    Positive literals are solved one binding at a time, propagating
+    substitutions; each negative literal is tested by closed-world
+    lookup as soon as its variables are fully bound (range restriction
+    guarantees this happens before the end).
+
+``batch`` (:func:`join_literals_batch`, the default)
+    Set-at-a-time evaluation: a *relation of bindings* — plain value
+    tuples over the join variables, no per-tuple
+    :class:`Substitution` — flows through the body one literal at a
+    time. Each positive literal is a hash join: bindings sharing the
+    same key values probe the fact source once (memoized per key, and
+    served by the stores' composite group indexes where available);
+    negative literals are batched anti-joins with per-key memoization
+    of the closed-world test. The relation is carried in chunks, so
+    consumers that stop after the first answer (witness search,
+    existence tests) never pay for the full join — the generator seam
+    is preserved end to end.
+
+Both paths produce the same answer multiset (a property the
+differential harness pins); only enumeration order and cost differ. The module
+default :data:`DEFAULT_EXEC` is ``"batch"`` and can be flipped process-
+wide with the ``REPRO_EXEC`` environment variable — the oracle leg of
+the CI matrix runs the whole suite under ``REPRO_EXEC=tuple``.
 
 The *order* in which positive literals are solved is delegated to a
 :class:`repro.datalog.planner.Planner` when one is supplied; without
@@ -17,17 +39,46 @@ commutative — only the cost differs.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+import os
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datalog.planner import Planner
 from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
 
 # A matcher receives (literal index, instantiated pattern) and yields the
 # substitutions for the pattern's remaining variables.
 Matcher = Callable[[int, Atom], Iterator[Substitution]]
 # A holds-test receives a ground atom and decides its truth.
 HoldsTest = Callable[[Atom], bool]
+# A batch probe receives (literal index, instantiated pattern) and
+# returns one value row per matching fact: the values of the pattern's
+# distinct variables in first-occurrence order.
+BatchProbe = Callable[[int, Atom], Iterable[Tuple[Constant, ...]]]
+
+#: The execution models the join kernel implements.
+EXEC_MODES = ("batch", "tuple")
+
+
+def validate_exec(exec_mode: str) -> str:
+    """Fail fast on an unknown execution mode, listing the accepted
+    values — mirrors :func:`repro.datalog.planner.validate_plan`."""
+    if exec_mode not in EXEC_MODES:
+        raise ValueError(
+            f"unknown exec mode {exec_mode!r}; pick one of {EXEC_MODES}"
+        )
+    return exec_mode
+
+
+#: Process-wide default execution model; ``REPRO_EXEC`` overrides it so
+#: the test matrix can pin the tuple oracle without touching call sites.
+DEFAULT_EXEC = validate_exec(os.environ.get("REPRO_EXEC", "batch"))
+
+#: How many binding rows flow through the batch pipeline at once. Small
+#: enough that first-answer consumers stay cheap, large enough that the
+#: per-chunk Python overhead is amortized.
+BATCH_CHUNK = 256
 
 
 def join_literals(
@@ -92,3 +143,347 @@ def join_literals(
             )
 
     yield from descend(0, binding, negatives)
+
+
+# -- batch (set-at-a-time) path ------------------------------------------------------
+
+
+def pattern_variables(atom: Atom) -> Tuple[Variable, ...]:
+    """The atom's distinct variables in first-occurrence order — the
+    column order of the rows a :data:`BatchProbe` returns for it."""
+    seen: List[Variable] = []
+    for arg in atom.args:
+        if isinstance(arg, Variable) and arg not in seen:
+            seen.append(arg)
+    return tuple(seen)
+
+
+def rows_from_source(source, pattern: Atom) -> List[Tuple[Constant, ...]]:
+    """Value rows for *pattern* against a fact source: one tuple of the
+    pattern's distinct-variable values per matching fact.
+
+    Uses the source's composite hash index (``bucket``) when it has one
+    — a single dictionary probe, no per-fact unification — and falls
+    back to ``match`` otherwise."""
+    key_positions: List[int] = []
+    key: List[Constant] = []
+    out_positions: List[int] = []
+    checks: List[Tuple[int, int]] = []
+    first: dict = {}
+    for position, arg in enumerate(pattern.args):
+        if isinstance(arg, Variable):
+            if arg in first:
+                checks.append((position, first[arg]))
+            else:
+                first[arg] = position
+                out_positions.append(position)
+        else:
+            key_positions.append(position)
+            key.append(arg)
+    bucket = getattr(source, "bucket", None)
+    if bucket is None:
+        return [
+            tuple(fact.args[p] for p in out_positions)
+            for fact in source.match(pattern)
+        ]
+    facts = bucket(pattern.pred, tuple(key_positions), tuple(key))
+    # The group index filters on the key positions only; a predicate
+    # holding mixed-arity facts can still surface wider facts here, so
+    # the pattern's arity is enforced fact by fact (the tuple path gets
+    # this from match()).
+    arity = len(pattern.args)
+    if not checks:
+        return [
+            tuple(fact.args[p] for p in out_positions)
+            for fact in facts
+            if len(fact.args) == arity
+        ]
+    rows: List[Tuple[Constant, ...]] = []
+    for fact in facts:
+        args = fact.args
+        if len(args) == arity and all(
+            args[p] == args[q] for p, q in checks
+        ):
+            rows.append(tuple(args[p] for p in out_positions))
+    return rows
+
+
+def rows_from_substitutions(
+    pattern: Atom, substitutions: Iterable[Substitution]
+) -> List[Tuple[Constant, ...]]:
+    """Convert answer substitutions for *pattern* into batch rows —
+    the row layout contract (distinct variables, first-occurrence
+    order) defined once for every substitution-shaped source."""
+    variables = pattern_variables(pattern)
+    return [
+        tuple(subst.apply_term(v) for v in variables)
+        for subst in substitutions
+    ]
+
+
+def probe_from_source(source) -> BatchProbe:
+    """A :data:`BatchProbe` over a single fact source."""
+    return lambda index, pattern: rows_from_source(source, pattern)
+
+
+def probe_from_matcher(matcher: Matcher) -> BatchProbe:
+    """Adapt a tuple-path matcher into a :data:`BatchProbe`.
+
+    The batch kernel still wins through per-key probe memoization and
+    tuple-typed intermediates; only the per-probe enumeration stays on
+    the matcher's generic path."""
+
+    def probe(index: int, pattern: Atom) -> List[Tuple[Constant, ...]]:
+        return rows_from_substitutions(pattern, matcher(index, pattern))
+
+    return probe
+
+
+class _Level:
+    """Per-literal layout of one batch join: which schema columns form
+    the hash key, which negatives become testable on entry, and how the
+    output schema extends."""
+
+    __slots__ = (
+        "index",
+        "atom",
+        "bound",
+        "entry_negatives",
+        "new_variables",
+    )
+
+    def __init__(self, index, atom, bound, entry_negatives, new_variables):
+        self.index = index
+        self.atom = atom
+        # (variable, schema column, argument positions) per distinct
+        # bound variable of the atom.
+        self.bound = bound
+        self.entry_negatives = entry_negatives
+        self.new_variables = new_variables
+
+
+def _row_instantiator(atom: Atom, column_of: dict):
+    """A row → ground atom instantiator for *atom*: each argument is
+    either a schema column index or a constant from the atom itself.
+    Every variable of *atom* must be a *column_of* key."""
+    layout = tuple(
+        (column_of[arg], None) if isinstance(arg, Variable) else (None, arg)
+        for arg in atom.args
+    )
+    pred = atom.pred
+
+    def build(row) -> Atom:
+        return Atom(
+            pred,
+            tuple(
+                row[column] if column is not None else constant
+                for column, constant in layout
+            ),
+        )
+
+    return build
+
+
+class _NegativeTest:
+    """A negative literal plus the row layout grounding its atom."""
+
+    __slots__ = ("columns", "ground")
+
+    def __init__(self, atom: Atom, column_of: dict):
+        # Distinct schema columns — the memo key of the anti-join.
+        self.columns = tuple(
+            column_of[v] for v in pattern_variables(atom)
+        )
+        self.ground = _row_instantiator(atom, column_of)
+
+
+def atom_builder(atom: Atom, schema: Sequence[Variable]):
+    """A row → ground atom instantiator for *atom* over *schema* —
+    how batch consumers (semi-naive derivation) build rule heads
+    without per-row substitutions. Every variable of *atom* must be a
+    schema column (range restriction guarantees it for rule heads)."""
+    return _row_instantiator(
+        atom, {variable: i for i, variable in enumerate(schema)}
+    )
+
+
+def join_literals_rows(
+    literals: Sequence[Literal],
+    binding: Substitution,
+    probe: BatchProbe,
+    holds: HoldsTest,
+    planner: Optional[Planner] = None,
+    chunk_size: int = BATCH_CHUNK,
+) -> Iterator[Tuple[Tuple[Variable, ...], List[tuple]]]:
+    """The relational core of the batch path: yields ``(schema, rows)``
+    chunks, where *schema* names the row columns (fixed for the whole
+    join) and *rows* holds up to *chunk_size* value tuples satisfying
+    the body. Chunks surface as soon as they fill, so single-witness
+    consumers stop after the first one.
+
+    *binding* must map variables to constants — :func:`join_body` falls
+    back to the tuple path when it does not (tabled evaluation binds
+    head variables to renamed body variables, which the relational
+    representation cannot carry).
+    """
+    positives: List[Tuple[int, Literal]] = []
+    negatives: List[Literal] = []
+    for index, literal in enumerate(literals):
+        if literal.positive:
+            positives.append((index, literal))
+        else:
+            negatives.append(literal)
+    if binding:
+        positives = [
+            (index, literal.substitute(binding))
+            for index, literal in positives
+        ]
+        negatives = [literal.substitute(binding) for literal in negatives]
+    if planner is not None and len(positives) > 1:
+        positives = planner.order(positives, set(binding.domain()))
+
+    schema: List[Variable] = sorted(binding.domain(), key=lambda v: v.name)
+    column_of = {variable: i for i, variable in enumerate(schema)}
+    initial_row = tuple(binding[variable] for variable in schema)
+
+    def negative_tests(pending: List[Literal]) -> List[_NegativeTest]:
+        """Consume from *pending* the negatives ground under the current
+        schema, mirroring the tuple path's earliest-point placement."""
+        testable: List[_NegativeTest] = []
+        remaining: List[Literal] = []
+        for literal in pending:
+            if all(
+                v in column_of for v in pattern_variables(literal.atom)
+            ):
+                testable.append(_NegativeTest(literal.atom, column_of))
+            else:
+                remaining.append(literal)
+        pending[:] = remaining
+        return testable
+
+    pending = list(negatives)
+    levels: List[_Level] = []
+    for index, literal in positives:
+        entry = negative_tests(pending)
+        atom = literal.atom
+        bound: List[Tuple[Variable, int, Tuple[int, ...]]] = []
+        new_variables: List[Variable] = []
+        for variable in pattern_variables(atom):
+            if variable in column_of:
+                positions = tuple(
+                    p for p, a in enumerate(atom.args) if a == variable
+                )
+                bound.append((variable, column_of[variable], positions))
+            else:
+                new_variables.append(variable)
+        levels.append(_Level(index, atom, tuple(bound), entry, new_variables))
+        for variable in new_variables:
+            column_of[variable] = len(schema)
+            schema.append(variable)
+    final_negatives = negative_tests(pending)
+    # `pending` now holds negatives no positive literal ever grounds;
+    # raising is deferred until a row actually reaches the end, exactly
+    # like the tuple path.
+    final_schema = tuple(schema)
+
+    neg_cache: dict = {}
+
+    def passes(tests: List[_NegativeTest], row) -> bool:
+        for test in tests:
+            key = (id(test), tuple(row[c] for c in test.columns))
+            value = neg_cache.get(key)
+            if value is None:
+                value = neg_cache[key] = holds(test.ground(row))
+            if value:
+                return False  # closed-world failure of the negative
+        return True
+
+    probe_caches: List[dict] = [{} for _ in levels]
+
+    def process(level_index: int, rows: List[tuple]):
+        if level_index == len(levels):
+            survivors = (
+                [row for row in rows if passes(final_negatives, row)]
+                if final_negatives
+                else rows
+            )
+            if survivors and pending:
+                unbound = ", ".join(str(n) for n in pending)
+                raise ValueError(
+                    f"negative literal(s) not ground at end of join: "
+                    f"{unbound} — rule is not range-restricted"
+                )
+            if survivors:
+                yield (final_schema, survivors)
+            return
+        level = levels[level_index]
+        cache = probe_caches[level_index]
+        entry_negatives = level.entry_negatives
+        bound = level.bound
+        args_template = list(level.atom.args)
+        out: List[tuple] = []
+        for row in rows:
+            if entry_negatives and not passes(entry_negatives, row):
+                continue
+            key = tuple(row[column] for _, column, _ in bound)
+            extensions = cache.get(key)
+            if extensions is None:
+                for value, (_, _, positions) in zip(key, bound):
+                    for position in positions:
+                        args_template[position] = value
+                pattern = Atom(level.atom.pred, tuple(args_template))
+                extensions = cache[key] = list(probe(level.index, pattern))
+            for extension in extensions:
+                out.append(row + extension)
+                if len(out) >= chunk_size:
+                    yield from process(level_index + 1, out)
+                    out = []
+        if out:
+            yield from process(level_index + 1, out)
+
+    yield from process(0, [initial_row])
+
+
+def join_literals_batch(
+    literals: Sequence[Literal],
+    binding: Substitution,
+    probe: BatchProbe,
+    holds: HoldsTest,
+    planner: Optional[Planner] = None,
+    chunk_size: int = BATCH_CHUNK,
+) -> Iterator[Substitution]:
+    """Set-at-a-time counterpart of :func:`join_literals`: the
+    substitution seam over :func:`join_literals_rows`. Semantically
+    identical to the tuple path (same answer multiset, same
+    range-restriction error)."""
+    for schema, rows in join_literals_rows(
+        literals, binding, probe, holds, planner, chunk_size
+    ):
+        for row in rows:
+            yield Substitution.trusted(dict(zip(schema, row)))
+
+
+def join_body(
+    literals: Sequence[Literal],
+    binding: Substitution,
+    matcher: Matcher,
+    holds: HoldsTest,
+    planner: Optional[Planner] = None,
+    exec_mode: Optional[str] = None,
+    probe: Optional[BatchProbe] = None,
+) -> Iterator[Substitution]:
+    """Solve a rule body under the selected execution model.
+
+    ``"batch"`` runs :func:`join_literals_batch` over *probe* (derived
+    from *matcher* when the caller has no batched access path);
+    ``"tuple"`` — or a *binding* that maps variables to non-constants —
+    runs the :func:`join_literals` oracle.
+    """
+    exec_mode = DEFAULT_EXEC if exec_mode is None else exec_mode
+    if exec_mode == "batch" and all(
+        isinstance(term, Constant) for _, term in binding.items()
+    ):
+        if probe is None:
+            probe = probe_from_matcher(matcher)
+        return join_literals_batch(literals, binding, probe, holds, planner)
+    return join_literals(literals, binding, matcher, holds, planner)

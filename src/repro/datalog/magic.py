@@ -55,6 +55,7 @@ import warnings
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.facts import FactStore
+from repro.datalog.joins import DEFAULT_EXEC
 from repro.datalog.planner import (
     DEFAULT_PLAN,
     UNKNOWN_CARDINALITY,
@@ -347,6 +348,13 @@ class _DemandView:
     def add(self, fact: Atom) -> bool:
         return self.derived.add(fact)
 
+    def bucket(self, pred: str, positions, key):
+        """Batched probe over both halves (no dedup needed — adorned
+        names never collide with extensional ones)."""
+        out = list(self.derived.bucket(pred, positions, key))
+        out.extend(self.extensional.bucket(pred, positions, key))
+        return out
+
     def count(self, pred: str) -> int:
         return self.derived.count(pred) + self.extensional.count(pred)
 
@@ -367,10 +375,17 @@ class MagicEvaluator:
     in :attr:`declined` and answered by the caller's fallback path.
     """
 
-    def __init__(self, facts, program: Program, plan: str = DEFAULT_PLAN):
+    def __init__(
+        self,
+        facts,
+        program: Program,
+        plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
+    ):
         self.facts = facts
         self.program = program
         self.plan = plan
+        self.exec_mode = exec_mode
         # SIP chooser: the session's join plan over EDB statistics.
         # An intensional subgoal's extent is unknown at rewrite time —
         # the EDB store would report it as empty (cardinality 0) and
@@ -494,7 +509,8 @@ class MagicEvaluator:
             delta = FactStore(fresh)
             while len(delta):
                 derived = _derive_round(
-                    view, rules, set(delta.predicates()), delta, planner
+                    view, rules, set(delta.predicates()), delta, planner,
+                    self.exec_mode,
                 )
                 self.derivations += len(derived)
                 delta = FactStore()

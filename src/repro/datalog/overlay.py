@@ -24,7 +24,7 @@ from repro.logic.unify import match
 class OverlayFactStore:
     """A read-only view of ``(base − removed) ∪ added``."""
 
-    __slots__ = ("base", "added", "removed", "_delta_counts")
+    __slots__ = ("base", "added", "removed", "_delta_counts", "_added_groups")
 
     def __init__(
         self,
@@ -59,6 +59,10 @@ class OverlayFactStore:
                 self._delta_counts[fact.pred] = (
                     self._delta_counts.get(fact.pred, 0) - 1
                 )
+        # Composite group indexes over the (fixed) added set, built
+        # lazily per (predicate, positions) by bucket(); the diff sets
+        # never change after construction, so no maintenance is needed.
+        self._added_groups: dict = {}
 
     @staticmethod
     def _require_ground(atom: Atom) -> None:
@@ -112,6 +116,38 @@ class OverlayFactStore:
             if fact.pred == pattern.pred and not self.base.contains(fact):
                 if match(pattern, fact) is not None:
                     yield fact
+
+    def bucket(self, pred: str, positions, key) -> "list[Atom]":
+        """Batched probe mirroring :meth:`FactStore.bucket` over the
+        overlay view: the base store's bucket minus the removed set,
+        plus the added facts with matching key values (indexed lazily —
+        the diff sets are fixed, so one pass per (pred, positions) pair
+        suffices for the overlay's lifetime)."""
+        removed = self.removed
+        base_part = self.base.bucket(pred, positions, key)
+        if removed:
+            out = [fact for fact in base_part if fact not in removed]
+        else:
+            out = list(base_part)
+        if self.added:
+            index = self._added_groups.get((pred, positions))
+            if index is None:
+                index = {}
+                deepest = positions[-1] if positions else -1
+                for fact in self.added:
+                    if fact.pred != pred or len(fact.args) <= deepest:
+                        continue
+                    args = fact.args
+                    group_key = tuple(args[p] for p in positions)
+                    index.setdefault(group_key, []).append(fact)
+                self._added_groups[(pred, positions)] = index
+            base_contains = self.base.contains
+            out.extend(
+                fact
+                for fact in index.get(key, ())
+                if not base_contains(fact)
+            )
+        return out
 
     def match_substitutions(self, pattern: Atom) -> Iterator[Substitution]:
         for fact in self.match(pattern):

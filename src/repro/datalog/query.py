@@ -40,7 +40,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.datalog.bottomup import evaluate_stratum
 from repro.datalog.facts import FactStore
-from repro.datalog.joins import join_literals
+from repro.datalog.joins import (
+    DEFAULT_EXEC,
+    join_body,
+    rows_from_source,
+    rows_from_substitutions,
+    validate_exec,
+)
 from repro.datalog.magic import MagicEvaluator
 from repro.datalog.planner import (
     DEFAULT_PLAN,
@@ -105,6 +111,16 @@ class _CombinedView:
             return False
         return self.derived.add(fact)
 
+    def bucket(self, pred: str, positions, key):
+        """Batched probe over both halves (extensional facts win the
+        dedup, mirroring :meth:`match`)."""
+        out = list(self.extensional.bucket(pred, positions, key))
+        extra = self.derived.bucket(pred, positions, key)
+        if extra:
+            contains = self.extensional.contains
+            out.extend(fact for fact in extra if not contains(fact))
+        return out
+
     def count(self, pred: str) -> int:
         return self.extensional.count(pred) + self.derived.count(pred)
 
@@ -123,12 +139,14 @@ class QueryEngine:
         program: Program,
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
     ):
         validate_strategy(strategy)
         self.facts = facts
         self.program = program
         self.strategy = strategy
         self.plan = validate_plan(plan)
+        self.exec_mode = validate_exec(exec_mode)
         self._derived = FactStore()
         self._view = _CombinedView(facts, self._derived)
         # The planner consults the engine's own estimate(), which knows
@@ -139,14 +157,14 @@ class QueryEngine:
         )
         self._materialized: Set[str] = set()
         self._tabled: Optional[TabledEvaluator] = (
-            TabledEvaluator(facts, program, plan)
+            TabledEvaluator(facts, program, plan, exec_mode)
             if strategy == "topdown"
             else None
         )
         # Demand-driven bottom-up evaluation; patterns whose rewrite
         # declines fall back to the lazy materialization path below.
         self.magic: Optional[MagicEvaluator] = (
-            MagicEvaluator(facts, program, plan)
+            MagicEvaluator(facts, program, plan, exec_mode)
             if strategy == "magic"
             else None
         )
@@ -180,7 +198,10 @@ class QueryEngine:
         for stratum in sorted(by_stratum):
             rules = by_stratum[stratum]
             stratum_preds = {r.head.pred for r in rules}
-            evaluate_stratum(self._view, rules, stratum_preds, self._planner)
+            evaluate_stratum(
+                self._view, rules, stratum_preds, self._planner,
+                self.exec_mode,
+            )
             # A stratum is final once saturated (stratified semantics),
             # so its extents become usable statistics immediately.
             self._materialized.update(stratum_preds)
@@ -229,6 +250,26 @@ class QueryEngine:
             return
         yield from self.facts.match_substitutions(pattern)
 
+    def probe_rows(self, pattern: Atom):
+        """Batched counterpart of :meth:`match_atom`: one value row per
+        answer (the pattern's distinct-variable values in
+        first-occurrence order). Served from the stores' composite hash
+        indexes wherever the strategy materializes facts; tabled and
+        magic answers go through their substitution APIs."""
+        self.lookup_count += 1
+        if self._tabled is not None:
+            return rows_from_substitutions(
+                pattern, self._tabled.answers(pattern)
+            )
+        if self.program.is_idb(pattern.pred):
+            if self.magic is not None and self.magic.supports(pattern):
+                return rows_from_substitutions(
+                    pattern, self.magic.answers(pattern)
+                )
+            self._ensure_materialized(pattern.pred)
+            return rows_from_source(self._view, pattern)
+        return rows_from_source(self.facts, pattern)
+
     @property
     def planner(self):
         """The engine's join planner — wired to :meth:`estimate`, so
@@ -269,12 +310,17 @@ class QueryEngine:
         def matcher(index: int, pattern: Atom) -> Iterator[Substitution]:
             return self.match_atom(pattern)
 
-        yield from join_literals(
+        def probe(index: int, pattern: Atom):
+            return self.probe_rows(pattern)
+
+        yield from join_body(
             [Literal(atom, True) for atom in atoms],
             binding,
             matcher,
             self.holds,
             self._planner,
+            exec_mode=self.exec_mode,
+            probe=probe,
         )
 
     # -- formula evaluation ------------------------------------------------------------------

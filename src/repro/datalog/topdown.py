@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Set, Tuple
 
-from repro.datalog.joins import join_literals
+from repro.datalog.joins import DEFAULT_EXEC, join_body
 from repro.datalog.planner import (
     DEFAULT_PLAN,
     UNKNOWN_CARDINALITY,
@@ -52,9 +52,20 @@ def _variant_key(pattern: Atom) -> _TableKey:
 class TabledEvaluator:
     """Goal-directed evaluator over a fact source and a program."""
 
-    def __init__(self, facts, program: Program, plan: str = DEFAULT_PLAN):
+    def __init__(
+        self,
+        facts,
+        program: Program,
+        plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
+    ):
         self.facts = facts
         self.program = program
+        # Body joins dispatch through join_body: batch when the head
+        # unifier grounds the body seam, tuple otherwise (a renamed
+        # rule's unifier may bind variables to variables, which the
+        # relational batch representation cannot carry).
+        self.exec_mode = exec_mode
         self._tables: Dict[_TableKey, Set[Atom]] = {}
         self._complete: Set[_TableKey] = set()
         self._in_progress: Set[_TableKey] = set()
@@ -192,8 +203,13 @@ class TabledEvaluator:
             def matcher(index: int, subpattern: Atom):
                 yield from self._match_subgoal(subpattern, touched)
 
-            for binding in join_literals(
-                renamed.body, unifier, matcher, self._negation_holds, self.planner
+            for binding in join_body(
+                renamed.body,
+                unifier,
+                matcher,
+                self._negation_holds,
+                self.planner,
+                exec_mode=self.exec_mode,
             ):
                 fact = renamed.head.substitute(binding)
                 if fact.is_ground() and fact not in table:

@@ -44,6 +44,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.datalog.database import DeductiveDatabase
+from repro.datalog.joins import DEFAULT_EXEC
 from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.delta_eval import DeltaEvaluator
 from repro.integrity.dependencies import DependencyIndex
@@ -151,13 +152,16 @@ class IntegrityChecker:
         database: DeductiveDatabase,
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
     ):
+        from repro.datalog.joins import validate_exec
         from repro.datalog.planner import validate_plan
         from repro.datalog.query import validate_strategy
 
         self.database = database
         self.strategy = validate_strategy(strategy)
         self.plan = validate_plan(plan)
+        self.exec_mode = validate_exec(exec_mode)
         # Fact-independent structures, shared across checks.
         self.dependency_index = DependencyIndex(database.program)
         self.relevance = RelevanceIndex(database.constraints)
@@ -213,12 +217,13 @@ class IntegrityChecker:
             restrict_to=closure,
             strategy=self.strategy,
             plan=self.plan,
+            exec_mode=self.exec_mode,
         )
         fresh_engine = (
             None
             if share_evaluation
             else lambda: self.database.updated(updates).engine(
-                self.strategy, self.plan
+                self.strategy, self.plan, self.exec_mode
             )
         )
         return self._evaluate_update_constraints(
@@ -282,7 +287,7 @@ class IntegrityChecker:
         """Evaluate every constraint over U(D) from scratch."""
         updates = _normalize_updates(updates)
         view = self.database.updated(updates)
-        engine = view.engine("model", self.plan)
+        engine = view.engine("model", self.plan, self.exec_mode)
         violations = [
             Violation(c.id, c.formula)
             for c in self.database.constraints
@@ -301,7 +306,7 @@ class IntegrityChecker:
         iff no deduction rule connects the updates to the constraints."""
         updates = _normalize_updates(updates)
         new_eval = NewEvaluator(
-            self.database, updates, self.strategy, self.plan
+            self.database, updates, self.strategy, self.plan, self.exec_mode
         )
         violations: List[Violation] = []
         checked: Set[Formula] = set()
@@ -337,6 +342,7 @@ class IntegrityChecker:
             restrict_to=None,  # the whole point: no goal direction
             strategy=self.strategy,
             plan=self.plan,
+            exec_mode=self.exec_mode,
         )
         engine = delta.new_engine
         violations: List[Violation] = []
@@ -379,7 +385,7 @@ class IntegrityChecker:
         if not compiled.update_constraints:
             return CheckResult([], stats, "lloyd")
         new_eval = NewEvaluator(
-            self.database, updates, self.strategy, self.plan
+            self.database, updates, self.strategy, self.plan, self.exec_mode
         )
         engine = new_eval.engine
         violations: List[Violation] = []
@@ -456,7 +462,7 @@ class IntegrityChecker:
             return CheckResult([], stats, "rule-addition")
         seeds = self._rule_seeds(
             rule,
-            body_state=new_db.engine(self.strategy, self.plan),
+            body_state=new_db.engine(self.strategy, self.plan, self.exec_mode),
             inserted=True,
         )
         closure = index.backward_closure(compiled.demanded_signatures())
@@ -467,6 +473,7 @@ class IntegrityChecker:
             restrict_to=closure,
             strategy=self.strategy,
             plan=self.plan,
+            exec_mode=self.exec_mode,
             new_database=new_db,
             seeds=seeds,
         )
@@ -509,10 +516,12 @@ class IntegrityChecker:
         }
         if not compiled.update_constraints:
             return CheckResult([], stats, "rule-removal")
-        new_engine = new_db.engine(self.strategy, self.plan)
+        new_engine = new_db.engine(self.strategy, self.plan, self.exec_mode)
         candidates = self._rule_seeds(
             rule,
-            body_state=self.database.engine(self.strategy, self.plan),
+            body_state=self.database.engine(
+                self.strategy, self.plan, self.exec_mode
+            ),
             inserted=False,
         )
         # Only heads no longer derivable anywhere actually change.
@@ -529,6 +538,7 @@ class IntegrityChecker:
             restrict_to=closure,
             strategy=self.strategy,
             plan=self.plan,
+            exec_mode=self.exec_mode,
             new_database=new_db,
             seeds=seeds,
         )
@@ -548,22 +558,29 @@ class IntegrityChecker:
         """Ground head instances the rule derives in *body_state* whose
         truth actually changes (false today for additions; true today
         for removals)."""
-        from repro.datalog.joins import join_literals
+        from repro.datalog.joins import join_body
         from repro.logic.substitution import Substitution
 
-        old_engine = self.database.engine(self.strategy, self.plan)
+        old_engine = self.database.engine(
+            self.strategy, self.plan, self.exec_mode
+        )
 
         def matcher(index: int, pattern):
             return body_state.match_atom(pattern)
 
+        def probe(index: int, pattern):
+            return body_state.probe_rows(pattern)
+
         seeds: List[Literal] = []
         seen = set()
-        for answer in join_literals(
+        for answer in join_body(
             rule.body,
             Substitution.empty(),
             matcher,
             body_state.holds,
             body_state.planner,
+            exec_mode=self.exec_mode,
+            probe=probe,
         ):
             head = rule.head.substitute(answer)
             if head in seen:

@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Set, Union
 
 from repro.datalog.database import DeductiveDatabase
-from repro.datalog.joins import join_literals
+from repro.datalog.joins import DEFAULT_EXEC, join_body
 from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.dependencies import DependencyIndex, Signature
 from repro.logic.formulas import Atom, Literal
@@ -53,6 +53,7 @@ class DeltaEvaluator:
         restrict_to: Optional[Set[Signature]] = None,
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
         new_database: Optional[DeductiveDatabase] = None,
         seeds: Optional[Sequence[Literal]] = None,
     ):
@@ -70,12 +71,13 @@ class DeltaEvaluator:
         self.index = index if index is not None else DependencyIndex(
             database.program
         )
-        self.old_engine = database.engine(strategy, plan)
+        self.exec_mode = exec_mode
+        self.old_engine = database.engine(strategy, plan, exec_mode)
         if new_database is not None:
             self.new_view = new_database
         else:
             self.new_view = database.updated(list(self.updates))
-        self.new_engine = self.new_view.engine(strategy, plan)
+        self.new_engine = self.new_view.engine(strategy, plan, exec_mode)
         # Rest-of-body joins are planned against whichever state they
         # run over (old for deletions, new for insertions), reusing
         # each engine's own planner and statistics.
@@ -164,8 +166,17 @@ class DeltaEvaluator:
             def matcher(index: int, pattern: Atom):
                 return engine.match_atom(pattern)
 
-            for answer in join_literals(
-                rest, Substitution.empty(), matcher, engine.holds, planner
+            def probe(index: int, pattern: Atom, _engine=engine):
+                return _engine.probe_rows(pattern)
+
+            for answer in join_body(
+                rest,
+                Substitution.empty(),
+                matcher,
+                engine.holds,
+                planner,
+                exec_mode=self.exec_mode,
+                probe=probe,
             ):
                 candidate = head.substitute(answer)
                 if not candidate.atom.is_ground():  # pragma: no cover

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterator, Sequence, Union
 
 from repro.datalog.database import DeductiveDatabase
+from repro.datalog.joins import DEFAULT_EXEC
 from repro.datalog.planner import DEFAULT_PLAN
 from repro.logic.formulas import Atom, Formula, Literal
 from repro.logic.substitution import Substitution
@@ -31,13 +32,14 @@ class NewEvaluator:
         updates: Union[Literal, Sequence[Literal]],
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
     ):
         if isinstance(updates, Literal):
             updates = [updates]
         self.database = database
         self.updates = tuple(updates)
         self.view = database.updated(list(updates))
-        self.engine = self.view.engine(strategy, plan)
+        self.engine = self.view.engine(strategy, plan, exec_mode)
 
     def evaluate(
         self, formula: Formula, binding: Substitution = Substitution.empty()

@@ -42,6 +42,16 @@ class Substitution:
     def empty(cls) -> "Substitution":
         return _EMPTY
 
+    @classmethod
+    def trusted(cls, mapping: Dict[Variable, Term]) -> "Substitution":
+        """Wrap *mapping* without validation or copying. For hot paths
+        (the batch join kernel) whose mappings are clean by
+        construction: Variable keys, no identity bindings. The caller
+        must not mutate *mapping* afterwards."""
+        subst = cls.__new__(cls)
+        subst._map = mapping
+        return subst
+
     def bind(self, var: Variable, term: Term) -> "Substitution":
         """Return a copy with ``var -> term`` added (overriding any
         previous binding of *var*)."""

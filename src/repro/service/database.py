@@ -16,6 +16,7 @@ from typing import Optional, Union
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.facts import FactStore
 from repro.datalog.incremental import MaintainedModel
+from repro.datalog.joins import DEFAULT_EXEC
 from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.checker import CheckResult
 from repro.integrity.transactions import Transaction
@@ -38,6 +39,7 @@ class ManagedDatabase:
         method: str = "bdm",
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
         group_commit: bool = True,
         snapshot_interval: int = 0,
         commit_delay: float = 0.002,
@@ -54,7 +56,9 @@ class ManagedDatabase:
                 else DeductiveDatabase()
             )
             self._require_consistent(database)
-            model = MaintainedModel(database.facts, database.program, plan)
+            model = MaintainedModel(
+                database.facts, database.program, plan, exec_mode
+            )
             version = 0
             storage = None
             if self.directory is not None:
@@ -64,7 +68,7 @@ class ManagedDatabase:
             # An existing database is authoritative; *source* is only
             # a creation seed.
             storage = StorageEngine(self.directory, sync=sync)
-            self.recovered = storage.recover(plan)
+            self.recovered = storage.recover(plan, exec_mode)
             database = self.recovered.database
             model = self.recovered.model
             version = self.recovered.last_lsn
@@ -76,6 +80,7 @@ class ManagedDatabase:
             method=method,
             strategy=strategy,
             plan=plan,
+            exec_mode=exec_mode,
             group_commit=group_commit,
             snapshot_interval=snapshot_interval,
             commit_delay=commit_delay,

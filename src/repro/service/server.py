@@ -41,6 +41,7 @@ import threading
 from typing import Dict, Optional
 
 from repro import serialize
+from repro.datalog.joins import DEFAULT_EXEC
 from repro.datalog.planner import DEFAULT_PLAN
 from repro.logic.normalize import normalize_constraint
 from repro.logic.parser import parse_atom, parse_formula
@@ -91,6 +92,7 @@ class DatabaseServer:
         method: str = "bdm",
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
         group_commit: bool = True,
         snapshot_interval: int = 64,
     ):
@@ -101,6 +103,7 @@ class DatabaseServer:
             "method": method,
             "strategy": strategy,
             "plan": plan,
+            "exec_mode": exec_mode,
             "group_commit": group_commit,
             "snapshot_interval": snapshot_interval,
         }

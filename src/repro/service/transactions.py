@@ -59,6 +59,7 @@ from typing import Deque, List, Optional, Sequence, Set, Union
 
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.incremental import MaintainedModel
+from repro.datalog.joins import DEFAULT_EXEC
 from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.checker import METHODS, CheckResult, IntegrityChecker
 from repro.integrity.evolution import (
@@ -294,6 +295,7 @@ class TransactionManager:
         method: str = "bdm",
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
+        exec_mode: str = DEFAULT_EXEC,
         group_commit: bool = True,
         snapshot_interval: int = 0,
         commit_delay: float = 0.002,
@@ -306,13 +308,16 @@ class TransactionManager:
         self.model = (
             model
             if model is not None
-            else MaintainedModel(database.facts, database.program, plan)
+            else MaintainedModel(
+                database.facts, database.program, plan, exec_mode
+            )
         )
         self.storage = storage
         self.version = version
         self.method = method
         self.strategy = strategy
         self.plan = plan
+        self.exec_mode = exec_mode
         self.group_commit = group_commit
         self.snapshot_interval = snapshot_interval
         # How long a leader lingers for stragglers *when other commits
@@ -322,7 +327,9 @@ class TransactionManager:
         self.commit_delay = commit_delay
         # Open-session count: the linger heuristic's "siblings" signal.
         self._active_sessions = 0
-        self.checker = IntegrityChecker(database, strategy=strategy, plan=plan)
+        self.checker = IntegrityChecker(
+            database, strategy=strategy, plan=plan, exec_mode=exec_mode
+        )
         # _state_lock guards the committed state (database, model,
         # commit log, version) against concurrent readers; the commit
         # mutex elects the group-commit leader.
@@ -371,12 +378,16 @@ class TransactionManager:
     def evaluate(self, formula: Formula, staged: Sequence[Literal] = ()) -> bool:
         with self._state_lock:
             view = self._view(staged)
-            return view.engine(self.strategy, self.plan).evaluate(formula)
+            return view.engine(
+                self.strategy, self.plan, self.exec_mode
+            ).evaluate(formula)
 
     def holds(self, atom: Atom, staged: Sequence[Literal] = ()) -> bool:
         with self._state_lock:
             view = self._view(staged)
-            return view.engine(self.strategy, self.plan).holds(atom)
+            return view.engine(
+                self.strategy, self.plan, self.exec_mode
+            ).holds(atom)
 
     def dry_run(
         self, transaction: Transaction, method: Optional[str] = None
@@ -688,7 +699,10 @@ class TransactionManager:
         self.database.add_constraint(request.source, id=constraint_id)
         # The relevance/dependency indexes are constraint-dependent.
         self.checker = IntegrityChecker(
-            self.database, strategy=self.strategy, plan=self.plan
+            self.database,
+            strategy=self.strategy,
+            plan=self.plan,
+            exec_mode=self.exec_mode,
         )
         self.version = lsn
         self.stats["ddl_committed"] += 1

@@ -24,6 +24,7 @@ from typing import List, Optional, Union
 
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.incremental import MaintainedModel
+from repro.datalog.joins import DEFAULT_EXEC
 from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.transactions import Transaction
 from repro.storage.snapshot import load_latest_snapshot, write_snapshot
@@ -131,7 +132,9 @@ class StorageEngine:
 
     # -- recovery -----------------------------------------------------------------
 
-    def recover(self, plan: str = DEFAULT_PLAN) -> RecoveredState:
+    def recover(
+        self, plan: str = DEFAULT_PLAN, exec_mode: str = DEFAULT_EXEC
+    ) -> RecoveredState:
         """Rebuild the last committed state: snapshot + WAL replay."""
         snapshot = load_latest_snapshot(self.directory)
         if snapshot is not None:
@@ -148,10 +151,12 @@ class StorageEngine:
             self.wal.truncate_to(valid_bytes)
         if model_store is not None:
             model = MaintainedModel.from_snapshot(
-                database.facts, database.program, model_store, plan
+                database.facts, database.program, model_store, plan, exec_mode
             )
         else:
-            model = MaintainedModel(database.facts, database.program, plan)
+            model = MaintainedModel(
+                database.facts, database.program, plan, exec_mode
+            )
         last_lsn = snapshot_lsn
         replayed = 0
         for record in records:

@@ -1,0 +1,28 @@
+"""Suite-wide configuration.
+
+The join execution model is a process-wide knob: running the suite
+under ``REPRO_EXEC=tuple`` exercises the tuple-at-a-time oracle path
+end to end (the CI matrix's oracle leg); the default ``batch`` runs the
+set-at-a-time hash-join path. :data:`repro.datalog.joins.DEFAULT_EXEC`
+reads the variable at import time and every evaluator defaults to it,
+so no test needs to thread the knob explicitly.
+"""
+
+import os
+
+import pytest
+
+# A typo'd REPRO_EXEC fails this import (joins.py validates the value),
+# so the whole session aborts with one clear error before any test runs.
+from repro.datalog.joins import DEFAULT_EXEC
+
+
+def pytest_report_header(config):
+    source = "REPRO_EXEC" if os.environ.get("REPRO_EXEC") else "default"
+    return f"repro join exec mode: {DEFAULT_EXEC} ({source})"
+
+
+@pytest.fixture(scope="session")
+def exec_mode() -> str:
+    """The execution model this test session runs under."""
+    return DEFAULT_EXEC

@@ -1,0 +1,168 @@
+"""The composite hash (group) indexes behind the batch join path.
+
+``FactStore.bucket`` must agree with a match scan, stay correct under
+assert/retract, and — the amortization the set-at-a-time engine rests
+on — never rescan a predicate whose facts have not changed:
+``group_builds`` counts the build scans and is pinned here.
+``OverlayFactStore.bucket`` must additionally respect the overlay
+shadowing rules (removed facts vanish, added facts appear, added facts
+already in the base are not duplicated).
+"""
+
+import pytest
+
+from repro.datalog.facts import FactStore
+from repro.datalog.overlay import OverlayFactStore
+from repro.logic.formulas import Atom
+from repro.logic.terms import Constant, Variable
+
+
+def atom(pred, *names):
+    return Atom(pred, tuple(Constant(name) for name in names))
+
+
+A, B, C, D = (Constant(n) for n in "abcd")
+
+
+def scan(store, pred, positions, key):
+    """Reference semantics: filter the predicate's facts by key."""
+    return {
+        fact
+        for fact in store.facts(pred)
+        if len(fact.args) > (max(positions) if positions else -1)
+        and tuple(fact.args[p] for p in positions) == key
+    }
+
+
+class TestFactStoreBucket:
+    def make(self):
+        store = FactStore()
+        for fact in (
+            atom("p", "a", "b"),
+            atom("p", "a", "c"),
+            atom("p", "b", "c"),
+            atom("q", "a"),
+        ):
+            store.add(fact)
+        return store
+
+    @pytest.mark.parametrize(
+        "pred, positions, key",
+        [
+            ("p", (0,), (A,)),
+            ("p", (0,), (B,)),
+            ("p", (0,), (D,)),
+            ("p", (1,), (C,)),
+            ("p", (0, 1), (A, C)),
+            ("p", (), ()),
+            ("q", (0,), (A,)),
+            ("missing", (0,), (A,)),
+        ],
+    )
+    def test_bucket_equals_filtered_scan(self, pred, positions, key):
+        store = self.make()
+        assert set(store.bucket(pred, positions, key)) == scan(
+            store, pred, positions, key
+        )
+
+    def test_maintained_under_assert_and_retract(self):
+        store = self.make()
+        key = (A,)
+        assert set(store.bucket("p", (0,), key)) == {
+            atom("p", "a", "b"),
+            atom("p", "a", "c"),
+        }
+        builds = store.group_builds
+        store.add(atom("p", "a", "d"))
+        assert atom("p", "a", "d") in set(store.bucket("p", (0,), key))
+        store.remove(atom("p", "a", "b"))
+        store.remove(atom("p", "a", "c"))
+        store.remove(atom("p", "a", "d"))
+        assert set(store.bucket("p", (0,), key)) == set()
+        # Maintenance is incremental: no rebuild scans happened.
+        assert store.group_builds == builds
+
+    def test_repeated_probes_do_no_rescans(self):
+        store = self.make()
+        assert store.group_builds == 0
+        for _ in range(50):
+            for key in ((A,), (B,), (C,), (D,)):
+                store.bucket("p", (0,), key)
+        # One build scan for the single (pred, positions) pair probed.
+        assert store.group_builds == 1
+        store.bucket("p", (1,), (C,))
+        store.bucket("p", (0, 1), (A, B))
+        assert store.group_builds == 3
+        # Mutation updates the open indexes in place — further probes
+        # of the changed predicate still rescan nothing.
+        store.add(atom("p", "d", "d"))
+        store.remove(atom("p", "b", "c"))
+        for _ in range(50):
+            store.bucket("p", (0,), (D,))
+            store.bucket("p", (1,), (D,))
+            store.bucket("p", (0, 1), (D, D))
+        assert store.group_builds == 3
+
+    def test_probe_result_tracks_mutation(self):
+        store = self.make()
+        assert set(store.bucket("p", (0,), (D,))) == set()
+        store.add(atom("p", "d", "a"))
+        assert set(store.bucket("p", (0,), (D,))) == {atom("p", "d", "a")}
+        store.remove(atom("p", "d", "a"))
+        assert set(store.bucket("p", (0,), (D,))) == set()
+
+    def test_mixed_arity_facts_are_skipped_not_fatal(self):
+        store = FactStore([atom("p", "a"), atom("p", "a", "b")])
+        assert set(store.bucket("p", (1,), (B,))) == {atom("p", "a", "b")}
+        store.add(atom("p", "b"))  # arity-1 fact joins the open index
+        assert set(store.bucket("p", (1,), (B,))) == {atom("p", "a", "b")}
+
+    def test_copy_indexes_are_independent(self):
+        store = self.make()
+        store.bucket("p", (0,), (A,))
+        clone = store.copy()
+        clone.add(atom("p", "a", "d"))
+        assert atom("p", "a", "d") in set(clone.bucket("p", (0,), (A,)))
+        assert atom("p", "a", "d") not in set(store.bucket("p", (0,), (A,)))
+
+
+class TestOverlayBucket:
+    def make(self):
+        base = FactStore(
+            [atom("p", "a", "b"), atom("p", "a", "c"), atom("p", "b", "b")]
+        )
+        overlay = OverlayFactStore(
+            base,
+            added=[atom("p", "a", "d"), atom("p", "a", "b")],  # one shadow
+            removed=[atom("p", "a", "c")],
+        )
+        return base, overlay
+
+    def test_shadowing(self):
+        _, overlay = self.make()
+        got = set(overlay.bucket("p", (0,), (A,)))
+        assert got == {atom("p", "a", "b"), atom("p", "a", "d")}
+        # Exactly the facts the overlay's own match() reports.
+        assert got == set(overlay.match(Atom("p", (A, Variable("Y")))))
+
+    def test_removed_fact_never_surfaces(self):
+        _, overlay = self.make()
+        assert set(overlay.bucket("p", (1,), (C,))) == set()
+
+    def test_added_fact_in_base_is_not_duplicated(self):
+        _, overlay = self.make()
+        rows = list(overlay.bucket("p", (0, 1), (A, B)))
+        assert rows == [atom("p", "a", "b")]
+
+    def test_whole_predicate_bucket(self):
+        _, overlay = self.make()
+        assert set(overlay.bucket("p", (), ())) == set(overlay.facts("p"))
+
+    def test_base_bucket_probes_are_amortized(self):
+        base, overlay = self.make()
+        overlay.bucket("p", (0,), (A,))
+        builds = base.group_builds
+        for _ in range(50):
+            overlay.bucket("p", (0,), (A,))
+            overlay.bucket("p", (0,), (B,))
+        assert base.group_builds == builds

@@ -1,0 +1,267 @@
+"""The batch execution model must be invisible except in cost.
+
+``exec_mode="batch"`` (set-at-a-time hash joins over the composite
+store indexes) and ``exec_mode="tuple"`` (the seed's one-binding-at-a-
+time oracle) must produce identical answer sets, identical integrity
+verdicts and identical DRed-maintained models — for Hypothesis-
+generated programs and transactions and across the strategy/plan
+matrix (``lazy``/``magic`` × ``source``/``greedy``), on the
+relational, deductive and orders workloads, negation and empty
+relations included.
+"""
+
+import warnings
+
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.datalog.database import DeductiveDatabase
+from repro.datalog.facts import FactStore
+from repro.datalog.incremental import MaintainedModel
+from repro.datalog.magic import MagicFallbackWarning
+from repro.datalog.program import Program, Rule
+from repro.datalog.query import QueryEngine
+from repro.integrity.checker import IntegrityChecker
+from repro.integrity.transactions import Transaction
+from repro.logic.formulas import Atom, Literal
+from repro.logic.parser import parse_atom, parse_rule
+from repro.workloads.deductive import ancestor_database, rule_chain_database
+from repro.workloads.orders import OrdersWorkload
+from repro.workloads.relational import RelationalWorkload
+
+from tests.property.strategies import CONSTANTS
+
+EXECS = ("batch", "tuple")
+PLANS = ("source", "greedy")
+STRATEGIES = ("lazy", "magic")
+
+# Stratified rule shapes with recursion and negation; `empty`-prefixed
+# predicates never get facts, so empty-relation joins and anti-joins
+# are always in play.
+RULE_POOL = [
+    "tc(X, Y) :- r(X, Y)",
+    "tc(X, Y) :- r(X, Z), tc(Z, Y)",
+    "node(X) :- r(X, Y)",
+    "node(Y) :- r(X, Y)",
+    "both(X) :- p(X), q(X)",
+    "lonely(X) :- node(X), not both(X)",
+    "source(X) :- node(X), not target(X)",
+    "target(Y) :- r(X, Y)",
+    "ghost(X) :- p(X), empty(X)",
+    "haunted(X) :- p(X), not empty(X)",
+]
+
+QUERY_POOL = [
+    "tc(a, Y)",
+    "tc(X, Y)",
+    "tc(X, b)",
+    "node(a)",
+    "lonely(X)",
+    "source(b)",
+    "both(X)",
+    "ghost(X)",
+    "haunted(X)",
+]
+
+CONSTRAINT_POOL = [
+    "forall X: lonely(X) -> p(X)",
+    "forall X, Y: tc(X, Y) -> node(Y)",
+    "forall X: haunted(X) -> not ghost(X)",
+]
+
+
+@st.composite
+def programs(draw):
+    texts = draw(
+        st.lists(
+            st.sampled_from(RULE_POOL), min_size=1, max_size=6, unique=True
+        )
+    )
+    try:
+        return Program([Rule.from_parsed(parse_rule(t)) for t in texts])
+    except Exception:
+        from hypothesis import assume
+
+        assume(False)
+
+
+@st.composite
+def edbs(draw):
+    facts = FactStore()
+    n = draw(st.integers(min_value=0, max_value=10))
+    for _ in range(n):
+        pred = draw(st.sampled_from(["p", "q", "r"]))
+        if pred == "r":
+            args = (
+                draw(st.sampled_from(CONSTANTS)),
+                draw(st.sampled_from(CONSTANTS)),
+            )
+        else:
+            args = (draw(st.sampled_from(CONSTANTS)),)
+        facts.add(Atom(pred, args))
+    return facts
+
+
+@st.composite
+def transactions(draw):
+    updates = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        pred = draw(st.sampled_from(["p", "q", "r"]))
+        if pred == "r":
+            args = (
+                draw(st.sampled_from(CONSTANTS)),
+                draw(st.sampled_from(CONSTANTS)),
+            )
+        else:
+            args = (draw(st.sampled_from(CONSTANTS)),)
+        updates.append(Literal(Atom(pred, args), draw(st.booleans())))
+    return Transaction.coerce(updates)
+
+
+def answer_set(engine: QueryEngine, pattern: Atom):
+    return {
+        frozenset((v.name, str(t)) for v, t in s.items())
+        for s in engine.match_atom(pattern)
+    }
+
+
+class TestAnswerAgreement:
+    @given(programs(), edbs(), st.sampled_from(QUERY_POOL))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_tuple_answers(self, program, edb, query):
+        pattern = parse_atom(query)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", MagicFallbackWarning)
+            for strategy in STRATEGIES:
+                for plan in PLANS:
+                    per_exec = [
+                        answer_set(
+                            QueryEngine(edb, program, strategy, plan, exec),
+                            pattern,
+                        )
+                        for exec in EXECS
+                    ]
+                    assert per_exec[0] == per_exec[1], (strategy, plan)
+
+
+class TestVerdictAgreement:
+    @given(programs(), edbs(), transactions())
+    @settings(max_examples=40, deadline=None)
+    def test_bdm_verdicts_agree(self, program, edb, transaction):
+        constraints = CONSTRAINT_POOL
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", MagicFallbackWarning)
+            baseline = None
+            for exec in EXECS:
+                for strategy in STRATEGIES:
+                    for plan in PLANS:
+                        db = DeductiveDatabase(edb.copy(), program)
+                        for text in constraints:
+                            db.add_constraint(text)
+                        checker = IntegrityChecker(
+                            db, strategy=strategy, plan=plan, exec_mode=exec
+                        )
+                        result = checker.check_bdm(transaction)
+                        verdict = (
+                            result.ok,
+                            frozenset(result.violated_constraint_ids()),
+                        )
+                        if baseline is None:
+                            baseline = verdict
+                        else:
+                            assert verdict == baseline, (exec, strategy, plan)
+
+
+class TestMaintainedModelAgreement:
+    @given(programs(), edbs(), transactions())
+    @settings(max_examples=40, deadline=None)
+    def test_dred_end_states_agree(self, program, edb, transaction):
+        states = []
+        for exec in EXECS:
+            maintained = MaintainedModel(
+                edb.copy(), program, "greedy", exec
+            )
+            inserted, deleted = maintained.apply(transaction)
+            states.append(
+                (
+                    frozenset(maintained.model),
+                    frozenset(maintained.edb),
+                    frozenset(inserted),
+                    frozenset(deleted),
+                )
+            )
+        assert states[0] == states[1]
+
+    @given(programs(), edbs(), transactions(), transactions())
+    @settings(max_examples=20, deadline=None)
+    def test_dred_agrees_across_two_transactions(
+        self, program, edb, first, second
+    ):
+        models = []
+        for exec in EXECS:
+            maintained = MaintainedModel(edb.copy(), program, "source", exec)
+            maintained.apply(first)
+            maintained.apply(second)
+            models.append(frozenset(maintained.model))
+        assert models[0] == models[1]
+
+
+def matrix_verdicts(db, updates, exec):
+    """One exec mode's verdict sequence over the strategy/plan matrix —
+    the cells must agree within a mode (and, asserted by the caller,
+    across modes)."""
+    baseline = None
+    for strategy in STRATEGIES:
+        for plan in PLANS:
+            checker = IntegrityChecker(
+                db, strategy=strategy, plan=plan, exec_mode=exec
+            )
+            verdicts = [
+                (
+                    result.ok,
+                    frozenset(result.violated_constraint_ids()),
+                )
+                for result in (checker.check_bdm(u) for u in updates)
+            ]
+            if baseline is None:
+                baseline = verdicts
+            else:
+                assert verdicts == baseline, (exec, strategy, plan)
+    return baseline
+
+
+class TestWorkloadAgreement:
+    def test_relational_workload(self):
+        workload = RelationalWorkload(n_employees=18, seed=7)
+        db = workload.build()
+        updates = workload.update_stream(10, violation_rate=0.4, seed=11)
+        batch = matrix_verdicts(db, updates, "batch")
+        tuple_ = matrix_verdicts(db, updates, "tuple")
+        assert batch == tuple_
+        assert any(ok for ok, _ in batch)
+        assert any(not ok for ok, _ in batch)
+
+    def test_deductive_ancestor_workload(self):
+        db, update = ancestor_database(10)
+        updates = [update, "par(g10, g0)", "not par(g0, g1)"]
+        assert matrix_verdicts(db, updates, "batch") == matrix_verdicts(
+            db, updates, "tuple"
+        )
+
+    def test_deductive_rule_chain_workload(self):
+        db, update = rule_chain_database(depth=3, width=4)
+        updates = [update, "not ok(m1)", "c0(stranger)"]
+        assert matrix_verdicts(db, updates, "batch") == matrix_verdicts(
+            db, updates, "tuple"
+        )
+
+    def test_orders_workload(self):
+        workload = OrdersWorkload(n_customers=5, seed=3)
+        db = workload.build()
+        deletions = workload.deletion_stream(6, seed=9)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", MagicFallbackWarning)
+            batch = matrix_verdicts(db, deletions, "batch")
+            tuple_ = matrix_verdicts(db, deletions, "tuple")
+        assert batch == tuple_
+        assert any(not ok for ok, _ in batch)
