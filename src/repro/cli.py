@@ -87,6 +87,14 @@ def _add_strategy_option(command) -> None:
         "demand-driven via the magic-sets rewrite "
         "(default: %(default)s)",
     )
+    command.add_argument(
+        "--no-supplementary",
+        dest="supplementary",
+        action="store_false",
+        help="disable supplementary-predicate prefix sharing in the "
+        "magic rewrite (the classic rewrite, kept as the differential "
+        "oracle; only meaningful with --strategy magic)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,7 +271,11 @@ def _run_check(args) -> int:
 
     db = _load_database(args.database)
     checker = IntegrityChecker(
-        db, strategy=args.strategy, plan=args.plan, exec_mode=args.exec_mode
+        db,
+        strategy=args.strategy,
+        plan=args.plan,
+        exec_mode=args.exec_mode,
+        supplementary=args.supplementary,
     )
     transaction = Transaction.coerce(list(args.updates))
     result = checker.admit(transaction, args.method)
@@ -322,7 +334,10 @@ def _run_query(args) -> int:
     db = _load_database(args.database)
     formula = normalize_constraint(parse_formula(args.formula))
     value = db.engine(
-        args.strategy, plan=args.plan, exec_mode=args.exec_mode
+        args.strategy,
+        plan=args.plan,
+        exec_mode=args.exec_mode,
+        supplementary=args.supplementary,
     ).evaluate(formula)
     if args.format == "json":
         print(json.dumps(serialize.query_result_json(args.formula, value)))
@@ -397,6 +412,7 @@ def _run_serve(args) -> int:
         strategy=args.strategy,
         plan=args.plan,
         exec_mode=args.exec_mode,
+        supplementary=args.supplementary,
         group_commit=not args.serialize_commits,
         snapshot_interval=args.snapshot_interval,
     )

@@ -21,7 +21,9 @@ from repro.datalog.joins import (
     atom_builder,
     join_literals,
     join_literals_rows,
+    pattern_variables,
     rows_from_source,
+    validate_exec,
 )
 from repro.datalog.planner import (
     DEFAULT_PLAN,
@@ -50,14 +52,27 @@ def _derive_rule(
     holds,
     planner,
     derived: List[Atom],
+    literals=None,
+    initial=None,
 ) -> None:
     """Batch-solve one rule body and append its head instances to
     *derived* — heads are built straight from the value rows (column
     indexing, no per-tuple substitutions): the set-at-a-time fast path
-    of semi-naive evaluation."""
+    of semi-naive evaluation.
+
+    *literals*/*initial* override the body and seed the pipeline from a
+    named row relation (the delta occurrence's rows), so a semi-naive
+    round flows the delta — a supplementary predicate's new tuples, or
+    any derived predicate's — straight into its consumer joins instead
+    of re-probing it through the store."""
     build = None
     for schema, rows in join_literals_rows(
-        rule.body, Substitution.empty(), probe, holds, planner
+        rule.body if literals is None else literals,
+        Substitution.empty(),
+        probe,
+        holds,
+        planner,
+        initial=initial,
     ):
         if build is None:
             build = atom_builder(rule.head, schema)
@@ -93,41 +108,53 @@ def _derive_round(
             if literal.positive and literal.atom.pred in stratum_preds
         ]
         for delta_position in delta_positions:
+            if exec_mode == "batch":
+                # Seed the pipeline from the delta occurrence's rows —
+                # the delta relation (a supplementary predicate's new
+                # tuples, or any derived predicate's) becomes the
+                # join's initial relation, and the remaining literals
+                # probe the full view as usual.
+                delta_pattern = rule.body[delta_position].atom
+                delta_rows = rows_from_source(delta, delta_pattern)
+                if not delta_rows:
+                    continue
+                _derive_rule(
+                    rule,
+                    lambda index, pattern: rows_from_source(view, pattern),
+                    view.contains,
+                    planner,
+                    derived,
+                    literals=rule.body_without(delta_position),
+                    initial=(pattern_variables(delta_pattern), delta_rows),
+                )
+            else:
 
-            def matcher(index: int, pattern: Atom):
-                if index == delta_position:
-                    for fact in delta.match(pattern):
-                        from repro.logic.unify import match as _m
+                def matcher(index: int, pattern: Atom):
+                    if index == delta_position:
+                        for fact in delta.match(pattern):
+                            from repro.logic.unify import match as _m
 
-                        subst = _m(pattern, fact)
-                        if subst is not None:
-                            yield subst
-                else:
-                    yield from _match_substitutions(view, pattern)
+                            subst = _m(pattern, fact)
+                            if subst is not None:
+                                yield subst
+                    else:
+                        yield from _match_substitutions(view, pattern)
 
-            def probe(index: int, pattern: Atom, _dpos=delta_position):
-                source = delta if index == _dpos else view
-                return rows_from_source(source, pattern)
-
-            round_planner = planner
-            if planner is not None:
                 # The delta-restricted occurrence matches against the
                 # round's new facts, not the predicate's full extent —
                 # tell the planner so it schedules the small side first.
-                def estimator(
-                    index: int, atom: Atom, _dpos=delta_position
-                ) -> int:
-                    if index == _dpos:
-                        return delta.estimate(atom)
-                    return view_estimate(index, atom)
+                round_planner = planner
+                if planner is not None:
 
-                round_planner = planner.with_cardinality(estimator)
+                    def estimator(
+                        index: int, atom: Atom, _dpos=delta_position
+                    ) -> int:
+                        if index == _dpos:
+                            return delta.estimate(atom)
+                        return view_estimate(index, atom)
 
-            if exec_mode == "batch":
-                _derive_rule(
-                    rule, probe, view.contains, round_planner, derived
-                )
-            else:
+                    round_planner = planner.with_cardinality(estimator)
+
                 for binding in join_literals(
                     rule.body,
                     Substitution.empty(),
@@ -147,6 +174,7 @@ def evaluate_stratum(
     exec_mode: str = DEFAULT_EXEC,
 ) -> None:
     """Saturate one stratum's rules against *view* (semi-naive)."""
+    validate_exec(exec_mode)
     # Round zero: full join of every rule.
     delta = FactStore()
     initial: List[Atom] = []
@@ -196,6 +224,7 @@ def compute_model(
     selects the join order (see :mod:`repro.datalog.planner`);
     *exec_mode* the execution model (see :mod:`repro.datalog.joins`).
     """
+    validate_exec(exec_mode)
     model = edb.copy() if isinstance(edb, FactStore) else FactStore(edb)
     planner = make_planner(plan, model)
     for _, rules in program.rules_by_stratum():

@@ -70,7 +70,7 @@ class DeductiveDatabase:
         self.constraints: List[Constraint] = list(constraints)
         self._constraint_counter = itertools.count(len(self.constraints) + 1)
         self._version = 0
-        self._engines: Dict[Tuple[str, str, str], QueryEngine] = {}
+        self._engines: Dict[Tuple[str, str, str, bool], QueryEngine] = {}
         self._engine_version = -1
 
     # -- construction -----------------------------------------------------------------
@@ -181,10 +181,12 @@ class DeductiveDatabase:
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
         exec_mode: str = DEFAULT_EXEC,
+        supplementary: bool = True,
     ) -> QueryEngine:
         """A query engine over the current state. Engines are cached per
-        (strategy, plan, exec_mode) and invalidated whenever the
-        database mutates. *strategy* picks where intensional facts come
+        (strategy, plan, exec_mode, supplementary) and invalidated
+        whenever the database mutates. *strategy* picks where
+        intensional facts come
         from — ``"lazy"`` (per-closure materialization, the default),
         ``"topdown"`` (tabled resolution), ``"model"`` (full canonical
         model up front) or ``"magic"`` (demand-driven bottom-up via the
@@ -194,15 +196,20 @@ class DeductiveDatabase:
         (rule-source order, the unplanned oracle). *exec_mode* picks the
         join execution model — ``"batch"`` (set-at-a-time hash joins,
         the default) or ``"tuple"`` (one binding at a time, the
-        oracle; see :mod:`repro.datalog.joins`)."""
+        oracle; see :mod:`repro.datalog.joins`). *supplementary*
+        (default on) makes the magic rewrite share rule prefixes
+        through supplementary predicates; ``False`` keeps the classic
+        rewrite as the differential oracle (inert for the other
+        strategies)."""
         if self._engine_version != self._version:
             self._engines.clear()
             self._engine_version = self._version
-        key = (strategy, plan, exec_mode)
+        key = (strategy, plan, exec_mode, supplementary)
         engine = self._engines.get(key)
         if engine is None:
             engine = QueryEngine(
-                self.facts, self.program, strategy, plan, exec_mode
+                self.facts, self.program, strategy, plan, exec_mode,
+                supplementary,
             )
             self._engines[key] = engine
         return engine

@@ -33,6 +33,46 @@ _EMPTY: frozenset = frozenset()
 _GroupIndex = Dict[Tuple[int, ...], Dict[Tuple[Constant, ...], Set[Atom]]]
 
 
+def build_group_index(
+    facts: Iterable[Atom], positions: Tuple[int, ...]
+) -> Dict[Tuple[Constant, ...], Set[Atom]]:
+    """One scan of *facts* grouped by their argument values at
+    *positions* (ascending) — the lazy-build step every composite
+    index shares (:class:`FactStore`, the DRed overlays)."""
+    index: Dict[Tuple[Constant, ...], Set[Atom]] = {}
+    deepest = positions[-1]
+    for fact in facts:
+        args = fact.args
+        if len(args) <= deepest:
+            continue  # arity mismatch: the pattern cannot match
+        index.setdefault(tuple(args[p] for p in positions), set()).add(fact)
+    return index
+
+
+def index_into_groups(groups: _GroupIndex, fact: Atom) -> None:
+    """Incrementally maintain every built group index under an insert."""
+    args = fact.args
+    for positions, index in groups.items():
+        if len(args) <= positions[-1]:
+            continue
+        key = tuple(args[p] for p in positions)
+        index.setdefault(key, set()).add(fact)
+
+
+def drop_from_groups(groups: _GroupIndex, fact: Atom) -> None:
+    """Incrementally maintain every built group index under a delete."""
+    args = fact.args
+    for positions, index in groups.items():
+        if len(args) <= positions[-1]:
+            continue
+        key = tuple(args[p] for p in positions)
+        slot = index.get(key)
+        if slot is not None:
+            slot.discard(fact)
+            if not slot:
+                del index[key]
+
+
 class FactStore:
     """A mutable, indexed set of ground atoms."""
 
@@ -62,12 +102,7 @@ class FactStore:
             self._index.setdefault((fact.pred, position, arg), set()).add(fact)
         groups = self._groups.get(fact.pred)
         if groups:
-            args = fact.args
-            for positions, index in groups.items():
-                if len(args) <= positions[-1]:
-                    continue
-                key = tuple(args[p] for p in positions)
-                index.setdefault(key, set()).add(fact)
+            index_into_groups(groups, fact)
         return True
 
     def remove(self, fact: Atom) -> bool:
@@ -87,16 +122,7 @@ class FactStore:
                     del self._index[key]
         groups = self._groups.get(fact.pred)
         if groups:
-            args = fact.args
-            for positions, index in groups.items():
-                if len(args) <= positions[-1]:
-                    continue
-                group_key = tuple(args[p] for p in positions)
-                slot = index.get(group_key)
-                if slot is not None:
-                    slot.discard(fact)
-                    if not slot:
-                        del index[group_key]
+            drop_from_groups(groups, fact)
         return True
 
     def clear(self) -> None:
@@ -164,15 +190,8 @@ class FactStore:
         groups = self._groups.setdefault(pred, {})
         index = groups.get(positions)
         if index is None:
-            index = groups[positions] = {}
+            index = groups[positions] = build_group_index(bucket, positions)
             self.group_builds += 1
-            deepest = positions[-1]  # positions are ascending
-            for fact in bucket:
-                args = fact.args
-                if len(args) <= deepest:
-                    continue  # arity mismatch: the pattern cannot match
-                group_key = tuple(args[p] for p in positions)
-                index.setdefault(group_key, set()).add(fact)
         return index.get(key, _EMPTY)
 
     def _candidates(self, pattern: Atom) -> Optional[Iterable[Atom]]:

@@ -27,7 +27,11 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Set, Tuple
 
-from repro.datalog.facts import FactStore
+from repro.datalog.facts import (
+    FactStore,
+    build_group_index,
+    index_into_groups,
+)
 from repro.datalog.joins import (
     DEFAULT_EXEC,
     join_body,
@@ -52,13 +56,23 @@ class PredicateIndexedSet:
     the whole overlay, which dominates deletion-heavy cascades. The
     `inserted` overlay shares the representation for symmetry but is
     only ever consulted by membership, which a plain set also served
-    in O(1)."""
+    in O(1).
 
-    __slots__ = ("_by_pred", "_size")
+    For the batch join path, :meth:`bucket` mirrors
+    :meth:`FactStore.bucket`: a composite group index per
+    (predicate, positions) pair, built lazily by one scan (counted in
+    :attr:`group_builds`) and maintained incrementally by :meth:`add` —
+    required, because the ``removed`` overlay grows *while* a deletion
+    cascade's joins consume it."""
+
+    __slots__ = ("_by_pred", "_size", "_groups", "group_builds")
 
     def __init__(self, atoms: Iterable[Atom] = ()):
         self._by_pred: dict = {}
         self._size = 0
+        # positions -> key tuple -> atoms, per predicate (lazy).
+        self._groups: dict = {}
+        self.group_builds = 0
         self.update(atoms)
 
     def add(self, atom: Atom) -> None:
@@ -66,6 +80,9 @@ class PredicateIndexedSet:
         if atom not in bucket:
             bucket.add(atom)
             self._size += 1
+            groups = self._groups.get(atom.pred)
+            if groups:
+                index_into_groups(groups, atom)
 
     def update(self, atoms: Iterable[Atom]) -> None:
         for atom in atoms:
@@ -74,6 +91,22 @@ class PredicateIndexedSet:
     def matching(self, pred: str):
         """All stored atoms of predicate *pred* (the probe set)."""
         return self._by_pred.get(pred, _EMPTY_BUCKET)
+
+    def bucket(self, pred: str, positions, key):
+        """All atoms of *pred* whose arguments at *positions* equal
+        *key* — one hash probe, exactly like
+        :meth:`FactStore.bucket` (live set: treat as read-only)."""
+        if not positions:
+            return self._by_pred.get(pred, _EMPTY_BUCKET)
+        bucket = self._by_pred.get(pred)
+        if not bucket:
+            return _EMPTY_BUCKET
+        groups = self._groups.setdefault(pred, {})
+        index = groups.get(positions)
+        if index is None:
+            index = groups[positions] = build_group_index(bucket, positions)
+            self.group_builds += 1
+        return index.get(key, _EMPTY_BUCKET)
 
     def __contains__(self, atom: Atom) -> bool:
         return atom in self._by_pred.get(atom.pred, _EMPTY_BUCKET)
@@ -92,6 +125,96 @@ class PredicateIndexedSet:
         )
 
 
+class _PreUpdateView:
+    """The exact pre-update state — model ∪ removed − inserted — as a
+    first-class fact source for DRed's over-deletion joins.
+
+    Giving the composite view a real :meth:`bucket` (mirroring the
+    dedup rules of ``_CombinedView``/``_DemandView``) lets deletion
+    cascades hit the model store's composite group indexes directly
+    instead of batching through the generic ``probe_from_matcher``
+    adapter, which re-enumerated ``match`` per distinct join key.
+
+    The caller removes facts from the model *while* consuming join
+    results; that is safe here exactly as it was for the matcher: a
+    fact removed mid-join lands in the ``removed`` overlay, which this
+    view keeps visible (``removed`` wins over ``inserted``: a fact
+    recorded as removed was in the old state even if propagation later
+    re-added it)."""
+
+    __slots__ = ("model", "removed", "inserted")
+
+    def __init__(
+        self,
+        model: FactStore,
+        removed: PredicateIndexedSet,
+        inserted: PredicateIndexedSet,
+    ):
+        self.model = model
+        self.removed = removed
+        self.inserted = inserted
+
+    def contains(self, atom: Atom) -> bool:
+        if atom in self.removed:
+            return True
+        if atom in self.inserted:
+            return False
+        return self.model.contains(atom)
+
+    def _matches(self, pattern: Atom):
+        """(fact, binding) pairs for *pattern*, one unification per
+        overlay fact. Snapshots (list): the caller mutates the model
+        mid-iteration."""
+        seen: Set[Atom] = set()
+        for fact in list(self.model.match(pattern)):
+            seen.add(fact)
+            if fact in self.inserted and fact not in self.removed:
+                continue  # not part of the old state
+            binding = match(pattern, fact)
+            if binding is not None:
+                yield fact, binding
+        for fact in list(self.removed.matching(pattern.pred)):
+            if fact not in seen:
+                binding = match(pattern, fact)
+                if binding is not None:
+                    yield fact, binding
+
+    def match(self, pattern: Atom):
+        for fact, _ in self._matches(pattern):
+            yield fact
+
+    def match_substitutions(self, pattern: Atom):
+        for _, binding in self._matches(pattern):
+            yield binding
+
+    def bucket(self, pred: str, positions, key):
+        """Batched probe over all three parts, one hash lookup each —
+        the model facts win the dedup against the removed overlay,
+        mirroring :meth:`match`. Returns a fresh list (the caller
+        mutates the underlying stores while consuming joins)."""
+        model_facts = self.model.bucket(pred, positions, key)
+        inserted, removed = self.inserted, self.removed
+        out = [
+            fact
+            for fact in model_facts
+            if not (fact in inserted and fact not in removed)
+        ]
+        extra = removed.bucket(pred, positions, key)
+        if extra:
+            out.extend(fact for fact in extra if fact not in model_facts)
+        return out
+
+    def count(self, pred: str) -> int:
+        return self.model.count(pred) + len(self.removed.matching(pred))
+
+    def estimate(self, pattern: Atom) -> int:
+        """Upper bound, like the overlay store's: removed facts may
+        overlap the model's figure, which only overshoots."""
+        return self.model.estimate(pattern) + len(
+            self.removed.matching(pattern.pred)
+        )
+
+
 class MaintainedModel:
     """A materialized canonical model kept current under updates."""
 
@@ -103,10 +226,11 @@ class MaintainedModel:
         exec_mode: str = DEFAULT_EXEC,
     ):
         from repro.datalog.bottomup import compute_model
+        from repro.datalog.joins import validate_exec
 
         self.program = program
         self.edb = edb.copy()
-        self.exec_mode = exec_mode
+        self.exec_mode = validate_exec(exec_mode)
         self.model = compute_model(self.edb, program, plan, exec_mode)
         # Maintenance joins run over the evolving model; its cardinality
         # accounting keeps re-planning O(body²) per join.
@@ -127,10 +251,12 @@ class MaintainedModel:
         model of ``edb ∪ program`` (the crash-recovery tests verify
         this equals a from-scratch recomputation); both stores are
         copied, so the snapshot they came from stays pristine."""
+        from repro.datalog.joins import validate_exec
+
         maintained = cls.__new__(cls)
         maintained.program = program
         maintained.edb = edb.copy()
-        maintained.exec_mode = exec_mode
+        maintained.exec_mode = validate_exec(exec_mode)
         maintained.model = model.copy()
         maintained.planner = make_planner(plan, maintained.model)
         return maintained
@@ -307,46 +433,23 @@ class MaintainedModel:
         """During over-deletion, joins must see the *pre-update* state:
         the current model, plus everything removed from it so far (base
         deletions and over-deleted facts alike), minus everything the
-        update genuinely added."""
+        update genuinely added. The :class:`_PreUpdateView` gives that
+        composite a real ``bucket()``, so the batch path probes the
+        store group indexes directly instead of adapting the generic
+        matcher."""
+        view = _PreUpdateView(self.model, removed, inserted)
 
         def matcher(index: int, pattern: Atom):
-            # Snapshot: the caller removes facts from the model while
-            # consuming this generator. Results are unaffected — the
-            # `removed` overlay keeps removed facts visible, so joins
-            # see the pre-update state either way.
-            seen = set()
-            for fact in list(self.model.match(pattern)):
-                seen.add(fact)
-                if fact in inserted and fact not in removed:
-                    continue  # not part of the old state
-                binding = match(pattern, fact)
-                if binding is not None:
-                    yield binding
-            for fact in list(removed.matching(pattern.pred)):
-                if fact not in seen:
-                    binding = match(pattern, fact)
-                    if binding is not None:
-                        yield binding
+            return view.match_substitutions(pattern)
 
-        def holds(atom: Atom) -> bool:
-            # `removed` wins over `inserted`: a fact recorded as removed
-            # was in the old state even if propagation later re-added it.
-            if atom in removed:
-                return True
-            if atom in inserted:
-                return False
-            return self.model.contains(atom)
-
-        # The composite pre-update view has no store-level hash index;
-        # join_body derives the batch probe from the matcher, keeping
-        # the per-key memoization and tuple intermediates.
         yield from join_body(
             rest,
             Substitution.empty(),
             matcher,
-            holds,
+            view.contains,
             self.planner,
             exec_mode=self.exec_mode,
+            probe=probe_from_source(view),
         )
 
     def _rederive(

@@ -75,6 +75,30 @@ def validate_exec(exec_mode: str) -> str:
 #: the test matrix can pin the tuple oracle without touching call sites.
 DEFAULT_EXEC = validate_exec(os.environ.get("REPRO_EXEC", "batch"))
 
+
+class JoinCounters:
+    """Process-wide work counters for the join kernel.
+
+    ``tuple_fallbacks`` counts :func:`join_body` calls that asked for
+    the batch model but fell back to the tuple oracle because the
+    initial binding mapped variables to non-constants — the relational
+    representation carries value rows only. The counter exists so the
+    regression tests can pin "no fallback" on code paths that are
+    supposed to stay relational (e.g. tabled evaluation after its
+    standardize-apart pass)."""
+
+    __slots__ = ("tuple_fallbacks",)
+
+    def __init__(self):
+        self.tuple_fallbacks = 0
+
+    def reset(self) -> None:
+        self.tuple_fallbacks = 0
+
+
+#: The kernel's shared counter instance (reset freely in tests).
+JOIN_COUNTERS = JoinCounters()
+
 #: How many binding rows flow through the batch pipeline at once. Small
 #: enough that first-answer consumers stay cheap, large enough that the
 #: per-chunk Python overhead is amortized.
@@ -314,6 +338,7 @@ def join_literals_rows(
     holds: HoldsTest,
     planner: Optional[Planner] = None,
     chunk_size: int = BATCH_CHUNK,
+    initial: Optional[Tuple[Sequence[Variable], Sequence[tuple]]] = None,
 ) -> Iterator[Tuple[Tuple[Variable, ...], List[tuple]]]:
     """The relational core of the batch path: yields ``(schema, rows)``
     chunks, where *schema* names the row columns (fixed for the whole
@@ -322,9 +347,16 @@ def join_literals_rows(
     consumers stop after the first one.
 
     *binding* must map variables to constants — :func:`join_body` falls
-    back to the tuple path when it does not (tabled evaluation binds
-    head variables to renamed body variables, which the relational
-    representation cannot carry).
+    back to the tuple path when it does not (tabled evaluation used to
+    hit this with head unifiers before its standardize-apart pass).
+
+    *initial*, when given, is a named ``(schema, rows)`` relation the
+    pipeline starts from instead of the unit binding row — the seam
+    semi-naive evaluation uses to flow a delta relation (a
+    supplementary predicate's rows, or any derived predicate's new
+    facts) straight into its consumer joins without re-probing it.
+    Its schema must list distinct variables, its rows constant tuples;
+    *binding* must be empty when *initial* is supplied.
     """
     positives: List[Tuple[int, Literal]] = []
     negatives: List[Literal] = []
@@ -333,18 +365,36 @@ def join_literals_rows(
             positives.append((index, literal))
         else:
             negatives.append(literal)
-    if binding:
-        positives = [
-            (index, literal.substitute(binding))
-            for index, literal in positives
-        ]
-        negatives = [literal.substitute(binding) for literal in negatives]
+    if initial is not None:
+        if binding:
+            raise ValueError(
+                "join_literals_rows: initial relation and non-empty "
+                "binding are mutually exclusive"
+            )
+        schema = list(initial[0])
+        seed_rows: Optional[Sequence[tuple]] = initial[1]
+        bound_vars = set(schema)
+    else:
+        schema = sorted(binding.domain(), key=lambda v: v.name)
+        seed_rows = None
+        bound_vars = set(binding.domain())
+        if binding:
+            positives = [
+                (index, literal.substitute(binding))
+                for index, literal in positives
+            ]
+            negatives = [
+                literal.substitute(binding) for literal in negatives
+            ]
     if planner is not None and len(positives) > 1:
-        positives = planner.order(positives, set(binding.domain()))
+        positives = planner.order(positives, bound_vars)
 
-    schema: List[Variable] = sorted(binding.domain(), key=lambda v: v.name)
     column_of = {variable: i for i, variable in enumerate(schema)}
-    initial_row = tuple(binding[variable] for variable in schema)
+    initial_row = (
+        tuple(binding[variable] for variable in schema)
+        if seed_rows is None
+        else None
+    )
 
     def negative_tests(pending: List[Literal]) -> List[_NegativeTest]:
         """Consume from *pending* the negatives ground under the current
@@ -441,7 +491,13 @@ def join_literals_rows(
         if out:
             yield from process(level_index + 1, out)
 
-    yield from process(0, [initial_row])
+    if seed_rows is None:
+        yield from process(0, [initial_row])
+    else:
+        # The initial relation enters pre-chunked so the short-circuit
+        # contract holds for relation-seeded joins too.
+        for start in range(0, len(seed_rows), chunk_size):
+            yield from process(0, list(seed_rows[start:start + chunk_size]))
 
 
 def join_literals_batch(
@@ -477,13 +533,21 @@ def join_body(
     ``"batch"`` runs :func:`join_literals_batch` over *probe* (derived
     from *matcher* when the caller has no batched access path);
     ``"tuple"`` — or a *binding* that maps variables to non-constants —
-    runs the :func:`join_literals` oracle.
+    runs the :func:`join_literals` oracle. An unknown *exec_mode* fails
+    here, at the seam, with a one-line error naming the choices —
+    never by silently running the wrong path.
     """
-    exec_mode = DEFAULT_EXEC if exec_mode is None else exec_mode
-    if exec_mode == "batch" and all(
-        isinstance(term, Constant) for _, term in binding.items()
-    ):
-        if probe is None:
-            probe = probe_from_matcher(matcher)
-        return join_literals_batch(literals, binding, probe, holds, planner)
+    exec_mode = (
+        DEFAULT_EXEC if exec_mode is None else validate_exec(exec_mode)
+    )
+    if exec_mode == "batch":
+        if all(
+            isinstance(term, Constant) for _, term in binding.items()
+        ):
+            if probe is None:
+                probe = probe_from_matcher(matcher)
+            return join_literals_batch(
+                literals, binding, probe, holds, planner
+            )
+        JOIN_COUNTERS.tuple_fallbacks += 1
     return join_literals(literals, binding, matcher, holds, planner)

@@ -33,6 +33,25 @@ The pipeline, in this module's terms:
    prefix). A *copy* rule per adorned predicate keeps extensional
    facts of mixed EDB/IDB predicates visible. The query contributes
    one ground magic *seed* fact.
+4. **Supplementary predicates** (default, ``supplementary=False`` to
+   disable) — without them, every magic rule re-derives the guard +
+   positive-prefix join its subgoal sits behind, and the guarded rule
+   derives it once more: a body with k intensional subgoals evaluates
+   its longest prefix k+1 times. The supplementary rewrite splits the
+   SIP-ordered body at each intensional subgoal: the prefix up to the
+   split is materialized **once** as a ``sup@…`` predicate (projected
+   onto the variables still needed downstream), and both the magic
+   rule it seeds and the next prefix segment consume that relation
+   instead of re-joining. Under the set-at-a-time kernel a
+   supplementary predicate is exactly a named intermediate
+   ``(schema, rows)`` relation of :func:`join_literals_rows`: its
+   semi-naive delta flows straight into its consumer joins, so each
+   prefix is evaluated once per saturation pass instead of once per
+   consumer. Negative literals stay out of supplementary bodies
+   (exactly as they stay out of magic prefixes — sound, and it avoids
+   gratuitous negative dependencies between demand predicates); they
+   are carried to the guarded rule, whose projection keeps their
+   variables alive.
 
 Negation: negative subgoals on extensional predicates pass through
 untouched. Negative intensional subgoals are ground when placed (range
@@ -55,7 +74,7 @@ import warnings
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.facts import FactStore
-from repro.datalog.joins import DEFAULT_EXEC
+from repro.datalog.joins import DEFAULT_EXEC, validate_exec
 from repro.datalog.planner import (
     DEFAULT_PLAN,
     UNKNOWN_CARDINALITY,
@@ -110,6 +129,13 @@ def magic_name(pred: str, adornment: str) -> str:
     return f"magic@{pred}@{adornment}"
 
 
+def sup_name(pred: str, adornment: str, rule_index: int, split: int) -> str:
+    """The supplementary predicate materializing the prefix of rule
+    *rule_index* (position in ``program.rules_for(pred)``) up to its
+    *split*-th intensional subgoal."""
+    return f"sup@{pred}@{adornment}@{rule_index}@{split}"
+
+
 def bound_args(atom: Atom, adornment: str) -> Tuple:
     """The atom's arguments at the adornment's bound positions — the
     argument vector of its magic predicate."""
@@ -138,6 +164,7 @@ class MagicProgram:
         "answer_pred",
         "magic_pred",
         "adornments",
+        "supplementary",
     )
 
     def __init__(
@@ -147,6 +174,7 @@ class MagicProgram:
         adornment: str,
         program: Program,
         adornments: Set[Tuple[str, str]],
+        supplementary: bool = True,
     ):
         self.source = source
         self.pred = pred
@@ -155,6 +183,16 @@ class MagicProgram:
         self.answer_pred = adorned_name(pred, adornment)
         self.magic_pred = magic_name(pred, adornment)
         self.adornments = frozenset(adornments)
+        self.supplementary = supplementary
+
+    def sup_predicates(self) -> frozenset:
+        """The supplementary predicates the rewrite introduced (empty
+        for the non-supplementary oracle)."""
+        return frozenset(
+            rule.head.pred
+            for rule in self.program
+            if rule.head.pred.startswith("sup@")
+        )
 
     def seed_for(self, pattern: Atom) -> Atom:
         """The ground magic seed fact demanding *pattern*."""
@@ -223,9 +261,18 @@ def _sip_order(
 
 
 def magic_rewrite(
-    program: Program, pattern: Atom, planner: Optional[Planner] = None
+    program: Program,
+    pattern: Atom,
+    planner: Optional[Planner] = None,
+    supplementary: bool = True,
 ) -> MagicProgram:
     """Rewrite *program* for goal-directed evaluation of *pattern*.
+
+    With *supplementary* (the default) each rule's SIP prefix is
+    materialized once per split point as a ``sup@…`` predicate shared
+    by the magic rule it seeds and the rest of the body; without it the
+    rewrite is the classic one — every consumer re-derives its prefix —
+    kept as the differential oracle.
 
     Raises :class:`MagicRewriteError` when the transformation would not
     help (extensional or fully-unbound query) or would be unsound
@@ -262,7 +309,7 @@ def magic_rewrite(
         rules.setdefault(
             Rule(copy_head, (Literal(copy_guard), Literal(Atom(pred, copy_vars)))),
         )
-        for rule in program.rules_for(pred):
+        for rule_index, rule in enumerate(program.rules_for(pred)):
             head = rule.head
             head_bound = {
                 arg
@@ -272,9 +319,38 @@ def magic_rewrite(
             guard = Atom(guard_pred, bound_args(head, adornment))
             ordered = _sip_order(rule, head_bound, planner)
             covered = set(head_bound)
-            prefix: List[Literal] = [Literal(guard)]
-            adorned_body: List[Literal] = []
+            # Deterministic first-bound order of the covered variables —
+            # the column order of supplementary heads.
+            covered_order: List[Variable] = []
+            for arg in guard.args:
+                if isinstance(arg, Variable) and arg not in covered_order:
+                    covered_order.append(arg)
+            # Variables still needed at (and after) each body position:
+            # the head's, everything any later literal mentions, and —
+            # because negatives before a split are carried to the
+            # guarded rule rather than folded into supplementary
+            # bodies — every negative literal's, at every position.
+            head_vars = set(head.variables())
+            negative_vars: Set[Variable] = set()
             for literal in ordered:
+                if not literal.positive:
+                    negative_vars |= literal.atom.variables()
+            needed_after: List[Set[Variable]] = [set()] * len(ordered)
+            acc = head_vars | negative_vars
+            for position in range(len(ordered) - 1, -1, -1):
+                acc = acc | ordered[position].atom.variables()
+                needed_after[position] = acc
+            # The running prefix: its seed (guard, then the latest
+            # supplementary literal) plus the positive adorned literals
+            # since the last split; `tail` holds *all* adorned literals
+            # since the last split in SIP order, `carried_negatives`
+            # the adorned negatives folded past a split (they stay out
+            # of supplementary bodies, mirroring the magic prefixes).
+            prefix: List[Literal] = [Literal(guard)]
+            tail: List[Literal] = []
+            carried_negatives: List[Literal] = []
+            split_count = 0
+            for position, literal in enumerate(ordered):
                 atom = literal.atom
                 if program.is_idb(atom.pred):
                     sub_adornment = adornment_for(atom.args, covered)
@@ -283,10 +359,31 @@ def magic_rewrite(
                         magic_name(atom.pred, sub_adornment),
                         bound_args(atom, sub_adornment),
                     )
+                    if supplementary and len(prefix) > 1:
+                        # Materialize the prefix once, projected onto
+                        # the variables any later consumer (remaining
+                        # literals, carried negatives, the head, the
+                        # magic rules downstream) still needs.
+                        sup_head = Atom(
+                            sup_name(pred, adornment, rule_index, split_count),
+                            tuple(
+                                v
+                                for v in covered_order
+                                if v in needed_after[position]
+                            ),
+                        )
+                        split_count += 1
+                        rules.setdefault(Rule(sup_head, tuple(prefix)))
+                        carried_negatives.extend(
+                            l for l in tail if not l.positive
+                        )
+                        prefix = [Literal(sup_head)]
+                        tail = []
                     # Demand rule: the subgoal's bound arguments, given
-                    # the guard and the positive prefix. (A recursive
-                    # subgoal whose demand is exactly the guard would
-                    # produce the tautology m :- m; skip it.)
+                    # the prefix seed (guard or supplementary) and any
+                    # positive literals since. (A recursive subgoal
+                    # whose demand is exactly the guard would produce
+                    # the tautology m :- m; skip it.)
                     if not (
                         len(prefix) == 1 and magic_head == prefix[0].atom
                     ):
@@ -297,7 +394,7 @@ def magic_rewrite(
                     )
                 else:
                     adorned_literal = literal
-                adorned_body.append(adorned_literal)
+                tail.append(adorned_literal)
                 if literal.positive:
                     # Negative literals are filters: they pass no
                     # bindings sideways, and keeping them out of the
@@ -305,10 +402,16 @@ def magic_rewrite(
                     # (sound) while avoiding gratuitous negative
                     # dependencies between magic predicates.
                     prefix.append(adorned_literal)
-                    covered.update(atom.variables())
+                    for variable in atom.variables():
+                        if variable not in covered:
+                            covered.add(variable)
+                            covered_order.append(variable)
             guarded_head = Atom(adorned_name(pred, adornment), head.args)
             rules.setdefault(
-                Rule(guarded_head, tuple([Literal(guard)] + adorned_body))
+                Rule(
+                    guarded_head,
+                    tuple([prefix[0]] + tail + carried_negatives),
+                )
             )
     try:
         rewritten = Program(rules)
@@ -319,7 +422,8 @@ def magic_rewrite(
             f"is unsound here — fall back to closure materialization"
         ) from None
     return MagicProgram(
-        program, pattern.pred, query_adornment, rewritten, done
+        program, pattern.pred, query_adornment, rewritten, done,
+        supplementary,
     )
 
 
@@ -381,11 +485,13 @@ class MagicEvaluator:
         program: Program,
         plan: str = DEFAULT_PLAN,
         exec_mode: str = DEFAULT_EXEC,
+        supplementary: bool = True,
     ):
         self.facts = facts
         self.program = program
         self.plan = plan
-        self.exec_mode = exec_mode
+        self.exec_mode = validate_exec(exec_mode)
+        self.supplementary = supplementary
         # SIP chooser: the session's join plan over EDB statistics.
         # An intensional subgoal's extent is unknown at rewrite time —
         # the EDB store would report it as empty (cardinality 0) and
@@ -430,7 +536,8 @@ class MagicEvaluator:
         if rewrite is None:
             try:
                 rewrite = magic_rewrite(
-                    self.program, pattern, self._sip_planner
+                    self.program, pattern, self._sip_planner,
+                    self.supplementary,
                 )
             except MagicRewriteError as error:
                 self.declined[key] = str(error)
@@ -529,6 +636,7 @@ class MagicEvaluator:
 
     def stats(self) -> Dict[str, int]:
         return {
+            "supplementary": int(self.supplementary),
             "rewrites": len(self._rewrites),
             "declined": len(self.declined),
             "seeds": len(self._seeded),

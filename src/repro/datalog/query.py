@@ -140,6 +140,7 @@ class QueryEngine:
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
         exec_mode: str = DEFAULT_EXEC,
+        supplementary: bool = True,
     ):
         validate_strategy(strategy)
         self.facts = facts
@@ -147,6 +148,9 @@ class QueryEngine:
         self.strategy = strategy
         self.plan = validate_plan(plan)
         self.exec_mode = validate_exec(exec_mode)
+        # Whether the magic rewrite shares rule prefixes through
+        # supplementary predicates; inert for the other strategies.
+        self.supplementary = supplementary
         self._derived = FactStore()
         self._view = _CombinedView(facts, self._derived)
         # The planner consults the engine's own estimate(), which knows
@@ -164,7 +168,7 @@ class QueryEngine:
         # Demand-driven bottom-up evaluation; patterns whose rewrite
         # declines fall back to the lazy materialization path below.
         self.magic: Optional[MagicEvaluator] = (
-            MagicEvaluator(facts, program, plan, exec_mode)
+            MagicEvaluator(facts, program, plan, exec_mode, supplementary)
             if strategy == "magic"
             else None
         )

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Set, Tuple
 
-from repro.datalog.joins import DEFAULT_EXEC, join_body
+from repro.datalog.joins import DEFAULT_EXEC, join_body, validate_exec
 from repro.datalog.planner import (
     DEFAULT_PLAN,
     UNKNOWN_CARDINALITY,
@@ -61,11 +61,11 @@ class TabledEvaluator:
     ):
         self.facts = facts
         self.program = program
-        # Body joins dispatch through join_body: batch when the head
-        # unifier grounds the body seam, tuple otherwise (a renamed
-        # rule's unifier may bind variables to variables, which the
-        # relational batch representation cannot carry).
-        self.exec_mode = exec_mode
+        # Body joins dispatch through join_body with the head unifier
+        # folded into the rule up front (standardized apart), so the
+        # binding seam is always relational and batch execution never
+        # falls back to tuple joins.
+        self.exec_mode = validate_exec(exec_mode)
         self._tables: Dict[_TableKey, Set[Atom]] = {}
         self._complete: Set[_TableKey] = set()
         self._in_progress: Set[_TableKey] = set()
@@ -199,19 +199,28 @@ class TabledEvaluator:
             unifier = mgu(renamed.head, pattern)
             if unifier is None:
                 continue
+            # Standardize the binding apart: fold the head unifier into
+            # the rule up front, so the join starts from the empty
+            # (trivially relational) binding and stays on the batch
+            # path even when the unifier maps variables to variables —
+            # the shape that used to force a tuple fallback
+            # (JOIN_COUNTERS.tuple_fallbacks pins "no fallback" on the
+            # recursive workloads).
+            head = renamed.head.substitute(unifier)
+            body = tuple(l.substitute(unifier) for l in renamed.body)
 
             def matcher(index: int, subpattern: Atom):
                 yield from self._match_subgoal(subpattern, touched)
 
             for binding in join_body(
-                renamed.body,
-                unifier,
+                body,
+                Substitution.empty(),
                 matcher,
                 self._negation_holds,
                 self.planner,
                 exec_mode=self.exec_mode,
             ):
-                fact = renamed.head.substitute(binding)
+                fact = head.substitute(binding)
                 if fact.is_ground() and fact not in table:
                     table.add(fact)
                     self._bump_answers(key)

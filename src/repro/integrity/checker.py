@@ -153,6 +153,7 @@ class IntegrityChecker:
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
         exec_mode: str = DEFAULT_EXEC,
+        supplementary: bool = True,
     ):
         from repro.datalog.joins import validate_exec
         from repro.datalog.planner import validate_plan
@@ -162,6 +163,9 @@ class IntegrityChecker:
         self.strategy = validate_strategy(strategy)
         self.plan = validate_plan(plan)
         self.exec_mode = validate_exec(exec_mode)
+        # Prefix sharing in the magic rewrite (inert unless
+        # strategy="magic"); False keeps the classic rewrite oracle.
+        self.supplementary = supplementary
         # Fact-independent structures, shared across checks.
         self.dependency_index = DependencyIndex(database.program)
         self.relevance = RelevanceIndex(database.constraints)
@@ -218,12 +222,14 @@ class IntegrityChecker:
             strategy=self.strategy,
             plan=self.plan,
             exec_mode=self.exec_mode,
+            supplementary=self.supplementary,
         )
         fresh_engine = (
             None
             if share_evaluation
             else lambda: self.database.updated(updates).engine(
-                self.strategy, self.plan, self.exec_mode
+                self.strategy, self.plan, self.exec_mode,
+                self.supplementary,
             )
         )
         return self._evaluate_update_constraints(
@@ -287,7 +293,9 @@ class IntegrityChecker:
         """Evaluate every constraint over U(D) from scratch."""
         updates = _normalize_updates(updates)
         view = self.database.updated(updates)
-        engine = view.engine("model", self.plan, self.exec_mode)
+        engine = view.engine(
+            "model", self.plan, self.exec_mode, self.supplementary
+        )
         violations = [
             Violation(c.id, c.formula)
             for c in self.database.constraints
@@ -306,7 +314,8 @@ class IntegrityChecker:
         iff no deduction rule connects the updates to the constraints."""
         updates = _normalize_updates(updates)
         new_eval = NewEvaluator(
-            self.database, updates, self.strategy, self.plan, self.exec_mode
+            self.database, updates, self.strategy, self.plan,
+            self.exec_mode, self.supplementary,
         )
         violations: List[Violation] = []
         checked: Set[Formula] = set()
@@ -343,6 +352,7 @@ class IntegrityChecker:
             strategy=self.strategy,
             plan=self.plan,
             exec_mode=self.exec_mode,
+            supplementary=self.supplementary,
         )
         engine = delta.new_engine
         violations: List[Violation] = []
@@ -385,7 +395,8 @@ class IntegrityChecker:
         if not compiled.update_constraints:
             return CheckResult([], stats, "lloyd")
         new_eval = NewEvaluator(
-            self.database, updates, self.strategy, self.plan, self.exec_mode
+            self.database, updates, self.strategy, self.plan,
+            self.exec_mode, self.supplementary,
         )
         engine = new_eval.engine
         violations: List[Violation] = []
@@ -462,7 +473,9 @@ class IntegrityChecker:
             return CheckResult([], stats, "rule-addition")
         seeds = self._rule_seeds(
             rule,
-            body_state=new_db.engine(self.strategy, self.plan, self.exec_mode),
+            body_state=new_db.engine(
+                self.strategy, self.plan, self.exec_mode, self.supplementary
+            ),
             inserted=True,
         )
         closure = index.backward_closure(compiled.demanded_signatures())
@@ -474,6 +487,7 @@ class IntegrityChecker:
             strategy=self.strategy,
             plan=self.plan,
             exec_mode=self.exec_mode,
+            supplementary=self.supplementary,
             new_database=new_db,
             seeds=seeds,
         )
@@ -516,11 +530,13 @@ class IntegrityChecker:
         }
         if not compiled.update_constraints:
             return CheckResult([], stats, "rule-removal")
-        new_engine = new_db.engine(self.strategy, self.plan, self.exec_mode)
+        new_engine = new_db.engine(
+            self.strategy, self.plan, self.exec_mode, self.supplementary
+        )
         candidates = self._rule_seeds(
             rule,
             body_state=self.database.engine(
-                self.strategy, self.plan, self.exec_mode
+                self.strategy, self.plan, self.exec_mode, self.supplementary
             ),
             inserted=False,
         )
@@ -539,6 +555,7 @@ class IntegrityChecker:
             strategy=self.strategy,
             plan=self.plan,
             exec_mode=self.exec_mode,
+            supplementary=self.supplementary,
             new_database=new_db,
             seeds=seeds,
         )
@@ -562,7 +579,7 @@ class IntegrityChecker:
         from repro.logic.substitution import Substitution
 
         old_engine = self.database.engine(
-            self.strategy, self.plan, self.exec_mode
+            self.strategy, self.plan, self.exec_mode, self.supplementary
         )
 
         def matcher(index: int, pattern):

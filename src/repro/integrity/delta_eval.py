@@ -54,6 +54,7 @@ class DeltaEvaluator:
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
         exec_mode: str = DEFAULT_EXEC,
+        supplementary: bool = True,
         new_database: Optional[DeductiveDatabase] = None,
         seeds: Optional[Sequence[Literal]] = None,
     ):
@@ -72,12 +73,16 @@ class DeltaEvaluator:
             database.program
         )
         self.exec_mode = exec_mode
-        self.old_engine = database.engine(strategy, plan, exec_mode)
+        self.old_engine = database.engine(
+            strategy, plan, exec_mode, supplementary
+        )
         if new_database is not None:
             self.new_view = new_database
         else:
             self.new_view = database.updated(list(self.updates))
-        self.new_engine = self.new_view.engine(strategy, plan, exec_mode)
+        self.new_engine = self.new_view.engine(
+            strategy, plan, exec_mode, supplementary
+        )
         # Rest-of-body joins are planned against whichever state they
         # run over (old for deletions, new for insertions), reusing
         # each engine's own planner and statistics.

@@ -33,13 +33,16 @@ class NewEvaluator:
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
         exec_mode: str = DEFAULT_EXEC,
+        supplementary: bool = True,
     ):
         if isinstance(updates, Literal):
             updates = [updates]
         self.database = database
         self.updates = tuple(updates)
         self.view = database.updated(list(updates))
-        self.engine = self.view.engine(strategy, plan, exec_mode)
+        self.engine = self.view.engine(
+            strategy, plan, exec_mode, supplementary
+        )
 
     def evaluate(
         self, formula: Formula, binding: Substitution = Substitution.empty()

@@ -40,6 +40,7 @@ class ManagedDatabase:
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
         exec_mode: str = DEFAULT_EXEC,
+        supplementary: bool = True,
         group_commit: bool = True,
         snapshot_interval: int = 0,
         commit_delay: float = 0.002,
@@ -81,6 +82,7 @@ class ManagedDatabase:
             strategy=strategy,
             plan=plan,
             exec_mode=exec_mode,
+            supplementary=supplementary,
             group_commit=group_commit,
             snapshot_interval=snapshot_interval,
             commit_delay=commit_delay,

@@ -93,6 +93,7 @@ class DatabaseServer:
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
         exec_mode: str = DEFAULT_EXEC,
+        supplementary: bool = True,
         group_commit: bool = True,
         snapshot_interval: int = 64,
     ):
@@ -104,6 +105,7 @@ class DatabaseServer:
             "strategy": strategy,
             "plan": plan,
             "exec_mode": exec_mode,
+            "supplementary": supplementary,
             "group_commit": group_commit,
             "snapshot_interval": snapshot_interval,
         }

@@ -296,6 +296,7 @@ class TransactionManager:
         strategy: str = "lazy",
         plan: str = DEFAULT_PLAN,
         exec_mode: str = DEFAULT_EXEC,
+        supplementary: bool = True,
         group_commit: bool = True,
         snapshot_interval: int = 0,
         commit_delay: float = 0.002,
@@ -318,6 +319,7 @@ class TransactionManager:
         self.strategy = strategy
         self.plan = plan
         self.exec_mode = exec_mode
+        self.supplementary = supplementary
         self.group_commit = group_commit
         self.snapshot_interval = snapshot_interval
         # How long a leader lingers for stragglers *when other commits
@@ -328,7 +330,11 @@ class TransactionManager:
         # Open-session count: the linger heuristic's "siblings" signal.
         self._active_sessions = 0
         self.checker = IntegrityChecker(
-            database, strategy=strategy, plan=plan, exec_mode=exec_mode
+            database,
+            strategy=strategy,
+            plan=plan,
+            exec_mode=exec_mode,
+            supplementary=supplementary,
         )
         # _state_lock guards the committed state (database, model,
         # commit log, version) against concurrent readers; the commit
@@ -379,14 +385,14 @@ class TransactionManager:
         with self._state_lock:
             view = self._view(staged)
             return view.engine(
-                self.strategy, self.plan, self.exec_mode
+                self.strategy, self.plan, self.exec_mode, self.supplementary
             ).evaluate(formula)
 
     def holds(self, atom: Atom, staged: Sequence[Literal] = ()) -> bool:
         with self._state_lock:
             view = self._view(staged)
             return view.engine(
-                self.strategy, self.plan, self.exec_mode
+                self.strategy, self.plan, self.exec_mode, self.supplementary
             ).holds(atom)
 
     def dry_run(
@@ -703,6 +709,7 @@ class TransactionManager:
             strategy=self.strategy,
             plan=self.plan,
             exec_mode=self.exec_mode,
+            supplementary=self.supplementary,
         )
         self.version = lsn
         self.stats["ddl_committed"] += 1

@@ -323,3 +323,134 @@ class TestShortCircuit:
         witnesses = list(engine.violations(constraint.formula))
         assert len(witnesses) == self.N
         assert store.probes >= self.N
+
+
+class TestInitialRelation:
+    """join_literals_rows can start from a named (schema, rows)
+    relation instead of the unit binding — the seam semi-naive
+    evaluation uses to flow a delta (e.g. a supplementary predicate's
+    new tuples) straight into its consumer joins."""
+
+    def seeded(self, literals, store, schema, rows, chunk_size=None):
+        from repro.datalog.joins import join_literals_rows
+
+        kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+        out = []
+        for out_schema, out_rows in join_literals_rows(
+            literals,
+            Substitution.empty(),
+            probe_from_source(store),
+            store.contains,
+            initial=(schema, rows),
+            **kwargs,
+        ):
+            for row in out_rows:
+                out.append(
+                    str(Substitution.trusted(dict(zip(out_schema, row))))
+                )
+        return sorted(out)
+
+    def test_matches_per_row_binding_union(self):
+        store = small_store()
+        literals = [Literal(Atom("r", (X, Y)))]
+        rows = [(Constant("a"),), (Constant("b"),), (Constant("zz"),)]
+        expected = sorted(
+            str(answer)
+            for row in rows
+            for answer in join_literals_batch(
+                literals,
+                Substitution({X: row[0]}),
+                probe_from_source(store),
+                store.contains,
+            )
+        )
+        assert self.seeded(literals, store, (X,), rows) == expected
+        assert len(expected) == 3  # r(a,b), r(a,c), r(b,b)
+
+    def test_negatives_and_chunking(self):
+        store = small_store()
+        literals = [
+            Literal(Atom("r", (X, Y))),
+            Literal(Atom("s", (X, Y)), False),
+        ]
+        rows = [(Constant(c),) for c in "abc"]
+        expected = self.seeded(literals, store, (X,), rows)
+        tiny = self.seeded(literals, store, (X,), rows, chunk_size=1)
+        assert tiny == expected
+        assert len(expected) == 3  # (c, c) dies at not s(c, c)
+
+    def test_empty_initial_relation_yields_nothing(self):
+        assert self.seeded(
+            [Literal(Atom("r", (X, Y)))], small_store(), (X,), []
+        ) == []
+
+    def test_initial_excludes_nonempty_binding(self):
+        from repro.datalog.joins import join_literals_rows
+
+        store = small_store()
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            list(
+                join_literals_rows(
+                    [Literal(Atom("r", (X, Y)))],
+                    Substitution({Y: Constant("b")}),
+                    probe_from_source(store),
+                    store.contains,
+                    initial=((X,), [(Constant("a"),)]),
+                )
+            )
+
+
+class TestExecSeamValidation:
+    """Unknown exec modes fail at the seam with one line naming the
+    choices — never by silently running the wrong join path."""
+
+    def test_join_body_rejects_unknown_exec(self):
+        from repro.datalog.joins import join_body
+
+        store = small_store()
+        with pytest.raises(ValueError, match="unknown exec mode"):
+            join_body(
+                [Literal(Atom("p", (X,)))],
+                Substitution.empty(),
+                lambda index, pattern: store.match_substitutions(pattern),
+                store.contains,
+                exec_mode="vectorized",
+            )
+
+    def test_compute_model_rejects_unknown_exec(self):
+        from repro.datalog.bottomup import compute_model
+        from repro.datalog.program import Program
+
+        with pytest.raises(ValueError, match="unknown exec mode"):
+            compute_model(small_store(), Program(), exec_mode="bogus")
+
+    def test_maintained_model_rejects_unknown_exec(self):
+        from repro.datalog.incremental import MaintainedModel
+        from repro.datalog.program import Program
+
+        with pytest.raises(ValueError, match="unknown exec mode"):
+            MaintainedModel(small_store(), Program(), exec_mode="bogus")
+        with pytest.raises(ValueError, match="unknown exec mode"):
+            MaintainedModel.from_snapshot(
+                small_store(), Program(), small_store(), exec_mode="bogus"
+            )
+
+    def test_evaluators_reject_unknown_exec(self):
+        from repro.datalog.magic import MagicEvaluator
+        from repro.datalog.program import Program
+        from repro.datalog.topdown import TabledEvaluator
+
+        with pytest.raises(ValueError, match="unknown exec mode"):
+            TabledEvaluator(small_store(), Program(), exec_mode="bogus")
+        with pytest.raises(ValueError, match="unknown exec mode"):
+            MagicEvaluator(small_store(), Program(), exec_mode="bogus")
+
+    def test_engine_rejects_unknown_exec(self):
+        db = DeductiveDatabase(small_store())
+        with pytest.raises(ValueError, match="unknown exec mode"):
+            db.engine("lazy", "greedy", "bogus")
+
+    def test_checker_rejects_unknown_exec(self):
+        db = DeductiveDatabase(small_store())
+        with pytest.raises(ValueError, match="unknown exec mode"):
+            IntegrityChecker(db, exec_mode="bogus")

@@ -254,3 +254,123 @@ class TestPredicateIndexedSet:
         clone.add(parse_fact("p(z)"))
         assert parse_fact("p(z)") not in base
         assert len(clone) == 3
+
+
+class _CountingStore(FactStore):
+    """A FactStore counting batched (bucket) and scanning (match)
+    probes — the instrument for the pre-update-view regression."""
+
+    def __init__(self, facts=()):
+        self.bucket_probes = 0
+        self.match_calls = 0
+        super().__init__(facts)
+
+    def bucket(self, pred, positions, key):
+        self.bucket_probes += 1
+        return super().bucket(pred, positions, key)
+
+    def match(self, pattern):
+        self.match_calls += 1
+        return super().match(pattern)
+
+
+class TestPreUpdateViewBatching:
+    """DRed's over-deletion joins must hit the store group indexes
+    directly: the pre-update composite view (model ∪ removed −
+    inserted) has a real ``bucket()``, so deletion cascades no longer
+    batch through the generic ``probe_from_matcher`` adapter."""
+
+    @staticmethod
+    def chain_model(n=12):
+        prog = program(
+            "reach(X, Y) :- edge(X, Y)",
+            "reach(X, Y) :- edge(X, Z), reach(Z, Y)",
+        )
+        edb = FactStore(
+            parse_fact(f"edge(n{i}, n{i + 1})") for i in range(n)
+        )
+        maintained = MaintainedModel(edb, prog, "greedy", "batch")
+        counting = _CountingStore(maintained.model)
+        maintained.model = counting
+        return maintained, counting, prog
+
+    def test_deletion_cascade_probes_group_indexes(self):
+        maintained, counting, prog = self.chain_model()
+        _, deleted = maintained.apply([parse_literal("not edge(n3, n4)")])
+        assert len(deleted) > 10  # a real cascade ran
+        # Every over-deletion / re-derivation / insertion join probed
+        # the composite hash indexes, never the match() scan path.
+        assert counting.bucket_probes > 0
+        assert counting.match_calls == 0
+
+    def test_cascade_end_state_matches_recomputation(self):
+        maintained, _, prog = self.chain_model()
+        maintained.apply(
+            [parse_literal("not edge(n3, n4)"), parse_literal("edge(n3, n0)")]
+        )
+        assert set(maintained.model) == set(
+            compute_model(maintained.edb, prog)
+        )
+
+    def test_group_builds_counted_once_per_pattern(self):
+        """The removed overlay's group index is built once and then
+        maintained incrementally while the cascade grows it."""
+        from repro.datalog.incremental import PredicateIndexedSet
+
+        overlay = PredicateIndexedSet(
+            [parse_fact("p(a, b)"), parse_fact("p(a, c)")]
+        )
+        first = overlay.bucket("p", (0,), (Constant("a"),))
+        assert len(first) == 2
+        assert overlay.group_builds == 1
+        # Mid-cascade growth must land in the existing index, not force
+        # a rebuild (and must be visible to the next probe).
+        overlay.add(parse_fact("p(a, d)"))
+        again = overlay.bucket("p", (0,), (Constant("a"),))
+        assert parse_fact("p(a, d)") in again
+        assert overlay.group_builds == 1
+        assert overlay.bucket("p", (0,), (Constant("z"),)) == frozenset()
+        # Empty positions fall back to the whole predicate bucket.
+        assert len(overlay.bucket("p", (), ())) == 3
+
+
+class TestPreUpdateViewSemantics:
+    def test_bucket_matches_match_under_overlays(self):
+        from repro.datalog.incremental import (
+            PredicateIndexedSet,
+            _PreUpdateView,
+        )
+
+        model = FactStore(
+            parse_fact(f)
+            for f in ("p(a, b)", "p(a, c)", "p(d, e)", "q(a)")
+        )
+        removed = PredicateIndexedSet(
+            [parse_fact("p(a, z)"), parse_fact("p(a, b)")]
+        )
+        inserted = PredicateIndexedSet(
+            [parse_fact("p(a, c)"), parse_fact("q(a)")]
+        )
+        from repro.logic.terms import Variable
+
+        view = _PreUpdateView(model, removed, inserted)
+        pattern = Atom("p", (Constant("a"), Variable("Y")))
+        via_match = set(view.match(pattern))
+        via_bucket = {
+            fact
+            for fact in view.bucket("p", (0,), (Constant("a"),))
+            if len(fact.args) == 2
+        }
+        # p(a, b): in model and removed -> part of the old state;
+        # p(a, c): inserted, not removed -> excluded;
+        # p(a, z): removed only -> included.
+        assert via_match == via_bucket == {
+            parse_fact("p(a, b)"),
+            parse_fact("p(a, z)"),
+        }
+        # removed wins over inserted; inserted facts are not old state.
+        assert view.contains(parse_fact("p(a, b)"))
+        assert view.contains(parse_fact("p(a, z)"))
+        assert not view.contains(parse_fact("p(a, c)"))
+        assert not view.contains(parse_fact("q(a)"))
+        assert view.contains(parse_fact("p(d, e)"))

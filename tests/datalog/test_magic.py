@@ -58,9 +58,14 @@ class TestRewrite:
             magic_rewrite(ANCESTOR, parse_atom("anc(X, Y)"))
 
     def test_ancestor_bound_first(self):
-        rewrite = magic_rewrite(ANCESTOR, parse_atom("anc(a, Y)"))
+        # The classic (non-supplementary) rewrite — the oracle shape.
+        rewrite = magic_rewrite(
+            ANCESTOR, parse_atom("anc(a, Y)"), supplementary=False
+        )
         assert rewrite.answer_pred == "anc@bf"
         assert rewrite.magic_pred == "magic@anc@bf"
+        assert not rewrite.supplementary
+        assert not rewrite.sup_predicates()
         from repro.logic.formulas import Atom
 
         assert rewrite.seed_for(parse_atom("anc(a, Y)")) == Atom(
@@ -79,7 +84,9 @@ class TestRewrite:
         }
 
     def test_rewritten_rules_are_guarded(self):
-        rewrite = magic_rewrite(ANCESTOR, parse_atom("anc(a, Y)"))
+        rewrite = magic_rewrite(
+            ANCESTOR, parse_atom("anc(a, Y)"), supplementary=False
+        )
         for rule in rewrite.program:
             if rule.head.pred == rewrite.answer_pred:
                 assert rule.body[0].atom.pred == rewrite.magic_pred
@@ -121,6 +128,149 @@ class TestRewrite:
         )
         with pytest.raises(MagicRewriteError, match="not stratified"):
             magic_rewrite(program, parse_atom("p(c)"))
+
+
+class TestSupplementaryRewrite:
+    """The supplementary (default) rewrite: rule prefixes are
+    materialized once per split point as ``sup@…`` predicates shared by
+    the magic rule they seed and the rest of the body."""
+
+    def test_prefix_is_shared_not_rederived(self):
+        rewrite = magic_rewrite(ANCESTOR, parse_atom("anc(a, Y)"))
+        assert rewrite.supplementary
+        sup_preds = rewrite.sup_predicates()
+        assert len(sup_preds) == 1
+        (sup,) = sup_preds
+        # The recursive rule's prefix magic@anc@bf(X), par(X, Z) is
+        # joined in exactly one rule body — the supplementary
+        # definition; both consumers (the magic rule and the guarded
+        # recursive rule) read the sup relation instead of re-deriving
+        # it. (The base rule anc@bf :- guard, par(X, Y) keeps its own
+        # body: it has no intensional subgoal, hence no split.)
+        sup_rules = [r for r in rewrite.program if r.head.pred == sup]
+        assert len(sup_rules) == 1
+        assert [l.atom.pred for l in sup_rules[0].body] == [
+            "magic@anc@bf", "par",
+        ]
+        magic_rules = [
+            r for r in rewrite.program if r.head.pred == "magic@anc@bf"
+        ]
+        assert len(magic_rules) == 1
+        assert [l.atom.pred for l in magic_rules[0].body] == [sup]
+        recursive = [
+            r
+            for r in rewrite.program
+            if r.head.pred == "anc@bf"
+            and any(l.atom.pred == "anc@bf" for l in r.body)
+        ]
+        assert len(recursive) == 1
+        assert recursive[0].body[0].atom.pred == sup
+
+    def test_sup_names_cannot_clash_with_parsed_predicates(self):
+        rewrite = magic_rewrite(ANCESTOR, parse_atom("anc(a, Y)"))
+        for sup in rewrite.sup_predicates():
+            assert "@" in sup
+
+    def test_no_sup_without_prefix(self):
+        # A rule whose intensional subgoal sits first has only the
+        # guard before it — nothing worth materializing.
+        program = program_of(
+            "p(X) :- q(X)",
+            "q(X) :- e(X)",
+        )
+        rewrite = magic_rewrite(program, parse_atom("p(a)"))
+        assert rewrite.sup_predicates() == frozenset()
+
+    def test_multiple_splits_chain_supplementaries(self):
+        # Two intensional subgoals behind a shared extensional prefix:
+        # sup_0 materializes the prefix, sup_1 extends sup_0 — the
+        # prefix join itself happens exactly once.
+        program = program_of(
+            "res(X, Y) :- e1(X, A), e2(A, B), q(B, M), q(M, Y)",
+            "q(X, Y) :- f(X, Y)",
+        )
+        rewrite = magic_rewrite(program, parse_atom("res(a, Y)"), None)
+        sups = sorted(rewrite.sup_predicates())
+        assert len(sups) == 2
+        by_head = {}
+        for rule in rewrite.program:
+            by_head.setdefault(rule.head.pred, []).append(rule)
+        # sup_0 :- guard, e1, e2 ; sup_1 :- sup_0, q@ ; and e1/e2 appear
+        # in no other rule body of the res rewrite.
+        [sup0_rule] = by_head[sups[0]]
+        assert {l.atom.pred for l in sup0_rule.body} == {
+            "magic@res@bf", "e1", "e2",
+        }
+        [sup1_rule] = by_head[sups[1]]
+        assert sup1_rule.body[0].atom.pred == sups[0]
+        prefix_consumers = [
+            rule
+            for rule in rewrite.program
+            if any(l.atom.pred in ("e1", "e2") for l in rule.body)
+        ]
+        assert prefix_consumers == [sup0_rule]
+
+    def test_carried_negative_keeps_its_variables(self):
+        # A negative before the split whose variable nothing after the
+        # split mentions: the sup projection must keep Y alive for the
+        # carried ``not f(Y)`` filter in the guarded rule.
+        program = program_of(
+            "p(X) :- e(X, Y), not f(Y), q(X)",
+            "q(X) :- g(X)",
+        )
+        rewrite = magic_rewrite(program, parse_atom("p(a)"), None)
+        (sup,) = rewrite.sup_predicates()
+        sup_rules = [r for r in rewrite.program if r.head.pred == sup]
+        assert len(sup_rules) == 1
+        # The sup body holds the positive prefix only; the negative is
+        # carried to the guarded rule, which still sees Y via the sup.
+        assert all(l.positive for l in sup_rules[0].body)
+        guarded = [
+            r
+            for r in rewrite.program
+            if r.head.pred == "p@b"
+            and any(not l.positive for l in r.body)
+        ]
+        assert len(guarded) == 1
+        sup_vars = set(sup_rules[0].head.variables())
+        for literal in guarded[0].body:
+            if not literal.positive:
+                assert literal.atom.variables() <= sup_vars
+
+    def test_supplementary_answers_match_oracle(self):
+        facts = FactStore()
+        for i in range(12):
+            facts.add(parse_atom(f"par(g{i}, g{i + 1})"))
+        for pattern_text in ("anc(g3, Y)", "anc(X, g7)", "anc(g0, g5)"):
+            pattern = parse_atom(pattern_text)
+            sup = MagicEvaluator(facts, ANCESTOR, supplementary=True)
+            oracle = MagicEvaluator(facts, ANCESTOR, supplementary=False)
+            assert sorted(map(str, sup.answers(pattern))) == sorted(
+                map(str, oracle.answers(pattern))
+            )
+
+    def test_supplementary_with_negation_matches_oracle(self):
+        program = program_of(
+            "p(X) :- e(X, Y), not f(Y), q(X)",
+            "q(X) :- g(X)",
+        )
+        facts = FactStore(
+            parse_atom(text)
+            for text in (
+                "e(a, m)", "e(b, n)", "e(c, m)", "f(n)", "g(a)", "g(b)",
+            )
+        )
+        for constant in "abcd":
+            pattern = parse_atom(f"p({constant})")
+            sup = MagicEvaluator(facts, program, supplementary=True)
+            oracle = MagicEvaluator(facts, program, supplementary=False)
+            assert sup.holds(pattern) == oracle.holds(pattern)
+
+    def test_evaluator_records_mode_in_stats(self):
+        evaluator = MagicEvaluator(FactStore(), ANCESTOR)
+        assert evaluator.stats()["supplementary"] == 1
+        oracle = MagicEvaluator(FactStore(), ANCESTOR, supplementary=False)
+        assert oracle.stats()["supplementary"] == 0
 
 
 class TestMagicEvaluator:

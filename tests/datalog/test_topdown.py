@@ -167,3 +167,83 @@ class TestAgreementWithBottomUp:
             pattern = parse_atom(query)
             expected = set(model.match(pattern))
             assert set(ev.solve(pattern)) == expected
+
+
+class TestRelationalJoins:
+    """Tabled evaluation standardizes the head unifier apart before
+    joining, so batch execution never falls back to tuple joins — even
+    on recursive rules, whose unifiers bind variables to variables."""
+
+    def drive(self, facts, prog, queries):
+        from repro.datalog.joins import JOIN_COUNTERS
+
+        JOIN_COUNTERS.reset()
+        ev = TabledEvaluator(facts, prog, exec_mode="batch")
+        model = compute_model(facts, prog)
+        for query in queries:
+            pattern = parse_atom(query)
+            assert set(ev.solve(pattern)) == set(model.match(pattern))
+        return JOIN_COUNTERS.tuple_fallbacks
+
+    def test_no_fallback_on_transitive_closure(self):
+        assert self.drive(
+            chain_store(8), ANCESTOR, ["anc(c0, X)", "anc(X, c8)", "anc(X, Y)"]
+        ) == 0
+
+    def test_no_fallback_on_left_recursion(self):
+        left = program(
+            "path(X, Y) :- path(X, Z), edge(Z, Y)",
+            "path(X, Y) :- edge(X, Y)",
+        )
+        assert self.drive(
+            store("edge(a, b)", "edge(b, c)", "edge(c, d)"),
+            left,
+            ["path(a, X)", "path(X, d)"],
+        ) == 0
+
+    def test_no_fallback_on_same_generation(self):
+        sg = program(
+            "sg(X, Y) :- flat(X, Y)",
+            "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y)",
+        )
+        assert self.drive(
+            store(
+                "up(a, b)", "up(c, d)", "flat(b, d)",
+                "down(d, e)", "down(b, f)",
+            ),
+            sg,
+            ["sg(X, Y)", "sg(a, X)"],
+        ) == 0
+
+    def test_no_fallback_with_negation(self):
+        prog = program(
+            "anc(X, Y) :- par(X, Y)",
+            "anc(X, Y) :- par(X, Z), anc(Z, Y)",
+            "stranger(X, Y) :- person(X), person(Y), not anc(X, Y)",
+        )
+        assert self.drive(
+            store("par(a, b)", "person(a)", "person(b)"),
+            prog,
+            ["stranger(X, Y)"],
+        ) == 0
+
+    def test_counter_does_count_variable_bindings(self):
+        """The pin above is only meaningful if the counter fires when a
+        binding really does map variables to variables."""
+        from repro.datalog.joins import JOIN_COUNTERS, join_body
+        from repro.logic.formulas import Literal
+        from repro.logic.substitution import Substitution
+
+        facts = store("p(a)", "p(b)")
+        JOIN_COUNTERS.reset()
+        answers = list(
+            join_body(
+                [Literal(parse_atom("p(X)"))],
+                Substitution({Variable("H"): Variable("X")}),
+                lambda index, pattern: facts.match_substitutions(pattern),
+                facts.contains,
+                exec_mode="batch",
+            )
+        )
+        assert len(answers) == 2
+        assert JOIN_COUNTERS.tuple_fallbacks == 1

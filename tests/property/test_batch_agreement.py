@@ -4,10 +4,11 @@
 store indexes) and ``exec_mode="tuple"`` (the seed's one-binding-at-a-
 time oracle) must produce identical answer sets, identical integrity
 verdicts and identical DRed-maintained models — for Hypothesis-
-generated programs and transactions and across the strategy/plan
-matrix (``lazy``/``magic`` × ``source``/``greedy``), on the
-relational, deductive and orders workloads, negation and empty
-relations included.
+generated programs and transactions and across the strategy/plan/
+supplementary matrix (``lazy``/``magic`` × ``source``/``greedy`` ×
+supplementary on/off: the supplementary-magic rewrite against its
+classic non-supplementary oracle), on the relational, deductive and
+orders workloads, negation and empty relations included.
 """
 
 import warnings
@@ -34,6 +35,10 @@ from tests.property.strategies import CONSTANTS
 EXECS = ("batch", "tuple")
 PLANS = ("source", "greedy")
 STRATEGIES = ("lazy", "magic")
+# Prefix sharing in the magic rewrite: on (the default) vs. the
+# classic rewrite oracle. Inert for strategy="lazy" but swept across
+# the whole matrix anyway — agreement must not depend on the cell.
+SUPPLEMENTARY = (True, False)
 
 # Stratified rule shapes with recursion and negation; `empty`-prefixed
 # predicates never get facts, so empty-relation joins and anti-joins
@@ -134,14 +139,18 @@ class TestAnswerAgreement:
             warnings.simplefilter("ignore", MagicFallbackWarning)
             for strategy in STRATEGIES:
                 for plan in PLANS:
-                    per_exec = [
+                    cells = [
                         answer_set(
-                            QueryEngine(edb, program, strategy, plan, exec),
+                            QueryEngine(
+                                edb, program, strategy, plan, exec, sup
+                            ),
                             pattern,
                         )
                         for exec in EXECS
+                        for sup in SUPPLEMENTARY
                     ]
-                    assert per_exec[0] == per_exec[1], (strategy, plan)
+                    for cell in cells[1:]:
+                        assert cell == cells[0], (strategy, plan)
 
 
 class TestVerdictAgreement:
@@ -155,24 +164,36 @@ class TestVerdictAgreement:
             for exec in EXECS:
                 for strategy in STRATEGIES:
                     for plan in PLANS:
-                        db = DeductiveDatabase(edb.copy(), program)
-                        for text in constraints:
-                            db.add_constraint(text)
-                        checker = IntegrityChecker(
-                            db, strategy=strategy, plan=plan, exec_mode=exec
-                        )
-                        result = checker.check_bdm(transaction)
-                        verdict = (
-                            result.ok,
-                            frozenset(result.violated_constraint_ids()),
-                        )
-                        if baseline is None:
-                            baseline = verdict
-                        else:
-                            assert verdict == baseline, (exec, strategy, plan)
+                        for sup in SUPPLEMENTARY:
+                            db = DeductiveDatabase(edb.copy(), program)
+                            for text in constraints:
+                                db.add_constraint(text)
+                            checker = IntegrityChecker(
+                                db,
+                                strategy=strategy,
+                                plan=plan,
+                                exec_mode=exec,
+                                supplementary=sup,
+                            )
+                            result = checker.check_bdm(transaction)
+                            verdict = (
+                                result.ok,
+                                frozenset(result.violated_constraint_ids()),
+                            )
+                            if baseline is None:
+                                baseline = verdict
+                            else:
+                                assert verdict == baseline, (
+                                    exec, strategy, plan, sup,
+                                )
 
 
 class TestMaintainedModelAgreement:
+    """DRed maintenance has no magic path, so the supplementary knob
+    cannot reach it by construction — the exec sweep is the full
+    matrix here; the checker sweeps above cover supplementary end to
+    end (their DeltaEvaluator/NewEvaluator engines thread it)."""
+
     @given(programs(), edbs(), transactions())
     @settings(max_examples=40, deadline=None)
     def test_dred_end_states_agree(self, program, edb, transaction):
@@ -207,26 +228,31 @@ class TestMaintainedModelAgreement:
 
 
 def matrix_verdicts(db, updates, exec):
-    """One exec mode's verdict sequence over the strategy/plan matrix —
-    the cells must agree within a mode (and, asserted by the caller,
-    across modes)."""
+    """One exec mode's verdict sequence over the strategy/plan/
+    supplementary matrix — the cells must agree within a mode (and,
+    asserted by the caller, across modes)."""
     baseline = None
     for strategy in STRATEGIES:
         for plan in PLANS:
-            checker = IntegrityChecker(
-                db, strategy=strategy, plan=plan, exec_mode=exec
-            )
-            verdicts = [
-                (
-                    result.ok,
-                    frozenset(result.violated_constraint_ids()),
+            for sup in SUPPLEMENTARY:
+                checker = IntegrityChecker(
+                    db,
+                    strategy=strategy,
+                    plan=plan,
+                    exec_mode=exec,
+                    supplementary=sup,
                 )
-                for result in (checker.check_bdm(u) for u in updates)
-            ]
-            if baseline is None:
-                baseline = verdicts
-            else:
-                assert verdicts == baseline, (exec, strategy, plan)
+                verdicts = [
+                    (
+                        result.ok,
+                        frozenset(result.violated_constraint_ids()),
+                    )
+                    for result in (checker.check_bdm(u) for u in updates)
+                ]
+                if baseline is None:
+                    baseline = verdicts
+                else:
+                    assert verdicts == baseline, (exec, strategy, plan, sup)
     return baseline
 
 

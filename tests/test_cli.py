@@ -183,6 +183,29 @@ class TestKnobValidation:
         )
         assert code == 1
 
+    def test_no_supplementary_oracle_agrees(self, db_file, capsys):
+        """--no-supplementary selects the classic rewrite; verdicts and
+        query answers must not change."""
+        for extra in ([], ["--no-supplementary"]):
+            assert main(
+                ["check", db_file, "--update", "employee(bob)",
+                 "--strategy", "magic", *extra]
+            ) == 0
+            assert main(
+                ["check", db_file, "--update", "leads(bob, hr)",
+                 "--strategy", "magic", *extra]
+            ) == 1
+            assert main(
+                ["query", db_file, "member(ann, sales)",
+                 "--strategy", "magic", *extra]
+            ) == 0
+
+    def test_no_supplementary_accepted_without_magic(self, db_file):
+        # The flag is inert for other strategies but must parse.
+        assert main(
+            ["query", db_file, "member(ann, sales)", "--no-supplementary"]
+        ) == 0
+
 
 class TestQueryAndModel:
     def test_query_true(self, db_file, capsys):
