@@ -4,18 +4,34 @@ A from-scratch reproduction of Bry, Decker & Manthey, *A Uniform
 Approach to Constraint Satisfaction and Constraint Satisfiability in
 Deductive Databases* (EDBT 1988).
 
-The two front doors:
+The front door is :func:`repro.open` — a transactional deductive
+database whose commit gate is the paper's integrity check:
 
->>> from repro import DeductiveDatabase, IntegrityChecker
->>> db = DeductiveDatabase.from_source('''
+>>> import repro
+>>> db = repro.open(source='''
 ...     leads(ann, sales).
+...     employee(ann).
 ...     member(X, Y) :- leads(X, Y).
 ...     forall X, Y: member(X, Y) -> employee(X).
 ... ''')
->>> db.apply_update("employee(ann)")
+>>> db.submit("not employee(zoe)").status
+'committed'
+>>> db.submit("leads(bob, hr)").status          # bob is no employee
+'rejected'
+>>> db.query("forall X: employee(X) -> exists Y: member(X, Y)")
 True
->>> IntegrityChecker(db).check("leads(bob, hr)").ok
-False
+
+Pass a directory for durability (WAL + snapshots), and an
+:class:`EngineConfig` to pick evaluation strategy, join plan, storage
+backend and result caching in one validated object:
+
+>>> config = repro.EngineConfig(strategy="magic", backend="sqlite",
+...                             cache=True)
+>>> db = repro.open("/tmp/mydb", config=config)   # doctest: +SKIP
+
+The lower-level classes (:class:`DeductiveDatabase`,
+:class:`IntegrityChecker`, :class:`SatisfiabilityChecker`) remain
+public for library use:
 
 >>> from repro import check_satisfiability
 >>> check_satisfiability("exists X: p(X). forall X: not p(X).").status
@@ -25,6 +41,15 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-claim-by-claim reproduction record.
 """
 
+import os as _os
+from typing import Optional as _Optional, Union as _Union
+
+# Initialize the datalog package before repro.config: config's own
+# imports (joins, planner) would otherwise re-enter repro.datalog's
+# package __init__ mid-flight and hit a partially initialized module.
+import repro.datalog  # noqa: F401  isort:skip
+
+from repro.config import EngineConfig, resolve_config
 from repro.datalog.database import Constraint, DeductiveDatabase
 from repro.datalog.facts import FactStore
 from repro.datalog.incremental import MaintainedModel
@@ -40,30 +65,70 @@ from repro.satisfiability.checker import (
     check_satisfiability,
 )
 from repro.satisfiability.tableaux import TableauxChecker
+from repro.service.database import ManagedDatabase
+from repro.service.transactions import CommitResult, Session
+from repro.storage.backends import BACKENDS, StoreBackend, make_store
+from repro.storage.result_cache import ResultCache
 
-__version__ = "1.0.0"
+#: The transactional database handle :func:`open` returns.
+Database = ManagedDatabase
+
+
+def open(
+    directory: _Optional[_Union[str, "_os.PathLike"]] = None,
+    source: _Optional[str] = None,
+    *,
+    config: _Optional[EngineConfig] = None,
+    **options,
+) -> ManagedDatabase:
+    """Open (or create) a transactional deductive database.
+
+    With *directory*, the last committed state is recovered from its
+    WAL and snapshots (the directory is created and seeded from
+    *source* on first open); without one, the database lives in memory
+    with identical semantics. *config* is an :class:`EngineConfig`
+    bundling every engine knob (strategy, plan, exec mode, storage
+    backend, result cache); remaining *options* (``sync``, ``method``,
+    ``group_commit``, ``snapshot_interval``, ...) pass through to
+    :class:`Database`.
+    """
+    return ManagedDatabase(directory, source, config=config, **options)
+
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "BACKENDS",
     "CheckResult",
+    "CommitResult",
     "Constraint",
+    "Database",
     "DeductiveDatabase",
+    "EngineConfig",
     "FactStore",
     "IntegrityChecker",
     "MaintainedModel",
+    "ManagedDatabase",
     "NormalizationError",
     "ParseError",
     "Program",
+    "ResultCache",
     "Rule",
     "SafetyError",
     "SatResult",
     "SatisfiabilityChecker",
+    "Session",
+    "StoreBackend",
     "StratificationError",
     "TableauxChecker",
     "Transaction",
     "Violation",
     "check_satisfiability",
+    "make_store",
     "normalize_constraint",
+    "open",
     "parse_formula",
     "parse_program",
+    "resolve_config",
     "__version__",
 ]

@@ -27,11 +27,12 @@ import sys
 from typing import Optional, Sequence
 
 from repro import serialize
+from repro.config import STRATEGIES, EngineConfig
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.joins import DEFAULT_EXEC, EXEC_MODES
 from repro.datalog.planner import DEFAULT_PLAN, PLANS
-from repro.datalog.query import STRATEGIES
 from repro.integrity.checker import METHODS, IntegrityChecker
+from repro.storage.backends import BACKENDS, DEFAULT_BACKEND
 from repro.logic.parser import parse_formula
 from repro.logic.normalize import normalize_constraint
 from repro.satisfiability.checker import SatisfiabilityChecker
@@ -97,6 +98,40 @@ def _add_strategy_option(command) -> None:
     )
 
 
+def _add_backend_option(command) -> None:
+    command.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=DEFAULT_BACKEND,
+        help="fact-store backend: 'dict' keeps relations in process "
+        "memory, 'sqlite' spills them to SQLite with lazily-built "
+        "composite indexes (default: %(default)s, from REPRO_BACKEND)",
+    )
+
+
+def _add_cache_option(command, default: bool = False) -> None:
+    command.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=default,
+        help="cache derived query results, invalidated per predicate "
+        "from the maintained model's change sets",
+    )
+
+
+def _config_from_args(args) -> EngineConfig:
+    """One EngineConfig from whichever knob options the subcommand
+    declared (missing ones fall back to the config defaults)."""
+    return EngineConfig(
+        strategy=getattr(args, "strategy", "lazy"),
+        plan=getattr(args, "plan", DEFAULT_PLAN),
+        exec_mode=getattr(args, "exec_mode", DEFAULT_EXEC),
+        supplementary=getattr(args, "supplementary", True),
+        backend=getattr(args, "backend", DEFAULT_BACKEND),
+        cache=getattr(args, "cache", False),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -139,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_option(check)
     _add_strategy_option(check)
     _add_exec_option(check)
+    _add_backend_option(check)
+    _add_cache_option(check)
     _add_format_option(check)
 
     satcheck = commands.add_parser(
@@ -176,6 +213,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_option(query)
     _add_strategy_option(query)
     _add_exec_option(query)
+    _add_backend_option(query)
+    _add_cache_option(query)
     _add_format_option(query)
 
     model = commands.add_parser(
@@ -184,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("database", help="path to the database source file")
     _add_plan_option(model)
     _add_exec_option(model)
+    _add_backend_option(model)
 
     evolve = commands.add_parser(
         "evolve",
@@ -247,6 +287,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_option(serve)
     _add_strategy_option(serve)
     _add_exec_option(serve)
+    _add_backend_option(serve)
+    # The server maintains its model through DRed, so precise cache
+    # invalidation is available: cache on by default.
+    _add_cache_option(serve, default=True)
 
     shell = commands.add_parser(
         "shell",
@@ -261,22 +305,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_database(path: str) -> DeductiveDatabase:
+def _load_database(
+    path: str, config: Optional[EngineConfig] = None
+) -> DeductiveDatabase:
     with open(path) as handle:
-        return DeductiveDatabase.from_source(handle.read())
+        return DeductiveDatabase.from_source(handle.read(), config=config)
 
 
 def _run_check(args) -> int:
     from repro.integrity.transactions import Transaction
 
-    db = _load_database(args.database)
-    checker = IntegrityChecker(
-        db,
-        strategy=args.strategy,
-        plan=args.plan,
-        exec_mode=args.exec_mode,
-        supplementary=args.supplementary,
-    )
+    config = _config_from_args(args)
+    db = _load_database(args.database, config)
+    checker = IntegrityChecker(db, config=config)
     transaction = Transaction.coerce(list(args.updates))
     result = checker.admit(transaction, args.method)
     if args.format == "json":
@@ -331,14 +372,10 @@ def _run_satcheck(args) -> int:
 
 
 def _run_query(args) -> int:
-    db = _load_database(args.database)
+    config = _config_from_args(args)
+    db = _load_database(args.database, config)
     formula = normalize_constraint(parse_formula(args.formula))
-    value = db.engine(
-        args.strategy,
-        plan=args.plan,
-        exec_mode=args.exec_mode,
-        supplementary=args.supplementary,
-    ).evaluate(formula)
+    value = db.engine(config=config).evaluate(formula)
     if args.format == "json":
         print(json.dumps(serialize.query_result_json(args.formula, value)))
     else:
@@ -347,8 +384,9 @@ def _run_query(args) -> int:
 
 
 def _run_model(args) -> int:
-    db = _load_database(args.database)
-    model = db.canonical_model(plan=args.plan, exec_mode=args.exec_mode)
+    config = _config_from_args(args)
+    db = _load_database(args.database, config)
+    model = db.canonical_model(config=config)
     for fact in sorted(model, key=str):
         print(fact)
     return 0
@@ -409,10 +447,7 @@ def _run_serve(args) -> int:
         port=args.port,
         sync=not args.no_sync,
         method=args.method,
-        strategy=args.strategy,
-        plan=args.plan,
-        exec_mode=args.exec_mode,
-        supplementary=args.supplementary,
+        config=_config_from_args(args),
         group_commit=not args.serialize_commits,
         snapshot_interval=args.snapshot_interval,
     )

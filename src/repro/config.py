@@ -1,0 +1,165 @@
+"""One frozen configuration object for every engine knob.
+
+Before PR 6 four knobs (``strategy``, ``plan``, ``exec_mode``,
+``supplementary``) were threaded positionally through ten classes, and
+each seam re-validated them; adding the storage ``backend`` and result
+``cache`` knobs would have made it six. :class:`EngineConfig` collapses
+them into one immutable dataclass validated in one place
+(:meth:`EngineConfig.__post_init__`), hashable so it can key engine
+memos and cache entries directly.
+
+Every constructor that used to take the loose kwargs now accepts
+``config=EngineConfig(...)`` (or an ``EngineConfig`` in the old
+``strategy`` position) and routes the old keywords through
+:func:`resolve_config`, the deprecation shim: legacy calls keep
+working, but warn once per call site that the keyword spelling is on
+its way out.
+
+The knobs:
+
+``strategy``
+    How queries are answered: ``lazy`` (per-closure materialization),
+    ``topdown`` (tabled), ``model`` (full materialization), ``magic``
+    (goal-directed bottom-up).
+``plan``
+    Join order: ``greedy`` (cardinality-ranked) or ``source`` (textual).
+``exec_mode``
+    Join execution: ``batch`` (set-at-a-time hash joins) or ``tuple``
+    (tuple-at-a-time oracle). Default from ``REPRO_EXEC``.
+``supplementary``
+    Whether the magic rewrite shares rule prefixes through
+    supplementary predicates.
+``backend``
+    Fact-store backend: ``dict`` (in-process reference store) or
+    ``sqlite`` (out-of-core). Default from ``REPRO_BACKEND``.
+``cache`` / ``cache_size``
+    The derived-result cache: enabled flag and entry bound. Cached
+    entries are invalidated per-predicate-key from DRed's change sets
+    (see :mod:`repro.storage.result_cache`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.datalog.joins import DEFAULT_EXEC, validate_exec
+from repro.datalog.planner import DEFAULT_PLAN, validate_plan
+from repro.storage.backends import DEFAULT_BACKEND, validate_backend
+
+STRATEGIES = ("lazy", "topdown", "model", "magic")
+
+
+def validate_strategy(strategy: str) -> str:
+    """Fail fast on an unknown strategy name, listing the accepted
+    values — mirrors :func:`repro.datalog.planner.validate_plan`."""
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; pick one of {STRATEGIES}"
+        )
+    return strategy
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable bundle of every evaluation/storage knob."""
+
+    strategy: str = "lazy"
+    plan: str = DEFAULT_PLAN
+    exec_mode: str = DEFAULT_EXEC
+    supplementary: bool = True
+    backend: str = DEFAULT_BACKEND
+    cache: bool = False
+    cache_size: int = 256
+
+    def __post_init__(self):
+        validate_strategy(self.strategy)
+        validate_plan(self.plan)
+        validate_exec(self.exec_mode)
+        validate_backend(self.backend)
+        if not isinstance(self.supplementary, bool):
+            raise ValueError(
+                f"supplementary must be a bool: {self.supplementary!r}"
+            )
+        if not isinstance(self.cache, bool):
+            raise ValueError(f"cache must be a bool: {self.cache!r}")
+        if not isinstance(self.cache_size, int) or isinstance(
+            self.cache_size, bool
+        ) or self.cache_size <= 0:
+            raise ValueError(
+                f"cache_size must be a positive int: {self.cache_size!r}"
+            )
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with *changes* applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def key(self) -> Tuple:
+        """The evaluation-identity tuple: two configs with equal keys
+        answer every query identically (cache entries are tagged with
+        it, so answers computed under one config never serve
+        another)."""
+        return (
+            self.strategy,
+            self.plan,
+            self.exec_mode,
+            self.supplementary,
+            self.backend,
+        )
+
+
+#: The legacy keyword spellings :func:`resolve_config` accepts.
+_KNOBS = tuple(field.name for field in dataclasses.fields(EngineConfig))
+
+
+def resolve_config(
+    value: Union[EngineConfig, str, None] = None,
+    *,
+    base: Optional[EngineConfig] = None,
+    warn: bool = True,
+    **legacy,
+) -> EngineConfig:
+    """Resolve a seam's configuration arguments into one
+    :class:`EngineConfig`.
+
+    *value* is whatever arrived in the config (née ``strategy``)
+    position: an :class:`EngineConfig`, a legacy strategy string, or
+    ``None``. *legacy* holds the seam's old keyword arguments
+    (``strategy=​``, ``plan=``, ...), each ``None`` when the caller left
+    it alone. Explicit legacy values override *value*/*base*; using
+    them emits a :class:`DeprecationWarning` unless *warn* is false
+    (internal seams that merely forward defaults pass ``warn=False``).
+    """
+    unknown = set(legacy) - set(_KNOBS)
+    if unknown:
+        raise TypeError(f"unknown engine option(s): {sorted(unknown)}")
+    overrides = {k: v for k, v in legacy.items() if v is not None}
+    positional_strategy = isinstance(value, str)
+    if isinstance(value, EngineConfig):
+        config = value
+    elif value is None:
+        config = base if base is not None else EngineConfig()
+    elif positional_strategy:
+        # Legacy positional strategy string.
+        overrides.setdefault("strategy", value)
+        config = base if base is not None else EngineConfig()
+    else:
+        raise TypeError(
+            f"expected EngineConfig, strategy string or None, "
+            f"got {value!r}"
+        )
+    if warn and not isinstance(value, EngineConfig) and (
+        overrides or positional_strategy
+    ):
+        warnings.warn(
+            "passing loose engine knobs ("
+            + ", ".join(sorted(overrides))
+            + ") is deprecated; pass config=EngineConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config

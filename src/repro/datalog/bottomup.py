@@ -13,9 +13,19 @@ subprogram into a side store without copying the extensional database.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Protocol, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+)
 
 from repro.datalog.facts import FactStore
+from repro.storage.backends.base import StoreBackend
 from repro.datalog.joins import (
     DEFAULT_EXEC,
     atom_builder,
@@ -34,6 +44,9 @@ from repro.datalog.planner import (
 from repro.datalog.program import Program, Rule
 from repro.logic.formulas import Atom
 from repro.logic.substitution import Substitution
+
+if TYPE_CHECKING:
+    from repro.config import EngineConfig
 
 
 class EvaluationView(Protocol):
@@ -214,18 +227,32 @@ def evaluate_stratum(
 def compute_model(
     edb: Iterable[Atom],
     program: Program,
-    plan: str = DEFAULT_PLAN,
-    exec_mode: str = DEFAULT_EXEC,
+    plan: Optional[str] = None,
+    exec_mode: Optional[str] = None,
+    *,
+    config: Optional["EngineConfig"] = None,
 ) -> FactStore:
     """Materialize the canonical model of ``edb ∪ program``.
 
-    Returns a fresh :class:`FactStore` containing the extensional facts
+    Returns a fresh store — same backend as *edb* when the EDB is a
+    :class:`~repro.storage.backends.base.StoreBackend` (so a sqlite
+    EDB yields a sqlite model) — containing the extensional facts
     plus everything derivable, under the stratified semantics. *plan*
     selects the join order (see :mod:`repro.datalog.planner`);
-    *exec_mode* the execution model (see :mod:`repro.datalog.joins`).
+    *exec_mode* the execution model (see :mod:`repro.datalog.joins`);
+    a *config* supplies both at once (an explicit *plan*/*exec_mode*
+    still overrides it).
     """
+    # Imported lazily: repro.config sits above the datalog kernel in
+    # the import order (it imports this package's siblings).
+    from repro.config import resolve_config
+
+    resolved = resolve_config(
+        config, plan=plan, exec_mode=exec_mode, warn=False
+    )
+    plan, exec_mode = resolved.plan, resolved.exec_mode
     validate_exec(exec_mode)
-    model = edb.copy() if isinstance(edb, FactStore) else FactStore(edb)
+    model = edb.copy() if isinstance(edb, StoreBackend) else FactStore(edb)
     planner = make_planner(plan, model)
     for _, rules in program.rules_by_stratum():
         stratum_preds = {rule.head.pred for rule in rules}
@@ -239,7 +266,7 @@ def compute_model_naive(
     """Naive (non-differential) evaluation — the reference oracle the
     tests compare semi-naive against. Defaults to the unplanned join
     order so it stays a faithful oracle end to end."""
-    model = edb.copy() if isinstance(edb, FactStore) else FactStore(edb)
+    model = edb.copy() if isinstance(edb, StoreBackend) else FactStore(edb)
     planner = make_planner(plan, model)
     for _, rules in program.rules_by_stratum():
         changed = True

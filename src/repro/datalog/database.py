@@ -11,10 +11,9 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.config import EngineConfig, resolve_config
 from repro.datalog.facts import FactStore
-from repro.datalog.joins import DEFAULT_EXEC
 from repro.datalog.overlay import OverlayFactStore
-from repro.datalog.planner import DEFAULT_PLAN
 from repro.datalog.program import Program, Rule
 from repro.datalog.query import QueryEngine
 from repro.logic.formulas import Atom, Formula, Literal
@@ -27,6 +26,8 @@ from repro.logic.parser import (
     parse_rule,
 )
 from repro.logic.safety import check_constraint_safety, constraint_predicates
+from repro.storage.backends import StoreBackend, make_store
+from repro.storage.result_cache import ResultCache
 
 
 class Constraint:
@@ -61,7 +62,7 @@ class DeductiveDatabase:
 
     def __init__(
         self,
-        facts: Optional[Union[FactStore, OverlayFactStore]] = None,
+        facts: Optional[Union[StoreBackend, OverlayFactStore]] = None,
         program: Optional[Program] = None,
         constraints: Sequence[Constraint] = (),
     ):
@@ -70,18 +71,34 @@ class DeductiveDatabase:
         self.constraints: List[Constraint] = list(constraints)
         self._constraint_counter = itertools.count(len(self.constraints) + 1)
         self._version = 0
-        self._engines: Dict[Tuple[str, str, str, bool], QueryEngine] = {}
+        self._engines: Dict[Tuple, QueryEngine] = {}
         self._engine_version = -1
+        # Library-level derived-result caches, one per cache-enabled
+        # config. Without a transaction manager there are no DRed
+        # change sets to invalidate from, so _bump() clears coarsely;
+        # the service layer passes its own precisely-invalidated cache
+        # through engine(result_cache=...) instead.
+        self._caches: Dict[Tuple, ResultCache] = {}
 
     # -- construction -----------------------------------------------------------------
 
     @classmethod
-    def from_source(cls, text: str) -> "DeductiveDatabase":
+    def from_source(
+        cls,
+        text: str,
+        *,
+        backend: Optional[str] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> "DeductiveDatabase":
         """Build a database from surface syntax (facts, rules and
-        constraints mixed; see :mod:`repro.logic.parser`)."""
+        constraints mixed; see :mod:`repro.logic.parser`). The fact
+        store's *backend* defaults to ``REPRO_BACKEND`` (or the one
+        named by *config*)."""
+        if backend is None and config is not None:
+            backend = config.backend
         parsed = parse_program(text)
         db = cls(
-            facts=FactStore(parsed.facts),
+            facts=make_store(backend, parsed.facts),
             program=Program.from_parsed(parsed.rules),
         )
         for formula in parsed.constraints:
@@ -154,6 +171,10 @@ class DeductiveDatabase:
 
     def _bump(self) -> None:
         self._version += 1
+        # Coarse invalidation for the library-level caches: without a
+        # maintained model there is no change set to be precise with.
+        for cache in self._caches.values():
+            cache.clear()
 
     # -- simulated updates ------------------------------------------------------------------
 
@@ -178,38 +199,61 @@ class DeductiveDatabase:
 
     def engine(
         self,
-        strategy: str = "lazy",
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
-        supplementary: bool = True,
+        strategy: Union[EngineConfig, str, None] = None,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        supplementary: Optional[bool] = None,
+        *,
+        config: Optional[EngineConfig] = None,
+        result_cache: Optional[ResultCache] = None,
     ) -> QueryEngine:
-        """A query engine over the current state. Engines are cached per
-        (strategy, plan, exec_mode, supplementary) and invalidated
-        whenever the database mutates. *strategy* picks where
-        intensional facts come
-        from — ``"lazy"`` (per-closure materialization, the default),
+        """A query engine over the current state, configured by an
+        :class:`EngineConfig` (pass it as *config* or in the first
+        position; the loose keyword knobs survive as a deprecation
+        shim). Engines are cached per config and invalidated whenever
+        the database mutates.
+
+        ``config.strategy`` picks where intensional facts come from —
+        ``"lazy"`` (per-closure materialization, the default),
         ``"topdown"`` (tabled resolution), ``"model"`` (full canonical
         model up front) or ``"magic"`` (demand-driven bottom-up via the
-        magic-sets rewrite; see :mod:`repro.datalog.magic`). *plan*
-        picks the join order for rule bodies and restrictions —
-        ``"greedy"`` (selectivity-driven, the default) or ``"source"``
-        (rule-source order, the unplanned oracle). *exec_mode* picks the
-        join execution model — ``"batch"`` (set-at-a-time hash joins,
-        the default) or ``"tuple"`` (one binding at a time, the
-        oracle; see :mod:`repro.datalog.joins`). *supplementary*
-        (default on) makes the magic rewrite share rule prefixes
-        through supplementary predicates; ``False`` keeps the classic
-        rewrite as the differential oracle (inert for the other
-        strategies)."""
+        magic-sets rewrite; see :mod:`repro.datalog.magic`).
+        ``config.plan`` picks the join order for rule bodies and
+        restrictions — ``"greedy"`` (selectivity-driven, the default)
+        or ``"source"`` (rule-source order, the unplanned oracle).
+        ``config.exec_mode`` picks the join execution model —
+        ``"batch"`` (set-at-a-time hash joins, the default) or
+        ``"tuple"`` (one binding at a time, the oracle; see
+        :mod:`repro.datalog.joins`). ``config.supplementary`` (default
+        on) makes the magic rewrite share rule prefixes through
+        supplementary predicates. ``config.cache`` attaches a derived-
+        result cache; *result_cache* overrides it with a caller-owned
+        instance (the transaction manager's, invalidated precisely
+        from DRed change sets — without one, the database clears its
+        own caches coarsely on every mutation)."""
+        resolved = resolve_config(
+            config if config is not None else strategy,
+            plan=plan,
+            exec_mode=exec_mode,
+            supplementary=supplementary,
+        )
         if self._engine_version != self._version:
             self._engines.clear()
             self._engine_version = self._version
-        key = (strategy, plan, exec_mode, supplementary)
+        key = (resolved, id(result_cache) if result_cache is not None else None)
         engine = self._engines.get(key)
         if engine is None:
+            if result_cache is None and resolved.cache:
+                cache_key = resolved.key()
+                result_cache = self._caches.get(cache_key)
+                if result_cache is None:
+                    result_cache = ResultCache(resolved.cache_size)
+                    self._caches[cache_key] = result_cache
             engine = QueryEngine(
-                self.facts, self.program, strategy, plan, exec_mode,
-                supplementary,
+                self.facts,
+                self.program,
+                config=resolved,
+                result_cache=result_cache,
             )
             self._engines[key] = engine
         return engine
@@ -227,35 +271,56 @@ class DeductiveDatabase:
         return self.engine().evaluate(formula)
 
     def canonical_model(
-        self, plan: str = DEFAULT_PLAN, exec_mode: str = DEFAULT_EXEC
-    ) -> FactStore:
+        self,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        *,
+        config: Optional[EngineConfig] = None,
+    ) -> StoreBackend:
         """Materialize the full canonical model (EDB plus everything
-        derivable)."""
+        derivable). The model store inherits the EDB's backend."""
         from repro.datalog.bottomup import compute_model
 
+        resolved = resolve_config(config, plan=plan, exec_mode=exec_mode)
         base = (
             self.facts.copy()
             if isinstance(self.facts, OverlayFactStore)
             else self.facts
         )
-        return compute_model(base, self.program, plan, exec_mode)
+        return compute_model(
+            base, self.program, resolved.plan, resolved.exec_mode
+        )
 
     # -- constraint sweep (the naive baseline) ----------------------------------------------------
 
     def violated_constraints(
-        self, strategy: str = "model", plan: str = DEFAULT_PLAN
+        self,
+        strategy: Union[EngineConfig, str, None] = None,
+        plan: Optional[str] = None,
+        *,
+        config: Optional[EngineConfig] = None,
     ) -> List[Constraint]:
         """Evaluate *every* constraint from scratch — the full check the
         paper's methods avoid. Kept as the ground-truth baseline."""
-        engine = self.engine(strategy, plan)
+        resolved = resolve_config(
+            config if config is not None else strategy,
+            base=EngineConfig(strategy="model"),
+            plan=plan,
+            warn=False,
+        )
+        engine = self.engine(config=resolved)
         return [
             c for c in self.constraints if not engine.evaluate(c.formula)
         ]
 
     def all_constraints_satisfied(
-        self, strategy: str = "model", plan: str = DEFAULT_PLAN
+        self,
+        strategy: Union[EngineConfig, str, None] = None,
+        plan: Optional[str] = None,
+        *,
+        config: Optional[EngineConfig] = None,
     ) -> bool:
-        return not self.violated_constraints(strategy, plan)
+        return not self.violated_constraints(strategy, plan, config=config)
 
     def constraint_by_id(self, id: str) -> Constraint:
         for constraint in self.constraints:

@@ -1,4 +1,4 @@
-"""Indexed storage of ground facts.
+"""Indexed in-memory storage of ground facts — the ``dict`` backend.
 
 The store keeps one set of facts per predicate plus a secondary index on
 every (predicate, argument position, constant) triple, so matching a
@@ -7,15 +7,23 @@ bound position rather than a scan — the same access-path idea a
 relational engine's hash index provides.
 
 On top of the per-position index sits a *composite* hash index for the
-batched join path: :meth:`bucket` groups a predicate's facts by their
-argument values at an arbitrary position set, so a hash join probes one
-dictionary entry per distinct key instead of unifying against a scan.
-Composite groups are built lazily — the first probe of a
-(predicate, positions) pair pays one scan of that predicate's bucket —
-and maintained incrementally by :meth:`add`/:meth:`remove` thereafter:
-repeated probes of an unchanged predicate never rescan
-(:attr:`group_builds` counts the build scans, pinned by the index
-tests).
+batched join path: :meth:`FactStore.bucket` groups a predicate's facts
+by their argument values at an arbitrary position set, so a hash join
+probes one dictionary entry per distinct key instead of unifying
+against a scan. Composite groups are built lazily — the first probe of
+a (predicate, positions) pair pays one scan of that predicate's bucket
+— and maintained incrementally by :meth:`FactStore.add`/
+:meth:`FactStore.remove` thereafter: repeated probes of an unchanged
+predicate never rescan (:attr:`FactStore.group_builds` counts the
+build scans, pinned by the index tests).
+
+:class:`FactStore` is the reference implementation of the
+:class:`repro.storage.backends.base.StoreBackend` contract (registry
+name ``"dict"``); the out-of-core sqlite backend implements the same
+surface against real DB indexes. An optional ``max_facts`` cap turns
+the store into a bounded buffer that raises
+:class:`~repro.storage.backends.base.StoreCapacityError` when a
+workload outgrows it — the signal to switch backends.
 """
 
 from __future__ import annotations
@@ -27,64 +35,44 @@ from repro.logic.substitution import Substitution
 from repro.logic.terms import Constant, Variable
 from repro.logic.unify import match
 
+# The group-index helpers moved to the backend contract module with
+# PR 6; re-exported here because the DRed overlay sets (and external
+# code) import them from this, their historical home.
+from repro.storage.backends.base import (  # noqa: F401  (re-exports)
+    GroupIndex as _GroupIndex,
+    StoreBackend,
+    StoreCapacityError,
+    build_group_index,
+    drop_from_groups,
+    index_into_groups,
+)
+
 _EMPTY: frozenset = frozenset()
 
-# A composite group index: argument positions -> key tuple -> facts.
-_GroupIndex = Dict[Tuple[int, ...], Dict[Tuple[Constant, ...], Set[Atom]]]
 
+class FactStore(StoreBackend):
+    """A mutable, indexed set of ground atoms (in-process dicts)."""
 
-def build_group_index(
-    facts: Iterable[Atom], positions: Tuple[int, ...]
-) -> Dict[Tuple[Constant, ...], Set[Atom]]:
-    """One scan of *facts* grouped by their argument values at
-    *positions* (ascending) — the lazy-build step every composite
-    index shares (:class:`FactStore`, the DRed overlays)."""
-    index: Dict[Tuple[Constant, ...], Set[Atom]] = {}
-    deepest = positions[-1]
-    for fact in facts:
-        args = fact.args
-        if len(args) <= deepest:
-            continue  # arity mismatch: the pattern cannot match
-        index.setdefault(tuple(args[p] for p in positions), set()).add(fact)
-    return index
+    __slots__ = ("_by_pred", "_index", "_groups", "_size", "group_builds", "max_facts")
 
+    name = "dict"
 
-def index_into_groups(groups: _GroupIndex, fact: Atom) -> None:
-    """Incrementally maintain every built group index under an insert."""
-    args = fact.args
-    for positions, index in groups.items():
-        if len(args) <= positions[-1]:
-            continue
-        key = tuple(args[p] for p in positions)
-        index.setdefault(key, set()).add(fact)
-
-
-def drop_from_groups(groups: _GroupIndex, fact: Atom) -> None:
-    """Incrementally maintain every built group index under a delete."""
-    args = fact.args
-    for positions, index in groups.items():
-        if len(args) <= positions[-1]:
-            continue
-        key = tuple(args[p] for p in positions)
-        slot = index.get(key)
-        if slot is not None:
-            slot.discard(fact)
-            if not slot:
-                del index[key]
-
-
-class FactStore:
-    """A mutable, indexed set of ground atoms."""
-
-    __slots__ = ("_by_pred", "_index", "_groups", "group_builds")
-
-    def __init__(self, facts: Iterable[Atom] = ()):
+    def __init__(
+        self,
+        facts: Iterable[Atom] = (),
+        *,
+        max_facts: Optional[int] = None,
+    ):
+        if max_facts is not None and max_facts < 0:
+            raise ValueError(f"max_facts must be non-negative: {max_facts}")
         self._by_pred: Dict[str, Set[Atom]] = {}
         self._index: Dict[Tuple[str, int, Constant], Set[Atom]] = {}
         # Composite hash indexes for the batch join path, per predicate.
         self._groups: Dict[str, _GroupIndex] = {}
+        self._size = 0
         # Work counter: full-bucket scans spent building group indexes.
         self.group_builds = 0
+        self.max_facts = max_facts
         for fact in facts:
             self.add(fact)
 
@@ -97,7 +85,16 @@ class FactStore:
         bucket = self._by_pred.setdefault(fact.pred, set())
         if fact in bucket:
             return False
+        if self.max_facts is not None and self._size >= self.max_facts:
+            if not bucket:
+                del self._by_pred[fact.pred]
+            raise StoreCapacityError(
+                f"dict backend is full ({self._size} facts, cap "
+                f"{self.max_facts}); use backend='sqlite' for "
+                f"out-of-core storage"
+            )
         bucket.add(fact)
+        self._size += 1
         for position, arg in enumerate(fact.args):
             self._index.setdefault((fact.pred, position, arg), set()).add(fact)
         groups = self._groups.get(fact.pred)
@@ -111,6 +108,7 @@ class FactStore:
         if bucket is None or fact not in bucket:
             return False
         bucket.remove(fact)
+        self._size -= 1
         if not bucket:
             del self._by_pred[fact.pred]
         for position, arg in enumerate(fact.args):
@@ -129,6 +127,7 @@ class FactStore:
         self._by_pred.clear()
         self._index.clear()
         self._groups.clear()
+        self._size = 0
 
     # -- queries ------------------------------------------------------------------
 
@@ -226,18 +225,19 @@ class FactStore:
         return 0 if candidates is None else len(candidates)
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._by_pred.values())
+        return self._size
 
     def __iter__(self) -> Iterator[Atom]:
         for bucket in self._by_pred.values():
             yield from bucket
 
     def copy(self) -> "FactStore":
-        clone = FactStore()
+        clone = FactStore(max_facts=self.max_facts)
         for pred, bucket in self._by_pred.items():
             clone._by_pred[pred] = set(bucket)
         for key, slot in self._index.items():
             clone._index[key] = set(slot)
+        clone._size = self._size
         # Composite group indexes are rebuilt lazily on the clone.
         return clone
 

@@ -25,7 +25,7 @@ stratum, the computed changes seed the maintenance of higher strata
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.facts import (
     FactStore,
@@ -33,11 +33,10 @@ from repro.datalog.facts import (
     index_into_groups,
 )
 from repro.datalog.joins import (
-    DEFAULT_EXEC,
     join_body,
     probe_from_source,
 )
-from repro.datalog.planner import DEFAULT_PLAN, make_planner
+from repro.datalog.planner import make_planner
 from repro.datalog.program import Program, Rule
 from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
@@ -220,30 +219,43 @@ class MaintainedModel:
 
     def __init__(
         self,
-        edb: FactStore,
+        edb,
         program: Program,
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        *,
+        config=None,
     ):
+        from repro.config import resolve_config
         from repro.datalog.bottomup import compute_model
-        from repro.datalog.joins import validate_exec
 
+        config = resolve_config(
+            config, plan=plan, exec_mode=exec_mode, warn=False
+        )
+        self.config = config
         self.program = program
+        # copy() preserves the EDB's backend, and compute_model hands
+        # the model the same backend — a sqlite EDB maintains a sqlite
+        # model, so out-of-core databases stay out of core end to end.
         self.edb = edb.copy()
-        self.exec_mode = validate_exec(exec_mode)
-        self.model = compute_model(self.edb, program, plan, exec_mode)
+        self.exec_mode = config.exec_mode
+        self.model = compute_model(
+            self.edb, program, config.plan, config.exec_mode
+        )
         # Maintenance joins run over the evolving model; its cardinality
         # accounting keeps re-planning O(body²) per join.
-        self.planner = make_planner(plan, self.model)
+        self.planner = make_planner(config.plan, self.model)
 
     @classmethod
     def from_snapshot(
         cls,
-        edb: FactStore,
+        edb,
         program: Program,
-        model: FactStore,
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
+        model,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        *,
+        config=None,
     ) -> "MaintainedModel":
         """Resume a maintained model from a persisted *model* store
         without recomputing the fixpoint — the storage engine's
@@ -251,14 +263,18 @@ class MaintainedModel:
         model of ``edb ∪ program`` (the crash-recovery tests verify
         this equals a from-scratch recomputation); both stores are
         copied, so the snapshot they came from stays pristine."""
-        from repro.datalog.joins import validate_exec
+        from repro.config import resolve_config
 
+        config = resolve_config(
+            config, plan=plan, exec_mode=exec_mode, warn=False
+        )
         maintained = cls.__new__(cls)
+        maintained.config = config
         maintained.program = program
         maintained.edb = edb.copy()
-        maintained.exec_mode = validate_exec(exec_mode)
+        maintained.exec_mode = config.exec_mode
         maintained.model = model.copy()
-        maintained.planner = make_planner(plan, maintained.model)
+        maintained.planner = make_planner(config.plan, maintained.model)
         return maintained
 
     # -- public API -----------------------------------------------------------------

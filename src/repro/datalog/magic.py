@@ -74,9 +74,7 @@ import warnings
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.facts import FactStore
-from repro.datalog.joins import DEFAULT_EXEC, validate_exec
 from repro.datalog.planner import (
-    DEFAULT_PLAN,
     UNKNOWN_CARDINALITY,
     Planner,
     make_planner,
@@ -483,15 +481,28 @@ class MagicEvaluator:
         self,
         facts,
         program: Program,
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
-        supplementary: bool = True,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        supplementary: Optional[bool] = None,
+        *,
+        config=None,
     ):
+        from repro.config import resolve_config
+
+        config = resolve_config(
+            config,
+            plan=plan,
+            exec_mode=exec_mode,
+            supplementary=supplementary,
+            warn=False,
+        )
+        self.config = config
+        plan = config.plan
         self.facts = facts
         self.program = program
         self.plan = plan
-        self.exec_mode = validate_exec(exec_mode)
-        self.supplementary = supplementary
+        self.exec_mode = config.exec_mode
+        self.supplementary = config.supplementary
         # SIP chooser: the session's join plan over EDB statistics.
         # An intensional subgoal's extent is unknown at rewrite time —
         # the EDB store would report it as empty (cardinality 0) and

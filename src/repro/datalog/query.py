@@ -36,23 +36,25 @@ Three strategies are available:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
 
+from repro.config import (  # noqa: F401  (STRATEGIES re-exported: old home)
+    STRATEGIES,
+    EngineConfig,
+    resolve_config,
+    validate_strategy,
+)
 from repro.datalog.bottomup import evaluate_stratum
 from repro.datalog.facts import FactStore
 from repro.datalog.joins import (
-    DEFAULT_EXEC,
     join_body,
     rows_from_source,
     rows_from_substitutions,
-    validate_exec,
 )
 from repro.datalog.magic import MagicEvaluator
 from repro.datalog.planner import (
-    DEFAULT_PLAN,
     UNKNOWN_CARDINALITY,
     make_planner,
-    validate_plan,
 )
 from repro.datalog.program import Program
 from repro.datalog.topdown import TabledEvaluator
@@ -67,20 +69,10 @@ from repro.logic.formulas import (
     Or,
     TrueFormula,
 )
+from repro.logic.safety import constraint_predicates
 from repro.logic.substitution import Substitution
 from repro.logic.unify import match
-
-STRATEGIES = ("lazy", "topdown", "model", "magic")
-
-
-def validate_strategy(strategy: str) -> str:
-    """Fail fast on an unknown strategy name, listing the accepted
-    values — mirrors :func:`repro.datalog.planner.validate_plan`."""
-    if strategy not in STRATEGIES:
-        raise ValueError(
-            f"unknown strategy {strategy!r}; pick one of {STRATEGIES}"
-        )
-    return strategy
+from repro.storage.result_cache import ResultCache
 
 
 class _CombinedView:
@@ -137,42 +129,64 @@ class QueryEngine:
         self,
         facts,
         program: Program,
-        strategy: str = "lazy",
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
-        supplementary: bool = True,
+        strategy: Union[EngineConfig, str, None] = None,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        supplementary: Optional[bool] = None,
+        *,
+        config: Optional[EngineConfig] = None,
+        result_cache: Optional[ResultCache] = None,
     ):
-        validate_strategy(strategy)
+        config = resolve_config(
+            config if config is not None else strategy,
+            plan=plan,
+            exec_mode=exec_mode,
+            supplementary=supplementary,
+        )
+        self.config = config
         self.facts = facts
         self.program = program
-        self.strategy = strategy
-        self.plan = validate_plan(plan)
-        self.exec_mode = validate_exec(exec_mode)
+        # Loose-knob attributes kept for backward compatibility (and
+        # internal brevity); `config` is the source of truth.
+        self.strategy = config.strategy
+        self.plan = config.plan
+        self.exec_mode = config.exec_mode
         # Whether the magic rewrite shares rule prefixes through
         # supplementary predicates; inert for the other strategies.
-        self.supplementary = supplementary
+        self.supplementary = config.supplementary
+        # Derived-result cache. A shared instance (the transaction
+        # manager's, invalidated from DRed change sets) arrives via
+        # result_cache; a standalone engine with config.cache owns a
+        # private one, safe because engines are per database version.
+        if result_cache is not None:
+            self.result_cache: Optional[ResultCache] = result_cache
+        elif config.cache:
+            self.result_cache = ResultCache(config.cache_size)
+        else:
+            self.result_cache = None
+        self._cache_key = config.key()
         self._derived = FactStore()
         self._view = _CombinedView(facts, self._derived)
         # The planner consults the engine's own estimate(), which knows
         # about tabled answers (topdown) and unmaterialized intensional
         # predicates — the raw view would report those as empty.
-        self._planner = make_planner(plan, self._view).with_cardinality(
+        self._planner = make_planner(config.plan, self._view).with_cardinality(
             lambda index, atom: self.estimate(atom)
         )
         self._materialized: Set[str] = set()
         self._tabled: Optional[TabledEvaluator] = (
-            TabledEvaluator(facts, program, plan, exec_mode)
-            if strategy == "topdown"
+            TabledEvaluator(facts, program, config=config)
+            if config.strategy == "topdown"
             else None
         )
         # Demand-driven bottom-up evaluation; patterns whose rewrite
         # declines fall back to the lazy materialization path below.
         self.magic: Optional[MagicEvaluator] = (
-            MagicEvaluator(facts, program, plan, exec_mode, supplementary)
-            if strategy == "magic"
+            MagicEvaluator(facts, program, config=config)
+            if config.strategy == "magic"
             else None
         )
-        if strategy == "model":
+        if config.strategy == "model":
             self._materialize_all()
         # Instrumentation for the benchmarks: how many atom-level lookups
         # this engine has served.
@@ -214,10 +228,25 @@ class QueryEngine:
     # -- atom-level access -------------------------------------------------------------
 
     def holds(self, atom: Atom) -> bool:
-        """Truth of a ground atom in the canonical model."""
+        """Truth of a ground atom in the canonical model. Cached with
+        atom-level precision when a result cache is attached: the entry
+        depends on exactly this atom's membership in the model, so only
+        a change set containing *this* atom evicts it."""
         if not atom.is_ground():
             raise ValueError(f"holds() needs a ground atom: {atom}")
+        cache = self.result_cache
+        if cache is not None:
+            key = ("holds", self._cache_key, atom)
+            hit, value = cache.get(key)
+            if hit:
+                return value
         self.lookup_count += 1
+        value = self._holds(atom)
+        if cache is not None:
+            cache.put(key, value, (atom.pred,), (atom,))
+        return value
+
+    def _holds(self, atom: Atom) -> bool:
         if self._tabled is not None:
             return self._tabled.holds(atom)
         if self.program.is_idb(atom.pred):
@@ -333,7 +362,27 @@ class QueryEngine:
         self, formula: Formula, binding: Substitution = Substitution.empty()
     ) -> bool:
         """Truth of *formula* (closed under *binding*) in the canonical
-        model. Quantifiers must be in restricted form."""
+        model. Quantifiers must be in restricted form.
+
+        Closed formulas (empty binding) are cached with
+        predicate-level precision when a result cache is attached: the
+        entry depends on the extensions of exactly the predicates the
+        formula mentions, so commits whose DRed change set touches
+        none of them leave it warm."""
+        cache = self.result_cache
+        if cache is not None and not binding:
+            key = ("eval", self._cache_key, formula)
+            hit, value = cache.get(key)
+            if hit:
+                return value
+            value = self._evaluate(formula, binding)
+            cache.put(key, value, constraint_predicates(formula))
+            return value
+        return self._evaluate(formula, binding)
+
+    def _evaluate(
+        self, formula: Formula, binding: Substitution = Substitution.empty()
+    ) -> bool:
         if isinstance(formula, TrueFormula):
             return True
         if isinstance(formula, FalseFormula):

@@ -17,11 +17,10 @@ nested result is already complete.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.datalog.joins import DEFAULT_EXEC, join_body, validate_exec
+from repro.datalog.joins import join_body
 from repro.datalog.planner import (
-    DEFAULT_PLAN,
     UNKNOWN_CARDINALITY,
     make_planner,
 )
@@ -56,16 +55,25 @@ class TabledEvaluator:
         self,
         facts,
         program: Program,
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        *,
+        config=None,
     ):
+        from repro.config import resolve_config
+
+        config = resolve_config(
+            config, plan=plan, exec_mode=exec_mode, warn=False
+        )
+        self.config = config
+        plan, exec_mode = config.plan, config.exec_mode
         self.facts = facts
         self.program = program
         # Body joins dispatch through join_body with the head unifier
         # folded into the rule up front (standardized apart), so the
         # binding seam is always relational and batch execution never
         # falls back to tuple joins.
-        self.exec_mode = validate_exec(exec_mode)
+        self.exec_mode = exec_mode
         self._tables: Dict[_TableKey, Set[Atom]] = {}
         self._complete: Set[_TableKey] = set()
         self._in_progress: Set[_TableKey] = set()

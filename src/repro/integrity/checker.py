@@ -44,8 +44,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.datalog.database import DeductiveDatabase
-from repro.datalog.joins import DEFAULT_EXEC
-from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.delta_eval import DeltaEvaluator
 from repro.integrity.dependencies import DependencyIndex
 from repro.integrity.instances import simplified_instances
@@ -150,22 +148,31 @@ class IntegrityChecker:
     def __init__(
         self,
         database: DeductiveDatabase,
-        strategy: str = "lazy",
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
-        supplementary: bool = True,
+        strategy=None,
+        plan=None,
+        exec_mode=None,
+        supplementary=None,
+        *,
+        config=None,
     ):
-        from repro.datalog.joins import validate_exec
-        from repro.datalog.planner import validate_plan
-        from repro.datalog.query import validate_strategy
+        from repro.config import resolve_config
 
+        config = resolve_config(
+            config if config is not None else strategy,
+            plan=plan,
+            exec_mode=exec_mode,
+            supplementary=supplementary,
+        )
         self.database = database
-        self.strategy = validate_strategy(strategy)
-        self.plan = validate_plan(plan)
-        self.exec_mode = validate_exec(exec_mode)
+        self.config = config
+        # Loose-knob attributes kept for backward compatibility;
+        # `config` is the source of truth.
+        self.strategy = config.strategy
+        self.plan = config.plan
+        self.exec_mode = config.exec_mode
         # Prefix sharing in the magic rewrite (inert unless
         # strategy="magic"); False keeps the classic rewrite oracle.
-        self.supplementary = supplementary
+        self.supplementary = config.supplementary
         # Fact-independent structures, shared across checks.
         self.dependency_index = DependencyIndex(database.program)
         self.relevance = RelevanceIndex(database.constraints)
@@ -219,17 +226,13 @@ class IntegrityChecker:
             updates,
             index=self.dependency_index,
             restrict_to=closure,
-            strategy=self.strategy,
-            plan=self.plan,
-            exec_mode=self.exec_mode,
-            supplementary=self.supplementary,
+            config=self.config,
         )
         fresh_engine = (
             None
             if share_evaluation
             else lambda: self.database.updated(updates).engine(
-                self.strategy, self.plan, self.exec_mode,
-                self.supplementary,
+                config=self.config
             )
         )
         return self._evaluate_update_constraints(
@@ -293,9 +296,7 @@ class IntegrityChecker:
         """Evaluate every constraint over U(D) from scratch."""
         updates = _normalize_updates(updates)
         view = self.database.updated(updates)
-        engine = view.engine(
-            "model", self.plan, self.exec_mode, self.supplementary
-        )
+        engine = view.engine(config=self.config.replace(strategy="model"))
         violations = [
             Violation(c.id, c.formula)
             for c in self.database.constraints
@@ -313,10 +314,7 @@ class IntegrityChecker:
         of constraints relevant to the explicit updates only. Complete
         iff no deduction rule connects the updates to the constraints."""
         updates = _normalize_updates(updates)
-        new_eval = NewEvaluator(
-            self.database, updates, self.strategy, self.plan,
-            self.exec_mode, self.supplementary,
-        )
+        new_eval = NewEvaluator(self.database, updates, config=self.config)
         violations: List[Violation] = []
         checked: Set[Formula] = set()
         for update in updates:
@@ -349,10 +347,7 @@ class IntegrityChecker:
             updates,
             index=self.dependency_index,
             restrict_to=None,  # the whole point: no goal direction
-            strategy=self.strategy,
-            plan=self.plan,
-            exec_mode=self.exec_mode,
-            supplementary=self.supplementary,
+            config=self.config,
         )
         engine = delta.new_engine
         violations: List[Violation] = []
@@ -394,10 +389,7 @@ class IntegrityChecker:
         }
         if not compiled.update_constraints:
             return CheckResult([], stats, "lloyd")
-        new_eval = NewEvaluator(
-            self.database, updates, self.strategy, self.plan,
-            self.exec_mode, self.supplementary,
-        )
+        new_eval = NewEvaluator(self.database, updates, config=self.config)
         engine = new_eval.engine
         violations: List[Violation] = []
         checked: Set[Formula] = set()
@@ -473,9 +465,7 @@ class IntegrityChecker:
             return CheckResult([], stats, "rule-addition")
         seeds = self._rule_seeds(
             rule,
-            body_state=new_db.engine(
-                self.strategy, self.plan, self.exec_mode, self.supplementary
-            ),
+            body_state=new_db.engine(config=self.config),
             inserted=True,
         )
         closure = index.backward_closure(compiled.demanded_signatures())
@@ -484,10 +474,7 @@ class IntegrityChecker:
             [],
             index=index,
             restrict_to=closure,
-            strategy=self.strategy,
-            plan=self.plan,
-            exec_mode=self.exec_mode,
-            supplementary=self.supplementary,
+            config=self.config,
             new_database=new_db,
             seeds=seeds,
         )
@@ -530,14 +517,10 @@ class IntegrityChecker:
         }
         if not compiled.update_constraints:
             return CheckResult([], stats, "rule-removal")
-        new_engine = new_db.engine(
-            self.strategy, self.plan, self.exec_mode, self.supplementary
-        )
+        new_engine = new_db.engine(config=self.config)
         candidates = self._rule_seeds(
             rule,
-            body_state=self.database.engine(
-                self.strategy, self.plan, self.exec_mode, self.supplementary
-            ),
+            body_state=self.database.engine(config=self.config),
             inserted=False,
         )
         # Only heads no longer derivable anywhere actually change.
@@ -552,10 +535,7 @@ class IntegrityChecker:
             [],
             index=index,
             restrict_to=closure,
-            strategy=self.strategy,
-            plan=self.plan,
-            exec_mode=self.exec_mode,
-            supplementary=self.supplementary,
+            config=self.config,
             new_database=new_db,
             seeds=seeds,
         )
@@ -578,9 +558,7 @@ class IntegrityChecker:
         from repro.datalog.joins import join_body
         from repro.logic.substitution import Substitution
 
-        old_engine = self.database.engine(
-            self.strategy, self.plan, self.exec_mode, self.supplementary
-        )
+        old_engine = self.database.engine(config=self.config)
 
         def matcher(index: int, pattern):
             return body_state.match_atom(pattern)

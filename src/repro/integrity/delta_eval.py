@@ -34,8 +34,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Set, Union
 
 from repro.datalog.database import DeductiveDatabase
-from repro.datalog.joins import DEFAULT_EXEC, join_body
-from repro.datalog.planner import DEFAULT_PLAN
+from repro.datalog.joins import join_body
 from repro.integrity.dependencies import DependencyIndex, Signature
 from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
@@ -51,12 +50,14 @@ class DeltaEvaluator:
         updates: Union[str, Literal, "Transaction", Sequence[Literal]],
         index: Optional[DependencyIndex] = None,
         restrict_to: Optional[Set[Signature]] = None,
-        strategy: str = "lazy",
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
-        supplementary: bool = True,
+        strategy: Optional[str] = None,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        supplementary: Optional[bool] = None,
         new_database: Optional[DeductiveDatabase] = None,
         seeds: Optional[Sequence[Literal]] = None,
+        *,
+        config=None,
     ):
         """By default the updated state is the fact overlay of
         *updates*. Rule updates (Section 3.2: "treated like conditional
@@ -65,24 +66,29 @@ class DeltaEvaluator:
         changes the rule change causes directly; propagation and the
         truth-change tests then run between the two states as usual.
         """
+        from repro.config import resolve_config
         from repro.integrity.transactions import Transaction
 
+        config = resolve_config(
+            config if config is not None else strategy,
+            plan=plan,
+            exec_mode=exec_mode,
+            supplementary=supplementary,
+            warn=False,
+        )
+        self.config = config
         self.database = database
         self.updates = tuple(Transaction.coerce(updates).net())
         self.index = index if index is not None else DependencyIndex(
             database.program
         )
-        self.exec_mode = exec_mode
-        self.old_engine = database.engine(
-            strategy, plan, exec_mode, supplementary
-        )
+        self.exec_mode = config.exec_mode
+        self.old_engine = database.engine(config=config)
         if new_database is not None:
             self.new_view = new_database
         else:
             self.new_view = database.updated(list(self.updates))
-        self.new_engine = self.new_view.engine(
-            strategy, plan, exec_mode, supplementary
-        )
+        self.new_engine = self.new_view.engine(config=config)
         # Rest-of-body joins are planned against whichever state they
         # run over (old for deletions, new for insertions), reusing
         # each engine's own planner and statistics.

@@ -12,11 +12,9 @@ query-answering system has this capacity".
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.datalog.database import DeductiveDatabase
-from repro.datalog.joins import DEFAULT_EXEC
-from repro.datalog.planner import DEFAULT_PLAN
 from repro.logic.formulas import Atom, Formula, Literal
 from repro.logic.substitution import Substitution
 
@@ -24,25 +22,35 @@ from repro.logic.substitution import Substitution
 class NewEvaluator:
     """Evaluation of formulas over the simulated updated state U(D)."""
 
-    __slots__ = ("database", "updates", "view", "engine")
+    __slots__ = ("database", "updates", "view", "engine", "config")
 
     def __init__(
         self,
         database: DeductiveDatabase,
         updates: Union[Literal, Sequence[Literal]],
-        strategy: str = "lazy",
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
-        supplementary: bool = True,
+        strategy: Optional[str] = None,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        supplementary: Optional[bool] = None,
+        *,
+        config=None,
     ):
+        from repro.config import resolve_config
+
+        config = resolve_config(
+            config if config is not None else strategy,
+            plan=plan,
+            exec_mode=exec_mode,
+            supplementary=supplementary,
+            warn=False,
+        )
         if isinstance(updates, Literal):
             updates = [updates]
+        self.config = config
         self.database = database
         self.updates = tuple(updates)
         self.view = database.updated(list(updates))
-        self.engine = self.view.engine(
-            strategy, plan, exec_mode, supplementary
-        )
+        self.engine = self.view.engine(config=config)
 
     def evaluate(
         self, formula: Formula, binding: Substitution = Substitution.empty()

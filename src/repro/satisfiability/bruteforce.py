@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
+from repro.config import EngineConfig
 from repro.datalog.facts import FactStore
 from repro.datalog.program import Program
 from repro.datalog.query import QueryEngine
@@ -80,7 +81,7 @@ def _formula_constants(formulas: Sequence[Formula]) -> Set[Constant]:
 
 def is_model(facts: FactStore, constraints: Sequence[Constraint]) -> bool:
     """Do the explicit *facts* satisfy every constraint?"""
-    engine = QueryEngine(facts, _EMPTY, "lazy")
+    engine = QueryEngine(facts, _EMPTY, config=EngineConfig(strategy="lazy"))
     return all(engine.evaluate(c.formula) for c in constraints)
 
 

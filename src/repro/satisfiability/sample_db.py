@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
+from repro.config import EngineConfig
 from repro.datalog.facts import FactStore
 from repro.datalog.program import Program
 from repro.datalog.query import QueryEngine
@@ -33,7 +34,9 @@ class SampleDatabase:
         self.generation: Dict[Atom, int] = {}
         # One engine suffices: with no rules there is nothing to
         # materialize, so the engine always reads the live store.
-        self._engine = QueryEngine(self.facts, _EMPTY_PROGRAM, "lazy")
+        self._engine = QueryEngine(
+            self.facts, _EMPTY_PROGRAM, config=EngineConfig(strategy="lazy")
+        )
 
     # -- trail ------------------------------------------------------------------
 
@@ -136,7 +139,7 @@ class DerivingSampleDatabase(SampleDatabase):
     def _deriving_engine(self) -> QueryEngine:
         if self._cached_version != self._version:
             self._cached_engine = QueryEngine(
-                self.facts, self.program, "lazy"
+                self.facts, self.program, config=EngineConfig(strategy="lazy")
             )
             self._cached_version = self._version
         return self._cached_engine

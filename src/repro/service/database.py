@@ -13,11 +13,10 @@ from __future__ import annotations
 import os
 from typing import Optional, Union
 
+from repro.config import EngineConfig, resolve_config
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.facts import FactStore
 from repro.datalog.incremental import MaintainedModel
-from repro.datalog.joins import DEFAULT_EXEC
-from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.checker import CheckResult
 from repro.integrity.transactions import Transaction
 from repro.logic.formulas import Formula
@@ -37,28 +36,34 @@ class ManagedDatabase:
         *,
         sync: bool = True,
         method: str = "bdm",
-        strategy: str = "lazy",
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
-        supplementary: bool = True,
+        strategy: Optional[str] = None,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        supplementary: Optional[bool] = None,
+        config: Optional[EngineConfig] = None,
         group_commit: bool = True,
         snapshot_interval: int = 0,
         commit_delay: float = 0.002,
     ):
+        config = resolve_config(
+            config,
+            strategy=strategy,
+            plan=plan,
+            exec_mode=exec_mode,
+            supplementary=supplementary,
+        )
         self.directory = None if directory is None else os.fspath(directory)
         self.recovered = None
         if self.directory is None or not directory_initialized(self.directory):
             # Creation path: parse and validate the seed *before* any
             # directory or file exists, so a bad source / inconsistent
             # seed leaves no junk database behind.
-            database = (
-                DeductiveDatabase.from_source(source)
-                if source
-                else DeductiveDatabase()
+            database = DeductiveDatabase.from_source(
+                source or "", config=config
             )
             self._require_consistent(database)
             model = MaintainedModel(
-                database.facts, database.program, plan, exec_mode
+                database.facts, database.program, config=config
             )
             version = 0
             storage = None
@@ -69,7 +74,7 @@ class ManagedDatabase:
             # An existing database is authoritative; *source* is only
             # a creation seed.
             storage = StorageEngine(self.directory, sync=sync)
-            self.recovered = storage.recover(plan, exec_mode)
+            self.recovered = storage.recover(config=config)
             database = self.recovered.database
             model = self.recovered.model
             version = self.recovered.last_lsn
@@ -79,10 +84,7 @@ class ManagedDatabase:
             storage,
             version=version,
             method=method,
-            strategy=strategy,
-            plan=plan,
-            exec_mode=exec_mode,
-            supplementary=supplementary,
+            config=config,
             group_commit=group_commit,
             snapshot_interval=snapshot_interval,
             commit_delay=commit_delay,
@@ -101,6 +103,10 @@ class ManagedDatabase:
             )
 
     # -- delegation ----------------------------------------------------------------
+
+    @property
+    def config(self) -> EngineConfig:
+        return self.manager.config
 
     @property
     def database(self) -> DeductiveDatabase:
@@ -159,14 +165,19 @@ class ManagedDatabase:
     def stats(self) -> dict:
         with self.manager._state_lock:
             database = self.manager.database
-            return {
+            out = {
                 "lsn": self.manager.version,
                 "facts": len(database.facts),
                 "rules": len(database.program),
                 "constraints": len(database.constraints),
                 "model_facts": len(self.manager.model.model),
+                "backend": self.manager.config.backend,
                 **self.manager.stats,
             }
+            cache = self.manager.cache_stats()
+            if cache is not None:
+                out["cache"] = cache
+            return out
 
     def close(self) -> None:
         if self.manager.storage is not None:

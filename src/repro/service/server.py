@@ -41,8 +41,7 @@ import threading
 from typing import Dict, Optional
 
 from repro import serialize
-from repro.datalog.joins import DEFAULT_EXEC
-from repro.datalog.planner import DEFAULT_PLAN
+from repro.config import EngineConfig, resolve_config
 from repro.logic.normalize import normalize_constraint
 from repro.logic.parser import parse_atom, parse_formula
 from repro.service.database import ManagedDatabase
@@ -90,22 +89,27 @@ class DatabaseServer:
         *,
         sync: bool = True,
         method: str = "bdm",
-        strategy: str = "lazy",
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
-        supplementary: bool = True,
+        strategy: Optional[str] = None,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        supplementary: Optional[bool] = None,
+        config: Optional[EngineConfig] = None,
         group_commit: bool = True,
         snapshot_interval: int = 64,
     ):
+        self.config = resolve_config(
+            config,
+            strategy=strategy,
+            plan=plan,
+            exec_mode=exec_mode,
+            supplementary=supplementary,
+        )
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         self._db_options = {
             "sync": sync,
             "method": method,
-            "strategy": strategy,
-            "plan": plan,
-            "exec_mode": exec_mode,
-            "supplementary": supplementary,
+            "config": self.config,
             "group_commit": group_commit,
             "snapshot_interval": snapshot_interval,
         }

@@ -57,10 +57,9 @@ import time
 from collections import deque
 from typing import Deque, List, Optional, Sequence, Set, Union
 
+from repro.config import EngineConfig, resolve_config
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.incremental import MaintainedModel
-from repro.datalog.joins import DEFAULT_EXEC
-from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.checker import METHODS, CheckResult, IntegrityChecker
 from repro.integrity.evolution import (
     ACCEPTED,
@@ -73,6 +72,7 @@ from repro.logic.normalize import normalize_constraint
 from repro.logic.parser import parse_atom, parse_formula
 from repro.logic.safety import constraint_predicates
 from repro.storage.engine import StorageEngine, apply_transaction
+from repro.storage.result_cache import ResultCache
 from repro.storage.wal import WalRecord
 
 #: How many committed write-sets are retained for conflict validation.
@@ -293,10 +293,11 @@ class TransactionManager:
         *,
         version: int = 0,
         method: str = "bdm",
-        strategy: str = "lazy",
-        plan: str = DEFAULT_PLAN,
-        exec_mode: str = DEFAULT_EXEC,
-        supplementary: bool = True,
+        strategy: Optional[str] = None,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        supplementary: Optional[bool] = None,
+        config: Optional[EngineConfig] = None,
         group_commit: bool = True,
         snapshot_interval: int = 0,
         commit_delay: float = 0.002,
@@ -305,21 +306,37 @@ class TransactionManager:
             raise ValueError(
                 f"unknown check method {method!r}; pick one of {METHODS}"
             )
+        config = resolve_config(
+            config,
+            strategy=strategy,
+            plan=plan,
+            exec_mode=exec_mode,
+            supplementary=supplementary,
+        )
         self.database = database
         self.model = (
             model
             if model is not None
             else MaintainedModel(
-                database.facts, database.program, plan, exec_mode
+                database.facts, database.program, config=config
             )
         )
         self.storage = storage
         self.version = version
         self.method = method
-        self.strategy = strategy
-        self.plan = plan
-        self.exec_mode = exec_mode
-        self.supplementary = supplementary
+        self.config = config
+        self.strategy = config.strategy
+        self.plan = config.plan
+        self.exec_mode = config.exec_mode
+        self.supplementary = config.supplementary
+        # The manager-owned derived-result cache: shared by every
+        # engine over the *committed* state (staged overlay views never
+        # see it) and invalidated per predicate key from DRed's exact
+        # change sets in :meth:`_apply` — not flushed wholesale per
+        # commit.
+        self.result_cache = (
+            ResultCache(config.cache_size) if config.cache else None
+        )
         self.group_commit = group_commit
         self.snapshot_interval = snapshot_interval
         # How long a leader lingers for stragglers *when other commits
@@ -329,13 +346,7 @@ class TransactionManager:
         self.commit_delay = commit_delay
         # Open-session count: the linger heuristic's "siblings" signal.
         self._active_sessions = 0
-        self.checker = IntegrityChecker(
-            database,
-            strategy=strategy,
-            plan=plan,
-            exec_mode=exec_mode,
-            supplementary=supplementary,
-        )
+        self.checker = IntegrityChecker(database, config=config)
         # _state_lock guards the committed state (database, model,
         # commit log, version) against concurrent readers; the commit
         # mutex elects the group-commit leader.
@@ -381,19 +392,24 @@ class TransactionManager:
             return self.database
         return self.database.updated(list(staged))
 
+    def _engine(self, staged: Sequence[Literal]):
+        """The engine for a read: staged overlay views get a private
+        engine (never the shared cache — their answers depend on
+        uncommitted writes); unstaged reads share the manager's
+        precisely-invalidated result cache."""
+        if staged:
+            return self._view(staged).engine(config=self.config)
+        return self.database.engine(
+            config=self.config, result_cache=self.result_cache
+        )
+
     def evaluate(self, formula: Formula, staged: Sequence[Literal] = ()) -> bool:
         with self._state_lock:
-            view = self._view(staged)
-            return view.engine(
-                self.strategy, self.plan, self.exec_mode, self.supplementary
-            ).evaluate(formula)
+            return self._engine(staged).evaluate(formula)
 
     def holds(self, atom: Atom, staged: Sequence[Literal] = ()) -> bool:
         with self._state_lock:
-            view = self._view(staged)
-            return view.engine(
-                self.strategy, self.plan, self.exec_mode, self.supplementary
-            ).holds(atom)
+            return self._engine(staged).holds(atom)
 
     def dry_run(
         self, transaction: Transaction, method: Optional[str] = None
@@ -704,13 +720,9 @@ class TransactionManager:
             self.storage.log(record)
         self.database.add_constraint(request.source, id=constraint_id)
         # The relevance/dependency indexes are constraint-dependent.
-        self.checker = IntegrityChecker(
-            self.database,
-            strategy=self.strategy,
-            plan=self.plan,
-            exec_mode=self.exec_mode,
-            supplementary=self.supplementary,
-        )
+        # The result cache stays warm: DDL changes which formulas are
+        # *checked*, not the truth of any cached query.
+        self.checker = IntegrityChecker(self.database, config=self.config)
         self.version = lsn
         self.stats["ddl_committed"] += 1
         request.finish(CommitResult(COMMITTED, lsn=lsn, triage=triage))
@@ -726,7 +738,14 @@ class TransactionManager:
     def _apply(self, transaction: Transaction) -> None:
         # The same helper WAL replay uses: live-commit state and
         # recovered state agree by construction, not by hand-sync.
-        apply_transaction(transaction, self.database, self.model)
+        inserted, deleted = apply_transaction(
+            transaction, self.database, self.model
+        )
+        if self.result_cache is not None:
+            # DRed hands back exactly the model atoms whose truth
+            # changed; only cache entries depending on one of those
+            # predicate keys are dropped.
+            self.result_cache.invalidate(itertools.chain(inserted, deleted))
 
     def _log_commit(self, version: int, transaction: Transaction) -> None:
         if (
@@ -750,6 +769,13 @@ class TransactionManager:
             and self._commits_since_checkpoint >= self.snapshot_interval
         ):
             self.checkpoint()
+
+    def cache_stats(self) -> Optional[dict]:
+        """Hit/miss/invalidation counters of the shared result cache,
+        or ``None`` when caching is off."""
+        if self.result_cache is None:
+            return None
+        return self.result_cache.stats()
 
     def checkpoint(self) -> int:
         """Fold the WAL into a snapshot now; returns the snapshot LSN."""

@@ -1,0 +1,414 @@
+"""Out-of-core fact storage on SQLite — the ``sqlite`` backend.
+
+Each (predicate, arity) pair becomes one relation table ``f<id>`` with
+columns ``c0..c{n-1}`` (a catalogue table maps predicate names — which
+may contain characters like the ``@`` in supplementary-magic predicates
+— to table ids). Constant values are stored JSON-encoded, which keeps
+``1`` and ``"1"`` distinct and makes rows order-comparable for the
+UNIQUE constraint that gives the store its set semantics.
+
+The interesting part is how the :class:`StoreBackend` access paths map
+onto the database:
+
+* :meth:`SqliteFactStore.match` compiles a pattern's bound positions
+  (and repeated-variable equalities) into a ``WHERE`` clause, so the
+  database's own planner picks the access path;
+* :meth:`SqliteFactStore.bucket` — the batch join kernel's composite
+  group probe — lazily creates a *real* composite DB index the first
+  time a (predicate, positions) pair is probed, mirroring the dict
+  backend's lazily-built group hash indexes one-for-one
+  (:attr:`group_builds` counts first-time builds with the same
+  semantics the conformance suite pins: repeat probes and incremental
+  maintenance never rebuild);
+* :meth:`SqliteFactStore.estimate` answers the join planner with an
+  indexed ``COUNT`` upper bound.
+
+With ``path=None`` the database lives in memory (still useful: shared
+nothing with the Python heap, and the conformance surface is
+identical); with a path it lives on disk in WAL mode, so EDBs and
+canonical models larger than RAM are a config knob away. A single
+re-entrant lock serialises access — the NDJSON server's handler
+threads funnel through one store — and every read materialises its
+result before the lock is released, so no cursor escapes.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.logic.formulas import Atom
+from repro.logic.terms import Constant, Variable
+
+from .base import StoreBackend
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _encode(constant: Constant) -> str:
+    value = constant.value
+    if not isinstance(value, _SCALARS):
+        raise ValueError(
+            f"sqlite backend stores JSON scalar constants only, "
+            f"not {type(value).__name__}: {value!r}"
+        )
+    return json.dumps(value, separators=(",", ":"))
+
+
+def _decode(text: str) -> Constant:
+    return Constant(json.loads(text))
+
+
+class SqliteFactStore(StoreBackend):
+    """A mutable, indexed set of ground atoms in an SQLite database."""
+
+    name = "sqlite"
+
+    def __init__(self, facts: Iterable[Atom] = (), *, path: Optional[str] = None):
+        self._path = path
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            path if path is not None else ":memory:",
+            check_same_thread=False,
+            isolation_level=None,  # autocommit; the store is its own unit
+        )
+        if path is not None:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS rels ("
+            " id INTEGER PRIMARY KEY,"
+            " pred TEXT NOT NULL,"
+            " arity INTEGER NOT NULL,"
+            " UNIQUE(pred, arity))"
+        )
+        # Python-side catalogue caches: (pred, arity) -> table id / row
+        # count, so the hot paths never query sqlite_master.
+        self._rels: Dict[Tuple[str, int], int] = {}
+        self._counts: Dict[Tuple[str, int], int] = {}
+        # Composite probes seen per predicate (the group-index hook).
+        self._probed: Dict[str, Set[Tuple[int, ...]]] = {}
+        self.group_builds = 0
+        self._load_catalogue()
+        for fact in facts:
+            self.add(fact)
+
+    def _load_catalogue(self) -> None:
+        """Rehydrate the in-process catalogue from an existing file."""
+        for rid, pred, arity in self._conn.execute(
+            "SELECT id, pred, arity FROM rels"
+        ).fetchall():
+            key = (pred, int(arity))
+            self._rels[key] = int(rid)
+            (count,) = self._conn.execute(
+                f"SELECT COUNT(*) FROM f{int(rid)}"
+            ).fetchone()
+            self._counts[key] = int(count)
+
+    # -- relation tables ----------------------------------------------------------
+
+    def _rel_id(self, pred: str, arity: int) -> Optional[int]:
+        return self._rels.get((pred, arity))
+
+    def _ensure_rel(self, pred: str, arity: int) -> int:
+        key = (pred, arity)
+        rid = self._rels.get(key)
+        if rid is not None:
+            return rid
+        self._conn.execute(
+            "INSERT OR IGNORE INTO rels(pred, arity) VALUES (?, ?)", key
+        )
+        (rid,) = self._conn.execute(
+            "SELECT id FROM rels WHERE pred=? AND arity=?", key
+        ).fetchone()
+        if arity:
+            columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(arity))
+            unique = ", ".join(f"c{i}" for i in range(arity))
+        else:
+            # A propositional relation holds at most one (empty) row.
+            columns = "present INTEGER NOT NULL"
+            unique = "present"
+        self._conn.execute(
+            f"CREATE TABLE IF NOT EXISTS f{rid} ({columns}, UNIQUE({unique}))"
+        )
+        self._rels[key] = rid
+        self._counts.setdefault(key, 0)
+        # Composite probes declared before this arity existed get their
+        # DB index now, so later bucket() calls stay index-backed.
+        for positions in self._probed.get(pred, ()):
+            if positions and positions[-1] < arity:
+                self._create_index(rid, positions)
+        return rid
+
+    def _create_index(self, rid: int, positions: Tuple[int, ...]) -> None:
+        suffix = "_".join(str(p) for p in positions)
+        columns = ", ".join(f"c{p}" for p in positions)
+        self._conn.execute(
+            f"CREATE INDEX IF NOT EXISTS i{rid}_{suffix} ON f{rid} ({columns})"
+        )
+
+    def _rels_of(self, pred: str) -> List[Tuple[int, int]]:
+        """(arity, table id) pairs of every relation named *pred*."""
+        return [
+            (arity, rid)
+            for (name, arity), rid in self._rels.items()
+            if name == pred
+        ]
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add(self, fact: Atom) -> bool:
+        """Insert *fact*; returns True iff it was not already present."""
+        if not fact.is_ground():
+            raise ValueError(f"facts must be ground: {fact}")
+        arity = len(fact.args)
+        row = tuple(_encode(arg) for arg in fact.args) or (1,)
+        holes = ", ".join("?" for _ in row)
+        with self._lock:
+            rid = self._ensure_rel(fact.pred, arity)
+            cursor = self._conn.execute(
+                f"INSERT OR IGNORE INTO f{rid} VALUES ({holes})", row
+            )
+            if cursor.rowcount <= 0:
+                return False
+            self._counts[(fact.pred, arity)] += 1
+            return True
+
+    def remove(self, fact: Atom) -> bool:
+        """Delete *fact*; returns True iff it was present."""
+        arity = len(fact.args)
+        with self._lock:
+            rid = self._rel_id(fact.pred, arity)
+            if rid is None:
+                return False
+            if arity:
+                where = " AND ".join(f"c{i}=?" for i in range(arity))
+                row = tuple(_encode(arg) for arg in fact.args)
+            else:
+                where, row = "present=1", ()
+            cursor = self._conn.execute(f"DELETE FROM f{rid} WHERE {where}", row)
+            if cursor.rowcount <= 0:
+                return False
+            self._counts[(fact.pred, arity)] -= 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            for rid in self._rels.values():
+                self._conn.execute(f"DROP TABLE IF EXISTS f{rid}")
+            self._conn.execute("DELETE FROM rels")
+            self._rels.clear()
+            self._counts.clear()
+            self._probed.clear()
+
+    # -- queries ------------------------------------------------------------------
+
+    def contains(self, fact: Atom) -> bool:
+        arity = len(fact.args)
+        with self._lock:
+            rid = self._rel_id(fact.pred, arity)
+            if rid is None or self._counts[(fact.pred, arity)] == 0:
+                return False
+            if arity:
+                where = " AND ".join(f"c{i}=?" for i in range(arity))
+                row = tuple(_encode(arg) for arg in fact.args)
+            else:
+                where, row = "present=1", ()
+            hit = self._conn.execute(
+                f"SELECT 1 FROM f{rid} WHERE {where} LIMIT 1", row
+            ).fetchone()
+            return hit is not None
+
+    __contains__ = contains
+
+    def facts(self, pred: str) -> frozenset:
+        """All stored facts of predicate *pred* (frozen snapshot)."""
+        with self._lock:
+            out: List[Atom] = []
+            for arity, rid in self._rels_of(pred):
+                out.extend(self._fetch(pred, arity, rid, "", ()))
+            return frozenset(out)
+
+    def _fetch(
+        self,
+        pred: str,
+        arity: int,
+        rid: int,
+        where: str,
+        params: Tuple[str, ...],
+    ) -> List[Atom]:
+        """Materialise matching rows of one relation table as atoms."""
+        if self._counts[(pred, arity)] == 0:
+            return []
+        if not arity:
+            row = self._conn.execute(
+                f"SELECT 1 FROM f{rid} {where} LIMIT 1", params
+            ).fetchone()
+            return [Atom(pred, ())] if row is not None else []
+        columns = ", ".join(f"c{i}" for i in range(arity))
+        rows = self._conn.execute(
+            f"SELECT {columns} FROM f{rid} {where}", params
+        ).fetchall()
+        return [
+            Atom(pred, tuple(_decode(cell) for cell in row)) for row in rows
+        ]
+
+    def match(self, pattern: Atom) -> Iterator[Atom]:
+        """All stored facts matching *pattern*: bound positions and
+        repeated-variable equalities compile into the WHERE clause, so
+        SQLite's planner picks the access path."""
+        arity = len(pattern.args)
+        with self._lock:
+            rid = self._rel_id(pattern.pred, arity)
+            if rid is None:
+                return iter(())
+            clauses: List[str] = []
+            params: List[str] = []
+            first_seen: Dict[Variable, int] = {}
+            for position, arg in enumerate(pattern.args):
+                if isinstance(arg, Variable):
+                    earlier = first_seen.setdefault(arg, position)
+                    if earlier != position:
+                        clauses.append(f"c{position}=c{earlier}")
+                else:
+                    clauses.append(f"c{position}=?")
+                    params.append(_encode(arg))
+            where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+            return iter(
+                self._fetch(pattern.pred, arity, rid, where, tuple(params))
+            )
+
+    def bucket(
+        self,
+        pred: str,
+        positions: Tuple[int, ...],
+        key: Tuple[Constant, ...],
+    ) -> Iterable[Atom]:
+        """All facts of *pred* whose arguments at *positions* equal
+        *key* — an equality probe against a composite DB index created
+        on the first probe of the (pred, positions) pair (counted in
+        :attr:`group_builds`, incremental thereafter: the index is
+        maintained by the database itself)."""
+        with self._lock:
+            rels = self._rels_of(pred)
+            if not any(self._counts[(pred, arity)] for arity, _ in rels):
+                return []
+            if positions:
+                probed = self._probed.setdefault(pred, set())
+                if positions not in probed:
+                    probed.add(positions)
+                    self.group_builds += 1
+                    for arity, rid in rels:
+                        if positions[-1] < arity:
+                            self._create_index(rid, positions)
+            out: List[Atom] = []
+            for arity, rid in rels:
+                if positions:
+                    if positions[-1] >= arity:
+                        continue  # arity mismatch: pattern cannot match
+                    where = "WHERE " + " AND ".join(
+                        f"c{p}=?" for p in positions
+                    )
+                    params = tuple(_encode(value) for value in key)
+                else:
+                    where, params = "", ()
+                out.extend(self._fetch(pred, arity, rid, where, params))
+            return out
+
+    def estimate(self, pattern: Atom) -> int:
+        """Indexed COUNT upper bound on the facts matching *pattern*
+        (repeated-variable equalities are ignored — estimates must
+        never undershoot)."""
+        arity = len(pattern.args)
+        with self._lock:
+            rid = self._rel_id(pattern.pred, arity)
+            if rid is None:
+                return 0
+            total = self._counts[(pattern.pred, arity)]
+            if total == 0:
+                return 0
+            clauses: List[str] = []
+            params: List[str] = []
+            for position, arg in enumerate(pattern.args):
+                if not isinstance(arg, Variable):
+                    clauses.append(f"c{position}=?")
+                    params.append(_encode(arg))
+            if not clauses:
+                return total
+            (count,) = self._conn.execute(
+                f"SELECT COUNT(*) FROM f{rid} WHERE {' AND '.join(clauses)}",
+                tuple(params),
+            ).fetchone()
+            return int(count)
+
+    # -- inspection ---------------------------------------------------------------
+
+    def predicates(self) -> frozenset:
+        with self._lock:
+            return frozenset(
+                pred for (pred, _), count in self._counts.items() if count
+            )
+
+    def count(self, pred: str) -> int:
+        with self._lock:
+            return sum(
+                count
+                for (name, _), count in self._counts.items()
+                if name == pred
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def __iter__(self) -> Iterator[Atom]:
+        with self._lock:
+            out: List[Atom] = []
+            for (pred, arity), rid in self._rels.items():
+                out.extend(self._fetch(pred, arity, rid, "", ()))
+        return iter(out)
+
+    def constants(self) -> Set[Constant]:
+        """All constants appearing in stored facts — the active domain."""
+        with self._lock:
+            out: Set[Constant] = set()
+            for (pred, arity), rid in self._rels.items():
+                for position in range(arity):
+                    rows = self._conn.execute(
+                        f"SELECT DISTINCT c{position} FROM f{rid}"
+                    ).fetchall()
+                    out.update(_decode(cell) for (cell,) in rows)
+            return out
+
+    def copy(self) -> "SqliteFactStore":
+        """An independent in-memory clone (via SQLite's backup API).
+
+        Note the clone is always in-memory even when this store is
+        file-backed: copies are working state (pre-update views, model
+        seeds), not durable artifacts."""
+        clone = SqliteFactStore()
+        with self._lock:
+            self._conn.backup(clone._conn)
+        clone._rels.clear()
+        clone._counts.clear()
+        clone._load_catalogue()
+        return clone
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown ordering
+        try:
+            self._conn.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        where = self._path or ":memory:"
+        return (
+            f"SqliteFactStore({len(self)} facts, "
+            f"{len(self.predicates())} predicates, {where})"
+        )

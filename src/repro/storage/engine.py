@@ -20,13 +20,13 @@ re-run the checker.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Union
+from typing import List, Optional, Set, Tuple, Union
 
+from repro.config import resolve_config
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.incremental import MaintainedModel
-from repro.datalog.joins import DEFAULT_EXEC
-from repro.datalog.planner import DEFAULT_PLAN
 from repro.integrity.transactions import Transaction
+from repro.logic.formulas import Atom
 from repro.storage.snapshot import load_latest_snapshot, write_snapshot
 from repro.storage.wal import WalRecord, WriteAheadLog
 
@@ -50,15 +50,18 @@ def apply_transaction(
     transaction: Transaction,
     database: DeductiveDatabase,
     model: MaintainedModel,
-) -> None:
+) -> Tuple[Set[Atom], Set[Atom]]:
     """Apply one committed transaction to the extensional store
     (Definition 1) and the DRed-maintained model. The ONE apply step:
     live commits and WAL replay both call this, which is what makes
     the recovered state equal the acknowledged state by construction.
+
+    Returns DRed's exact ``(inserted, deleted)`` model change sets —
+    the invalidation keys for any derived-result caches layered above.
     """
     for literal in transaction.net():
         database.apply_update(literal)
-    model.apply(transaction)
+    return model.apply(transaction)
 
 
 class RecoveredState:
@@ -133,16 +136,32 @@ class StorageEngine:
     # -- recovery -----------------------------------------------------------------
 
     def recover(
-        self, plan: str = DEFAULT_PLAN, exec_mode: str = DEFAULT_EXEC
+        self,
+        plan: Optional[str] = None,
+        exec_mode: Optional[str] = None,
+        *,
+        config=None,
     ) -> RecoveredState:
-        """Rebuild the last committed state: snapshot + WAL replay."""
-        snapshot = load_latest_snapshot(self.directory)
+        """Rebuild the last committed state: snapshot + WAL replay.
+
+        *config* (an :class:`repro.config.EngineConfig`) selects the
+        maintenance plan/exec mode and the fact-store backend the
+        recovered state is materialized into.
+        """
+        config = resolve_config(
+            config, plan=plan, exec_mode=exec_mode, warn=False
+        )
+        snapshot = load_latest_snapshot(
+            self.directory, backend=config.backend
+        )
         if snapshot is not None:
             database = snapshot.database
             snapshot_lsn = snapshot.lsn
             model_store = snapshot.model
         else:
-            database = DeductiveDatabase()
+            database = DeductiveDatabase.from_source(
+                "", backend=config.backend
+            )
             snapshot_lsn = 0
             model_store = None
         records, valid_bytes = self.wal.scan()
@@ -151,11 +170,14 @@ class StorageEngine:
             self.wal.truncate_to(valid_bytes)
         if model_store is not None:
             model = MaintainedModel.from_snapshot(
-                database.facts, database.program, model_store, plan, exec_mode
+                database.facts,
+                database.program,
+                model_store,
+                config=config,
             )
         else:
             model = MaintainedModel(
-                database.facts, database.program, plan, exec_mode
+                database.facts, database.program, config=config
             )
         last_lsn = snapshot_lsn
         replayed = 0

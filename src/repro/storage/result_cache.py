@@ -1,0 +1,180 @@
+"""A size-bounded derived-result cache with per-predicate-key
+invalidation.
+
+Generation-flush caches (clear everything whenever anything commits)
+waste exactly the work an incremental maintenance algorithm saves.
+DRed gives us something much sharper: every commit returns the *exact*
+set of atoms whose truth in the canonical model changed — extensional
+and derived alike, post over-deletion/re-derivation. A cached answer
+is a function of the extensions of the predicates its formula
+mentions, so it can only change if the commit's change set touches one
+of those predicates. :meth:`ResultCache.invalidate` therefore evicts
+per predicate key, not per generation: a commit touching ``p`` leaves
+every ``q``-only entry warm.
+
+Two precision levels per entry:
+
+* **predicate-level** (``atoms=None``): the entry depends on the whole
+  extension of its ``deps`` predicates — any change-set atom of a dep
+  predicate evicts it. Used for formula evaluations (quantifiers sweep
+  extensions).
+* **atom-level** (``atoms={...}``): the entry depends only on the
+  listed ground atoms — a change-set atom of a dep predicate evicts it
+  only if it *is* one of those atoms. Used for ground ``holds``
+  probes: committing ``edge(c,d)`` does not evict a cached
+  ``edge(a,b)``.
+
+Entries are LRU-bounded (``max_entries``); keys embed the
+:meth:`EngineConfig.key` evaluation identity, so answers computed
+under one strategy/backend never serve another. All counters
+(``hits``/``misses``/``evictions``/``invalidations``) are exposed for
+the benchmark and the service stats endpoint. The cache is
+thread-safe: the NDJSON server's handler threads share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.logic.formulas import Atom
+
+
+class _Entry:
+    __slots__ = ("value", "deps", "atoms")
+
+    def __init__(
+        self,
+        value,
+        deps: FrozenSet[str],
+        atoms: Optional[FrozenSet[Atom]],
+    ):
+        self.value = value
+        self.deps = deps
+        self.atoms = atoms
+
+
+class ResultCache:
+    """LRU cache of derived results, invalidated from DRed change sets."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive: {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        # Reverse index: dep predicate -> keys of entries depending on it.
+        self._by_pred: Dict[str, Set[Hashable]] = {}
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- lookup / store -----------------------------------------------------------
+
+    def get(self, key: Hashable) -> Tuple[bool, object]:
+        """``(True, value)`` on a hit (freshening the entry's LRU
+        position), ``(False, None)`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, entry.value
+
+    def put(
+        self,
+        key: Hashable,
+        value,
+        deps: Iterable[str],
+        atoms: Optional[Iterable[Atom]] = None,
+    ) -> None:
+        """Store *value* under *key*, recording the predicates (*deps*)
+        — and optionally the exact ground *atoms* — the result depends
+        on. Evicts the least recently used entry past the bound."""
+        deps_set = frozenset(deps)
+        atoms_set = None if atoms is None else frozenset(atoms)
+        with self._lock:
+            if key in self._entries:
+                self._drop(key)
+            self._entries[key] = _Entry(value, deps_set, atoms_set)
+            for pred in deps_set:
+                self._by_pred.setdefault(pred, set()).add(key)
+            while len(self._entries) > self.max_entries:
+                oldest = next(iter(self._entries))
+                self._drop(oldest)
+                self.evictions += 1
+
+    # -- invalidation -------------------------------------------------------------
+
+    def invalidate(self, changed: Iterable[Atom]) -> int:
+        """Evict every entry whose recorded dependencies intersect the
+        *changed* atoms (a commit's DRed change set: inserted plus
+        deleted model atoms). Returns the number of entries evicted."""
+        changed_atoms = set(changed)
+        if not changed_atoms:
+            return 0
+        changed_preds = {atom.pred for atom in changed_atoms}
+        dropped = 0
+        with self._lock:
+            for pred in changed_preds:
+                keys = self._by_pred.get(pred)
+                if not keys:
+                    continue
+                for key in list(keys):
+                    entry = self._entries.get(key)
+                    if entry is None:
+                        continue
+                    if entry.atoms is not None and not (
+                        entry.atoms & changed_atoms
+                    ):
+                        continue  # atom-level precision: key untouched
+                    self._drop(key)
+                    dropped += 1
+            self.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive — they describe the
+        cache's lifetime, not its contents)."""
+        with self._lock:
+            self._entries.clear()
+            self._by_pred.clear()
+
+    def _drop(self, key: Hashable) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for pred in entry.deps:
+            keys = self._by_pred.get(pred)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_pred[pred]
+
+    # -- inspection ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ResultCache({stats['entries']}/{stats['max_entries']} entries, "
+            f"{stats['hits']} hits, {stats['misses']} misses)"
+        )

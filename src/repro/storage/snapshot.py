@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.facts import FactStore
 from repro.logic.parser import parse_atom
+from repro.storage.backends import make_store
 from repro.logic.unparse import unparse_atom
 
 SNAPSHOT_FORMAT = 1
@@ -49,7 +50,7 @@ class Snapshot:
         self,
         lsn: int,
         database: DeductiveDatabase,
-        model: Optional[FactStore],
+        model,  # Optional[StoreBackend] — FactStore or SqliteFactStore
     ):
         self.lsn = lsn
         self.database = database
@@ -105,15 +106,19 @@ def write_snapshot(
     return final
 
 
-def load_latest_snapshot(directory) -> Optional[Snapshot]:
-    """The newest readable snapshot in *directory*, or ``None``."""
+def load_latest_snapshot(
+    directory, *, backend: Optional[str] = None
+) -> Optional[Snapshot]:
+    """The newest readable snapshot in *directory*, or ``None``.
+    *backend* selects the fact-store backend (``"dict"``/``"sqlite"``)
+    the database and model sections are materialized into."""
     paths = _snapshot_files(os.fspath(directory))
     if not paths:
         return None
-    return _read_snapshot(paths[-1])
+    return _read_snapshot(paths[-1], backend=backend)
 
 
-def _read_snapshot(path: str) -> Snapshot:
+def _read_snapshot(path: str, *, backend: Optional[str] = None) -> Snapshot:
     with open(path, encoding="utf-8") as handle:
         text = handle.read()
     lines = text.splitlines()
@@ -135,7 +140,7 @@ def _read_snapshot(path: str) -> Snapshot:
         model_at = len(lines)
     source = "\n".join(lines[2:model_at])
     try:
-        database = DeductiveDatabase.from_source(source)
+        database = DeductiveDatabase.from_source(source, backend=backend)
     except ValueError as error:
         raise SnapshotError(f"{path}: bad database section ({error})") from None
     ids = header.get("constraint_ids")
@@ -147,9 +152,9 @@ def _read_snapshot(path: str) -> Snapshot:
             )
         for constraint, constraint_id in zip(database.constraints, ids):
             constraint.id = str(constraint_id)
-    model: Optional[FactStore] = None
+    model = None
     if model_at < len(lines):
-        model = FactStore()
+        model = make_store(backend)
         for line in lines[model_at + 1:]:
             if line.strip():
                 try:

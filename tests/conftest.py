@@ -1,28 +1,48 @@
 """Suite-wide configuration.
 
-The join execution model is a process-wide knob: running the suite
-under ``REPRO_EXEC=tuple`` exercises the tuple-at-a-time oracle path
-end to end (the CI matrix's oracle leg); the default ``batch`` runs the
-set-at-a-time hash-join path. :data:`repro.datalog.joins.DEFAULT_EXEC`
-reads the variable at import time and every evaluator defaults to it,
-so no test needs to thread the knob explicitly.
+Two process-wide knobs select which engine paths the suite exercises
+end to end (the CI matrix legs):
+
+* ``REPRO_EXEC=tuple`` runs the tuple-at-a-time join oracle instead of
+  the default set-at-a-time ``batch`` path
+  (:data:`repro.datalog.joins.DEFAULT_EXEC`).
+* ``REPRO_BACKEND=sqlite`` stores every default-constructed fact store
+  out of core in SQLite instead of the in-process ``dict`` backend
+  (:data:`repro.storage.backends.DEFAULT_BACKEND`).
+
+Both defaults are read at import time and every evaluator/constructor
+defaults to them, so no test needs to thread the knobs explicitly.
 """
 
 import os
 
 import pytest
 
-# A typo'd REPRO_EXEC fails this import (joins.py validates the value),
-# so the whole session aborts with one clear error before any test runs.
+# A typo'd REPRO_EXEC / REPRO_BACKEND fails these imports (the values
+# are validated where the defaults are read), so the whole session
+# aborts with one clear error before any test runs.
 from repro.datalog.joins import DEFAULT_EXEC
+from repro.storage.backends import DEFAULT_BACKEND
 
 
 def pytest_report_header(config):
-    source = "REPRO_EXEC" if os.environ.get("REPRO_EXEC") else "default"
-    return f"repro join exec mode: {DEFAULT_EXEC} ({source})"
+    exec_source = "REPRO_EXEC" if os.environ.get("REPRO_EXEC") else "default"
+    backend_source = (
+        "REPRO_BACKEND" if os.environ.get("REPRO_BACKEND") else "default"
+    )
+    return (
+        f"repro join exec mode: {DEFAULT_EXEC} ({exec_source}); "
+        f"fact-store backend: {DEFAULT_BACKEND} ({backend_source})"
+    )
 
 
 @pytest.fixture(scope="session")
 def exec_mode() -> str:
     """The execution model this test session runs under."""
     return DEFAULT_EXEC
+
+
+@pytest.fixture(scope="session")
+def backend() -> str:
+    """The fact-store backend this test session runs under."""
+    return DEFAULT_BACKEND

@@ -11,6 +11,7 @@ touches one probe per distinct join key.
 
 import pytest
 
+from repro.config import EngineConfig
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.facts import FactStore
 from repro.datalog.joins import (
@@ -294,21 +295,29 @@ class TestShortCircuit:
 
     def test_engine_witness_search_short_circuits(self):
         db, store = self.wide_database()
-        engine = db.engine("lazy", "greedy", "batch")
+        engine = db.engine(
+            config=EngineConfig(
+                strategy="lazy", plan="greedy", exec_mode="batch"
+            )
+        )
         constraint = db.constraints[0]
         assert engine.evaluate(constraint.formula) is False
         assert store.probes <= BATCH_CHUNK + 16
 
     def test_engine_first_violation_short_circuits(self):
         db, store = self.wide_database()
-        engine = db.engine("lazy", "greedy", "batch")
+        engine = db.engine(
+            config=EngineConfig(
+                strategy="lazy", plan="greedy", exec_mode="batch"
+            )
+        )
         constraint = db.constraints[0]
         next(engine.violations(constraint.formula))
         assert store.probes <= BATCH_CHUNK + 16
 
     def test_checker_witness_search_short_circuits(self):
         db, store = self.wide_database()
-        checker = IntegrityChecker(db, exec_mode="batch")
+        checker = IntegrityChecker(db, config=EngineConfig(exec_mode="batch"))
         result = checker.check_full(parse_literal("p(x_new)"))
         assert not result.ok
         # The full check still stops at each constraint's first
@@ -318,7 +327,11 @@ class TestShortCircuit:
 
     def test_full_witness_enumeration_is_the_contrast(self):
         db, store = self.wide_database()
-        engine = db.engine("lazy", "greedy", "batch")
+        engine = db.engine(
+            config=EngineConfig(
+                strategy="lazy", plan="greedy", exec_mode="batch"
+            )
+        )
         constraint = db.constraints[0]
         witnesses = list(engine.violations(constraint.formula))
         assert len(witnesses) == self.N
@@ -448,9 +461,13 @@ class TestExecSeamValidation:
     def test_engine_rejects_unknown_exec(self):
         db = DeductiveDatabase(small_store())
         with pytest.raises(ValueError, match="unknown exec mode"):
-            db.engine("lazy", "greedy", "bogus")
+            db.engine(config=EngineConfig(exec_mode="bogus"))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown exec mode"):
+                db.engine("lazy", "greedy", "bogus")
 
     def test_checker_rejects_unknown_exec(self):
         db = DeductiveDatabase(small_store())
-        with pytest.raises(ValueError, match="unknown exec mode"):
-            IntegrityChecker(db, exec_mode="bogus")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown exec mode"):
+                IntegrityChecker(db, exec_mode="bogus")

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import EngineConfig
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.facts import FactStore
 from repro.datalog.magic import (
@@ -380,23 +381,23 @@ class TestEngineIntegration:
     def test_engine_answers_agree_with_lazy(self):
         db = DeductiveDatabase.from_source(self.SOURCE)
         pattern = parse_atom("anc(b, Y)")
-        lazy = {str(s) for s in db.engine("lazy").match_atom(pattern)}
-        magic = {str(s) for s in db.engine("magic").match_atom(pattern)}
+        lazy = {str(s) for s in db.engine(config=EngineConfig(strategy="lazy")).match_atom(pattern)}
+        magic = {str(s) for s in db.engine(config=EngineConfig(strategy="magic")).match_atom(pattern)}
         assert magic == lazy
 
     def test_engine_falls_back_on_unbound_pattern(self):
         db = DeductiveDatabase.from_source(self.SOURCE)
         pattern = parse_atom("anc(X, Y)")
-        lazy = {str(s) for s in db.engine("lazy").match_atom(pattern)}
-        magic = {str(s) for s in db.engine("magic").match_atom(pattern)}
+        lazy = {str(s) for s in db.engine(config=EngineConfig(strategy="lazy")).match_atom(pattern)}
+        magic = {str(s) for s in db.engine(config=EngineConfig(strategy="magic")).match_atom(pattern)}
         assert magic == lazy
-        assert ("anc", "ff") in db.engine("magic").magic.declined
+        assert ("anc", "ff") in db.engine(config=EngineConfig(strategy="magic")).magic.declined
 
     def test_engine_evaluates_constraints(self):
         db = DeductiveDatabase.from_source(
             self.SOURCE + "forall X, Y: anc(X, Y) -> person(Y).\n"
         )
-        engine = db.engine("magic")
+        engine = db.engine(config=EngineConfig(strategy="magic"))
         assert engine.evaluate(db.constraints[0].formula)
 
     def test_checker_accepts_magic_strategy(self):
@@ -405,7 +406,7 @@ class TestEngineIntegration:
         db = DeductiveDatabase.from_source(
             self.SOURCE + "forall X, Y: anc(X, Y) -> person(Y).\n"
         )
-        checker = IntegrityChecker(db, strategy="magic")
+        checker = IntegrityChecker(db, config=EngineConfig(strategy="magic"))
         assert checker.check_bdm("par(d, a)").ok
         assert not checker.check_bdm("par(d, e)").ok
 
@@ -413,10 +414,12 @@ class TestEngineIntegration:
         from repro.integrity.checker import IntegrityChecker
 
         db = DeductiveDatabase.from_source(self.SOURCE)
-        with pytest.raises(ValueError, match="strategy"):
-            IntegrityChecker(db, strategy="bogus")
-        with pytest.raises(ValueError, match="plan"):
-            IntegrityChecker(db, plan="bogus")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="strategy"):
+                IntegrityChecker(db, strategy="bogus")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="plan"):
+                IntegrityChecker(db, plan="bogus")
 
 
 class TestIncrementalDemandMaintenance:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import EngineConfig
 from repro.datalog.bottomup import compute_model
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.facts import FactStore
@@ -145,7 +146,9 @@ class TestGreedyOrdering:
         with pytest.raises(ValueError, match="unknown plan"):
             make_planner("optimal", FactStore())
         with pytest.raises(ValueError, match="unknown plan"):
-            QueryEngine(FactStore(), Program(), plan="optimal")
+            QueryEngine(
+                FactStore(), Program(), config=EngineConfig(plan="optimal")
+            )
 
 
 class TestCardinalityEstimates:
@@ -329,18 +332,20 @@ class TestEngineKnob:
 
     def test_engine_cached_per_plan(self):
         db = self._database()
-        assert db.engine("lazy", "greedy") is db.engine("lazy", "greedy")
-        assert db.engine("lazy", "greedy") is not db.engine("lazy", "source")
+        greedy = EngineConfig(strategy="lazy", plan="greedy")
+        source = EngineConfig(strategy="lazy", plan="source")
+        assert db.engine(config=greedy) is db.engine(config=greedy)
+        assert db.engine(config=greedy) is not db.engine(config=source)
 
     @pytest.mark.parametrize("strategy", ["lazy", "topdown", "model"])
     def test_plans_agree_across_strategies(self, strategy):
         db = self._database()
         pattern = Atom("hit", (X, Y))
         greedy = set(
-            map(repr, db.engine(strategy, "greedy").match_atom(pattern))
+            map(repr, db.engine(config=EngineConfig(strategy=strategy, plan="greedy")).match_atom(pattern))
         )
         source = set(
-            map(repr, db.engine(strategy, "source").match_atom(pattern))
+            map(repr, db.engine(config=EngineConfig(strategy=strategy, plan="source")).match_atom(pattern))
         )
         assert greedy == source
 
@@ -354,10 +359,14 @@ class TestEngineKnob:
         db = self._database()
         atoms = [Atom("big", (X, Y)), Atom("small", (Y,))]
         greedy = set(
-            map(repr, db.engine("lazy", "greedy").answers_conjunction(atoms))
+            map(repr, db.engine(
+                config=EngineConfig(strategy="lazy", plan="greedy")
+            ).answers_conjunction(atoms))
         )
         source = set(
-            map(repr, db.engine("lazy", "source").answers_conjunction(atoms))
+            map(repr, db.engine(
+                config=EngineConfig(strategy="lazy", plan="source")
+            ).answers_conjunction(atoms))
         )
         assert greedy == source
         assert len(greedy) == 1

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import EngineConfig
 from repro.datalog.facts import FactStore
 from repro.datalog.program import Program, Rule
 from repro.datalog.query import QueryEngine
@@ -35,7 +36,9 @@ def university(request):
         "keen(jack)",
     )
     prog = program("enrolled(X, cs) :- student(X)")
-    return QueryEngine(facts, prog, request.param)
+    return QueryEngine(
+        facts, prog, config=EngineConfig(strategy=request.param)
+    )
 
 
 class TestAtomAccess:
@@ -123,7 +126,7 @@ class TestLazyMaterialization:
             "derived(X) :- base(X)",
             "other(X) :- heavy(X)",
         )
-        engine = QueryEngine(facts, prog, "lazy")
+        engine = QueryEngine(facts, prog, config=EngineConfig(strategy="lazy"))
         engine.holds(parse_fact("base(a)"))
         assert engine._materialized == set()
 
@@ -133,7 +136,7 @@ class TestLazyMaterialization:
             "derived(X) :- base(X)",
             "other(X) :- heavy(X)",
         )
-        engine = QueryEngine(facts, prog, "lazy")
+        engine = QueryEngine(facts, prog, config=EngineConfig(strategy="lazy"))
         engine.holds(parse_fact("derived(a)"))
         assert "derived" in engine._materialized
         assert "other" not in engine._materialized
@@ -144,11 +147,16 @@ class TestLazyMaterialization:
             "derived(X) :- base(X)",
             "other(X) :- heavy(X)",
         )
-        engine = QueryEngine(facts, prog, "model")
+        engine = QueryEngine(facts, prog, config=EngineConfig(strategy="model"))
         assert engine._materialized == {"derived", "other"}
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ValueError):
+            QueryEngine(
+                store(), Program(), config=EngineConfig(strategy="psychic")
+            )
+        # The legacy positional seam still validates (and warns).
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
             QueryEngine(store(), Program(), "psychic")
 
 
@@ -160,7 +168,9 @@ class TestRecursionThroughEngine:
             "anc(X, Y) :- par(X, Y)",
             "anc(X, Y) :- par(X, Z), anc(Z, Y)",
         )
-        return QueryEngine(facts, prog, request.param)
+        return QueryEngine(
+            facts, prog, config=EngineConfig(strategy=request.param)
+        )
 
     def test_recursive_holds(self, engine):
         assert engine.holds(parse_fact("anc(a, d)"))

@@ -1,6 +1,7 @@
 """Edge-case tests for formula evaluation and witnesses."""
 
 
+from repro.config import EngineConfig
 from repro.datalog.facts import FactStore
 from repro.datalog.overlay import OverlayFactStore
 from repro.datalog.program import Program, Rule
@@ -17,7 +18,7 @@ from repro.logic.parser import (
 def engine(facts=(), rules=(), strategy="lazy"):
     store = FactStore(parse_fact(f) for f in facts)
     program = Program([Rule.from_parsed(parse_rule(r)) for r in rules])
-    return QueryEngine(store, program, strategy)
+    return QueryEngine(store, program, config=EngineConfig(strategy=strategy))
 
 
 def norm(text):
@@ -90,7 +91,7 @@ class TestOverlayThroughEngine:
     def test_engine_over_overlay(self):
         base = FactStore([parse_fact("p(a)")])
         view = OverlayFactStore.from_update(base, parse_literal("p(b)"))
-        e = QueryEngine(view, Program(), "lazy")
+        e = QueryEngine(view, Program(), config=EngineConfig(strategy="lazy"))
         assert e.evaluate(norm("exists X: p(X)"))
         assert e.holds(parse_fact("p(b)"))
         assert not e.holds(parse_fact("p(c)"))
@@ -103,7 +104,7 @@ class TestOverlayThroughEngine:
         program = Program(
             [Rule.from_parsed(parse_rule("member(X, Y) :- leads(X, Y)"))]
         )
-        e = QueryEngine(view, program, "lazy")
+        e = QueryEngine(view, program, config=EngineConfig(strategy="lazy"))
         assert not e.holds(parse_fact("member(ann, sales)"))
 
 

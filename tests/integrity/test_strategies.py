@@ -4,6 +4,7 @@ model)."""
 
 import pytest
 
+from repro.config import EngineConfig
 from repro.datalog.database import DeductiveDatabase
 from repro.integrity.checker import IntegrityChecker
 
@@ -31,14 +32,14 @@ STRATEGIES = ["lazy", "topdown", "model"]
 @pytest.mark.parametrize("update, expected_ok", UPDATES)
 def test_bdm_across_strategies(strategy, update, expected_ok):
     db = DeductiveDatabase.from_source(SOURCE)
-    checker = IntegrityChecker(db, strategy=strategy)
+    checker = IntegrityChecker(db, config=EngineConfig(strategy=strategy))
     assert checker.check_bdm(update).ok is expected_ok
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
 def test_interleaved_across_strategies(strategy):
     db = DeductiveDatabase.from_source(SOURCE)
-    checker = IntegrityChecker(db, strategy=strategy)
+    checker = IntegrityChecker(db, config=EngineConfig(strategy=strategy))
     assert not checker.check_interleaved("par(c, d)").ok
     assert checker.check_interleaved("par(c, a)").ok
 
@@ -46,7 +47,7 @@ def test_interleaved_across_strategies(strategy):
 @pytest.mark.parametrize("strategy", STRATEGIES)
 def test_lloyd_across_strategies(strategy):
     db = DeductiveDatabase.from_source(SOURCE)
-    checker = IntegrityChecker(db, strategy=strategy)
+    checker = IntegrityChecker(db, config=EngineConfig(strategy=strategy))
     assert not checker.check_lloyd("par(c, d)").ok
     assert checker.check_lloyd("par(c, a)").ok
 
@@ -59,6 +60,6 @@ def test_rule_updates_across_strategies(strategy):
         forall X: enrolled(X, cs) -> attends(X, ddb).
         """
     )
-    checker = IntegrityChecker(db, strategy=strategy)
+    checker = IntegrityChecker(db, config=EngineConfig(strategy=strategy))
     result = checker.check_rule_addition("enrolled(X, cs) :- student(X)")
     assert not result.ok

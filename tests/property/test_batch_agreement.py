@@ -16,6 +16,7 @@ import warnings
 from hypothesis import given, settings
 import hypothesis.strategies as st
 
+from repro.config import EngineConfig
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.facts import FactStore
 from repro.datalog.incremental import MaintainedModel
@@ -142,7 +143,14 @@ class TestAnswerAgreement:
                     cells = [
                         answer_set(
                             QueryEngine(
-                                edb, program, strategy, plan, exec, sup
+                                edb,
+                                program,
+                                config=EngineConfig(
+                                    strategy=strategy,
+                                    plan=plan,
+                                    exec_mode=exec,
+                                    supplementary=sup,
+                                ),
                             ),
                             pattern,
                         )
@@ -170,10 +178,12 @@ class TestVerdictAgreement:
                                 db.add_constraint(text)
                             checker = IntegrityChecker(
                                 db,
-                                strategy=strategy,
-                                plan=plan,
-                                exec_mode=exec,
-                                supplementary=sup,
+                                config=EngineConfig(
+                                    strategy=strategy,
+                                    plan=plan,
+                                    exec_mode=exec,
+                                    supplementary=sup,
+                                ),
                             )
                             result = checker.check_bdm(transaction)
                             verdict = (
@@ -237,10 +247,12 @@ def matrix_verdicts(db, updates, exec):
             for sup in SUPPLEMENTARY:
                 checker = IntegrityChecker(
                     db,
-                    strategy=strategy,
-                    plan=plan,
-                    exec_mode=exec,
-                    supplementary=sup,
+                    config=EngineConfig(
+                        strategy=strategy,
+                        plan=plan,
+                        exec_mode=exec,
+                        supplementary=sup,
+                    ),
                 )
                 verdicts = [
                     (

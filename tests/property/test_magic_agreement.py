@@ -17,6 +17,7 @@ import pytest
 from hypothesis import given, settings
 import hypothesis.strategies as st
 
+from repro.config import EngineConfig
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.facts import FactStore
 from repro.datalog.magic import MagicFallbackWarning
@@ -115,8 +116,8 @@ class TestRandomProgramAgreement:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", MagicFallbackWarning)
             for plan in PLANS:
-                lazy = QueryEngine(edb, program, "lazy", plan)
-                magic = QueryEngine(edb, program, "magic", plan)
+                lazy = QueryEngine(edb, program, config=EngineConfig(strategy="lazy", plan=plan))
+                magic = QueryEngine(edb, program, config=EngineConfig(strategy="magic", plan=plan))
                 assert answer_set(magic, pattern) == answer_set(lazy, pattern)
 
     @given(programs(), edbs())
@@ -124,8 +125,8 @@ class TestRandomProgramAgreement:
     def test_magic_matches_lazy_ground_truth(self, program, edb):
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", MagicFallbackWarning)
-            lazy = QueryEngine(edb, program, "lazy")
-            magic = QueryEngine(edb, program, "magic")
+            lazy = QueryEngine(edb, program, config=EngineConfig(strategy="lazy"))
+            magic = QueryEngine(edb, program, config=EngineConfig(strategy="magic"))
             for pred, arity in [("tc", 2), ("lonely", 1), ("source", 1)]:
                 for c in CONSTANTS:
                     atom = Atom(pred, (c,) * arity)
@@ -138,7 +139,9 @@ def check_verdicts(db, updates):
     baseline = None
     for plan in PLANS:
         for strategy in ("lazy", "magic"):
-            checker = IntegrityChecker(db, strategy=strategy, plan=plan)
+            checker = IntegrityChecker(
+                db, config=EngineConfig(strategy=strategy, plan=plan)
+            )
             verdicts = []
             for update in updates:
                 result = checker.check_bdm(update)
@@ -197,8 +200,8 @@ class TestNegationFallbackAgreement:
         db = DeductiveDatabase.from_source(self.SOURCE)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", MagicFallbackWarning)
-            lazy = db.engine("lazy", plan)
-            magic = db.engine("magic", plan)
+            lazy = db.engine(config=EngineConfig(strategy="lazy", plan=plan))
+            magic = db.engine(config=EngineConfig(strategy="magic", plan=plan))
             for text in ("p(a)", "p(b)", "p(c)", "a(a, b)", "b(b)"):
                 atom = parse_atom(text)
                 assert magic.holds(atom) is lazy.holds(atom), text

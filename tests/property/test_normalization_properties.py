@@ -8,6 +8,7 @@ databases.
 
 from hypothesis import given, settings
 
+from repro.config import EngineConfig
 from repro.datalog.facts import FactStore
 from repro.datalog.program import Program
 from repro.datalog.query import QueryEngine
@@ -128,7 +129,9 @@ class TestGuardedConstraints:
         domain = list(CONSTANTS)
         expected = naive_eval(formula, store, domain)
         normalized = normalize_constraint(formula)
-        engine = QueryEngine(FactStore(facts), _EMPTY, "lazy")
+        engine = QueryEngine(
+            FactStore(facts), _EMPTY, config=EngineConfig(strategy="lazy")
+        )
         assert engine.evaluate(normalized) == expected
 
     @given(guarded_constraints(), fact_sets())

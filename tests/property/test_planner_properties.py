@@ -9,6 +9,7 @@ produce exactly the same models, answers and verdicts under
 from hypothesis import assume, given, settings
 import hypothesis.strategies as st
 
+from repro.config import EngineConfig
 from repro.datalog.bottomup import compute_model
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.facts import FactStore
@@ -105,11 +106,11 @@ class TestPlanIndependence:
                 pattern = Atom(pred, (X, Y)[:arity])
                 greedy = {
                     repr(s)
-                    for s in db.engine(strategy, "greedy").match_atom(pattern)
+                    for s in db.engine(config=EngineConfig(strategy=strategy, plan="greedy")).match_atom(pattern)
                 }
                 source = {
                     repr(s)
-                    for s in db.engine(strategy, "source").match_atom(pattern)
+                    for s in db.engine(config=EngineConfig(strategy=strategy, plan="source")).match_atom(pattern)
                 }
                 assert greedy == source, (strategy, pred)
 

@@ -1,0 +1,147 @@
+"""The service-layer result cache: shared across reads of the
+committed state, bypassed by staged views, and invalidated *precisely*
+— a commit touching predicate ``p`` evicts only ``p``-dependent
+entries, leaves ``q``-dependent ones warm, and constraint DDL evicts
+nothing. Pinned through the hit/miss/invalidation counters."""
+
+import repro
+
+SOURCE = """
+p(a).
+q(b).
+dp(X) :- p(X).
+dq(X) :- q(X).
+"""
+
+F_P = "exists X: dp(X)"
+F_Q = "exists X: dq(X)"
+
+
+def make_db():
+    return repro.open(source=SOURCE, config=repro.EngineConfig(cache=True))
+
+
+def stats(db):
+    return db.manager.result_cache.stats()
+
+
+class TestWarmHits:
+    def test_repeated_query_hits(self):
+        db = make_db()
+        assert db.query(F_P) is True
+        assert stats(db)["misses"] >= 1
+        before = stats(db)["hits"]
+        assert db.query(F_P) is True
+        assert stats(db)["hits"] == before + 1
+
+    def test_repeated_holds_hits(self):
+        db = make_db()
+        assert db.holds("dp(a)") is True
+        before = stats(db)["hits"]
+        assert db.holds("dp(a)") is True
+        assert stats(db)["hits"] == before + 1
+
+
+class TestPreciseInvalidation:
+    def test_commit_evicts_only_dependent_entries(self):
+        db = make_db()
+        db.query(F_P)
+        db.query(F_Q)
+        assert db.submit("p(c)").status == "committed"
+        # The q-lineage entry survived the p-commit...
+        before = stats(db)
+        assert db.query(F_Q) is True
+        after = stats(db)
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+        # ...while the p-lineage entry was evicted and recomputes.
+        before = stats(db)
+        assert db.query(F_P) is True
+        after = stats(db)
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"] + 1
+
+    def test_commit_to_unrelated_predicate_leaves_cache_warm(self):
+        db = make_db()
+        db.query(F_P)
+        db.holds("dp(a)")
+        assert db.submit("r(z)").status == "committed"
+        assert stats(db)["invalidations"] == 0
+        before = stats(db)["hits"]
+        assert db.query(F_P) is True
+        assert db.holds("dp(a)") is True
+        assert stats(db)["hits"] == before + 2
+
+    def test_holds_entries_are_atom_precise(self):
+        db = make_db()
+        db.holds("dp(a)")
+        db.holds("dq(b)")
+        # Inserting p(c) changes dp(c) — but the cached probes are for
+        # dp(a)/dq(b), which did not change truth value: both stay warm.
+        assert db.submit("p(c)").status == "committed"
+        before = stats(db)["hits"]
+        assert db.holds("dp(a)") is True
+        assert db.holds("dq(b)") is True
+        assert stats(db)["hits"] == before + 2
+        # Deleting p(a) flips dp(a) itself: that probe is evicted (and
+        # recomputes to False), dq(b) is still warm.
+        assert db.submit("not p(a)").status == "committed"
+        before = stats(db)
+        assert db.holds("dp(a)") is False
+        assert db.holds("dq(b)") is True
+        after = stats(db)
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 1
+
+    def test_formula_entries_are_predicate_precise(self):
+        db = make_db()
+        assert db.query("forall X: dp(X) -> p(X)") is True
+        # Any change to the p lineage evicts the formula entry — even
+        # an atom the formula's witnesses never touched.
+        assert db.submit("p(zzz)").status == "committed"
+        before = stats(db)["misses"]
+        assert db.query("forall X: dp(X) -> p(X)") is True
+        # Evicted, so it recomputed (the evaluator may cache nested
+        # subformulas as separate entries — at least one fresh miss).
+        assert stats(db)["misses"] > before
+        # And the recomputed entry is warm again.
+        hits = stats(db)["hits"]
+        assert db.query("forall X: dp(X) -> p(X)") is True
+        assert stats(db)["hits"] == hits + 1
+
+
+class TestCacheBoundaries:
+    def test_staged_reads_bypass_the_shared_cache(self):
+        db = make_db()
+        db.query(F_P)  # one warm entry
+        session = db.begin()
+        session.stage("q(staged)")
+        before = stats(db)
+        # Read-your-writes through the overlay: correct answer, and the
+        # shared cache is neither consulted nor populated.
+        assert session.holds("dq(staged)") is True
+        assert session.query("exists X: dq(X)") is True
+        assert stats(db) == before
+        session.abort()
+
+    def test_constraint_ddl_leaves_cache_warm(self):
+        db = make_db()
+        db.query(F_P)
+        result = db.add_constraint("forall X: dp(X) -> p(X)")
+        assert result.status == "committed"
+        assert stats(db)["invalidations"] == 0
+        before = stats(db)["hits"]
+        assert db.query(F_P) is True
+        assert stats(db)["hits"] == before + 1
+
+    def test_cache_off_by_default(self):
+        db = repro.open(source=SOURCE)
+        assert db.manager.result_cache is None
+        assert db.query(F_P) is True  # reads still work, uncached
+
+    def test_stats_endpoint_reports_cache(self):
+        db = make_db()
+        db.query(F_P)
+        payload = db.stats()
+        assert payload["cache"]["entries"] >= 1
+        assert "misses" in payload["cache"]

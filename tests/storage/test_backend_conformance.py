@@ -1,0 +1,341 @@
+"""The backend conformance suite: every fact-store backend honors the
+:class:`repro.storage.backends.StoreBackend` contract identically.
+
+The assertions mirror (and extend) ``tests/datalog/test_fact_index.py``
+— bucket-equals-filtered-scan, the ``group_builds`` amortization pin,
+overlay shadowing — but run parametrized over *every* registered
+backend, so a new backend cannot pass by accident on the dict
+reference semantics alone. Backend-specific behavior (the dict
+capacity cap, sqlite's on-disk persistence) is pinned at the end.
+"""
+
+import pytest
+
+from repro.datalog.facts import FactStore
+from repro.datalog.overlay import OverlayFactStore
+from repro.logic.formulas import Atom
+from repro.logic.terms import Constant, Variable
+from repro.storage.backends import (
+    BACKENDS,
+    StoreBackend,
+    StoreCapacityError,
+    make_store,
+    validate_backend,
+)
+
+
+def atom(pred, *values):
+    return Atom(pred, tuple(Constant(v) for v in values))
+
+
+A, B, C, D = (Constant(n) for n in "abcd")
+X, Y = Variable("X"), Variable("Y")
+
+
+def scan(store, pred, positions, key):
+    """Reference semantics: filter the predicate's facts by key."""
+    return {
+        fact
+        for fact in store.facts(pred)
+        if len(fact.args) > (max(positions) if positions else -1)
+        and tuple(fact.args[p] for p in positions) == key
+    }
+
+
+@pytest.fixture(params=BACKENDS)
+def backend_name(request):
+    return request.param
+
+
+@pytest.fixture
+def store(backend_name):
+    return make_store(backend_name)
+
+
+def seeded(backend_name):
+    return make_store(
+        backend_name,
+        [
+            atom("p", "a", "b"),
+            atom("p", "a", "c"),
+            atom("p", "b", "c"),
+            atom("q", "a"),
+        ],
+    )
+
+
+class TestMembership:
+    def test_set_semantics(self, store):
+        assert store.add(atom("p", "a")) is True
+        assert store.add(atom("p", "a")) is False
+        assert store.contains(atom("p", "a"))
+        assert atom("p", "a") in store
+        assert store.remove(atom("p", "a")) is True
+        assert store.remove(atom("p", "a")) is False
+        assert not store.contains(atom("p", "a"))
+
+    def test_len_iter_count_predicates(self, backend_name):
+        store = seeded(backend_name)
+        assert len(store) == 4
+        assert set(store) == set(store.facts("p")) | set(store.facts("q"))
+        assert store.count("p") == 3
+        assert store.count("q") == 1
+        assert store.count("missing") == 0
+        assert store.predicates() == frozenset({"p", "q"})
+
+    def test_clear_drops_everything(self, backend_name):
+        store = seeded(backend_name)
+        store.bucket("p", (0,), (A,))  # build an index, then drop it too
+        store.clear()
+        assert len(store) == 0
+        assert store.predicates() == frozenset()
+        assert set(store.bucket("p", (0,), (A,))) == set()
+
+    def test_constants_are_the_active_domain(self, backend_name):
+        store = seeded(backend_name)
+        assert store.constants() == {A, B, C}
+
+    def test_zero_arity_facts(self, store):
+        assert store.add(Atom("flag", ())) is True
+        assert store.contains(Atom("flag", ()))
+        assert set(store.match(Atom("flag", ()))) == {Atom("flag", ())}
+        assert store.remove(Atom("flag", ())) is True
+        assert len(store) == 0
+
+    def test_value_types_stay_distinct(self, store):
+        """Constant(1) and Constant("1") are different facts in every
+        backend (sqlite's column encoding must not conflate them)."""
+        store.add(atom("n", 1))
+        store.add(atom("n", "1"))
+        assert len(store) == 2
+        assert store.contains(atom("n", 1))
+        assert store.contains(atom("n", "1"))
+        store.remove(atom("n", 1))
+        assert not store.contains(atom("n", 1))
+        assert store.contains(atom("n", "1"))
+
+
+class TestMatch:
+    def test_ground_and_open_patterns(self, backend_name):
+        store = seeded(backend_name)
+        assert set(store.match(Atom("p", (A, B)))) == {atom("p", "a", "b")}
+        assert set(store.match(Atom("p", (A, Y)))) == {
+            atom("p", "a", "b"),
+            atom("p", "a", "c"),
+        }
+        assert set(store.match(Atom("p", (X, Y)))) == set(store.facts("p"))
+        assert set(store.match(Atom("p", (X,)))) == set()  # arity mismatch
+
+    def test_repeated_variables_constrain(self, store):
+        store.add(atom("e", "a", "a"))
+        store.add(atom("e", "a", "b"))
+        assert set(store.match(Atom("e", (X, X)))) == {atom("e", "a", "a")}
+
+    def test_match_substitutions(self, backend_name):
+        store = seeded(backend_name)
+        answers = {
+            str(s.apply_term(Y))
+            for s in store.match_substitutions(Atom("p", (A, Y)))
+        }
+        assert answers == {"b", "c"}
+
+    def test_estimate_never_undershoots(self, backend_name):
+        store = seeded(backend_name)
+        for pattern in (
+            Atom("p", (X, Y)),
+            Atom("p", (A, Y)),
+            Atom("p", (A, B)),
+            Atom("q", (X,)),
+            Atom("missing", (X,)),
+        ):
+            assert store.estimate(pattern) >= len(set(store.match(pattern)))
+
+
+class TestBucket:
+    @pytest.mark.parametrize(
+        "pred, positions, key",
+        [
+            ("p", (0,), (A,)),
+            ("p", (0,), (B,)),
+            ("p", (0,), (D,)),
+            ("p", (1,), (C,)),
+            ("p", (0, 1), (A, C)),
+            ("p", (), ()),
+            ("q", (0,), (A,)),
+            ("missing", (0,), (A,)),
+        ],
+    )
+    def test_bucket_equals_filtered_scan(
+        self, backend_name, pred, positions, key
+    ):
+        store = seeded(backend_name)
+        assert set(store.bucket(pred, positions, key)) == scan(
+            store, pred, positions, key
+        )
+
+    def test_maintained_under_assert_and_retract(self, backend_name):
+        store = seeded(backend_name)
+        key = (A,)
+        assert set(store.bucket("p", (0,), key)) == {
+            atom("p", "a", "b"),
+            atom("p", "a", "c"),
+        }
+        builds = store.group_builds
+        store.add(atom("p", "a", "d"))
+        assert atom("p", "a", "d") in set(store.bucket("p", (0,), key))
+        store.remove(atom("p", "a", "b"))
+        store.remove(atom("p", "a", "c"))
+        store.remove(atom("p", "a", "d"))
+        assert set(store.bucket("p", (0,), key)) == set()
+        # Maintenance is incremental: no rebuild scans happened.
+        assert store.group_builds == builds
+
+    def test_repeated_probes_do_no_rescans(self, backend_name):
+        store = seeded(backend_name)
+        assert store.group_builds == 0
+        for _ in range(50):
+            for key in ((A,), (B,), (C,), (D,)):
+                store.bucket("p", (0,), key)
+        # One build scan for the single (pred, positions) pair probed.
+        assert store.group_builds == 1
+        store.bucket("p", (1,), (C,))
+        store.bucket("p", (0, 1), (A, B))
+        assert store.group_builds == 3
+        # Mutation maintains the open indexes in place — further probes
+        # of the changed predicate still rescan nothing.
+        store.add(atom("p", "d", "d"))
+        store.remove(atom("p", "b", "c"))
+        for _ in range(50):
+            store.bucket("p", (0,), (D,))
+            store.bucket("p", (1,), (D,))
+            store.bucket("p", (0, 1), (D, D))
+        assert store.group_builds == 3
+
+    def test_probe_result_tracks_mutation(self, backend_name):
+        store = seeded(backend_name)
+        assert set(store.bucket("p", (0,), (D,))) == set()
+        store.add(atom("p", "d", "a"))
+        assert set(store.bucket("p", (0,), (D,))) == {atom("p", "d", "a")}
+        store.remove(atom("p", "d", "a"))
+        assert set(store.bucket("p", (0,), (D,))) == set()
+
+    def test_mixed_arity_facts_are_skipped_not_fatal(self, backend_name):
+        store = make_store(backend_name, [atom("p", "a"), atom("p", "a", "b")])
+        assert set(store.bucket("p", (1,), (B,))) == {atom("p", "a", "b")}
+        store.add(atom("p", "b"))  # arity-1 fact must not join the probe
+        assert set(store.bucket("p", (1,), (B,))) == {atom("p", "a", "b")}
+
+
+class TestCopy:
+    def test_copy_is_independent_and_same_backend(self, backend_name):
+        store = seeded(backend_name)
+        store.bucket("p", (0,), (A,))
+        clone = store.copy()
+        assert isinstance(clone, StoreBackend)
+        assert clone.name == store.name
+        assert set(clone) == set(store)
+        clone.add(atom("p", "a", "d"))
+        assert atom("p", "a", "d") in set(clone.bucket("p", (0,), (A,)))
+        assert atom("p", "a", "d") not in set(store.bucket("p", (0,), (A,)))
+        store.remove(atom("q", "a"))
+        assert clone.contains(atom("q", "a"))
+
+
+class TestOverlayOverAnyBackend:
+    """The DRed/"new"-simulation overlay must shadow identically over
+    every base backend."""
+
+    def make(self, backend_name):
+        base = make_store(
+            backend_name,
+            [atom("p", "a", "b"), atom("p", "a", "c"), atom("p", "b", "b")],
+        )
+        overlay = OverlayFactStore(
+            base,
+            added=[atom("p", "a", "d"), atom("p", "a", "b")],  # one shadow
+            removed=[atom("p", "a", "c")],
+        )
+        return base, overlay
+
+    def test_shadowing(self, backend_name):
+        _, overlay = self.make(backend_name)
+        got = set(overlay.bucket("p", (0,), (A,)))
+        assert got == {atom("p", "a", "b"), atom("p", "a", "d")}
+        assert got == set(overlay.match(Atom("p", (A, Y))))
+
+    def test_removed_fact_never_surfaces(self, backend_name):
+        _, overlay = self.make(backend_name)
+        assert set(overlay.bucket("p", (1,), (C,))) == set()
+
+    def test_added_fact_in_base_is_not_duplicated(self, backend_name):
+        _, overlay = self.make(backend_name)
+        rows = list(overlay.bucket("p", (0, 1), (A, B)))
+        assert rows == [atom("p", "a", "b")]
+
+    def test_base_bucket_probes_are_amortized(self, backend_name):
+        base, overlay = self.make(backend_name)
+        overlay.bucket("p", (0,), (A,))
+        builds = base.group_builds
+        for _ in range(50):
+            overlay.bucket("p", (0,), (A,))
+            overlay.bucket("p", (0,), (B,))
+        assert base.group_builds == builds
+
+
+class TestFactory:
+    def test_unknown_backend_is_one_clear_error(self):
+        with pytest.raises(ValueError, match="unknown backend 'paper'"):
+            make_store("paper")
+        with pytest.raises(ValueError, match="pick one of"):
+            validate_backend("tape")
+
+    def test_path_only_for_sqlite(self, tmp_path):
+        with pytest.raises(ValueError, match="path"):
+            make_store("dict", path=str(tmp_path / "db.sqlite"))
+
+    def test_max_facts_only_for_dict(self):
+        with pytest.raises(ValueError, match="max_facts"):
+            make_store("sqlite", max_facts=10)
+
+
+class TestDictCapacityCap:
+    def test_cap_raises_capacity_error(self):
+        store = FactStore(max_facts=3)
+        for name in ("a", "b", "c"):
+            store.add(atom("p", name))
+        with pytest.raises(StoreCapacityError):
+            store.add(atom("p", "d"))
+        # The failed insert left no trace.
+        assert len(store) == 3
+        assert not store.contains(atom("p", "d"))
+        # Duplicate inserts and removals still work at the cap.
+        assert store.add(atom("p", "a")) is False
+        assert store.remove(atom("p", "a")) is True
+        assert store.add(atom("p", "d")) is True
+
+    def test_sqlite_completes_past_the_dict_cap(self):
+        """The out-of-core backend's reason to exist: a workload that
+        exhausts a capped in-memory store runs to completion on
+        sqlite."""
+        cap = 50
+        capped = FactStore(max_facts=cap)
+        with pytest.raises(StoreCapacityError):
+            for i in range(cap + 1):
+                capped.add(atom("p", f"c{i}"))
+        big = make_store("sqlite")
+        for i in range(cap + 1):
+            big.add(atom("p", f"c{i}"))
+        assert len(big) == cap + 1
+
+
+class TestSqlitePersistence:
+    def test_file_backed_store_reopens(self, tmp_path):
+        path = str(tmp_path / "facts.sqlite")
+        store = make_store("sqlite", [atom("p", "a", "b")], path=path)
+        store.add(atom("q", "c"))
+        store.close()
+        reopened = make_store("sqlite", path=path)
+        assert set(reopened) == {atom("p", "a", "b"), atom("q", "c")}
+        assert reopened.count("p") == 1
+        assert set(reopened.bucket("p", (0,), (A,))) == {atom("p", "a", "b")}
+        reopened.close()

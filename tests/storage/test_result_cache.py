@@ -1,0 +1,109 @@
+"""The derived-result cache: LRU bounds, counters, and — the point —
+per-predicate-key invalidation at both precision levels."""
+
+import pytest
+
+from repro.logic.formulas import Atom
+from repro.logic.terms import Constant
+from repro.storage.result_cache import ResultCache
+
+
+def atom(pred, *names):
+    return Atom(pred, tuple(Constant(n) for n in names))
+
+
+class TestLookupAndBounds:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        hit, value = cache.get("k")
+        assert (hit, value) == (False, None)
+        cache.put("k", 42, deps=["p"])
+        hit, value = cache.get("k")
+        assert (hit, value) == (True, 42)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_put_overwrites(self):
+        cache = ResultCache()
+        cache.put("k", 1, deps=["p"])
+        cache.put("k", 2, deps=["q"])
+        assert cache.get("k") == (True, 2)
+        # The old dep binding is gone with the old entry.
+        cache.invalidate([atom("p", "a")])
+        assert cache.get("k") == (True, 2)
+
+    def test_lru_eviction_past_bound(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1, deps=["p"])
+        cache.put("b", 2, deps=["p"])
+        cache.get("a")  # freshen: 'b' is now the LRU entry
+        cache.put("c", 3, deps=["p"])
+        assert cache.get("a")[0] is True
+        assert cache.get("b")[0] is False
+        assert cache.get("c")[0] is True
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 2
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=0)
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache()
+        cache.put("k", 1, deps=["p"])
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k")[0] is False
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+class TestPredicateLevelInvalidation:
+    def test_only_dependent_entries_drop(self):
+        cache = ResultCache()
+        cache.put("about_p", 1, deps=["p"])
+        cache.put("about_q", 2, deps=["q"])
+        cache.put("about_both", 3, deps=["p", "q"])
+        dropped = cache.invalidate([atom("p", "a")])
+        assert dropped == 2
+        assert cache.get("about_p")[0] is False
+        assert cache.get("about_both")[0] is False
+        # The q-only entry stayed warm — the whole point.
+        assert cache.get("about_q") == (True, 2)
+        assert cache.stats()["invalidations"] == 2
+
+    def test_unrelated_predicate_is_a_noop(self):
+        cache = ResultCache()
+        cache.put("about_p", 1, deps=["p"])
+        assert cache.invalidate([atom("r", "x")]) == 0
+        assert cache.get("about_p") == (True, 1)
+
+    def test_empty_change_set_is_a_noop(self):
+        cache = ResultCache()
+        cache.put("about_p", 1, deps=["p"])
+        assert cache.invalidate([]) == 0
+        assert cache.get("about_p") == (True, 1)
+
+
+class TestAtomLevelInvalidation:
+    def test_same_predicate_different_atom_stays_warm(self):
+        cache = ResultCache()
+        cache.put(
+            "holds_ab", True, deps=["edge"], atoms=[atom("edge", "a", "b")]
+        )
+        cache.put(
+            "holds_cd", False, deps=["edge"], atoms=[atom("edge", "c", "d")]
+        )
+        dropped = cache.invalidate([atom("edge", "c", "d")])
+        assert dropped == 1
+        assert cache.get("holds_ab") == (True, True)
+        assert cache.get("holds_cd")[0] is False
+
+    def test_predicate_level_entry_still_drops(self):
+        """A formula entry (atoms=None) depends on the whole extension:
+        any change-set atom of its predicate evicts it."""
+        cache = ResultCache()
+        cache.put("formula", True, deps=["edge"])
+        assert cache.invalidate([atom("edge", "z", "z")]) == 1
+        assert cache.get("formula")[0] is False

@@ -232,6 +232,51 @@ class TestQueryAndModel:
         assert "leads(ann, sales)" in out
 
 
+class TestBackendAndCacheKnobs:
+    def test_backend_knob_answers_agree(self, db_file, capsys):
+        for backend in ("dict", "sqlite"):
+            assert (
+                main(
+                    ["query", db_file, "member(ann, sales)",
+                     "--backend", backend]
+                )
+                == 0
+            )
+        # Both backends printed the same verdict.
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["true", "true"]
+
+    def test_backend_knob_on_check_and_model(self, db_file, capsys):
+        assert (
+            main(["check", db_file, "--update", "employee(bob)",
+                  "--backend", "sqlite"])
+            == 0
+        )
+        assert main(["model", db_file, "--backend", "sqlite"]) == 0
+        assert "member(ann, sales)" in capsys.readouterr().out
+
+    def test_bad_backend_rejected_up_front(self, db_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", db_file, "member(ann, sales)",
+                  "--backend", "postgres"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "dict" in err and "sqlite" in err
+
+    def test_cache_flag_parses_both_ways(self, db_file):
+        assert (
+            main(["query", db_file, "member(ann, sales)", "--cache"]) == 0
+        )
+        assert (
+            main(["query", db_file, "member(ann, sales)", "--no-cache"]) == 0
+        )
+        assert (
+            main(["check", db_file, "--update", "employee(bob)", "--cache"])
+            == 0
+        )
+
+
 class TestJsonFormat:
     """``--format json`` emits one JSON object in the service
     protocol's schema (one serializer, repro.serialize, for both)."""

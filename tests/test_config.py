@@ -1,0 +1,166 @@
+"""EngineConfig: one frozen object, validated in one place, and the
+resolve_config deprecation shim every legacy seam routes through."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import EngineConfig, resolve_config
+from repro.datalog.joins import DEFAULT_EXEC
+from repro.datalog.planner import DEFAULT_PLAN
+from repro.storage.backends import DEFAULT_BACKEND
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = EngineConfig()
+        assert config.strategy == "lazy"
+        assert config.plan == DEFAULT_PLAN
+        assert config.exec_mode == DEFAULT_EXEC
+        assert config.supplementary is True
+        assert config.backend == DEFAULT_BACKEND
+        assert config.cache is False
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"strategy": "psychic"}, "unknown strategy"),
+            ({"plan": "optimal"}, "unknown plan"),
+            ({"exec_mode": "vectorized"}, "unknown exec mode"),
+            ({"backend": "postgres"}, "unknown backend"),
+            ({"supplementary": "yes"}, "supplementary"),
+            ({"cache": 1}, "cache"),
+            ({"cache_size": 0}, "cache_size"),
+            ({"cache_size": True}, "cache_size"),
+        ],
+    )
+    def test_every_knob_validated_in_one_place(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            EngineConfig(**kwargs)
+
+    def test_frozen_and_hashable(self):
+        config = EngineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.strategy = "magic"
+        assert hash(config) == hash(EngineConfig())
+        assert config == EngineConfig()
+        assert config != EngineConfig(strategy="magic")
+
+    def test_replace_revalidates(self):
+        config = EngineConfig()
+        assert config.replace(strategy="magic").strategy == "magic"
+        with pytest.raises(ValueError, match="unknown strategy"):
+            config.replace(strategy="psychic")
+
+    def test_key_excludes_cache_knobs(self):
+        """Two configs differing only in caching answer queries
+        identically — they must share a cache identity."""
+        a = EngineConfig(cache=True, cache_size=7)
+        b = EngineConfig(cache=False)
+        assert a.key() == b.key()
+        assert EngineConfig(strategy="magic").key() != a.key()
+
+
+class TestResolveShim:
+    def test_config_passes_through(self):
+        config = EngineConfig(strategy="magic")
+        assert resolve_config(config) is config
+
+    def test_none_gives_defaults(self):
+        assert resolve_config(None) == EngineConfig()
+
+    def test_base_supplies_defaults(self):
+        base = EngineConfig(strategy="model")
+        assert resolve_config(None, base=base) is base
+
+    def test_positional_strategy_string_warns(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            config = resolve_config("magic")
+        assert config.strategy == "magic"
+
+    def test_legacy_keywords_warn_and_override(self):
+        with pytest.warns(DeprecationWarning, match="plan"):
+            config = resolve_config(None, plan="source", exec_mode="tuple")
+        assert config.plan == "source"
+        assert config.exec_mode == "tuple"
+
+    def test_internal_seams_can_silence_the_warning(self, recwarn):
+        config = resolve_config(None, plan="source", warn=False)
+        assert config.plan == "source"
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_explicit_config_never_warns(self, recwarn):
+        resolve_config(EngineConfig(strategy="magic"))
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_unknown_keyword_is_a_type_error(self):
+        with pytest.raises(TypeError, match="unknown engine option"):
+            resolve_config(None, turbo=True)
+
+    def test_unresolvable_value_is_a_type_error(self):
+        with pytest.raises(TypeError, match="EngineConfig"):
+            resolve_config(42)
+
+
+class TestSeamAcceptance:
+    """Every public constructor seam accepts config= (spot checks)."""
+
+    def test_query_engine(self):
+        from repro.datalog.facts import FactStore
+        from repro.datalog.program import Program
+        from repro.datalog.query import QueryEngine
+
+        engine = QueryEngine(
+            FactStore(), Program(), config=EngineConfig(strategy="model")
+        )
+        assert engine.config.strategy == "model"
+
+    def test_database_engine_memoizes_per_config(self):
+        from repro.datalog.database import DeductiveDatabase
+
+        db = DeductiveDatabase.from_source("p(a).")
+        config = EngineConfig(strategy="magic")
+        assert db.engine(config=config) is db.engine(config=config)
+        assert db.engine(config=config) is not db.engine(
+            config=EngineConfig()
+        )
+
+    def test_integrity_checker(self):
+        from repro import DeductiveDatabase, IntegrityChecker
+
+        db = DeductiveDatabase.from_source("p(a).")
+        checker = IntegrityChecker(db, config=EngineConfig(strategy="magic"))
+        assert checker.config.strategy == "magic"
+
+    def test_compute_model(self):
+        from repro.datalog.bottomup import compute_model
+        from repro.datalog.facts import FactStore
+        from repro.datalog.program import Program, Rule
+        from repro.logic.parser import parse_atom, parse_rule
+
+        model = compute_model(
+            FactStore([parse_atom("p(a)")]),
+            Program([Rule.from_parsed(parse_rule("q(X) :- p(X)"))]),
+            config=EngineConfig(exec_mode="tuple"),
+        )
+        assert model.contains(parse_atom("q(a)"))
+
+    def test_managed_database(self):
+        import repro
+
+        db = repro.open(source="p(a).", config=EngineConfig(cache=True))
+        assert db.config.cache is True
+        assert db.manager.result_cache is not None
+
+    def test_legacy_kwargs_still_work_with_warning(self):
+        from repro import DeductiveDatabase
+
+        db = DeductiveDatabase.from_source("p(a). q(X) :- p(X).")
+        with pytest.warns(DeprecationWarning):
+            engine = db.engine("magic", plan="source")
+        assert engine.config.strategy == "magic"
+        assert engine.config.plan == "source"
