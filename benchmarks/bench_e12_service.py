@@ -121,12 +121,12 @@ def test_e12_concurrent_commit_throughput(benchmark, tmp_path):
     t_concurrent, stats_concurrent = run_concurrent(
         tmp_path / "concurrent", source
     )
-    assert stats_serial["commits"] == total
-    assert stats_concurrent["commits"] == total
-    assert stats_concurrent["conflicts"] == 0
+    assert stats_serial["txn.commits"] == total
+    assert stats_concurrent["txn.commits"] == total
+    assert stats_concurrent["txn.conflicts"] == 0
     assert stats_serial["lsn"] == stats_concurrent["lsn"] == total
     # Group commit actually batched (not just won by accident).
-    assert stats_concurrent["merged_gate_checks"] >= 1
+    assert stats_concurrent["txn.merged_gate_checks"] >= 1
     speedup = t_serial / t_concurrent
     report(
         f"E12: {N_WORKERS} writers x {TXNS_PER_WORKER} txns, "
@@ -136,13 +136,13 @@ def test_e12_concurrent_commit_throughput(benchmark, tmp_path):
                 "serialized",
                 f"{t_serial:.3f}",
                 f"{total / t_serial:.1f}",
-                stats_serial["batches"],
+                stats_serial["txn.batches"],
             ),
             (
                 "group commit",
                 f"{t_concurrent:.3f}",
                 f"{total / t_concurrent:.1f}",
-                stats_concurrent["batches"],
+                stats_concurrent["txn.batches"],
             ),
             ("speedup", f"{speedup:.2f}x", "", ""),
         ],

@@ -42,6 +42,7 @@ from repro.datalog.program import Program, Rule
 from repro.logic.formulas import Atom
 from repro.logic.parser import parse_rule
 from repro.logic.terms import Constant
+from repro.obs.trace import trace_query
 
 from conftest import report
 
@@ -151,3 +152,44 @@ def test_e13_star_join_speedup(benchmark, n):
     # inviting CI flakes.
     assert speedup >= 1.5
     benchmark(lambda: compute_model(facts, program, "greedy", "batch"))
+
+
+def test_e13_tracing_overhead():
+    """An *active* QueryTrace (the worst case — tracing off is a single
+    ``current_trace() is None`` check per site) must cost <= 10% on the
+    hub join, the workload where the kernel's per-chunk accounting is
+    densest."""
+    facts, program = hub_workload(HUB_SIZES[0])
+
+    def untraced():
+        return compute_model(facts, program, "source", "batch")
+
+    def traced():
+        with trace_query("e13 hub join"):
+            return compute_model(facts, program, "source", "batch")
+
+    # Warm both legs, then interleave the measurements so clock drift
+    # and cache warm-up hit both equally (a sequential best-of skews
+    # whichever leg runs first).
+    m_plain, m_traced = untraced(), traced()
+    t_plain = t_traced = float("inf")
+    for _ in range(7):
+        start = time.perf_counter()
+        untraced()
+        t_plain = min(t_plain, time.perf_counter() - start)
+        start = time.perf_counter()
+        traced()
+        t_traced = min(t_traced, time.perf_counter() - start)
+    assert set(m_plain) == set(m_traced)
+    overhead = t_traced / t_plain
+    report(
+        f"E13: tracing overhead, n={HUB_SIZES[0]}",
+        [("untraced", f"{t_plain * 1e3:.2f}"),
+         ("traced", f"{t_traced * 1e3:.2f}"),
+         ("overhead", f"{overhead:.3f}x")],
+        ("mode", "ms (best of 7)"),
+    )
+    assert overhead <= 1.10, (
+        f"active tracing costs {overhead:.3f}x on the hub join "
+        f"(untraced {t_plain * 1e3:.2f} ms, traced {t_traced * 1e3:.2f} ms)"
+    )

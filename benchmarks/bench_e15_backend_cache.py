@@ -89,13 +89,13 @@ class TestWarmCacheSpeedup:
             f"({REPEATS} repeats, chain={CHAIN})",
             [
                 ("uncached", f"{cold * 1000:.1f}", "-", "-"),
-                ("cached", f"{warm * 1000:.1f}", stats["hits"],
-                 stats["misses"]),
+                ("cached", f"{warm * 1000:.1f}", stats["cache.hits"],
+                 stats["cache.misses"]),
             ],
             header=("config", "ms total", "hits", "misses"),
         )
         # Every repeat after the warm-up was served from the cache.
-        assert stats["hits"] >= REPEATS
+        assert stats["cache.hits"] >= REPEATS
         assert cold / max(warm, 1e-9) >= 5.0, (
             f"warm cache only {cold / warm:.1f}x faster"
         )
@@ -103,7 +103,7 @@ class TestWarmCacheSpeedup:
     def test_unrelated_commit_leaves_cache_warm(self):
         db = open_db(cache=True)
         db.query(QUERY)  # populate
-        hits_before = db.manager.result_cache.stats()["hits"]
+        hits_before = db.manager.result_cache.stats()["cache.hits"]
         for i in range(3):
             # 'other' shares no lineage with link/reach: DRed's change
             # set never names a cached dependency.
@@ -112,16 +112,16 @@ class TestWarmCacheSpeedup:
         stats = db.manager.result_cache.stats()
         report(
             "E15b: cache across unrelated commits",
-            [(stats["hits"], stats["misses"], stats["invalidations"])],
+            [(stats["cache.hits"], stats["cache.misses"], stats["cache.invalidations"])],
             header=("hits", "misses", "invalidations"),
         )
-        assert stats["hits"] == hits_before + 3
-        assert stats["invalidations"] == 0
+        assert stats["cache.hits"] == hits_before + 3
+        assert stats["cache.invalidations"] == 0
         # A commit on the query's own lineage does evict.
         assert db.submit(f"link(c{CHAIN}, cX)").status == "committed"
-        misses_before = db.manager.result_cache.stats()["misses"]
+        misses_before = db.manager.result_cache.stats()["cache.misses"]
         assert db.query(QUERY) is True
-        assert db.manager.result_cache.stats()["misses"] > misses_before
+        assert db.manager.result_cache.stats()["cache.misses"] > misses_before
 
 
 class TestOutOfCore:

@@ -29,6 +29,11 @@ BENCH_DIR = Path(__file__).resolve().parent
 
 
 def run_benchmark(path: Path, env: dict) -> dict:
+    # Each benchmark runs in its own interpreter, so the process-wide
+    # metrics registry isolates per benchmark for free; conftest dumps
+    # its final snapshot wherever REPRO_METRICS_OUT points.
+    metrics_path = BENCH_DIR / f".metrics_{path.stem}.json"
+    env = {**env, "REPRO_METRICS_OUT": str(metrics_path)}
     start = time.perf_counter()
     proc = subprocess.run(
         [
@@ -49,10 +54,21 @@ def run_benchmark(path: Path, env: dict) -> dict:
         text=True,
     )
     elapsed = time.perf_counter() - start
+    metrics = {}
+    try:
+        metrics = json.loads(metrics_path.read_text())
+    except (OSError, ValueError):
+        pass
+    finally:
+        try:
+            metrics_path.unlink()
+        except OSError:
+            pass
     return {
         "wall_seconds": round(elapsed, 3),
         "returncode": proc.returncode,
         "tail": proc.stdout.strip().splitlines()[-1:] if proc.stdout else [],
+        "metrics": metrics,
     }
 
 

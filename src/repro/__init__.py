@@ -59,6 +59,8 @@ from repro.integrity.transactions import Transaction
 from repro.logic.normalize import NormalizationError, normalize_constraint
 from repro.logic.parser import ParseError, parse_formula, parse_program
 from repro.logic.safety import SafetyError
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import QueryTrace
 from repro.satisfiability.checker import (
     SatisfiabilityChecker,
     SatResult,
@@ -95,7 +97,16 @@ def open(
     return ManagedDatabase(directory, source, config=config, **options)
 
 
-__version__ = "1.1.0"
+def metrics() -> dict:
+    """A snapshot of the process-wide metrics registry: one flat dict
+    of ``layer.metric`` names — counters/gauges as numbers, histograms
+    as ``{"count", "sum", "buckets", "overflow"}`` dicts. Pair two
+    snapshots with :meth:`MetricsRegistry.diff` to meter one workload.
+    """
+    return default_registry().snapshot()
+
+
+__version__ = "1.2.0"
 
 __all__ = [
     "BACKENDS",
@@ -109,9 +120,11 @@ __all__ = [
     "IntegrityChecker",
     "MaintainedModel",
     "ManagedDatabase",
+    "MetricsRegistry",
     "NormalizationError",
     "ParseError",
     "Program",
+    "QueryTrace",
     "ResultCache",
     "Rule",
     "SafetyError",
@@ -124,7 +137,9 @@ __all__ = [
     "Transaction",
     "Violation",
     "check_satisfiability",
+    "default_registry",
     "make_store",
+    "metrics",
     "normalize_constraint",
     "open",
     "parse_formula",

@@ -23,15 +23,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import Optional, Sequence
 
 from repro import serialize
-from repro.config import STRATEGIES, EngineConfig
+from repro.config import DEFAULT_SLOW_QUERY_MS, STRATEGIES, EngineConfig
 from repro.datalog.database import DeductiveDatabase
 from repro.datalog.joins import DEFAULT_EXEC, EXEC_MODES
 from repro.datalog.planner import DEFAULT_PLAN, PLANS
 from repro.integrity.checker import METHODS, IntegrityChecker
+from repro.obs.metrics import default_registry
+from repro.obs.trace import SLOW_QUERY_LOGGER, maybe_trace, trace_query
 from repro.storage.backends import BACKENDS, DEFAULT_BACKEND
 from repro.logic.parser import parse_formula
 from repro.logic.normalize import normalize_constraint
@@ -119,9 +122,43 @@ def _add_cache_option(command, default: bool = False) -> None:
     )
 
 
+def _add_obs_options(command) -> None:
+    command.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-query trace (plan, rewrite, rounds, cache, "
+        "phase timings) as an EXPLAIN tree after the verdict",
+    )
+    command.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the delta of the process metrics registry "
+        "accumulated while running this command",
+    )
+    command.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log queries slower than MS milliseconds on the "
+        f"'{SLOW_QUERY_LOGGER}' logger (to stderr here; default: "
+        "REPRO_SLOW_QUERY_MS, unset = off)",
+    )
+
+
 def _config_from_args(args) -> EngineConfig:
     """One EngineConfig from whichever knob options the subcommand
     declared (missing ones fall back to the config defaults)."""
+    slow_query_ms = getattr(args, "slow_query_ms", None)
+    if slow_query_ms is None:
+        slow_query_ms = DEFAULT_SLOW_QUERY_MS
+    elif not logging.getLogger(SLOW_QUERY_LOGGER).handlers:
+        # A CLI run has nowhere else to put slow-query reports: wire
+        # the logger to stderr (libraries embedding repro configure
+        # logging themselves; the obs NullHandler keeps them silent).
+        logging.getLogger(SLOW_QUERY_LOGGER).addHandler(
+            logging.StreamHandler(sys.stderr)
+        )
     return EngineConfig(
         strategy=getattr(args, "strategy", "lazy"),
         plan=getattr(args, "plan", DEFAULT_PLAN),
@@ -129,7 +166,26 @@ def _config_from_args(args) -> EngineConfig:
         supplementary=getattr(args, "supplementary", True),
         backend=getattr(args, "backend", DEFAULT_BACKEND),
         cache=getattr(args, "cache", False),
+        slow_query_ms=slow_query_ms,
     )
+
+
+def _metrics_delta(before: dict) -> dict:
+    """Registry movement since *before*, dropping zero counters."""
+    delta = default_registry().diff(before)
+    return {
+        name: value
+        for name, value in delta.items()
+        if (value.get("count") if isinstance(value, dict) else value)
+    }
+
+
+def _print_metrics(delta: dict) -> None:
+    for name in sorted(delta):
+        value = delta[name]
+        if isinstance(value, dict):
+            value = json.dumps(value, sort_keys=True)
+        print(f"  # {name}: {value}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -177,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_option(check)
     _add_cache_option(check)
     _add_format_option(check)
+    _add_obs_options(check)
 
     satcheck = commands.add_parser(
         "satcheck", help="check finite satisfiability of rules + constraints"
@@ -216,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_option(query)
     _add_cache_option(query)
     _add_format_option(query)
+    _add_obs_options(query)
 
     model = commands.add_parser(
         "model", help="print the canonical model (facts + derived)"
@@ -319,10 +377,23 @@ def _run_check(args) -> int:
     db = _load_database(args.database, config)
     checker = IntegrityChecker(db, config=config)
     transaction = Transaction.coerce(list(args.updates))
-    result = checker.admit(transaction, args.method)
+    before = default_registry().snapshot() if args.metrics else None
+    trace = None
+    label = "check " + ", ".join(transaction.to_strings())
+    if args.explain:
+        with trace_query(label, config) as trace:
+            result = checker.admit(transaction, args.method)
+            trace.result = "ok" if result.ok else "violation"
+    else:
+        with maybe_trace(label, config):
+            result = checker.admit(transaction, args.method)
     if args.format == "json":
         payload = serialize.check_result_json(result)
         payload["updates"] = transaction.to_strings()
+        if trace is not None:
+            payload["explain"] = trace.to_dict()
+        if before is not None:
+            payload["metrics"] = _metrics_delta(before)
         if args.apply and result.ok:
             for update in transaction:
                 db.apply_update(update)
@@ -339,6 +410,10 @@ def _run_check(args) -> int:
     if args.stats:
         for key, value in sorted(result.stats.items()):
             print(f"  # {key}: {value}")
+    if trace is not None:
+        print(trace.render())
+    if before is not None:
+        _print_metrics(_metrics_delta(before))
     if args.apply and result.ok:
         for update in transaction:
             db.apply_update(update)
@@ -375,11 +450,31 @@ def _run_query(args) -> int:
     config = _config_from_args(args)
     db = _load_database(args.database, config)
     formula = normalize_constraint(parse_formula(args.formula))
-    value = db.engine(config=config).evaluate(formula)
+    before = default_registry().snapshot() if args.metrics else None
+    engine = db.engine(config=config)
+    trace = None
+    if args.explain:
+        with trace_query(str(formula), config) as trace:
+            value = engine.evaluate(formula)
+            trace.result = str(value)
+    else:
+        # maybe_trace is a no-op without --slow-query-ms; with it, the
+        # completed trace reaches the slow-query logger.
+        with maybe_trace(str(formula), config):
+            value = engine.evaluate(formula)
     if args.format == "json":
-        print(json.dumps(serialize.query_result_json(args.formula, value)))
+        payload = serialize.query_result_json(args.formula, value)
+        if trace is not None:
+            payload["explain"] = trace.to_dict()
+        if before is not None:
+            payload["metrics"] = _metrics_delta(before)
+        print(json.dumps(payload))
     else:
         print("true" if value else "false")
+        if trace is not None:
+            print(trace.render())
+        if before is not None:
+            _print_metrics(_metrics_delta(before))
     return 0 if value else 1
 
 

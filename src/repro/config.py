@@ -36,11 +36,19 @@ The knobs:
     The derived-result cache: enabled flag and entry bound. Cached
     entries are invalidated per-predicate-key from DRed's change sets
     (see :mod:`repro.storage.result_cache`).
+``slow_query_ms``
+    Slow-query log threshold in milliseconds: queries/checks slower
+    than this emit their completed :class:`repro.obs.QueryTrace`
+    through stdlib logging under ``repro.obs.slowquery``. ``None``
+    (the default) disables tracing entirely; ``0`` traces every
+    query. Default from ``REPRO_SLOW_QUERY_MS``. Purely
+    observational — excluded from :meth:`EngineConfig.key`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
@@ -50,6 +58,30 @@ from repro.datalog.planner import DEFAULT_PLAN, validate_plan
 from repro.storage.backends import DEFAULT_BACKEND, validate_backend
 
 STRATEGIES = ("lazy", "topdown", "model", "magic")
+
+
+def _default_slow_query_ms() -> Optional[float]:
+    """``REPRO_SLOW_QUERY_MS`` as a float threshold, empty/unset → off.
+
+    The CI tracing leg sets it to ``0`` so every query in the suite
+    runs fully traced."""
+    raw = os.environ.get("REPRO_SLOW_QUERY_MS", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SLOW_QUERY_MS must be a number (ms): {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"REPRO_SLOW_QUERY_MS must be >= 0: {raw!r}"
+        )
+    return value
+
+
+DEFAULT_SLOW_QUERY_MS = _default_slow_query_ms()
 
 
 def validate_strategy(strategy: str) -> str:
@@ -73,6 +105,7 @@ class EngineConfig:
     backend: str = DEFAULT_BACKEND
     cache: bool = False
     cache_size: int = 256
+    slow_query_ms: Optional[float] = DEFAULT_SLOW_QUERY_MS
 
     def __post_init__(self):
         validate_strategy(self.strategy)
@@ -90,6 +123,15 @@ class EngineConfig:
         ) or self.cache_size <= 0:
             raise ValueError(
                 f"cache_size must be a positive int: {self.cache_size!r}"
+            )
+        if self.slow_query_ms is not None and (
+            not isinstance(self.slow_query_ms, (int, float))
+            or isinstance(self.slow_query_ms, bool)
+            or self.slow_query_ms < 0
+        ):
+            raise ValueError(
+                "slow_query_ms must be None or a number >= 0: "
+                f"{self.slow_query_ms!r}"
             )
 
     def replace(self, **changes) -> "EngineConfig":

@@ -44,6 +44,7 @@ from repro.datalog.planner import (
 from repro.datalog.program import Program, Rule
 from repro.logic.formulas import Atom
 from repro.logic.substitution import Substitution
+from repro.obs.trace import current_trace
 
 if TYPE_CHECKING:
     from repro.config import EngineConfig
@@ -213,6 +214,9 @@ def evaluate_stratum(
     for fact in initial:
         if view.add(fact):
             delta.add(fact)
+    trace = current_trace()
+    if trace is not None:
+        trace.record_round(len(delta))
     # Differential rounds.
     while len(delta):
         derived = _derive_round(
@@ -222,6 +226,8 @@ def evaluate_stratum(
         for fact in derived:
             if view.add(fact):
                 delta.add(fact)
+        if trace is not None:
+            trace.record_round(len(delta))
 
 
 def compute_model(

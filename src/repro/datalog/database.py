@@ -26,6 +26,7 @@ from repro.logic.parser import (
     parse_rule,
 )
 from repro.logic.safety import check_constraint_safety, constraint_predicates
+from repro.obs.trace import QueryTrace, trace_query
 from repro.storage.backends import StoreBackend, make_store
 from repro.storage.result_cache import ResultCache
 
@@ -269,6 +270,26 @@ class DeductiveDatabase:
         if isinstance(formula, str):
             formula = normalize_constraint(parse_formula(formula))
         return self.engine().evaluate(formula)
+
+    def explain(
+        self,
+        formula: Union[str, Formula],
+        *,
+        config: Optional[EngineConfig] = None,
+    ) -> QueryTrace:
+        """Evaluate *formula* under an active
+        :class:`repro.obs.QueryTrace` and return the completed trace
+        (``trace.result`` holds the verdict, :meth:`QueryTrace.render`
+        the EXPLAIN tree). A fresh engine run records its plans,
+        rewrites, rounds and cache consults; nothing about the
+        evaluation itself changes."""
+        if isinstance(formula, str):
+            formula = normalize_constraint(parse_formula(formula))
+        engine = self.engine(config=config)
+        with trace_query(str(formula), engine.config) as trace:
+            value = engine.evaluate(formula)
+            trace.result = str(value)
+        return trace
 
     def canonical_model(
         self,

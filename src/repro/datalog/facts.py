@@ -34,6 +34,7 @@ from repro.logic.formulas import Atom
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Constant, Variable
 from repro.logic.unify import match
+from repro.obs.metrics import default_registry
 
 # The group-index helpers moved to the backend contract module with
 # PR 6; re-exported here because the DRed overlay sets (and external
@@ -48,6 +49,9 @@ from repro.storage.backends.base import (  # noqa: F401  (re-exports)
 )
 
 _EMPTY: frozenset = frozenset()
+
+# Process-wide mirror of the per-store group_builds counters.
+_GROUP_BUILDS = default_registry().counter("store.group_builds")
 
 
 class FactStore(StoreBackend):
@@ -191,6 +195,8 @@ class FactStore(StoreBackend):
         if index is None:
             index = groups[positions] = build_group_index(bucket, positions)
             self.group_builds += 1
+            _GROUP_BUILDS.inc()
+
         return index.get(key, _EMPTY)
 
     def _candidates(self, pattern: Atom) -> Optional[Iterable[Atom]]:

@@ -41,6 +41,10 @@ from repro.datalog.program import Program, Rule
 from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
 from repro.logic.unify import match
+from repro.obs.metrics import default_registry
+
+# Process-wide mirror of the per-store group_builds counters.
+_GROUP_BUILDS = default_registry().counter("store.group_builds")
 
 _EMPTY_BUCKET: frozenset = frozenset()
 
@@ -105,6 +109,8 @@ class PredicateIndexedSet:
         if index is None:
             index = groups[positions] = build_group_index(bucket, positions)
             self.group_builds += 1
+            _GROUP_BUILDS.inc()
+
         return index.get(key, _EMPTY_BUCKET)
 
     def __contains__(self, atom: Atom) -> bool:

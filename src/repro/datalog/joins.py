@@ -46,6 +46,8 @@ from repro.datalog.planner import Planner
 from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Constant, Variable
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_trace
 
 # A matcher receives (literal index, instantiated pattern) and yields the
 # substitutions for the pattern's remaining variables.
@@ -76,8 +78,17 @@ def validate_exec(exec_mode: str) -> str:
 DEFAULT_EXEC = validate_exec(os.environ.get("REPRO_EXEC", "batch"))
 
 
+#: The kernel's registry instrument — the canonical home of the old
+#: ``JOIN_COUNTERS.tuple_fallbacks`` count. A thread-safe
+#: :class:`repro.obs.metrics.Counter`: the service layer commits from
+#: multiple threads, and the old bare ``+=`` lost increments there.
+_TUPLE_FALLBACKS = default_registry().counter("join.tuple_fallbacks")
+
+
 class JoinCounters:
-    """Process-wide work counters for the join kernel.
+    """Deprecation shim: the kernel's work counters now live in the
+    default :class:`repro.obs.metrics.MetricsRegistry` under
+    ``join.*`` names.
 
     ``tuple_fallbacks`` counts :func:`join_body` calls that asked for
     the batch model but fell back to the tuple oracle because the
@@ -85,18 +96,26 @@ class JoinCounters:
     representation carries value rows only. The counter exists so the
     regression tests can pin "no fallback" on code paths that are
     supposed to stay relational (e.g. tabled evaluation after its
-    standardize-apart pass)."""
+    standardize-apart pass). Reads and :meth:`reset` delegate to the
+    registry's ``join.tuple_fallbacks`` counter."""
 
-    __slots__ = ("tuple_fallbacks",)
+    __slots__ = ()
 
-    def __init__(self):
-        self.tuple_fallbacks = 0
+    @property
+    def tuple_fallbacks(self) -> int:
+        return _TUPLE_FALLBACKS.value
+
+    @tuple_fallbacks.setter
+    def tuple_fallbacks(self, value: int) -> None:
+        _TUPLE_FALLBACKS.set(value)
 
     def reset(self) -> None:
-        self.tuple_fallbacks = 0
+        _TUPLE_FALLBACKS.set(0)
 
 
 #: The kernel's shared counter instance (reset freely in tests).
+#: Deprecated alias — new code reads
+#: ``default_registry().snapshot()["join.tuple_fallbacks"]``.
 JOIN_COUNTERS = JoinCounters()
 
 #: How many binding rows flow through the batch pipeline at once. Small
@@ -166,7 +185,15 @@ def join_literals(
                 pos_index + 1, current.compose(extension), remaining
             )
 
-    yield from descend(0, binding, negatives)
+    trace = current_trace()
+    if trace is None:
+        yield from descend(0, binding, negatives)
+        return
+    join_stats = trace.join
+    join_stats["joins"] += 1
+    for answer in descend(0, binding, negatives):
+        join_stats["rows_out"] += 1
+        yield answer
 
 
 # -- batch (set-at-a-time) path ------------------------------------------------------
@@ -436,6 +463,11 @@ def join_literals_rows(
     # like the tuple path.
     final_schema = tuple(schema)
 
+    trace = current_trace()
+    join_stats = trace.join if trace is not None else None
+    if join_stats is not None:
+        join_stats["joins"] += 1
+
     neg_cache: dict = {}
 
     def passes(tests: List[_NegativeTest], row) -> bool:
@@ -464,6 +496,9 @@ def join_literals_rows(
                     f"{unbound} — rule is not range-restricted"
                 )
             if survivors:
+                if join_stats is not None:
+                    join_stats["chunks"] += 1
+                    join_stats["rows_out"] += len(survivors)
                 yield (final_schema, survivors)
             return
         level = levels[level_index]
@@ -483,6 +518,8 @@ def join_literals_rows(
                         args_template[position] = value
                 pattern = Atom(level.atom.pred, tuple(args_template))
                 extensions = cache[key] = list(probe(level.index, pattern))
+                if join_stats is not None:
+                    join_stats["probes"] += 1
             for extension in extensions:
                 out.append(row + extension)
                 if len(out) >= chunk_size:
@@ -549,5 +586,8 @@ def join_body(
             return join_literals_batch(
                 literals, binding, probe, holds, planner
             )
-        JOIN_COUNTERS.tuple_fallbacks += 1
+        _TUPLE_FALLBACKS.inc()
+        trace = current_trace()
+        if trace is not None:
+            trace.join["tuple_fallbacks"] += 1
     return join_literals(literals, binding, matcher, holds, planner)

@@ -85,6 +85,17 @@ from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Constant, Variable
 from repro.logic.unify import match
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_trace
+
+# Registry mirrors of the evaluator's per-instance work accounting —
+# the process-wide view the `metrics` verb serves (layer prefix
+# "magic.", see repro.obs.metrics).
+_REWRITES = default_registry().counter("magic.rewrites")
+_DECLINED = default_registry().counter("magic.declined")
+_SEEDS = default_registry().counter("magic.seeds")
+_DERIVATIONS = default_registry().counter("magic.derivations")
+_SATURATION_PASSES = default_registry().counter("magic.saturation_passes")
 
 
 class MagicRewriteError(ValueError):
@@ -544,20 +555,37 @@ class MagicEvaluator:
         if key in self.declined:
             return None
         rewrite = self._rewrites.get(key)
+        trace = current_trace()
         if rewrite is None:
             try:
-                rewrite = magic_rewrite(
-                    self.program, pattern, self._sip_planner,
-                    self.supplementary,
-                )
+                if trace is None:
+                    rewrite = magic_rewrite(
+                        self.program, pattern, self._sip_planner,
+                        self.supplementary,
+                    )
+                else:
+                    with trace.phase("rewrite"):
+                        rewrite = magic_rewrite(
+                            self.program, pattern, self._sip_planner,
+                            self.supplementary,
+                        )
             except MagicRewriteError as error:
                 self.declined[key] = str(error)
+                _DECLINED.inc()
                 if isinstance(error, MagicStratificationError):
                     warnings.warn(
                         str(error), MagicFallbackWarning, stacklevel=3
                     )
                 return None
             self._rewrites[key] = rewrite
+            _REWRITES.inc()
+        if trace is not None:
+            trace.record_rewrite(
+                pattern.pred,
+                key[1],
+                tuple(sorted(rewrite.sup_predicates())),
+                len(rewrite.program),
+            )
         return rewrite
 
     def supports(self, pattern: Atom) -> bool:
@@ -595,6 +623,7 @@ class MagicEvaluator:
         if seed in self._seeded:
             return store
         self._seeded.add(seed)
+        _SEEDS.inc()
         if not store.add(seed):
             # The tuple was already demanded as a sub-demand of an
             # earlier query of this class; its slice is saturated.
@@ -614,11 +643,22 @@ class MagicEvaluator:
         saturated store (re-saturation pays only for the newly
         demanded slice). Strata run lowest-first, so negative adorned
         subgoals are settled before any rule tests them."""
-        from repro.datalog.bottomup import _derive_round
-
         view = _DemandView(self.facts, store)
         planner = make_planner(self.plan, view)
         self.saturation_passes += 1
+        _SATURATION_PASSES.inc()
+        trace = current_trace()
+        if trace is None:
+            self._run_rounds(rewrite, view, planner, new_facts, None)
+        else:
+            with trace.phase("saturate"):
+                self._run_rounds(rewrite, view, planner, new_facts, trace)
+
+    def _run_rounds(
+        self, rewrite: MagicProgram, view, planner, new_facts, trace
+    ) -> None:
+        from repro.datalog.bottomup import _derive_round
+
         # All facts added during this pass; each stratum's delta starts
         # from the full list because its rules were last saturated
         # before the pass began.
@@ -631,11 +671,14 @@ class MagicEvaluator:
                     self.exec_mode,
                 )
                 self.derivations += len(derived)
+                _DERIVATIONS.inc(len(derived))
                 delta = FactStore()
                 for fact in derived:
                     if view.add(fact):
                         delta.add(fact)
                         fresh.append(fact)
+                if trace is not None:
+                    trace.record_round(len(delta))
 
     # -- instrumentation ---------------------------------------------------------
 
@@ -646,12 +689,15 @@ class MagicEvaluator:
         return sum(len(store) for store in self._stores.values())
 
     def stats(self) -> Dict[str, int]:
+        """This evaluator's work accounting under the registry's
+        ``layer.metric`` names (see :mod:`repro.obs.metrics`) — the
+        per-instance view of the process-wide ``magic.*`` series."""
         return {
-            "supplementary": int(self.supplementary),
-            "rewrites": len(self._rewrites),
-            "declined": len(self.declined),
-            "seeds": len(self._seeded),
-            "derived_facts": self.derived_fact_count(),
-            "derivations": self.derivations,
-            "saturation_passes": self.saturation_passes,
+            "magic.supplementary": int(self.supplementary),
+            "magic.rewrites": len(self._rewrites),
+            "magic.declined": len(self.declined),
+            "magic.seeds": len(self._seeded),
+            "magic.derived_facts": self.derived_fact_count(),
+            "magic.derivations": self.derivations,
+            "magic.saturation_passes": self.saturation_passes,
         }

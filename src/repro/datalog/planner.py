@@ -45,6 +45,7 @@ from typing import Callable, List, Sequence, Set, Tuple
 
 from repro.logic.formulas import Atom, Literal
 from repro.logic.terms import Variable
+from repro.obs.trace import current_trace
 
 PLANS = ("greedy", "source")
 DEFAULT_PLAN = "greedy"
@@ -115,6 +116,15 @@ class GreedyPlanner(Planner):
     ) -> List[IndexedLiteral]:
         if len(positives) < 2:
             return list(positives)
+        trace = current_trace()
+        if trace is None:
+            return self._order(positives, bound)
+        with trace.phase("plan"):
+            return self._order(positives, bound)
+
+    def _order(
+        self, positives: Sequence[IndexedLiteral], bound: Set[Variable]
+    ) -> List[IndexedLiteral]:
         remaining = list(positives)
         bound_vars = set(bound)
         ordered: List[IndexedLiteral] = []

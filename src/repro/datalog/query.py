@@ -72,6 +72,7 @@ from repro.logic.formulas import (
 from repro.logic.safety import constraint_predicates
 from repro.logic.substitution import Substitution
 from repro.logic.unify import match
+from repro.obs.trace import current_trace
 from repro.storage.result_cache import ResultCache
 
 
@@ -201,6 +202,14 @@ class QueryEngine:
     def _ensure_materialized(self, pred: str) -> None:
         if pred in self._materialized or not self.program.is_idb(pred):
             return
+        trace = current_trace()
+        if trace is None:
+            self._materialize_closure(pred)
+        else:
+            with trace.phase("materialize"):
+                self._materialize_closure(pred)
+
+    def _materialize_closure(self, pred: str) -> None:
         closure = self.program.reachable_from(pred)
         pending = [
             p
@@ -238,6 +247,9 @@ class QueryEngine:
         if cache is not None:
             key = ("holds", self._cache_key, atom)
             hit, value = cache.get(key)
+            trace = current_trace()
+            if trace is not None:
+                trace.record_cache(hit)
             if hit:
                 return value
         self.lookup_count += 1
@@ -346,6 +358,28 @@ class QueryEngine:
         def probe(index: int, pattern: Atom):
             return self.probe_rows(pattern)
 
+        trace = current_trace()
+        if trace is not None and atoms:
+            # Record the planner's choice for the EXPLAIN tree. Done
+            # here (not in the kernel) because a semi-naive round's
+            # batch and tuple legs plan *different* literal lists — the
+            # conjunction order is the leg-independent logical plan.
+            positives = [
+                (index, Literal(atom.substitute(binding), True))
+                for index, atom in enumerate(atoms)
+            ]
+            ordered = self._planner.order(
+                positives, set(binding.domain())
+            )
+            trace.record_plan(
+                " ∧ ".join(str(atom) for atom in atoms),
+                tuple(str(literal.atom) for _, literal in ordered),
+                tuple(
+                    self.estimate(literal.atom)
+                    for _, literal in ordered
+                ),
+            )
+
         yield from join_body(
             [Literal(atom, True) for atom in atoms],
             binding,
@@ -373,6 +407,9 @@ class QueryEngine:
         if cache is not None and not binding:
             key = ("eval", self._cache_key, formula)
             hit, value = cache.get(key)
+            trace = current_trace()
+            if trace is not None:
+                trace.record_cache(hit)
             if hit:
                 return value
             value = self._evaluate(formula, binding)

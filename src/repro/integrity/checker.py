@@ -55,6 +55,7 @@ from repro.integrity.update_constraints import (
     compile_update_constraints,
 )
 from repro.logic.formulas import Formula, Literal
+from repro.obs.trace import current_trace
 UpdateInput = Union[str, Literal, Transaction, Sequence[Union[str, Literal]]]
 
 #: The checking methods :meth:`IntegrityChecker.admit` dispatches over —
@@ -208,7 +209,12 @@ class IntegrityChecker:
         the E4 benchmark as the degraded comparator).
         """
         updates = _normalize_updates(updates)
-        compiled = self.compile(updates)
+        trace = current_trace()
+        if trace is None:
+            compiled = self.compile(updates)
+        else:
+            with trace.phase("gate.compile"):
+                compiled = self.compile(updates)
         stats: Dict[str, int] = {
             "potential_updates": len(compiled.potential),
             "update_constraints": len(compiled.update_constraints),

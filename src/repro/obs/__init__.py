@@ -1,0 +1,48 @@
+"""repro.obs — the unified telemetry subsystem.
+
+Three pieces, all stdlib-only so every engine layer can import them
+without cycles:
+
+* :mod:`repro.obs.metrics` — the process-default :class:`MetricsRegistry`
+  of named counters/gauges/histograms (``layer.metric`` naming).
+* :mod:`repro.obs.trace` — per-query :class:`QueryTrace` collection and
+  the human-readable EXPLAIN rendering.
+* stdlib :mod:`logging` under the ``repro.obs`` namespace for the
+  slow-query log and the server's structured connection events. A
+  ``NullHandler`` is installed here so an application that never
+  configures logging sees no spurious stderr output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.trace import (
+    QueryTrace,
+    current_trace,
+    maybe_trace,
+    trace_query,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    "QueryTrace",
+    "current_trace",
+    "maybe_trace",
+    "trace_query",
+]
+
+logging.getLogger("repro.obs").addHandler(logging.NullHandler())

@@ -1,0 +1,310 @@
+"""Process-wide metrics: named counters, gauges and histograms.
+
+One registry, every layer reporting the same named series — the
+telemetry analogue of the paper's uniform treatment of inference
+methods. The design goals, in order:
+
+* **Cheap when idle.** Reading a counter is a plain attribute access;
+  bumping one takes a per-instance lock only because the service layer
+  commits from multiple threads. No global lock is ever held on the
+  read path, and instruments are created once and cached by name.
+* **Dependency-free.** This module imports nothing from :mod:`repro`
+  (stdlib only) so the lowest layers — the join kernel, the WAL, the
+  fact stores — can import it without cycles.
+* **Diffable.** Tests and benchmarks pin behaviour with
+  ``snapshot()``/``diff()`` instead of reaching into module globals.
+
+Naming scheme — ``layer.metric``, documented in the README catalog:
+
+========== ====================================================
+prefix      layer
+========== ====================================================
+``join.``   batch/tuple join kernel (:mod:`repro.datalog.joins`)
+``plan.``   join planner
+``magic.``  magic-sets / supplementary rewrite + saturation
+``store.``  fact-store backends (group index builds, …)
+``cache.``  derived-result cache
+``wal.``    write-ahead log
+``txn.``    transaction manager / group commit
+``gate.``   integrity-gate admission
+========== ====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "default_registry",
+    "set_default_registry",
+]
+
+
+# Latency buckets in seconds: 0.1ms .. 5s, wide enough for both the
+# join kernel's per-query work and the service's commit lingers.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count. Reads are lock-free."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def set(self, value: int) -> None:
+        """Force the count (used by the legacy ``JOIN_COUNTERS`` reset
+        shim; new code should only ever :meth:`inc`)."""
+        with self._lock:
+            self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values (typically seconds).
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; the
+    final slot counts overflows. Cumulative-style output is left to
+    :meth:`to_dict` so hot-path observes stay one index + three adds.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "_lock")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(sorted(buckets)) if buckets else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets: Tuple[float, ...] = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            index += 1
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.sum += value
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "buckets": {
+                    ("le_%g" % bound): count
+                    for bound, count in zip(
+                        self.buckets, self.bucket_counts
+                    )
+                },
+                "overflow": self.bucket_counts[-1],
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, sum={self.sum:.6f})"
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+SnapshotValue = Union[int, float, Dict[str, object]]
+
+
+class MetricsRegistry:
+    """A named collection of instruments.
+
+    ``counter``/``gauge``/``histogram`` create-or-return by name under
+    a registry lock; callers cache the returned instrument in a local
+    (module- or instance-level) so steady-state bumps never touch the
+    registry again.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors -------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._reserve(name)
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._reserve(name)
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._reserve(name)
+                instrument = self._histograms[name] = Histogram(buckets)
+            return instrument
+
+    def _reserve(self, name: str) -> None:
+        """Guard against one name registered as two instrument kinds."""
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        ):
+            raise ValueError(
+                f"metric {name!r} already registered as another kind"
+            )
+
+    # -- inspection ------------------------------------------------
+    def snapshot(self) -> Dict[str, SnapshotValue]:
+        """A flat name→value dict: ints for counters, floats for
+        gauges, ``{count, sum, buckets, overflow}`` for histograms."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        out: Dict[str, SnapshotValue] = {}
+        for name, counter in counters.items():
+            out[name] = counter.value
+        for name, gauge in gauges.items():
+            out[name] = gauge.value
+        for name, histogram in histograms.items():
+            out[name] = histogram.to_dict()
+        return out
+
+    def diff(
+        self, before: Mapping[str, SnapshotValue]
+    ) -> Dict[str, SnapshotValue]:
+        """Change since *before* (an earlier :meth:`snapshot`).
+
+        Counters/gauges subtract; histograms subtract count and sum.
+        Names absent from *before* diff against zero, so benchmarks can
+        take a snapshot before any instrument exists.
+        """
+        out: Dict[str, SnapshotValue] = {}
+        for name, value in self.snapshot().items():
+            prior = before.get(name)
+            if isinstance(value, dict):
+                prior_count = prior.get("count", 0) if isinstance(
+                    prior, dict
+                ) else 0
+                prior_sum = prior.get("sum", 0.0) if isinstance(
+                    prior, dict
+                ) else 0.0
+                out[name] = {
+                    "count": value["count"] - prior_count,
+                    "sum": value["sum"] - prior_sum,
+                }
+            else:
+                base = prior if isinstance(prior, (int, float)) else 0
+                out[name] = value - base
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument (tests only — production counters are
+        monotonic by contract)."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        for counter in counters:
+            counter.set(0)
+        for gauge in gauges:
+            gauge.set(0.0)
+        for histogram in histograms:
+            with histogram._lock:
+                histogram.bucket_counts = [0] * len(
+                    histogram.bucket_counts
+                )
+                histogram.count = 0
+                histogram.sum = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})"
+            )
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry every layer reports into."""
+    return _DEFAULT
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process default (test isolation); returns the old one.
+
+    Layers cache instrument objects at import time, so swapping the
+    registry does not redirect already-bound instruments — use
+    ``default_registry().diff(...)`` for most tests and reserve this
+    for whole-process isolation.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = registry
+    return previous

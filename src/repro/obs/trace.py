@@ -1,0 +1,351 @@
+"""Per-query traces: the EXPLAIN side of the telemetry subsystem.
+
+A :class:`QueryTrace` rides a :mod:`contextvars` context variable while
+one query/check evaluates, and every layer that does interesting work
+records into it — the planner its chosen literal order with estimates,
+the magic rewriter its adornments and sup predicates, the fixpoint loop
+its per-round delta sizes, the join kernel its aggregate row/probe
+counts, the caches their consults. When no trace is active every
+instrumentation site is a single ``current_trace() is None`` check, so
+tracing-off overhead is one attribute read per site.
+
+``trace_query`` activates a trace explicitly (``Database.explain`` and
+the CLI ``--explain`` flag use it); ``maybe_trace`` activates one only
+when the engine config asks for slow-query logging, and emits the
+completed trace through stdlib :mod:`logging` under ``repro.obs`` when
+the query exceeds the threshold.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "QueryTrace",
+    "current_trace",
+    "trace_query",
+    "maybe_trace",
+    "SLOW_QUERY_LOGGER",
+]
+
+SLOW_QUERY_LOGGER = "repro.obs.slowquery"
+
+# Caps keep a pathological query (thousands of rule plans, unbounded
+# recursion rounds) from turning its own trace into the memory problem.
+MAX_PLANS = 16
+MAX_ROUNDS = 64
+
+
+class QueryTrace:
+    """Everything the engine can tell you about one query's execution.
+
+    The *logical* parts — plans, rewrites, round structure, result —
+    are deterministic for a given (program, query, config) and identical
+    across the batch and tuple execution legs (that invariant is pinned
+    by a differential test via :meth:`shape`). The *physical* parts —
+    phase timings, join row/probe counts — legitimately differ per leg
+    and are excluded from the shape.
+    """
+
+    __slots__ = (
+        "label",
+        "config",
+        "phases",
+        "_phase_stack",
+        "plans",
+        "_plan_keys",
+        "plans_dropped",
+        "rewrites",
+        "_rewrite_keys",
+        "rounds",
+        "rounds_dropped",
+        "total_derived",
+        "join",
+        "cache",
+        "result",
+        "elapsed",
+        "_started",
+    )
+
+    def __init__(self, label: str, config: Any = None) -> None:
+        self.label = label
+        self.config = config
+        # Ordered phase → accumulated seconds ("plan", "rewrite",
+        # "saturate", "materialize", "gate", ...).
+        self.phases: Dict[str, float] = {}
+        self._phase_stack: List[str] = []
+        # Planner-chosen literal orders: (goal, order, estimates).
+        self.plans: List[Dict[str, Any]] = []
+        self._plan_keys: set = set()
+        self.plans_dropped = 0
+        # Magic rewrites: (predicate, adornment, sup predicates, #rules).
+        self.rewrites: List[Dict[str, Any]] = []
+        self._rewrite_keys: set = set()
+        # Semi-naive rounds: new-fact counts in derivation order.
+        self.rounds: List[int] = []
+        self.rounds_dropped = 0
+        self.total_derived = 0
+        # Join-kernel aggregates (physical; leg-dependent).
+        self.join: Dict[str, int] = {
+            "joins": 0,
+            "chunks": 0,
+            "rows_out": 0,
+            "probes": 0,
+            "tuple_fallbacks": 0,
+        }
+        self.cache: Dict[str, int] = {"hits": 0, "misses": 0}
+        self.result: Optional[str] = None
+        self.elapsed: Optional[float] = None
+        self._started = time.perf_counter()
+
+    # -- recording -------------------------------------------------
+    @contextmanager
+    def phase(self, name: str):
+        """Accumulate wall-clock under *name*; re-entrant (a nested
+        enter of the phase already on top of the stack is free)."""
+        if self._phase_stack and self._phase_stack[-1] == name:
+            yield
+            return
+        self._phase_stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+            self.phases[name] = self.phases.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def record_plan(
+        self,
+        goal: str,
+        order: Tuple[str, ...],
+        estimates: Tuple[int, ...],
+    ) -> None:
+        key = (goal, order)
+        if key in self._plan_keys:
+            return
+        if len(self.plans) >= MAX_PLANS:
+            self.plans_dropped += 1
+            return
+        self._plan_keys.add(key)
+        self.plans.append(
+            {
+                "goal": goal,
+                "order": list(order),
+                "estimates": list(estimates),
+            }
+        )
+
+    def record_rewrite(
+        self,
+        predicate: str,
+        adornment: str,
+        sup_predicates: Tuple[str, ...],
+        rules: int,
+    ) -> None:
+        key = (predicate, adornment)
+        if key in self._rewrite_keys:
+            return
+        self._rewrite_keys.add(key)
+        self.rewrites.append(
+            {
+                "predicate": predicate,
+                "adornment": adornment,
+                "sup_predicates": list(sup_predicates),
+                "rules": rules,
+            }
+        )
+
+    def record_round(self, new_facts: int) -> None:
+        self.total_derived += new_facts
+        if len(self.rounds) >= MAX_ROUNDS:
+            self.rounds_dropped += 1
+            return
+        self.rounds.append(new_facts)
+
+    def record_cache(self, hit: bool) -> None:
+        self.cache["hits" if hit else "misses"] += 1
+
+    def finish(self, result: Optional[str] = None) -> None:
+        if result is not None:
+            self.result = result
+        self.elapsed = time.perf_counter() - self._started
+
+    # -- rendering -------------------------------------------------
+    def config_summary(self) -> Optional[str]:
+        key = getattr(self.config, "key", None)
+        if callable(key):
+            return "/".join(str(part) for part in key())
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Structured form (the server's ``explain`` payload)."""
+        return {
+            "label": self.label,
+            "config": self.config_summary(),
+            "elapsed_seconds": self.elapsed,
+            "phases": dict(self.phases),
+            "plans": [dict(plan) for plan in self.plans],
+            "plans_dropped": self.plans_dropped,
+            "rewrites": [dict(rewrite) for rewrite in self.rewrites],
+            "rounds": list(self.rounds),
+            "rounds_dropped": self.rounds_dropped,
+            "total_derived": self.total_derived,
+            "join": dict(self.join),
+            "cache": dict(self.cache),
+            "result": self.result,
+        }
+
+    def shape(self) -> Dict[str, Any]:
+        """The logical skeleton — identical across execution legs."""
+        return {
+            "label": self.label,
+            "plans": [dict(plan) for plan in self.plans],
+            "rewrites": [dict(rewrite) for rewrite in self.rewrites],
+            "rounds": list(self.rounds),
+            "total_derived": self.total_derived,
+            "result": self.result,
+        }
+
+    def render(self) -> str:
+        """The human-readable EXPLAIN tree."""
+        lines = [f"QUERY {self.label}"]
+        config = self.config_summary()
+        if config:
+            lines.append(f"├─ config: {config}")
+        if self.result is not None:
+            lines.append(f"├─ result: {self.result}")
+        if self.elapsed is not None:
+            lines.append(f"├─ elapsed: {self.elapsed * 1000:.2f} ms")
+        if self.rewrites:
+            lines.append("├─ rewrite")
+            for rewrite in self.rewrites:
+                sups = ", ".join(rewrite["sup_predicates"]) or "-"
+                lines.append(
+                    f"│   ├─ {rewrite['predicate']}^"
+                    f"{rewrite['adornment']} "
+                    f"({rewrite['rules']} rules; sup: {sups})"
+                )
+        if self.plans:
+            lines.append("├─ plan")
+            for plan in self.plans:
+                steps = " → ".join(
+                    f"{literal} (~{estimate})"
+                    for literal, estimate in zip(
+                        plan["order"], plan["estimates"]
+                    )
+                )
+                lines.append(f"│   ├─ {plan['goal']}: {steps}")
+            if self.plans_dropped:
+                lines.append(
+                    f"│   └─ … {self.plans_dropped} more plans"
+                )
+        if self.rounds or self.total_derived:
+            rounds = ", ".join(str(n) for n in self.rounds)
+            suffix = (
+                f" (+{self.rounds_dropped} rounds elided)"
+                if self.rounds_dropped
+                else ""
+            )
+            lines.append(
+                f"├─ rounds: [{rounds}]{suffix} "
+                f"Σ {self.total_derived} derived"
+            )
+        join = self.join
+        if any(join.values()):
+            lines.append(
+                "├─ join: "
+                f"{join['joins']} joins, {join['rows_out']} rows, "
+                f"{join['probes']} probes, {join['chunks']} chunks, "
+                f"{join['tuple_fallbacks']} tuple fallbacks"
+            )
+        cache = self.cache
+        if cache["hits"] or cache["misses"]:
+            lines.append(
+                f"├─ cache: {cache['hits']} hits / "
+                f"{cache['misses']} misses"
+            )
+        if self.phases:
+            lines.append("└─ phases")
+            items = list(self.phases.items())
+            for index, (name, seconds) in enumerate(items):
+                branch = "└─" if index == len(items) - 1 else "├─"
+                lines.append(
+                    f"    {branch} {name}: {seconds * 1000:.2f} ms"
+                )
+        elif lines[-1].startswith("├─"):
+            lines[-1] = "└─" + lines[-1][2:]
+        return "\n".join(lines)
+
+
+_ACTIVE: ContextVar[Optional[QueryTrace]] = ContextVar(
+    "repro_query_trace", default=None
+)
+
+
+def current_trace() -> Optional[QueryTrace]:
+    """The trace active in this context, or None (the hot-path guard)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def trace_query(label: str, config: Any = None):
+    """Activate a :class:`QueryTrace` for the duration of the block.
+
+    Nested activations reuse the outer trace — one query evaluated
+    through several engine layers yields one trace, and only the
+    outermost exit stamps ``elapsed`` and consults the slow-query log.
+    """
+    existing = _ACTIVE.get()
+    if existing is not None:
+        yield existing
+        return
+    trace = QueryTrace(label, config)
+    token = _ACTIVE.set(trace)
+    try:
+        yield trace
+    finally:
+        _ACTIVE.reset(token)
+        trace.finish()
+        _maybe_log_slow(trace, config)
+
+
+@contextmanager
+def maybe_trace(label: str, config: Any = None):
+    """Trace only when it can matter: an outer trace is already active
+    (join it), or *config* enables the slow-query log. Otherwise yield
+    None without constructing anything."""
+    existing = _ACTIVE.get()
+    if existing is not None:
+        yield existing
+        return
+    threshold = getattr(config, "slow_query_ms", None)
+    if threshold is None:
+        yield None
+        return
+    with trace_query(label, config) as trace:
+        yield trace
+
+
+def _maybe_log_slow(trace: QueryTrace, config: Any) -> None:
+    threshold = getattr(config, "slow_query_ms", None)
+    if threshold is None or trace.elapsed is None:
+        return
+    elapsed_ms = trace.elapsed * 1000.0
+    if elapsed_ms < threshold:
+        return
+    logger = logging.getLogger(SLOW_QUERY_LOGGER)
+    if not logger.isEnabledFor(logging.WARNING):
+        return
+    logger.warning(
+        "slow query (%.2f ms >= %.2f ms): %s",
+        elapsed_ms,
+        threshold,
+        trace.label,
+        extra={"query_trace": trace.to_dict()},
+    )

@@ -98,6 +98,10 @@ class DatabaseClient:
     def stats(self, name: str) -> Dict:
         return self.call("stats", db=name)
 
+    def metrics(self) -> Dict:
+        """The server process's full metrics registry snapshot."""
+        return self.call("metrics")["metrics"]
+
 
 class RemoteSession:
     """A server-side session addressed by its token."""

@@ -22,6 +22,8 @@ from repro.integrity.transactions import Transaction
 from repro.logic.formulas import Formula
 from repro.logic.normalize import normalize_constraint
 from repro.logic.parser import parse_atom, parse_formula
+from repro.obs.metrics import default_registry
+from repro.obs.trace import QueryTrace, trace_query
 from repro.service.transactions import CommitResult, Session, TransactionManager
 from repro.storage.engine import StorageEngine, directory_initialized
 
@@ -143,6 +145,17 @@ class ManagedDatabase:
         """Dry-run the gate without committing."""
         return self.manager.dry_run(Transaction.coerce(updates), method)
 
+    def explain(self, formula: Union[str, Formula]) -> QueryTrace:
+        """Evaluate *formula* with a :class:`repro.obs.QueryTrace`
+        active and return the completed trace — ``trace.result`` holds
+        the verdict, :meth:`QueryTrace.render` the EXPLAIN tree."""
+        if isinstance(formula, str):
+            formula = normalize_constraint(parse_formula(formula))
+        with trace_query(str(formula), self.manager.config) as trace:
+            value = self.manager.evaluate(formula)
+            trace.result = str(value)
+        return trace
+
     def add_constraint(
         self,
         source: str,
@@ -162,7 +175,23 @@ class ManagedDatabase:
     def checkpoint(self) -> int:
         return self.manager.checkpoint()
 
+    #: The latency series :meth:`stats` summarizes (process-wide
+    #: histograms from the default registry — the full distributions
+    #: are behind :func:`repro.metrics` / the server ``metrics`` verb).
+    LATENCY_SERIES = (
+        "txn.session_seconds",
+        "gate.check_seconds",
+        "wal.append_seconds",
+        "txn.linger_seconds",
+    )
+
     def stats(self) -> dict:
+        """One flat dict: state sizes (``lsn``/``facts``/…), the
+        commit counters under their ``txn.*`` registry names, the
+        result cache's ``cache.*`` counters (when caching is on) and
+        count/sum/mean summaries of the service latency histograms —
+        every metric key matches the default registry's naming scheme
+        (see :mod:`repro.obs.metrics`)."""
         with self.manager._state_lock:
             database = self.manager.database
             out = {
@@ -176,8 +205,17 @@ class ManagedDatabase:
             }
             cache = self.manager.cache_stats()
             if cache is not None:
-                out["cache"] = cache
-            return out
+                out.update(cache)
+        snapshot = default_registry().snapshot()
+        for name in self.LATENCY_SERIES:
+            series = snapshot.get(name)
+            if isinstance(series, dict) and series.get("count"):
+                out[name] = {
+                    "count": series["count"],
+                    "sum": series["sum"],
+                    "mean": series["sum"] / series["count"],
+                }
+        return out
 
     def close(self) -> None:
         if self.manager.storage is not None:

@@ -24,6 +24,7 @@ Ops::
     model       db                                maintained canonical model
     checkpoint  db                                snapshot + WAL reset
     stats       db
+    metrics                                       process-wide registry snapshot
 
 Each connection is served by its own thread (the "thread pool" of
 concurrent writers); sessions opened on a connection are aborted when
@@ -34,6 +35,7 @@ database's group-commit pipeline.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import socketserver
@@ -44,11 +46,16 @@ from repro import serialize
 from repro.config import EngineConfig, resolve_config
 from repro.logic.normalize import normalize_constraint
 from repro.logic.parser import parse_atom, parse_formula
+from repro.obs.metrics import default_registry
 from repro.service.database import ManagedDatabase
 from repro.service.transactions import Session
 from repro.storage.engine import directory_initialized
 
 _DB_NAME = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]*\Z")
+
+#: Structured server-side events (failed verbs, dropped connections)
+#: land here; silent by default via the ``repro.obs`` null handler.
+_LOG = logging.getLogger("repro.obs.server")
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -66,8 +73,12 @@ class _Handler(socketserver.StreamRequestHandler):
                     json.dumps(response).encode("utf-8") + b"\n"
                 )
                 self.wfile.flush()
-        except (ConnectionError, BrokenPipeError, ValueError):
-            pass
+        except (ConnectionError, BrokenPipeError, ValueError) as error:
+            _LOG.info(
+                "connection dropped: %s",
+                error,
+                extra={"event": "connection_dropped"},
+            )
         finally:
             self.server.front.abort_sessions(owned)
 
@@ -241,14 +252,29 @@ class DatabaseServer:
 
     def handle_line(self, line: bytes, owned_sessions: list) -> Dict:
         request_id = None
+        request: Dict = {}
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
+                request = {}
                 raise ValueError("request must be a JSON object")
             request_id = request.get("id")
             payload = self._dispatch(request, owned_sessions)
             response = {"ok": True, **payload}
         except Exception as error:  # surface, don't kill the connection
+            _LOG.warning(
+                "verb failed: op=%s db=%s session=%s error=%s",
+                request.get("op"),
+                request.get("db"),
+                request.get("session"),
+                error,
+                extra={
+                    "event": "verb_failed",
+                    "op": request.get("op"),
+                    "db": request.get("db"),
+                    "session": request.get("session"),
+                },
+            )
             response = {"ok": False, "error": str(error)}
         if request_id is not None:
             response["id"] = request_id
@@ -322,4 +348,8 @@ class DatabaseServer:
             return {"lsn": self.database(request["db"]).checkpoint()}
         if op == "stats":
             return self.database(request["db"]).stats()
+        if op == "metrics":
+            # Process-wide: every hosted database shares the default
+            # registry, so no ``db`` parameter.
+            return {"metrics": default_registry().snapshot()}
         raise ValueError(f"unknown op {op!r}")

@@ -71,9 +71,21 @@ from repro.logic.formulas import Atom, Formula, Literal
 from repro.logic.normalize import normalize_constraint
 from repro.logic.parser import parse_atom, parse_formula
 from repro.logic.safety import constraint_predicates
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_trace, maybe_trace
 from repro.storage.engine import StorageEngine, apply_transaction
 from repro.storage.result_cache import ResultCache
 from repro.storage.wal import WalRecord
+
+# Service-level latency distributions (seconds):
+#   txn.session_seconds — begin → successful commit, per session;
+#   gate.check_seconds  — one integrity-gate admission (merged,
+#                         individual or dry-run);
+#   txn.linger_seconds  — how long a group-commit leader waited for
+#                         stragglers before processing its batch.
+_SESSION_SECONDS = default_registry().histogram("txn.session_seconds")
+_GATE_SECONDS = default_registry().histogram("gate.check_seconds")
+_LINGER_SECONDS = default_registry().histogram("txn.linger_seconds")
 
 #: How many committed write-sets are retained for conflict validation.
 #: A session older than the window can no longer be validated and is
@@ -135,6 +147,7 @@ class Session:
         "session_id",
         "start_version",
         "state",
+        "created",
         "_staged",
         "_read_preds",
     )
@@ -144,6 +157,7 @@ class Session:
         self.session_id = session_id
         self.start_version = manager.version
         self.state = "open"
+        self.created = time.perf_counter()
         self._staged: List[Literal] = []
         self._read_preds: Set[str] = set()
 
@@ -226,6 +240,10 @@ class Session:
         the commit pipeline snapshotted its own Transaction)."""
         if self.state == "open":
             self.state = new_state
+            if new_state == "committed":
+                _SESSION_SECONDS.observe(
+                    time.perf_counter() - self.created
+                )
             self.manager._session_closed()
             self._staged.clear()
 
@@ -358,19 +376,31 @@ class TransactionManager:
         self._pruned_below = version
         self._session_counter = itertools.count(1)
         self._commits_since_checkpoint = 0
+        # Per-manager commit accounting, mirrored into the process
+        # registry under the same names (see repro.obs.metrics).
         self.stats = {
-            "commits": 0,
-            "noop_commits": 0,
-            "rejected": 0,
-            "conflicts": 0,
-            "batches": 0,
-            "batched_transactions": 0,
-            "merged_gate_checks": 0,
-            "fallback_gate_checks": 0,
-            "ddl_committed": 0,
-            "ddl_rejected": 0,
-            "checkpoints": 0,
+            "txn.commits": 0,
+            "txn.noop_commits": 0,
+            "txn.rejected": 0,
+            "txn.conflicts": 0,
+            "txn.batches": 0,
+            "txn.batched_transactions": 0,
+            "txn.merged_gate_checks": 0,
+            "txn.fallback_gate_checks": 0,
+            "txn.ddl_committed": 0,
+            "txn.ddl_rejected": 0,
+            "txn.checkpoints": 0,
         }
+        registry = default_registry()
+        self._stat_counters = {
+            name: registry.counter(name) for name in self.stats
+        }
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        """Advance a commit statistic in both the per-manager dict and
+        its process-wide registry mirror (called under _state_lock)."""
+        self.stats[key] += amount
+        self._stat_counters[key].inc(amount)
 
     # -- sessions -----------------------------------------------------------------
 
@@ -404,18 +434,47 @@ class TransactionManager:
         )
 
     def evaluate(self, formula: Formula, staged: Sequence[Literal] = ()) -> bool:
-        with self._state_lock:
-            return self._engine(staged).evaluate(formula)
+        # maybe_trace is a no-op unless config.slow_query_ms is set or
+        # an outer trace (Database.explain, --explain) is active.
+        with maybe_trace(str(formula), self.config) as trace:
+            with self._state_lock:
+                value = self._engine(staged).evaluate(formula)
+            if trace is not None:
+                trace.result = str(value)
+            return value
 
     def holds(self, atom: Atom, staged: Sequence[Literal] = ()) -> bool:
-        with self._state_lock:
-            return self._engine(staged).holds(atom)
+        with maybe_trace(str(atom), self.config) as trace:
+            with self._state_lock:
+                value = self._engine(staged).holds(atom)
+            if trace is not None:
+                trace.result = str(value)
+            return value
 
     def dry_run(
         self, transaction: Transaction, method: Optional[str] = None
     ) -> CheckResult:
         with self._state_lock:
-            return self.checker.admit(transaction, method or self.method)
+            return self._admit(transaction, method)
+
+    def _admit(
+        self, transaction: Transaction, method: Optional[str] = None
+    ) -> CheckResult:
+        """One integrity-gate admission, timed into gate.check_seconds
+        (and the active trace's ``gate`` phase, when there is one)."""
+        trace = current_trace()
+        start = time.perf_counter()
+        try:
+            if trace is None:
+                return self.checker.admit(
+                    transaction, method or self.method
+                )
+            with trace.phase("gate"):
+                return self.checker.admit(
+                    transaction, method or self.method
+                )
+        finally:
+            _GATE_SECONDS.observe(time.perf_counter() - start)
 
     # -- commits ------------------------------------------------------------------
 
@@ -489,7 +548,8 @@ class TransactionManager:
             return self._active_sessions - members
 
         if others() > 0:
-            deadline = time.monotonic() + self.commit_delay
+            linger_start = time.monotonic()
+            deadline = linger_start + self.commit_delay
             while time.monotonic() < deadline:
                 time.sleep(self.commit_delay / 10)
                 with self._queue_lock:
@@ -498,6 +558,7 @@ class TransactionManager:
             with self._queue_lock:
                 stragglers, self._queue = self._queue, []
             batch.extend(stragglers)
+            _LINGER_SECONDS.observe(time.monotonic() - linger_start)
         return batch
 
     # -- the commit pipeline (leader-only) ----------------------------------------
@@ -522,13 +583,13 @@ class TransactionManager:
         transactions = [r for r in batch if r.kind == "txn"]
         ddl = [r for r in batch if r.kind == "constraint"]
         if transactions:
-            self.stats["batches"] += 1
-            self.stats["batched_transactions"] += len(transactions)
+            self._bump("txn.batches")
+            self._bump("txn.batched_transactions", len(transactions))
         admitted: List[_CommitRequest] = []
         for request in transactions:
             reason = self._validate(request)
             if reason is not None:
-                self.stats["conflicts"] += 1
+                self._bump("txn.conflicts")
                 request.finish(CommitResult(CONFLICT, reason=reason))
             else:
                 admitted.append(request)
@@ -545,7 +606,7 @@ class TransactionManager:
             # against the grown state.
             reason = self._validate(request)
             if reason is not None:
-                self.stats["conflicts"] += 1
+                self._bump("txn.conflicts")
                 request.finish(CommitResult(CONFLICT, reason=reason))
             elif self._reduce(request):
                 self._commit_individual(request)
@@ -591,7 +652,7 @@ class TransactionManager:
             if facts.contains(update.atom) != update.positive
         ]
         if not effective:
-            self.stats["noop_commits"] += 1
+            self._bump("txn.noop_commits")
             request.finish(
                 CommitResult(
                     COMMITTED, lsn=self.version, reason="no-op transaction"
@@ -632,14 +693,14 @@ class TransactionManager:
 
     def _commit_group(self, group: List[_CommitRequest]) -> None:
         merged = Transaction.merge([r.effective for r in group])
-        self.stats["merged_gate_checks"] += 1
-        verdict = self.checker.admit(merged, self.method)
+        self._bump("txn.merged_gate_checks")
+        verdict = self._admit(merged)
         if not verdict.ok:
             # Someone in the batch violates; find exactly who. Checked
             # sequentially — each passing member applies before the
             # next check, as a serial execution would.
             for request in group:
-                self.stats["fallback_gate_checks"] += 1
+                self._bump("txn.fallback_gate_checks")
                 self._commit_individual(request)
             return
         first_lsn = self.version + 1
@@ -659,16 +720,16 @@ class TransactionManager:
         for offset, request in enumerate(group):
             lsn = first_lsn + offset
             self._log_commit(lsn, request.effective)
-            self.stats["commits"] += 1
+            self._bump("txn.commits")
             request.finish(CommitResult(COMMITTED, lsn=lsn, check=verdict))
         self.version = last_lsn
         self._maybe_checkpoint(len(group))
 
     def _commit_individual(self, request: _CommitRequest) -> None:
         transaction = request.effective
-        verdict = self.checker.admit(transaction, self.method)
+        verdict = self._admit(transaction)
         if not verdict.ok:
-            self.stats["rejected"] += 1
+            self._bump("txn.rejected")
             request.finish(
                 CommitResult(
                     REJECTED,
@@ -687,7 +748,7 @@ class TransactionManager:
         self._apply(transaction)
         self._log_commit(lsn, transaction)
         self.version = lsn
-        self.stats["commits"] += 1
+        self._bump("txn.commits")
         request.finish(CommitResult(COMMITTED, lsn=lsn, check=verdict))
         self._maybe_checkpoint(1)
 
@@ -702,7 +763,7 @@ class TransactionManager:
             max_levels=request.max_levels,
         )
         if triage.status != ACCEPTED:
-            self.stats["ddl_rejected"] += 1
+            self._bump("txn.ddl_rejected")
             request.finish(
                 CommitResult(
                     REJECTED,
@@ -724,7 +785,7 @@ class TransactionManager:
         # *checked*, not the truth of any cached query.
         self.checker = IntegrityChecker(self.database, config=self.config)
         self.version = lsn
-        self.stats["ddl_committed"] += 1
+        self._bump("txn.ddl_committed")
         request.finish(CommitResult(COMMITTED, lsn=lsn, triage=triage))
         self._maybe_checkpoint(1)
 
@@ -782,6 +843,6 @@ class TransactionManager:
         with self._state_lock:
             if self.storage is not None:
                 self.storage.checkpoint(self.version, self.database, self.model)
-                self.stats["checkpoints"] += 1
+                self._bump("txn.checkpoints")
             self._commits_since_checkpoint = 0
             return self.version

@@ -41,8 +41,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.logic.formulas import Atom
 from repro.logic.terms import Constant, Variable
+from repro.obs.metrics import default_registry
 
 from .base import StoreBackend
+
+#: Process-wide twin of the per-store ``group_builds`` counter.
+_GROUP_BUILDS = default_registry().counter("store.group_builds")
 
 _SCALARS = (str, int, float, bool, type(None))
 
@@ -300,6 +304,8 @@ class SqliteFactStore(StoreBackend):
                 if positions not in probed:
                     probed.add(positions)
                     self.group_builds += 1
+                    _GROUP_BUILDS.inc()
+
                     for arity, rid in rels:
                         if positions[-1] < arity:
                             self._create_index(rid, positions)

@@ -39,6 +39,14 @@ from collections import OrderedDict
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.logic.formulas import Atom
+from repro.obs.metrics import default_registry
+
+# Process-wide mirrors of the per-instance counters, so the `metrics`
+# verb aggregates cache behaviour across every live cache.
+_HITS = default_registry().counter("cache.hits")
+_MISSES = default_registry().counter("cache.misses")
+_EVICTIONS = default_registry().counter("cache.evictions")
+_INVALIDATIONS = default_registry().counter("cache.invalidations")
 
 
 class _Entry:
@@ -84,9 +92,11 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                _MISSES.inc()
                 return False, None
             self._entries.move_to_end(key)
             self.hits += 1
+            _HITS.inc()
             return True, entry.value
 
     def put(
@@ -111,6 +121,7 @@ class ResultCache:
                 oldest = next(iter(self._entries))
                 self._drop(oldest)
                 self.evictions += 1
+                _EVICTIONS.inc()
 
     # -- invalidation -------------------------------------------------------------
 
@@ -139,6 +150,8 @@ class ResultCache:
                     self._drop(key)
                     dropped += 1
             self.invalidations += dropped
+        if dropped:
+            _INVALIDATIONS.inc(dropped)
         return dropped
 
     def clear(self) -> None:
@@ -162,19 +175,24 @@ class ResultCache:
     # -- inspection ---------------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
+        """This cache's counters under the registry's ``layer.metric``
+        names (see :mod:`repro.obs.metrics`) — the per-instance view of
+        the process-wide ``cache.*`` series."""
         with self._lock:
             return {
-                "entries": len(self._entries),
-                "max_entries": self.max_entries,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "invalidations": self.invalidations,
+                "cache.entries": len(self._entries),
+                "cache.max_entries": self.max_entries,
+                "cache.hits": self.hits,
+                "cache.misses": self.misses,
+                "cache.evictions": self.evictions,
+                "cache.invalidations": self.invalidations,
             }
 
     def __repr__(self) -> str:
         stats = self.stats()
         return (
-            f"ResultCache({stats['entries']}/{stats['max_entries']} entries, "
-            f"{stats['hits']} hits, {stats['misses']} misses)"
+            f"ResultCache({stats['cache.entries']}/"
+            f"{stats['cache.max_entries']} entries, "
+            f"{stats['cache.hits']} hits, "
+            f"{stats['cache.misses']} misses)"
         )

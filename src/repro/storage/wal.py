@@ -24,8 +24,20 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import default_registry
+
+# wal.appends counts durable write calls (a group-committed batch is
+# one append), wal.bytes the payload volume, wal.fsyncs the actual
+# fsync system calls; wal.append_seconds is the write+flush+fsync
+# latency distribution — the durability half of commit latency.
+_APPENDS = default_registry().counter("wal.appends")
+_BYTES = default_registry().counter("wal.bytes")
+_FSYNCS = default_registry().counter("wal.fsyncs")
+_APPEND_SECONDS = default_registry().histogram("wal.append_seconds")
 
 #: Record kinds the engine understands. ``txn`` carries one committed
 #: fact transaction; ``batch`` carries several group-committed ones as
@@ -124,11 +136,16 @@ class WriteAheadLog:
     def _write_bytes(self, data: bytes) -> None:
         """One durable write: buffered write, flush, fsync (when sync
         is on). Isolated so crash tests can inject torn writes."""
+        start = time.perf_counter()
         handle = self._handle()
         handle.write(data)
         handle.flush()
         if self.sync:
             os.fsync(handle.fileno())
+            _FSYNCS.inc()
+        _APPENDS.inc()
+        _BYTES.inc(len(data))
+        _APPEND_SECONDS.observe(time.perf_counter() - start)
 
     def append(self, record: WalRecord) -> None:
         self._write_bytes(record.to_line())

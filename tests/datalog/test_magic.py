@@ -269,9 +269,9 @@ class TestSupplementaryRewrite:
 
     def test_evaluator_records_mode_in_stats(self):
         evaluator = MagicEvaluator(FactStore(), ANCESTOR)
-        assert evaluator.stats()["supplementary"] == 1
+        assert evaluator.stats()["magic.supplementary"] == 1
         oracle = MagicEvaluator(FactStore(), ANCESTOR, supplementary=False)
-        assert oracle.stats()["supplementary"] == 0
+        assert oracle.stats()["magic.supplementary"] == 0
 
 
 class TestMagicEvaluator:
@@ -510,5 +510,5 @@ class TestIncrementalDemandMaintenance:
         evaluator = MagicEvaluator(self.chain_store(10), self.chain_program())
         list(evaluator.answers(parse_atom("reach(g4, Y)")))
         stats = evaluator.stats()
-        assert stats["derivations"] == evaluator.derivations
-        assert stats["saturation_passes"] == 1
+        assert stats["magic.derivations"] == evaluator.derivations
+        assert stats["magic.saturation_passes"] == 1

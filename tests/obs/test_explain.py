@@ -1,0 +1,88 @@
+"""EXPLAIN as a differential oracle: the trace's logical shape must be
+identical across execution legs, and stable under repeated runs for
+every (strategy, plan, supplementary) combination."""
+
+import itertools
+
+import pytest
+
+import repro
+from repro.config import EngineConfig
+
+SOURCE = """
+edge(a, b).
+edge(b, c).
+edge(c, d).
+edge(d, e).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+"""
+
+QUERY = "path(a, e)"
+
+
+def explain(config):
+    db = repro.DeductiveDatabase.from_source(SOURCE, config=config)
+    return db.explain(QUERY, config=config)
+
+
+class TestDifferentialShape:
+    @pytest.mark.parametrize("strategy", ["lazy", "magic", "model"])
+    def test_batch_and_tuple_legs_share_one_logical_shape(self, strategy):
+        shapes = {}
+        for exec_mode in ("batch", "tuple"):
+            config = EngineConfig(
+                strategy=strategy, exec_mode=exec_mode, slow_query_ms=None
+            )
+            trace = explain(config)
+            assert trace.result == "True"
+            shapes[exec_mode] = trace.shape()
+        assert shapes["batch"] == shapes["tuple"]
+
+    def test_magic_supplementary_trace_names_sup_predicates(self):
+        config = EngineConfig(
+            strategy="magic", supplementary=True, slow_query_ms=None
+        )
+        trace = explain(config)
+        assert trace.rewrites, "magic evaluation should record its rewrite"
+        assert any(
+            sup.startswith("sup@")
+            for rewrite in trace.rewrites
+            for sup in rewrite["sup_predicates"]
+        )
+        assert trace.rounds and trace.rounds[-1] == 0
+        assert trace.total_derived > 0
+        rendered = trace.render()
+        assert "rewrite" in rendered and "rounds" in rendered
+
+    def test_shape_is_stable_across_knob_sweep_reruns(self):
+        for strategy, plan, supplementary in itertools.product(
+            ("lazy", "magic"), ("greedy", "source"), (True, False)
+        ):
+            config = EngineConfig(
+                strategy=strategy,
+                plan=plan,
+                supplementary=supplementary,
+                slow_query_ms=None,
+            )
+            first = explain(config).shape()
+            second = explain(config).shape()
+            assert first == second, (strategy, plan, supplementary)
+            assert first["result"] == "True"
+
+
+class TestManagedExplain:
+    def test_database_explain_covers_gate_free_query(self):
+        db = repro.open(
+            source=SOURCE,
+            config=EngineConfig(strategy="magic", slow_query_ms=None),
+        )
+        trace = db.explain(QUERY)
+        assert trace.result == "True"
+        assert trace.elapsed is not None
+        assert "QUERY" in trace.render()
+
+    def test_explain_negative_answer(self):
+        db = repro.open(source=SOURCE)
+        trace = db.explain("path(e, a)")
+        assert trace.result == "False"

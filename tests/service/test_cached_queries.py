@@ -29,17 +29,17 @@ class TestWarmHits:
     def test_repeated_query_hits(self):
         db = make_db()
         assert db.query(F_P) is True
-        assert stats(db)["misses"] >= 1
-        before = stats(db)["hits"]
+        assert stats(db)["cache.misses"] >= 1
+        before = stats(db)["cache.hits"]
         assert db.query(F_P) is True
-        assert stats(db)["hits"] == before + 1
+        assert stats(db)["cache.hits"] == before + 1
 
     def test_repeated_holds_hits(self):
         db = make_db()
         assert db.holds("dp(a)") is True
-        before = stats(db)["hits"]
+        before = stats(db)["cache.hits"]
         assert db.holds("dp(a)") is True
-        assert stats(db)["hits"] == before + 1
+        assert stats(db)["cache.hits"] == before + 1
 
 
 class TestPreciseInvalidation:
@@ -52,25 +52,25 @@ class TestPreciseInvalidation:
         before = stats(db)
         assert db.query(F_Q) is True
         after = stats(db)
-        assert after["hits"] == before["hits"] + 1
-        assert after["misses"] == before["misses"]
+        assert after["cache.hits"] == before["cache.hits"] + 1
+        assert after["cache.misses"] == before["cache.misses"]
         # ...while the p-lineage entry was evicted and recomputes.
         before = stats(db)
         assert db.query(F_P) is True
         after = stats(db)
-        assert after["hits"] == before["hits"]
-        assert after["misses"] == before["misses"] + 1
+        assert after["cache.hits"] == before["cache.hits"]
+        assert after["cache.misses"] == before["cache.misses"] + 1
 
     def test_commit_to_unrelated_predicate_leaves_cache_warm(self):
         db = make_db()
         db.query(F_P)
         db.holds("dp(a)")
         assert db.submit("r(z)").status == "committed"
-        assert stats(db)["invalidations"] == 0
-        before = stats(db)["hits"]
+        assert stats(db)["cache.invalidations"] == 0
+        before = stats(db)["cache.hits"]
         assert db.query(F_P) is True
         assert db.holds("dp(a)") is True
-        assert stats(db)["hits"] == before + 2
+        assert stats(db)["cache.hits"] == before + 2
 
     def test_holds_entries_are_atom_precise(self):
         db = make_db()
@@ -79,10 +79,10 @@ class TestPreciseInvalidation:
         # Inserting p(c) changes dp(c) — but the cached probes are for
         # dp(a)/dq(b), which did not change truth value: both stay warm.
         assert db.submit("p(c)").status == "committed"
-        before = stats(db)["hits"]
+        before = stats(db)["cache.hits"]
         assert db.holds("dp(a)") is True
         assert db.holds("dq(b)") is True
-        assert stats(db)["hits"] == before + 2
+        assert stats(db)["cache.hits"] == before + 2
         # Deleting p(a) flips dp(a) itself: that probe is evicted (and
         # recomputes to False), dq(b) is still warm.
         assert db.submit("not p(a)").status == "committed"
@@ -90,8 +90,8 @@ class TestPreciseInvalidation:
         assert db.holds("dp(a)") is False
         assert db.holds("dq(b)") is True
         after = stats(db)
-        assert after["misses"] == before["misses"] + 1
-        assert after["hits"] == before["hits"] + 1
+        assert after["cache.misses"] == before["cache.misses"] + 1
+        assert after["cache.hits"] == before["cache.hits"] + 1
 
     def test_formula_entries_are_predicate_precise(self):
         db = make_db()
@@ -99,15 +99,15 @@ class TestPreciseInvalidation:
         # Any change to the p lineage evicts the formula entry — even
         # an atom the formula's witnesses never touched.
         assert db.submit("p(zzz)").status == "committed"
-        before = stats(db)["misses"]
+        before = stats(db)["cache.misses"]
         assert db.query("forall X: dp(X) -> p(X)") is True
         # Evicted, so it recomputed (the evaluator may cache nested
         # subformulas as separate entries — at least one fresh miss).
-        assert stats(db)["misses"] > before
+        assert stats(db)["cache.misses"] > before
         # And the recomputed entry is warm again.
-        hits = stats(db)["hits"]
+        hits = stats(db)["cache.hits"]
         assert db.query("forall X: dp(X) -> p(X)") is True
-        assert stats(db)["hits"] == hits + 1
+        assert stats(db)["cache.hits"] == hits + 1
 
 
 class TestCacheBoundaries:
@@ -129,10 +129,10 @@ class TestCacheBoundaries:
         db.query(F_P)
         result = db.add_constraint("forall X: dp(X) -> p(X)")
         assert result.status == "committed"
-        assert stats(db)["invalidations"] == 0
-        before = stats(db)["hits"]
+        assert stats(db)["cache.invalidations"] == 0
+        before = stats(db)["cache.hits"]
         assert db.query(F_P) is True
-        assert stats(db)["hits"] == before + 1
+        assert stats(db)["cache.hits"] == before + 1
 
     def test_cache_off_by_default(self):
         db = repro.open(source=SOURCE)
@@ -143,5 +143,5 @@ class TestCacheBoundaries:
         db = make_db()
         db.query(F_P)
         payload = db.stats()
-        assert payload["cache"]["entries"] >= 1
-        assert "misses" in payload["cache"]
+        assert payload["cache.entries"] >= 1
+        assert "cache.misses" in payload

@@ -83,7 +83,7 @@ class TestSessionLifecycle:
         result = session.commit()
         assert result.ok and result.reason == "no-op transaction"
         assert db.lsn == 0
-        assert db.stats()["noop_commits"] == 1
+        assert db.stats()["txn.noop_commits"] == 1
 
     def test_insert_of_existing_fact_is_noop(self, db):
         session = db.begin()
@@ -224,7 +224,7 @@ class TestConcurrency:
         assert outcomes.count("committed") == 24
         assert db.lsn == 24
         stats = db.stats()
-        assert stats["commits"] == 24
+        assert stats["txn.commits"] == 24
 
     def test_concurrent_conflicting_writers_one_wins(self):
         """Sessions that all began before any commit and write the same
@@ -273,9 +273,9 @@ class TestConcurrency:
         for thread in threads:
             thread.join()
         stats = db.stats()
-        assert stats["commits"] == 4
-        assert stats["merged_gate_checks"] == 1
-        assert stats["fallback_gate_checks"] == 0
+        assert stats["txn.commits"] == 4
+        assert stats["txn.merged_gate_checks"] == 1
+        assert stats["txn.fallback_gate_checks"] == 0
         assert db.lsn == 4
         for worker in range(4):
             assert db.holds(f"employee(b{worker})")
@@ -317,7 +317,7 @@ class TestBatchScopedGate:
         assert db.holds("p(b)") and db.holds("q(b)")
         assert db.database.violated_constraints() == []
         # Logged atomically: both underneath one batch gate check.
-        assert db.stats()["merged_gate_checks"] == 1
+        assert db.stats()["txn.merged_gate_checks"] == 1
 
     def test_serialized_commits_reject_the_first_of_the_pair(self):
         db = ManagedDatabase(source=self.CURE_SOURCE, group_commit=False)
@@ -356,7 +356,7 @@ class TestGroupCommitFallback:
         assert requests[1].result.check.violations
         assert db.holds("employee(bob)") and db.holds("employee(carol)")
         assert not db.holds("leads(eve, hr)")
-        assert db.stats()["fallback_gate_checks"] == 3
+        assert db.stats()["txn.fallback_gate_checks"] == 3
 
 
 class TestDurability:
@@ -392,7 +392,7 @@ class TestDurability:
         )
         for i in range(7):
             assert db.submit(f"employee(s{i})").ok
-        assert db.stats()["checkpoints"] >= 2
+        assert db.stats()["txn.checkpoints"] >= 2
         reopened = ManagedDatabase(tmp_path / "hr", sync=False)
         assert reopened.lsn == 7
         # Recovery replayed only the post-snapshot suffix.

@@ -20,8 +20,8 @@ class TestLookupAndBounds:
         cache.put("k", 42, deps=["p"])
         hit, value = cache.get("k")
         assert (hit, value) == (True, 42)
-        assert cache.stats()["hits"] == 1
-        assert cache.stats()["misses"] == 1
+        assert cache.stats()["cache.hits"] == 1
+        assert cache.stats()["cache.misses"] == 1
 
     def test_put_overwrites(self):
         cache = ResultCache()
@@ -41,7 +41,7 @@ class TestLookupAndBounds:
         assert cache.get("a")[0] is True
         assert cache.get("b")[0] is False
         assert cache.get("c")[0] is True
-        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["cache.evictions"] == 1
         assert len(cache) == 2
 
     def test_bound_must_be_positive(self):
@@ -56,7 +56,7 @@ class TestLookupAndBounds:
         assert len(cache) == 0
         assert cache.get("k")[0] is False
         stats = cache.stats()
-        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["cache.hits"] == 1 and stats["cache.misses"] == 1
 
 
 class TestPredicateLevelInvalidation:
@@ -71,7 +71,7 @@ class TestPredicateLevelInvalidation:
         assert cache.get("about_both")[0] is False
         # The q-only entry stayed warm — the whole point.
         assert cache.get("about_q") == (True, 2)
-        assert cache.stats()["invalidations"] == 2
+        assert cache.stats()["cache.invalidations"] == 2
 
     def test_unrelated_predicate_is_a_noop(self):
         cache = ResultCache()

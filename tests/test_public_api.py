@@ -65,7 +65,7 @@ class TestOpen:
         assert type(db.database.facts).__name__ == "SqliteFactStore"
         assert db.query("member(ann, sales)") is True
         assert db.stats()["backend"] == "sqlite"
-        assert db.stats()["cache"]["entries"] >= 1
+        assert db.stats()["cache.entries"] >= 1
 
     def test_options_pass_through(self):
         db = repro.open(source=self.SOURCE, method="full", group_commit=False)
