@@ -8,8 +8,9 @@ evolution and the database service from the shell.
     python -m repro query db.dl "forall X: p(X) -> q(X)"
     python -m repro model db.dl
     python -m repro evolve db.dl --constraint "forall X: p(X) -> q(X)"
-    python -m repro serve ./data --port 7407
+    python -m repro serve ./data --port 7407 --metrics-port 9464
     python -m repro shell --port 7407
+    python -m repro top 127.0.0.1:9464
 
 ``check`` exits 0 when the update preserves integrity, 1 otherwise;
 ``satcheck`` exits 0 / 1 / 2 for satisfiable / unsatisfiable / unknown;
@@ -25,6 +26,7 @@ import argparse
 import json
 import logging
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro import serialize
@@ -34,7 +36,12 @@ from repro.datalog.joins import DEFAULT_EXEC, EXEC_MODES
 from repro.datalog.planner import DEFAULT_PLAN, PLANS
 from repro.integrity.checker import METHODS, IntegrityChecker
 from repro.obs.metrics import default_registry
-from repro.obs.trace import SLOW_QUERY_LOGGER, maybe_trace, trace_query
+from repro.obs.trace import (
+    SLOW_QUERY_LOGGER,
+    maybe_trace,
+    render_trace,
+    trace_query,
+)
 from repro.storage.backends import BACKENDS, DEFAULT_BACKEND
 from repro.logic.parser import parse_formula
 from repro.logic.normalize import normalize_constraint
@@ -282,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_option(model)
     _add_exec_option(model)
     _add_backend_option(model)
+    _add_obs_options(model)
 
     evolve = commands.add_parser(
         "evolve",
@@ -309,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-levels", type=int, default=120, help="level-saturation cap"
     )
     _add_format_option(evolve)
+    _add_obs_options(evolve)
 
     serve = commands.add_parser(
         "serve",
@@ -342,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="bdm",
         help="integrity gate method (default: %(default)s)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve /metrics (Prometheus), /metrics.json, /healthz "
+        "and /readyz on this HTTP port (0 picks an ephemeral one; "
+        "default: REPRO_METRICS_PORT, unset = off)",
+    )
     _add_plan_option(serve)
     _add_strategy_option(serve)
     _add_exec_option(serve)
@@ -349,6 +367,36 @@ def build_parser() -> argparse.ArgumentParser:
     # The server maintains its model through DRed, so precise cache
     # invalidation is available: cache on by default.
     _add_cache_option(serve, default=True)
+
+    top = commands.add_parser(
+        "top",
+        help="live terminal dashboard over a server's /metrics.json",
+    )
+    top.add_argument(
+        "address",
+        help="metrics endpoint as HOST:PORT (the serve --metrics-port "
+        "address)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default: %(default)s)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear",
+        dest="clear",
+        action="store_false",
+        help="append frames instead of redrawing in place",
+    )
 
     shell = commands.add_parser(
         "shell",
@@ -481,9 +529,21 @@ def _run_query(args) -> int:
 def _run_model(args) -> int:
     config = _config_from_args(args)
     db = _load_database(args.database, config)
-    model = db.canonical_model(config=config)
+    before = default_registry().snapshot() if args.metrics else None
+    trace = None
+    if args.explain:
+        with trace_query(f"model {args.database}", config) as trace:
+            model = db.canonical_model(config=config)
+            trace.result = f"{len(model)} facts"
+    else:
+        with maybe_trace(f"model {args.database}", config):
+            model = db.canonical_model(config=config)
     for fact in sorted(model, key=str):
         print(fact)
+    if trace is not None:
+        print(trace.render())
+    if before is not None:
+        _print_metrics(_metrics_delta(before))
     return 0
 
 
@@ -499,16 +559,37 @@ EVOLVE_EXIT_CODES = {
 def _run_evolve(args) -> int:
     from repro.integrity.evolution import assess_constraint_addition
 
-    db = _load_database(args.database)
-    result = assess_constraint_addition(
-        db,
-        args.constraint,
-        id=args.id,
-        max_fresh_constants=args.budget,
-        max_levels=args.max_levels,
-    )
+    config = _config_from_args(args)
+    db = _load_database(args.database, config)
+    before = default_registry().snapshot() if args.metrics else None
+    trace = None
+    label = f"evolve {args.constraint}"
+    if args.explain:
+        with trace_query(label, config) as trace:
+            result = assess_constraint_addition(
+                db,
+                args.constraint,
+                id=args.id,
+                max_fresh_constants=args.budget,
+                max_levels=args.max_levels,
+            )
+            trace.result = result.status
+    else:
+        with maybe_trace(label, config):
+            result = assess_constraint_addition(
+                db,
+                args.constraint,
+                id=args.id,
+                max_fresh_constants=args.budget,
+                max_levels=args.max_levels,
+            )
     if args.format == "json":
-        print(json.dumps(serialize.evolution_result_json(result)))
+        payload = serialize.evolution_result_json(result)
+        if trace is not None:
+            payload["explain"] = trace.to_dict()
+        if before is not None:
+            payload["metrics"] = _metrics_delta(before)
+        print(json.dumps(payload))
         return EVOLVE_EXIT_CODES[result.status]
     print(f"status: {result.status}")
     if result.witnesses:
@@ -530,6 +611,10 @@ def _run_evolve(args) -> int:
             "no sequence of fact updates can satisfy the extended "
             "constraint set"
         )
+    if trace is not None:
+        print(trace.render())
+    if before is not None:
+        _print_metrics(_metrics_delta(before))
     return EVOLVE_EXIT_CODES[result.status]
 
 
@@ -545,9 +630,17 @@ def _run_serve(args) -> int:
         config=_config_from_args(args),
         group_commit=not args.serialize_commits,
         snapshot_interval=args.snapshot_interval,
+        metrics_port=args.metrics_port,
     )
     host, port = server.address
     print(f"listening on {host}:{port} (root: {args.root})", flush=True)
+    if server.metrics_address is not None:
+        mhost, mport = server.metrics_address
+        print(
+            f"metrics on http://{mhost}:{mport}/metrics "
+            f"(also /metrics.json /healthz /readyz)",
+            flush=True,
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -555,6 +648,128 @@ def _run_serve(args) -> int:
     finally:
         server.close()
     return 0
+
+
+#: The dashboard's throughput rows: label → counter name. Rates come
+#: from the server's sliding window at each horizon.
+_TOP_RATES = (
+    ("requests/s", "service.requests"),
+    ("commits/s", "txn.commits"),
+    ("conflicts/s", "txn.conflicts"),
+    ("rejections/s", "txn.rejected"),
+    ("wal bytes/s", "wal.bytes"),
+    ("fsyncs/s", "wal.fsyncs"),
+)
+
+#: The dashboard's latency rows (windowed quantiles when the last 60s
+#: saw observations, cumulative since process start otherwise).
+_TOP_LATENCIES = (
+    "service.request_seconds",
+    "gate.check_seconds",
+    "wal.append_seconds",
+    "txn.session_seconds",
+)
+
+
+def _render_top(payload: dict) -> str:
+    """One dashboard frame from a ``/metrics.json`` document."""
+    window = payload.get("window") or {}
+    rates = window.get("rates") or {}
+    quantiles = window.get("quantiles") or {}
+    metrics = payload.get("metrics") or {}
+    info = payload.get("info") or {}
+    lines = [
+        "repro top — uptime {:.0f}s — window {}s, {} samples".format(
+            payload.get("uptime_seconds", 0.0),
+            window.get("width_seconds", "?"),
+            window.get("samples", 0),
+        ),
+        "",
+        f"{'throughput':<16}{'1s':>12}{'10s':>12}{'60s':>12}",
+    ]
+    for label, name in _TOP_RATES:
+        entry = rates.get(name) or {}
+        lines.append(
+            f"{label:<16}"
+            + "".join(
+                f"{entry.get(h, 0.0):>12.1f}" for h in ("1s", "10s", "60s")
+            )
+        )
+    hits = (rates.get("cache.hits") or {}).get("60s", 0.0)
+    misses = (rates.get("cache.misses") or {}).get("60s", 0.0)
+    if hits or misses:
+        lines.append(
+            f"{'cache hit %':<16}{100.0 * hits / (hits + misses):>36.1f}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'latency (ms)':<26}{'p50':>9}{'p95':>9}{'p99':>9}  window"
+    )
+    for name in _TOP_LATENCIES:
+        entry = quantiles.get(name)
+        scope = "60s"
+        if entry is None:
+            # Nothing landed in the window: fall back to the cumulative
+            # histogram so an idle server still shows its history.
+            series = metrics.get(name)
+            if not isinstance(series, dict) or not series.get("count"):
+                continue
+            entry = series
+            scope = "all"
+        lines.append(
+            f"{name:<26}"
+            + "".join(
+                f"{entry.get(p, 0.0) * 1000:>9.2f}"
+                for p in ("p50", "p95", "p99")
+            )
+            + f"  {scope}"
+        )
+    databases = info.get("databases") or {}
+    if databases:
+        lines.append("")
+        lines.append(
+            f"{'database':<20}{'lsn':>8}{'facts':>10}{'sessions':>10}"
+        )
+        for name in sorted(databases):
+            entry = databases[name]
+            lines.append(
+                f"{name:<20}{entry.get('lsn', 0):>8}"
+                f"{entry.get('facts', 0):>10}"
+                f"{entry.get('open_sessions', 0):>10}"
+            )
+    return "\n".join(lines)
+
+
+def _run_top(args) -> int:
+    import urllib.error
+    import urllib.request
+
+    address = args.address
+    if "://" not in address:
+        address = f"http://{address}"
+    url = address.rstrip("/") + "/metrics.json"
+    frames = 0
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=5) as response:
+                    payload = json.loads(response.read())
+            except (OSError, urllib.error.URLError, ValueError) as error:
+                print(
+                    f"error: cannot scrape {url} ({error})",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.clear and sys.stdout.isatty():
+                # ANSI clear + home: redraw the frame in place.
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(_render_top(payload), flush=True)
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 _SHELL_USAGE = """\
@@ -566,6 +781,7 @@ commands:
   commit                  commit the session
   abort                   abort the session
   query FORMULA           evaluate over session (if any) else database
+  explain FORMULA         query with the server's EXPLAIN trace
   holds ATOM              ground-atom truth
   constraint FORMULA      propose constraint DDL (triage-gated)
   model | stats | databases | checkpoint | ping
@@ -616,7 +832,7 @@ def _shell_request(state, line: str):
         if not state.get("session"):
             raise ValueError("begin a session first")
         return {"op": command, "session": state["session"]}
-    if command in ("query", "holds"):
+    if command in ("query", "holds", "explain"):
         target = (
             {"session": state["session"]}
             if state.get("session")
@@ -624,6 +840,8 @@ def _shell_request(state, line: str):
         )
         if not any(target.values()):
             raise ValueError("open a database first")
+        if command == "explain":
+            return {"op": "query", **target, "formula": rest, "explain": True}
         key = "formula" if command == "query" else "atom"
         return {"op": command, **target, key: rest}
     if command == "constraint":
@@ -698,7 +916,12 @@ def _run_shell(args) -> int:
                 state["session"] = response["session"]
             if line.split(None, 1)[0].lower() in ("commit", "abort"):
                 state["session"] = None
+            explain_payload = (
+                response.pop("explain", None) if response["ok"] else None
+            )
             print(json.dumps(response))
+            if explain_payload is not None:
+                print(render_trace(explain_payload))
     finally:
         client.close()
     return 0
@@ -714,6 +937,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "evolve": _run_evolve,
         "serve": _run_serve,
         "shell": _run_shell,
+        "top": _run_top,
     }
     try:
         return runners[args.command](args)

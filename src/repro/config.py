@@ -84,6 +84,28 @@ def _default_slow_query_ms() -> Optional[float]:
 DEFAULT_SLOW_QUERY_MS = _default_slow_query_ms()
 
 
+def default_metrics_port() -> Optional[int]:
+    """``REPRO_METRICS_PORT`` as a port number, empty/unset → no
+    exporter. ``0`` asks for an ephemeral port (the CI service leg uses
+    it so every server in the suite runs with scraping enabled). Read
+    at call time — the server consults it per construction — so tests
+    can flip the environment without re-importing."""
+    raw = os.environ.get("REPRO_METRICS_PORT", "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_METRICS_PORT must be an integer port: {raw!r}"
+        ) from None
+    if not 0 <= value <= 65535:
+        raise ValueError(
+            f"REPRO_METRICS_PORT must be in [0, 65535]: {raw!r}"
+        )
+    return value
+
+
 def validate_strategy(strategy: str) -> str:
     """Fail fast on an unknown strategy name, listing the accepted
     values — mirrors :func:`repro.datalog.planner.validate_plan`."""

@@ -1,12 +1,19 @@
 """repro.obs — the unified telemetry subsystem.
 
-Three pieces, all stdlib-only so every engine layer can import them
-without cycles:
+All stdlib-only so every engine layer can import them without cycles:
 
 * :mod:`repro.obs.metrics` — the process-default :class:`MetricsRegistry`
-  of named counters/gauges/histograms (``layer.metric`` naming).
+  of named counters/gauges/histograms (``layer.metric`` naming), with
+  Prometheus text rendering and bucket-interpolated quantiles.
+* :mod:`repro.obs.spans` — wire-propagatable :class:`TraceContext`
+  (trace_id + span id) and timed :class:`Span` records.
 * :mod:`repro.obs.trace` — per-query :class:`QueryTrace` collection and
-  the human-readable EXPLAIN rendering.
+  the human-readable EXPLAIN rendering (:func:`render_trace` works on
+  wire payloads too).
+* :mod:`repro.obs.window` — :class:`SlidingWindow` rollups of registry
+  snapshots: per-second rates and windowed quantiles.
+* :mod:`repro.obs.export` — the :class:`MetricsExporter` HTTP sidecar
+  (``/metrics``, ``/metrics.json``, ``/healthz``, ``/readyz``).
 * stdlib :mod:`logging` under the ``repro.obs`` namespace for the
   slow-query log and the server's structured connection events. A
   ``NullHandler`` is installed here so an application that never
@@ -17,32 +24,47 @@ from __future__ import annotations
 
 import logging
 
+from repro.obs.export import MetricsExporter, ReadinessProbe
 from repro.obs.metrics import (
+    QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     default_registry,
+    quantile_from_buckets,
     set_default_registry,
 )
+from repro.obs.spans import Span, TraceContext
 from repro.obs.trace import (
     QueryTrace,
     current_trace,
     maybe_trace,
+    render_trace,
     trace_query,
 )
+from repro.obs.window import HORIZONS, SlidingWindow
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QUANTILES",
     "default_registry",
+    "quantile_from_buckets",
     "set_default_registry",
+    "Span",
+    "TraceContext",
     "QueryTrace",
     "current_trace",
     "maybe_trace",
+    "render_trace",
     "trace_query",
+    "HORIZONS",
+    "SlidingWindow",
+    "MetricsExporter",
+    "ReadinessProbe",
 ]
 
 logging.getLogger("repro.obs").addHandler(logging.NullHandler())

@@ -41,9 +41,49 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "QUANTILES",
+    "quantile_from_buckets",
     "default_registry",
     "set_default_registry",
 ]
+
+#: The quantiles every histogram summary reports (p50/p95/p99),
+#: rendered by the ONE helper (:func:`quantile_from_buckets`) that
+#: ``stats()``, the ``metrics`` verb, :func:`repro.metrics`, the
+#: Prometheus exporter and ``repro top`` all share.
+QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """The *q*-quantile of a fixed-bucket histogram, linearly
+    interpolated inside the containing bucket (the Prometheus
+    ``histogram_quantile`` estimator).
+
+    *counts* holds per-bucket (non-cumulative) observation counts,
+    one slot per bound plus a final overflow slot. Values past the
+    largest bound are reported *as* the largest bound — a fixed-bucket
+    histogram cannot resolve its own overflow. An empty histogram
+    yields ``0.0``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q!r}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0.0
+    for index, bound in enumerate(bounds):
+        in_bucket = counts[index]
+        if cumulative + in_bucket >= target and in_bucket:
+            lower = bounds[index - 1] if index else 0.0
+            fraction = (target - cumulative) / in_bucket
+            return lower + (bound - lower) * fraction
+        cumulative += in_bucket
+    # Target falls in the overflow slot: the best available answer is
+    # the histogram's upper resolution limit.
+    return float(bounds[-1])
 
 
 # Latency buckets in seconds: 0.1ms .. 5s, wide enough for both the
@@ -140,22 +180,51 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def to_dict(self) -> Dict[str, object]:
+    def quantile(self, q: float) -> float:
+        """Interpolated *q*-quantile of everything observed so far."""
         with self._lock:
-            return {
-                "count": self.count,
-                "sum": self.sum,
-                "buckets": {
-                    ("le_%g" % bound): count
-                    for bound, count in zip(
-                        self.buckets, self.bucket_counts
-                    )
-                },
-                "overflow": self.bucket_counts[-1],
-            }
+            counts = list(self.bucket_counts)
+        return quantile_from_buckets(self.buckets, counts, q)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The histogram's one summary rendering: totals, mean, the
+        standard quantiles (:data:`QUANTILES`), the raw per-bucket
+        layout (``bounds``/``counts``, overflow last) and the legacy
+        labelled ``buckets`` map. Every surface that shows a histogram
+        — ``stats()``, the ``metrics`` verb, :func:`repro.metrics`,
+        ``/metrics.json`` — serves exactly this dict."""
+        with self._lock:
+            counts = list(self.bucket_counts)
+            count = self.count
+            total = self.sum
+        out: Dict[str, object] = {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "bounds": list(self.buckets),
+            "counts": counts,
+            "buckets": {
+                ("le_%g" % bound): bucket_count
+                for bound, bucket_count in zip(self.buckets, counts)
+            },
+            "overflow": counts[-1],
+        }
+        for q in QUANTILES:
+            out["p%g" % (q * 100)] = quantile_from_buckets(
+                self.buckets, counts, q
+            )
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram(count={self.count}, sum={self.sum:.6f})"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number formatting: integers without a trailing
+    ``.0``, floats in shortest repr."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -259,6 +328,53 @@ class MetricsRegistry:
                 base = prior if isinstance(prior, (int, float)) else 0
                 out[name] = value - base
         return out
+
+    def render_prometheus(self, namespace: str = "repro") -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Counters render as ``<ns>_<name>_total``, gauges as plain
+        gauges, histograms as cumulative ``_bucket{le="..."}`` series
+        (``+Inf`` included) plus ``_sum``/``_count`` — exactly what a
+        Prometheus scrape of the ``/metrics`` endpoint expects.
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        lines: List[str] = []
+
+        def metric_name(name: str) -> str:
+            return namespace + "_" + name.replace(".", "_").replace("-", "_")
+
+        for name, counter in counters:
+            base = metric_name(name) + "_total"
+            lines.append(f"# HELP {base} {name}")
+            lines.append(f"# TYPE {base} counter")
+            lines.append(f"{base} {counter.value}")
+        for name, gauge in gauges:
+            base = metric_name(name)
+            lines.append(f"# HELP {base} {name}")
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_format_value(gauge.value)}")
+        for name, histogram in histograms:
+            base = metric_name(name)
+            with histogram._lock:
+                counts = list(histogram.bucket_counts)
+                count = histogram.count
+                total = histogram.sum
+            lines.append(f"# HELP {base} {name}")
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for bound, in_bucket in zip(histogram.buckets, counts):
+                cumulative += in_bucket
+                lines.append(
+                    f'{base}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{base}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{base}_sum {_format_value(total)}")
+            lines.append(f"{base}_count {count}")
+        return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
         """Zero every instrument (tests only — production counters are

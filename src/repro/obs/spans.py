@@ -1,0 +1,125 @@
+"""Wire-propagated trace context: one trace across the service edge.
+
+A :class:`TraceContext` is the pair ``(trace_id, span_id)`` a client
+stamps onto every NDJSON request (the ``trace`` field). The server
+adopts it into the ContextVar-based :class:`~repro.obs.trace.QueryTrace`
+machinery, so the server-side work a request causes — verb dispatch,
+session staging, the integrity-gate check, the WAL append — becomes
+:class:`Span` records *under the client's trace_id*, and the client can
+correlate its request with the server's slow-query log line, EXPLAIN
+payload and structured error records without any clock agreement.
+
+Stdlib-only (like the rest of :mod:`repro.obs`) so the lowest layers
+can import it without cycles. Identifiers follow the W3C
+traceparent shape: 16-byte hex trace ids, 8-byte hex span ids.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["TraceContext", "Span"]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-byte (32 hex chars) trace identifier."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 8-byte (16 hex chars) span identifier."""
+    return os.urandom(8).hex()
+
+
+def _is_hex_id(value: Any, length: int) -> bool:
+    if not isinstance(value, str) or len(value) != length:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+class TraceContext:
+    """The propagated half of a trace: which trace, which parent span."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    @classmethod
+    def generate(cls) -> "TraceContext":
+        """A root context: new trace, new root span (the client call)."""
+        return cls(new_trace_id(), new_span_id())
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span — for fan-out under one request."""
+        return TraceContext(self.trace_id, new_span_id())
+
+    def to_wire(self) -> Dict[str, str]:
+        """The ``trace`` field of a protocol request."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, data: Any) -> Optional["TraceContext"]:
+        """Parse a request's ``trace`` field; anything malformed is
+        ignored (``None``) — observability must never fail a verb."""
+        if not isinstance(data, Mapping):
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if not _is_hex_id(trace_id, 32) or not _is_hex_id(span_id, 16):
+            return None
+        return cls(trace_id, span_id)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and (self.trace_id, self.span_id)
+            == (other.trace_id, other.span_id)
+        )
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.trace_id}, {self.span_id})"
+
+
+class Span:
+    """One timed unit of server-side work under a trace.
+
+    ``parent_id`` links spans into a tree: the root spans' parent is
+    the *client's* span id (from the wire context), so the client call
+    is the tree's root even though it was timed on another machine.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "elapsed", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.span_id = span_id or new_span_id()
+        self.parent_id = parent_id
+        self.elapsed: Optional[float] = None
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "elapsed_seconds": self.elapsed,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.span_id})"

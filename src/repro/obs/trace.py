@@ -9,6 +9,13 @@ counts, the caches their consults. When no trace is active every
 instrumentation site is a single ``current_trace() is None`` check, so
 tracing-off overhead is one attribute read per site.
 
+Every trace carries a ``trace_id`` — generated locally, or *adopted*
+from a client's wire-propagated :class:`~repro.obs.spans.TraceContext`
+— plus a list of timed :class:`~repro.obs.spans.Span` records (verb
+dispatch, session staging, gate check, WAL append) parented under the
+client's span. That is what lets a client correlate its request with
+the server-side EXPLAIN payload and the slow-query log line.
+
 ``trace_query`` activates a trace explicitly (``Database.explain`` and
 the CLI ``--explain`` flag use it); ``maybe_trace`` activates one only
 when the engine config asks for slow-query logging, and emits the
@@ -24,20 +31,25 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.spans import Span, new_trace_id
+
 __all__ = [
     "QueryTrace",
     "current_trace",
     "trace_query",
     "maybe_trace",
+    "render_trace",
     "SLOW_QUERY_LOGGER",
 ]
 
 SLOW_QUERY_LOGGER = "repro.obs.slowquery"
 
 # Caps keep a pathological query (thousands of rule plans, unbounded
-# recursion rounds) from turning its own trace into the memory problem.
+# recursion rounds, span-happy batches) from turning its own trace
+# into the memory problem.
 MAX_PLANS = 16
 MAX_ROUNDS = 64
+MAX_SPANS = 256
 
 
 class QueryTrace:
@@ -47,13 +59,15 @@ class QueryTrace:
     are deterministic for a given (program, query, config) and identical
     across the batch and tuple execution legs (that invariant is pinned
     by a differential test via :meth:`shape`). The *physical* parts —
-    phase timings, join row/probe counts — legitimately differ per leg
-    and are excluded from the shape.
+    phase timings, join row/probe counts, spans — legitimately differ
+    per leg and are excluded from the shape.
     """
 
     __slots__ = (
         "label",
         "config",
+        "trace_id",
+        "parent_span_id",
         "phases",
         "_phase_stack",
         "plans",
@@ -66,14 +80,28 @@ class QueryTrace:
         "total_derived",
         "join",
         "cache",
+        "spans",
+        "spans_dropped",
+        "_span_stack",
+        "attrs",
         "result",
         "elapsed",
         "_started",
     )
 
-    def __init__(self, label: str, config: Any = None) -> None:
+    def __init__(
+        self, label: str, config: Any = None, context: Any = None
+    ) -> None:
         self.label = label
         self.config = config
+        # The request's trace identity: adopted from a wire-propagated
+        # TraceContext when one arrived, generated locally otherwise.
+        self.trace_id: str = (
+            context.trace_id if context is not None else new_trace_id()
+        )
+        self.parent_span_id: Optional[str] = (
+            context.span_id if context is not None else None
+        )
         # Ordered phase → accumulated seconds ("plan", "rewrite",
         # "saturate", "materialize", "gate", ...).
         self.phases: Dict[str, float] = {}
@@ -98,6 +126,13 @@ class QueryTrace:
             "tuple_fallbacks": 0,
         }
         self.cache: Dict[str, int] = {"hits": 0, "misses": 0}
+        # Timed server-side work units under this trace_id.
+        self.spans: List[Span] = []
+        self.spans_dropped = 0
+        self._span_stack: List[Span] = []
+        # Free-form correlation fields (the server stamps verb/db/
+        # session/request_id); surfaced in to_dict and the slow log.
+        self.attrs: Dict[str, Any] = {}
         self.result: Optional[str] = None
         self.elapsed: Optional[float] = None
         self._started = time.perf_counter()
@@ -119,6 +154,30 @@ class QueryTrace:
             self.phases[name] = self.phases.get(name, 0.0) + (
                 time.perf_counter() - start
             )
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Record a timed :class:`Span` under this trace. Nested spans
+        parent on the enclosing span; the outermost spans parent on the
+        wire context's span id (the client call)."""
+        if len(self.spans) >= MAX_SPANS:
+            self.spans_dropped += 1
+            yield None
+            return
+        parent = (
+            self._span_stack[-1].span_id
+            if self._span_stack
+            else self.parent_span_id
+        )
+        span = Span(name, parent_id=parent, attrs=attrs)
+        self.spans.append(span)
+        self._span_stack.append(span)
+        start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            self._span_stack.pop()
+            span.elapsed = time.perf_counter() - start
 
     def record_plan(
         self,
@@ -187,6 +246,8 @@ class QueryTrace:
         """Structured form (the server's ``explain`` payload)."""
         return {
             "label": self.label,
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
             "config": self.config_summary(),
             "elapsed_seconds": self.elapsed,
             "phases": dict(self.phases),
@@ -198,6 +259,9 @@ class QueryTrace:
             "total_derived": self.total_derived,
             "join": dict(self.join),
             "cache": dict(self.cache),
+            "spans": [span.to_dict() for span in self.spans],
+            "spans_dropped": self.spans_dropped,
+            "attrs": dict(self.attrs),
             "result": self.result,
         }
 
@@ -214,73 +278,94 @@ class QueryTrace:
 
     def render(self) -> str:
         """The human-readable EXPLAIN tree."""
-        lines = [f"QUERY {self.label}"]
-        config = self.config_summary()
-        if config:
-            lines.append(f"├─ config: {config}")
-        if self.result is not None:
-            lines.append(f"├─ result: {self.result}")
-        if self.elapsed is not None:
-            lines.append(f"├─ elapsed: {self.elapsed * 1000:.2f} ms")
-        if self.rewrites:
-            lines.append("├─ rewrite")
-            for rewrite in self.rewrites:
-                sups = ", ".join(rewrite["sup_predicates"]) or "-"
-                lines.append(
-                    f"│   ├─ {rewrite['predicate']}^"
-                    f"{rewrite['adornment']} "
-                    f"({rewrite['rules']} rules; sup: {sups})"
-                )
-        if self.plans:
-            lines.append("├─ plan")
-            for plan in self.plans:
-                steps = " → ".join(
-                    f"{literal} (~{estimate})"
-                    for literal, estimate in zip(
-                        plan["order"], plan["estimates"]
-                    )
-                )
-                lines.append(f"│   ├─ {plan['goal']}: {steps}")
-            if self.plans_dropped:
-                lines.append(
-                    f"│   └─ … {self.plans_dropped} more plans"
-                )
-        if self.rounds or self.total_derived:
-            rounds = ", ".join(str(n) for n in self.rounds)
-            suffix = (
-                f" (+{self.rounds_dropped} rounds elided)"
-                if self.rounds_dropped
-                else ""
-            )
+        return render_trace(self.to_dict())
+
+
+def render_trace(data: Dict[str, Any]) -> str:
+    """Render a trace's :meth:`QueryTrace.to_dict` payload as the
+    EXPLAIN tree. A module function (not a method) so a *remote* client
+    can render the ``explain`` payload a server sent over the wire
+    without reconstructing a :class:`QueryTrace`."""
+    lines = [f"QUERY {data.get('label')}"]
+    if data.get("trace_id"):
+        lines.append(f"├─ trace: {data['trace_id']}")
+    if data.get("config"):
+        lines.append(f"├─ config: {data['config']}")
+    if data.get("result") is not None:
+        lines.append(f"├─ result: {data['result']}")
+    if data.get("elapsed_seconds") is not None:
+        lines.append(
+            f"├─ elapsed: {data['elapsed_seconds'] * 1000:.2f} ms"
+        )
+    if data.get("rewrites"):
+        lines.append("├─ rewrite")
+        for rewrite in data["rewrites"]:
+            sups = ", ".join(rewrite["sup_predicates"]) or "-"
             lines.append(
-                f"├─ rounds: [{rounds}]{suffix} "
-                f"Σ {self.total_derived} derived"
+                f"│   ├─ {rewrite['predicate']}^"
+                f"{rewrite['adornment']} "
+                f"({rewrite['rules']} rules; sup: {sups})"
             )
-        join = self.join
-        if any(join.values()):
-            lines.append(
-                "├─ join: "
-                f"{join['joins']} joins, {join['rows_out']} rows, "
-                f"{join['probes']} probes, {join['chunks']} chunks, "
-                f"{join['tuple_fallbacks']} tuple fallbacks"
-            )
-        cache = self.cache
-        if cache["hits"] or cache["misses"]:
-            lines.append(
-                f"├─ cache: {cache['hits']} hits / "
-                f"{cache['misses']} misses"
-            )
-        if self.phases:
-            lines.append("└─ phases")
-            items = list(self.phases.items())
-            for index, (name, seconds) in enumerate(items):
-                branch = "└─" if index == len(items) - 1 else "├─"
-                lines.append(
-                    f"    {branch} {name}: {seconds * 1000:.2f} ms"
+    if data.get("plans"):
+        lines.append("├─ plan")
+        for plan in data["plans"]:
+            steps = " → ".join(
+                f"{literal} (~{estimate})"
+                for literal, estimate in zip(
+                    plan["order"], plan["estimates"]
                 )
-        elif lines[-1].startswith("├─"):
-            lines[-1] = "└─" + lines[-1][2:]
-        return "\n".join(lines)
+            )
+            lines.append(f"│   ├─ {plan['goal']}: {steps}")
+        if data.get("plans_dropped"):
+            lines.append(f"│   └─ … {data['plans_dropped']} more plans")
+    if data.get("rounds") or data.get("total_derived"):
+        rounds = ", ".join(str(n) for n in data.get("rounds", ()))
+        suffix = (
+            f" (+{data['rounds_dropped']} rounds elided)"
+            if data.get("rounds_dropped")
+            else ""
+        )
+        lines.append(
+            f"├─ rounds: [{rounds}]{suffix} "
+            f"Σ {data.get('total_derived', 0)} derived"
+        )
+    join = data.get("join") or {}
+    if any(join.values()):
+        lines.append(
+            "├─ join: "
+            f"{join['joins']} joins, {join['rows_out']} rows, "
+            f"{join['probes']} probes, {join['chunks']} chunks, "
+            f"{join['tuple_fallbacks']} tuple fallbacks"
+        )
+    cache = data.get("cache") or {}
+    if cache.get("hits") or cache.get("misses"):
+        lines.append(
+            f"├─ cache: {cache['hits']} hits / "
+            f"{cache['misses']} misses"
+        )
+    spans = data.get("spans") or ()
+    if spans:
+        lines.append("├─ spans")
+        for span in spans:
+            elapsed = span.get("elapsed_seconds")
+            timing = (
+                f": {elapsed * 1000:.2f} ms" if elapsed is not None else ""
+            )
+            lines.append(f"│   ├─ {span['name']}{timing}")
+        if data.get("spans_dropped"):
+            lines.append(f"│   └─ … {data['spans_dropped']} more spans")
+    phases = data.get("phases") or {}
+    if phases:
+        lines.append("└─ phases")
+        items = list(phases.items())
+        for index, (name, seconds) in enumerate(items):
+            branch = "└─" if index == len(items) - 1 else "├─"
+            lines.append(
+                f"    {branch} {name}: {seconds * 1000:.2f} ms"
+            )
+    elif lines[-1].startswith("├─"):
+        lines[-1] = "└─" + lines[-1][2:]
+    return "\n".join(lines)
 
 
 _ACTIVE: ContextVar[Optional[QueryTrace]] = ContextVar(
@@ -294,18 +379,21 @@ def current_trace() -> Optional[QueryTrace]:
 
 
 @contextmanager
-def trace_query(label: str, config: Any = None):
+def trace_query(label: str, config: Any = None, context: Any = None):
     """Activate a :class:`QueryTrace` for the duration of the block.
 
     Nested activations reuse the outer trace — one query evaluated
     through several engine layers yields one trace, and only the
     outermost exit stamps ``elapsed`` and consults the slow-query log.
+    *context* (a :class:`~repro.obs.spans.TraceContext`, typically from
+    a request's ``trace`` field) makes the trace adopt the caller's
+    trace_id instead of generating one.
     """
     existing = _ACTIVE.get()
     if existing is not None:
         yield existing
         return
-    trace = QueryTrace(label, config)
+    trace = QueryTrace(label, config, context)
     token = _ACTIVE.set(trace)
     try:
         yield trace
@@ -342,10 +430,21 @@ def _maybe_log_slow(trace: QueryTrace, config: Any) -> None:
     logger = logging.getLogger(SLOW_QUERY_LOGGER)
     if not logger.isEnabledFor(logging.WARNING):
         return
+    # Correlation fields ride both the message (greppable) and the
+    # record attributes (structured): trace_id always, plus whatever
+    # the service edge stamped (verb, db, session, request_id).
+    extra = {
+        "query_trace": trace.to_dict(),
+        "trace_id": trace.trace_id,
+    }
+    for key in ("verb", "db", "session", "request_id"):
+        if key in trace.attrs:
+            extra[key] = trace.attrs[key]
     logger.warning(
-        "slow query (%.2f ms >= %.2f ms): %s",
+        "slow query (%.2f ms >= %.2f ms): %s [trace_id=%s]",
         elapsed_ms,
         threshold,
         trace.label,
-        extra={"query_trace": trace.to_dict()},
+        trace.trace_id,
+        extra=extra,
     )

@@ -1,0 +1,212 @@
+"""Windowed aggregation: rates and quantiles over the last N seconds.
+
+The metrics registry is cumulative — perfect for Prometheus, useless
+for "what is the commit rate *right now*". :class:`SlidingWindow`
+closes that gap: a ring of per-second buckets fed from registry
+snapshots (the exporter thread samples once a second), each bucket
+holding the counter deltas and per-histogram-bucket observation deltas
+landed in that second. From the ring it rolls up:
+
+* **rates** — counter movement per second over 1s/10s/60s horizons
+  (commit throughput, query rate, conflict rate, WAL bytes/s);
+* **windowed quantiles** — p50/p95/p99 over the last 60s of each
+  latency histogram (gate check, WAL append, session), via the same
+  :func:`~repro.obs.metrics.quantile_from_buckets` estimator the
+  cumulative summaries use.
+
+The clock is injectable so rollup behaviour is testable under
+simulated time; wall-clock gaps (an idle server) simply leave missing
+ring slots, which read as zero.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import QUANTILES, quantile_from_buckets
+
+__all__ = ["SlidingWindow", "HORIZONS"]
+
+#: Rollup horizons in seconds: instantaneous, smoothed, trend.
+HORIZONS: Tuple[int, ...] = (1, 10, 60)
+
+
+class _Bucket:
+    """Deltas landed during one wall-clock second."""
+
+    __slots__ = ("second", "counters", "histograms")
+
+    def __init__(self, second: int):
+        self.second = second
+        self.counters: Dict[str, float] = {}
+        # name -> (bounds, per-bucket observation deltas incl. overflow)
+        self.histograms: Dict[str, Tuple[List[float], List[int]]] = {}
+
+
+class SlidingWindow:
+    """Ring of per-second buckets over the trailing *width* seconds."""
+
+    def __init__(
+        self,
+        width: int = 60,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if width < max(HORIZONS):
+            raise ValueError(
+                f"window width {width} shorter than the largest "
+                f"rollup horizon {max(HORIZONS)}"
+            )
+        self._width = width
+        self._clock = clock
+        self._ring: List[Optional[_Bucket]] = [None] * width
+        self._previous: Optional[Dict[str, object]] = None
+        self._lock = threading.Lock()
+        self.samples = 0
+
+    # -- feeding ---------------------------------------------------
+    def ingest(self, snapshot: Mapping[str, object]) -> None:
+        """Fold one registry snapshot into the current second's bucket.
+
+        The first snapshot only establishes the baseline; every later
+        one contributes (snapshot - previous) to the bucket for
+        ``int(clock())``. Multiple ingests within one second accumulate
+        into the same bucket.
+        """
+        second = int(self._clock())
+        with self._lock:
+            previous, self._previous = self._previous, dict(snapshot)
+            self.samples += 1
+            if previous is None:
+                return
+            bucket = self._bucket_for(second)
+            for name, value in snapshot.items():
+                before = previous.get(name)
+                if isinstance(value, (int, float)):
+                    base = before if isinstance(before, (int, float)) else 0
+                    delta = value - base
+                    if delta:
+                        bucket.counters[name] = (
+                            bucket.counters.get(name, 0) + delta
+                        )
+                elif isinstance(value, dict) and "counts" in value:
+                    counts = list(value["counts"])
+                    prior = (
+                        list(before.get("counts", ()))
+                        if isinstance(before, dict)
+                        else []
+                    )
+                    if len(prior) != len(counts):
+                        prior = [0] * len(counts)
+                    deltas = [
+                        now - then for now, then in zip(counts, prior)
+                    ]
+                    if any(deltas):
+                        bounds, acc = bucket.histograms.get(
+                            name, (list(value.get("bounds", ())), None)
+                        )
+                        if acc is None or len(acc) != len(deltas):
+                            acc = [0] * len(deltas)
+                        bucket.histograms[name] = (
+                            bounds,
+                            [a + d for a, d in zip(acc, deltas)],
+                        )
+
+    def _bucket_for(self, second: int) -> _Bucket:
+        slot = second % self._width
+        bucket = self._ring[slot]
+        if bucket is None or bucket.second != second:
+            bucket = self._ring[slot] = _Bucket(second)
+        return bucket
+
+    # -- rollups ---------------------------------------------------
+    def _live_buckets(self, horizon: int) -> List[_Bucket]:
+        """Buckets within the last *horizon* whole seconds (excluding
+        the still-filling current second when older data exists)."""
+        now = int(self._clock())
+        lo = now - horizon
+        return [
+            bucket
+            for bucket in self._ring
+            if bucket is not None and lo <= bucket.second < now
+        ]
+
+    def rate(self, name: str, horizon: int = 10) -> float:
+        """Average per-second movement of counter *name* over the last
+        *horizon* seconds (absent seconds count as zero)."""
+        with self._lock:
+            total = sum(
+                bucket.counters.get(name, 0)
+                for bucket in self._live_buckets(horizon)
+            )
+        return total / horizon if horizon else 0.0
+
+    def quantile(self, name: str, q: float, horizon: int = 60) -> float:
+        """The *q*-quantile of histogram *name* over the last *horizon*
+        seconds of observations (0.0 when none landed)."""
+        with self._lock:
+            bounds, counts = self._merged_histogram(name, horizon)
+        if not counts:
+            return 0.0
+        return quantile_from_buckets(bounds, counts, q)
+
+    def _merged_histogram(
+        self, name: str, horizon: int
+    ) -> Tuple[List[float], List[int]]:
+        bounds: List[float] = []
+        merged: List[int] = []
+        for bucket in self._live_buckets(horizon):
+            entry = bucket.histograms.get(name)
+            if entry is None:
+                continue
+            entry_bounds, deltas = entry
+            if not merged:
+                bounds = entry_bounds
+                merged = list(deltas)
+            elif len(deltas) == len(merged):
+                merged = [a + d for a, d in zip(merged, deltas)]
+        return bounds, merged
+
+    def summary(self) -> Dict[str, object]:
+        """Everything ``repro top`` renders: per-counter rates at every
+        horizon and windowed quantiles per histogram."""
+        with self._lock:
+            names: set = set()
+            hist_names: set = set()
+            per_horizon: Dict[int, List[_Bucket]] = {
+                horizon: self._live_buckets(horizon)
+                for horizon in HORIZONS
+            }
+            for bucket in per_horizon[max(HORIZONS)]:
+                names.update(bucket.counters)
+                hist_names.update(bucket.histograms)
+            rates: Dict[str, Dict[str, float]] = {}
+            for name in sorted(names):
+                rates[name] = {
+                    f"{horizon}s": sum(
+                        bucket.counters.get(name, 0)
+                        for bucket in per_horizon[horizon]
+                    )
+                    / horizon
+                    for horizon in HORIZONS
+                }
+            quantiles: Dict[str, Dict[str, float]] = {}
+            for name in sorted(hist_names):
+                bounds, counts = self._merged_histogram(
+                    name, max(HORIZONS)
+                )
+                if not counts or not sum(counts):
+                    continue
+                entry = {"observations": sum(counts)}
+                for q in QUANTILES:
+                    entry["p%g" % (q * 100)] = quantile_from_buckets(
+                        bounds, counts, q
+                    )
+                quantiles[name] = entry
+        return {
+            "width_seconds": self._width,
+            "samples": self.samples,
+            "rates": rates,
+            "quantiles": quantiles,
+        }

@@ -5,6 +5,14 @@ auto-incremented ``id``. :class:`RemoteSession` mirrors the in-process
 :class:`~repro.service.transactions.Session` API, so code written
 against a local :class:`ManagedDatabase` ports to the wire by swapping
 the handle.
+
+Every request is stamped with a fresh wire
+:class:`~repro.obs.spans.TraceContext` (``trace_id`` + the client-side
+span the server's work parents under), and the client remembers the
+last one in :attr:`DatabaseClient.last_trace_id` — grep the server's
+slow-query log for that id to find *your* request. ``explain=True``
+requests come back with the server's full trace payload (render it
+with :func:`repro.obs.render_trace`).
 """
 
 from __future__ import annotations
@@ -13,6 +21,8 @@ import json
 import socket
 import threading
 from typing import Dict, List, Optional, Union
+
+from repro.obs.spans import TraceContext
 
 
 class ServiceError(RuntimeError):
@@ -27,6 +37,9 @@ class DatabaseClient:
         self._file = self._sock.makefile("rwb")
         self._lock = threading.Lock()
         self._next_id = 0
+        #: trace_id of the most recent request — the correlation handle
+        #: into the server's explain payloads and slow-query log.
+        self.last_trace_id: Optional[str] = None
 
     # -- transport ----------------------------------------------------------------
 
@@ -35,7 +48,14 @@ class DatabaseClient:
         when the server reports failure."""
         with self._lock:
             self._next_id += 1
-            request = {"op": op, "id": self._next_id, **params}
+            context = TraceContext.generate()
+            self.last_trace_id = context.trace_id
+            request = {
+                "op": op,
+                "id": self._next_id,
+                "trace": context.to_wire(),
+                **params,
+            }
             self._file.write(json.dumps(request).encode("utf-8") + b"\n")
             self._file.flush()
             line = self._file.readline()
@@ -101,6 +121,15 @@ class DatabaseClient:
     def metrics(self) -> Dict:
         """The server process's full metrics registry snapshot."""
         return self.call("metrics")["metrics"]
+
+    def explain(self, name: str, formula: str) -> Dict:
+        """Evaluate *formula* with server-side tracing and return the
+        response including the ``explain`` trace payload (a
+        :meth:`~repro.obs.trace.QueryTrace.to_dict` dict; feed it to
+        :func:`repro.obs.render_trace` for the EXPLAIN tree). The
+        trace's ``trace_id`` is this client's — generated here,
+        adopted by the server."""
+        return self.call("query", db=name, formula=formula, explain=True)
 
 
 class RemoteSession:

@@ -189,9 +189,11 @@ class ManagedDatabase:
         """One flat dict: state sizes (``lsn``/``facts``/…), the
         commit counters under their ``txn.*`` registry names, the
         result cache's ``cache.*`` counters (when caching is on) and
-        count/sum/mean summaries of the service latency histograms —
-        every metric key matches the default registry's naming scheme
-        (see :mod:`repro.obs.metrics`)."""
+        the service latency histograms in full — count/sum/mean,
+        bucket counts, and p50/p95/p99 quantiles, exactly as
+        :meth:`~repro.obs.metrics.Histogram.to_dict` renders them for
+        the ``metrics`` verb and :func:`repro.metrics` — every metric
+        key matches the default registry's naming scheme."""
         with self.manager._state_lock:
             database = self.manager.database
             out = {
@@ -210,11 +212,7 @@ class ManagedDatabase:
         for name in self.LATENCY_SERIES:
             series = snapshot.get(name)
             if isinstance(series, dict) and series.get("count"):
-                out[name] = {
-                    "count": series["count"],
-                    "sum": series["sum"],
-                    "mean": series["sum"] / series["count"],
-                }
+                out[name] = series
         return out
 
     def close(self) -> None:

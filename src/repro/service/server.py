@@ -26,10 +26,21 @@ Ops::
     stats       db
     metrics                                       process-wide registry snapshot
 
+Two optional fields ride any request: ``trace`` (a wire
+:class:`~repro.obs.spans.TraceContext` — the server adopts its
+trace_id, so server-side spans and slow-query log lines correlate with
+the *client's* id) and ``explain`` (truthy → the response gains a
+``trace_id`` and an ``explain`` payload, the completed
+:class:`~repro.obs.trace.QueryTrace` as a dict).
+
 Each connection is served by its own thread (the "thread pool" of
 concurrent writers); sessions opened on a connection are aborted when
 it closes. Commits from any number of connections funnel into the
-database's group-commit pipeline.
+database's group-commit pipeline. A :class:`DatabaseServer` can also
+host a metrics/health sidecar (:meth:`DatabaseServer.serve_metrics`,
+``repro serve --metrics-port``, or the ``REPRO_METRICS_PORT``
+environment knob) exposing ``/metrics``, ``/metrics.json``,
+``/healthz`` and ``/readyz``.
 """
 
 from __future__ import annotations
@@ -40,13 +51,17 @@ import os
 import re
 import socketserver
 import threading
+import time
 from typing import Dict, Optional
 
 from repro import serialize
-from repro.config import EngineConfig, resolve_config
+from repro.config import EngineConfig, default_metrics_port, resolve_config
 from repro.logic.normalize import normalize_constraint
 from repro.logic.parser import parse_atom, parse_formula
+from repro.obs.export import MetricsExporter
 from repro.obs.metrics import default_registry
+from repro.obs.spans import TraceContext
+from repro.obs.trace import current_trace, trace_query
 from repro.service.database import ManagedDatabase
 from repro.service.transactions import Session
 from repro.storage.engine import directory_initialized
@@ -56,6 +71,25 @@ _DB_NAME = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]*\Z")
 #: Structured server-side events (failed verbs, dropped connections)
 #: land here; silent by default via the ``repro.obs`` null handler.
 _LOG = logging.getLogger("repro.obs.server")
+
+# The service edge's own series: request volume, failure count and
+# wire-to-wire latency (parse → dispatch → response built).
+_REQUESTS = default_registry().counter("service.requests")
+_FAILURES = default_registry().counter("service.failures")
+_REQUEST_SECONDS = default_registry().histogram("service.request_seconds")
+
+
+def _trace_label(request: Dict) -> str:
+    """A human-scannable trace label: the verb plus its main operand."""
+    op = str(request.get("op"))
+    detail = (
+        request.get("formula")
+        or request.get("atom")
+        or request.get("constraint")
+        or request.get("db")
+        or request.get("session")
+    )
+    return f"{op} {detail}" if detail else op
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -107,6 +141,7 @@ class DatabaseServer:
         config: Optional[EngineConfig] = None,
         group_commit: bool = True,
         snapshot_interval: int = 64,
+        metrics_port: Optional[int] = None,
     ):
         self.config = resolve_config(
             config,
@@ -133,6 +168,11 @@ class DatabaseServer:
         self._tcp.front = self
         self._thread: Optional[threading.Thread] = None
         self._served = False
+        self._exporter: Optional[MetricsExporter] = None
+        if metrics_port is None:
+            metrics_port = default_metrics_port()
+        if metrics_port is not None:
+            self.serve_metrics(metrics_port, host=host)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -154,6 +194,10 @@ class DatabaseServer:
         return self
 
     def close(self) -> None:
+        if self._exporter is not None:
+            self._exporter.mark_ready(False)
+            self._exporter.close()
+            self._exporter = None
         if self._served:
             # shutdown() blocks on the serve loop's exit handshake and
             # would hang forever if serve_forever never started.
@@ -167,6 +211,52 @@ class DatabaseServer:
             self._sessions.clear()
         for database in databases:
             database.close()
+
+    # -- observability sidecar ----------------------------------------------------
+
+    def serve_metrics(
+        self, port: int = 0, host: str = "127.0.0.1"
+    ) -> MetricsExporter:
+        """Start (or return) the metrics/health HTTP sidecar on *port*
+        (0 → ephemeral). Serves ``/metrics``, ``/metrics.json``,
+        ``/healthz`` and ``/readyz`` for this process's registry, with
+        this server's :meth:`describe` payload riding the JSON view."""
+        if self._exporter is None:
+            self._exporter = MetricsExporter(
+                host=host, port=port, info=self.describe
+            ).start()
+            # Construction recovers nothing lazily — hosted databases
+            # recover on first open — so the server is ready to take
+            # traffic as soon as the sockets exist.
+            self._exporter.mark_ready()
+        return self._exporter
+
+    @property
+    def metrics_address(self) -> "Optional[tuple[str, int]]":
+        if self._exporter is None:
+            return None
+        return self._exporter.address
+
+    def describe(self) -> Dict:
+        """Cheap live inventory for ``/metrics.json`` and ``repro
+        top``: per-database LSN / state sizes / open-session counts."""
+        with self._lock:
+            databases = dict(self._databases)
+            sessions = list(self._sessions.values())
+        payload: Dict = {"address": list(self.address), "databases": {}}
+        for name, database in databases.items():
+            manager = database.manager
+            payload["databases"][name] = {
+                "lsn": manager.version,
+                "facts": len(manager.database.facts),
+                "open_sessions": sum(
+                    1
+                    for session in sessions
+                    if session.state == "open"
+                    and session.manager is manager
+                ),
+            }
+        return payload
 
     # -- registry -----------------------------------------------------------------
 
@@ -253,32 +343,96 @@ class DatabaseServer:
     def handle_line(self, line: bytes, owned_sessions: list) -> Dict:
         request_id = None
         request: Dict = {}
+        trace_id: Optional[str] = None
+        start = time.perf_counter()
         try:
+            _REQUESTS.inc()
             request = json.loads(line)
             if not isinstance(request, dict):
                 request = {}
                 raise ValueError("request must be a JSON object")
             request_id = request.get("id")
-            payload = self._dispatch(request, owned_sessions)
-            response = {"ok": True, **payload}
+            explain = bool(request.get("explain"))
+            if explain or self.config.slow_query_ms is not None:
+                response, trace_id = self._dispatch_traced(
+                    request, owned_sessions, explain
+                )
+            else:
+                response = {
+                    "ok": True,
+                    **self._dispatch(request, owned_sessions),
+                }
         except Exception as error:  # surface, don't kill the connection
+            _FAILURES.inc()
+            if trace_id is None:
+                trace_id = self._request_trace_id(request)
             _LOG.warning(
-                "verb failed: op=%s db=%s session=%s error=%s",
+                "verb failed: op=%s db=%s session=%s id=%s "
+                "trace_id=%s error=%s",
                 request.get("op"),
                 request.get("db"),
                 request.get("session"),
+                request_id,
+                trace_id,
                 error,
                 extra={
                     "event": "verb_failed",
                     "op": request.get("op"),
                     "db": request.get("db"),
                     "session": request.get("session"),
+                    "request_id": request_id,
+                    "trace_id": trace_id,
                 },
             )
             response = {"ok": False, "error": str(error)}
+            if trace_id is not None:
+                response["trace_id"] = trace_id
+        finally:
+            _REQUEST_SECONDS.observe(time.perf_counter() - start)
         if request_id is not None:
             response["id"] = request_id
         return response
+
+    def _dispatch_traced(
+        self, request: Dict, owned_sessions: list, explain: bool
+    ) -> "tuple[Dict, str]":
+        """Run one verb under a :class:`~repro.obs.trace.QueryTrace`
+        that adopts the client's wire trace context (when the request
+        carried one), stamping the correlation attrs the slow-query log
+        emits. ``explain`` additionally returns the completed trace in
+        the response."""
+        context = TraceContext.from_wire(request.get("trace"))
+        with trace_query(
+            _trace_label(request), self.config, context=context
+        ) as trace:
+            for key, value in (
+                ("verb", request.get("op")),
+                ("db", request.get("db")),
+                ("session", request.get("session")),
+                ("request_id", request.get("id")),
+            ):
+                if value is not None:
+                    trace.attrs[key] = value
+            with trace.span("verb", op=str(request.get("op"))):
+                payload = self._dispatch(request, owned_sessions)
+            response = {"ok": True, **payload}
+            # Correlation is echoed only to callers who opted in (a
+            # wire trace context or explain); a bare request keeps the
+            # pinned ok/payload/id envelope even when the server
+            # happens to trace for its slow-query log.
+            if context is not None or explain:
+                response["trace_id"] = trace.trace_id
+            if explain:
+                trace.finish()
+                response["explain"] = trace.to_dict()
+            return response, trace.trace_id
+
+    @staticmethod
+    def _request_trace_id(request: Dict) -> Optional[str]:
+        """The client's trace_id for error correlation, even when the
+        verb failed before (or without) a server-side trace."""
+        context = TraceContext.from_wire(request.get("trace"))
+        return context.trace_id if context is not None else None
 
     def _dispatch(self, request: Dict, owned_sessions: list) -> Dict:
         op = request.get("op")
@@ -300,7 +454,13 @@ class DatabaseServer:
             return {"session": token}
         if op == "stage":
             session = self._session(request.get("session"))
-            staged = session.stage(list(request["updates"]))
+            updates = list(request["updates"])
+            trace = current_trace()
+            if trace is not None:
+                with trace.span("session.stage", updates=len(updates)):
+                    staged = session.stage(updates)
+            else:
+                staged = session.stage(updates)
             return {"staged": staged}
         if op == "query":
             formula = normalize_constraint(parse_formula(request["formula"]))

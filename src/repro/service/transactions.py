@@ -86,6 +86,10 @@ from repro.storage.wal import WalRecord
 _SESSION_SECONDS = default_registry().histogram("txn.session_seconds")
 _GATE_SECONDS = default_registry().histogram("gate.check_seconds")
 _LINGER_SECONDS = default_registry().histogram("txn.linger_seconds")
+# Live commit-queue depth across every manager in the process: the
+# backpressure signal the /readyz probe compares against its
+# queue_max threshold.
+_QUEUE_DEPTH = default_registry().gauge("txn.queue_depth")
 
 #: How many committed write-sets are retained for conflict validation.
 #: A session older than the window can no longer be validated and is
@@ -469,7 +473,9 @@ class TransactionManager:
                 return self.checker.admit(
                     transaction, method or self.method
                 )
-            with trace.phase("gate"):
+            with trace.phase("gate"), trace.span(
+                "gate.check", method=method or self.method
+            ):
                 return self.checker.admit(
                     transaction, method or self.method
                 )
@@ -519,6 +525,7 @@ class TransactionManager:
             return request.result
         with self._queue_lock:
             self._queue.append(request)
+            _QUEUE_DEPTH.add(1)
         while not request.event.is_set():
             if self._commit_mutex.acquire(timeout=0.02):
                 try:
@@ -540,6 +547,7 @@ class TransactionManager:
         An idle pipeline never waits."""
         with self._queue_lock:
             batch, self._queue = self._queue, []
+            _QUEUE_DEPTH.add(-len(batch))
         if not batch or self.commit_delay <= 0:
             return batch
 
@@ -557,6 +565,7 @@ class TransactionManager:
                         break
             with self._queue_lock:
                 stragglers, self._queue = self._queue, []
+                _QUEUE_DEPTH.add(-len(stragglers))
             batch.extend(stragglers)
             _LINGER_SECONDS.observe(time.monotonic() - linger_start)
         return batch

@@ -29,6 +29,7 @@ import zlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import default_registry
+from repro.obs.trace import current_trace
 
 # wal.appends counts durable write calls (a group-committed batch is
 # one append), wal.bytes the payload volume, wal.fsyncs the actual
@@ -38,6 +39,14 @@ _APPENDS = default_registry().counter("wal.appends")
 _BYTES = default_registry().counter("wal.bytes")
 _FSYNCS = default_registry().counter("wal.fsyncs")
 _APPEND_SECONDS = default_registry().histogram("wal.append_seconds")
+# Health signals the /readyz probe reads: wal.healthy flips to 0 when
+# a durable write raises (disk full, file gone) and back to 1 on the
+# next success; the last_*_unix gauges expose append-vs-fsync lag.
+_APPEND_FAILURES = default_registry().counter("wal.append_failures")
+_HEALTHY = default_registry().gauge("wal.healthy")
+_HEALTHY.set(1)
+_LAST_APPEND_UNIX = default_registry().gauge("wal.last_append_unix")
+_LAST_FSYNC_UNIX = default_registry().gauge("wal.last_fsync_unix")
 
 #: Record kinds the engine understands. ``txn`` carries one committed
 #: fact transaction; ``batch`` carries several group-committed ones as
@@ -135,14 +144,35 @@ class WriteAheadLog:
 
     def _write_bytes(self, data: bytes) -> None:
         """One durable write: buffered write, flush, fsync (when sync
-        is on). Isolated so crash tests can inject torn writes."""
+        is on). Isolated so crash tests can inject torn writes. A
+        failed write marks the WAL unhealthy (read by ``/readyz``)
+        before the error propagates; the next success clears it. When
+        a trace is active (e.g. the group-commit leader serving an
+        ``--explain`` request) the write shows up as a ``wal.append``
+        span under that trace."""
+        trace = current_trace()
+        if trace is None:
+            self._write_durable(data)
+            return
+        with trace.span("wal.append", bytes=len(data)):
+            self._write_durable(data)
+
+    def _write_durable(self, data: bytes) -> None:
         start = time.perf_counter()
-        handle = self._handle()
-        handle.write(data)
-        handle.flush()
-        if self.sync:
-            os.fsync(handle.fileno())
-            _FSYNCS.inc()
+        try:
+            handle = self._handle()
+            handle.write(data)
+            handle.flush()
+            _LAST_APPEND_UNIX.set(time.time())
+            if self.sync:
+                os.fsync(handle.fileno())
+                _FSYNCS.inc()
+                _LAST_FSYNC_UNIX.set(time.time())
+        except OSError:
+            _APPEND_FAILURES.inc()
+            _HEALTHY.set(0)
+            raise
+        _HEALTHY.set(1)
         _APPENDS.inc()
         _BYTES.inc(len(data))
         _APPEND_SECONDS.observe(time.perf_counter() - start)

@@ -1,0 +1,223 @@
+"""The exporter: Prometheus rendering, quantiles, health endpoints."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import MetricsExporter, ReadinessProbe
+from repro.obs.metrics import (
+    QUANTILES,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def _get(url: str):
+    """(status, body bytes) — treating HTTP errors as responses."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestQuantileEstimator:
+    def test_empty_histogram_is_zero(self):
+        assert quantile_from_buckets([0.001, 0.01], [0, 0], 0.5) == 0.0
+
+    def test_single_bucket_interpolates_from_lower_bound(self):
+        # 100 observations in (0.001, 0.01]: p50 lands mid-bucket.
+        value = quantile_from_buckets([0.001, 0.01], [0, 100], 0.5)
+        assert 0.001 < value <= 0.01
+
+    def test_overflow_reports_top_bound(self):
+        # counts has one overflow slot past the last bound.
+        bounds = [0.001, 0.01]
+        assert quantile_from_buckets(bounds, [0, 0, 50], 0.99) == 0.01
+
+    def test_quantiles_are_monotone(self, registry):
+        histogram = registry.histogram("h")
+        for n in range(1, 200):
+            histogram.observe(n / 1000.0)
+        values = [histogram.quantile(q) for q in QUANTILES]
+        assert values == sorted(values)
+        assert histogram.quantile(0.0) <= histogram.quantile(1.0)
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets([1.0], [1], 1.5)
+
+    def test_to_dict_carries_quantiles_and_counts(self, registry):
+        histogram = registry.histogram("h")
+        histogram.observe(0.002)
+        payload = histogram.to_dict()
+        for key in ("p50", "p95", "p99", "counts", "bounds", "mean"):
+            assert key in payload, key
+        assert sum(payload["counts"]) == payload["count"] == 1
+        assert len(payload["counts"]) == len(payload["bounds"]) + 1
+
+
+class TestPrometheusRendering:
+    def test_counters_and_gauges(self, registry):
+        registry.counter("txn.commits").inc(7)
+        registry.gauge("txn.queue_depth").set(3)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_txn_commits_total counter" in text
+        assert "repro_txn_commits_total 7" in text
+        assert "# TYPE repro_txn_queue_depth gauge" in text
+        assert "repro_txn_queue_depth 3" in text
+
+    def test_histogram_buckets_are_cumulative_and_monotone(self, registry):
+        histogram = registry.histogram("wal.append_seconds")
+        for value in (0.0001, 0.003, 0.02, 5.0):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("repro_wal_append_seconds_bucket"):
+                counts.append(float(line.rsplit(" ", 1)[1]))
+        assert counts, text
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert counts[-1] == 4.0, "+Inf bucket must equal the count"
+        assert "repro_wal_append_seconds_count 4" in text
+        assert "repro_wal_append_seconds_sum" in text
+
+    def test_exposition_parses_line_by_line(self, registry):
+        registry.counter("a.b").inc()
+        registry.histogram("c.d").observe(0.1)
+        registry.gauge("e-f.g").set(1.5)
+        for line in registry.render_prometheus().splitlines():
+            assert line, "no blank lines"
+            if line.startswith("#"):
+                kind, name, *rest = line[2:].split(" ")
+                assert kind in ("HELP", "TYPE")
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # every sample value parses
+            metric = name_part.split("{", 1)[0]
+            assert metric.replace("_", "").isalnum(), line
+
+
+class TestReadiness:
+    def test_all_checks_pass_when_marked_ready(self, registry):
+        probe = ReadinessProbe(registry)
+        probe.mark_ready()
+        ok, checks = probe.ready()
+        assert ok, checks
+        assert set(checks) == {
+            "recovery",
+            "wal_writable",
+            "commit_queue",
+            "fsync_age",
+        }
+
+    def test_not_ready_until_marked(self, registry):
+        ok, checks = ReadinessProbe(registry).ready()
+        assert not ok
+        assert checks["recovery"]["ok"] is False
+
+    def test_unhealthy_wal_fails(self, registry):
+        probe = ReadinessProbe(registry)
+        probe.mark_ready()
+        registry.gauge("wal.healthy").set(0)
+        ok, checks = probe.ready()
+        assert not ok
+        assert checks["wal_writable"]["ok"] is False
+
+    def test_deep_commit_queue_fails(self, registry):
+        probe = ReadinessProbe(registry, queue_max=4)
+        probe.mark_ready()
+        registry.gauge("txn.queue_depth").set(5)
+        ok, checks = probe.ready()
+        assert not ok
+        assert checks["commit_queue"]["ok"] is False
+
+    def test_stale_fsync_fails(self, registry):
+        probe = ReadinessProbe(registry, fsync_max_age=30.0)
+        probe.mark_ready()
+        registry.gauge("wal.last_fsync_unix").set(1000.0)
+        registry.gauge("wal.last_append_unix").set(1100.0)
+        ok, checks = probe.ready()
+        assert not ok
+        assert checks["fsync_age"]["ok"] is False
+
+    def test_never_fsynced_server_is_ready(self, registry):
+        # sync=False servers never fsync: last_fsync stays 0 and the
+        # age check must not fire.
+        probe = ReadinessProbe(registry)
+        probe.mark_ready()
+        registry.gauge("wal.last_append_unix").set(5000.0)
+        ok, checks = probe.ready()
+        assert ok, checks
+
+
+class TestHttpEndpoints:
+    @pytest.fixture
+    def exporter(self, registry):
+        instance = MetricsExporter(registry).start()
+        yield instance
+        instance.close()
+
+    def test_metrics_text(self, registry, exporter):
+        registry.counter("hits").inc(2)
+        status, body = _get(exporter.url("/metrics"))
+        assert status == 200
+        assert b"repro_hits_total 2" in body
+
+    def test_metrics_json_carries_window_and_info(self, registry):
+        exporter = MetricsExporter(
+            registry, info=lambda: {"role": "test"}
+        ).start()
+        try:
+            registry.counter("hits").inc()
+            exporter.sample_now()
+            status, body = _get(exporter.url("/metrics.json"))
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["metrics"]["hits"] == 1
+            assert payload["info"] == {"role": "test"}
+            assert "rates" in payload["window"]
+        finally:
+            exporter.close()
+
+    def test_healthz_is_livenesss(self, exporter):
+        status, body = _get(exporter.url("/healthz"))
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_readyz_flips_with_probe_state(self, registry, exporter):
+        status, body = _get(exporter.url("/readyz"))
+        assert status == 503
+        assert json.loads(body)["ready"] is False
+        exporter.mark_ready()
+        status, body = _get(exporter.url("/readyz"))
+        assert status == 200
+        assert json.loads(body)["ready"] is True
+        registry.gauge("wal.healthy").set(0)
+        status, body = _get(exporter.url("/readyz"))
+        assert status == 503
+        checks = json.loads(body)["checks"]
+        assert checks["wal_writable"]["ok"] is False
+
+    def test_unknown_route_is_404(self, exporter):
+        status, _ = _get(exporter.url("/nope"))
+        assert status == 404
+
+    def test_info_failure_never_breaks_the_scrape(self, registry):
+        def broken():
+            raise RuntimeError("boom")
+
+        exporter = MetricsExporter(registry, info=broken).start()
+        try:
+            status, body = _get(exporter.url("/metrics.json"))
+            assert status == 200
+            assert json.loads(body)["info"] == {"error": "boom"}
+        finally:
+            exporter.close()

@@ -1,0 +1,101 @@
+"""Wire trace context: generation, propagation, and span parenting."""
+
+from repro.obs.spans import Span, TraceContext, new_span_id, new_trace_id
+from repro.obs.trace import QueryTrace, trace_query
+
+
+class TestIds:
+    def test_trace_id_is_16_byte_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 32
+        int(trace_id, 16)
+
+    def test_span_id_is_8_byte_hex(self):
+        span_id = new_span_id()
+        assert len(span_id) == 16
+        int(span_id, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        context = TraceContext.generate()
+        wire = context.to_wire()
+        parsed = TraceContext.from_wire(wire)
+        assert parsed is not None
+        assert parsed.trace_id == context.trace_id
+        assert parsed.span_id == context.span_id
+
+    def test_child_keeps_trace_id_with_fresh_span(self):
+        parent = TraceContext.generate()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+
+    def test_malformed_wire_payloads_return_none(self):
+        # A hostile or buggy client must never crash the server's
+        # trace adoption: every malformed shape degrades to None.
+        for bad in (
+            None,
+            "not a dict",
+            42,
+            [],
+            {},
+            {"trace_id": "zz", "span_id": "0" * 16},
+            {"trace_id": "0" * 32},
+            {"trace_id": "0" * 32, "span_id": 7},
+            {"trace_id": "0" * 31, "span_id": "0" * 16},
+            {"trace_id": None, "span_id": None},
+        ):
+            assert TraceContext.from_wire(bad) is None, bad
+
+
+class TestSpanRecording:
+    def test_trace_adopts_wire_context(self):
+        context = TraceContext.generate()
+        trace = QueryTrace("q", context=context)
+        assert trace.trace_id == context.trace_id
+        assert trace.parent_span_id == context.span_id
+
+    def test_outermost_span_parents_on_wire_span(self):
+        context = TraceContext.generate()
+        with trace_query("q", context=context) as trace:
+            with trace.span("verb"):
+                pass
+        assert trace.spans[0].parent_id == context.span_id
+
+    def test_nested_spans_parent_on_enclosing_span(self):
+        with trace_query("q") as trace:
+            with trace.span("outer") as outer:
+                with trace.span("inner"):
+                    pass
+        outer_span, inner_span = trace.spans
+        assert outer_span is outer
+        assert inner_span.parent_id == outer_span.span_id
+        assert outer_span.parent_id is None
+
+    def test_spans_carry_timing_and_attrs(self):
+        with trace_query("q") as trace:
+            with trace.span("work", rows=3):
+                pass
+        payload = trace.spans[0].to_dict()
+        assert payload["name"] == "work"
+        assert payload["elapsed_seconds"] >= 0.0
+        assert payload["attrs"] == {"rows": 3}
+
+    def test_span_cap_drops_excess(self):
+        from repro.obs.trace import MAX_SPANS
+
+        with trace_query("q") as trace:
+            for _ in range(MAX_SPANS + 5):
+                with trace.span("s"):
+                    pass
+        assert len(trace.spans) == MAX_SPANS
+        assert trace.spans_dropped == 5
+        assert trace.to_dict()["spans_dropped"] == 5
+
+    def test_to_dict_default_omits_attrs(self):
+        span = Span("bare")
+        assert "attrs" not in span.to_dict()
