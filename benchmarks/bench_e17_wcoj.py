@@ -1,0 +1,182 @@
+"""E17 (extension, not from the paper) — worst-case-optimal triangle
+joins.
+
+The batch pipeline joins a body pairwise, so on cyclic bodies it pays
+for the largest pairwise intermediate no matter which order the
+planner picks. ``join_algo="wcoj"`` routes eligible bodies through the
+leapfrog triejoin (:mod:`repro.datalog.wcoj`) instead, whose running
+time is bounded by the AGM fractional-edge-cover bound of the body.
+
+The workload is the classic pairwise-adversarial triangle instance
+(the Loomis–Whitney-style family from the worst-case-optimal join
+literature): for a density parameter k, each of ``r``, ``s``, ``t``
+holds ``2k + 1`` tuples arranged so that *every* pairwise join —
+whatever the order, so the greedy planner cannot save the hash
+pipeline — materializes a Θ(k²) intermediate, while the triangle
+output is only Θ(k). The leapfrog runs it in Õ(k), so the speedup
+itself must grow with k: the headline assertion is super-constant
+separation (the margin at each density beats the previous density's
+by a real factor), not one fixed ratio. Both kernels must produce
+identical models; the run must never count a wcoj fallback.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.datalog.bottomup import compute_model
+from repro.datalog.facts import FactStore
+from repro.datalog.program import Program, Rule
+from repro.logic.formulas import Atom
+from repro.logic.parser import parse_rule
+from repro.logic.terms import Constant
+from repro.obs.metrics import default_registry
+
+from conftest import report
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+# Densities must span a real growth range: the acceptance is that the
+# speedup *increases* across them, not just clears a floor.
+DENSITIES = [100, 300] if QUICK else [200, 400, 800]
+MIN_SPEEDUP = 2.0 if QUICK else 3.0
+MIN_GROWTH = 1.3
+
+
+def loomis_whitney(k):
+    """r/s/t of 2k+1 tuples each whose every pairwise join is Θ(k²).
+
+    One hub value per column (``a0``/``b0``/``c0``): each relation
+    pairs the hub of one column with all spokes of the other, in both
+    orientations, plus the all-hub tuple. Any two relations then share
+    a hub that fans k ways on each side — a k² intermediate — while
+    only ~3k assignments close the triangle.
+    """
+    facts = FactStore()
+    a0, b0, c0 = Constant("a0"), Constant("b0"), Constant("c0")
+    for i in range(1, k + 1):
+        ai, bi, ci = Constant(f"a{i}"), Constant(f"b{i}"), Constant(f"c{i}")
+        facts.add(Atom("r", (a0, bi)))
+        facts.add(Atom("r", (ai, b0)))
+        facts.add(Atom("s", (b0, ci)))
+        facts.add(Atom("s", (bi, c0)))
+        facts.add(Atom("t", (a0, ci)))
+        facts.add(Atom("t", (ai, c0)))
+    facts.add(Atom("r", (a0, b0)))
+    facts.add(Atom("s", (b0, c0)))
+    facts.add(Atom("t", (a0, c0)))
+    return facts
+
+
+TRIANGLE = Program([Rule.from_parsed(parse_rule(
+    "tri(X, Y, Z) :- r(X, Y), s(Y, Z), t(X, Z)"
+))])
+
+
+def timed(fn, repeats=3):
+    """Best-of-*repeats* wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure(k):
+    facts = loomis_whitney(k)
+    fallbacks = default_registry().counter("join.wcoj_fallbacks")
+    before = fallbacks.value
+    t_hash, m_hash = timed(
+        lambda: compute_model(facts, TRIANGLE, "greedy", join_algo="hash")
+    )
+    t_wcoj, m_wcoj = timed(
+        lambda: compute_model(facts, TRIANGLE, "greedy", join_algo="wcoj")
+    )
+    assert set(m_hash) == set(m_wcoj)
+    assert m_wcoj.count("tri") == 3 * k + 1
+    assert fallbacks.value == before, (
+        "the triangle body must never fall back to the hash pipeline"
+    )
+    return t_hash, t_wcoj
+
+
+def test_e17_wcoj_speedup_grows_with_density(benchmark):
+    """The headline acceptance: the leapfrog's margin over pairwise
+    hash joins grows super-constantly across the density sweep."""
+    speedups = []
+    rows = []
+    for k in DENSITIES:
+        t_hash, t_wcoj = measure(k)
+        speedups.append(t_hash / t_wcoj)
+        rows.append((
+            k,
+            f"{t_hash * 1e3:.2f}",
+            f"{t_wcoj * 1e3:.2f}",
+            f"{speedups[-1]:.1f}x",
+        ))
+    report(
+        "E17: worst-case-optimal triangle join (Loomis–Whitney family)",
+        rows,
+        ("k", "hash ms", "wcoj ms", "speedup"),
+    )
+    assert all(s >= MIN_SPEEDUP for s in speedups), speedups
+    for slower, faster in zip(speedups, speedups[1:]):
+        # Super-constant: the margin itself must widen with density,
+        # by a real factor (measured ~2x per doubling; asserted well
+        # below that to stay robust on noisy CI runners).
+        assert faster >= slower * MIN_GROWTH, speedups
+    facts = loomis_whitney(DENSITIES[0])
+    benchmark(
+        lambda: compute_model(facts, TRIANGLE, "greedy", join_algo="wcoj")
+    )
+
+
+def test_e17_auto_routes_the_cyclic_body_to_wcoj():
+    """The default ``auto`` mode must match explicit ``wcoj`` here:
+    the triangle body is cyclic, so the planner routes it to the
+    leapfrog without being asked."""
+    k = DENSITIES[0]
+    facts = loomis_whitney(k)
+    joins = default_registry().counter("join.wcoj_joins")
+    before = joins.value
+    model = compute_model(facts, TRIANGLE, "greedy", join_algo="auto")
+    assert model.count("tri") == 3 * k + 1
+    assert joins.value > before
+
+
+@pytest.mark.parametrize("k", DENSITIES[:1])
+def test_e17_wcoj_overhead_on_acyclic_star_is_nil(k):
+    """``auto`` must not tax the workloads the hash pipeline already
+    wins: an acyclic star body stays on hash (no wcoj counters move)
+    and costs within noise of an explicit hash run."""
+    facts = FactStore()
+    for i in range(k * 4):
+        x = Constant(f"x{i}")
+        facts.add(Atom("src", (x,)))
+        facts.add(Atom("a", (x, Constant(f"a{i % 17}"))))
+        facts.add(Atom("b", (x, Constant(f"b{i % 13}"))))
+    star = Program([Rule.from_parsed(parse_rule(
+        "wide(X, A, B) :- src(X), a(X, A), b(X, B)"
+    ))])
+    registry = default_registry()
+    joins_before = registry.counter("join.wcoj_joins").value
+    falls_before = registry.counter("join.wcoj_fallbacks").value
+    t_hash, m_hash = timed(
+        lambda: compute_model(facts, star, "greedy", join_algo="hash")
+    )
+    t_auto, m_auto = timed(
+        lambda: compute_model(facts, star, "greedy", join_algo="auto")
+    )
+    assert set(m_hash) == set(m_auto)
+    assert registry.counter("join.wcoj_joins").value == joins_before
+    assert registry.counter("join.wcoj_fallbacks").value == falls_before
+    report(
+        f"E17: acyclic star under auto, n={k * 4}",
+        [("hash", f"{t_hash * 1e3:.2f}"), ("auto", f"{t_auto * 1e3:.2f}")],
+        ("join algo", "ms (best of 3)"),
+    )
+    # Same kernel either way — only eligibility detection separates
+    # them, and that is per-join, not per-tuple.
+    assert t_auto <= t_hash * 1.5 + 0.01

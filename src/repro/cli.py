@@ -32,7 +32,12 @@ from typing import Optional, Sequence
 from repro import serialize
 from repro.config import DEFAULT_SLOW_QUERY_MS, STRATEGIES, EngineConfig
 from repro.datalog.database import DeductiveDatabase
-from repro.datalog.joins import DEFAULT_EXEC, EXEC_MODES
+from repro.datalog.joins import (
+    DEFAULT_EXEC,
+    DEFAULT_JOIN,
+    EXEC_MODES,
+    JOIN_ALGOS,
+)
 from repro.datalog.planner import DEFAULT_PLAN, PLANS
 from repro.integrity.checker import METHODS, IntegrityChecker
 from repro.obs.metrics import default_registry
@@ -84,6 +89,19 @@ def _add_exec_option(command) -> None:
         help="join execution model: 'batch' solves rule bodies "
         "set-at-a-time with hash joins, 'tuple' one binding at a time "
         "(the oracle; default: %(default)s)",
+    )
+
+
+def _add_join_algo_option(command) -> None:
+    command.add_argument(
+        "--join-algo",
+        dest="join_algo",
+        choices=JOIN_ALGOS,
+        default=DEFAULT_JOIN,
+        help="batch join algorithm: 'auto' runs the worst-case-"
+        "optimal leapfrog triejoin on cyclic eligible bodies, 'wcoj' "
+        "on every eligible body, 'hash' never "
+        "(default: %(default)s)",
     )
 
 
@@ -170,6 +188,7 @@ def _config_from_args(args) -> EngineConfig:
         strategy=getattr(args, "strategy", "lazy"),
         plan=getattr(args, "plan", DEFAULT_PLAN),
         exec_mode=getattr(args, "exec_mode", DEFAULT_EXEC),
+        join_algo=getattr(args, "join_algo", DEFAULT_JOIN),
         supplementary=getattr(args, "supplementary", True),
         backend=getattr(args, "backend", DEFAULT_BACKEND),
         cache=getattr(args, "cache", False),
@@ -237,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_option(check)
     _add_strategy_option(check)
     _add_exec_option(check)
+    _add_join_algo_option(check)
     _add_backend_option(check)
     _add_cache_option(check)
     _add_format_option(check)
@@ -277,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_option(query)
     _add_strategy_option(query)
     _add_exec_option(query)
+    _add_join_algo_option(query)
     _add_backend_option(query)
     _add_cache_option(query)
     _add_format_option(query)
@@ -288,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("database", help="path to the database source file")
     _add_plan_option(model)
     _add_exec_option(model)
+    _add_join_algo_option(model)
     _add_backend_option(model)
     _add_obs_options(model)
 
@@ -363,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_option(serve)
     _add_strategy_option(serve)
     _add_exec_option(serve)
+    _add_join_algo_option(serve)
     _add_backend_option(serve)
     # The server maintains its model through DRed, so precise cache
     # invalidation is available: cache on by default.

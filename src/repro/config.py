@@ -26,6 +26,12 @@ The knobs:
 ``exec_mode``
     Join execution: ``batch`` (set-at-a-time hash joins) or ``tuple``
     (tuple-at-a-time oracle). Default from ``REPRO_EXEC``.
+``join_algo``
+    The batch path's join algorithm: ``auto`` (leapfrog triejoin on
+    cyclic eligible bodies, hash elsewhere), ``wcoj`` (leapfrog on
+    every eligible body, counting fallbacks), ``hash`` (pairwise
+    only). Default from ``REPRO_JOIN``; inert under
+    ``exec_mode="tuple"``.
 ``supplementary``
     Whether the magic rewrite shares rule prefixes through
     supplementary predicates.
@@ -53,7 +59,12 @@ import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
-from repro.datalog.joins import DEFAULT_EXEC, validate_exec
+from repro.datalog.joins import (
+    DEFAULT_EXEC,
+    DEFAULT_JOIN,
+    validate_exec,
+    validate_join_algo,
+)
 from repro.datalog.planner import DEFAULT_PLAN, validate_plan
 from repro.storage.backends import DEFAULT_BACKEND, validate_backend
 
@@ -128,11 +139,15 @@ class EngineConfig:
     cache: bool = False
     cache_size: int = 256
     slow_query_ms: Optional[float] = DEFAULT_SLOW_QUERY_MS
+    # Appended after the original knobs so positional construction
+    # stays stable across versions.
+    join_algo: str = DEFAULT_JOIN
 
     def __post_init__(self):
         validate_strategy(self.strategy)
         validate_plan(self.plan)
         validate_exec(self.exec_mode)
+        validate_join_algo(self.join_algo)
         validate_backend(self.backend)
         if not isinstance(self.supplementary, bool):
             raise ValueError(
@@ -171,6 +186,12 @@ class EngineConfig:
             self.exec_mode,
             self.supplementary,
             self.backend,
+            # Included deliberately, mirroring exec_mode: the hash and
+            # leapfrog paths answer identically (the differential
+            # harness pins it), but keeping evaluation identity
+            # conservative means a cached answer never hides a
+            # divergence bug between the legs.
+            self.join_algo,
         )
 
 

@@ -26,14 +26,17 @@ from typing import (
 
 from repro.datalog.facts import FactStore
 from repro.storage.backends.base import StoreBackend
+from repro.datalog.columnar import ColumnarRelation
 from repro.datalog.joins import (
     DEFAULT_EXEC,
+    DEFAULT_JOIN,
     atom_builder,
     join_literals,
     join_literals_rows,
     pattern_variables,
     rows_from_source,
     validate_exec,
+    validate_join_algo,
 )
 from repro.datalog.planner import (
     DEFAULT_PLAN,
@@ -68,6 +71,7 @@ def _derive_rule(
     derived: List[Atom],
     literals=None,
     initial=None,
+    join_algo: Optional[str] = None,
 ) -> None:
     """Batch-solve one rule body and append its head instances to
     *derived* — heads are built straight from the value rows (column
@@ -87,6 +91,7 @@ def _derive_rule(
         holds,
         planner,
         initial=initial,
+        join_algo=join_algo,
     ):
         if build is None:
             build = atom_builder(rule.head, schema)
@@ -109,6 +114,7 @@ def _derive_round(
     delta: FactStore,
     planner: Optional[Planner] = None,
     exec_mode: str = DEFAULT_EXEC,
+    join_algo: str = DEFAULT_JOIN,
 ) -> List[Atom]:
     """One semi-naive round: join each rule with at least one body
     occurrence restricted to *delta*. Returns derived facts (possibly
@@ -139,7 +145,13 @@ def _derive_round(
                     planner,
                     derived,
                     literals=rule.body_without(delta_position),
-                    initial=(pattern_variables(delta_pattern), delta_rows),
+                    # The delta relation enters columnar: the wcoj path
+                    # consumes the columns directly, the hash path
+                    # re-rows them once at the seam.
+                    initial=ColumnarRelation.from_rows(
+                        pattern_variables(delta_pattern), delta_rows
+                    ),
+                    join_algo=join_algo,
                 )
             else:
 
@@ -186,9 +198,11 @@ def evaluate_stratum(
     stratum_preds: Set[str],
     planner: Optional[Planner] = None,
     exec_mode: str = DEFAULT_EXEC,
+    join_algo: str = DEFAULT_JOIN,
 ) -> None:
     """Saturate one stratum's rules against *view* (semi-naive)."""
     validate_exec(exec_mode)
+    validate_join_algo(join_algo)
     # Round zero: full join of every rule.
     delta = FactStore()
     initial: List[Atom] = []
@@ -201,7 +215,10 @@ def evaluate_stratum(
             return rows_from_source(view, pattern)
 
         if exec_mode == "batch":
-            _derive_rule(rule, probe, view.contains, planner, initial)
+            _derive_rule(
+                rule, probe, view.contains, planner, initial,
+                join_algo=join_algo,
+            )
         else:
             for binding in join_literals(
                 rule.body,
@@ -220,7 +237,8 @@ def evaluate_stratum(
     # Differential rounds.
     while len(delta):
         derived = _derive_round(
-            view, rules, stratum_preds, delta, planner, exec_mode
+            view, rules, stratum_preds, delta, planner, exec_mode,
+            join_algo,
         )
         delta = FactStore()
         for fact in derived:
@@ -235,6 +253,7 @@ def compute_model(
     program: Program,
     plan: Optional[str] = None,
     exec_mode: Optional[str] = None,
+    join_algo: Optional[str] = None,
     *,
     config: Optional["EngineConfig"] = None,
 ) -> FactStore:
@@ -245,24 +264,29 @@ def compute_model(
     EDB yields a sqlite model) — containing the extensional facts
     plus everything derivable, under the stratified semantics. *plan*
     selects the join order (see :mod:`repro.datalog.planner`);
-    *exec_mode* the execution model (see :mod:`repro.datalog.joins`);
-    a *config* supplies both at once (an explicit *plan*/*exec_mode*
-    still overrides it).
+    *exec_mode* the execution model and *join_algo* the batch path's
+    join algorithm (see :mod:`repro.datalog.joins`); a *config*
+    supplies them at once (an explicit loose knob still overrides it).
     """
     # Imported lazily: repro.config sits above the datalog kernel in
     # the import order (it imports this package's siblings).
     from repro.config import resolve_config
 
     resolved = resolve_config(
-        config, plan=plan, exec_mode=exec_mode, warn=False
+        config, plan=plan, exec_mode=exec_mode, join_algo=join_algo,
+        warn=False,
     )
     plan, exec_mode = resolved.plan, resolved.exec_mode
+    join_algo = resolved.join_algo
     validate_exec(exec_mode)
+    validate_join_algo(join_algo)
     model = edb.copy() if isinstance(edb, StoreBackend) else FactStore(edb)
     planner = make_planner(plan, model)
     for _, rules in program.rules_by_stratum():
         stratum_preds = {rule.head.pred for rule in rules}
-        evaluate_stratum(model, rules, stratum_preds, planner, exec_mode)
+        evaluate_stratum(
+            model, rules, stratum_preds, planner, exec_mode, join_algo
+        )
     return model
 
 

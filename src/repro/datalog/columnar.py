@@ -1,0 +1,120 @@
+"""Columnar relations: parallel value arrays behind a schema header.
+
+The batch kernel's intermediates were born as row-tuple lists — every
+projection, key extraction and dedup walked the rows and rebuilt
+tuples. A :class:`ColumnarRelation` stores one Python list per column
+under a schema naming the columns, so those operations become
+column-slice work shared by both join paths: the hash pipeline seeds
+delta joins from one, and the worst-case-optimal path
+(:mod:`repro.datalog.wcoj`) permutes/encodes columns without touching
+row tuples. This is also the seam a future vectorized (numpy /
+multi-backend) kernel plugs into: swap the per-column ``list`` for a
+typed array and the schema contract stays put.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.logic.terms import Constant, Variable
+
+
+class ColumnarRelation:
+    """A relation as parallel columns plus a schema header.
+
+    *schema* is a tuple of distinct :class:`Variable` column names;
+    *columns* holds one equal-length value list per schema entry.
+    *length* carries the row count when there are no columns — a
+    width-0 relation still distinguishes "the unit row" (a satisfied
+    ground body) from "no rows" (a failed one), and ``zip`` pivots
+    cannot preserve that on their own.
+    """
+
+    __slots__ = ("schema", "columns", "_length")
+
+    def __init__(
+        self,
+        schema: Sequence[Variable],
+        columns: Sequence[List[Constant]],
+        length: int = 0,
+    ):
+        self.schema: Tuple[Variable, ...] = tuple(schema)
+        if len(columns) != len(self.schema):
+            raise ValueError(
+                f"schema/column mismatch: {len(self.schema)} columns "
+                f"named, {len(columns)} supplied"
+            )
+        self.columns: Tuple[List[Constant], ...] = tuple(columns)
+        self._length = len(self.columns[0]) if self.columns else length
+
+    @classmethod
+    def from_rows(
+        cls, schema: Sequence[Variable], rows: Sequence[tuple]
+    ) -> "ColumnarRelation":
+        """Pivot row tuples into columns (the ingestion seam for
+        probe results and delta rows)."""
+        schema = tuple(schema)
+        if not rows:
+            return cls(schema, [[] for _ in schema])
+        pivoted = list(zip(*rows))
+        return cls(
+            schema,
+            [list(column) for column in pivoted],
+            length=len(rows),
+        )
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def rows(self) -> Iterator[tuple]:
+        """Back to row tuples (the chunk-yield contract of
+        :func:`repro.datalog.joins.join_literals_rows`)."""
+        if not self.columns:
+            return iter([()] * self._length)
+        return zip(*self.columns)
+
+    def column(self, variable: Variable) -> List[Constant]:
+        """One column by schema name."""
+        return self.columns[self.schema.index(variable)]
+
+    def project(self, variables: Sequence[Variable]) -> "ColumnarRelation":
+        """Column selection/reordering — no row rebuild, the selected
+        column lists are shared, not copied."""
+        positions = [self.schema.index(v) for v in variables]
+        return ColumnarRelation(
+            tuple(variables),
+            [self.columns[p] for p in positions],
+            length=self._length,
+        )
+
+    def key_of(self, variables: Sequence[Variable]) -> List[tuple]:
+        """Per-row key tuples over *variables* — hash-join key
+        extraction as one column zip instead of per-row indexing."""
+        positions = [self.schema.index(v) for v in variables]
+        if not positions:
+            return [()] * len(self)
+        return list(zip(*(self.columns[p] for p in positions)))
+
+    def distinct(self) -> "ColumnarRelation":
+        """Dedup rows (set semantics); returns self when already
+        distinct so callers can cheaply test ``rel.distinct() is rel``."""
+        if not self.columns:
+            if self._length <= 1:
+                return self
+            return ColumnarRelation(self.schema, (), length=1)
+        seen = set(zip(*self.columns))
+        if len(seen) == len(self.columns[0]):
+            return self
+        return ColumnarRelation.from_rows(self.schema, sorted_rows(seen))
+
+
+def sorted_rows(rows) -> List[tuple]:
+    """Deterministically ordered row list for a set of constant rows
+    (constants are unordered; the surrogate key from
+    :func:`repro.datalog.wcoj.sort_token` makes them sortable)."""
+    from repro.datalog.wcoj import sort_token
+
+    return sorted(rows, key=lambda row: tuple(sort_token(c) for c in row))

@@ -204,6 +204,7 @@ class DeductiveDatabase:
         plan: Optional[str] = None,
         exec_mode: Optional[str] = None,
         supplementary: Optional[bool] = None,
+        join_algo: Optional[str] = None,
         *,
         config: Optional[EngineConfig] = None,
         result_cache: Optional[ResultCache] = None,
@@ -225,7 +226,10 @@ class DeductiveDatabase:
         ``config.exec_mode`` picks the join execution model —
         ``"batch"`` (set-at-a-time hash joins, the default) or
         ``"tuple"`` (one binding at a time, the oracle; see
-        :mod:`repro.datalog.joins`). ``config.supplementary`` (default
+        :mod:`repro.datalog.joins`). ``config.join_algo`` picks the
+        batch path's join algorithm — ``"auto"`` (leapfrog triejoin on
+        cyclic eligible bodies), ``"wcoj"`` or ``"hash"`` (see
+        :mod:`repro.datalog.wcoj`). ``config.supplementary`` (default
         on) makes the magic rewrite share rule prefixes through
         supplementary predicates. ``config.cache`` attaches a derived-
         result cache; *result_cache* overrides it with a caller-owned
@@ -237,6 +241,7 @@ class DeductiveDatabase:
             plan=plan,
             exec_mode=exec_mode,
             supplementary=supplementary,
+            join_algo=join_algo,
         )
         if self._engine_version != self._version:
             self._engines.clear()
@@ -308,9 +313,7 @@ class DeductiveDatabase:
             if isinstance(self.facts, OverlayFactStore)
             else self.facts
         )
-        return compute_model(
-            base, self.program, resolved.plan, resolved.exec_mode
-        )
+        return compute_model(base, self.program, config=resolved)
 
     # -- constraint sweep (the naive baseline) ----------------------------------------------------
 

@@ -229,6 +229,7 @@ class MaintainedModel:
         program: Program,
         plan: Optional[str] = None,
         exec_mode: Optional[str] = None,
+        join_algo: Optional[str] = None,
         *,
         config=None,
     ):
@@ -236,7 +237,8 @@ class MaintainedModel:
         from repro.datalog.bottomup import compute_model
 
         config = resolve_config(
-            config, plan=plan, exec_mode=exec_mode, warn=False
+            config, plan=plan, exec_mode=exec_mode, join_algo=join_algo,
+            warn=False,
         )
         self.config = config
         self.program = program
@@ -245,9 +247,8 @@ class MaintainedModel:
         # model, so out-of-core databases stay out of core end to end.
         self.edb = edb.copy()
         self.exec_mode = config.exec_mode
-        self.model = compute_model(
-            self.edb, program, config.plan, config.exec_mode
-        )
+        self.join_algo = config.join_algo
+        self.model = compute_model(self.edb, program, config=config)
         # Maintenance joins run over the evolving model; its cardinality
         # accounting keeps re-planning O(body²) per join.
         self.planner = make_planner(config.plan, self.model)
@@ -260,6 +261,7 @@ class MaintainedModel:
         model,
         plan: Optional[str] = None,
         exec_mode: Optional[str] = None,
+        join_algo: Optional[str] = None,
         *,
         config=None,
     ) -> "MaintainedModel":
@@ -272,13 +274,15 @@ class MaintainedModel:
         from repro.config import resolve_config
 
         config = resolve_config(
-            config, plan=plan, exec_mode=exec_mode, warn=False
+            config, plan=plan, exec_mode=exec_mode, join_algo=join_algo,
+            warn=False,
         )
         maintained = cls.__new__(cls)
         maintained.config = config
         maintained.program = program
         maintained.edb = edb.copy()
         maintained.exec_mode = config.exec_mode
+        maintained.join_algo = config.join_algo
         maintained.model = model.copy()
         maintained.planner = make_planner(config.plan, maintained.model)
         return maintained
@@ -472,6 +476,7 @@ class MaintainedModel:
             self.planner,
             exec_mode=self.exec_mode,
             probe=probe_from_source(view),
+            join_algo=self.join_algo,
         )
 
     def _rederive(
@@ -508,6 +513,7 @@ class MaintainedModel:
                             self.planner,
                             exec_mode=self.exec_mode,
                             probe=probe_from_source(self.model),
+                            join_algo=self.join_algo,
                         )
                     ):
                         self.model.add(atom)
@@ -567,6 +573,7 @@ class MaintainedModel:
                             self.planner,
                             exec_mode=self.exec_mode,
                             probe=probe_from_source(self.model),
+                            join_algo=self.join_algo,
                         ):
                             derived.append(head.substitute(answer))
             for fact in derived:

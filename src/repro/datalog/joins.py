@@ -40,8 +40,19 @@ commutative — only the cost differs.
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.datalog import wcoj
+from repro.datalog.columnar import ColumnarRelation
 from repro.datalog.planner import Planner
 from repro.logic.formulas import Atom, Literal
 from repro.logic.substitution import Substitution
@@ -77,12 +88,46 @@ def validate_exec(exec_mode: str) -> str:
 #: the test matrix can pin the tuple oracle without touching call sites.
 DEFAULT_EXEC = validate_exec(os.environ.get("REPRO_EXEC", "batch"))
 
+#: The join algorithms the batch kernel dispatches between. ``hash``
+#: is the pairwise set-at-a-time pipeline; ``wcoj`` attempts the
+#: worst-case-optimal leapfrog triejoin (:mod:`repro.datalog.wcoj`) on
+#: every eligible body and counts a fallback otherwise; ``auto`` (the
+#: default) routes only *cyclic* eligible bodies to the leapfrog —
+#: alpha-acyclic bodies have a join tree the hash pipeline already
+#: evaluates near-optimally, so choosing hash there is a plan, not a
+#: fallback.
+JOIN_ALGOS = ("auto", "wcoj", "hash")
+
+
+def validate_join_algo(join_algo: str) -> str:
+    """Fail fast on an unknown join algorithm, listing the accepted
+    values — mirrors :func:`validate_exec`."""
+    if join_algo not in JOIN_ALGOS:
+        raise ValueError(
+            f"unknown join algo {join_algo!r}; pick one of {JOIN_ALGOS}"
+        )
+    return join_algo
+
+
+#: Process-wide default join algorithm; ``REPRO_JOIN`` overrides it so
+#: the CI matrix can run the whole suite over the leapfrog path.
+DEFAULT_JOIN = validate_join_algo(os.environ.get("REPRO_JOIN", "auto"))
+
 
 #: The kernel's registry instrument — the canonical home of the old
 #: ``JOIN_COUNTERS.tuple_fallbacks`` count. A thread-safe
 #: :class:`repro.obs.metrics.Counter`: the service layer commits from
 #: multiple threads, and the old bare ``+=`` lost increments there.
 _TUPLE_FALLBACKS = default_registry().counter("join.tuple_fallbacks")
+
+#: Leapfrog dispatch accounting: bodies the worst-case-optimal path
+#: ran (``join.wcoj_joins``) and bodies that asked for it
+#: (``join_algo="wcoj"``) but had to fall back to the hash pipeline
+#: (``join.wcoj_fallbacks``) — negatives, too few relations, no
+#: shared variables, duplicated seed rows. ``auto`` choosing hash for
+#: an acyclic body counts as neither: that is the planner planning.
+_WCOJ_JOINS = default_registry().counter("join.wcoj_joins")
+_WCOJ_FALLBACKS = default_registry().counter("join.wcoj_fallbacks")
 
 
 class JoinCounters:
@@ -358,6 +403,133 @@ def atom_builder(atom: Atom, schema: Sequence[Variable]):
     )
 
 
+def _wcoj_decision(algo, positives, negatives, seed_schema):
+    """Whether this body may run the leapfrog triejoin, and why not
+    when it may not. *seed_schema* is the initial relation's schema
+    (it counts as one more relation) or ``None``."""
+    if negatives:
+        return False, "negative literals"
+    relation_count = len(positives) + (1 if seed_schema is not None else 0)
+    if relation_count < 3:
+        return False, "fewer than 3 relations"
+    varsets = [pattern_variables(literal.atom) for _, literal in positives]
+    if seed_schema is not None:
+        varsets.append(seed_schema)
+    counts: dict = {}
+    for varset in varsets:
+        for variable in varset:
+            counts[variable] = counts.get(variable, 0) + 1
+    if not counts or max(counts.values()) < 2:
+        return False, "no shared variables"
+    if algo == "auto" and wcoj.is_acyclic(varsets):
+        return False, "acyclic body"
+    return True, "eligible"
+
+
+def _wcoj_dispatch(
+    algo,
+    positives,
+    negatives,
+    seed_schema,
+    seed_columnar,
+    seed_rows,
+    binding,
+    binding_schema,
+    probe,
+    chunk_size,
+    trace,
+):
+    """Decide the leapfrog attempt for one body: returns the chunk
+    generator when the worst-case-optimal path runs, ``None`` when the
+    hash pipeline should. Counts ``join.wcoj_joins`` /
+    ``join.wcoj_fallbacks`` and records the eligibility decision in
+    the active :class:`~repro.obs.trace.QueryTrace`."""
+    eligible, reason = _wcoj_decision(algo, positives, negatives, seed_schema)
+    if eligible and seed_schema is not None:
+        if seed_columnar is None:
+            seed_columnar = ColumnarRelation.from_rows(
+                seed_schema, list(seed_rows)
+            )
+        if seed_columnar.distinct() is not seed_columnar:
+            # The leapfrog runs set semantics; a duplicated seed row
+            # would drop output multiplicity the hash path preserves.
+            eligible, reason = False, "duplicate seed rows"
+    goal = " ∧ ".join(str(literal.atom) for _, literal in positives)
+    relation_count = len(positives) + (1 if seed_schema is not None else 0)
+    if not eligible:
+        # `auto` picking hash is a plan; only an explicit `wcoj` ask
+        # that cannot be honored is a fallback. Near misses (`auto` on
+        # an acyclic candidate) still reach the trace so EXPLAIN shows
+        # why the leapfrog did not run.
+        if algo == "wcoj":
+            _WCOJ_FALLBACKS.inc()
+            if trace is not None:
+                trace.join["wcoj_fallbacks"] += 1
+        if trace is not None and (
+            algo == "wcoj" or reason == "acyclic body"
+        ):
+            trace.record_wcoj(goal, algo, relation_count, False, reason)
+        return None
+    _WCOJ_JOINS.inc()
+    if trace is not None:
+        trace.join["wcoj_joins"] += 1
+        trace.record_wcoj(goal, algo, relation_count, True, reason)
+    return _wcoj_rows(
+        positives,
+        seed_columnar,
+        binding,
+        binding_schema,
+        probe,
+        chunk_size,
+        trace.join if trace is not None else None,
+    )
+
+
+def _wcoj_rows(
+    positives,
+    seed_columnar,
+    binding,
+    binding_schema,
+    probe,
+    chunk_size,
+    join_stats,
+):
+    """Run the leapfrog triejoin and re-chunk its lazily enumerated
+    assignments into the ``(schema, rows)`` contract. One probe per
+    literal materializes its full relation (the trie needs sorted
+    random access); the enumeration itself stays lazy, so the
+    first-chunk short-circuit contract holds here too."""
+    relations = []
+    if seed_columnar is not None:
+        relations.append(seed_columnar)
+    for index, literal in positives:
+        rows = list(probe(index, literal.atom))
+        if join_stats is not None:
+            join_stats["probes"] += 1
+        relations.append(
+            ColumnarRelation.from_rows(
+                pattern_variables(literal.atom), rows
+            )
+        )
+    order = wcoj.variable_order([rel.schema for rel in relations])
+    out_schema = tuple(binding_schema) + order
+    prefix = tuple(binding[variable] for variable in binding_schema)
+    chunk: List[tuple] = []
+    for row in wcoj.leapfrog_rows(order, relations):
+        chunk.append(prefix + row)
+        if len(chunk) >= chunk_size:
+            if join_stats is not None:
+                join_stats["chunks"] += 1
+                join_stats["rows_out"] += len(chunk)
+            yield (out_schema, chunk)
+            chunk = []
+    if chunk:
+        if join_stats is not None:
+            join_stats["chunks"] += 1
+            join_stats["rows_out"] += len(chunk)
+        yield (out_schema, chunk)
+
+
 def join_literals_rows(
     literals: Sequence[Literal],
     binding: Substitution,
@@ -365,13 +537,26 @@ def join_literals_rows(
     holds: HoldsTest,
     planner: Optional[Planner] = None,
     chunk_size: int = BATCH_CHUNK,
-    initial: Optional[Tuple[Sequence[Variable], Sequence[tuple]]] = None,
+    initial: Union[
+        ColumnarRelation,
+        Tuple[Sequence[Variable], Sequence[tuple]],
+        None,
+    ] = None,
+    join_algo: Optional[str] = None,
 ) -> Iterator[Tuple[Tuple[Variable, ...], List[tuple]]]:
     """The relational core of the batch path: yields ``(schema, rows)``
     chunks, where *schema* names the row columns (fixed for the whole
     join) and *rows* holds up to *chunk_size* value tuples satisfying
     the body. Chunks surface as soon as they fill, so single-witness
     consumers stop after the first one.
+
+    *join_algo* selects between the pairwise hash pipeline and the
+    worst-case-optimal leapfrog triejoin (see :data:`JOIN_ALGOS`);
+    eligible bodies — all-positive, at least three relations counting
+    the *initial* seed, at least one shared variable (plus cyclicity
+    under ``auto``) — run :mod:`repro.datalog.wcoj`, everything else
+    the hash pipeline. Both produce the same chunk contract and the
+    same answer multiset; only enumeration order and cost differ.
 
     *binding* must map variables to constants — :func:`join_body` falls
     back to the tuple path when it does not (tabled evaluation used to
@@ -392,14 +577,23 @@ def join_literals_rows(
             positives.append((index, literal))
         else:
             negatives.append(literal)
+    algo = (
+        DEFAULT_JOIN if join_algo is None else validate_join_algo(join_algo)
+    )
+    seed_columnar: Optional[ColumnarRelation] = None
     if initial is not None:
         if binding:
             raise ValueError(
                 "join_literals_rows: initial relation and non-empty "
                 "binding are mutually exclusive"
             )
-        schema = list(initial[0])
-        seed_rows: Optional[Sequence[tuple]] = initial[1]
+        if isinstance(initial, ColumnarRelation):
+            seed_columnar = initial
+            schema = list(initial.schema)
+            seed_rows: Optional[Sequence[tuple]] = list(initial.rows())
+        else:
+            schema = list(initial[0])
+            seed_rows = initial[1]
         bound_vars = set(schema)
     else:
         schema = sorted(binding.domain(), key=lambda v: v.name)
@@ -415,6 +609,29 @@ def join_literals_rows(
             ]
     if planner is not None and len(positives) > 1:
         positives = planner.order(positives, bound_vars)
+
+    trace = current_trace()
+    join_stats = trace.join if trace is not None else None
+    if join_stats is not None:
+        join_stats["joins"] += 1
+
+    if algo != "hash":
+        runner = _wcoj_dispatch(
+            algo,
+            positives,
+            negatives,
+            tuple(schema) if initial is not None else None,
+            seed_columnar,
+            seed_rows,
+            binding,
+            () if initial is not None else tuple(schema),
+            probe,
+            chunk_size,
+            trace,
+        )
+        if runner is not None:
+            yield from runner
+            return
 
     column_of = {variable: i for i, variable in enumerate(schema)}
     initial_row = (
@@ -462,11 +679,6 @@ def join_literals_rows(
     # raising is deferred until a row actually reaches the end, exactly
     # like the tuple path.
     final_schema = tuple(schema)
-
-    trace = current_trace()
-    join_stats = trace.join if trace is not None else None
-    if join_stats is not None:
-        join_stats["joins"] += 1
 
     neg_cache: dict = {}
 
@@ -544,13 +756,15 @@ def join_literals_batch(
     holds: HoldsTest,
     planner: Optional[Planner] = None,
     chunk_size: int = BATCH_CHUNK,
+    join_algo: Optional[str] = None,
 ) -> Iterator[Substitution]:
     """Set-at-a-time counterpart of :func:`join_literals`: the
     substitution seam over :func:`join_literals_rows`. Semantically
     identical to the tuple path (same answer multiset, same
     range-restriction error)."""
     for schema, rows in join_literals_rows(
-        literals, binding, probe, holds, planner, chunk_size
+        literals, binding, probe, holds, planner, chunk_size,
+        join_algo=join_algo,
     ):
         for row in rows:
             yield Substitution.trusted(dict(zip(schema, row)))
@@ -564,18 +778,24 @@ def join_body(
     planner: Optional[Planner] = None,
     exec_mode: Optional[str] = None,
     probe: Optional[BatchProbe] = None,
+    join_algo: Optional[str] = None,
 ) -> Iterator[Substitution]:
     """Solve a rule body under the selected execution model.
 
     ``"batch"`` runs :func:`join_literals_batch` over *probe* (derived
     from *matcher* when the caller has no batched access path);
     ``"tuple"`` — or a *binding* that maps variables to non-constants —
-    runs the :func:`join_literals` oracle. An unknown *exec_mode* fails
-    here, at the seam, with a one-line error naming the choices —
-    never by silently running the wrong path.
+    runs the :func:`join_literals` oracle. *join_algo* picks the batch
+    path's join algorithm (:data:`JOIN_ALGOS`); the tuple oracle
+    ignores it. An unknown *exec_mode* or *join_algo* fails here, at
+    the seam, with a one-line error naming the choices — never by
+    silently running the wrong path.
     """
     exec_mode = (
         DEFAULT_EXEC if exec_mode is None else validate_exec(exec_mode)
+    )
+    join_algo = (
+        DEFAULT_JOIN if join_algo is None else validate_join_algo(join_algo)
     )
     if exec_mode == "batch":
         if all(
@@ -584,7 +804,8 @@ def join_body(
             if probe is None:
                 probe = probe_from_matcher(matcher)
             return join_literals_batch(
-                literals, binding, probe, holds, planner
+                literals, binding, probe, holds, planner,
+                join_algo=join_algo,
             )
         _TUPLE_FALLBACKS.inc()
         trace = current_trace()

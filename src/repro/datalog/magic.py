@@ -513,6 +513,7 @@ class MagicEvaluator:
         self.program = program
         self.plan = plan
         self.exec_mode = config.exec_mode
+        self.join_algo = config.join_algo
         self.supplementary = config.supplementary
         # SIP chooser: the session's join plan over EDB statistics.
         # An intensional subgoal's extent is unknown at rewrite time —
@@ -668,7 +669,7 @@ class MagicEvaluator:
             while len(delta):
                 derived = _derive_round(
                     view, rules, set(delta.predicates()), delta, planner,
-                    self.exec_mode,
+                    self.exec_mode, self.join_algo,
                 )
                 self.derivations += len(derived)
                 _DERIVATIONS.inc(len(derived))

@@ -152,6 +152,7 @@ class QueryEngine:
         self.strategy = config.strategy
         self.plan = config.plan
         self.exec_mode = config.exec_mode
+        self.join_algo = config.join_algo
         # Whether the magic rewrite shares rule prefixes through
         # supplementary predicates; inert for the other strategies.
         self.supplementary = config.supplementary
@@ -227,7 +228,7 @@ class QueryEngine:
             stratum_preds = {r.head.pred for r in rules}
             evaluate_stratum(
                 self._view, rules, stratum_preds, self._planner,
-                self.exec_mode,
+                self.exec_mode, self.join_algo,
             )
             # A stratum is final once saturated (stratified semantics),
             # so its extents become usable statistics immediately.
@@ -388,6 +389,7 @@ class QueryEngine:
             self._planner,
             exec_mode=self.exec_mode,
             probe=probe,
+            join_algo=self.join_algo,
         )
 
     # -- formula evaluation ------------------------------------------------------------------

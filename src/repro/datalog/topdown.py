@@ -74,6 +74,7 @@ class TabledEvaluator:
         # binding seam is always relational and batch execution never
         # falls back to tuple joins.
         self.exec_mode = exec_mode
+        self.join_algo = config.join_algo
         self._tables: Dict[_TableKey, Set[Atom]] = {}
         self._complete: Set[_TableKey] = set()
         self._in_progress: Set[_TableKey] = set()
@@ -227,6 +228,7 @@ class TabledEvaluator:
                 self._negation_holds,
                 self.planner,
                 exec_mode=self.exec_mode,
+                join_algo=self.join_algo,
             ):
                 fact = head.substitute(binding)
                 if fact.is_ground() and fact not in table:

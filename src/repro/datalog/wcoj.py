@@ -1,0 +1,293 @@
+"""Worst-case-optimal join: leapfrog triejoin (Veldhuizen 2014).
+
+The batch kernel's hash pipeline joins a body pairwise, so cyclic
+bodies — triangles, cliques, same-generation over dense graphs —
+materialize intermediate relations that can dwarf the final output.
+This module intersects *all* relations one variable at a time instead:
+every relation is presented as a trie over a global variable order
+(:class:`TrieIterator`), and for each variable the participating
+tries leapfrog-seek to their common keys (:class:`Leapfrog`). The
+running time is bounded by the AGM fractional-edge-cover bound of the
+body — worst-case optimal — instead of the size of the largest
+pairwise intermediate.
+
+The tries are flat sorted arrays of integer-encoded rows: constants
+are not orderable (:class:`~repro.logic.terms.Constant` compares by
+value equality only), so each join builds one dense code dictionary —
+distinct constants ranked by a surrogate :func:`sort_token` — and
+runs the leapfrog over ``int`` codes. Code equality is value equality
+by construction, so surrogate-key collisions cannot merge distinct
+constants; the surrogate only fixes *an* order, which is all the
+algorithm needs.
+
+Eligibility detection and the fallback to the hash pipeline live in
+:mod:`repro.datalog.joins` (the dispatcher); this module is pure
+mechanism. :func:`is_acyclic` (GYO ear removal) is the planner test
+the ``auto`` mode uses: alpha-acyclic bodies are exactly the ones
+pairwise joins already handle near-optimally, so only cyclic bodies
+are routed here by default.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from operator import itemgetter
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.datalog.columnar import ColumnarRelation
+from repro.logic.terms import Constant, Variable
+
+
+def sort_token(constant: Constant) -> Tuple[str, str]:
+    """A surrogate sort key for a :class:`Constant`: constants wrap
+    arbitrary hashable values that need not be mutually orderable, so
+    ordering goes through ``(type name, repr)``. Collisions are
+    harmless — the encoder assigns distinct codes to distinct
+    constants regardless."""
+    value = constant.value
+    return (type(value).__name__, repr(value))
+
+
+class TrieIterator:
+    """A relation as a trie over its column order, backed by one flat
+    sorted array of rows (Veldhuizen 2014 §3.2's presentation).
+
+    *rows* are equal-width tuples of integer codes; duplicates are
+    collapsed and the array sorted on construction. The iterator
+    starts *above* the root: :meth:`open` descends one level (into the
+    sorted distinct keys of the next column under the current prefix),
+    :meth:`up` ascends, and within a level :meth:`next` / :meth:`seek`
+    advance through the distinct keys in sorted order, setting
+    :attr:`at_end` when the level is exhausted. Complexity is the
+    textbook one: ``seek`` is a binary search over the current
+    prefix's range.
+    """
+
+    __slots__ = ("rows", "depth", "pos", "lo", "hi", "at_end", "_stack")
+
+    def __init__(self, rows: Iterable[Tuple[int, ...]]):
+        self.rows: List[Tuple[int, ...]] = sorted(set(rows))
+        self.depth = -1
+        self.pos = 0
+        self.lo = 0
+        self.hi = len(self.rows)
+        self.at_end = not self.rows
+        self._stack: List[Tuple[int, int, int]] = []
+
+    def key(self) -> int:
+        """The current key at the current level."""
+        return self.rows[self.pos][self.depth]
+
+    def open(self) -> None:
+        """Descend to the first key of the next level (the keys that
+        extend the current prefix)."""
+        self._stack.append((self.lo, self.hi, self.pos))
+        if self.depth >= 0:
+            # Narrow to the rows sharing the current key: the child
+            # range of the trie node we are positioned on.
+            self.hi = bisect_right(
+                self.rows, self.key(), self.pos, self.hi,
+                key=itemgetter(self.depth),
+            )
+            self.lo = self.pos
+        self.depth += 1
+        self.pos = self.lo
+        self.at_end = self.pos >= self.hi
+
+    def up(self) -> None:
+        """Ascend to the parent level, restored to the key that was
+        open."""
+        self.lo, self.hi, self.pos = self._stack.pop()
+        self.depth -= 1
+        self.at_end = self.depth >= 0 and self.pos >= self.hi
+
+    def next(self) -> None:
+        """Advance to the next distinct key at this level."""
+        self.pos = bisect_right(
+            self.rows, self.key(), self.pos, self.hi,
+            key=itemgetter(self.depth),
+        )
+        self.at_end = self.pos >= self.hi
+
+    def seek(self, target: int) -> None:
+        """Advance to the least key ``>= target`` at this level (no
+        backward motion — *target* must be ``>=`` the current key)."""
+        self.pos = bisect_left(
+            self.rows, target, self.pos, self.hi,
+            key=itemgetter(self.depth),
+        )
+        self.at_end = self.pos >= self.hi
+
+
+class Leapfrog:
+    """The single-variable intersection: unary leapfrog join of the
+    iterators currently open at one trie level."""
+
+    __slots__ = ("iters", "p", "key", "at_end")
+
+    def __init__(self, iters: Sequence[TrieIterator]):
+        self.iters: List[TrieIterator] = list(iters)
+        self.p = 0
+        self.key: int = -1
+        self.at_end = False
+
+    def init(self) -> None:
+        if any(it.at_end for it in self.iters):
+            self.at_end = True
+            return
+        self.at_end = False
+        self.iters.sort(key=TrieIterator.key)
+        self.p = 0
+        self._search()
+
+    def _search(self) -> None:
+        iters = self.iters
+        n = len(iters)
+        max_key = iters[self.p - 1].key()  # p-1 wraps via negative index
+        while True:
+            it = iters[self.p]
+            key = it.key()
+            if key == max_key:
+                self.key = key
+                return
+            it.seek(max_key)
+            if it.at_end:
+                self.at_end = True
+                return
+            max_key = it.key()
+            self.p = (self.p + 1) % n
+
+    def next(self) -> None:
+        it = self.iters[self.p]
+        it.next()
+        if it.at_end:
+            self.at_end = True
+            return
+        self.p = (self.p + 1) % len(self.iters)
+        self._search()
+
+
+def variable_order(varsets: Sequence[Iterable[Variable]]) -> Tuple[Variable, ...]:
+    """A deterministic global variable order for the join: most-shared
+    variables first (they prune hardest), ties broken by first
+    occurrence across the body."""
+    counts: Dict[Variable, int] = {}
+    first: Dict[Variable, int] = {}
+    position = 0
+    for varset in varsets:
+        for variable in varset:
+            counts[variable] = counts.get(variable, 0) + 1
+            if variable not in first:
+                first[variable] = position
+                position += 1
+    return tuple(
+        sorted(counts, key=lambda v: (-counts[v], first[v]))
+    )
+
+
+def is_acyclic(varsets: Sequence[Iterable[Variable]]) -> bool:
+    """GYO ear removal: True iff the body hypergraph (one hyperedge of
+    variables per relation) is alpha-acyclic. Acyclic bodies have a
+    join tree — pairwise hash joins evaluate them without blowup, so
+    ``auto`` keeps them on the hash pipeline."""
+    edges: List[Set[Variable]] = [set(e) for e in varsets if e]
+    while edges:
+        changed = False
+        counts: Dict[Variable, int] = {}
+        for edge in edges:
+            for variable in edge:
+                counts[variable] = counts.get(variable, 0) + 1
+        # Ear vertices: variables local to a single hyperedge.
+        for edge in edges:
+            lone = {v for v in edge if counts[v] == 1}
+            if lone:
+                edge -= lone
+                changed = True
+        # Hyperedges empty or contained in another are removed (one
+        # survivor per duplicate class).
+        kept: List[Set[Variable]] = []
+        for i, edge in enumerate(edges):
+            if not edge:
+                changed = True
+                continue
+            if any(
+                edge <= other and (edge < other or j < i)
+                for j, other in enumerate(edges)
+                if j != i
+            ):
+                changed = True
+                continue
+            kept.append(edge)
+        edges = kept
+        if not changed:
+            return False
+    return True
+
+
+def leapfrog_rows(
+    order: Sequence[Variable],
+    relations: Sequence[ColumnarRelation],
+) -> Iterator[Tuple[Constant, ...]]:
+    """Enumerate the join of *relations* variable-by-variable: one
+    constant tuple per satisfying assignment, columns laid out in
+    *order*. Every relation's schema must be a subset of *order*;
+    width-0 relations act as existence filters. Enumeration is lazy
+    (depth-first), so single-witness consumers stop it early.
+    """
+    tries: List[Tuple[TrieIterator, List[int]]] = []
+    pos_of = {variable: level for level, variable in enumerate(order)}
+    # One dense code table per join: distinct constants ranked by the
+    # surrogate token, decoded back on output. Column-sliced — the
+    # relations never get re-rowed.
+    values: Set[Constant] = set()
+    for relation in relations:
+        if not relation.schema:
+            if len(relation) == 0:
+                return  # a failed ground filter empties the join
+            continue
+        if len(relation) == 0:
+            return  # any empty relation empties the join
+        for column in relation.columns:
+            values.update(column)
+    decode = sorted(values, key=sort_token)
+    code = {constant: index for index, constant in enumerate(decode)}
+    for relation in relations:
+        if not relation.schema:
+            continue
+        ordered_vars = sorted(relation.schema, key=pos_of.__getitem__)
+        projected = relation.project(ordered_vars)
+        encoded = zip(
+            *([code[c] for c in column] for column in projected.columns)
+        )
+        tries.append(
+            (TrieIterator(encoded), [pos_of[v] for v in ordered_vars])
+        )
+    if not order:
+        yield ()
+        return
+    by_level: List[List[TrieIterator]] = [[] for _ in order]
+    for trie, levels in tries:
+        for level in levels:
+            by_level[level].append(trie)
+    assignment: List[int] = [0] * len(order)
+    last = len(order) - 1
+
+    def descend(level: int) -> Iterator[Tuple[Constant, ...]]:
+        iters = by_level[level]
+        for it in iters:
+            it.open()
+        try:
+            frog = Leapfrog(iters)
+            frog.init()
+            while not frog.at_end:
+                assignment[level] = frog.key
+                if level == last:
+                    yield tuple(decode[c] for c in assignment)
+                else:
+                    yield from descend(level + 1)
+                frog.next()
+        finally:
+            for it in iters:
+                it.up()
+
+    yield from descend(0)

@@ -171,6 +171,7 @@ class IntegrityChecker:
         self.strategy = config.strategy
         self.plan = config.plan
         self.exec_mode = config.exec_mode
+        self.join_algo = config.join_algo
         # Prefix sharing in the magic rewrite (inert unless
         # strategy="magic"); False keeps the classic rewrite oracle.
         self.supplementary = config.supplementary
@@ -582,6 +583,7 @@ class IntegrityChecker:
             body_state.planner,
             exec_mode=self.exec_mode,
             probe=probe,
+            join_algo=self.join_algo,
         ):
             head = rule.head.substitute(answer)
             if head in seen:

@@ -83,6 +83,7 @@ class DeltaEvaluator:
             database.program
         )
         self.exec_mode = config.exec_mode
+        self.join_algo = config.join_algo
         self.old_engine = database.engine(config=config)
         if new_database is not None:
             self.new_view = new_database
@@ -188,6 +189,7 @@ class DeltaEvaluator:
                 planner,
                 exec_mode=self.exec_mode,
                 probe=probe,
+                join_algo=self.join_algo,
             ):
                 candidate = head.substitute(answer)
                 if not candidate.atom.is_ground():  # pragma: no cover

@@ -50,6 +50,7 @@ SLOW_QUERY_LOGGER = "repro.obs.slowquery"
 MAX_PLANS = 16
 MAX_ROUNDS = 64
 MAX_SPANS = 256
+MAX_WCOJ = 32
 
 
 class QueryTrace:
@@ -79,6 +80,8 @@ class QueryTrace:
         "rounds_dropped",
         "total_derived",
         "join",
+        "wcoj",
+        "wcoj_dropped",
         "cache",
         "spans",
         "spans_dropped",
@@ -124,7 +127,15 @@ class QueryTrace:
             "rows_out": 0,
             "probes": 0,
             "tuple_fallbacks": 0,
+            "wcoj_joins": 0,
+            "wcoj_fallbacks": 0,
         }
+        # Worst-case-optimal eligibility decisions: which bodies ran
+        # the leapfrog, which fell back, and why (physical —
+        # leg-dependent like the join aggregates, so excluded from
+        # shape()).
+        self.wcoj: List[Dict[str, Any]] = []
+        self.wcoj_dropped = 0
         self.cache: Dict[str, int] = {"hits": 0, "misses": 0}
         # Timed server-side work units under this trace_id.
         self.spans: List[Span] = []
@@ -220,6 +231,31 @@ class QueryTrace:
             }
         )
 
+    def record_wcoj(
+        self,
+        goal: str,
+        algo: str,
+        relations: int,
+        chose: bool,
+        reason: str,
+    ) -> None:
+        """One worst-case-optimal dispatch decision: the body's goal
+        string, the configured algorithm, how many relations the body
+        counted, whether the leapfrog ran, and the reason when it did
+        not."""
+        if len(self.wcoj) >= MAX_WCOJ:
+            self.wcoj_dropped += 1
+            return
+        self.wcoj.append(
+            {
+                "goal": goal,
+                "algo": algo,
+                "relations": relations,
+                "chose": chose,
+                "reason": reason,
+            }
+        )
+
     def record_round(self, new_facts: int) -> None:
         self.total_derived += new_facts
         if len(self.rounds) >= MAX_ROUNDS:
@@ -258,6 +294,8 @@ class QueryTrace:
             "rounds_dropped": self.rounds_dropped,
             "total_derived": self.total_derived,
             "join": dict(self.join),
+            "wcoj": [dict(decision) for decision in self.wcoj],
+            "wcoj_dropped": self.wcoj_dropped,
             "cache": dict(self.cache),
             "spans": [span.to_dict() for span in self.spans],
             "spans_dropped": self.spans_dropped,
@@ -335,8 +373,28 @@ def render_trace(data: Dict[str, Any]) -> str:
             "├─ join: "
             f"{join['joins']} joins, {join['rows_out']} rows, "
             f"{join['probes']} probes, {join['chunks']} chunks, "
-            f"{join['tuple_fallbacks']} tuple fallbacks"
+            f"{join['tuple_fallbacks']} tuple fallbacks, "
+            f"{join.get('wcoj_joins', 0)} wcoj, "
+            f"{join.get('wcoj_fallbacks', 0)} wcoj fallbacks"
         )
+    wcoj = data.get("wcoj") or ()
+    if wcoj:
+        lines.append("├─ wcoj")
+        for decision in wcoj:
+            verdict = (
+                "leapfrog"
+                if decision["chose"]
+                else f"hash ({decision['reason']})"
+            )
+            lines.append(
+                f"│   ├─ {decision['goal']} "
+                f"[{decision['relations']} rels, {decision['algo']}]"
+                f" → {verdict}"
+            )
+        if data.get("wcoj_dropped"):
+            lines.append(
+                f"│   └─ … {data['wcoj_dropped']} more decisions"
+            )
     cache = data.get("cache") or {}
     if cache.get("hits") or cache.get("misses"):
         lines.append(

@@ -9,8 +9,11 @@ end to end (the CI matrix legs):
 * ``REPRO_BACKEND=sqlite`` stores every default-constructed fact store
   out of core in SQLite instead of the in-process ``dict`` backend
   (:data:`repro.storage.backends.DEFAULT_BACKEND`).
+* ``REPRO_JOIN=wcoj`` runs the worst-case-optimal leapfrog triejoin on
+  every eligible rule body instead of the ``auto`` planner default
+  (:data:`repro.datalog.joins.DEFAULT_JOIN`).
 
-Both defaults are read at import time and every evaluator/constructor
+All defaults are read at import time and every evaluator/constructor
 defaults to them, so no test needs to thread the knobs explicitly.
 """
 
@@ -18,10 +21,10 @@ import os
 
 import pytest
 
-# A typo'd REPRO_EXEC / REPRO_BACKEND fails these imports (the values
-# are validated where the defaults are read), so the whole session
-# aborts with one clear error before any test runs.
-from repro.datalog.joins import DEFAULT_EXEC
+# A typo'd REPRO_EXEC / REPRO_BACKEND / REPRO_JOIN fails these imports
+# (the values are validated where the defaults are read), so the whole
+# session aborts with one clear error before any test runs.
+from repro.datalog.joins import DEFAULT_EXEC, DEFAULT_JOIN
 from repro.storage.backends import DEFAULT_BACKEND
 
 
@@ -30,9 +33,11 @@ def pytest_report_header(config):
     backend_source = (
         "REPRO_BACKEND" if os.environ.get("REPRO_BACKEND") else "default"
     )
+    join_source = "REPRO_JOIN" if os.environ.get("REPRO_JOIN") else "default"
     return (
         f"repro join exec mode: {DEFAULT_EXEC} ({exec_source}); "
-        f"fact-store backend: {DEFAULT_BACKEND} ({backend_source})"
+        f"fact-store backend: {DEFAULT_BACKEND} ({backend_source}); "
+        f"join algo: {DEFAULT_JOIN} ({join_source})"
     )
 
 
@@ -46,3 +51,9 @@ def exec_mode() -> str:
 def backend() -> str:
     """The fact-store backend this test session runs under."""
     return DEFAULT_BACKEND
+
+
+@pytest.fixture(scope="session")
+def join_algo() -> str:
+    """The default join algorithm this test session runs under."""
+    return DEFAULT_JOIN

@@ -112,6 +112,8 @@ class TestDefaultRegistry:
         names = set(default_registry().snapshot())
         expected = {
             "join.tuple_fallbacks",
+            "join.wcoj_joins",
+            "join.wcoj_fallbacks",
             "store.group_builds",
             "cache.hits",
             "cache.misses",

@@ -9,6 +9,12 @@ supplementary matrix (``lazy``/``magic`` × ``source``/``greedy`` ×
 supplementary on/off: the supplementary-magic rewrite against its
 classic non-supplementary oracle), on the relational, deductive and
 orders workloads, negation and empty relations included.
+
+The same holds one level down for the batch path's join algorithm:
+``join_algo="wcoj"`` (the worst-case-optimal leapfrog triejoin) and
+``join_algo="hash"`` (the pairwise pipeline) must agree cell-for-cell.
+The rule pool includes cyclic bodies (``wedge``, ``fan``) so the
+leapfrog actually runs, not just falls back.
 """
 
 import warnings
@@ -40,6 +46,16 @@ STRATEGIES = ("lazy", "magic")
 # classic rewrite oracle. Inert for strategy="lazy" but swept across
 # the whole matrix anyway — agreement must not depend on the cell.
 SUPPLEMENTARY = (True, False)
+# The two explicit join kernels. The tuple oracle ignores join_algo,
+# so sweeping it there only re-runs identical cells; the batch legs
+# get both kernels.
+JOINS = ("hash", "wcoj")
+
+
+def exec_join_cells():
+    """(exec_mode, join_algo) pairs worth running: both kernels under
+    batch, the (kernel-blind) tuple oracle once."""
+    return [("batch", algo) for algo in JOINS] + [("tuple", "hash")]
 
 # Stratified rule shapes with recursion and negation; `empty`-prefixed
 # predicates never get facts, so empty-relation joins and anti-joins
@@ -55,6 +71,12 @@ RULE_POOL = [
     "target(Y) :- r(X, Y)",
     "ghost(X) :- p(X), empty(X)",
     "haunted(X) :- p(X), not empty(X)",
+    # Cyclic / >=3-literal bodies: the shapes the leapfrog triejoin
+    # actually runs (a triangle over r, a three-way unary fan, and a
+    # triangle guarded by a negation — the last must fall back).
+    "wedge(X, Z) :- r(X, Y), r(Y, Z), r(X, Z)",
+    "fan(X) :- p(X), q(X), node(X)",
+    "shy(X, Z) :- r(X, Y), r(Y, Z), r(X, Z), not both(X)",
 ]
 
 QUERY_POOL = [
@@ -67,6 +89,10 @@ QUERY_POOL = [
     "both(X)",
     "ghost(X)",
     "haunted(X)",
+    "wedge(X, Y)",
+    "wedge(a, Y)",
+    "fan(X)",
+    "shy(X, Y)",
 ]
 
 CONSTRAINT_POOL = [
@@ -150,11 +176,12 @@ class TestAnswerAgreement:
                                     plan=plan,
                                     exec_mode=exec,
                                     supplementary=sup,
+                                    join_algo=algo,
                                 ),
                             ),
                             pattern,
                         )
-                        for exec in EXECS
+                        for exec, algo in exec_join_cells()
                         for sup in SUPPLEMENTARY
                     ]
                     for cell in cells[1:]:
@@ -169,7 +196,7 @@ class TestVerdictAgreement:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", MagicFallbackWarning)
             baseline = None
-            for exec in EXECS:
+            for exec, algo in exec_join_cells():
                 for strategy in STRATEGIES:
                     for plan in PLANS:
                         for sup in SUPPLEMENTARY:
@@ -183,6 +210,7 @@ class TestVerdictAgreement:
                                     plan=plan,
                                     exec_mode=exec,
                                     supplementary=sup,
+                                    join_algo=algo,
                                 ),
                             )
                             result = checker.check_bdm(transaction)
@@ -194,7 +222,7 @@ class TestVerdictAgreement:
                                 baseline = verdict
                             else:
                                 assert verdict == baseline, (
-                                    exec, strategy, plan, sup,
+                                    exec, algo, strategy, plan, sup,
                                 )
 
 
@@ -208,9 +236,13 @@ class TestMaintainedModelAgreement:
     @settings(max_examples=40, deadline=None)
     def test_dred_end_states_agree(self, program, edb, transaction):
         states = []
-        for exec in EXECS:
+        for exec, algo in exec_join_cells():
             maintained = MaintainedModel(
-                edb.copy(), program, "greedy", exec
+                edb.copy(),
+                program,
+                config=EngineConfig(
+                    plan="greedy", exec_mode=exec, join_algo=algo
+                ),
             )
             inserted, deleted = maintained.apply(transaction)
             states.append(
@@ -221,7 +253,8 @@ class TestMaintainedModelAgreement:
                     frozenset(deleted),
                 )
             )
-        assert states[0] == states[1]
+        for state in states[1:]:
+            assert state == states[0]
 
     @given(programs(), edbs(), transactions(), transactions())
     @settings(max_examples=20, deadline=None)
@@ -229,18 +262,25 @@ class TestMaintainedModelAgreement:
         self, program, edb, first, second
     ):
         models = []
-        for exec in EXECS:
-            maintained = MaintainedModel(edb.copy(), program, "source", exec)
+        for exec, algo in exec_join_cells():
+            maintained = MaintainedModel(
+                edb.copy(),
+                program,
+                config=EngineConfig(
+                    plan="source", exec_mode=exec, join_algo=algo
+                ),
+            )
             maintained.apply(first)
             maintained.apply(second)
             models.append(frozenset(maintained.model))
-        assert models[0] == models[1]
+        for model in models[1:]:
+            assert model == models[0]
 
 
-def matrix_verdicts(db, updates, exec):
-    """One exec mode's verdict sequence over the strategy/plan/
-    supplementary matrix — the cells must agree within a mode (and,
-    asserted by the caller, across modes)."""
+def matrix_verdicts(db, updates, exec, join_algo="hash"):
+    """One (exec mode, join algo) cell's verdict sequence over the
+    strategy/plan/supplementary matrix — the cells must agree within a
+    mode (and, asserted by the caller, across modes and kernels)."""
     baseline = None
     for strategy in STRATEGIES:
         for plan in PLANS:
@@ -252,6 +292,7 @@ def matrix_verdicts(db, updates, exec):
                         plan=plan,
                         exec_mode=exec,
                         supplementary=sup,
+                        join_algo=join_algo,
                     ),
                 )
                 verdicts = [
@@ -274,24 +315,25 @@ class TestWorkloadAgreement:
         db = workload.build()
         updates = workload.update_stream(10, violation_rate=0.4, seed=11)
         batch = matrix_verdicts(db, updates, "batch")
+        wcoj = matrix_verdicts(db, updates, "batch", "wcoj")
         tuple_ = matrix_verdicts(db, updates, "tuple")
-        assert batch == tuple_
+        assert batch == tuple_ == wcoj
         assert any(ok for ok, _ in batch)
         assert any(not ok for ok, _ in batch)
 
     def test_deductive_ancestor_workload(self):
         db, update = ancestor_database(10)
         updates = [update, "par(g10, g0)", "not par(g0, g1)"]
-        assert matrix_verdicts(db, updates, "batch") == matrix_verdicts(
-            db, updates, "tuple"
-        )
+        batch = matrix_verdicts(db, updates, "batch")
+        assert batch == matrix_verdicts(db, updates, "tuple")
+        assert batch == matrix_verdicts(db, updates, "batch", "wcoj")
 
     def test_deductive_rule_chain_workload(self):
         db, update = rule_chain_database(depth=3, width=4)
         updates = [update, "not ok(m1)", "c0(stranger)"]
-        assert matrix_verdicts(db, updates, "batch") == matrix_verdicts(
-            db, updates, "tuple"
-        )
+        batch = matrix_verdicts(db, updates, "batch")
+        assert batch == matrix_verdicts(db, updates, "tuple")
+        assert batch == matrix_verdicts(db, updates, "batch", "wcoj")
 
     def test_orders_workload(self):
         workload = OrdersWorkload(n_customers=5, seed=3)
