@@ -1,0 +1,76 @@
+"""Materialize the CI lint corpus: every workload generator's program
+rendered to surface syntax, one ``.dl`` file each, ready for
+``repro lint --fail-on error``.
+
+The point is a regression tripwire in both directions: a workload
+generator that starts emitting an unsafe or unstratifiable program
+fails CI, and an analyzer check that starts flagging known-good
+programs as errors fails CI too.
+
+Usage::
+
+    python benchmarks/lint_corpus.py --out lint-corpus
+    python -m repro lint --fail-on error lint-corpus/*.dl
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def corpus() -> dict:
+    """name -> program source, spanning every workload family."""
+    from repro.workloads.deductive import (
+        ancestor_database,
+        fanout_database,
+        rule_chain_database,
+        university_database,
+    )
+    from repro.workloads.orders import make_orders_database
+    from repro.workloads.relational import make_relational_database
+    from repro.workloads.theorem_proving import (
+        cycle_coloring,
+        pigeonhole,
+        serial_order,
+        steamroller,
+    )
+
+    return {
+        "deductive_fanout": fanout_database(8)[0].to_source(),
+        "deductive_rule_chain": rule_chain_database(6, 4)[0].to_source(),
+        "deductive_ancestor": ancestor_database(12)[0].to_source(),
+        "deductive_university": university_database(10).to_source(),
+        "orders": make_orders_database(10).to_source(),
+        "relational": make_relational_database(10).to_source(),
+        "tp_steamroller": steamroller(),
+        "tp_pigeonhole": pigeonhole(3),
+        "tp_cycle_coloring": cycle_coloring(5),
+        "tp_serial_order": serial_order(
+            irreflexive=True, antisymmetric=True
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default="lint-corpus",
+        help="directory to write the .dl files into",
+    )
+    args = parser.parse_args(argv)
+    os.makedirs(args.out, exist_ok=True)
+    programs = corpus()
+    for name, source in sorted(programs.items()):
+        path = os.path.join(args.out, f"{name}.dl")
+        with open(path, "w") as handle:
+            handle.write(source if source.endswith("\n") else source + "\n")
+        print(f"wrote {path}")
+    print(f"{len(programs)} programs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

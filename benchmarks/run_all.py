@@ -72,6 +72,34 @@ def run_benchmark(path: Path, env: dict) -> dict:
     }
 
 
+def analysis_pass() -> dict:
+    """Run the static analyzer over the whole workload corpus
+    in-process and report the ``analysis.*`` counter deltas plus wall
+    time — the lint-cost series BENCH_pr.json tracks alongside the
+    per-experiment wall clocks."""
+    import repro
+    from lint_corpus import corpus
+    from repro.obs.metrics import default_registry
+
+    registry = default_registry()
+    before = registry.snapshot()
+    start = time.perf_counter()
+    programs = {}
+    for name, source in sorted(corpus().items()):
+        programs[name] = repro.analyze(source).summary()
+    elapsed = time.perf_counter() - start
+    after = registry.snapshot()
+    counters = {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in ("analysis.runs", "analysis.errors", "analysis.warnings")
+    }
+    return {
+        "wall_seconds": round(elapsed, 3),
+        "counters": counters,
+        "programs": programs,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -105,10 +133,25 @@ def main(argv=None) -> int:
         if outcome["returncode"] != 0:
             failed.append(path.name)
 
+    print("running static-analysis pass ...", flush=True)
+    sys.path.insert(0, src)
+    try:
+        analysis = analysis_pass()
+        print(
+            f"  ok in {analysis['wall_seconds']}s "
+            f"({analysis['counters']['analysis.runs']} programs)",
+            flush=True,
+        )
+    except Exception as error:  # the pass is a smoke leg, not optional
+        analysis = {"error": repr(error)}
+        failed.append("analysis_pass")
+        print(f"  FAILED: {error!r}", flush=True)
+
     payload = {
         "mode": "full" if args.full else "quick",
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "analysis": analysis,
         "benchmarks": results,
         "total_wall_seconds": round(
             sum(r["wall_seconds"] for r in results.values()), 3

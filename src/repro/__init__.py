@@ -49,6 +49,7 @@ from typing import Optional as _Optional, Union as _Union
 # package __init__ mid-flight and hit a partially initialized module.
 import repro.datalog  # noqa: F401  isort:skip
 
+from repro.analysis import AnalysisReport, Diagnostic, analyze
 from repro.config import EngineConfig, resolve_config
 from repro.datalog.database import Constraint, DeductiveDatabase
 from repro.datalog.facts import FactStore
@@ -109,12 +110,14 @@ def metrics() -> dict:
 __version__ = "1.2.0"
 
 __all__ = [
+    "AnalysisReport",
     "BACKENDS",
     "CheckResult",
     "CommitResult",
     "Constraint",
     "Database",
     "DeductiveDatabase",
+    "Diagnostic",
     "EngineConfig",
     "FactStore",
     "IntegrityChecker",
@@ -136,6 +139,7 @@ __all__ = [
     "TableauxChecker",
     "Transaction",
     "Violation",
+    "analyze",
     "check_satisfiability",
     "default_registry",
     "make_store",

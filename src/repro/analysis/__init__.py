@@ -1,0 +1,114 @@
+"""``repro.analysis`` — static program analysis (lint) for rules and
+constraints.
+
+The analyzer runs over a program *without evaluating anything* and
+returns an :class:`AnalysisReport` of coded :class:`Diagnostic`
+records. It backs four surfaces: the public :func:`repro.analyze` API,
+the ``repro lint`` CLI verb, the service's DDL admission gates
+(rule/constraint DDL is rejected on errors before any satisfiability
+or integrity machinery runs), and the CI lint leg.
+
+Import discipline: this ``__init__`` only pulls in the diagnostics
+leaf and the metrics registry at import time. The check passes import
+the engine (``datalog.magic`` → ``datalog.program``), and
+``datalog.program`` lazily imports :mod:`repro.analysis.graph` in its
+``StratificationError`` path — loading ``checks`` lazily keeps that
+triangle acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple, Union
+
+from repro.analysis.diagnostics import (
+    CATALOG,
+    AnalysisReport,
+    Diagnostic,
+    code_for_error,
+    coded,
+    coded_message,
+)
+from repro.obs.metrics import default_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.logic.formulas import Formula
+    from repro.logic.parser import ParsedRule
+
+__all__ = [
+    "CATALOG",
+    "AnalysisReport",
+    "Diagnostic",
+    "analyze",
+    "analyze_constraint_candidate",
+    "analyze_rule_candidate",
+    "code_for_error",
+    "coded",
+    "coded_message",
+]
+
+_RUNS = default_registry().counter("analysis.runs")
+_ERRORS = default_registry().counter("analysis.errors")
+_WARNINGS = default_registry().counter("analysis.warnings")
+
+
+def _report(diagnostics: List[Diagnostic]) -> AnalysisReport:
+    """Wrap raw diagnostics in a report and account for the run."""
+    report = AnalysisReport(diagnostics)
+    _RUNS.inc()
+    errors = len(report.errors())
+    warnings = len(report.warnings())
+    if errors:
+        _ERRORS.inc(errors)
+    if warnings:
+        _WARNINGS.inc(warnings)
+    return report
+
+
+def analyze(target: Any) -> AnalysisReport:
+    """Statically analyze *target* and return an
+    :class:`AnalysisReport`.
+
+    *target* may be program source text (surface syntax), a
+    :class:`repro.datalog.database.DeductiveDatabase`, or a managed
+    :class:`repro.Database` handle. Source-level analysis is the only
+    form that can report R001/R002 — a constructed database has
+    already rejected those programs.
+    """
+    from repro.analysis import checks
+
+    if isinstance(target, str):
+        return _report(checks.analyze_source(target))
+    # A managed repro.Database wraps the engine database; unwrap it.
+    inner = getattr(target, "database", None)
+    if inner is not None and hasattr(inner, "program"):
+        return _report(checks.analyze_database(inner))
+    if hasattr(target, "program") and hasattr(target, "facts"):
+        return _report(checks.analyze_database(target))
+    raise TypeError(
+        f"analyze() expects program source or a database, got "
+        f"{type(target).__name__}"
+    )
+
+
+def analyze_rule_candidate(
+    database: Any, source: Union[str, "ParsedRule"]
+) -> Tuple[Optional["ParsedRule"], AnalysisReport]:
+    """Static admission gate for rule DDL (see
+    :func:`repro.analysis.checks.analyze_rule_candidate`); counted
+    like any other analyzer run."""
+    from repro.analysis import checks
+
+    parsed, diags = checks.analyze_rule_candidate(database, source)
+    return parsed, _report(diags)
+
+
+def analyze_constraint_candidate(
+    database: Any, source: Union[str, "Formula"]
+) -> Tuple[Optional["Formula"], AnalysisReport]:
+    """Static admission gate for constraint DDL (see
+    :func:`repro.analysis.checks.analyze_constraint_candidate`);
+    counted like any other analyzer run."""
+    from repro.analysis import checks
+
+    normalized, diags = checks.analyze_constraint_candidate(database, source)
+    return normalized, _report(diags)

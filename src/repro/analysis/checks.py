@@ -1,0 +1,961 @@
+"""The analyzer's check passes.
+
+Everything here is *static*: passes walk rule ASTs, the predicate
+dependency graph, and fact-store metadata (counts and point probes) —
+no rule is ever evaluated and no counter of the evaluation engine
+moves. The only engine machinery invoked is ``magic_rewrite`` itself
+(for the W001 fallback prediction), which is a syntactic program
+transformation whose metrics live on the evaluator, not the rewrite.
+
+Checks operate on parser-level ``(head, body)`` views rather than
+``Rule`` objects because ``Rule.__init__`` rejects unsafe rules — the
+very defects R001 exists to report.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.diagnostics import Diagnostic, code_for_error
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Literal,
+    Not,
+    Or,
+    TrueFormula,
+    conjuncts,
+    disjuncts,
+)
+from repro.logic.normalize import NormalizationError, normalize_constraint
+from repro.logic.parser import (
+    ParseError,
+    ParsedRule,
+    parse_formula,
+    parse_program,
+    parse_rule,
+)
+from repro.logic.safety import (
+    SafetyError,
+    check_constraint_safety,
+    check_rule_range_restricted,
+)
+from repro.logic.terms import Constant, Term, Variable
+
+#: Bodies longer than this are exempt from the quadratic duplicate /
+#: subsumption passes (W004/W005) — generated programs with huge rules
+#: should not make lint super-linear.
+_SUBSUMPTION_BODY_LIMIT = 8
+
+
+class FactsLike(Protocol):
+    """The slice of the fact-store contract the analyzer relies on.
+
+    Satisfied structurally by ``FactStore`` and every ``StoreBackend``;
+    the analyzer never mutates the store.
+    """
+
+    def count(self, pred: str) -> int: ...
+
+    def match(self, pattern: Atom) -> Iterator[Atom]: ...
+
+    def __iter__(self) -> Iterator[Atom]: ...
+
+
+class RuleView(NamedTuple):
+    """One rule as the analyzer sees it: parser-level head/body plus
+    its source-order index (the ``rule`` field of diagnostics)."""
+
+    index: int
+    head: Atom
+    body: Tuple[Literal, ...]
+
+    def render(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(str(l) for l in self.body)}."
+
+
+class ConstraintView(NamedTuple):
+    """One constraint: its identifier, the raw formula, and — when the
+    owning database has already normalized and vetted it — the
+    normalized form (so the analyzer skips re-deriving R003/R004)."""
+
+    index: int
+    id: str
+    formula: Formula
+    normalized: Optional[Formula]
+    vetted: bool
+
+
+# -- small AST helpers -------------------------------------------------------------------
+
+
+def _atoms_of(formula: Formula) -> Iterator[Atom]:
+    """Every atom occurrence in a formula, at any layer (raw parser
+    output or normalized restricted form)."""
+    if isinstance(formula, Atom):
+        yield formula
+    elif isinstance(formula, Literal):
+        yield formula.atom
+    elif isinstance(formula, Not):
+        yield from _atoms_of(formula.child)
+    elif isinstance(formula, (And, Or)):
+        for child in formula.children:
+            yield from _atoms_of(child)
+    elif isinstance(formula, Implies):
+        yield from _atoms_of(formula.antecedent)
+        yield from _atoms_of(formula.consequent)
+    elif isinstance(formula, Iff):
+        yield from _atoms_of(formula.left)
+        yield from _atoms_of(formula.right)
+    elif isinstance(formula, (Exists, Forall)):
+        if formula.restriction:
+            for atom in formula.restriction:
+                yield atom
+        yield from _atoms_of(formula.matrix)
+    # TrueFormula / FalseFormula contribute nothing.
+
+
+def _as_literal(formula: Formula) -> Optional[Literal]:
+    """View a propositional leaf as a literal (``None`` for anything
+    that is not one)."""
+    if isinstance(formula, Literal):
+        return formula
+    if isinstance(formula, Atom):
+        return Literal(formula)
+    if isinstance(formula, Not) and isinstance(formula.child, Atom):
+        return Literal(formula.child, False)
+    return None
+
+
+_CanonTerm = Tuple[str, str]
+
+
+def _canonical_key(
+    view: RuleView,
+) -> Tuple[Tuple[str, Tuple[_CanonTerm, ...]], Tuple[Any, ...]]:
+    """A rename-invariant key for duplicate detection: variables are
+    renamed V0, V1, … in order of first occurrence (head first), body
+    literals sorted."""
+    mapping: Dict[Variable, str] = {}
+
+    def canon(term: Term) -> _CanonTerm:
+        if isinstance(term, Variable):
+            return ("v", mapping.setdefault(term, f"V{len(mapping)}"))
+        return ("c", str(term))
+
+    head = (view.head.pred, tuple(canon(a) for a in view.head.args))
+    body = tuple(
+        sorted(
+            (lit.positive, lit.atom.pred, tuple(canon(a) for a in lit.atom.args))
+            for lit in view.body
+        )
+    )
+    return (head, body)
+
+
+def _match_term(
+    pattern: Term, target: Term, theta: Dict[Variable, Term]
+) -> Optional[Dict[Variable, Term]]:
+    """One-way matching: variables of *pattern* may bind, terms of
+    *target* are treated as constants."""
+    if isinstance(pattern, Variable):
+        bound = theta.get(pattern)
+        if bound is None:
+            extended = dict(theta)
+            extended[pattern] = target
+            return extended
+        return theta if bound == target else None
+    return theta if pattern == target else None
+
+
+def _match_atom(
+    pattern: Atom, target: Atom, theta: Dict[Variable, Term]
+) -> Optional[Dict[Variable, Term]]:
+    if pattern.pred != target.pred or len(pattern.args) != len(target.args):
+        return None
+    current: Optional[Dict[Variable, Term]] = theta
+    for a, b in zip(pattern.args, target.args):
+        if current is None:
+            return None
+        current = _match_term(a, b, current)
+    return current
+
+
+def _subsumes(general: RuleView, specific: RuleView) -> bool:
+    """θ-subsumption: some substitution maps *general*'s head onto
+    *specific*'s head and every body literal of *general* onto a body
+    literal of *specific* — making *specific* redundant."""
+    seed = _match_atom(general.head, specific.head, {})
+    if seed is None:
+        return False
+
+    def backtrack(position: int, theta: Dict[Variable, Term]) -> bool:
+        if position == len(general.body):
+            return True
+        literal = general.body[position]
+        for candidate in specific.body:
+            if candidate.positive != literal.positive:
+                continue
+            extended = _match_atom(literal.atom, candidate.atom, theta)
+            if extended is not None and backtrack(position + 1, extended):
+                return True
+        return False
+
+    return backtrack(0, seed)
+
+
+# -- check passes ------------------------------------------------------------------------
+
+
+def _safety_diags(rules: Sequence[RuleView]) -> List[Diagnostic]:
+    """R001 — range restriction, the pre-flight form of the error
+    ``delta_eval`` used to raise mid-check."""
+    out: List[Diagnostic] = []
+    for view in rules:
+        try:
+            check_rule_range_restricted(view.head, view.body)
+        except SafetyError as error:
+            out.append(
+                Diagnostic(
+                    "R001",
+                    str(error),
+                    rule=view.index,
+                    pred=view.head.pred,
+                    details={"rule": view.render()},
+                )
+            )
+    return out
+
+
+def _stratification_diags(rules: Sequence[RuleView]) -> List[Diagnostic]:
+    """R002 — recursion through negation, with the actual predicate
+    cycle named."""
+    from repro.analysis.graph import build_dependency_graph
+
+    graph = build_dependency_graph((v.head, v.body) for v in rules)
+    cycle = graph.negative_cycle()
+    if cycle is None:
+        return []
+    path = " -> ".join(cycle)
+    return [
+        Diagnostic(
+            "R002",
+            f"program is not stratified: recursion through negation "
+            f"along {path}",
+            pred=cycle[0],
+            details={"cycle": list(cycle)},
+        )
+    ]
+
+
+def _arity_diags(
+    rules: Sequence[RuleView],
+    constraints: Sequence[ConstraintView],
+    fact_atoms: Optional[Iterator[Atom]],
+) -> List[Diagnostic]:
+    """R005 — one predicate, several arities."""
+    first: Dict[str, Tuple[int, str]] = {}
+    conflicts: Dict[str, Set[int]] = {}
+    locations: Dict[str, List[str]] = {}
+
+    def record(atom: Atom, where: str) -> None:
+        seen = first.get(atom.pred)
+        if seen is None:
+            first[atom.pred] = (atom.arity, where)
+        elif seen[0] != atom.arity:
+            conflicts.setdefault(atom.pred, {seen[0]}).add(atom.arity)
+            spots = locations.setdefault(atom.pred, [seen[1]])
+            if where not in spots:
+                spots.append(where)
+
+    if fact_atoms is not None:
+        for atom in fact_atoms:
+            record(atom, f"fact {atom}")
+    for view in rules:
+        record(view.head, f"rule {view.index}")
+        for literal in view.body:
+            record(literal.atom, f"rule {view.index}")
+    for cview in constraints:
+        for atom in _atoms_of(cview.formula):
+            record(atom, f"constraint {cview.id}")
+
+    out: List[Diagnostic] = []
+    for pred in sorted(conflicts):
+        arities = sorted(conflicts[pred])
+        spots = ", ".join(locations[pred][:4])
+        out.append(
+            Diagnostic(
+                "R005",
+                f"predicate {pred!r} is used with conflicting arities "
+                f"{arities} ({spots})",
+                pred=pred,
+                details={"arities": arities},
+            )
+        )
+    return out
+
+
+def _liveness_diags(
+    rules: Sequence[RuleView],
+    constraints: Sequence[ConstraintView],
+    facts: FactsLike,
+) -> List[Diagnostic]:
+    """W003 — a positive body predicate with no facts and no rules can
+    never hold, so the rule derives nothing. W002 — when constraints
+    exist, a rule whose head predicate is not (transitively) consumed
+    by any constraint is dead weight at check time."""
+    out: List[Diagnostic] = []
+    heads = {view.head.pred for view in rules}
+    for view in rules:
+        for position, literal in enumerate(view.body):
+            pred = literal.atom.pred
+            if not literal.positive or pred in heads:
+                continue
+            if facts.count(pred) == 0:
+                out.append(
+                    Diagnostic(
+                        "W003",
+                        f"rule can never fire: body predicate {pred!r} has "
+                        f"no facts and no defining rule",
+                        rule=view.index,
+                        literal=position,
+                        pred=pred,
+                        details={"rule": view.render()},
+                    )
+                )
+    if constraints:
+        roots: Set[str] = set()
+        for cview in constraints:
+            roots.update(atom.pred for atom in _atoms_of(cview.formula))
+        by_head: Dict[str, List[RuleView]] = {}
+        for view in rules:
+            by_head.setdefault(view.head.pred, []).append(view)
+        live = set(roots)
+        stack = list(roots)
+        while stack:
+            pred = stack.pop()
+            for view in by_head.get(pred, ()):
+                for literal in view.body:
+                    body_pred = literal.atom.pred
+                    if body_pred not in live:
+                        live.add(body_pred)
+                        stack.append(body_pred)
+        for view in rules:
+            if view.head.pred not in live:
+                out.append(
+                    Diagnostic(
+                        "W002",
+                        f"dead rule: no constraint depends on "
+                        f"{view.head.pred!r} (directly or transitively)",
+                        rule=view.index,
+                        pred=view.head.pred,
+                        details={"rule": view.render()},
+                    )
+                )
+    return out
+
+
+def _redundancy_diags(rules: Sequence[RuleView]) -> List[Diagnostic]:
+    """W004 — duplicate rules (rename-invariant); W005 — rules made
+    redundant by a more general rule (θ-subsumption)."""
+    out: List[Diagnostic] = []
+    eligible = [
+        view for view in rules if len(view.body) <= _SUBSUMPTION_BODY_LIMIT
+    ]
+    keys = {view.index: _canonical_key(view) for view in eligible}
+    seen_keys: Dict[Any, RuleView] = {}
+    duplicate_of: Dict[int, int] = {}
+    for view in eligible:
+        key = keys[view.index]
+        if key in seen_keys:
+            original = seen_keys[key]
+            duplicate_of[view.index] = original.index
+            out.append(
+                Diagnostic(
+                    "W004",
+                    f"rule duplicates rule {original.index} "
+                    f"({original.render()})",
+                    rule=view.index,
+                    pred=view.head.pred,
+                    details={"duplicate_of": original.index},
+                )
+            )
+        else:
+            seen_keys[key] = view
+    for specific in eligible:
+        if specific.index in duplicate_of:
+            continue
+        for general in eligible:
+            if (
+                general.index == specific.index
+                or general.index in duplicate_of
+                or general.head.pred != specific.head.pred
+                or len(general.body) > len(specific.body)
+                or keys[general.index] == keys[specific.index]
+            ):
+                continue
+            if _subsumes(general, specific):
+                out.append(
+                    Diagnostic(
+                        "W005",
+                        f"rule is subsumed by the more general rule "
+                        f"{general.index} ({general.render()})",
+                        rule=specific.index,
+                        pred=specific.head.pred,
+                        details={"subsumed_by": general.index},
+                    )
+                )
+                break
+    return out
+
+
+def _plan_smell_diags(view: RuleView) -> List[Diagnostic]:
+    """W006 — body literals that share no variables join as a cartesian
+    product (the planner's connectivity notion, applied statically);
+    I001 — a cyclic body with negation cannot take the WCOJ path."""
+    out: List[Diagnostic] = []
+    with_vars = [
+        (i, lit) for i, lit in enumerate(view.body) if lit.atom.variables()
+    ]
+    positives = [(i, lit) for i, lit in with_vars if lit.positive]
+    if len(positives) >= 2:
+        # Union-find over literals sharing variables. Negative literals
+        # connect components too: an anti-join on shared variables is
+        # not a cartesian product.
+        parent = {i: i for i, _ in with_vars}
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        owner: Dict[Variable, int] = {}
+        for i, lit in with_vars:
+            for var in lit.atom.variables():
+                if var in owner:
+                    parent[find(i)] = find(owner[var])
+                else:
+                    owner[var] = i
+        components = {find(i) for i, _ in with_vars}
+        if len(components) > 1:
+            out.append(
+                Diagnostic(
+                    "W006",
+                    f"rule body splits into {len(components)} "
+                    f"variable-disjoint groups; the join degenerates to "
+                    f"a cartesian product",
+                    rule=view.index,
+                    pred=view.head.pred,
+                    details={
+                        "components": len(components),
+                        "rule": view.render(),
+                    },
+                )
+            )
+    if len(positives) >= 3 and any(not lit.positive for lit in view.body):
+        from repro.datalog.wcoj import is_acyclic
+
+        varsets = [lit.atom.variables() for _, lit in positives]
+        if not is_acyclic(varsets):
+            out.append(
+                Diagnostic(
+                    "I001",
+                    f"cyclic join over {len(positives)} literals with "
+                    f"negation in the body: ineligible for the "
+                    f"worst-case-optimal join path, hash join will be "
+                    f"used",
+                    rule=view.index,
+                    pred=view.head.pred,
+                    details={"positive_literals": len(positives)},
+                )
+            )
+    return out
+
+
+def _schema_diags(
+    rules: Sequence[RuleView], facts: FactsLike
+) -> List[Diagnostic]:
+    """I002 — a predicate with both stored facts and defining rules;
+    W008 — a constant in a positive body position that no fact and no
+    rule head can ever produce."""
+    out: List[Diagnostic] = []
+    heads = {view.head.pred for view in rules}
+    for pred in sorted(heads):
+        if facts.count(pred) > 0:
+            out.append(
+                Diagnostic(
+                    "I002",
+                    f"predicate {pred!r} is both extensional (stored "
+                    f"facts) and intensional (derived by rules)",
+                    pred=pred,
+                )
+            )
+    by_head: Dict[str, List[RuleView]] = {}
+    for view in rules:
+        by_head.setdefault(view.head.pred, []).append(view)
+    for view in rules:
+        for position, literal in enumerate(view.body):
+            if not literal.positive:
+                continue
+            pred = literal.atom.pred
+            populated = pred in heads or facts.count(pred) > 0
+            if not populated:
+                continue  # W003's territory
+            for slot, term in enumerate(literal.atom.args):
+                if not isinstance(term, Constant):
+                    continue
+                if _producible(pred, slot, term, by_head, facts, literal.atom):
+                    continue
+                out.append(
+                    Diagnostic(
+                        "W008",
+                        f"constant {term} at position {slot} of "
+                        f"{pred!r} is never produced by any fact or "
+                        f"rule head; the literal can never match",
+                        rule=view.index,
+                        literal=position,
+                        pred=pred,
+                        details={"position": slot, "constant": str(term)},
+                    )
+                )
+    return out
+
+
+def _producible(
+    pred: str,
+    slot: int,
+    term: Constant,
+    by_head: Dict[str, List[RuleView]],
+    facts: FactsLike,
+    atom: Atom,
+) -> bool:
+    for view in by_head.get(pred, ()):
+        if slot >= len(view.head.args):
+            continue  # arity conflict; R005 reports it
+        head_term = view.head.args[slot]
+        if isinstance(head_term, Variable) or head_term == term:
+            return True
+    pattern = Atom(
+        pred,
+        tuple(
+            term if i == slot else Variable(f"_W8_{i}")
+            for i in range(len(atom.args))
+        ),
+    )
+    return next(iter(facts.match(pattern)), None) is not None
+
+
+def constraint_triviality(normalized: Formula) -> Optional[Tuple[str, str]]:
+    """R006/W007 — the satisfiability front end's syntactic verdicts:
+    a constraint that normalizes to FALSE (or contains complementary
+    ground conjuncts) can never hold; one that normalizes to TRUE (or
+    contains complementary ground disjuncts) can never be violated."""
+    if isinstance(normalized, FalseFormula):
+        return (
+            "R006",
+            "constraint normalizes to FALSE; no database state can "
+            "satisfy it",
+        )
+    if isinstance(normalized, TrueFormula):
+        return (
+            "W007",
+            "constraint normalizes to TRUE; it can never be violated",
+        )
+
+    def complementary_pair(
+        parts: Sequence[Formula],
+    ) -> Optional[Literal]:
+        literals = []
+        for part in parts:
+            literal = _as_literal(part)
+            if literal is not None and literal.atom.is_ground():
+                literals.append(literal)
+        index = {(lit.atom, lit.positive) for lit in literals}
+        for lit in literals:
+            if (lit.atom, not lit.positive) in index:
+                return lit
+        return None
+
+    witness = complementary_pair(conjuncts(normalized))
+    if witness is not None:
+        return (
+            "R006",
+            f"constraint conjoins {witness.atom} with its negation; it "
+            f"is unsatisfiable",
+        )
+    witness = complementary_pair(disjuncts(normalized))
+    if witness is not None:
+        return (
+            "W007",
+            f"constraint disjoins {witness.atom} with its negation; it "
+            f"is a tautology",
+        )
+    return None
+
+
+def _constraint_diags(
+    constraints: Sequence[ConstraintView],
+) -> List[Diagnostic]:
+    """R003/R004 on un-vetted constraints, then R006/W007 triage."""
+    out: List[Diagnostic] = []
+    for cview in constraints:
+        normalized = cview.normalized
+        if not cview.vetted:
+            free = cview.formula.free_variables()
+            if free:
+                names = ", ".join(sorted(v.name for v in free))
+                out.append(
+                    Diagnostic(
+                        "R003",
+                        f"constraint is not closed; free: {names}",
+                        constraint=cview.id,
+                        details={"free": sorted(v.name for v in free)},
+                    )
+                )
+                continue
+            try:
+                normalized = normalize_constraint(cview.formula)
+                check_constraint_safety(normalized)
+            except (NormalizationError, SafetyError) as error:
+                out.append(
+                    Diagnostic(
+                        code_for_error(error) or "R004",
+                        str(error),
+                        constraint=cview.id,
+                    )
+                )
+                continue
+        if normalized is None:
+            normalized = cview.formula
+        verdict = constraint_triviality(normalized)
+        if verdict is not None:
+            code, message = verdict
+            out.append(Diagnostic(code, message, constraint=cview.id))
+    return out
+
+
+def _magic_fallback_diags(rules: Sequence[RuleView]) -> List[Diagnostic]:
+    """W001 — predict, per intensional predicate, whether the magic
+    rewrite would lose stratification and fall back to full
+    saturation. Only attempted on programs already known to be safe
+    and stratified (``Rule``/``Program`` construction is then exact).
+
+    ``magic_rewrite`` is a pure program transformation; the
+    ``magic.rewrites`` counter lives on the evaluator, so this pass is
+    metrics-silent — pinned by the admission-gate counter test.
+    """
+    from repro.datalog.magic import (
+        MagicRewriteError,
+        MagicStratificationError,
+        magic_rewrite,
+    )
+    from repro.datalog.program import Program, Rule
+
+    program = Program(Rule(view.head, view.body) for view in rules)
+    idb = program.idb_predicates
+    negated_heads = {
+        rule.head.pred
+        for rule in program
+        if any(
+            not literal.positive and literal.atom.pred in idb
+            for literal in rule.body
+        )
+    }
+    if not negated_heads:
+        return []
+    out: List[Diagnostic] = []
+    for pred in sorted(idb):
+        if not (program.reachable_from(pred) & negated_heads):
+            continue
+        defining = program.rules_for(pred)
+        if not defining:
+            continue
+        arity = defining[0].head.arity
+        if arity == 0:
+            continue
+        pattern = Atom(
+            pred, tuple(Constant(f"_lint{i}") for i in range(arity))
+        )
+        adornment = "b" * arity
+        try:
+            magic_rewrite(program, pattern, None, True)
+        except MagicStratificationError as error:
+            out.append(
+                Diagnostic(
+                    "W001",
+                    f"demand transformation for {pred}@{adornment} "
+                    f"falls back to full saturation: {error}",
+                    pred=pred,
+                    details={"pred": pred, "adornment": adornment},
+                )
+            )
+        except MagicRewriteError:
+            continue
+    return out
+
+
+# -- entry points ------------------------------------------------------------------------
+
+
+def run_checks(
+    facts: FactsLike,
+    rules: Sequence[RuleView],
+    constraints: Sequence[ConstraintView],
+    fact_atoms: Optional[Iterator[Atom]] = None,
+) -> List[Diagnostic]:
+    """All passes over one program. *fact_atoms*, when given, feeds the
+    arity pass (a full-store scan is only paid when the caller opts
+    in — `analyze` does, the per-statement DDL gates do not)."""
+    diags: List[Diagnostic] = []
+    diags.extend(_safety_diags(rules))
+    diags.extend(_stratification_diags(rules))
+    diags.extend(_arity_diags(rules, constraints, fact_atoms))
+    diags.extend(_liveness_diags(rules, constraints, facts))
+    diags.extend(_redundancy_diags(rules))
+    for view in rules:
+        diags.extend(_plan_smell_diags(view))
+    diags.extend(_schema_diags(rules, facts))
+    diags.extend(_constraint_diags(constraints))
+    if not any(d.code in ("R001", "R002") for d in diags):
+        diags.extend(_magic_fallback_diags(rules))
+    return diags
+
+
+def analyze_source(text: str) -> List[Diagnostic]:
+    """Analyze a program in surface syntax (never constructs engine
+    objects for defective input, so R001/R002 are reportable)."""
+    from repro.datalog.facts import FactStore
+
+    try:
+        parsed = parse_program(text)
+    except ParseError as error:
+        return [Diagnostic("R000", str(error))]
+    rules = [
+        RuleView(i, rule.head, tuple(rule.body))
+        for i, rule in enumerate(parsed.rules)
+    ]
+    constraints = [
+        ConstraintView(i, f"ic{i}", formula, None, False)
+        for i, formula in enumerate(parsed.constraints)
+    ]
+    facts = FactStore(parsed.facts)
+    return run_checks(facts, rules, constraints, iter(parsed.facts))
+
+
+def analyze_database(database: Any) -> List[Diagnostic]:
+    """Analyze a constructed ``DeductiveDatabase`` (rules and
+    constraints there are already safe/stratified by construction, so
+    this surfaces the warning/info tiers plus fact-level R005)."""
+    rules = [
+        RuleView(i, rule.head, tuple(rule.body))
+        for i, rule in enumerate(database.program)
+    ]
+    constraints = [
+        ConstraintView(i, c.id, c.formula, c.formula, True)
+        for i, c in enumerate(database.constraints)
+    ]
+    return run_checks(
+        database.facts, rules, constraints, iter(database.facts)
+    )
+
+
+def _known_signatures(database: Any) -> Dict[str, Tuple[int, str]]:
+    """First-seen (arity, where) per predicate across the database's
+    rules and constraints — the candidate gates compare against this
+    instead of scanning the fact store."""
+    known: Dict[str, Tuple[int, str]] = {}
+    for index, rule in enumerate(database.program):
+        known.setdefault(rule.head.pred, (rule.head.arity, f"rule {index}"))
+        for literal in rule.body:
+            known.setdefault(
+                literal.atom.pred, (literal.atom.arity, f"rule {index}")
+            )
+    for constraint in database.constraints:
+        for atom in _atoms_of(constraint.formula):
+            known.setdefault(
+                atom.pred, (atom.arity, f"constraint {constraint.id}")
+            )
+    return known
+
+
+def _schema_arity_diags(
+    database: Any, atoms: Sequence[Atom], where: str
+) -> List[Diagnostic]:
+    """R005 for a DDL candidate against the live schema. Fact arities
+    are probed per-predicate (count + one point lookup), never by
+    scanning the store — this runs on the admission path."""
+    known = _known_signatures(database)
+    facts: FactsLike = database.facts
+    out: List[Diagnostic] = []
+    flagged: Set[str] = set()
+    for atom in atoms:
+        if atom.pred in flagged:
+            continue
+        entry = known.get(atom.pred)
+        if entry is not None:
+            if entry[0] != atom.arity:
+                flagged.add(atom.pred)
+                out.append(
+                    Diagnostic(
+                        "R005",
+                        f"{where} uses {atom.pred!r} with arity "
+                        f"{atom.arity} but {entry[1]} uses arity "
+                        f"{entry[0]}",
+                        pred=atom.pred,
+                        details={"arities": sorted({atom.arity, entry[0]})},
+                    )
+                )
+            continue
+        if facts.count(atom.pred) > 0:
+            probe = Atom(
+                atom.pred,
+                tuple(Variable(f"_lint{i}") for i in range(atom.arity)),
+            )
+            if next(iter(facts.match(probe)), None) is None:
+                flagged.add(atom.pred)
+                out.append(
+                    Diagnostic(
+                        "R005",
+                        f"{where} uses {atom.pred!r} with arity "
+                        f"{atom.arity} but the stored facts of "
+                        f"{atom.pred!r} have a different arity",
+                        pred=atom.pred,
+                        details={"arity": atom.arity},
+                    )
+                )
+    return out
+
+
+def analyze_rule_candidate(
+    database: Any, source: Union[str, ParsedRule]
+) -> Tuple[Optional[ParsedRule], List[Diagnostic]]:
+    """The static admission gate for rule DDL: parse, safety, schema
+    arity, stratification of program+candidate, and plan smells —
+    without constructing a ``Rule`` or touching the evaluator.
+
+    Returns the parsed rule (``None`` if unparseable) and the
+    diagnostics; callers reject when any diagnostic is an error.
+    """
+    if isinstance(source, str):
+        try:
+            parsed = parse_rule(source)
+        except ParseError as error:
+            return None, [Diagnostic("R000", str(error))]
+    else:
+        parsed = source
+    view = RuleView(0, parsed.head, tuple(parsed.body))
+    diags: List[Diagnostic] = []
+    try:
+        check_rule_range_restricted(view.head, view.body)
+    except SafetyError as error:
+        diags.append(
+            Diagnostic("R001", str(error), rule=0, pred=view.head.pred)
+        )
+    atoms = [view.head] + [literal.atom for literal in view.body]
+    diags.extend(_schema_arity_diags(database, atoms, "rule"))
+    if not any(d.code == "R001" for d in diags):
+        from repro.analysis.graph import build_dependency_graph
+
+        graph = build_dependency_graph(
+            [(rule.head, rule.body) for rule in database.program]
+            + [(view.head, view.body)]
+        )
+        cycle = graph.negative_cycle()
+        if cycle is not None:
+            path = " -> ".join(cycle)
+            diags.append(
+                Diagnostic(
+                    "R002",
+                    f"adding this rule makes the program unstratified: "
+                    f"recursion through negation along {path}",
+                    rule=0,
+                    pred=cycle[0],
+                    details={"cycle": list(cycle)},
+                )
+            )
+    diags.extend(_plan_smell_diags(view))
+    for position, literal in enumerate(view.body):
+        pred = literal.atom.pred
+        if (
+            literal.positive
+            and not database.program.is_idb(pred)
+            and pred != view.head.pred
+            and database.facts.count(pred) == 0
+        ):
+            diags.append(
+                Diagnostic(
+                    "W003",
+                    f"rule can never fire: body predicate {pred!r} has "
+                    f"no facts and no defining rule",
+                    rule=0,
+                    literal=position,
+                    pred=pred,
+                )
+            )
+    return parsed, diags
+
+
+def analyze_constraint_candidate(
+    database: Any, source: Union[str, Formula]
+) -> Tuple[Optional[Formula], List[Diagnostic]]:
+    """The static admission gate for constraint DDL: parse, closedness,
+    normalization/domain independence, schema arity, and triviality
+    triage — all before the satisfiability machinery gets a look.
+
+    Returns the normalized formula (``None`` when an error prevents
+    normalization) and the diagnostics.
+    """
+    if isinstance(source, str):
+        try:
+            formula: Formula = parse_formula(source)
+        except ParseError as error:
+            return None, [Diagnostic("R000", str(error))]
+    else:
+        formula = source
+    diags: List[Diagnostic] = []
+    free = formula.free_variables()
+    if free:
+        names = ", ".join(sorted(v.name for v in free))
+        return None, [
+            Diagnostic(
+                "R003",
+                f"constraint is not closed; free: {names}",
+                details={"free": sorted(v.name for v in free)},
+            )
+        ]
+    try:
+        normalized = normalize_constraint(formula)
+        check_constraint_safety(normalized)
+    except (NormalizationError, SafetyError) as error:
+        return None, [
+            Diagnostic(code_for_error(error) or "R004", str(error))
+        ]
+    diags.extend(
+        _schema_arity_diags(database, list(_atoms_of(formula)), "constraint")
+    )
+    verdict = constraint_triviality(normalized)
+    if verdict is not None:
+        code, message = verdict
+        diags.append(Diagnostic(code, message))
+    return normalized, diags

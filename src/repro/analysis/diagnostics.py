@@ -1,0 +1,279 @@
+"""Diagnostic records for the static analyzer.
+
+One stable, machine-readable vocabulary for everything the analyzer can
+say about a program: ``R0xx`` codes are errors (the engine would reject
+or crash on the construct at evaluation time), ``W0xx`` are warnings
+(legal but almost certainly not what the author meant, or a predictable
+performance cliff), ``I0xx`` are informational notes. The catalog below
+is the contract — codes are never renumbered, only appended.
+
+This module is deliberately a leaf: it imports nothing from the engine,
+so every layer (``delta_eval``'s runtime guard, the CLI error handler,
+the service DDL gate) can render the same coded text without import
+cycles.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Severity levels, most severe first.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK: Dict[str, int] = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: code -> (severity, one-line title). The README's diagnostic catalog
+#: table mirrors this mapping; ``tests/analysis`` pins one fixture per
+#: code.
+CATALOG: Dict[str, Tuple[str, str]] = {
+    "R000": (ERROR, "source does not parse"),
+    "R001": (ERROR, "rule is not range-restricted"),
+    "R002": (ERROR, "program is not stratified (recursion through negation)"),
+    "R003": (ERROR, "constraint is not closed"),
+    "R004": (ERROR, "constraint is not domain independent"),
+    "R005": (ERROR, "predicate used at conflicting arities"),
+    "R006": (ERROR, "constraint is trivially unsatisfiable"),
+    "W001": (WARNING, "magic rewrite loses stratification; fallback predicted"),
+    "W002": (WARNING, "dead rule: head predicate is never consumed"),
+    "W003": (WARNING, "unreachable rule: body predicate is always empty"),
+    "W004": (WARNING, "duplicate rule"),
+    "W005": (WARNING, "rule is subsumed by another rule"),
+    "W006": (WARNING, "disconnected rule body (cartesian product)"),
+    "W007": (WARNING, "constraint is a tautology"),
+    "W008": (WARNING, "body constant is never produced at this position"),
+    "I001": (INFO, "cyclic body with negation is ineligible for WCOJ"),
+    "I002": (INFO, "predicate is both extensional and intensional"),
+}
+
+_CODE_PREFIX = re.compile(r"^[RWI]\d{3}: ")
+
+
+def severity_of(code: str) -> str:
+    """The catalog severity of *code* (raises ``KeyError`` on unknowns,
+    so a typo in a check fails loudly at test time)."""
+    return CATALOG[code][0]
+
+
+def coded(code: str, message: str) -> str:
+    """The canonical one-line rendering ``CODE: message`` — the exact
+    text every surface (lint, runtime errors, the CLI handler) emits.
+    Idempotent: an already-coded message is returned unchanged."""
+    if _CODE_PREFIX.match(message):
+        return message
+    return f"{code}: {message}"
+
+
+def code_for_error(error: BaseException) -> Optional[str]:
+    """Classify an engine exception under a diagnostic code.
+
+    Matches on exception type names and the pinned message phrases the
+    safety/stratification layers emit, so this stays a leaf module
+    (no imports from the engine) yet agrees with the analyzer's own
+    classification of the same defects.
+    """
+    names = {cls.__name__ for cls in type(error).__mro__}
+    text = str(error)
+    if "ParseError" in names:
+        return "R000"
+    if "StratificationError" in names or "not stratified" in text:
+        return "R002"
+    if "is not range-restricted" in text:
+        return "R001"
+    # Closedness phrasing comes from both the safety layer ("constraint
+    # is not closed") and the normalizer ("constraints must be closed"),
+    # so test it before the blanket NormalizationError -> R004 mapping.
+    if "constraint is not closed" in text or "must be closed" in text:
+        return "R003"
+    if "NormalizationError" in names:
+        return "R004"
+    if (
+        "quantifier without restriction" in text
+        or "does not cover variable" in text
+    ):
+        return "R004"
+    return None
+
+
+def coded_message(error: BaseException) -> str:
+    """``str(error)`` with its diagnostic code prefixed when the error
+    classifies under one — the CLI's one-line rendering."""
+    code = code_for_error(error)
+    text = str(error)
+    if code is None:
+        return text
+    return coded(code, text)
+
+
+class Diagnostic:
+    """One finding: a stable code, a location, and a message.
+
+    ``rule`` / ``literal`` are zero-based indices into the analyzed
+    program's rule list and the rule's body (``None`` when the finding
+    is not anchored to one); ``constraint`` identifies a constraint by
+    id (or ``c<index>`` for unnamed source constraints); ``pred`` names
+    the predicate at fault when there is one. ``details`` carries
+    check-specific machine-readable fields.
+    """
+
+    __slots__ = (
+        "code",
+        "severity",
+        "message",
+        "rule",
+        "literal",
+        "constraint",
+        "pred",
+        "details",
+    )
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        rule: Optional[int] = None,
+        literal: Optional[int] = None,
+        constraint: Optional[str] = None,
+        pred: Optional[str] = None,
+        details: Optional[Dict[str, Any]] = None,
+    ):
+        self.code = code
+        self.severity = severity_of(code)
+        self.message = message
+        self.rule = rule
+        self.literal = literal
+        self.constraint = constraint
+        self.pred = pred
+        self.details: Dict[str, Any] = dict(details) if details else {}
+
+    def where(self) -> str:
+        """A short location label: ``rule 2``, ``rule 2 literal 1``,
+        ``constraint ic_1``, or ``program``."""
+        if self.rule is not None:
+            if self.literal is not None:
+                return f"rule {self.rule} literal {self.literal}"
+            return f"rule {self.rule}"
+        if self.constraint is not None:
+            return f"constraint {self.constraint}"
+        return "program"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire/JSON form (the service attaches lists of these to
+        DDL responses; ``repro lint --format json`` prints them)."""
+        out: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "where": self.where(),
+        }
+        for key in ("rule", "literal", "constraint", "pred"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.details:
+            out["details"] = dict(self.details)
+        return out
+
+    def __str__(self) -> str:
+        return coded(self.code, self.message)
+
+    def __repr__(self) -> str:
+        return f"Diagnostic({self.code} @ {self.where()}: {self.message!r})"
+
+
+def _sort_key(diagnostic: Diagnostic) -> Tuple[int, str, int, str]:
+    return (
+        _SEVERITY_RANK[diagnostic.severity],
+        diagnostic.code,
+        diagnostic.rule if diagnostic.rule is not None else -1,
+        diagnostic.constraint or "",
+    )
+
+
+class AnalysisReport:
+    """The analyzer's verdict: an ordered list of diagnostics plus
+    aggregate helpers. Sorted most-severe first, then by code and
+    location, so rendering and wire output are deterministic."""
+
+    __slots__ = ("diagnostics",)
+
+    def __init__(self, diagnostics: Sequence[Diagnostic] = ()):
+        self.diagnostics: Tuple[Diagnostic, ...] = tuple(
+            sorted(diagnostics, key=_sort_key)
+        )
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    @property
+    def has_warnings(self) -> bool:
+        return any(d.severity == WARNING for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        """The distinct codes present, sorted — what the parametrized
+        fixture tests assert on."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def exit_code(self) -> int:
+        """The ``repro lint`` convention: 0 clean, 1 warnings only,
+        2 errors."""
+        if self.has_errors:
+            return 2
+        if self.has_warnings:
+            return 1
+        return 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "info": len(self.infos()),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": self.summary(),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line rendering (the lint verb's text
+        format)."""
+        if not self.diagnostics:
+            return "clean: no diagnostics"
+        lines = [
+            f"{d.code} {d.severity} {d.where()}: {d.message}"
+            for d in self.diagnostics
+        ]
+        counts = self.summary()
+        lines.append(
+            f"{counts['errors']} error(s), {counts['warnings']} "
+            f"warning(s), {counts['info']} note(s)"
+        )
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __repr__(self) -> str:
+        counts = self.summary()
+        return (
+            f"AnalysisReport({counts['errors']}E/"
+            f"{counts['warnings']}W/{counts['info']}I)"
+        )

@@ -1,0 +1,170 @@
+"""Signed predicate dependency graph for static analysis.
+
+Works on bare ``(head, body)`` pairs so it serves both constructed
+``Rule`` objects and parser-level ``ParsedRule`` tuples — the latter
+matters because ``Rule.__init__`` rejects unsafe rules outright, so
+source-level analysis never gets to build them.
+
+``Program._compute_strata`` also calls into :func:`find_negative_cycle`
+to name the offending predicate path when it raises
+``StratificationError`` (lazily, to keep this package out of the
+engine's import-time graph).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.logic.formulas import Atom, Literal
+
+
+class DependencyGraph:
+    """Predicate-level dependency graph with edge signs.
+
+    An edge ``head -> pred`` exists when some rule for ``head`` uses
+    ``pred`` in its body; it is *negative* when at least one such use
+    is negated.
+    """
+
+    __slots__ = ("nodes", "successors", "negative_edges", "heads")
+
+    def __init__(self) -> None:
+        self.nodes: Set[str] = set()
+        self.successors: Dict[str, Set[str]] = {}
+        self.negative_edges: Set[Tuple[str, str]] = set()
+        #: Predicates defined by at least one rule head.
+        self.heads: Set[str] = set()
+
+    def add_rule(self, head: Atom, body: Sequence[Literal]) -> None:
+        head_pred = head.pred
+        self.nodes.add(head_pred)
+        self.heads.add(head_pred)
+        edges = self.successors.setdefault(head_pred, set())
+        for literal in body:
+            pred = literal.atom.pred
+            self.nodes.add(pred)
+            edges.add(pred)
+            if not literal.positive:
+                self.negative_edges.add((head_pred, pred))
+
+    def sccs(self) -> List[List[str]]:
+        """Strongly connected components (iterative Tarjan, so deep
+        rule chains cannot blow the recursion limit)."""
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[List[str]] = []
+        counter = 0
+
+        for root in sorted(self.nodes):
+            if root in index:
+                continue
+            # Each work item is (node, iterator over its successors).
+            work: List[Tuple[str, List[str]]] = [
+                (root, sorted(self.successors.get(root, ())))
+            ]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, succs = work[-1]
+                advanced = False
+                while succs:
+                    nxt = succs.pop(0)
+                    if nxt not in index:
+                        index[nxt] = lowlink[nxt] = counter
+                        counter += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append(
+                            (nxt, sorted(self.successors.get(nxt, ())))
+                        )
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        lowlink[node] = min(lowlink[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    def negative_cycle(self) -> Optional[List[str]]:
+        """A predicate path witnessing recursion through negation.
+
+        Returns e.g. ``['p', 'r', 'p']`` — a cycle that traverses at
+        least one negative edge — or ``None`` when the graph is
+        stratifiable. Deterministic: the lexicographically first
+        negative edge inside a cycle is reported.
+        """
+        scc_of: Dict[str, int] = {}
+        for i, component in enumerate(self.sccs()):
+            for node in component:
+                scc_of[node] = i
+        for source, target in sorted(self.negative_edges):
+            if scc_of.get(source) != scc_of.get(target):
+                continue
+            path = self._path_within_scc(target, source, scc_of)
+            if path is not None:
+                return [source] + path
+        return None
+
+    def _path_within_scc(
+        self, start: str, goal: str, scc_of: Dict[str, int]
+    ) -> Optional[List[str]]:
+        """Shortest predicate path ``start -> … -> goal`` staying inside
+        one SCC (BFS; both ends are in the same SCC by construction)."""
+        component = scc_of[start]
+        if start == goal:
+            return [start]
+        parents: Dict[str, str] = {}
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                for succ in sorted(self.successors.get(node, ())):
+                    if succ in seen or scc_of.get(succ) != component:
+                        continue
+                    parents[succ] = node
+                    if succ == goal:
+                        path = [goal]
+                        while path[-1] != start:
+                            path.append(parents[path[-1]])
+                        path.reverse()
+                        return path
+                    seen.add(succ)
+                    nxt.append(succ)
+            frontier = nxt
+        return None
+
+
+def build_dependency_graph(
+    rules: Iterable[Tuple[Atom, Sequence[Literal]]],
+) -> DependencyGraph:
+    graph = DependencyGraph()
+    for head, body in rules:
+        graph.add_rule(head, body)
+    return graph
+
+
+def find_negative_cycle(
+    rules: Iterable[Tuple[Atom, Sequence[Literal]]],
+) -> Optional[List[str]]:
+    """Convenience wrapper: the negative-cycle predicate path of a rule
+    set, or ``None`` if stratifiable. ``Program`` uses this to decorate
+    ``StratificationError`` messages."""
+    return build_dependency_graph(rules).negative_cycle()

@@ -7,6 +7,7 @@ evolution and the database service from the shell.
     python -m repro satcheck schema.dl --budget 8 --no-reuse
     python -m repro query db.dl "forall X: p(X) -> q(X)"
     python -m repro model db.dl
+    python -m repro lint db.dl --format json --fail-on error
     python -m repro evolve db.dl --constraint "forall X: p(X) -> q(X)"
     python -m repro serve ./data --port 7407 --metrics-port 9464
     python -m repro shell --port 7407
@@ -15,7 +16,8 @@ evolution and the database service from the shell.
 ``check`` exits 0 when the update preserves integrity, 1 otherwise;
 ``satcheck`` exits 0 / 1 / 2 for satisfiable / unsatisfiable / unknown;
 ``evolve`` exits 0 / 1 / 2 / 3 for accepted / incompatible / undecided
-/ repairable. ``check``, ``query`` and ``evolve`` take ``--format
+/ repairable; ``lint`` exits 0 / 1 / 2 for clean / warnings / errors
+(``--fail-on error`` treats warnings as clean). ``check``, ``query`` and ``evolve`` take ``--format
 json`` for machine-readable verdicts in exactly the schema the service
 protocol speaks (:mod:`repro.serialize`).
 """
@@ -313,6 +315,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_option(model)
     _add_obs_options(model)
 
+    lint = commands.add_parser(
+        "lint",
+        help="statically analyze programs: coded diagnostics "
+        "(R0xx errors / W0xx warnings / I0xx notes), no evaluation",
+    )
+    lint.add_argument(
+        "databases",
+        nargs="+",
+        metavar="FILE",
+        help="database source file(s) to analyze",
+    )
+    lint.add_argument(
+        "--fail-on",
+        dest="fail_on",
+        choices=("warning", "error"),
+        default="warning",
+        help="lowest severity that makes the exit status non-zero "
+        "(default: %(default)s — warnings exit 1, errors exit 2)",
+    )
+    _add_format_option(lint)
+
     evolve = commands.add_parser(
         "evolve",
         help="triage a candidate constraint: accepted / repairable / "
@@ -570,6 +593,45 @@ def _run_model(args) -> int:
     return 0
 
 
+def _run_lint(args) -> int:
+    from repro.analysis import analyze
+
+    reports = []
+    for path in args.databases:
+        try:
+            with open(path) as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        reports.append((path, analyze(source)))
+    if args.format == "json":
+        files = [
+            {"path": path, **report.to_dict()} for path, report in reports
+        ]
+        summary = {
+            key: sum(report.summary()[key] for _, report in reports)
+            for key in ("errors", "warnings", "info")
+        }
+        payload = files[0] if len(files) == 1 else {
+            "files": files,
+            "summary": summary,
+        }
+        print(json.dumps(payload))
+    else:
+        for path, report in reports:
+            prefix = f"{path}: " if len(reports) > 1 else ""
+            for line in report.render().splitlines():
+                print(f"{prefix}{line}")
+    if any(report.has_errors for _, report in reports):
+        return 2
+    if args.fail_on == "warning" and any(
+        report.has_warnings for _, report in reports
+    ):
+        return 1
+    return 0
+
+
 #: ``repro evolve`` exit codes, one per triage status.
 EVOLVE_EXIT_CODES = {
     "accepted": 0,
@@ -807,6 +869,7 @@ commands:
   explain FORMULA         query with the server's EXPLAIN trace
   holds ATOM              ground-atom truth
   constraint FORMULA      propose constraint DDL (triage-gated)
+  rule RULE               propose rule DDL (lint- and integrity-gated)
   model | stats | databases | checkpoint | ping
   raw JSON                send a raw protocol request
   help | quit\
@@ -871,6 +934,10 @@ def _shell_request(state, line: str):
         if not state.get("db"):
             raise ValueError("open a database first")
         return {"op": "add_constraint", "db": state["db"], "constraint": rest}
+    if command == "rule":
+        if not state.get("db"):
+            raise ValueError("open a database first")
+        return {"op": "add_rule", "db": state["db"], "rule": rest}
     raise ValueError(f"unknown command {command!r} (try 'help')")
 
 
@@ -961,14 +1028,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _run_serve,
         "shell": _run_shell,
         "top": _run_top,
+        "lint": _run_lint,
     }
     try:
         return runners[args.command](args)
     except ValueError as error:
         # User-input errors past argparse — malformed database or
         # formula syntax (ParseError), non-ground update literals,
-        # unsafe constraints — fail with one line, not a traceback.
-        print(f"error: {error}", file=sys.stderr)
+        # unsafe constraints — fail with one line, carrying the same
+        # diagnostic code the analyzer assigns to the defect.
+        from repro.analysis.diagnostics import coded_message
+
+        print(f"error: {coded_message(error)}", file=sys.stderr)
         return 2
 
 

@@ -354,6 +354,15 @@ class DeductiveDatabase:
 
     # -- inspection ---------------------------------------------------------------------------------
 
+    def analyze(self):
+        """Run the static analyzer over this database and return an
+        :class:`repro.analysis.AnalysisReport` (warning/info tiers
+        plus fact-level schema checks; safety and stratification were
+        already enforced at construction)."""
+        from repro.analysis import analyze
+
+        return analyze(self)
+
     def to_source(self) -> str:
         """The database as re-parseable surface syntax — the inverse of
         :meth:`from_source` (modulo constraint normalization)."""

@@ -9,7 +9,16 @@ recursion through negation.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.logic.formulas import Atom, Literal
 from repro.logic.parser import ParsedRule
@@ -176,12 +185,32 @@ class Program:
                         changed = True
                         if stratum[head_pred] > limit:
                             raise StratificationError(
-                                f"program is not stratified: negative "
-                                f"recursion through {head_pred!r}"
+                                self._stratification_failure(head_pred)
                             )
             if not changed:
                 return stratum
-        raise StratificationError("program is not stratified")
+        raise StratificationError(self._stratification_failure(None))
+
+    def _stratification_failure(self, pred: Optional[str]) -> str:
+        """The error message for an unstratifiable program, naming the
+        negative-recursion predicate cycle when the analyzer's graph
+        pass can find one (imported lazily: repro.analysis.graph is a
+        leaf over the logic layer, so no cycle with this module)."""
+        from repro.analysis.graph import find_negative_cycle
+
+        cycle = find_negative_cycle((r.head, r.body) for r in self.rules)
+        if cycle is not None:
+            path = " -> ".join(cycle)
+            return (
+                f"program is not stratified: recursion through negation "
+                f"along {path}"
+            )
+        if pred is not None:
+            return (
+                f"program is not stratified: negative recursion "
+                f"through {pred!r}"
+            )
+        return "program is not stratified"
 
     def stratum_of(self, pred: str) -> int:
         return self._stratum_of.get(pred, 0)

@@ -553,9 +553,18 @@ class IntegrityChecker:
     def _coerce_rule(self, rule):
         from repro.datalog.program import Rule
         from repro.logic.parser import parse_rule
+        from repro.logic.safety import SafetyError
 
         if isinstance(rule, str):
-            return Rule.from_parsed(parse_rule(rule))
+            try:
+                return Rule.from_parsed(parse_rule(rule))
+            except SafetyError as error:
+                # Surface the analyzer's stable code on the library
+                # rule-update path too, so an unsafe rule reads
+                # identically here, in ``repro lint`` and on the wire.
+                from repro.analysis.diagnostics import coded_message
+
+                raise SafetyError(coded_message(error)) from None
         return rule
 
     def _rule_seeds(self, rule, body_state, inserted: bool) -> List[Literal]:

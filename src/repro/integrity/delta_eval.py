@@ -193,9 +193,15 @@ class DeltaEvaluator:
             ):
                 candidate = head.substitute(answer)
                 if not candidate.atom.is_ground():  # pragma: no cover
+                    from repro.analysis.diagnostics import coded
+
                     raise ValueError(
-                        f"non-ground induced candidate {candidate}; "
-                        f"rule {dependency.rule} is not range-restricted"
+                        coded(
+                            "R001",
+                            f"rule {dependency.rule} is not "
+                            f"range-restricted: induced candidate "
+                            f"{candidate} is non-ground",
+                        )
                     )
                 self.candidates_examined += 1
                 if self._truth_changed(candidate):

@@ -53,9 +53,20 @@ class ConstraintAdditionResult:
       unsatisfiable: no factual repair can ever succeed;
     * ``undecided``    — violated, and the bounded satisfiability
       search could not settle compatibility (semi-decidability).
+
+    ``diagnostics`` lists the static analyzer's
+    :class:`repro.analysis.Diagnostic` findings for the candidate
+    (e.g. the ``R006`` that short-circuited triage, or a ``W007``
+    tautology note on an accepted constraint).
     """
 
-    __slots__ = ("status", "constraint", "witnesses", "satisfiability")
+    __slots__ = (
+        "status",
+        "constraint",
+        "witnesses",
+        "satisfiability",
+        "diagnostics",
+    )
 
     def __init__(
         self,
@@ -63,11 +74,13 @@ class ConstraintAdditionResult:
         constraint: Constraint,
         witnesses: List,
         satisfiability: Optional[SatResult],
+        diagnostics: Optional[List] = None,
     ):
         self.status = status
         self.constraint = constraint
         self.witnesses = witnesses
         self.satisfiability = satisfiability
+        self.diagnostics = list(diagnostics) if diagnostics else []
 
     @property
     def sample_model(self):
@@ -101,9 +114,30 @@ def assess_constraint_addition(
         id = f"candidate{len(database.constraints) + 1}"
     candidate = Constraint(id, normalized, source)
 
+    # Syntactic triage first (lazy import: repro.analysis sits above
+    # the integrity layer). A constraint the analyzer proves
+    # unsatisfiable — it normalizes to FALSE or conjoins a ground atom
+    # with its own negation — is incompatible with *any* database, so
+    # the bounded satisfiability search would burn its whole budget
+    # confirming the obvious. Short-circuit it.
+    from repro.analysis.checks import constraint_triviality
+    from repro.analysis.diagnostics import Diagnostic
+
+    diagnostics: List = []
+    verdict = constraint_triviality(normalized)
+    if verdict is not None:
+        code, message = verdict
+        diagnostics.append(Diagnostic(code, message, constraint=id))
+        if code == "R006":
+            return ConstraintAdditionResult(
+                INCOMPATIBLE, candidate, [], None, diagnostics=diagnostics
+            )
+
     engine = database.engine()
     if engine.evaluate(normalized):
-        return ConstraintAdditionResult(ACCEPTED, candidate, [], None)
+        return ConstraintAdditionResult(
+            ACCEPTED, candidate, [], None, diagnostics=diagnostics
+        )
 
     witnesses = list(engine.violations(normalized))
     extended = list(database.constraints) + [candidate]
@@ -117,4 +151,6 @@ def assess_constraint_addition(
         status = INCOMPATIBLE
     else:
         status = UNDECIDED
-    return ConstraintAdditionResult(status, candidate, witnesses, sat)
+    return ConstraintAdditionResult(
+        status, candidate, witnesses, sat, diagnostics=diagnostics
+    )

@@ -91,6 +91,9 @@ def evolution_result_json(result) -> Dict:
             if result.sample_model is not None
             else None
         ),
+        "diagnostics": diagnostics_json(
+            getattr(result, "diagnostics", ()) or ()
+        ),
     }
 
 
@@ -98,10 +101,19 @@ def transaction_json(transaction) -> Dict:
     return {"updates": transaction.to_strings()}
 
 
+def diagnostics_json(diagnostics) -> List[Dict]:
+    """Static-analyzer diagnostics, exactly as
+    :meth:`repro.analysis.Diagnostic.to_dict` renders each one —
+    ``repro lint --format json`` and the service's DDL responses share
+    this shape."""
+    return [diagnostic.to_dict() for diagnostic in diagnostics]
+
+
 def commit_result_json(result) -> Dict:
     """A service commit outcome. ``check``/``triage`` carry the gate
     diagnostics exactly as :func:`check_result_json` /
-    :func:`evolution_result_json` emit them."""
+    :func:`evolution_result_json` emit them; ``diagnostics`` carries
+    the static analyzer's findings for DDL commits."""
     payload: Dict = {
         "status": result.status,
         "lsn": result.lsn,
@@ -114,5 +126,8 @@ def commit_result_json(result) -> Dict:
         evolution_result_json(result.triage)
         if result.triage is not None
         else None
+    )
+    payload["diagnostics"] = diagnostics_json(
+        getattr(result, "diagnostics", ()) or ()
     )
     return payload

@@ -109,6 +109,15 @@ class DatabaseClient:
             "add_constraint", db=name, constraint=constraint, **options
         )
 
+    def add_rule(self, name: str, rule: str) -> Dict:
+        """Rule DDL: lint-gated, then integrity-gated; the response
+        carries the analyzer's ``diagnostics`` either way."""
+        return self.call("add_rule", db=name, rule=rule)
+
+    def lint(self, name: str) -> Dict:
+        """Statically analyze the database's committed program."""
+        return self.call("lint", db=name)
+
     def model(self, name: str) -> List[str]:
         return self.call("model", db=name)["facts"]
 

@@ -167,6 +167,21 @@ class ManagedDatabase:
             source, constraint_id, budget=budget, max_levels=max_levels
         )
 
+    def add_rule(self, source: str) -> CommitResult:
+        """Rule DDL: statically analyzed (rejected on any ``R0xx``
+        diagnostic before evaluation), then admitted through the
+        integrity gate, WAL-logged, and folded into the maintained
+        model."""
+        return self.manager.submit_rule(source)
+
+    def analyze(self):
+        """Run the static analyzer over the committed state and return
+        an :class:`repro.analysis.AnalysisReport`."""
+        from repro.analysis import analyze
+
+        with self.manager._state_lock:
+            return analyze(self.manager.database)
+
     def model_facts(self) -> FactStore:
         """A snapshot of the maintained canonical model."""
         with self.manager._state_lock:

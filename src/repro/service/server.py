@@ -501,6 +501,19 @@ class DatabaseServer:
                 max_levels=int(request.get("max_levels", 120)),
             )
             return serialize.commit_result_json(result)
+        if op == "add_rule":
+            database = self.database(request["db"])
+            result = database.add_rule(request["rule"])
+            return serialize.commit_result_json(result)
+        if op == "lint":
+            database = self.database(request["db"])
+            report = database.analyze()
+            return {
+                "summary": report.summary(),
+                "errors": len(report.errors()),
+                "warnings": len(report.warnings()),
+                "diagnostics": serialize.diagnostics_json(report),
+            }
         if op == "model":
             database = self.database(request["db"])
             return {"facts": serialize.model_json(database.model_facts())}

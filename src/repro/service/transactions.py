@@ -47,6 +47,18 @@ Constraint DDL (schema evolution, Section 4) is its own commit kind:
 constraint — satisfied now, hence gate-consistent — is logged and
 installed; ``repairable``/``incompatible``/``undecided`` verdicts are
 returned with witnesses and sample models as diagnostics.
+
+Rule DDL (:meth:`TransactionManager.submit_rule`) is gated twice.
+First the static analyzer (:mod:`repro.analysis`) lints the candidate
+against the committed program — any ``R0xx`` diagnostic rejects the
+rule *before a single evaluation step* (no gate check, no magic
+rewrite, no engine lookup). Only a statically clean rule reaches the
+paper's Section 3.2 rule-update check
+(:meth:`IntegrityChecker.check_rule_addition`); an admitted rule is
+WAL-logged as its own record kind and folded into the program, the
+maintained model and the checker. Both DDL kinds attach the analyzer's
+diagnostics to the :class:`CommitResult` so clients see warnings even
+on successful commits.
 """
 
 from __future__ import annotations
@@ -112,9 +124,14 @@ class CommitResult:
     ``rejected`` (gate or triage said no — diagnostics in ``check`` /
     ``triage``) or ``conflict`` (a concurrent commit overlapped; the
     session's view was stale, retry on a fresh session).
+
+    ``diagnostics`` carries the static analyzer's
+    :class:`repro.analysis.Diagnostic` records for DDL commits — the
+    errors that caused a pre-evaluation rejection, or the warnings
+    that rode along with an accepted change.
     """
 
-    __slots__ = ("status", "lsn", "check", "triage", "reason")
+    __slots__ = ("status", "lsn", "check", "triage", "reason", "diagnostics")
 
     def __init__(
         self,
@@ -123,12 +140,14 @@ class CommitResult:
         check: Optional[CheckResult] = None,
         triage: Optional[ConstraintAdditionResult] = None,
         reason: str = "",
+        diagnostics: Sequence = (),
     ):
         self.status = status
         self.lsn = lsn
         self.check = check
         self.triage = triage
         self.reason = reason
+        self.diagnostics = list(diagnostics)
 
     @property
     def ok(self) -> bool:
@@ -140,7 +159,12 @@ class CommitResult:
     def __repr__(self) -> str:
         detail = f", lsn={self.lsn}" if self.lsn is not None else ""
         reason = f", reason={self.reason!r}" if self.reason else ""
-        return f"CommitResult({self.status}{detail}{reason})"
+        diags = (
+            f", {len(self.diagnostics)} diagnostic(s)"
+            if self.diagnostics
+            else ""
+        )
+        return f"CommitResult({self.status}{detail}{reason}{diags})"
 
 
 class Session:
@@ -259,7 +283,7 @@ class Session:
 
 
 class _CommitRequest:
-    """One queued commit (fact transaction or constraint DDL)."""
+    """One queued commit (fact transaction, constraint or rule DDL)."""
 
     __slots__ = (
         "kind",
@@ -518,6 +542,14 @@ class TransactionManager:
         )
         return self._run(request)
 
+    def submit_rule(self, source: str) -> CommitResult:
+        """Rule DDL: the static analyzer gates admission first (any
+        ``R0xx`` diagnostic rejects before a single evaluation step),
+        then the Section 3.2 rule-update check admits the rule against
+        the constraints; only then is it logged and installed."""
+        request = _CommitRequest("rule", source=source)
+        return self._run(request)
+
     def _run(self, request: _CommitRequest) -> CommitResult:
         if not self.group_commit:
             with self._commit_mutex:
@@ -590,7 +622,7 @@ class TransactionManager:
 
     def _process_batch_locked(self, batch: List[_CommitRequest]) -> None:
         transactions = [r for r in batch if r.kind == "txn"]
-        ddl = [r for r in batch if r.kind == "constraint"]
+        ddl = [r for r in batch if r.kind in ("constraint", "rule")]
         if transactions:
             self._bump("txn.batches")
             self._bump("txn.batched_transactions", len(transactions))
@@ -620,7 +652,10 @@ class TransactionManager:
             elif self._reduce(request):
                 self._commit_individual(request)
         for request in ddl:
-            self._commit_constraint(request)
+            if request.kind == "rule":
+                self._commit_rule(request)
+            else:
+                self._commit_constraint(request)
 
     def _validate(self, request: _CommitRequest) -> Optional[str]:
         """First-committer-wins validation; ``None`` means admissible."""
@@ -761,7 +796,94 @@ class TransactionManager:
         request.finish(CommitResult(COMMITTED, lsn=lsn, check=verdict))
         self._maybe_checkpoint(1)
 
+    def _commit_rule(self, request: _CommitRequest) -> None:
+        from repro.analysis import analyze_rule_candidate
+        from repro.datalog.program import Rule
+
+        parsed, report = analyze_rule_candidate(self.database, request.source)
+        if parsed is None or report.has_errors:
+            # Rejected before a single evaluation step: no gate check,
+            # no magic rewrite, no engine lookup happened.
+            self._bump("txn.ddl_rejected")
+            request.finish(
+                CommitResult(
+                    REJECTED,
+                    diagnostics=list(report),
+                    reason=(
+                        f"static analysis: {len(report.errors())} error(s)"
+                    ),
+                )
+            )
+            return
+        rule = Rule(parsed.head, parsed.body)
+        verdict = self._admit_rule(rule)
+        if not verdict.ok:
+            self._bump("txn.ddl_rejected")
+            request.finish(
+                CommitResult(
+                    REJECTED,
+                    check=verdict,
+                    diagnostics=list(report),
+                    reason=(
+                        f"integrity gate: {len(verdict.violations)} "
+                        f"violated constraint instance(s)"
+                    ),
+                )
+            )
+            return
+        lsn = self.version + 1
+        record = WalRecord(lsn, "rule", {"source": request.source})
+        if self.storage is not None:
+            self.storage.log(record)
+        self.database.add_rule(rule)
+        # The maintained model, the checker's dependency indexes and
+        # any cached derived results are all program-dependent: rebuild
+        # the first two, flush the third wholesale (unlike fact
+        # commits, a rule change has no exact DRed change set here).
+        self.model = MaintainedModel(
+            self.database.facts, self.database.program, config=self.config
+        )
+        if self.result_cache is not None:
+            self.result_cache.clear()
+        self.checker = IntegrityChecker(self.database, config=self.config)
+        self.version = lsn
+        self._bump("txn.ddl_committed")
+        request.finish(
+            CommitResult(
+                COMMITTED, lsn=lsn, check=verdict, diagnostics=list(report)
+            )
+        )
+        self._maybe_checkpoint(1)
+
+    def _admit_rule(self, rule) -> CheckResult:
+        """The Section 3.2 rule-addition admission, timed into
+        gate.check_seconds like every other gate check."""
+        start = time.perf_counter()
+        try:
+            return self.checker.check_rule_addition(rule)
+        finally:
+            _GATE_SECONDS.observe(time.perf_counter() - start)
+
     def _commit_constraint(self, request: _CommitRequest) -> None:
+        from repro.analysis import analyze_constraint_candidate
+
+        _, report = analyze_constraint_candidate(
+            self.database, request.source
+        )
+        if report.has_errors:
+            # Malformed / unsatisfiable-by-syntax DDL never reaches the
+            # satisfiability machinery.
+            self._bump("txn.ddl_rejected")
+            request.finish(
+                CommitResult(
+                    REJECTED,
+                    diagnostics=list(report),
+                    reason=(
+                        f"static analysis: {len(report.errors())} error(s)"
+                    ),
+                )
+            )
+            return
         lsn = self.version + 1
         constraint_id = request.constraint_id or self._fresh_constraint_id(lsn)
         triage = assess_constraint_addition(
@@ -777,6 +899,7 @@ class TransactionManager:
                 CommitResult(
                     REJECTED,
                     triage=triage,
+                    diagnostics=list(report),
                     reason=f"constraint triage: {triage.status}",
                 )
             )
@@ -795,7 +918,11 @@ class TransactionManager:
         self.checker = IntegrityChecker(self.database, config=self.config)
         self.version = lsn
         self._bump("txn.ddl_committed")
-        request.finish(CommitResult(COMMITTED, lsn=lsn, triage=triage))
+        request.finish(
+            CommitResult(
+                COMMITTED, lsn=lsn, triage=triage, diagnostics=list(report)
+            )
+        )
         self._maybe_checkpoint(1)
 
     def _fresh_constraint_id(self, lsn: int) -> str:

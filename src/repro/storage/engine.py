@@ -181,11 +181,21 @@ class StorageEngine:
             )
         last_lsn = snapshot_lsn
         replayed = 0
+        program_changed = False
         for record in records:
             if record.lsn <= snapshot_lsn:
                 continue  # already folded into the snapshot
             replayed += self._replay(record, database, model)
+            program_changed = program_changed or record.kind == "rule"
             last_lsn = record.lsn
+        if program_changed:
+            # Replayed rule DDL changed the program; the maintained
+            # model above was propagated under the old one. Rebuild it
+            # from the final facts + program — exactly the rebuild the
+            # live rule commit performed before logging the record.
+            model = MaintainedModel(
+                database.facts, database.program, config=config
+            )
         return RecoveredState(
             database, model, last_lsn, snapshot_lsn, replayed, truncated
         )
@@ -213,6 +223,9 @@ class StorageEngine:
             database.add_constraint(
                 record.data["source"], id=record.data.get("id")
             )
+            return 1
+        if record.kind == "rule":
+            database.add_rule(record.data["source"])
             return 1
         raise ValueError(f"unknown record kind {record.kind!r}")
 

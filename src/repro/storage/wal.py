@@ -51,8 +51,9 @@ _LAST_FSYNC_UNIX = default_registry().gauge("wal.last_fsync_unix")
 #: Record kinds the engine understands. ``txn`` carries one committed
 #: fact transaction; ``batch`` carries several group-committed ones as
 #: a single atomic unit (all-or-nothing under crash, because the CRC
-#: covers the whole line); ``constraint`` is accepted constraint DDL.
-RECORD_KINDS = ("txn", "batch", "constraint")
+#: covers the whole line); ``constraint`` is accepted constraint DDL;
+#: ``rule`` is admitted rule DDL (the rule's surface source).
+RECORD_KINDS = ("txn", "batch", "constraint", "rule")
 
 
 class WalError(Exception):

@@ -1,0 +1,129 @@
+"""One fixture program per diagnostic code, each seeded with exactly
+one defect: the analyzer must fire that code, only that code, and a
+clean program must produce nothing. This is the catalog's contract —
+the codes are stable API, and a fixture firing a second code means a
+check has started overlapping another's territory.
+"""
+
+import pytest
+
+import repro
+from repro.analysis import CATALOG
+
+# fmt: off
+FIXTURES = {
+    # -- errors --------------------------------------------------------
+    "R000": "p(a",
+    "R001": "p(a). q(X, Y) :- p(X).",
+    "R002": "q(a). p(X) :- q(X), not r(X). r(X) :- q(X), p(X).",
+    "R003": "p(a). p(X) -> q(X).",
+    "R004": "p(a). forall X: p(X).",
+    "R005": "p(a). p(a, b).",
+    "R006": "p(a). q(b) and not q(b).",
+    # -- warnings ------------------------------------------------------
+    "W001": (
+        "e(a, b). f(b). "
+        "h(X) :- s(X, Y), t(Y). "
+        "s(X, Y) :- e(X, Y), not t(Y). "
+        "t(Y) :- f(Y)."
+    ),
+    "W002": "p(a). q(X) :- p(X). r(X) :- p(X). forall X: q(X) -> p(X).",
+    "W003": "p(a). q(X) :- p(X), s(X).",
+    "W004": "p(a). q(X) :- p(X). q(Y) :- p(Y).",
+    "W005": "p(a). r(a, b). q(X) :- p(X). q(X) :- p(X), r(X, Y).",
+    "W006": "p(a). q(b). r(X, Y) :- p(X), q(Y).",
+    "W007": "p(a). p(a) or not p(a).",
+    "W008": "p(a). p(b). q(X) :- p(X), p(c).",
+    # -- info ----------------------------------------------------------
+    "I001": (
+        "e(a, b). e(b, c). e(c, a). bad(c). "
+        "t(X) :- e(X, Y), e(Y, Z), e(Z, X), not bad(X)."
+    ),
+    "I002": "p(a). p(X) :- q(X). q(b).",
+}
+# fmt: on
+
+CLEAN = {
+    "quickstart": """
+        leads(ann, sales).
+        employee(ann).
+        member(X, Y) :- leads(X, Y).
+        forall X, Y: member(X, Y) -> employee(X).
+    """,
+    "recursion_with_negation": """
+        edge(a, b). edge(b, c).
+        node(a). node(b). node(c). node(d).
+        reach(X, Y) :- edge(X, Y).
+        reach(X, Y) :- edge(X, Z), reach(Z, Y).
+        unreachable(X) :- node(X), not reached(X).
+        reached(Y) :- reach(a, Y).
+        forall X, Y: edge(X, Y) -> node(X).
+        forall X: unreachable(X) -> node(X).
+    """,
+}
+
+
+class TestFixturePrograms:
+    @pytest.mark.parametrize("code", sorted(FIXTURES))
+    def test_fixture_fires_exactly_its_code(self, code):
+        report = repro.analyze(FIXTURES[code])
+        assert report.codes() == [code], (
+            f"{code} fixture produced {report.codes()}:\n{report.render()}"
+        )
+
+    @pytest.mark.parametrize("name", sorted(CLEAN))
+    def test_clean_program_is_silent(self, name):
+        report = repro.analyze(CLEAN[name])
+        assert len(report) == 0, report.render()
+        assert report.exit_code() == 0
+
+    def test_every_catalog_code_has_a_fixture(self):
+        assert set(FIXTURES) == set(CATALOG)
+
+    @pytest.mark.parametrize("code", sorted(FIXTURES))
+    def test_severity_matches_code_family(self, code):
+        report = repro.analyze(FIXTURES[code])
+        expected = {"R": "error", "W": "warning", "I": "info"}[code[0]]
+        assert [d.severity for d in report] == [expected]
+
+    def test_exit_codes_follow_worst_severity(self):
+        assert repro.analyze(FIXTURES["R001"]).exit_code() == 2
+        assert repro.analyze(FIXTURES["W004"]).exit_code() == 1
+        assert repro.analyze(FIXTURES["I002"]).exit_code() == 0
+
+
+class TestAnalyzeSurfaces:
+    def test_database_analyze_matches_source_analyze(self):
+        source = CLEAN["quickstart"]
+        db = repro.DeductiveDatabase.from_source(source)
+        assert db.analyze().codes() == repro.analyze(source).codes()
+
+    def test_managed_database_analyze(self):
+        db = repro.open(source=CLEAN["quickstart"])
+        assert len(db.analyze()) == 0
+
+    def test_analyze_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            repro.analyze(42)
+
+    def test_diagnostic_wire_shape(self):
+        report = repro.analyze(FIXTURES["R001"])
+        payload = report.to_dict()
+        assert payload["summary"]["errors"] == 1
+        (diag,) = payload["diagnostics"]
+        assert diag["code"] == "R001"
+        assert diag["severity"] == "error"
+        assert "not range-restricted" in diag["message"]
+
+    def test_analysis_counters_account_for_runs(self):
+        from repro.obs.metrics import default_registry
+
+        registry = default_registry()
+        before = registry.snapshot()
+        repro.analyze(CLEAN["quickstart"])
+        repro.analyze(FIXTURES["R001"])
+        repro.analyze(FIXTURES["W004"])
+        after = registry.snapshot()
+        assert after["analysis.runs"] - before["analysis.runs"] == 3
+        assert after["analysis.errors"] - before["analysis.errors"] == 1
+        assert after["analysis.warnings"] - before["analysis.warnings"] == 1

@@ -1,0 +1,103 @@
+"""The ``repro lint`` verb: exit codes 0/1/2, ``--fail-on`` policy,
+text and JSON formats, multi-file aggregation, and the coded one-liner
+other verbs print when they trip over an unsafe program.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """
+leads(ann, sales).
+employee(ann).
+member(X, Y) :- leads(X, Y).
+forall X, Y: member(X, Y) -> employee(X).
+"""
+
+WARNING = "p(a). q(X) :- p(X), s(X).\n"  # W003: s never populated
+
+ERROR = "p(a). q(X, Y) :- p(X).\n"  # R001: Y unbound
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, text in (
+        ("clean", CLEAN),
+        ("warning", WARNING),
+        ("error", ERROR),
+    ):
+        path = tmp_path / f"{name}.dl"
+        path.write_text(text)
+        paths[name] = str(path)
+    return paths
+
+
+class TestLintExitCodes:
+    def test_clean_exits_zero(self, files, capsys):
+        assert main(["lint", files["clean"]]) == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_warnings_exit_one(self, files, capsys):
+        assert main(["lint", files["warning"]]) == 1
+        assert "W003" in capsys.readouterr().out
+
+    def test_errors_exit_two(self, files, capsys):
+        assert main(["lint", files["error"]]) == 2
+        assert "R001" in capsys.readouterr().out
+
+    def test_fail_on_error_tolerates_warnings(self, files):
+        assert main(["lint", files["warning"], "--fail-on", "error"]) == 0
+        assert main(["lint", files["error"], "--fail-on", "error"]) == 2
+
+    def test_worst_file_wins(self, files):
+        code = main(
+            ["lint", files["clean"], files["warning"], files["error"]]
+        )
+        assert code == 2
+
+    def test_unreadable_file_is_an_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing.dl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLintJson:
+    def test_single_file_payload(self, files, capsys):
+        main(["lint", files["error"], "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["path"] == files["error"]
+        assert payload["summary"]["errors"] == 1
+        (diag,) = payload["diagnostics"]
+        assert diag["code"] == "R001"
+
+    def test_multi_file_payload_aggregates(self, files, capsys):
+        main(
+            [
+                "lint",
+                files["clean"],
+                files["warning"],
+                files["error"],
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["files"]) == 3
+        assert payload["summary"] == {
+            "errors": 1,
+            "warnings": 1,
+            "info": 0,
+        }
+
+
+class TestCodedMessagesAtOtherSurfaces:
+    def test_check_on_unsafe_database_prints_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.dl"
+        path.write_text(ERROR)
+        code = main(["check", str(path), "--update", "p(b)"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: R001:" in err
+        assert "not range-restricted" in err

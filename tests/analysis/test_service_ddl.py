@@ -1,0 +1,143 @@
+"""Rule DDL admission end to end: the static analyzer is the first
+gate, and a rejected rule must cost *nothing* — no integrity-gate
+evaluation, no magic rewrite, no WAL record, no program change. Over
+the wire, the diagnostics travel in the commit response.
+"""
+
+import pytest
+
+import repro
+from repro.obs.metrics import default_registry
+from repro.service.client import DatabaseClient
+from repro.service.server import DatabaseServer
+
+SOURCE = """
+employee(ann).
+leads(ann, sales).
+member(X, Y) :- leads(X, Y).
+forall X, Y: member(X, Y) -> employee(X).
+"""
+
+
+@pytest.fixture
+def db():
+    return repro.open(source=SOURCE)
+
+
+def _counter(snapshot, name):
+    value = snapshot.get(name, 0)
+    if isinstance(value, dict):
+        return value.get("count", 0)
+    return value
+
+
+class TestRuleDDLAdmission:
+    def test_clean_rule_commits_and_derives(self, db):
+        result = db.add_rule("colleague(X) :- member(X, Y)")
+        assert result.ok and result.lsn == 1
+        assert result.check is not None and result.check.ok
+        assert db.holds("colleague(ann)")
+        assert len(db.database.program) == 2
+
+    def test_unsafe_rule_rejected_before_any_evaluation(self, db):
+        before = default_registry().snapshot()
+        result = db.add_rule("bad(X, Y) :- member(X, Z)")
+        after = default_registry().snapshot()
+
+        assert result.status == "rejected"
+        assert result.lsn is None and result.check is None
+        assert [d.code for d in result.diagnostics] == ["R001"]
+        assert "static analysis" in result.reason
+        # Nothing downstream of the analyzer ran: the gate was never
+        # invoked and no demand transformation was attempted.
+        for name in ("gate.check_seconds", "magic.rewrites"):
+            assert _counter(after, name) == _counter(before, name), name
+        assert after["txn.ddl_rejected"] - before["txn.ddl_rejected"] == 1
+        assert len(db.database.program) == 1
+
+    def test_unstratifying_rule_rejected_with_cycle(self, db):
+        db.add_rule("reports(X) :- member(X, Y)")
+        result = db.add_rule(
+            "leads(X, X) :- employee(X), not reports(X)"
+        )
+        assert result.status == "rejected"
+        codes = [d.code for d in result.diagnostics]
+        assert "R002" in codes
+        (r002,) = [d for d in result.diagnostics if d.code == "R002"]
+        assert "recursion through negation along" in r002.message
+
+    def test_violating_rule_rejected_by_integrity_gate(self, db):
+        db.submit("guest(zoe)")
+        result = db.add_rule("member(X, lobby) :- guest(X)")
+        assert result.status == "rejected"
+        assert result.check is not None and not result.check.ok
+        assert "integrity gate" in result.reason
+        # It *passed* the static gate: no error diagnostics.
+        assert not [d for d in result.diagnostics if d.severity == "error"]
+
+    def test_fact_commits_never_invoke_the_analyzer(self, db):
+        before = default_registry().snapshot()
+        assert db.submit("employee(bob)").ok
+        assert db.submit("not employee(bob)").ok
+        after = default_registry().snapshot()
+        assert after["analysis.runs"] == before["analysis.runs"]
+
+
+class TestRuleDDLOverTheWire:
+    @pytest.fixture
+    def client(self, tmp_path):
+        server = DatabaseServer(tmp_path / "root", port=0, sync=False).start()
+        host, port = server.address
+        with DatabaseClient(host, port) as connection:
+            connection.open("hr", SOURCE)
+            yield connection
+        server.close()
+
+    def test_unsafe_rule_returns_diagnostics_and_commits_nothing(
+        self, client
+    ):
+        before = client.stats("hr")
+        result = client.add_rule("hr", "bad(X, Y) :- member(X, Z)")
+        assert result["status"] == "rejected"
+        assert result["lsn"] is None
+        (diag,) = result["diagnostics"]
+        assert diag["code"] == "R001" and diag["severity"] == "error"
+        assert "not range-restricted" in diag["message"]
+        after = client.stats("hr")
+        assert after["rules"] == before["rules"]
+        assert after["lsn"] == before["lsn"]
+
+    def test_clean_rule_commits_over_the_wire(self, client):
+        result = client.add_rule("hr", "colleague(X) :- member(X, Y)")
+        assert result["status"] == "committed"
+        assert result["diagnostics"] == []
+        assert client.holds("hr", "colleague(ann)")
+
+    def test_lint_verb_reports_committed_program(self, client):
+        report = client.lint("hr")
+        assert report["errors"] == 0
+        assert report["summary"] == {"errors": 0, "warnings": 0, "info": 0}
+
+    def test_admitted_rule_is_durable(self, tmp_path):
+        root = tmp_path / "root"
+        server = DatabaseServer(root, port=0, sync=False).start()
+        host, port = server.address
+        with DatabaseClient(host, port) as connection:
+            connection.open("hr", SOURCE)
+            assert (
+                connection.add_rule("hr", "colleague(X) :- member(X, Y)")[
+                    "status"
+                ]
+                == "committed"
+            )
+        server.close()
+
+        reopened = DatabaseServer(root, port=0, sync=False).start()
+        host, port = reopened.address
+        try:
+            with DatabaseClient(host, port) as connection:
+                info = connection.open("hr")
+                assert info["rules"] == 2
+                assert connection.holds("hr", "colleague(ann)")
+        finally:
+            reopened.close()

@@ -1,0 +1,42 @@
+"""Regression: a StratificationError names the actual predicate cycle
+through negation, not just the fact that one exists. The analyzer's
+dependency-graph pass computes the path; the Program constructor
+surfaces it, so every caller — library, CLI, service — sees the same
+message.
+"""
+
+import pytest
+
+import repro
+from repro import StratificationError
+
+UNSTRATIFIED = """
+q(a).
+p(X) :- q(X), not r(X).
+r(X) :- q(X), p(X).
+"""
+
+
+class TestStratificationMessage:
+    def test_error_pins_the_negative_cycle_path(self):
+        with pytest.raises(StratificationError) as excinfo:
+            repro.DeductiveDatabase.from_source(UNSTRATIFIED)
+        message = str(excinfo.value)
+        assert (
+            "program is not stratified: recursion through negation "
+            "along p -> r -> p" in message
+        )
+
+    def test_self_negation_names_one_step_cycle(self):
+        with pytest.raises(StratificationError) as excinfo:
+            repro.DeductiveDatabase.from_source(
+                "q(a). p(X) :- q(X), not p(X)."
+            )
+        assert "along p -> p" in str(excinfo.value)
+
+    def test_analyzer_reports_same_cycle_as_r002(self):
+        report = repro.analyze(UNSTRATIFIED)
+        assert report.codes() == ["R002"]
+        (diag,) = report
+        assert "p -> r -> p" in diag.message
+        assert diag.details.get("cycle") == ["p", "r", "p"]

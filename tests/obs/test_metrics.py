@@ -125,6 +125,9 @@ class TestDefaultRegistry:
             "gate.check_seconds",
             "wal.append_seconds",
             "txn.linger_seconds",
+            "analysis.runs",
+            "analysis.errors",
+            "analysis.warnings",
         }
         assert expected <= names
 
